@@ -1,0 +1,189 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+A1 — bind-time constraint checking: the marginal cost per installed
+     constraint on the bind primitive (the price of policing topology).
+A2 — queue-discipline choice in the data path: FIFO vs RED under a
+     bursty overload (loss vs latency trade).
+A3 — link-scheduler choice: priority vs DRR vs WFQ serving the same
+     two-class backlog (expedited latency vs fairness trade).
+A4 — rule checking granularity: accept-time check cost vs re-validating
+     a whole CF's plug-in population.
+"""
+
+import time
+
+from benchmarks.conftest import once, report
+from repro.analysis import mean
+from repro.cf import TopologyConstraint
+from repro.netsim import make_udp_v4
+from repro.opencom import Capsule
+from repro.router import (
+    Classifier,
+    CollectorSink,
+    DrrScheduler,
+    FifoQueue,
+    PriorityLinkScheduler,
+    RedQueue,
+    RouterCF,
+    WfqScheduler,
+)
+
+
+def test_a1_bind_constraint_overhead(benchmark):
+    def experiment():
+        rows = []
+        for constraint_count in (0, 1, 4, 16):
+            capsule = Capsule(f"a1-{constraint_count}")
+            for i in range(constraint_count):
+                capsule.add_constraint(
+                    f"c{i}", TopologyConstraint(f"c{i}", lambda req: None)
+                )
+            hub = capsule.instantiate(Classifier, "hub")
+            sinks = [
+                capsule.instantiate(CollectorSink, f"s{i}") for i in range(64)
+            ]
+            start = time.perf_counter()
+            for i, sink in enumerate(sinks):
+                capsule.bind(
+                    hub.receptacle("out"), sink.interface("in0"),
+                    connection_name=f"o{i}",
+                )
+            elapsed = (time.perf_counter() - start) / len(sinks)
+            rows.append([constraint_count, f"{elapsed * 1e6:.1f}"])
+        report(
+            "A1: bind cost vs installed constraints",
+            ["constraints", "us/bind"],
+            rows,
+        )
+        return [float(row[1]) for row in rows]
+
+    costs = once(benchmark, experiment)
+    # Constraint checking is linear and cheap: 16 constraints must not
+    # blow the bind cost up by more than ~20x over zero.
+    assert costs[-1] < costs[0] * 20 + 50
+
+
+def test_a2_queue_discipline_under_burst(benchmark):
+    def experiment():
+        rows = []
+        results = {}
+        for name, factory in (
+            ("drop-tail FIFO", lambda: FifoQueue(128)),
+            ("RED", lambda: RedQueue(128, min_threshold=16, max_threshold=96,
+                                     max_drop_probability=0.2, weight=0.05, seed=9)),
+        ):
+            capsule = Capsule(f"a2-{name}")
+            queue = capsule.instantiate(factory, "q")
+            # Overload burst: 400 packets into a 128-capacity queue with
+            # interleaved slow service (1 serviced per 4 arrivals).
+            delivered, drops = 0, 0
+            for i in range(400):
+                queue.push(make_udp_v4("10.0.0.1", "10.0.0.2", dport=i))
+                if i % 4 == 0 and queue.pull() is not None:
+                    delivered += 1
+            depth_at_end = queue.depth
+            while queue.pull() is not None:
+                delivered += 1
+            stats = queue.stats()
+            drops = sum(v for k, v in stats.items() if k.startswith("drop"))
+            early = stats.get("drop:red-early", 0)
+            results[name] = (delivered, drops, depth_at_end, early)
+            rows.append([name, delivered, drops, depth_at_end, early])
+        report(
+            "A2: queue discipline under 3.1x overload burst",
+            ["discipline", "delivered", "dropped", "peak depth", "early drops"],
+            rows,
+        )
+        return results
+
+    results = once(benchmark, experiment)
+    fifo = results["drop-tail FIFO"]
+    red = results["RED"]
+    # RED sheds load early (smaller standing queue), FIFO fills to the brim.
+    assert red[3] > 0            # early drops happened
+    assert red[2] <= fifo[2]     # standing queue no worse than FIFO's
+    assert fifo[0] + fifo[1] == 400
+    assert red[0] + red[1] == 400
+
+
+def test_a3_link_scheduler_choice(benchmark):
+    def experiment():
+        rows = []
+        results = {}
+        for name, factory in (
+            ("strict priority", lambda: PriorityLinkScheduler(["exp", "be"])),
+            ("DRR (q=128)", lambda: DrrScheduler(quantum=128)),
+            ("WFQ 3:1", lambda: WfqScheduler(weights={"exp": 3.0, "be": 1.0})),
+        ):
+            capsule = Capsule(f"a3-{name}")
+            scheduler = capsule.instantiate(factory, "sched")
+            queues = {}
+            for klass in ("exp", "be"):
+                queue = capsule.instantiate(lambda: FifoQueue(1000), f"q-{klass}")
+                capsule.bind(
+                    scheduler.receptacle("inputs"), queue.interface("pull0"),
+                    connection_name=klass,
+                )
+                queues[klass] = queue
+            for i in range(100):
+                queues["exp"].push(make_udp_v4("10.0.0.1", "10.0.0.2", dport=1, payload=bytes(72)))
+                queues["be"].push(make_udp_v4("10.0.0.1", "10.0.0.2", dport=2, payload=bytes(72)))
+            # Service 100 of 200 queued; where does the expedited class land?
+            exp_positions = []
+            served_exp = 0
+            for position in range(100):
+                packet = scheduler.pull()
+                if packet.transport.dport == 1:
+                    served_exp += 1
+                    exp_positions.append(position)
+            results[name] = (served_exp, mean(exp_positions))
+            rows.append([name, served_exp, f"{mean(exp_positions):.1f}"])
+        report(
+            "A3: link scheduler serving 2 backlogged classes (100 slots)",
+            ["scheduler", "expedited served", "mean expedited position"],
+            rows,
+        )
+        return results
+
+    results = once(benchmark, experiment)
+    priority_served, priority_position = results["strict priority"]
+    drr_served, _ = results["DRR (q=128)"]
+    wfq_served, _ = results["WFQ 3:1"]
+    assert priority_served == 100          # strict priority: all expedited first
+    assert priority_position < 50
+    assert 40 <= drr_served <= 60          # DRR: byte-fair split
+    assert 65 <= wfq_served <= 85          # WFQ 3:1: weighted split
+
+
+def test_a4_rule_check_cost(benchmark):
+    """Per-component rule checking vs whole-CF revalidation."""
+
+    def experiment():
+        capsule = Capsule("a4")
+        cf = RouterCF()
+        capsule.adopt(cf, "cf")
+        plugins = []
+        for i in range(50):
+            classifier = capsule.instantiate(Classifier, f"c{i}")
+            cf.accept(classifier)
+            plugins.append(classifier)
+        start = time.perf_counter()
+        for classifier in plugins:
+            cf.validate_component(classifier)
+        single = (time.perf_counter() - start) / len(plugins)
+        start = time.perf_counter()
+        cf.validate_all()
+        bulk = time.perf_counter() - start
+        report(
+            "A4: rule-checking cost",
+            ["operation", "cost"],
+            [
+                ["validate one plug-in", f"{single * 1e6:.1f} us"],
+                ["revalidate 50-plugin CF", f"{bulk * 1e3:.2f} ms"],
+            ],
+        )
+        return single, bulk
+
+    single, bulk = once(benchmark, experiment)
+    # Bulk revalidation is roughly linear in the plug-in count.
+    assert bulk < single * 50 * 3

@@ -1,0 +1,126 @@
+"""C1 — the cross-component call-overhead ladder.
+
+Paper claim (section 5): "temporarily bypassing vtables, using partial
+evaluation techniques, to reduce the overhead of a cross-component call to
+that of a C function call".
+
+Regimes measured, slowest to fastest:
+``intercepted`` (vtable + 1 pre-interceptor) > ``vtable`` (indirect
+dispatch) > ``fused`` (revocable direct handle) ≈ ``direct`` (plain bound
+method — the "C function call" of our substrate).
+
+Shape assertions: fused is within a small factor of direct, and
+interception costs more than indirect dispatch.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.opencom import Capsule, Component, Interface, Provided, Required
+
+CALLS = 20_000
+
+
+class IWork(Interface):
+    def work(self, x):
+        ...
+
+
+class Worker(Component):
+    PROVIDES = (Provided("main", IWork),)
+
+    def work(self, x):
+        return x + 1
+
+
+class Caller(Component):
+    RECEPTACLES = (Required("target", IWork),)
+
+
+@pytest.fixture
+def wired():
+    capsule = Capsule("bench")
+    worker = capsule.instantiate(Worker, "worker")
+    caller = capsule.instantiate(Caller, "caller")
+    capsule.bind(caller.receptacle("target"), worker.interface("main"))
+    return capsule, caller, worker
+
+
+def run_calls(fn):
+    total = 0
+    for i in range(CALLS):
+        total += fn(i)
+    return total
+
+
+def test_c1_direct_call(benchmark, wired):
+    _, _, worker = wired
+    fn = worker.work
+    assert benchmark(run_calls, fn) > 0
+
+
+def test_c1_fused_call(benchmark, wired):
+    _, caller, _ = wired
+    port = caller.receptacle("target").port("0")
+    port.fuse()
+    fn = port.work
+    assert benchmark(run_calls, fn) > 0
+
+
+def test_c1_vtable_call(benchmark, wired):
+    _, caller, _ = wired
+    fn = caller.receptacle("target").port("0").work  # indirect handle
+    assert benchmark(run_calls, fn) > 0
+
+
+def test_c1_intercepted_call(benchmark, wired):
+    _, caller, worker = wired
+    worker.interface("main").vtable.add_pre("work", "count", lambda ctx: None)
+    fn = caller.receptacle("target").port("0").work
+    assert benchmark(run_calls, fn) > 0
+
+
+def test_c1_overhead_ladder_shape(benchmark):
+    """The ordering claim itself, measured in one process."""
+    from benchmarks.conftest import once
+
+    once(benchmark, _ladder)
+
+
+def _ladder():
+    import time
+
+    capsule = Capsule("bench")
+    worker = capsule.instantiate(Worker, "worker")
+    caller = capsule.instantiate(Caller, "caller")
+    capsule.bind(caller.receptacle("target"), worker.interface("main"))
+    port = caller.receptacle("target").port("0")
+
+    def time_regime(fn, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run_calls(fn)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    direct = time_regime(worker.work)
+    vtable = time_regime(port.work)
+    port.fuse()
+    fused = time_regime(port.work)
+    port.unfuse()
+    worker.interface("main").vtable.add_pre("work", "i", lambda ctx: None)
+    intercepted = time_regime(port.work)
+
+    rows = [
+        ["direct (plain call)", f"{direct * 1e9 / CALLS:.0f}", "1.00x"],
+        ["fused binding", f"{fused * 1e9 / CALLS:.0f}", f"{fused / direct:.2f}x"],
+        ["vtable binding", f"{vtable * 1e9 / CALLS:.0f}", f"{vtable / direct:.2f}x"],
+        ["intercepted", f"{intercepted * 1e9 / CALLS:.0f}", f"{intercepted / direct:.2f}x"],
+    ]
+    report("C1: cross-component call overhead", ["regime", "ns/call", "vs direct"], rows)
+
+    # Shape: fusion recovers (nearly) direct-call cost; the ladder orders.
+    assert fused <= vtable
+    assert fused <= direct * 2.0
+    assert vtable < intercepted

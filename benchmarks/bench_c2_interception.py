@@ -1,0 +1,123 @@
+"""C2 — interception cost at the vtable level.
+
+Paper claim (section 2): interception "is very efficient as it is
+implemented at the vtable level".  The operational content: interception
+cost applies *per intercepted slot only* (unintercepted slots and other
+interfaces pay nothing), and the marginal cost per added interceptor is a
+small constant (the chain is composed once per change, not walked with
+conditionals per call).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import once, report
+from repro.opencom import Capsule, Component, Interface, Provided, Required
+
+CALLS = 20_000
+
+
+class IBench2Work(Interface):
+    def work(self, x):
+        ...
+
+    def other(self, x):
+        ...
+
+
+class Worker(Component):
+    PROVIDES = (Provided("main", IBench2Work),)
+
+    def work(self, x):
+        return x
+
+    def other(self, x):
+        return x
+
+
+class Caller(Component):
+    RECEPTACLES = (Required("target", IBench2Work),)
+
+
+def build():
+    capsule = Capsule("bench")
+    worker = capsule.instantiate(Worker, "worker")
+    caller = capsule.instantiate(Caller, "caller")
+    capsule.bind(caller.receptacle("target"), worker.interface("main"))
+    return worker, caller.receptacle("target").port("0")
+
+
+def time_calls(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for i in range(CALLS):
+            fn(i)
+        best = min(best, time.perf_counter() - start)
+    return best * 1e9 / CALLS
+
+
+def test_c2_interceptor_count_sweep(benchmark):
+    def experiment():
+        worker, port = build()
+        vtable = worker.interface("main").vtable
+        rows = []
+        baseline = time_calls(port.work)
+        rows.append(["0 (unintercepted)", f"{baseline:.0f}", "-"])
+        previous = baseline
+        for n in (1, 2, 4, 8):
+            while len(vtable.interceptor_names("work")) < n:
+                index = len(vtable.interceptor_names("work"))
+                vtable.add_pre("work", f"pre{index}", lambda ctx: None)
+            cost = time_calls(port.work)
+            rows.append(
+                [str(n), f"{cost:.0f}", f"+{(cost - previous):.0f}"]
+            )
+            previous = cost
+        report(
+            "C2: per-slot interception cost",
+            ["interceptors on slot", "ns/call", "marginal ns"],
+            rows,
+        )
+        return baseline, previous
+
+    baseline, with_eight = once(benchmark, experiment)
+    # Eight interceptors must not blow up superlinearly (composed chain).
+    assert with_eight < baseline * 40
+
+
+def test_c2_unintercepted_slots_unaffected(benchmark):
+    def experiment():
+        worker, port = build()
+        vtable = worker.interface("main").vtable
+        before = time_calls(port.other)
+        for i in range(4):
+            vtable.add_pre("work", f"pre{i}", lambda ctx: None)
+        after = time_calls(port.other)
+        report(
+            "C2b: interception is per-slot",
+            ["slot", "ns/call before", "ns/call after intercepting 'work'"],
+            [["other (never intercepted)", f"{before:.0f}", f"{after:.0f}"]],
+        )
+        return before, after
+
+    before, after = once(benchmark, experiment)
+    assert after < before * 1.5  # untouched slot stays at baseline
+
+
+def test_c2_detach_restores_baseline(benchmark):
+    def experiment():
+        worker, port = build()
+        vtable = worker.interface("main").vtable
+        baseline = time_calls(port.work)
+        vtable.add_pre("work", "temp", lambda ctx: None)
+        intercepted = time_calls(port.work)
+        vtable.remove_interceptor("work", "temp")
+        restored = time_calls(port.work)
+        return baseline, intercepted, restored
+
+    baseline, intercepted, restored = once(benchmark, experiment)
+    assert intercepted > baseline
+    assert restored < intercepted
+    assert restored < baseline * 1.5

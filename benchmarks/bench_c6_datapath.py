@@ -1,0 +1,144 @@
+"""C6 — in-band data-path throughput: component router vs baselines.
+
+Paper claims: the in-band stratum "is a highly performance-critical area
+in which machine instructions must be counted with care" (section 3), and
+the challenge is "to maximise the commonality without compromising either
+(re)configurability or performance" (section 4).
+
+Reproduced as relative forwarding throughput over the same 1k-route
+IPv4 trace:
+
+    monolithic >= Click-style >= Router CF (fused) >= Router CF (vtable)
+
+with the component penalty bounded — flexibility costs a constant factor,
+not an order of magnitude.
+"""
+
+import time
+
+from benchmarks.conftest import once, report
+from repro.analysis import relative_factor
+from repro.baselines import ClickRouter, MonolithicRouter, standard_click_config
+from repro.netsim import make_udp_v4, synthetic_route_table
+from repro.opencom import Capsule, fuse_pipeline
+from repro.router import build_forwarding_pipeline
+
+PACKETS = 5_000
+ROUTE_COUNT = 1_000
+HOPS = ["east", "west", "north", "south"]
+
+
+def make_trace(routes):
+    import random
+
+    rng = random.Random(99)
+    prefixes = list(routes)
+    trace = []
+    for i in range(PACKETS):
+        prefix = prefixes[rng.randrange(len(prefixes))]
+        base = prefix.split("/")[0]
+        trace.append(make_udp_v4("10.255.0.1", base, dport=i % 100, payload=bytes(64)))
+    return trace
+
+
+def routes_with_default():
+    routes = synthetic_route_table(prefixes=ROUTE_COUNT, next_hops=HOPS, seed=5)
+    routes["0.0.0.0/0"] = "east"
+    return routes
+
+
+def run_monolithic(routes, trace):
+    router = MonolithicRouter(routes, queue_capacity=PACKETS + 1)
+    start = time.perf_counter()
+    for packet in trace:
+        router.push(packet)
+    router.service(budget=PACKETS)
+    elapsed = time.perf_counter() - start
+    return elapsed, router.counters["tx"]
+
+
+def run_click(routes, trace):
+    router = ClickRouter(standard_click_config(routes=routes, queue_capacity=PACKETS + 1))
+    start = time.perf_counter()
+    for packet in trace:
+        router.push(packet)
+    router.service(budget=PACKETS)
+    elapsed = time.perf_counter() - start
+    delivered = sum(
+        element.counters.get("rx", 0)
+        for name, element in router.elements.items()
+        if name.startswith("sink-")
+    )
+    return elapsed, delivered
+
+
+def run_router_cf(routes, trace, *, fused):
+    capsule = Capsule("dut")
+    pipeline = build_forwarding_pipeline(capsule, routes=routes)
+    if fused:
+        fuse_pipeline(list(capsule.components().values()))
+    start = time.perf_counter()
+    for packet in trace:
+        pipeline.push(packet)
+    elapsed = time.perf_counter() - start
+    delivered = sum(
+        sink.collected_count()
+        for name, sink in pipeline.stages.items()
+        if name.startswith("sink:")
+    )
+    return elapsed, delivered
+
+
+def test_c6_datapath_throughput(benchmark):
+    def experiment():
+        routes = routes_with_default()
+        results = {}
+        for name, runner in (
+            ("monolithic", lambda r, t: run_monolithic(r, t)),
+            ("Click-style", lambda r, t: run_click(r, t)),
+            ("Router CF (vtable)", lambda r, t: run_router_cf(r, t, fused=False)),
+            ("Router CF (fused)", lambda r, t: run_router_cf(r, t, fused=True)),
+        ):
+            trace = make_trace(routes)
+            elapsed, delivered = runner(routes, trace)
+            results[name] = (PACKETS / elapsed, delivered)
+        base = results["monolithic"][0]
+        rows = [
+            [name, f"{pps / 1e3:.0f}", f"{pps / base:.2f}x", delivered]
+            for name, (pps, delivered) in results.items()
+        ]
+        report(
+            "C6: forwarding throughput, 1k-route IPv4 trace",
+            ["system", "kpps", "vs monolithic", "delivered"],
+            rows,
+        )
+        return {name: pps for name, (pps, _) in results.items()}, results
+
+    throughput, results = once(benchmark, experiment)
+    # Everyone forwarded everything.
+    for name, (_, delivered) in results.items():
+        assert delivered == PACKETS, name
+    # Shape: static systems faster; fusion narrows the gap; the component
+    # penalty stays within an order of magnitude.
+    assert throughput["monolithic"] >= throughput["Router CF (fused)"] * 0.8
+    assert throughput["Router CF (fused)"] >= throughput["Router CF (vtable)"] * 0.95
+    penalty = relative_factor(
+        throughput["Router CF (vtable)"], throughput["monolithic"]
+    )
+    assert penalty < 10
+
+
+def test_c6_component_router_pps(benchmark):
+    """pytest-benchmark timing for the fused component data path."""
+    routes = routes_with_default()
+    capsule = Capsule("dut")
+    pipeline = build_forwarding_pipeline(capsule, routes=routes)
+    fuse_pipeline(list(capsule.components().values()))
+    trace = make_trace(routes)
+    index = {"i": 0}
+
+    def push_one():
+        pipeline.push(trace[index["i"] % PACKETS])
+        index["i"] += 1
+
+    benchmark(push_one)

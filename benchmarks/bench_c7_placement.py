@@ -1,0 +1,126 @@
+"""C7 — component placement on the IXP1200 (the placement meta-model).
+
+Paper (section 5): on the IXP "the issue of component placement comes to
+the fore ... we think that the CF itself should contain the 'intelligence'
+to transparently manage this placement, but with the possibility to
+control/override this via a 'placement' meta-model".
+
+Reproduced: the Figure-3 graph placed on 1 StrongARM + 6 micro-engines
+under three strategies (everything-on-control, greedy, balanced), the
+analytic cost model cross-checked by simulation, and a manual override
+demonstrating the control path.
+"""
+
+from benchmarks.conftest import once, report
+from repro.ixp import BoardSimulator, IxpBoard, PlacementMetaModel, StageVisit
+
+GRAPH = [
+    # (name, cost-profile type, fraction of the packet stream)
+    ("nic-in", "NicIngress", 1.0),
+    ("recogniser", "ProtocolRecognizer", 1.0),
+    ("v4", "IPv4HeaderProcessor", 0.7),
+    ("v6", "IPv6HeaderProcessor", 0.3),
+    ("classifier", "Classifier", 1.0),
+    ("q-exp", "FifoQueue", 0.3),
+    ("q-be", "FifoQueue", 0.7),
+    ("sched", "PriorityLinkScheduler", 1.0),
+    ("forwarder", "Forwarder", 1.0),
+    ("nic-out", "NicEgress", 1.0),
+    ("controller", "Controller", 0.01),
+]
+
+
+def build_placement():
+    board = IxpBoard()
+    placement = PlacementMetaModel(board)
+    for name, ctype, fraction in GRAPH:
+        placement.register(name, component_type=ctype, traffic_fraction=fraction)
+    return board, placement
+
+
+def stage_visits():
+    return [StageVisit(name, fraction) for name, _, fraction in GRAPH]
+
+
+def test_c7_strategy_comparison(benchmark):
+    def experiment():
+        results = {}
+        for strategy in ("control", "greedy", "balanced"):
+            board, placement = build_placement()
+            analytic = placement.auto_place(strategy)
+            simulated = BoardSimulator(board, placement).run(
+                stage_visits(), packets=20_000
+            )
+            results[strategy] = (analytic, simulated)
+        rows = [
+            [
+                strategy,
+                f"{analytic.throughput_pps / 1e3:.0f}",
+                f"{simulated.throughput_pps / 1e3:.0f}",
+                analytic.bottleneck,
+                f"{analytic.utilisation_spread:.2f}",
+            ]
+            for strategy, (analytic, simulated) in results.items()
+        ]
+        report(
+            "C7: placement strategies on IXP1200 (1 SA + 6 uE)",
+            ["strategy", "analytic kpps", "simulated kpps", "bottleneck", "spread"],
+            rows,
+        )
+        return results
+
+    results = once(benchmark, experiment)
+    control = results["control"][0].throughput_pps
+    greedy = results["greedy"][0].throughput_pps
+    balanced = results["balanced"][0].throughput_pps
+    # Shape: spreading over micro-engines beats the all-on-StrongARM
+    # pre-port layout by a wide margin; balanced never loses to greedy.
+    assert greedy > control * 2
+    assert balanced >= greedy * 0.999
+    # Analytic and simulated agree per strategy.
+    for strategy, (analytic, simulated) in results.items():
+        assert simulated.bottleneck == analytic.bottleneck
+        assert abs(simulated.throughput_pps - analytic.throughput_pps) < (
+            analytic.throughput_pps * 0.05
+        )
+
+
+def test_c7_manual_override(benchmark):
+    def experiment():
+        board, placement = build_placement()
+        auto = placement.auto_place("balanced")
+        # The operator overrides: pin the forwarder to a dedicated engine.
+        placement.pin("forwarder", "ue5")
+        pinned = placement.auto_place("balanced")
+        # And migrates the classifier at run time.
+        previous = placement.components()["classifier"].pe
+        target = "ue4" if previous != "ue4" else "ue3"
+        placement.migrate("classifier", target)
+        after_migration = placement.evaluate()
+        rows = [
+            ["auto (balanced)", auto.assignment["forwarder"], f"{auto.throughput_pps / 1e3:.0f}"],
+            ["pin forwarder->ue5", pinned.assignment["forwarder"], f"{pinned.throughput_pps / 1e3:.0f}"],
+            [f"migrate classifier->{target}", pinned.assignment["forwarder"], f"{after_migration.throughput_pps / 1e3:.0f}"],
+        ]
+        report(
+            "C7b: placement meta-model override path",
+            ["action", "forwarder PE", "kpps"],
+            rows,
+        )
+        return placement, pinned
+
+    placement, pinned = once(benchmark, experiment)
+    assert pinned.assignment["forwarder"] == "ue5"
+    assert len(placement.migrations) == 1
+    # Control-plane feasibility still enforced under override.
+    assert pinned.assignment["controller"] == "sa0"
+
+
+def test_c7_control_plane_constraint(benchmark):
+    def experiment():
+        _, placement = build_placement()
+        placement.auto_place("greedy")
+        return placement.evaluate()
+
+    placement_report = once(benchmark, experiment)
+    assert placement_report.assignment["controller"] == "sa0"

@@ -1,0 +1,133 @@
+"""C8 — the coordination stratum: RSVP reservation and Genesis spawning.
+
+Paper (section 3): stratum 4 "comprises out-of-band signaling protocols
+that perform distributed coordination and (re)configuration of the lower
+strata.  Examples are RSVP, or protocols that coordinate resource
+allocation on a set of routers participating in a dynamic private virtual
+network, as employed by systems like Genesis".
+
+Reproduced: admission-controlled end-to-end reservation over a 6-node
+chain (including the over-subscription crossover), and the spawning of two
+isolated virtual networks over an 8-node tree with verified resource
+containment.
+"""
+
+from benchmarks.conftest import once, report
+from repro.coordination import GenesisFramework, attach_agents, deploy_rsvp
+from repro.netsim import Topology
+
+
+def test_c8_rsvp_admission_sweep(benchmark):
+    """Reserve increasing bandwidths until admission control bites; the
+    crossover must land exactly where capacity runs out on the path."""
+
+    def experiment():
+        topo = Topology.chain(6, latency_s=0.001)
+        agents = attach_agents(topo)
+        rsvp = deploy_rsvp(topo, agents, bandwidth_capacity=100e6)
+        rows = []
+        outcomes = []
+        for i, bandwidth in enumerate([30e6, 30e6, 30e6, 30e6]):
+            session = rsvp["n0"].reserve("n5", bandwidth)
+            topo.engine.run()
+            rows.append(
+                [
+                    f"session {i + 1}",
+                    f"{bandwidth / 1e6:.0f} Mbps",
+                    session.status,
+                    f"{rsvp['n2'].reserved_bandwidth() / 1e6:.0f} Mbps",
+                ]
+            )
+            outcomes.append(session.status)
+        report(
+            "C8: RSVP admission over a 6-node chain (100 Mbps pools)",
+            ["request", "bandwidth", "outcome", "reserved at n2"],
+            rows,
+        )
+        return outcomes, rsvp, topo
+
+    outcomes, rsvp, topo = once(benchmark, experiment)
+    # 3 x 30 Mbps fit; the 4th (90+30 > 100) must be rejected.
+    assert outcomes == ["established"] * 3 + ["rejected"]
+    # Containment: rejected session left nothing behind anywhere.
+    assert all(
+        agent.reserved_bandwidth() == 90e6 for agent in rsvp.values()
+    )
+
+
+def test_c8_rsvp_signaling_cost(benchmark):
+    """Messages per reservation grows linearly with path length."""
+
+    def experiment():
+        rows = []
+        counts = []
+        for hops in (2, 4, 8):
+            topo = Topology.chain(hops + 1, latency_s=0.001)
+            agents = attach_agents(topo)
+            rsvp = deploy_rsvp(topo, agents)
+            before = sum(a.counters["sent"] for a in agents.values())
+            session = rsvp["n0"].reserve(f"n{hops}", 1e6)
+            topo.engine.run()
+            after = sum(a.counters["sent"] for a in agents.values())
+            assert session.status == "established"
+            rows.append([f"{hops} hops", after - before])
+            counts.append(after - before)
+        report("C8b: signaling messages per reservation", ["path", "messages"], rows)
+        return counts
+
+    counts = once(benchmark, experiment)
+    # Linear growth: doubling the path roughly doubles the messages.
+    assert counts[1] / counts[0] < 3.0
+    assert counts[2] / counts[1] < 3.0
+
+
+def test_c8_genesis_spawn_and_isolation(benchmark):
+    def experiment():
+        topo = Topology.binary_tree(2, latency_s=0.0005)  # 7 nodes
+        genesis = GenesisFramework(topo)
+        video_net = genesis.spawn(
+            "video", ["t0", "t1", "t3", "t4"], bandwidth_share=30e6
+        )
+        bulk_net = genesis.spawn(
+            "bulk", ["t0", "t2", "t5", "t6"], bandwidth_share=20e6
+        )
+        video_net.send("t3", "t4", b"frame-1")
+        bulk_net.send("t5", "t6", b"chunk-1")
+        topo.engine.run()
+        t0_pool = topo.node("t0").capsule.resources.pool("bandwidth")
+        rows = [
+            [
+                "video",
+                "t0,t1,t3,t4",
+                "30 Mbps",
+                len(video_net.deliveries),
+                " -> ".join(video_net.deliveries[0].hops),
+            ],
+            [
+                "bulk",
+                "t0,t2,t5,t6",
+                "20 Mbps",
+                len(bulk_net.deliveries),
+                " -> ".join(bulk_net.deliveries[0].hops),
+            ],
+        ]
+        report(
+            "C8c: Genesis spawning over an 8-node tree",
+            ["virtual net", "members", "share", "delivered", "path"],
+            rows,
+        )
+        print(f"    t0 bandwidth allocated to virtual nets: {t0_pool.allocated / 1e6:.0f} Mbps")
+        return video_net, bulk_net, genesis, topo
+
+    video_net, bulk_net, genesis, topo = once(benchmark, experiment)
+    # Each network delivered its own traffic, nothing leaked across.
+    assert [d.payload for d in video_net.deliveries] == [b"frame-1"]
+    assert [d.payload for d in bulk_net.deliveries] == [b"chunk-1"]
+    # Routing stayed inside the member set.
+    assert set(video_net.deliveries[0].hops) <= set(video_net.members)
+    # Containment: t0 carries both allocations; release returns them.
+    t0_pool = topo.node("t0").capsule.resources.pool("bandwidth")
+    assert t0_pool.allocated == 50e6
+    video_net.release()
+    bulk_net.release()
+    assert t0_pool.allocated == 0

@@ -1,0 +1,125 @@
+"""F3 — Figure 3: the composite Router CF component, end to end.
+
+Figure 3 shows a composite accepted by the Router CF: protocol recogniser
+fanning out to IPv4/IPv6 header processors, a queueing gateway instance
+per class, a link scheduler, a controller, exported IClassifier access,
+and controller-managed constraints.  This experiment drives the exact
+composite with a 10k-packet mixed trace and regenerates the figure as
+tables: per-stage packet accounting, the internal topology, and the
+constraint/ACL behaviour.
+"""
+
+from benchmarks.conftest import once, report
+from repro.netsim import mixed_v4_v6_trace
+from repro.opencom import AccessDenied, Capsule, ConstraintViolation
+from repro.router import build_figure3_composite
+
+TRACE = 10_000
+
+
+def test_f3_composite_data_path(benchmark):
+    def experiment():
+        capsule = Capsule("figure3")
+        composite, pipeline = build_figure3_composite(
+            capsule, queue_capacity=TRACE
+        )
+        composite.interface("classifier").vtable.invoke(
+            "register_filter", "dport=2000-2003 -> expedited priority=10"
+        )
+        trace = mixed_v4_v6_trace(count=TRACE, seed=41)
+        for packet in trace:
+            pipeline.push(packet)
+        pipeline.drain()
+        stats = pipeline.stage_stats()
+        rows = [
+            ["protocol recogniser", stats["recogniser"]["rx"],
+             f"v4={stats['recogniser']['v4']} v6={stats['recogniser']['v6']}"],
+            ["IPv4 hdr processor", stats["ipv4"]["rx"],
+             f"forwarded={stats['ipv4']['forwarded']}"],
+            ["IPv6 hdr processor", stats["ipv6"]["rx"],
+             f"forwarded={stats['ipv6']['forwarded']}"],
+            ["classifier", stats["classifier"]["rx"],
+             f"expedited={stats['classifier'].get('class:expedited', 0)} "
+             f"best-effort={stats['classifier'].get('class:best-effort', 0)}"],
+            ["queue (expedited)", stats["queue:expedited"]["rx"],
+             f"tx={stats['queue:expedited'].get('tx', 0)}"],
+            ["queue (best-effort)", stats["queue:best-effort"]["rx"],
+             f"tx={stats['queue:best-effort'].get('tx', 0)}"],
+            ["link scheduler", stats["scheduler"].get("tx", 0),
+             f"exp-served={stats['scheduler'].get('served:expedited', 0)}"],
+            ["forward sink", stats["sink"]["rx"], ""],
+        ]
+        report(
+            f"F3: Figure-3 composite over a {TRACE}-packet mixed trace",
+            ["stage ('Gw CF instance')", "packets", "detail"],
+            rows,
+        )
+        return capsule, composite, pipeline, stats
+
+    capsule, composite, pipeline, stats = once(benchmark, experiment)
+    sink_count = stats["sink"]["rx"]
+    recognised = stats["recogniser"]["rx"]
+    assert recognised == TRACE
+    assert stats["recogniser"]["v4"] + stats["recogniser"]["v6"] == TRACE
+    # Conservation through the pipeline (queues sized to the trace).
+    assert sink_count == TRACE
+    # Expedited class got strict priority: its queue fully served.
+    assert stats["queue:expedited"].get("tx", 0) == stats["queue:expedited"]["rx"]
+    assert capsule.architecture.check_consistency() == []
+
+
+def test_f3_constraints_and_acl(benchmark):
+    def experiment():
+        capsule = Capsule("figure3-mgmt")
+        composite, _ = build_figure3_composite(capsule)
+        controller = composite.controller
+        events = []
+        # The composite's topology is policed: closing a cycle is vetoed.
+        try:
+            composite.bind_internal(
+                "classifier", "out", "protocol-recogniser", "in0",
+                connection_name="loop",
+            )
+            events.append(["bind classifier->recogniser", "BUG: accepted"])
+        except ConstraintViolation as exc:
+            events.append(["bind classifier->recogniser", f"vetoed: {exc.reason[:40]}"])
+        # Constraint add/remove is policed by the controller's ACL.
+        try:
+            controller.remove_constraint("acyclic", principal="tenant")
+            events.append(["tenant removes acyclic", "BUG: allowed"])
+        except AccessDenied:
+            events.append(["tenant removes acyclic", "denied by ACL"])
+        controller.acl.grant("net-admin", "constraint.*")
+        controller.remove_constraint("acyclic", principal="net-admin")
+        events.append(["net-admin removes acyclic", "allowed"])
+        composite.bind_internal(
+            "classifier", "out", "protocol-recogniser", "in0",
+            connection_name="loop",
+        )
+        events.append(["bind classifier->recogniser (no constraint)", "accepted"])
+        report(
+            "F3b: controller-managed constraints policed by ACL",
+            ["management action", "outcome"],
+            [list(e) for e in events],
+        )
+        return events
+
+    events = once(benchmark, experiment)
+    assert events[0][1].startswith("vetoed")
+    assert events[1][1] == "denied by ACL"
+    assert events[-1][1] == "accepted"
+
+
+def test_f3_pipeline_throughput(benchmark):
+    """pytest-benchmark timing of one packet through the whole composite."""
+    capsule = Capsule("figure3-speed")
+    composite, pipeline = build_figure3_composite(capsule, queue_capacity=10)
+    trace = mixed_v4_v6_trace(count=256, seed=42)
+    state = {"i": 0}
+
+    def push_and_serve():
+        pipeline.push(trace[state["i"] % 256])
+        pipeline.service(budget=1)
+        state["i"] += 1
+
+    benchmark(push_and_serve)

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment prints its paper-style table (run pytest with ``-s`` to
+see them) and asserts on the *shape* of the result — who wins, in which
+direction, by roughly what factor — never on absolute timings, which are
+substrate-dependent.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+
+
+def report(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print one experiment table."""
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows))
+
+
+def once(benchmark, fn):
+    """Run a shape experiment exactly once under the benchmark fixture
+    (keeps ``--benchmark-only`` selecting every experiment)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Quickstart: build, inspect and reconfigure a component router.
+
+Walks the core NETKIT/OpenCOM workflow in five steps:
+
+1. host components in a capsule and bind them into a data path;
+2. push packets through it;
+3. inspect the running architecture through the meta-models;
+4. intercept a binding (reflective instrumentation);
+5. hot-swap a component under traffic without losing a packet.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.netsim import make_udp_v4
+from repro.opencom import Capsule, CallCounter
+from repro.router import (
+    Classifier,
+    CollectorSink,
+    FifoQueue,
+    IPv4HeaderProcessor,
+    RouterCF,
+)
+
+
+def main() -> None:
+    # 1. A capsule is an address space; components are instantiated into
+    #    it and composed with the bind primitive.
+    capsule = Capsule("quickstart-node")
+    cf = RouterCF()
+    capsule.adopt(cf, "router-cf")
+
+    v4 = capsule.instantiate(IPv4HeaderProcessor, "v4")
+    classifier = capsule.instantiate(
+        lambda: Classifier(default_output="best-effort"), "classifier"
+    )
+    fast_sink = capsule.instantiate(CollectorSink, "fast")
+    slow_sink = capsule.instantiate(CollectorSink, "slow")
+
+    capsule.bind(v4.receptacle("out"), classifier.interface("in0"))
+    capsule.bind(
+        classifier.receptacle("out"), fast_sink.interface("in0"),
+        connection_name="fast",
+    )
+    capsule.bind(
+        classifier.receptacle("out"), slow_sink.interface("in0"),
+        connection_name="best-effort",
+    )
+
+    # The Router CF checks its plug-in rules at accept time (Figure 2).
+    for component in (v4, classifier, fast_sink, slow_sink):
+        cf.accept(component)
+    cf.install_filter(classifier, "dport=5000-5999 -> fast priority=10")
+
+    # 2. Drive the data path.
+    for dport in (80, 5500, 5501, 443):
+        v4.interface("in0").vtable.invoke(
+            "push", make_udp_v4("10.0.0.1", "10.9.9.9", dport=dport)
+        )
+    print(f"fast sink:  {fast_sink.collected_count()} packets")
+    print(f"slow sink:  {slow_sink.collected_count()} packets")
+
+    # 3. Structural reflection: the architecture meta-model.
+    view = capsule.architecture.snapshot()
+    print(f"\narchitecture: {len(view.nodes)} components, {len(view.edges)} bindings")
+    print("classifier fans out to:", view.successors("classifier"))
+    print("consistency problems:", capsule.architecture.check_consistency())
+
+    # 4. Behavioural reflection: intercept the classifier's input.
+    counter = CallCounter()
+    counter.attach_to(classifier.interface("in0"))
+    v4.interface("in0").vtable.invoke(
+        "push", make_udp_v4("10.0.0.1", "10.9.9.9", dport=5999)
+    )
+    print(f"\nintercepted {counter.total()} call(s) at the vtable level")
+
+    # 5. Hot swap: replace the classifier with a fresh instance that
+    #    routes everything fast; bindings are preserved automatically.
+    def transfer(old, new):
+        pass  # a real swap could migrate the filter table here
+
+    replacement = capsule.architecture.replace_component(
+        classifier, lambda: Classifier(default_output="fast"),
+        transfer_state=transfer,
+    )
+    v4.interface("in0").vtable.invoke(
+        "push", make_udp_v4("10.0.0.1", "10.9.9.9", dport=80)
+    )
+    print(f"after hot swap: fast sink has {fast_sink.collected_count()} packets")
+    print("still consistent:", capsule.architecture.check_consistency() == [])
+
+
+if __name__ == "__main__":
+    main()

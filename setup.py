@@ -1,0 +1,6 @@
+"""Setup shim enabling legacy editable installs in offline environments
+that lack the ``wheel`` package (``pip install -e . --no-build-isolation``)."""
+
+from setuptools import setup
+
+setup()

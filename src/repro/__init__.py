@@ -1,0 +1,57 @@
+"""NETKIT reproduction: reflective middleware-based programmable networking.
+
+Reproduces Coulson et al., "Reflective Middleware-based Programmable
+Networking" (Reflective and Adaptive Middleware workshop, Middleware 2003):
+the OpenCOM reflective component model, component frameworks, and the four
+strata of programmable networking software -- hardware abstraction, in-band
+functions (the Router CF), application services (active networking), and
+coordination (RSVP-style signaling and Genesis-style spawning networks) --
+plus the IXP1200 placement meta-model and the Click/monolithic baselines.
+
+Sub-packages
+------------
+``repro.opencom``
+    The component model: interfaces, receptacles, capsules, the bind
+    primitive, and the interface/architecture/interception/resources
+    meta-models.
+``repro.cf``
+    Component-framework infrastructure: rules, composites with
+    controllers, bind constraints, ACLs.
+``repro.osbase``
+    Stratum 1: clock, timers, memory, buffer-management CF, cooperative
+    threads with pluggable schedulers, NIC model.
+``repro.netsim``
+    The discrete-event network simulator.
+``repro.router``
+    Stratum 2: the Router CF and its component library.
+``repro.appservices``
+    Stratum 3: execution environments, capsule programs, media filters.
+``repro.coordination``
+    Stratum 4: signaling, RSVP-like reservation, Genesis spawning,
+    distributed reconfiguration.
+``repro.ixp``
+    The IXP1200 model and placement meta-model.
+``repro.baselines``
+    Click-style and monolithic comparison routers.
+``repro.analysis``
+    Footprint accounting and benchmark statistics.
+"""
+
+__version__ = "1.0.0"
+
+from repro.opencom import (  # noqa: F401 - curated re-exports
+    Capsule,
+    Component,
+    Interface,
+    Provided,
+    Required,
+)
+
+__all__ = [
+    "Capsule",
+    "Component",
+    "Interface",
+    "Provided",
+    "Required",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Analysis helpers: footprint accounting and benchmark statistics."""
+
+from repro.analysis.footprint import (
+    COST_TABLE,
+    FootprintReport,
+    measure_capsule,
+    measure_tree,
+)
+from repro.analysis.stats import (
+    format_table,
+    mean,
+    median,
+    percentile,
+    relative_factor,
+    stddev,
+    summarise,
+)
+
+__all__ = [
+    "COST_TABLE",
+    "FootprintReport",
+    "format_table",
+    "mean",
+    "measure_capsule",
+    "measure_tree",
+    "median",
+    "percentile",
+    "relative_factor",
+    "stddev",
+    "summarise",
+]

@@ -1,0 +1,73 @@
+"""Small statistics and table-rendering helpers for the benchmark
+harness."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile, p in [0, 100]."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high or ordered[low] == ordered[high]:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def median(values: Sequence[float]) -> float:
+    """The 50th percentile."""
+    return percentile(values, 50)
+
+
+def summarise(values: Sequence[float]) -> dict[str, float]:
+    """mean / median / p95 / stddev / min / max in one dict."""
+    return {
+        "mean": mean(values),
+        "median": median(values),
+        "p95": percentile(values, 95),
+        "stddev": stddev(values),
+        "min": min(values) if values else 0.0,
+        "max": max(values) if values else 0.0,
+    }
+
+
+def relative_factor(baseline: float, candidate: float) -> float:
+    """candidate / baseline (inf when the baseline is zero)."""
+    if baseline == 0:
+        return float("inf")
+    return candidate / baseline
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render an aligned plain-text table (benchmark harness output)."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    separator = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), separator, *(line(row) for row in rendered)])

@@ -1,0 +1,55 @@
+"""Stratum 3 — application services: the active-network execution
+environment, capsule programs, code security, per-flow dispatch, and
+media filters."""
+
+from repro.appservices.capsules import (
+    CapsulePayload,
+    decode_capsule,
+    encode_capsule,
+    is_capsule_packet,
+    make_capsule_packet,
+)
+from repro.appservices.ee import ExecutionEnvironment
+from repro.appservices.flowmgr import FlowManager
+from repro.appservices.media_filter import (
+    FEC_PARITY_FLAG,
+    FecDecoder,
+    FecEncoder,
+    MediaDownsampler,
+    PayloadTruncator,
+)
+from repro.appservices.sandbox import (
+    CapsuleVM,
+    ExecutionResult,
+    validate_program,
+)
+from repro.appservices.security import (
+    CodeAdmission,
+    PrincipalPolicy,
+    SecurityError,
+    sign_code,
+    verify_signature,
+)
+
+__all__ = [
+    "CapsulePayload",
+    "CapsuleVM",
+    "CodeAdmission",
+    "ExecutionEnvironment",
+    "ExecutionResult",
+    "FEC_PARITY_FLAG",
+    "FecDecoder",
+    "FecEncoder",
+    "FlowManager",
+    "MediaDownsampler",
+    "PayloadTruncator",
+    "PrincipalPolicy",
+    "SecurityError",
+    "decode_capsule",
+    "encode_capsule",
+    "is_capsule_packet",
+    "make_capsule_packet",
+    "sign_code",
+    "validate_program",
+    "verify_signature",
+]

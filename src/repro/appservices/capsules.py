@@ -1,0 +1,94 @@
+"""Active capsules: packets carrying code (ANTS-style).
+
+A capsule packet is an ordinary IPv4 packet with protocol
+``PROTO_ACTIVE`` whose payload encodes ``(principal, signature, program,
+data)``.  Encoding uses ``repr``/``ast.literal_eval`` — safe (literals
+only), readable, and honest about size: programs really travel the wire
+and really get re-parsed at every hop.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Any
+
+from repro.appservices.sandbox import Program, validate_program
+from repro.appservices.security import sign_code
+from repro.netsim.packet import PROTO_ACTIVE, IPv4Header, Packet, PacketError, ipv4
+
+
+@dataclass
+class CapsulePayload:
+    """Decoded contents of an active packet."""
+
+    principal: str
+    signature: str
+    program: Program
+    data: dict[str, Any]
+
+    def code_bytes(self) -> bytes:
+        """The signed byte representation of the program."""
+        return repr(self.program).encode()
+
+
+def encode_capsule(
+    principal: str,
+    key: bytes,
+    program: Program,
+    data: dict[str, Any] | None = None,
+) -> bytes:
+    """Serialise and sign a capsule payload."""
+    problems = validate_program(program)
+    if problems:
+        raise PacketError("invalid capsule program: " + "; ".join(problems))
+    code = repr(program).encode()
+    signature = sign_code(key, code)
+    envelope = {
+        "principal": principal,
+        "signature": signature,
+        "program": program,
+        "data": data or {},
+    }
+    return repr(envelope).encode()
+
+
+def decode_capsule(payload: bytes) -> CapsulePayload:
+    """Parse a capsule payload (literals only — never executes anything)."""
+    try:
+        envelope = ast.literal_eval(payload.decode())
+    except (ValueError, SyntaxError, UnicodeDecodeError) as exc:
+        raise PacketError(f"malformed capsule payload: {exc}") from exc
+    if not isinstance(envelope, dict):
+        raise PacketError("capsule payload is not a dict")
+    try:
+        return CapsulePayload(
+            principal=envelope["principal"],
+            signature=envelope["signature"],
+            program=envelope["program"],
+            data=envelope["data"],
+        )
+    except KeyError as exc:
+        raise PacketError(f"capsule payload missing field {exc}") from exc
+
+
+def make_capsule_packet(
+    src: str | int,
+    dst: str | int,
+    principal: str,
+    key: bytes,
+    program: Program,
+    *,
+    data: dict[str, Any] | None = None,
+    ttl: int = 32,
+    created_at: float = 0.0,
+) -> Packet:
+    """Build an IPv4 active packet carrying a signed capsule."""
+    payload = encode_capsule(principal, key, program, data)
+    net = IPv4Header(src=ipv4(src), dst=ipv4(dst), ttl=ttl, protocol=PROTO_ACTIVE)
+    return Packet(net, None, payload, created_at=created_at)
+
+
+def is_capsule_packet(packet: Packet) -> bool:
+    """True for IPv4 packets carrying the active-network protocol number."""
+    return isinstance(packet.net, IPv4Header) and packet.net.protocol == PROTO_ACTIVE

@@ -1,0 +1,167 @@
+"""The active-network execution environment (stratum 3).
+
+An EE is a Router-CF-compliant component: active packets enter by
+IPacketPush, the carried program is admitted (signature check), executed
+in the sandbox, and the program's requested actions are applied — forward
+out of a named connection, broadcast, deliver locally, or drop.
+
+Each EE keeps a per-principal *soft store* (ANTS terminology) with a quota
+from the principal's policy, and execution statistics that the active-
+network experiments read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.appservices.capsules import decode_capsule, is_capsule_packet
+from repro.appservices.sandbox import CapsuleVM, ExecutionResult
+from repro.appservices.security import CodeAdmission, SecurityError
+from repro.netsim.packet import Packet, PacketError, format_ipv4
+from repro.opencom.errors import AccessDenied
+from repro.router.components.base import PushComponent
+
+
+class ExecutionEnvironment(PushComponent):
+    """ANTS-style EE as a Router CF plug-in.
+
+    Parameters
+    ----------
+    node_name:
+        Exposed to programs as environment key ``"node"``.
+    admission:
+        The code-admission registry (shared across a network's EEs when
+        trust is network-wide).
+    environment:
+        Extra read-only environment entries for programs.
+    """
+
+    def __init__(
+        self,
+        node_name: str,
+        admission: CodeAdmission,
+        *,
+        environment: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__()
+        self.node_name = node_name
+        self.admission = admission
+        self.extra_environment = dict(environment) if environment else {}
+        self._soft_stores: dict[str, dict] = {}
+        #: Local-delivery hook: called with (packet, capsule_data) on a
+        #: ``deliver`` action.
+        self.deliver_handler: Callable[[Packet, dict], None] | None = None
+        self.executions: list[ExecutionResult] = []
+        self.keep_results = 1000
+
+    # -- data path --------------------------------------------------------------
+
+    def process(self, packet: Packet) -> None:
+        """Admit, execute, and apply the program's actions."""
+        if not is_capsule_packet(packet):
+            self.count("drop:not-active")
+            return
+        try:
+            capsule = decode_capsule(packet.payload)
+        except PacketError:
+            self.count("drop:malformed")
+            return
+        try:
+            policy = self.admission.admit(
+                capsule.principal, capsule.code_bytes(), capsule.signature
+            )
+        except AccessDenied:
+            self.count("drop:untrusted-principal")
+            return
+        except SecurityError:
+            self.count("drop:bad-signature")
+            return
+
+        store = self._soft_stores.setdefault(capsule.principal, {})
+        vm = CapsuleVM(step_budget=policy.step_budget)
+        result = vm.execute(
+            capsule.program,
+            environment=self._environment_for(packet, capsule.data),
+            soft_store=store,
+        )
+        if len(store) > policy.soft_store_quota:
+            # Enforce the quota after the run: trim newest keys and flag it.
+            overflow = len(store) - policy.soft_store_quota
+            for key in list(store)[-overflow:]:
+                del store[key]
+            self.count("soft-store-trimmed")
+        if len(self.executions) < self.keep_results:
+            self.executions.append(result)
+        if result.status != "ok":
+            self.count("drop:program-error")
+            return
+        self.count("executed")
+        self._apply_actions(packet, result, policy.may_broadcast)
+
+    def _environment_for(self, packet: Packet, data: dict) -> dict[str, Any]:
+        env = {
+            "node": self.node_name,
+            "ttl": getattr(packet.net, "ttl", None),
+            "src": format_ipv4(packet.net.src),
+            "dst": format_ipv4(packet.net.dst),
+            "ingress": packet.metadata.get("ingress_port"),
+            "size": packet.size_bytes,
+        }
+        env.update(self.extra_environment)
+        # Capsule-carried data rides in the environment under its own keys
+        # (read-only to the program).
+        for key, value in data.items():
+            env[f"data.{key}"] = value
+        return env
+
+    def _apply_actions(
+        self, packet: Packet, result: ExecutionResult, may_broadcast: bool
+    ) -> None:
+        out = self.receptacle("out")
+        for action in result.actions:
+            kind = action[0]
+            if kind == "forward":
+                port = str(action[1])
+                if packet.net.ttl <= 1:
+                    self.count("drop:ttl-expired")
+                    continue
+                packet.net.ttl -= 1
+                packet.net.refresh_checksum()
+                self.emit(packet, port)
+            elif kind == "broadcast":
+                if not may_broadcast:
+                    self.count("drop:broadcast-forbidden")
+                    continue
+                ingress = packet.metadata.get("ingress_port")
+                if packet.net.ttl <= 1:
+                    self.count("drop:ttl-expired")
+                    continue
+                packet.net.ttl -= 1
+                packet.net.refresh_checksum()
+                for port in out.connection_names():
+                    if port == ingress:
+                        continue
+                    clone = packet.copy()
+                    clone.metadata["ingress_port"] = packet.metadata.get("ingress_port")
+                    self.emit(clone, port)
+            elif kind == "deliver":
+                self.count("delivered")
+                if self.deliver_handler is not None:
+                    try:
+                        capsule = decode_capsule(packet.payload)
+                        self.deliver_handler(packet, capsule.data)
+                    except PacketError:
+                        self.count("drop:malformed")
+            elif kind == "drop":
+                self.count("dropped-by-program")
+
+    # -- introspection -----------------------------------------------------------------
+
+    def soft_store(self, principal: str) -> dict:
+        """The (live) soft store of one principal."""
+        return self._soft_stores.setdefault(principal, {})
+
+    def execution_count(self) -> int:
+        """Successful executions so far."""
+        return self.counters["executed"]

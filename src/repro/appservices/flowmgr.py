@@ -1,0 +1,64 @@
+"""Per-flow module dispatch (Washington University "router plugins" style).
+
+Section 6 cites Decasper et al.'s pluggable per-flow modules as the
+stratum-3 comparison point; :class:`FlowManager` reproduces the pattern as
+a Router CF plug-in: flows are bound to named processing chains by filter
+match, with an LRU-bounded flow table so state cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.netsim.packet import Packet
+from repro.router.components.base import PushComponent
+from repro.router.filters import FilterTable
+
+
+class FlowManager(PushComponent):
+    """Flow-table dispatch to named per-flow outputs.
+
+    The first packet of a flow is classified by the filter table and the
+    decision is cached under the flow key; subsequent packets hit the
+    cache.  Evicted or unmatched flows go to *default_output* (or are
+    dropped when it is None).
+    """
+
+    STATE_ATTRS = ("_flow_table",)
+
+    def __init__(self, *, max_flows: int = 1024, default_output: str | None = None) -> None:
+        super().__init__()
+        self.filters = FilterTable()
+        self.max_flows = max_flows
+        self.default_output = default_output
+        self._flow_table: OrderedDict[tuple, str] = OrderedDict()
+
+    def bind_flow_class(self, spec_text: str) -> int:
+        """Install a filter mapping matching flows to an output chain."""
+        return self.filters.add(spec_text)
+
+    def process(self, packet: Packet) -> None:
+        """Dispatch by cached flow decision (classifying on first sight)."""
+        key = packet.flow_key()
+        output = self._flow_table.get(key)
+        if output is not None:
+            self._flow_table.move_to_end(key)
+            self.count("hit")
+        else:
+            self.count("miss")
+            spec = self.filters.classify(packet)
+            output = spec.output if spec is not None else self.default_output
+            if output is None:
+                self.count("drop:no-flow-class")
+                return
+            self._flow_table[key] = output
+            if len(self._flow_table) > self.max_flows:
+                self._flow_table.popitem(last=False)
+                self.count("evicted")
+        packet.metadata["flow_class"] = output
+        self.emit(packet, output)
+
+    @property
+    def flow_count(self) -> int:
+        """Live entries in the flow table."""
+        return len(self._flow_table)

@@ -1,0 +1,170 @@
+"""Per-flow media filters (stratum 3).
+
+The paper's example of application services: "per-flow media filters".
+These are Router-CF-compliant push components that transform media-like
+payloads:
+
+- :class:`MediaDownsampler` — drops every k-th media frame (rate
+  adaptation for constrained links);
+- :class:`PayloadTruncator` — quality reduction by payload truncation
+  (layered-codec analogue: keep the base layer);
+- :class:`FecEncoder` / :class:`FecDecoder` — XOR parity across groups of
+  *k* packets; the decoder reconstructs a single missing packet per group,
+  which is what the adaptive-wireless experiment (C9) switches on when the
+  link-layer loss signal rises.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet import Packet, UDPHeader
+from repro.router.components.base import PushComponent
+
+#: Metadata/flow marker carried by parity packets.
+FEC_PARITY_FLAG = "fec-parity"
+
+
+class MediaDownsampler(PushComponent):
+    """Forward ``keep`` of every ``out_of`` packets per flow (temporal
+    downsampling)."""
+
+    STATE_ATTRS = ("_positions",)
+
+    def __init__(self, *, keep: int = 1, out_of: int = 2) -> None:
+        if not 0 < keep <= out_of:
+            raise ValueError("need 0 < keep <= out_of")
+        super().__init__()
+        self.keep = keep
+        self.out_of = out_of
+        self._positions: dict[tuple, int] = {}
+
+    def process(self, packet: Packet) -> None:
+        """Keep the first *keep* of each *out_of*-packet window."""
+        key = packet.flow_key()
+        position = self._positions.get(key, 0)
+        self._positions[key] = (position + 1) % self.out_of
+        if position < self.keep:
+            self.count("kept")
+            self.emit(packet)
+        else:
+            self.count("downsampled")
+
+
+class PayloadTruncator(PushComponent):
+    """Truncate payloads to *max_payload* bytes (keep the base layer)."""
+
+    def __init__(self, *, max_payload: int = 256) -> None:
+        super().__init__()
+        self.max_payload = max_payload
+
+    def process(self, packet: Packet) -> None:
+        """Truncate oversized payloads, fixing lengths and checksums."""
+        if len(packet.payload) > self.max_payload:
+            packet.payload = packet.payload[: self.max_payload]
+            if isinstance(packet.transport, UDPHeader):
+                packet.transport.length = UDPHeader.HEADER_LEN + len(packet.payload)
+            packet._refresh_lengths()
+            self.count("truncated")
+        else:
+            self.count("untouched")
+        self.emit(packet)
+
+
+class FecEncoder(PushComponent):
+    """XOR-parity FEC: after every *group_size* data packets of a flow,
+    emit one parity packet covering the group."""
+
+    STATE_ATTRS = ("_groups",)
+
+    def __init__(self, *, group_size: int = 4) -> None:
+        if group_size < 2:
+            raise ValueError("group_size must be >= 2")
+        super().__init__()
+        self.group_size = group_size
+        self._groups: dict[tuple, list[Packet]] = {}
+
+    def process(self, packet: Packet) -> None:
+        """Forward the data packet; emit parity at group boundaries."""
+        packet.metadata.setdefault("fec-group-seq", {})
+        key = packet.flow_key()
+        group = self._groups.setdefault(key, [])
+        packet.metadata["fec-index"] = len(group)
+        group.append(packet)
+        self.count("data")
+        self.emit(packet)
+        if len(group) >= self.group_size:
+            parity = self._make_parity(group)
+            self._groups[key] = []
+            self.count("parity")
+            self.emit(parity)
+
+    def _make_parity(self, group: list[Packet]) -> Packet:
+        width = max(len(p.payload) for p in group)
+        parity_payload = bytearray(width)
+        for member in group:
+            for i, byte in enumerate(member.payload):
+                parity_payload[i] ^= byte
+        template = group[-1]
+        parity = template.copy()
+        parity.payload = bytes(parity_payload)
+        if isinstance(parity.transport, UDPHeader):
+            parity.transport.length = UDPHeader.HEADER_LEN + len(parity.payload)
+        parity._refresh_lengths()
+        parity.metadata[FEC_PARITY_FLAG] = True
+        parity.metadata["fec-covers"] = len(group)
+        return parity
+
+
+class FecDecoder(PushComponent):
+    """Reconstruct one missing packet per FEC group from the parity.
+
+    Tracks groups by flow; when a parity packet arrives and exactly one
+    data packet of its group is missing, the payload is recovered by XOR
+    and a reconstructed packet is emitted (counted ``recovered``).
+    """
+
+    STATE_ATTRS = ("_groups",)
+
+    def __init__(self, *, group_size: int = 4) -> None:
+        super().__init__()
+        self.group_size = group_size
+        self._groups: dict[tuple, dict[int, Packet]] = {}
+
+    def process(self, packet: Packet) -> None:
+        """Pass data through (recording it); consume parity packets."""
+        key = packet.flow_key()
+        if packet.metadata.get(FEC_PARITY_FLAG):
+            self._handle_parity(key, packet)
+            return
+        index = packet.metadata.get("fec-index")
+        if index is not None:
+            group = self._groups.setdefault(key, {})
+            group[index] = packet
+        self.count("data")
+        self.emit(packet)
+
+    def _handle_parity(self, key: tuple, parity: Packet) -> None:
+        covers = parity.metadata.get("fec-covers", self.group_size)
+        group = self._groups.pop(key, {})
+        received = {i: p for i, p in group.items() if i < covers}
+        missing = [i for i in range(covers) if i not in received]
+        if not missing:
+            self.count("parity-unneeded")
+            return
+        if len(missing) > 1:
+            self.count("parity-insufficient")
+            return
+        width = len(parity.payload)
+        recovered_payload = bytearray(parity.payload)
+        for member in received.values():
+            for i, byte in enumerate(member.payload[:width]):
+                recovered_payload[i] ^= byte
+        template = next(iter(received.values()), parity)
+        recovered = template.copy()
+        recovered.payload = bytes(recovered_payload)
+        if isinstance(recovered.transport, UDPHeader):
+            recovered.transport.length = UDPHeader.HEADER_LEN + len(recovered.payload)
+        recovered._refresh_lengths()
+        recovered.metadata["fec-recovered"] = True
+        recovered.metadata.pop(FEC_PARITY_FLAG, None)
+        self.count("recovered")
+        self.emit(recovered)

@@ -1,0 +1,225 @@
+"""A sandboxed interpreter for active-network capsule programs.
+
+ANTS-style active packets carry *programs* executed at every visited node.
+Arbitrary Python is not a sandbox, so capsule code here is a tiny
+register-based instruction language interpreted under hard resource
+limits: a step budget, a register/stack cap, and an environment API that
+exposes only deliberate node capabilities (soft-store get/put, route
+lookup, forward, spawn).
+
+Instructions are tuples ``(op, *args)``.  Registers are named by strings.
+
+Core ops
+--------
+``("set", reg, value)``            load a constant
+``("mov", dst, src)``              copy register
+``("add"|"sub"|"mul", dst, a, b)`` arithmetic over registers/constants
+``("cmp", dst, a, op, b)``         comparison ('<', '<=', '==', '!=', '>', '>=')
+``("jmp", offset)``                relative jump
+``("jif", reg, offset)``           jump when register is truthy
+``("env", dst, key)``              read environment value (node name, ttl, ...)
+``("load", dst, key)``             soft-store read (None when absent)
+``("store", key, reg)``            soft-store write
+``("forward", port_reg_or_name)``  request forwarding out of a port
+``("broadcast",)``                 request flooding to all ports but ingress
+``("deliver",)``                   request local delivery of the payload
+``("drop",)``                      discard the capsule
+``("trace", reg)``                 append a value to the execution trace
+``("halt",)``                      stop
+
+The VM never raises into the EE: all failures (bad op, budget exhausted,
+type errors) terminate execution with ``status="error"`` and a reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+Instruction = tuple
+Program = list
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one capsule program at one node."""
+
+    status: str  # "ok" | "error"
+    reason: str = ""
+    steps: int = 0
+    #: Actions the program requested, in order: ("forward", port),
+    #: ("broadcast",), ("deliver",), ("drop",).
+    actions: list[tuple] = field(default_factory=list)
+    trace: list[Any] = field(default_factory=list)
+    registers: dict[str, Any] = field(default_factory=dict)
+
+
+_COMPARATORS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_MAX_REGISTERS = 64
+_MAX_VALUE_LEN = 4096
+
+
+class CapsuleVM:
+    """The sandboxed interpreter.
+
+    Parameters
+    ----------
+    step_budget:
+        Maximum instructions executed per run; exceeding it is an error
+        (runaway active code cannot monopolise a node).
+    """
+
+    def __init__(self, *, step_budget: int = 512) -> None:
+        self.step_budget = step_budget
+
+    def execute(
+        self,
+        program: Program,
+        *,
+        environment: dict[str, Any] | None = None,
+        soft_store: dict[str, Any] | None = None,
+    ) -> ExecutionResult:
+        """Run *program*; returns an :class:`ExecutionResult`.
+
+        ``environment`` is read-only to the program; ``soft_store`` is the
+        node's per-protocol persistent store, mutated in place by
+        ``store`` ops.
+        """
+        env = environment or {}
+        store = soft_store if soft_store is not None else {}
+        result = ExecutionResult(status="ok")
+        registers: dict[str, Any] = {}
+        pc = 0
+
+        def value_of(operand: Any) -> Any:
+            if isinstance(operand, str) and operand in registers:
+                return registers[operand]
+            return operand
+
+        def set_register(name: Any, value: Any) -> str | None:
+            if not isinstance(name, str):
+                return f"register name must be a string, got {name!r}"
+            if name not in registers and len(registers) >= _MAX_REGISTERS:
+                return f"register limit ({_MAX_REGISTERS}) exceeded"
+            if isinstance(value, (bytes, str)) and len(value) > _MAX_VALUE_LEN:
+                return "value too large"
+            registers[name] = value
+            return None
+
+        while pc < len(program):
+            if result.steps >= self.step_budget:
+                result.status = "error"
+                result.reason = f"step budget ({self.step_budget}) exhausted"
+                break
+            result.steps += 1
+            instruction = program[pc]
+            if not isinstance(instruction, tuple) or not instruction:
+                result.status = "error"
+                result.reason = f"malformed instruction at {pc}: {instruction!r}"
+                break
+            op = instruction[0]
+            error: str | None = None
+            jump: int | None = None
+            try:
+                if op == "set":
+                    error = set_register(instruction[1], instruction[2])
+                elif op == "mov":
+                    error = set_register(instruction[1], value_of(instruction[2]))
+                elif op in ("add", "sub", "mul"):
+                    a, b = value_of(instruction[2]), value_of(instruction[3])
+                    if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+                        error = f"{op} needs numbers, got {a!r}, {b!r}"
+                    else:
+                        combined = (
+                            a + b if op == "add" else a - b if op == "sub" else a * b
+                        )
+                        error = set_register(instruction[1], combined)
+                elif op == "cmp":
+                    comparator = _COMPARATORS.get(instruction[3])
+                    if comparator is None:
+                        error = f"unknown comparator {instruction[3]!r}"
+                    else:
+                        a = value_of(instruction[2])
+                        b = value_of(instruction[4])
+                        error = set_register(instruction[1], bool(comparator(a, b)))
+                elif op == "jmp":
+                    jump = int(instruction[1])
+                elif op == "jif":
+                    if value_of(instruction[1]):
+                        jump = int(instruction[2])
+                elif op == "env":
+                    error = set_register(instruction[1], env.get(instruction[2]))
+                elif op == "load":
+                    error = set_register(instruction[1], store.get(value_of(instruction[2])))
+                elif op == "store":
+                    key = value_of(instruction[1])
+                    if not isinstance(key, (str, int)):
+                        error = f"store key must be str or int, got {key!r}"
+                    else:
+                        store[key] = value_of(instruction[2])
+                elif op == "forward":
+                    result.actions.append(("forward", value_of(instruction[1])))
+                elif op == "broadcast":
+                    result.actions.append(("broadcast",))
+                elif op == "deliver":
+                    result.actions.append(("deliver",))
+                elif op == "drop":
+                    result.actions.append(("drop",))
+                    break
+                elif op == "trace":
+                    result.trace.append(value_of(instruction[1]))
+                elif op == "halt":
+                    break
+                else:
+                    error = f"unknown op {op!r}"
+            except (TypeError, ValueError, IndexError) as exc:
+                error = f"{op} failed: {exc}"
+            if error is not None:
+                result.status = "error"
+                result.reason = f"at {pc}: {error}"
+                break
+            pc = pc + 1 + jump if jump is not None else pc + 1
+            if pc < 0:
+                result.status = "error"
+                result.reason = "jump before program start"
+                break
+        result.registers = registers
+        return result
+
+
+def validate_program(program: Any) -> list[str]:
+    """Static checks run before accepting a capsule program: structure,
+    op names, jump targets.  Returns problems (empty = acceptable)."""
+    problems: list[str] = []
+    if not isinstance(program, list):
+        return [f"program must be a list, got {type(program).__name__}"]
+    known_ops = {
+        "set", "mov", "add", "sub", "mul", "cmp", "jmp", "jif", "env",
+        "load", "store", "forward", "broadcast", "deliver", "drop",
+        "trace", "halt",
+    }
+    for index, instruction in enumerate(program):
+        if not isinstance(instruction, tuple) or not instruction:
+            problems.append(f"instruction {index} is not a non-empty tuple")
+            continue
+        if instruction[0] not in known_ops:
+            problems.append(f"instruction {index}: unknown op {instruction[0]!r}")
+        if instruction[0] in ("jmp", "jif"):
+            offset = instruction[-1]
+            if not isinstance(offset, int):
+                problems.append(f"instruction {index}: jump offset must be int")
+            else:
+                target = index + 1 + offset
+                if not 0 <= target <= len(program):
+                    problems.append(
+                        f"instruction {index}: jump target {target} out of range"
+                    )
+    return problems

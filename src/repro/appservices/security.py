@@ -1,0 +1,101 @@
+"""Code security for the application-services stratum.
+
+"Here, security is typically more of a concern than raw performance"
+(section 3).  Active code is admitted by *signature*: a code publisher
+holds a key, signs the serialised program (HMAC-SHA256), and the execution
+environment verifies the signature against its registry of trusted
+principals before running anything.  Per-principal resource policy (step
+budget, soft-store quota) rides along with the trust grant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.opencom.errors import AccessDenied, OpenComError
+
+
+class SecurityError(OpenComError):
+    """Signature verification or policy failure."""
+
+
+def sign_code(key: bytes, code: bytes) -> str:
+    """HMAC-SHA256 signature of serialised capsule code."""
+    return hmac.new(key, code, hashlib.sha256).hexdigest()
+
+
+def verify_signature(key: bytes, code: bytes, signature: str) -> bool:
+    """Constant-time signature check."""
+    return hmac.compare_digest(sign_code(key, code), signature)
+
+
+@dataclass
+class PrincipalPolicy:
+    """Per-principal execution policy."""
+
+    principal: str
+    key: bytes
+    step_budget: int = 512
+    soft_store_quota: int = 128
+    may_broadcast: bool = False
+
+
+class CodeAdmission:
+    """Registry of trusted code publishers and their policies."""
+
+    def __init__(self) -> None:
+        self._policies: dict[str, PrincipalPolicy] = {}
+        self.admitted = 0
+        self.rejected = 0
+
+    def trust(
+        self,
+        principal: str,
+        key: bytes,
+        *,
+        step_budget: int = 512,
+        soft_store_quota: int = 128,
+        may_broadcast: bool = False,
+    ) -> PrincipalPolicy:
+        """Grant trust to a publisher (records key + policy)."""
+        policy = PrincipalPolicy(
+            principal, key, step_budget, soft_store_quota, may_broadcast
+        )
+        self._policies[principal] = policy
+        return policy
+
+    def revoke(self, principal: str) -> None:
+        """Withdraw trust."""
+        self._policies.pop(principal, None)
+
+    def is_trusted(self, principal: str) -> bool:
+        """True when the principal has a live trust grant."""
+        return principal in self._policies
+
+    def admit(self, principal: str, code: bytes, signature: str) -> PrincipalPolicy:
+        """Verify *code* was signed by *principal*; returns the policy.
+
+        Raises
+        ------
+        AccessDenied
+            Unknown principal.
+        SecurityError
+            Bad signature.
+        """
+        policy = self._policies.get(principal)
+        if policy is None:
+            self.rejected += 1
+            raise AccessDenied(principal, "execute-active-code")
+        if not verify_signature(policy.key, code, signature):
+            self.rejected += 1
+            raise SecurityError(
+                f"signature verification failed for principal {principal!r}"
+            )
+        self.admitted += 1
+        return policy
+
+    def principals(self) -> list[str]:
+        """Trusted principal names."""
+        return sorted(self._policies)

@@ -1,0 +1,28 @@
+"""Comparison baselines: a Click-style static modular router and a
+monolithic hard-coded router (section 6's related-work contrast)."""
+
+from repro.baselines.click import (
+    ClickClassifier,
+    ClickElement,
+    ClickError,
+    ClickQueue,
+    ClickRouter,
+    ClickScheduler,
+    ClickSink,
+    apply_class_filters,
+    standard_click_config,
+)
+from repro.baselines.monolithic import MonolithicRouter
+
+__all__ = [
+    "ClickClassifier",
+    "ClickElement",
+    "ClickError",
+    "ClickQueue",
+    "ClickRouter",
+    "ClickScheduler",
+    "ClickSink",
+    "MonolithicRouter",
+    "apply_class_filters",
+    "standard_click_config",
+]

@@ -1,0 +1,312 @@
+"""A Click-style modular router baseline.
+
+Section 6: "The Click modular router employs a fine grained C++-based
+component model with flexible support for the configuration (but not
+reconfiguration) of packet scheduling, route lookup and queue drop
+modules".  This baseline reproduces exactly that contrast:
+
+- elements are plain Python objects composed from a declarative config
+  (flexible *configuration*);
+- connections are direct attribute references — no vtables, no
+  receptacles, no interception points (fast, opaque);
+- there is **no reconfiguration**: any change requires tearing the router
+  down and rebuilding from a new config, and everything queued in the old
+  instance is lost.  :meth:`ClickRouter.reconfigure` makes that cost
+  explicit by counting the packets dropped on the floor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.netsim.packet import IPv4Header, IPv6Header, Packet
+from repro.opencom.errors import OpenComError
+from repro.router.components.forwarding import LpmTable
+from repro.router.filters import FilterTable
+
+
+class ClickError(OpenComError):
+    """Bad Click configuration."""
+
+
+class ClickElement:
+    """Base element: single output, direct call."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.next: "ClickElement | None" = None
+        self.counters: dict[str, int] = {}
+
+    def count(self, key: str) -> None:
+        self.counters[key] = self.counters.get(key, 0) + 1
+
+    def push(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def emit(self, packet: Packet) -> None:
+        if self.next is not None:
+            self.next.push(packet)
+
+
+class ClickCheckHeader(ClickElement):
+    """CheckIPHeader: checksum + TTL handling."""
+
+    def push(self, packet: Packet) -> None:
+        net = packet.net
+        if isinstance(net, IPv4Header):
+            if not net.checksum_ok():
+                self.count("drop:bad-checksum")
+                return
+            if net.ttl <= 1:
+                self.count("drop:ttl")
+                return
+            net.ttl -= 1
+            net.refresh_checksum()
+        elif isinstance(net, IPv6Header):
+            if net.hop_limit <= 1:
+                self.count("drop:ttl")
+                return
+            net.hop_limit -= 1
+        self.count("ok")
+        self.emit(packet)
+
+
+class ClickClassifier(ClickElement):
+    """Classifier with named outputs (multi-output element)."""
+
+    def __init__(self, name: str, default_output: str | None = None) -> None:
+        super().__init__(name)
+        self.table = FilterTable()
+        self.outputs: dict[str, ClickElement] = {}
+        self.default_output = default_output
+
+    def push(self, packet: Packet) -> None:
+        spec = self.table.classify(packet)
+        output = spec.output if spec is not None else self.default_output
+        target = self.outputs.get(output) if output else None
+        if target is None:
+            self.count("drop:unclassified")
+            return
+        self.count(f"class:{output}")
+        target.push(packet)
+
+
+class ClickQueue(ClickElement):
+    """Bounded FIFO; pulled by a scheduler."""
+
+    def __init__(self, name: str, capacity: int = 128) -> None:
+        super().__init__(name)
+        self.capacity = capacity
+        self.queue: deque[Packet] = deque()
+
+    def push(self, packet: Packet) -> None:
+        if len(self.queue) >= self.capacity:
+            self.count("drop:overflow")
+            return
+        self.queue.append(packet)
+
+    def pull(self) -> Packet | None:
+        if not self.queue:
+            return None
+        return self.queue.popleft()
+
+
+class ClickLookup(ClickElement):
+    """LPM route lookup with per-hop outputs."""
+
+    def __init__(self, name: str, routes: dict[str, str]) -> None:
+        super().__init__(name)
+        self.table = LpmTable()
+        self.table.load(routes)
+        self.outputs: dict[str, ClickElement] = {}
+
+    def push(self, packet: Packet) -> None:
+        hop = self.table.lookup(packet.net.dst, version=packet.version)
+        target = self.outputs.get(hop) if hop else None
+        if target is None:
+            self.count("drop:no-route")
+            return
+        self.count(f"hop:{hop}")
+        target.push(packet)
+
+
+class ClickScheduler(ClickElement):
+    """Strict-priority pull scheduler over named queues."""
+
+    def __init__(self, name: str, order: list[str]) -> None:
+        super().__init__(name)
+        self.order = list(order)
+        self.queues: dict[str, ClickQueue] = {}
+
+    def push(self, packet: Packet) -> None:
+        raise ClickError("schedulers are pull elements")
+
+    def service(self, budget: int = 1) -> int:
+        serviced = 0
+        while serviced < budget:
+            packet = None
+            for queue_name in self.order:
+                queue = self.queues.get(queue_name)
+                if queue is not None:
+                    packet = queue.pull()
+                    if packet is not None:
+                        break
+            if packet is None:
+                break
+            self.count("tx")
+            self.emit(packet)
+            serviced += 1
+        return serviced
+
+
+class ClickSink(ClickElement):
+    """Terminal element (Discard / ToDevice stand-in)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.packets: list[Packet] = []
+
+    def push(self, packet: Packet) -> None:
+        self.count("rx")
+        self.packets.append(packet)
+
+
+class ClickRouter:
+    """A router built once from a config dict.
+
+    Config format (see :func:`standard_click_config` for a template)::
+
+        {"elements": {name: (kind, kwargs)},
+         "links": [(src, dst)],                  # single-output wiring
+         "outputs": {src: {output_name: dst}},   # multi-output wiring
+         "scheduler_queues": {sched: {qname: queue_element}}}
+    """
+
+    KINDS = {
+        "check": ClickCheckHeader,
+        "classifier": ClickClassifier,
+        "queue": ClickQueue,
+        "lookup": ClickLookup,
+        "scheduler": ClickScheduler,
+        "sink": ClickSink,
+    }
+
+    def __init__(self, config: dict[str, Any]) -> None:
+        self.config = config
+        self.elements: dict[str, ClickElement] = {}
+        self.generation = 0
+        self.reconfiguration_losses = 0
+        self._build(config)
+
+    def _build(self, config: dict[str, Any]) -> None:
+        self.elements.clear()
+        for name, (kind, kwargs) in config.get("elements", {}).items():
+            klass = self.KINDS.get(kind)
+            if klass is None:
+                raise ClickError(f"unknown element kind {kind!r}")
+            self.elements[name] = klass(name, **kwargs)
+        for src, dst in config.get("links", []):
+            self.elements[src].next = self.elements[dst]
+        for src, outputs in config.get("outputs", {}).items():
+            element = self.elements[src]
+            if not hasattr(element, "outputs"):
+                raise ClickError(f"element {src!r} has no named outputs")
+            element.outputs = {
+                output: self.elements[dst] for output, dst in outputs.items()
+            }
+        for sched, queues in config.get("scheduler_queues", {}).items():
+            scheduler = self.elements[sched]
+            if not isinstance(scheduler, ClickScheduler):
+                raise ClickError(f"element {sched!r} is not a scheduler")
+            scheduler.queues = {
+                qname: self.elements[qelem] for qname, qelem in queues.items()
+            }
+        self.entry_name = config.get("entry")
+        if self.entry_name not in self.elements:
+            raise ClickError(f"entry element {self.entry_name!r} missing")
+        self.generation += 1
+
+    # -- operation ------------------------------------------------------------------
+
+    def push(self, packet: Packet) -> None:
+        """Inject one packet at the entry element."""
+        self.elements[self.entry_name].push(packet)
+
+    def service(self, budget: int = 64) -> int:
+        """Pump every scheduler element."""
+        serviced = 0
+        for element in self.elements.values():
+            if isinstance(element, ClickScheduler):
+                serviced += element.service(budget)
+        return serviced
+
+    def reconfigure(self, new_config: dict[str, Any]) -> int:
+        """Replace the configuration — the only way Click changes.
+
+        The router is rebuilt from scratch; every packet queued in the old
+        instance is lost.  Returns the number of packets dropped by the
+        rebuild (also accumulated in :attr:`reconfiguration_losses`).
+        """
+        stranded = sum(
+            len(element.queue)
+            for element in self.elements.values()
+            if isinstance(element, ClickQueue)
+        )
+        self.reconfiguration_losses += stranded
+        self.config = new_config
+        self._build(new_config)
+        return stranded
+
+    def sink(self, name: str) -> ClickSink:
+        """A sink element by name (typed accessor for tests)."""
+        element = self.elements[name]
+        if not isinstance(element, ClickSink):
+            raise ClickError(f"element {name!r} is not a sink")
+        return element
+
+
+def standard_click_config(
+    *,
+    routes: dict[str, str],
+    queue_capacity: int = 128,
+    classes: tuple[str, ...] = ("expedited", "best-effort"),
+    class_filters: list[str] | None = None,
+) -> dict[str, Any]:
+    """The Click equivalent of the Figure-3 data path: check -> classify ->
+    per-class queues -> priority scheduler -> lookup -> per-hop sinks."""
+    elements: dict[str, Any] = {
+        "check": ("check", {}),
+        "classify": ("classifier", {"default_output": classes[-1]}),
+        "sched": ("scheduler", {"order": list(classes)}),
+        "lookup": ("lookup", {"routes": routes}),
+    }
+    outputs: dict[str, dict[str, str]] = {"classify": {}, "lookup": {}}
+    scheduler_queues: dict[str, dict[str, str]] = {"sched": {}}
+    for klass in classes:
+        elements[f"q-{klass}"] = ("queue", {"capacity": queue_capacity})
+        outputs["classify"][klass] = f"q-{klass}"
+        scheduler_queues["sched"][klass] = f"q-{klass}"
+    for hop in sorted(set(routes.values())):
+        elements[f"sink-{hop}"] = ("sink", {})
+        outputs["lookup"][hop] = f"sink-{hop}"
+    config = {
+        "elements": elements,
+        "links": [("check", "classify"), ("sched", "lookup")],
+        "outputs": outputs,
+        "scheduler_queues": scheduler_queues,
+        "entry": "check",
+    }
+    if class_filters:
+        # Filters are installed post-build by the caller via the element;
+        # record them so rebuilds can re-install.
+        config["class_filters"] = list(class_filters)
+    return config
+
+
+def apply_class_filters(router: ClickRouter) -> None:
+    """Install the config's class filters on the classifier element."""
+    for text in router.config.get("class_filters", []):
+        classifier = router.elements["classify"]
+        if isinstance(classifier, ClickClassifier):
+            classifier.table.add(text)

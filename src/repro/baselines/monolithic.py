@@ -1,0 +1,100 @@
+"""A monolithic router baseline: one hard-coded function.
+
+The zero-flexibility end of the design space: header validation,
+classification, queueing, scheduling and route lookup are a single code
+path with no component boundaries at all.  It is the fastest thing the
+data-path benchmark (C6) measures and the thing that *cannot* be
+reconfigured in experiment C4 — changing anything means changing the
+source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.netsim.packet import IPv4Header, IPv6Header, Packet
+from repro.router.components.forwarding import LpmTable
+from repro.router.filters import FilterTable
+
+
+class MonolithicRouter:
+    """Fixed two-class priority router with LPM forwarding."""
+
+    def __init__(
+        self,
+        routes: dict[str, str],
+        *,
+        queue_capacity: int = 128,
+        expedited_filters: list[str] | None = None,
+    ) -> None:
+        self.table = LpmTable()
+        self.table.load(routes)
+        self.filters = FilterTable()
+        for text in expedited_filters or []:
+            self.filters.add(text)
+        self.queue_capacity = queue_capacity
+        self._expedited: deque[Packet] = deque()
+        self._best_effort: deque[Packet] = deque()
+        self.delivered: dict[str, list[Packet]] = {
+            hop: [] for hop in set(routes.values())
+        }
+        self.counters = {
+            "rx": 0,
+            "tx": 0,
+            "drop:bad-checksum": 0,
+            "drop:ttl": 0,
+            "drop:overflow": 0,
+            "drop:no-route": 0,
+        }
+
+    def push(self, packet: Packet) -> None:
+        """The whole ingress path, inlined."""
+        self.counters["rx"] += 1
+        net = packet.net
+        if isinstance(net, IPv4Header):
+            if not net.checksum_ok():
+                self.counters["drop:bad-checksum"] += 1
+                return
+            if net.ttl <= 1:
+                self.counters["drop:ttl"] += 1
+                return
+            net.ttl -= 1
+            net.refresh_checksum()
+        elif isinstance(net, IPv6Header):
+            if net.hop_limit <= 1:
+                self.counters["drop:ttl"] += 1
+                return
+            net.hop_limit -= 1
+        queue = (
+            self._expedited
+            if self.filters.classify(packet) is not None
+            else self._best_effort
+        )
+        if len(queue) >= self.queue_capacity:
+            self.counters["drop:overflow"] += 1
+            return
+        queue.append(packet)
+
+    def service(self, budget: int = 64) -> int:
+        """The whole egress path, inlined (strict priority + LPM)."""
+        serviced = 0
+        while serviced < budget:
+            if self._expedited:
+                packet = self._expedited.popleft()
+            elif self._best_effort:
+                packet = self._best_effort.popleft()
+            else:
+                break
+            hop = self.table.lookup(packet.net.dst, version=packet.version)
+            if hop is None:
+                self.counters["drop:no-route"] += 1
+            else:
+                self.delivered.setdefault(hop, []).append(packet)
+                self.counters["tx"] += 1
+            serviced += 1
+        return serviced
+
+    @property
+    def queued(self) -> int:
+        """Packets currently queued."""
+        return len(self._expedited) + len(self._best_effort)

@@ -1,0 +1,51 @@
+"""Component-framework (CF) infrastructure: rule-governed plug-in domains,
+composites with controllers, topology constraints and ACLs."""
+
+from repro.cf.acl import AccessControlList
+from repro.cf.composite import CompositeComponent, Controller
+from repro.cf.constraints import (
+    TopologyConstraint,
+    acyclic,
+    component_state_transfer,
+    frozen_topology,
+    max_fan_out,
+    no_binding_from,
+    no_binding_to,
+    only_interface_type,
+    pipeline_order,
+)
+from repro.cf.framework import ComponentFramework
+from repro.cf.rules import (
+    AtLeastOneOf,
+    ConditionalRule,
+    InterfaceNamePattern,
+    PredicateRule,
+    ProvidesInterface,
+    RequiresReceptacle,
+    Rule,
+    check_rules,
+)
+
+__all__ = [
+    "AccessControlList",
+    "AtLeastOneOf",
+    "ComponentFramework",
+    "CompositeComponent",
+    "ConditionalRule",
+    "Controller",
+    "InterfaceNamePattern",
+    "PredicateRule",
+    "ProvidesInterface",
+    "RequiresReceptacle",
+    "Rule",
+    "TopologyConstraint",
+    "acyclic",
+    "check_rules",
+    "component_state_transfer",
+    "frozen_topology",
+    "max_fan_out",
+    "no_binding_from",
+    "no_binding_to",
+    "only_interface_type",
+    "pipeline_order",
+]

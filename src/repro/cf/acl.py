@@ -1,0 +1,61 @@
+"""Access-control lists policing CF management operations.
+
+The paper: "addition/removal of constraints is policed by an ACL managed by
+the composite's controller".  The ACL here is a deliberately simple
+principal → operation-set map with wildcard support, enough to demonstrate
+policed management without inventing a security model the paper does not
+describe.
+"""
+
+from __future__ import annotations
+
+from repro.opencom.errors import AccessDenied
+
+
+class AccessControlList:
+    """Principal → permitted-operations map.
+
+    Operations are dotted strings (``"constraint.add"``); granting
+    ``"constraint.*"`` permits every operation under that prefix, and
+    granting ``"*"`` permits everything.  The special principal ``"system"``
+    is always permitted (the runtime itself).
+    """
+
+    def __init__(self, owner: str = "") -> None:
+        self.owner = owner
+        self._grants: dict[str, set[str]] = {}
+
+    def grant(self, principal: str, operation: str) -> None:
+        """Permit *principal* to perform *operation* (may be a wildcard)."""
+        self._grants.setdefault(principal, set()).add(operation)
+
+    def revoke(self, principal: str, operation: str) -> None:
+        """Withdraw a previously granted permission (exact match)."""
+        operations = self._grants.get(principal)
+        if operations is not None:
+            operations.discard(operation)
+            if not operations:
+                del self._grants[principal]
+
+    def allows(self, principal: str, operation: str) -> bool:
+        """True when *principal* may perform *operation*."""
+        if principal == "system":
+            return True
+        operations = self._grants.get(principal, set())
+        if "*" in operations or operation in operations:
+            return True
+        parts = operation.split(".")
+        for i in range(1, len(parts)):
+            if ".".join(parts[:i]) + ".*" in operations:
+                return True
+        return False
+
+    def check(self, principal: str, operation: str) -> None:
+        """Raise :class:`~repro.opencom.errors.AccessDenied` unless
+        permitted."""
+        if not self.allows(principal, operation):
+            raise AccessDenied(principal, operation)
+
+    def grants(self) -> dict[str, list[str]]:
+        """Snapshot of all grants (principal -> sorted operations)."""
+        return {p: sorted(ops) for p, ops in sorted(self._grants.items())}

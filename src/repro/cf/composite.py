@@ -1,0 +1,369 @@
+"""Composite components with controllers (Figure 3 of the paper).
+
+A composite groups constituent components behind one facade: it exposes
+selected internal interfaces at its boundary (delegation), carries a
+*controller* that "manages and configures the other internal constituents",
+and polices its internal topology with constraints implemented as
+interceptors on the bind primitive — addition/removal of which is policed
+by an ACL managed by the controller.
+
+Constituents may be *isolated*: instantiated in a child capsule so that a
+crash cannot take the composite's address space down; internal bindings to
+isolated members transparently become IPC bindings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import Any
+
+from repro.cf.acl import AccessControlList
+from repro.cf.constraints import TopologyConstraint, component_state_transfer
+from repro.opencom.binding import Binding, BindRequest
+from repro.opencom.capsule import Capsule
+from repro.opencom.component import Component, InterfaceRef
+from repro.opencom.errors import CapsuleError, ConstraintViolation
+from repro.opencom.interfaces import methods_of
+from repro.opencom.ipc import RemoteBinding, bind_across
+
+
+class _DelegateImpl:
+    """Implementation object forwarding an exported interface to an
+    internal constituent's vtable (so interception on the inner interface
+    still applies to calls arriving at the composite boundary)."""
+
+    def __init__(self, target: InterfaceRef) -> None:
+        self._target = target
+        for method in methods_of(target.itype):
+            setattr(self, method.name, self._make_forwarder(method.name))
+
+    def _make_forwarder(self, method_name: str):
+        vtable = self._target.vtable
+
+        def forward(*args: Any, **kwargs: Any) -> Any:
+            return vtable.invoke(method_name, *args, **kwargs)
+
+        forward.__name__ = method_name
+        return forward
+
+
+class Controller(Component):
+    """The management constituent of a composite.
+
+    Owns the composite's ACL, the set of installed topology constraints,
+    and the hot-swap operation for members.  Marked ``IS_CONTROLLER`` so
+    that CF rule checking can recognise it (controllers are management
+    plumbing, not packet processors).
+    """
+
+    IS_CONTROLLER = True
+
+    def __init__(self, composite: "CompositeComponent") -> None:
+        super().__init__()
+        self.composite = composite
+        self.acl = AccessControlList(owner=composite.name)
+        self._constraints: dict[str, TopologyConstraint] = {}
+
+    # -- constraint management (ACL-policed) ------------------------------------
+
+    def add_constraint(
+        self,
+        name: str,
+        predicate: Callable[[BindRequest], str | None],
+        *,
+        principal: str = "system",
+        operations: tuple[str, ...] = ("bind",),
+    ) -> TopologyConstraint:
+        """Install a topology constraint scoped to the composite's members."""
+        self.acl.check(principal, "constraint.add")
+        if name in self._constraints:
+            raise ConstraintViolation(name, "constraint name already installed")
+        constraint = TopologyConstraint(
+            name,
+            predicate,
+            members=self.composite.member_names(),
+            operations=operations,
+        )
+        self._constraints[name] = constraint
+        self.composite.host_capsule.add_constraint(
+            self._scoped_name(name), constraint
+        )
+        return constraint
+
+    def remove_constraint(self, name: str, *, principal: str = "system") -> None:
+        """Remove a previously installed constraint (ACL-policed)."""
+        self.acl.check(principal, "constraint.remove")
+        if name not in self._constraints:
+            raise ConstraintViolation(name, "no such constraint")
+        del self._constraints[name]
+        self.composite.host_capsule.remove_constraint(self._scoped_name(name))
+
+    def constraint_names(self) -> list[str]:
+        """Names of constraints installed by this controller."""
+        return sorted(self._constraints)
+
+    def refresh_constraint_scopes(self) -> None:
+        """Re-scope constraints after membership changes."""
+        names = self.composite.member_names()
+        for constraint in self._constraints.values():
+            constraint.members = names
+
+    def _scoped_name(self, name: str) -> str:
+        return f"{self.composite.name}:{name}"
+
+    # -- member management --------------------------------------------------------
+
+    def replace_member(
+        self,
+        old_name: str,
+        factory: Callable[[], Component],
+        *,
+        principal: str = "system",
+        transfer_state: Callable[[Component, Component], None] | None = component_state_transfer,
+    ) -> Component:
+        """Hot-swap a member, preserving its bindings and exported
+        interfaces (delegates re-pointed to the replacement)."""
+        self.acl.check(principal, "member.replace")
+        return self.composite._replace_member(old_name, factory, transfer_state)
+
+
+class CompositeComponent(Component):
+    """A component composed of internal constituents plus a controller.
+
+    Parameters
+    ----------
+    host_capsule:
+        The capsule the composite (and its non-isolated members) live in.
+        The composite itself must be instantiated into this capsule by the
+        caller, e.g. ``capsule.instantiate(lambda: CompositeComponent(capsule), "gw")``.
+    """
+
+    def __init__(self, host_capsule: Capsule, *, controller_factory: Callable[["CompositeComponent"], Controller] | None = None) -> None:
+        super().__init__()
+        self.host_capsule = host_capsule
+        self._members: dict[str, Component] = {}
+        self._isolated: dict[str, Capsule] = {}
+        self._internal_bindings: list[Binding | RemoteBinding] = []
+        self._exports: dict[str, tuple[str, str]] = {}
+        factory = controller_factory if controller_factory is not None else Controller
+        self.controller = factory(self)
+        host_capsule.adopt(self.controller, f"{self.name}.controller")
+        self._members[self.controller.name] = self.controller
+
+    # -- membership -----------------------------------------------------------------
+
+    def add_member(
+        self,
+        factory: Callable[..., Component],
+        name: str,
+        /,
+        *args: Any,
+        isolated: bool = False,
+        **kwargs: Any,
+    ) -> Component:
+        """Instantiate a constituent.
+
+        With ``isolated=True`` the constituent is created in a fresh child
+        capsule (the untrusted-component path of section 5); bindings to it
+        will transparently use IPC.
+        """
+        full_name = f"{self.name}.{name}"
+        if full_name in self._members:
+            raise CapsuleError(f"composite {self.name} already has member {name!r}")
+        if isolated:
+            child = self.host_capsule.spawn_child(f"{self.name}:{name}")
+            member = child.instantiate(factory, full_name, *args, **kwargs)
+            self._isolated[full_name] = child
+        else:
+            member = self.host_capsule.instantiate(factory, full_name, *args, **kwargs)
+        self._members[full_name] = member
+        self.controller.refresh_constraint_scopes()
+        return member
+
+    def remove_member(self, name: str) -> None:
+        """Destroy a constituent (its internal bindings must be dropped
+        first via :meth:`unbind_internal`)."""
+        full_name = self._full_name(name)
+        member = self._members[full_name]
+        if member is self.controller:
+            raise CapsuleError("the controller cannot be removed")
+        exported = [e for e, (m, _) in self._exports.items() if m == full_name]
+        if exported:
+            raise CapsuleError(
+                f"member {name!r} backs exported interface(s) "
+                f"{exported}; withdraw them first"
+            )
+        child = self._isolated.pop(full_name, None)
+        if child is not None:
+            child.kill(reason="member removed")
+        else:
+            self.host_capsule.destroy(member)
+        del self._members[full_name]
+        self.controller.refresh_constraint_scopes()
+
+    def member(self, name: str) -> Component:
+        """Look a constituent up by short or full name."""
+        return self._members[self._full_name(name)]
+
+    def member_names(self) -> set[str]:
+        """Full names of all constituents (controller included)."""
+        return set(self._members)
+
+    def constituents(self) -> Iterator[Component]:
+        """Iterate constituents (recursive CF rule checking hook)."""
+        return iter(list(self._members.values()))
+
+    def is_isolated(self, name: str) -> bool:
+        """True when the named member runs in its own child capsule."""
+        return self._full_name(name) in self._isolated
+
+    def member_capsule(self, name: str) -> Capsule:
+        """The capsule a member runs in (host or child)."""
+        full_name = self._full_name(name)
+        return self._isolated.get(full_name, self.host_capsule)
+
+    # -- internal topology -------------------------------------------------------------
+
+    def bind_internal(
+        self,
+        source: str,
+        receptacle_name: str,
+        target: str,
+        interface_name: str,
+        *,
+        connection_name: str | None = None,
+        principal: str = "system",
+    ) -> Binding | RemoteBinding:
+        """Bind two constituents, choosing local vs IPC transparently."""
+        source_member = self.member(source)
+        target_member = self.member(target)
+        receptacle = source_member.receptacle(receptacle_name)
+        target_ref = target_member.interface(interface_name)
+        if source_member.capsule is target_member.capsule:
+            binding: Binding | RemoteBinding = source_member.capsule.bind(
+                receptacle,
+                target_ref,
+                connection_name=connection_name,
+                principal=principal,
+            )
+        else:
+            binding = bind_across(
+                receptacle,
+                target_ref,
+                connection_name=connection_name,
+                principal=principal,
+            )
+        self._internal_bindings.append(binding)
+        return binding
+
+    def unbind_internal(self, binding: Binding | RemoteBinding, *, principal: str = "system") -> None:
+        """Tear an internal binding down."""
+        if binding not in self._internal_bindings:
+            raise CapsuleError("binding is not internal to this composite")
+        binding.unbind(principal=principal)
+        self._internal_bindings.remove(binding)
+
+    def internal_bindings(self) -> list[Binding | RemoteBinding]:
+        """Snapshot of internal bindings."""
+        return list(self._internal_bindings)
+
+    # -- boundary exports -----------------------------------------------------------------
+
+    def export(self, exported_name: str, member: str, interface_name: str) -> InterfaceRef:
+        """Expose a constituent's interface at the composite boundary.
+
+        Calls arriving at the exported interface are forwarded through the
+        constituent's vtable (interception inside still applies).
+        """
+        member_component = self.member(member)
+        inner = member_component.interface(interface_name)
+        ref = self.expose(exported_name, inner.itype, impl=_DelegateImpl(inner))
+        self._exports[exported_name] = (member_component.name, interface_name)
+        return ref
+
+    def export_map(self) -> dict[str, tuple[str, str]]:
+        """Mapping of exported name -> (member full name, inner interface)."""
+        return dict(self._exports)
+
+    # -- reconfiguration ---------------------------------------------------------------------
+
+    def _replace_member(
+        self,
+        old_name: str,
+        factory: Callable[[], Component],
+        transfer_state: Callable[[Component, Component], None] | None,
+    ) -> Component:
+        full_name = self._full_name(old_name)
+        old = self._members[full_name]
+        if old is self.controller:
+            raise CapsuleError("the controller cannot be hot-swapped")
+        if full_name in self._isolated:
+            raise CapsuleError(
+                "isolated members are replaced by killing and re-adding; "
+                "use remove_member + add_member"
+            )
+        exports_backed = {
+            e: iface for e, (m, iface) in self._exports.items() if m == full_name
+        }
+        replacement = self.host_capsule.architecture.replace_component(
+            old,
+            factory,
+            transfer_state=transfer_state,
+        )
+        self.host_capsule.rename(replacement, full_name)
+        self._members[full_name] = replacement
+        # Refresh the internal-binding ledger: the swap replaced every
+        # binding touching the old member with a fresh one.
+        self._internal_bindings = [
+            b
+            for b in self._internal_bindings
+            if (isinstance(b, Binding) and b.live)
+            or (isinstance(b, RemoteBinding) and b.live)
+        ]
+        for binding in self.host_capsule.bindings_of(replacement):
+            if binding not in self._internal_bindings:
+                self._internal_bindings.append(binding)
+        for exported_name, inner_iface in exports_backed.items():
+            # Re-point the boundary delegate at the replacement's interface.
+            self.withdraw(exported_name)
+            del self._exports[exported_name]
+            self.export(exported_name, full_name, inner_iface)
+        self.controller.refresh_constraint_scopes()
+        return replacement
+
+    # -- helpers ----------------------------------------------------------------------------
+
+    def _full_name(self, name: str) -> str:
+        if name in self._members:
+            return name
+        full_name = f"{self.name}.{name}"
+        if full_name in self._members:
+            return full_name
+        raise CapsuleError(f"composite {self.name} has no member {name!r}")
+
+    def describe_internals(self) -> dict[str, Any]:
+        """Introspective description of members, bindings and exports."""
+        return {
+            "composite": self.name,
+            "members": {
+                name: {
+                    "type": type(member).__name__,
+                    "isolated": name in self._isolated,
+                    "controller": member is self.controller,
+                }
+                for name, member in sorted(self._members.items())
+            },
+            "bindings": [
+                b.describe() if isinstance(b, Binding) else {
+                    "kind": "ipc",
+                    "source": b.local_binding.source_component.name,
+                    "target": b.target.component.name,
+                }
+                for b in self._internal_bindings
+            ],
+            "exports": {
+                name: {"member": member, "interface": iface}
+                for name, (member, iface) in sorted(self._exports.items())
+            },
+            "constraints": self.controller.constraint_names(),
+        }

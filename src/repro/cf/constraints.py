@@ -1,0 +1,201 @@
+"""Topology constraints: interceptors on the bind primitive.
+
+The paper: the CF "supports, on a per-component basis, the dynamic
+addition/removal of arbitrary constraints.  These are implemented as
+interceptors on OpenCOM's 'bind' primitive, and are mainly used to
+constrain the internal topology of composite components."
+
+A :class:`TopologyConstraint` is a named predicate over
+:class:`~repro.opencom.binding.BindRequest` scoped to a membership set (the
+composite's constituents); this module also provides the stock constraints
+used by the Router CF and its tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.opencom.binding import BindRequest
+from repro.opencom.component import Component
+from repro.opencom.errors import ConstraintViolation
+from repro.opencom.interfaces import Interface
+
+
+class TopologyConstraint:
+    """A named, scoped constraint on bind/unbind requests.
+
+    Parameters
+    ----------
+    name:
+        Constraint name (unique within its scope).
+    predicate:
+        Called with the request when in scope; returns a failure message to
+        veto, or ``None``/"" to allow.
+    members:
+        When given, the constraint only applies to requests whose *both*
+        endpoints belong to the membership set (the composite's internal
+        topology); otherwise it applies to every request it sees.
+    operations:
+        Which operations to police (default: bind only).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Callable[[BindRequest], str | None],
+        *,
+        members: set[str] | None = None,
+        operations: tuple[str, ...] = ("bind",),
+    ) -> None:
+        self.name = name
+        self.predicate = predicate
+        self.members = members
+        self.operations = operations
+
+    def in_scope(self, request: BindRequest) -> bool:
+        """True when this constraint applies to *request*."""
+        if request.operation not in self.operations:
+            return False
+        if self.members is None:
+            return True
+        return (
+            request.receptacle.owner.name in self.members
+            and request.target.component.name in self.members
+        )
+
+    def __call__(self, request: BindRequest) -> None:
+        if not self.in_scope(request):
+            return
+        failure = self.predicate(request)
+        if failure:
+            raise ConstraintViolation(self.name, failure)
+
+
+def no_binding_to(component_name: str) -> Callable[[BindRequest], str | None]:
+    """Stock predicate: forbid any binding *into* the named component."""
+
+    def predicate(request: BindRequest) -> str | None:
+        if request.target.component.name == component_name:
+            return f"bindings into {component_name!r} are forbidden"
+        return None
+
+    return predicate
+
+
+def no_binding_from(component_name: str) -> Callable[[BindRequest], str | None]:
+    """Stock predicate: forbid any binding *out of* the named component."""
+
+    def predicate(request: BindRequest) -> str | None:
+        if request.receptacle.owner.name == component_name:
+            return f"bindings out of {component_name!r} are forbidden"
+        return None
+
+    return predicate
+
+
+def only_interface_type(
+    itype: type[Interface],
+) -> Callable[[BindRequest], str | None]:
+    """Stock predicate: every in-scope binding must carry *itype* (or a
+    subtype)."""
+
+    def predicate(request: BindRequest) -> str | None:
+        if not issubclass(request.target.itype, itype):
+            return (
+                f"only {itype.interface_name()} bindings are permitted, got "
+                f"{request.target.itype.interface_name()}"
+            )
+        return None
+
+    return predicate
+
+
+def max_fan_out(limit: int) -> Callable[[BindRequest], str | None]:
+    """Stock predicate: a component may have at most *limit* outgoing
+    bindings (counting the one being requested)."""
+
+    def predicate(request: BindRequest) -> str | None:
+        source = request.receptacle.owner
+        existing = sum(
+            len(r.connections()) for r in source.receptacles().values()
+        )
+        if existing + 1 > limit:
+            return (
+                f"{source.name} would have {existing + 1} outgoing bindings, "
+                f"limit is {limit}"
+            )
+        return None
+
+    return predicate
+
+
+def acyclic() -> Callable[[BindRequest], str | None]:
+    """Stock predicate: reject bindings that would close a cycle.
+
+    Packet-forwarding graphs must stay acyclic (a looping packet path is a
+    router bug); the controller of the Figure-3 composite installs this.
+    """
+
+    def predicate(request: BindRequest) -> str | None:
+        source = request.receptacle.owner
+        target = request.target.component
+        if source is target:
+            return "self-binding would create a trivial cycle"
+        # Would target reach source along existing bindings?
+        view = request.capsule.architecture.snapshot()
+        if source.name in view.reachable_from(target.name):
+            return (
+                f"binding {source.name} -> {target.name} would close a cycle"
+            )
+        return None
+
+    return predicate
+
+
+def frozen_topology(members: set[str]) -> Callable[[BindRequest], str | None]:
+    """Stock predicate: freeze the internal topology of a region entirely
+    (no bind or unbind touching two members)."""
+
+    def predicate(request: BindRequest) -> str | None:
+        return (
+            "topology is frozen: no structural change permitted inside "
+            f"{sorted(members)}"
+        )
+
+    return predicate
+
+
+def pipeline_order(order: list[str]) -> Callable[[BindRequest], str | None]:
+    """Stock predicate: bindings must respect a stage ordering.
+
+    *order* lists component names from upstream to downstream; a binding is
+    only allowed from an earlier stage to the *same or a later* stage.
+    Components absent from the list are unconstrained.
+    """
+    position = {name: i for i, name in enumerate(order)}
+
+    def predicate(request: BindRequest) -> str | None:
+        src = position.get(request.receptacle.owner.name)
+        dst = position.get(request.target.component.name)
+        if src is None or dst is None:
+            return None
+        if dst < src:
+            return (
+                f"binding {request.receptacle.owner.name} -> "
+                f"{request.target.component.name} violates pipeline order"
+            )
+        return None
+
+    return predicate
+
+
+def component_state_transfer(old: Component, new: Component) -> None:
+    """Default state transfer used by controllers during hot swap.
+
+    Copies attributes listed in the source component's ``STATE_ATTRS``
+    declaration (components opt in to migration by declaring which
+    attributes constitute their transferable state).
+    """
+    for attr in getattr(old, "STATE_ATTRS", ()):  # type: ignore[attr-defined]
+        if hasattr(old, attr):
+            setattr(new, attr, getattr(old, attr))

@@ -1,0 +1,224 @@
+"""Component frameworks: rule-governed plug-in domains.
+
+A :class:`ComponentFramework` is itself an OpenCOM component (the paper:
+"CFs accept plug-in components and, furthermore, are themselves built in
+terms of components; the whole structure is uniformly component-based").
+It owns a rule set, checks candidates at accept time — recursively for
+composites — and *guards* dynamic structural change: interface instances
+may be added to or removed from an accepted plug-in only through the CF,
+which re-checks the rules and rolls the change back on violation.  That is
+precisely the Router CF behaviour of section 5: "it is possible to
+dynamically add/remove instances of these interfaces as long as the CF's
+rules remain satisfied".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cf.acl import AccessControlList
+from repro.cf.rules import Rule, check_rules
+from repro.opencom.component import Component
+from repro.opencom.errors import RuleViolation
+from repro.opencom.interfaces import Interface
+
+
+class ComponentFramework(Component):
+    """Base class for all component frameworks.
+
+    Subclasses populate :attr:`rules` (usually in ``__init__``) and may
+    override :meth:`extra_checks` for rule logic that does not fit the
+    declarative rule objects.
+
+    Attributes
+    ----------
+    rules:
+        Declarative plug-in rules applied to every candidate.
+    acl:
+        Access-control list policing management operations on this CF.
+    """
+
+    def __init__(self, *, rules: list[Rule] | None = None) -> None:
+        super().__init__()
+        self.rules: list[Rule] = list(rules) if rules else []
+        self.acl = AccessControlList(owner=self.name)
+        self._plugins: dict[str, Component] = {}
+
+    # -- acceptance --------------------------------------------------------------
+
+    def accept(self, component: Component, *, principal: str = "system") -> Component:
+        """Validate *component* against the CF rules and register it.
+
+        Composites are validated recursively: every constituent must
+        (recursively) conform, per the composite rule of section 5.
+
+        Raises
+        ------
+        RuleViolation
+            Carrying every individual rule failure.
+        """
+        self.acl.check(principal, "plugin.accept")
+        failures = self.validate_component(component)
+        if failures:
+            raise RuleViolation(component.name, failures)
+        self._plugins[component.name] = component
+        return component
+
+    def eject(self, component: Component | str, *, principal: str = "system") -> None:
+        """Remove a plug-in from the CF's management."""
+        self.acl.check(principal, "plugin.eject")
+        name = component if isinstance(component, str) else component.name
+        if name not in self._plugins:
+            raise RuleViolation(name, ["component is not a plug-in of this CF"])
+        del self._plugins[name]
+
+    def plugins(self) -> dict[str, Component]:
+        """Snapshot of accepted plug-ins (name -> component)."""
+        return dict(self._plugins)
+
+    def is_plugin(self, component: Component) -> bool:
+        """True when *component* is currently accepted by this CF."""
+        return self._plugins.get(component.name) is component
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate_component(self, component: Component) -> list[str]:
+        """Check one candidate (recursively for composites); returns all
+        failures."""
+        failures = check_rules(self.rules, component)
+        failures.extend(self.extra_checks(component))
+        constituents = getattr(component, "constituents", None)
+        if callable(constituents):
+            for member in constituents():
+                member_failures = self.validate_constituent(member)
+                failures.extend(
+                    f"constituent {member.name}: {failure}"
+                    for failure in member_failures
+                )
+        return failures
+
+    def validate_constituent(self, member: Component) -> list[str]:
+        """Check one constituent of a composite.
+
+        Defaults to the full rule set (the paper: "all their internal
+        constituents must (recursively) conform to the CF's rules");
+        subclasses may relax or tighten per-constituent checking.
+        """
+        if getattr(member, "IS_CONTROLLER", False):
+            # Controllers are management components, not packet processors;
+            # they are required by the composite rule, not subject to it.
+            return []
+        return self.validate_component(member)
+
+    def extra_checks(self, component: Component) -> list[str]:
+        """Subclass hook for non-declarative rules; return failures."""
+        return []
+
+    def validate_all(self) -> dict[str, list[str]]:
+        """Re-validate every accepted plug-in.
+
+        Returns a mapping of plug-in name to failure list for plug-ins that
+        no longer conform (empty dict means the CF is consistent).
+        """
+        report: dict[str, list[str]] = {}
+        for name, component in self._plugins.items():
+            failures = self.validate_component(component)
+            if failures:
+                report[name] = failures
+        return report
+
+    # -- guarded structural change ----------------------------------------------------
+
+    def add_interface_instance(
+        self,
+        plugin: Component,
+        name: str,
+        itype: type[Interface],
+        *,
+        impl: object | None = None,
+        principal: str = "system",
+    ) -> Any:
+        """Dynamically expose a new interface instance on an accepted
+        plug-in, re-checking the CF rules; rolled back on violation."""
+        self.acl.check(principal, "plugin.modify")
+        self._require_plugin(plugin)
+        ref = plugin.expose(name, itype, impl=impl)
+        failures = self.validate_component(plugin)
+        if failures:
+            plugin.withdraw(name)
+            raise RuleViolation(plugin.name, failures)
+        return ref
+
+    def remove_interface_instance(
+        self, plugin: Component, name: str, *, principal: str = "system"
+    ) -> None:
+        """Dynamically withdraw an interface instance, re-checking rules;
+        rolled back on violation."""
+        self.acl.check(principal, "plugin.modify")
+        self._require_plugin(plugin)
+        ref = plugin.interface(name)
+        plugin.withdraw(name)
+        failures = self.validate_component(plugin)
+        if failures:
+            plugin.expose(name, ref.itype, impl=ref.vtable.impl)
+            raise RuleViolation(plugin.name, failures)
+
+    def add_receptacle_instance(
+        self,
+        plugin: Component,
+        name: str,
+        itype: type[Interface],
+        *,
+        min_connections: int = 0,
+        max_connections: int | None = 1,
+        principal: str = "system",
+    ) -> Any:
+        """Dynamically add a receptacle, re-checking rules; rolled back on
+        violation."""
+        self.acl.check(principal, "plugin.modify")
+        self._require_plugin(plugin)
+        receptacle = plugin.add_receptacle(
+            name,
+            itype,
+            min_connections=min_connections,
+            max_connections=max_connections,
+        )
+        failures = self.validate_component(plugin)
+        if failures:
+            plugin.remove_receptacle(name)
+            raise RuleViolation(plugin.name, failures)
+        return receptacle
+
+    def remove_receptacle_instance(
+        self, plugin: Component, name: str, *, principal: str = "system"
+    ) -> None:
+        """Dynamically remove a receptacle, re-checking rules; rolled back
+        on violation."""
+        self.acl.check(principal, "plugin.modify")
+        self._require_plugin(plugin)
+        receptacle = plugin.receptacle(name)
+        plugin.remove_receptacle(name)
+        failures = self.validate_component(plugin)
+        if failures:
+            plugin.add_receptacle(
+                name,
+                receptacle.itype,
+                min_connections=receptacle.min_connections,
+                max_connections=receptacle.max_connections,
+            )
+            raise RuleViolation(plugin.name, failures)
+
+    def _require_plugin(self, component: Component) -> None:
+        if not self.is_plugin(component):
+            raise RuleViolation(
+                component.name, ["component is not a plug-in of this CF"]
+            )
+
+    def describe(self) -> dict[str, Any]:
+        """Introspective summary of the CF (rules + plug-ins)."""
+        return {
+            "cf": self.name,
+            "type": type(self).__name__,
+            "rules": [r.name for r in self.rules],
+            "plugins": sorted(self._plugins),
+        }

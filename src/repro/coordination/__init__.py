@@ -1,0 +1,65 @@
+"""Stratum 4 — coordination: out-of-band signaling, RSVP-style
+reservation, Genesis spawning networks, distributed reconfiguration, and
+remote deployment / managed evolution."""
+
+from repro.coordination.deployment import (
+    DeploymentAgent,
+    DeploymentError,
+    DeploymentManager,
+    deploy_agents,
+)
+from repro.coordination.genesis import (
+    GenesisError,
+    GenesisFramework,
+    PROTO_VIRTUAL,
+    VirtualDelivery,
+    VirtualNetwork,
+    VirtualRouter,
+)
+from repro.coordination.reconfig import (
+    ActionSet,
+    ReconfigCoordinator,
+    ReconfigError,
+    ReconfigParticipant,
+    ReconfigRound,
+)
+from repro.coordination.rsvp import (
+    BANDWIDTH_POOL,
+    RsvpAgent,
+    Session,
+    deploy_rsvp,
+)
+from repro.coordination.signaling import (
+    SignalingAgent,
+    SignalingError,
+    attach_agents,
+    decode_message,
+    encode_message,
+)
+
+__all__ = [
+    "ActionSet",
+    "BANDWIDTH_POOL",
+    "DeploymentAgent",
+    "DeploymentError",
+    "DeploymentManager",
+    "deploy_agents",
+    "GenesisError",
+    "GenesisFramework",
+    "PROTO_VIRTUAL",
+    "ReconfigCoordinator",
+    "ReconfigError",
+    "ReconfigParticipant",
+    "ReconfigRound",
+    "RsvpAgent",
+    "Session",
+    "SignalingAgent",
+    "SignalingError",
+    "VirtualDelivery",
+    "VirtualNetwork",
+    "VirtualRouter",
+    "attach_agents",
+    "decode_message",
+    "deploy_rsvp",
+    "encode_message",
+]

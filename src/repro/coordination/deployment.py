@@ -1,0 +1,239 @@
+"""Remote deployment and managed software evolution (stratum 4).
+
+The paper's conclusions promise "common support such as dynamic remote
+instantiation, and standard meta-models" and "managed software evolution".
+This module provides both over the signaling layer:
+
+- :class:`DeploymentAgent` — per-node service that instantiates registered
+  component types on request, binds them into the node's architecture,
+  hot-upgrades running instances to newer registered versions, and answers
+  introspection queries (the "standard meta-models" made remote);
+- :class:`DeploymentManager` — operator-side façade: deploy / upgrade /
+  query across many nodes with correlated replies.
+
+Component *code* distribution is modelled by the chained
+:class:`~repro.opencom.registry.ComponentRegistry`: a node-local registry
+falls back to the network-wide one, so "shipping" a new version means
+registering it network-wide and asking nodes to upgrade — exactly the
+evolution story of section 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.coordination.signaling import SignalingAgent
+from repro.netsim.node import Node
+from repro.opencom.errors import OpenComError
+from repro.opencom.metamodel.interface_meta import describe_component
+from repro.opencom.registry import ComponentRegistry
+
+_REQUEST_IDS = itertools.count(1)
+
+
+class DeploymentError(OpenComError):
+    """Remote deployment/upgrade failure."""
+
+
+class DeploymentAgent:
+    """Per-node deployment service."""
+
+    def __init__(
+        self,
+        signaling: SignalingAgent,
+        registry: ComponentRegistry,
+    ) -> None:
+        self.signaling = signaling
+        self.node: Node = signaling.node
+        self.registry = registry
+        self.log: list[str] = []
+        signaling.on("deploy.instantiate", self._on_instantiate)
+        signaling.on("deploy.upgrade", self._on_upgrade)
+        signaling.on("deploy.query", self._on_query)
+        signaling.on("deploy.destroy", self._on_destroy)
+
+    # -- handlers -----------------------------------------------------------------
+
+    def _reply(self, message: dict, **fields: Any) -> None:
+        self.signaling.send(
+            message["from"], "deploy.reply", request=message["request"], **fields
+        )
+
+    def _on_instantiate(self, message: dict, sender: str) -> None:
+        type_name = message["component_type"]
+        name = message["name"]
+        version = message.get("version")
+        try:
+            entry = self.registry.lookup(type_name, version)
+            instance = entry.factory()
+            self.node.capsule.adopt(instance, name)
+            if message.get("start", True):
+                instance.startup()
+            self.log.append(f"instantiate {name} ({type_name} {entry.version})")
+            self._reply(
+                message, ok=True, name=name, version=entry.version,
+                node=self.node.name,
+            )
+        except Exception as exc:  # noqa: BLE001 - reported to the requester
+            self.log.append(f"instantiate {name} failed: {exc!r}")
+            self._reply(message, ok=False, error=repr(exc), node=self.node.name)
+
+    def _on_upgrade(self, message: dict, sender: str) -> None:
+        name = message["name"]
+        type_name = message["component_type"]
+        version = message.get("version")
+        try:
+            entry = self.registry.lookup(type_name, version)
+            old = self.node.capsule.component(name)
+            replacement = self.node.capsule.architecture.replace_component(
+                old,
+                entry.factory,
+                transfer_state=_declared_state_transfer,
+            )
+            self.node.capsule.rename(replacement, name)
+            self.log.append(f"upgrade {name} -> {type_name} {entry.version}")
+            self._reply(
+                message, ok=True, name=name, version=entry.version,
+                node=self.node.name,
+            )
+        except Exception as exc:  # noqa: BLE001 - reported to the requester
+            self.log.append(f"upgrade {name} failed: {exc!r}")
+            self._reply(message, ok=False, error=repr(exc), node=self.node.name)
+
+    def _on_query(self, message: dict, sender: str) -> None:
+        name = message.get("name")
+        if name:
+            try:
+                component = self.node.capsule.component(name)
+                self._reply(
+                    message, ok=True, node=self.node.name,
+                    description=describe_component(component),
+                )
+            except OpenComError as exc:
+                self._reply(message, ok=False, error=str(exc), node=self.node.name)
+            return
+        inventory = [
+            {"name": component_name, "type": type(component).__name__,
+             "state": component.state}
+            for component_name, component in sorted(
+                self.node.capsule.components().items()
+            )
+        ]
+        self._reply(message, ok=True, node=self.node.name, inventory=inventory)
+
+    def _on_destroy(self, message: dict, sender: str) -> None:
+        name = message["name"]
+        try:
+            component = self.node.capsule.component(name)
+            for binding in self.node.capsule.bindings_of(component):
+                self.node.capsule.unbind(binding)
+            self.node.capsule.destroy(component)
+            self.log.append(f"destroy {name}")
+            self._reply(message, ok=True, node=self.node.name)
+        except Exception as exc:  # noqa: BLE001 - reported to the requester
+            self._reply(message, ok=False, error=repr(exc), node=self.node.name)
+
+
+def _declared_state_transfer(old: Any, new: Any) -> None:
+    for attr in getattr(old, "STATE_ATTRS", ()):
+        if hasattr(old, attr):
+            setattr(new, attr, getattr(old, attr))
+
+
+class DeploymentManager:
+    """Operator-side deployment façade.
+
+    Replies arrive asynchronously (they cross the simulated network); they
+    are collected in :attr:`replies` keyed by request id.  Drive the
+    engine, then inspect.
+    """
+
+    def __init__(self, signaling: SignalingAgent) -> None:
+        self.signaling = signaling
+        self.replies: dict[int, dict] = {}
+        signaling.on("deploy.reply", self._on_reply)
+
+    def _on_reply(self, message: dict, sender: str) -> None:
+        self.replies[message["request"]] = message
+
+    def _request(self, node: str, message_type: str, **fields: Any) -> int:
+        request = next(_REQUEST_IDS)
+        self.signaling.send(node, message_type, request=request, **fields)
+        return request
+
+    # -- operations -----------------------------------------------------------------
+
+    def instantiate(
+        self,
+        node: str,
+        component_type: str,
+        name: str,
+        *,
+        version: str | None = None,
+        start: bool = True,
+    ) -> int:
+        """Ask *node* to instantiate a registered type; returns request id."""
+        return self._request(
+            node, "deploy.instantiate",
+            component_type=component_type, name=name, version=version,
+            start=start,
+        )
+
+    def upgrade(
+        self,
+        node: str,
+        name: str,
+        component_type: str,
+        *,
+        version: str | None = None,
+    ) -> int:
+        """Ask *node* to hot-upgrade a running instance to a (newer)
+        registered version, preserving bindings and declared state."""
+        return self._request(
+            node, "deploy.upgrade",
+            name=name, component_type=component_type, version=version,
+        )
+
+    def query(self, node: str, name: str | None = None) -> int:
+        """Ask *node* for its inventory, or one component's description."""
+        return self._request(node, "deploy.query", name=name)
+
+    def destroy(self, node: str, name: str) -> int:
+        """Ask *node* to unbind and destroy a component."""
+        return self._request(node, "deploy.destroy", name=name)
+
+    def reply_for(self, request: int) -> dict:
+        """The reply for a request (raises until it has arrived)."""
+        try:
+            return self.replies[request]
+        except KeyError:
+            raise DeploymentError(
+                f"no reply for request {request} yet (run the engine?)"
+            ) from None
+
+    def rollout(
+        self,
+        nodes: list[str],
+        name: str,
+        component_type: str,
+        *,
+        version: str | None = None,
+    ) -> dict[str, int]:
+        """Fleet-wide upgrade: one upgrade request per node."""
+        return {
+            node: self.upgrade(node, name, component_type, version=version)
+            for node in nodes
+        }
+
+
+def deploy_agents(
+    agents: dict[str, SignalingAgent],
+    registry: ComponentRegistry,
+) -> dict[str, DeploymentAgent]:
+    """Attach a deployment agent (with a node-local registry chained onto
+    *registry*) to every signaling agent."""
+    return {
+        name: DeploymentAgent(agent, ComponentRegistry(parent=registry))
+        for name, agent in agents.items()
+    }

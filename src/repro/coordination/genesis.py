@@ -1,0 +1,407 @@
+"""Genesis-style spawning networks (stratum 4).
+
+Section 7: Columbia's Genesis "supports dynamic private virtual networks,
+each potentially with its own semantics (addressing, routing, QoS, etc.)".
+The reproduction keeps the Genesis lifecycle — *profile* (choose members
+and resources), *spawn* (instantiate per-node virtual routers), *manage*
+(send traffic, observe), *release* — with the paper-relevant invariants
+enforced and testable:
+
+- **own addressing**: each virtual network gets a private prefix; members
+  receive virtual addresses out of it;
+- **own routing**: shortest paths are computed over the member-induced
+  subgraph only — a virtual network spanning a subset of nodes cannot
+  route through non-members even when the physical network could;
+- **resource containment**: every member node allocates the network's
+  bandwidth share from its physical ``bandwidth`` pool into a
+  ``virtnet:<name>`` task; traffic is policed against a token bucket of
+  that share;
+- **isolation**: per-node virtual routers are instantiated in *child
+  capsules*, and cross-network delivery is impossible by construction
+  (dispatch is keyed by network name and verified).
+
+Virtual-network packets really traverse the physical simulator:
+encapsulated with an outer IPv4 header (protocol ``PROTO_VIRTUAL``) and
+forwarded hop-by-hop along the virtual route.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from repro.netsim.node import Node
+from repro.netsim.packet import IPv4Header, Packet, format_ipv4, ipv4
+from repro.netsim.topology import Topology
+from repro.opencom.capsule import Capsule
+from repro.opencom.errors import OpenComError, ResourceError
+from repro.router.components.forwarding import LpmTable
+from repro.router.components.shaper import _TokenBucket
+
+#: Protocol number for encapsulated virtual-network traffic.
+PROTO_VIRTUAL = 252
+
+_VN_IDS = itertools.count(1)
+
+
+class GenesisError(OpenComError):
+    """Spawning or virtual-network operation failure."""
+
+
+@dataclass
+class VirtualDelivery:
+    """Record of one packet delivered inside a virtual network."""
+
+    network: str
+    src: str
+    dst: str
+    payload: bytes
+    hops: list[str]
+    delivered_at: float
+
+
+class VirtualRouter:
+    """Per-node presence of one virtual network.
+
+    Lives in a child capsule of the hosting node (spawned networks cannot
+    crash the host), owns the virtual routing table and the bandwidth
+    policer for this node's share.
+    """
+
+    def __init__(
+        self,
+        network: "VirtualNetwork",
+        node: Node,
+        virtual_address: int,
+        bandwidth_share: float,
+    ) -> None:
+        self.network = network
+        self.node = node
+        self.virtual_address = virtual_address
+        self.capsule: Capsule = node.capsule.spawn_child(f"virtnet:{network.name}")
+        self.table = LpmTable()
+        self.bucket = _TokenBucket(
+            network.topology.engine.clock, bandwidth_share / 8, bandwidth_share / 4
+        )
+        self.counters = {"forwarded": 0, "delivered": 0, "policed": 0, "foreign": 0}
+
+    def route_for(self, virtual_dst: int) -> str | None:
+        """Next member node toward a virtual destination."""
+        return self.table.lookup(virtual_dst, version=4)
+
+    def teardown(self) -> None:
+        """Kill the router's capsule (releases everything inside)."""
+        self.capsule.kill(reason="virtual network released")
+
+
+class VirtualNetwork:
+    """One spawned private virtual network."""
+
+    def __init__(
+        self,
+        framework: "GenesisFramework",
+        name: str,
+        members: list[str],
+        *,
+        prefix: str,
+        bandwidth_share: float,
+    ) -> None:
+        self.framework = framework
+        self.topology = framework.topology
+        self.vn_id = next(_VN_IDS)
+        self.name = name
+        self.members = list(members)
+        self.prefix = prefix
+        self.bandwidth_share = bandwidth_share
+        self.routers: dict[str, VirtualRouter] = {}
+        self.deliveries: list[VirtualDelivery] = []
+        self.released = False
+        #: Child networks spawned from this one (nested spawning).
+        self.children: list[VirtualNetwork] = []
+
+    # -- addressing ------------------------------------------------------------------
+
+    def virtual_address_of(self, member: str) -> int:
+        """The member's address inside this network."""
+        return self.routers[member].virtual_address
+
+    # -- data plane --------------------------------------------------------------------
+
+    def send(self, src_member: str, dst_member: str, payload: bytes) -> None:
+        """Inject a payload at one member toward another.
+
+        The packet is policed against the source's bandwidth share,
+        encapsulated, and forwarded member-by-member over physical links.
+        """
+        self._require_live()
+        if src_member not in self.routers or dst_member not in self.routers:
+            raise GenesisError(
+                f"{src_member!r} or {dst_member!r} is not a member of "
+                f"{self.name!r}"
+            )
+        router = self.routers[src_member]
+        virtual_dst = self.virtual_address_of(dst_member)
+        inner = {
+            "network": self.name,
+            "vdst": virtual_dst,
+            "vsrc": router.virtual_address,
+            "payload": payload,
+            "hops": [src_member],
+        }
+        if not router.bucket.try_consume(len(payload) + 64):
+            router.counters["policed"] += 1
+            return
+        self.framework._forward_virtual(self, src_member, inner)
+
+    # -- management -------------------------------------------------------------------------
+
+    def spawn_child(
+        self,
+        name: str,
+        members: list[str],
+        *,
+        bandwidth_share: float,
+        prefix: str | None = None,
+    ) -> "VirtualNetwork":
+        """Spawn a nested network out of this one's members and resources."""
+        self._require_live()
+        outside = [m for m in members if m not in self.members]
+        if outside:
+            raise GenesisError(
+                f"child members {outside} are not members of parent {self.name!r}"
+            )
+        if bandwidth_share > self.bandwidth_share:
+            raise GenesisError(
+                "child bandwidth share exceeds the parent's allocation"
+            )
+        child = self.framework.spawn(
+            name,
+            members,
+            bandwidth_share=bandwidth_share,
+            prefix=prefix,
+            parent=self,
+        )
+        self.children.append(child)
+        return child
+
+    def release(self) -> None:
+        """Tear the network down: kill routers, free resources, release
+        children first."""
+        if self.released:
+            return
+        for child in list(self.children):
+            child.release()
+        self.framework._release(self)
+        self.released = True
+
+    def _require_live(self) -> None:
+        if self.released:
+            raise GenesisError(f"virtual network {self.name!r} was released")
+
+    def describe(self) -> dict[str, Any]:
+        """Summary: members, addresses, per-router counters."""
+        return {
+            "name": self.name,
+            "prefix": self.prefix,
+            "members": {
+                member: {
+                    "virtual_address": format_ipv4(router.virtual_address),
+                    "counters": dict(router.counters),
+                }
+                for member, router in sorted(self.routers.items())
+            },
+            "bandwidth_share": self.bandwidth_share,
+            "released": self.released,
+            "children": [c.name for c in self.children],
+        }
+
+
+class GenesisFramework:
+    """The spawning framework: profiles, spawns, routes and releases
+    virtual networks over one physical topology."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.networks: dict[str, VirtualNetwork] = {}
+        self._next_prefix_octet = itertools.count(1)
+        for node in topology.nodes.values():
+            resources = node.capsule.resources
+            if "bandwidth" not in resources.pools():
+                resources.create_pool("bandwidth", "bandwidth", 100e6)
+            node.register_protocol(PROTO_VIRTUAL, self._make_dispatcher(node))
+
+    # -- spawning ----------------------------------------------------------------------
+
+    def spawn(
+        self,
+        name: str,
+        members: list[str],
+        *,
+        bandwidth_share: float,
+        prefix: str | None = None,
+        parent: VirtualNetwork | None = None,
+    ) -> VirtualNetwork:
+        """Spawn a virtual network over *members*.
+
+        Members must induce a connected subgraph; every member node must
+        have *bandwidth_share* available in its physical pool.  Allocation
+        is all-or-nothing: a failure at any node rolls back the others.
+        """
+        if name in self.networks:
+            raise GenesisError(f"virtual network {name!r} already exists")
+        if len(members) < 2:
+            raise GenesisError("a virtual network needs at least 2 members")
+        unknown = [m for m in members if m not in self.topology.nodes]
+        if unknown:
+            raise GenesisError(f"unknown member nodes: {unknown}")
+        if not self._subgraph_connected(members):
+            raise GenesisError(
+                f"members {members} do not induce a connected subgraph"
+            )
+        network_prefix = prefix or f"10.{100 + next(self._next_prefix_octet)}.0.0/16"
+        network = VirtualNetwork(
+            self, name, members,
+            prefix=network_prefix, bandwidth_share=bandwidth_share,
+        )
+
+        # All-or-nothing resource allocation across members.
+        allocated: list[str] = []
+        task_name = f"virtnet:{name}"
+        try:
+            for member in members:
+                resources = self.topology.node(member).capsule.resources
+                if task_name not in resources.tasks():
+                    resources.create_task(task_name)
+                resources.allocate(task_name, "bandwidth", bandwidth_share)
+                allocated.append(member)
+        except ResourceError as exc:
+            for member in allocated:
+                resources = self.topology.node(member).capsule.resources
+                resources.destroy_task(task_name)
+            raise GenesisError(
+                f"insufficient bandwidth for {name!r} at "
+                f"{members[len(allocated)]}: {exc}"
+            ) from exc
+
+        base = ipv4(network_prefix.split("/")[0])
+        for index, member in enumerate(sorted(members)):
+            node = self.topology.node(member)
+            router = VirtualRouter(network, node, base + index + 1, bandwidth_share)
+            network.routers[member] = router
+        self._install_virtual_routes(network)
+        self.networks[name] = network
+        return network
+
+    def _install_virtual_routes(self, network: VirtualNetwork) -> None:
+        """Shortest paths over the member-induced subgraph only."""
+        member_set = set(network.members)
+        for member, router in network.routers.items():
+            hops = self._subgraph_next_hops(member, member_set)
+            for dst, hop in hops.items():
+                dst_address = network.virtual_address_of(dst)
+                router.table.insert(f"{format_ipv4(dst_address)}/32", hop)
+
+    def _subgraph_next_hops(self, source: str, members: set[str]) -> dict[str, str]:
+        # BFS restricted to member nodes (uniform hop metric inside a VN).
+        parents: dict[str, str] = {}
+        frontier = [source]
+        seen = {source}
+        while frontier:
+            nxt: list[str] = []
+            for current in frontier:
+                node = self.topology.node(current)
+                for port in node.ports():
+                    peer = node.neighbor(port).name
+                    if peer in members and peer not in seen:
+                        seen.add(peer)
+                        parents[peer] = current
+                        nxt.append(peer)
+            frontier = nxt
+        hops: dict[str, str] = {}
+        for dst in members:
+            if dst == source or dst not in seen:
+                continue
+            walk = dst
+            while parents[walk] != source:
+                walk = parents[walk]
+            hops[dst] = walk
+        return hops
+
+    def _subgraph_connected(self, members: list[str]) -> bool:
+        member_set = set(members)
+        reached = self._subgraph_next_hops(members[0], member_set)
+        return len(reached) == len(member_set) - 1
+
+    # -- virtual data plane ----------------------------------------------------------------
+
+    def _forward_virtual(
+        self, network: VirtualNetwork, at_member: str, inner: dict
+    ) -> None:
+        router = network.routers[at_member]
+        virtual_dst = inner["vdst"]
+        if virtual_dst == router.virtual_address:
+            router.counters["delivered"] += 1
+            network.deliveries.append(
+                VirtualDelivery(
+                    network=network.name,
+                    src=format_ipv4(inner["vsrc"]),
+                    dst=format_ipv4(inner["vdst"]),
+                    payload=inner["payload"],
+                    hops=list(inner["hops"]),
+                    delivered_at=self.topology.engine.now,
+                )
+            )
+            return
+        next_member = router.route_for(virtual_dst)
+        if next_member is None:
+            router.counters["foreign"] += 1
+            return
+        router.counters["forwarded"] += 1
+        node = self.topology.node(at_member)
+        peer = self.topology.node(next_member)
+        outer = Packet(
+            IPv4Header(
+                src=node.address, dst=peer.address, ttl=16, protocol=PROTO_VIRTUAL
+            ),
+            None,
+            repr(inner).encode(),
+            created_at=self.topology.engine.now,
+        )
+        node.send_to_neighbor(next_member, outer)
+
+    def _make_dispatcher(self, node: Node):
+        def dispatch(packet: Packet, port: str) -> None:
+            try:
+                inner = ast.literal_eval(packet.payload.decode())
+            except (ValueError, SyntaxError, UnicodeDecodeError):
+                return
+            if not isinstance(inner, dict):
+                return
+            network = self.networks.get(inner.get("network", ""))
+            if network is None or network.released:
+                return
+            if node.name not in network.routers:
+                # Isolation: a non-member physical node never dispatches
+                # into the virtual network.
+                return
+            inner["hops"] = list(inner.get("hops", [])) + [node.name]
+            self._forward_virtual(network, node.name, inner)
+
+        return dispatch
+
+    # -- release ------------------------------------------------------------------------------
+
+    def _release(self, network: VirtualNetwork) -> None:
+        task_name = f"virtnet:{network.name}"
+        for member, router in network.routers.items():
+            router.teardown()
+            resources = self.topology.node(member).capsule.resources
+            if task_name in resources.tasks():
+                resources.destroy_task(task_name)
+        self.networks.pop(network.name, None)
+
+    def total_spawned(self) -> int:
+        """Live virtual networks."""
+        return len(self.networks)

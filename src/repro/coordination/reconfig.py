@@ -1,0 +1,208 @@
+"""Distributed reconfiguration: coordinated quiesce-and-swap (stratum 4).
+
+The paper's coordination stratum performs "distributed coordination and
+(re)configuration of the lower strata".  This module provides a two-phase
+protocol over signaling:
+
+- the coordinator sends ``reconfig.prepare`` to every participant; each
+  participant quiesces the named local target (via a registered *action
+  set*) and votes;
+- on unanimous yes the coordinator sends ``reconfig.commit`` (apply the
+  change, resume); any no (or missing vote by the engine-time deadline)
+  triggers ``reconfig.abort`` (resume unchanged).
+
+Action sets bind the protocol to real local work: each participating node
+registers ``quiesce`` / ``apply`` / ``resume`` / ``rollback`` callables,
+typically closing an :class:`~repro.opencom.metamodel.interception.AdmissionGate`,
+calling ``architecture.replace_component``, and reopening.  The protocol
+therefore drives exactly the same machinery as local hot swap, but
+network-wide — the "evolution of deployed software" story.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.coordination.signaling import SignalingAgent
+from repro.opencom.errors import OpenComError
+
+_ROUND_IDS = itertools.count(1)
+
+
+class ReconfigError(OpenComError):
+    """Reconfiguration protocol failure."""
+
+
+@dataclass
+class ActionSet:
+    """Local actions a participant runs for one reconfiguration kind."""
+
+    quiesce: Callable[[dict], bool]
+    apply: Callable[[dict], None]
+    resume: Callable[[dict], None]
+    rollback: Callable[[dict], None] | None = None
+
+
+@dataclass
+class ReconfigRound:
+    """Coordinator-side record of one two-phase round."""
+
+    round_id: int
+    kind: str
+    participants: list[str]
+    parameters: dict[str, Any]
+    status: str = "preparing"  # preparing | committed | aborted
+    votes: dict[str, bool] = field(default_factory=dict)
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True once the round has resolved either way."""
+        return self.status in ("committed", "aborted")
+
+
+class ReconfigCoordinator:
+    """Drives two-phase reconfiguration rounds from one node."""
+
+    def __init__(self, signaling: SignalingAgent) -> None:
+        self.signaling = signaling
+        self.rounds: dict[int, ReconfigRound] = {}
+        signaling.on("reconfig.vote", self._on_vote)
+
+    def start(
+        self,
+        kind: str,
+        participants: list[str],
+        parameters: dict[str, Any] | None = None,
+    ) -> ReconfigRound:
+        """Begin a round; resolution happens as the engine delivers votes."""
+        if not participants:
+            raise ReconfigError("a round needs at least one participant")
+        round_ = ReconfigRound(
+            round_id=next(_ROUND_IDS),
+            kind=kind,
+            participants=list(participants),
+            parameters=dict(parameters or {}),
+        )
+        self.rounds[round_.round_id] = round_
+        round_.events.append("prepare-sent")
+        for participant in participants:
+            self.signaling.send(
+                participant,
+                "reconfig.prepare",
+                round=round_.round_id,
+                kind=kind,
+                parameters=round_.parameters,
+                coordinator=self.signaling.node.name,
+            )
+        return round_
+
+    def _on_vote(self, message: dict, sender: str) -> None:
+        round_ = self.rounds.get(message["round"])
+        if round_ is None or round_.complete:
+            return
+        round_.votes[sender] = bool(message["yes"])
+        round_.events.append(f"vote {sender}: {message['yes']}")
+        if not message["yes"]:
+            self._finish(round_, commit=False)
+            return
+        if set(round_.votes) >= set(round_.participants):
+            self._finish(round_, commit=True)
+
+    def _finish(self, round_: ReconfigRound, *, commit: bool) -> None:
+        round_.status = "committed" if commit else "aborted"
+        verb = "commit" if commit else "abort"
+        round_.events.append(verb)
+        for participant in round_.participants:
+            self.signaling.send(
+                participant,
+                f"reconfig.{verb}",
+                round=round_.round_id,
+                kind=round_.kind,
+                parameters=round_.parameters,
+            )
+
+    def abort_stalled(self, round_: ReconfigRound) -> None:
+        """Manually abort a round that never gathered all votes (deadline
+        policy is the caller's: virtual time is theirs to manage)."""
+        if not round_.complete:
+            self._finish(round_, commit=False)
+
+
+class ReconfigParticipant:
+    """Per-node participant: executes registered action sets."""
+
+    def __init__(self, signaling: SignalingAgent) -> None:
+        self.signaling = signaling
+        self._actions: dict[str, ActionSet] = {}
+        self._prepared: dict[int, dict] = {}
+        self.log: list[str] = []
+        signaling.on("reconfig.prepare", self._on_prepare)
+        signaling.on("reconfig.commit", self._on_commit)
+        signaling.on("reconfig.abort", self._on_abort)
+
+    def register(self, kind: str, actions: ActionSet) -> None:
+        """Register the local action set for one reconfiguration kind."""
+        if kind in self._actions:
+            raise ReconfigError(f"actions for kind {kind!r} already registered")
+        self._actions[kind] = actions
+
+    def _on_prepare(self, message: dict, sender: str) -> None:
+        kind = message["kind"]
+        round_id = message["round"]
+        actions = self._actions.get(kind)
+        if actions is None:
+            self.log.append(f"prepare {round_id}: unknown kind {kind}")
+            self._vote(message, False)
+            return
+        try:
+            ready = actions.quiesce(message["parameters"])
+        except Exception as exc:  # noqa: BLE001 - vote no instead of dying
+            self.log.append(f"prepare {round_id}: quiesce failed: {exc!r}")
+            self._vote(message, False)
+            return
+        if ready:
+            self._prepared[round_id] = message
+            self.log.append(f"prepare {round_id}: quiesced")
+        else:
+            self.log.append(f"prepare {round_id}: refused")
+        self._vote(message, ready)
+
+    def _on_commit(self, message: dict, sender: str) -> None:
+        round_id = message["round"]
+        prepared = self._prepared.pop(round_id, None)
+        if prepared is None:
+            return
+        actions = self._actions[message["kind"]]
+        try:
+            actions.apply(message["parameters"])
+            self.log.append(f"commit {round_id}: applied")
+        except Exception as exc:  # noqa: BLE001 - roll back on apply failure
+            self.log.append(f"commit {round_id}: apply failed: {exc!r}")
+            if actions.rollback is not None:
+                actions.rollback(message["parameters"])
+        finally:
+            actions.resume(message["parameters"])
+
+    def _on_abort(self, message: dict, sender: str) -> None:
+        round_id = message["round"]
+        prepared = self._prepared.pop(round_id, None)
+        actions = self._actions.get(message["kind"])
+        if actions is None:
+            return
+        if prepared is not None:
+            if actions.rollback is not None:
+                actions.rollback(message["parameters"])
+            actions.resume(message["parameters"])
+            self.log.append(f"abort {round_id}: resumed unchanged")
+
+    def _vote(self, message: dict, yes: bool) -> None:
+        self.signaling.send(
+            message["coordinator"],
+            "reconfig.vote",
+            round=message["round"],
+            yes=yes,
+        )

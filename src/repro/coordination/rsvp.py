@@ -1,0 +1,286 @@
+"""RSVP-style resource reservation (stratum 4).
+
+The paper names RSVP as the canonical coordination-stratum protocol.  The
+reproduction follows the RSVP shape:
+
+- the sender emits ``PATH`` toward the receiver; each hop records the
+  upstream node (path state) and appends itself to the route;
+- the receiver answers ``RESV`` back along the *recorded reverse path*;
+  each hop performs admission control against its per-node bandwidth pool
+  (the resources meta-model) and either reserves and forwards upstream, or
+  answers ``RESV_ERR`` downstream, releasing nothing it did not take;
+- ``TEAR`` releases reservations along the path.
+
+Reservations land in each node capsule's
+:class:`~repro.opencom.metamodel.resources.ResourceMetaModel` under the
+pool ``"bandwidth"`` and a per-session task, so experiment C8 can assert
+end-to-end containment: a session is admitted iff *every* hop had
+capacity, and rejected sessions leave zero residue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.coordination.signaling import SignalingAgent, SignalingError
+from repro.netsim.topology import Topology
+from repro.opencom.errors import ResourceError
+
+_SESSION_IDS = itertools.count(1)
+
+#: Pool name used on every RSVP-managed node.
+BANDWIDTH_POOL = "bandwidth"
+
+
+@dataclass
+class Session:
+    """Sender-side record of one reservation session."""
+
+    session_id: int
+    sender: str
+    receiver: str
+    bandwidth: float
+    status: str = "pending"  # pending | established | rejected | torn-down
+    path: list[str] = field(default_factory=list)
+    reject_reason: str = ""
+    events: list[str] = field(default_factory=list)
+
+
+class RsvpAgent:
+    """Per-node RSVP endpoint over a signaling agent."""
+
+    def __init__(
+        self,
+        signaling: SignalingAgent,
+        *,
+        bandwidth_capacity: float = 100e6,
+    ) -> None:
+        self.signaling = signaling
+        self.node = signaling.node
+        resources = self.node.capsule.resources
+        if BANDWIDTH_POOL not in resources.pools():
+            resources.create_pool(BANDWIDTH_POOL, "bandwidth", bandwidth_capacity)
+        #: session id -> {"prev": upstream node, "next": downstream node}
+        self._path_state: dict[int, dict[str, Any]] = {}
+        #: session ids this node holds reservations for.
+        self._reserved: set[int] = set()
+        #: sender-side sessions originated here.
+        self.sessions: dict[int, Session] = {}
+        signaling.on("rsvp.path", self._on_path)
+        signaling.on("rsvp.resv", self._on_resv)
+        signaling.on("rsvp.resv_err", self._on_resv_err)
+        signaling.on("rsvp.established", self._on_established)
+        signaling.on("rsvp.tear", self._on_tear)
+
+    # -- sender API --------------------------------------------------------------
+
+    def reserve(self, receiver: str, bandwidth: float) -> Session:
+        """Initiate a reservation toward *receiver*; returns the session
+        (status resolves once the engine runs the signaling exchange)."""
+        if bandwidth <= 0:
+            raise SignalingError("bandwidth must be positive")
+        session = Session(
+            session_id=next(_SESSION_IDS),
+            sender=self.node.name,
+            receiver=receiver,
+            bandwidth=bandwidth,
+        )
+        self.sessions[session.session_id] = session
+        hop = self._next_hop_toward(receiver)
+        session.events.append(f"path-sent via {hop}")
+        self.signaling.send(
+            hop,
+            "rsvp.path",
+            session=session.session_id,
+            sender=self.node.name,
+            receiver=receiver,
+            bandwidth=bandwidth,
+            route=[self.node.name],
+        )
+        return session
+
+    def teardown(self, session: Session) -> None:
+        """Release an established session along its path."""
+        if session.status != "established":
+            return
+        session.status = "torn-down"
+        self._release_local(session.session_id)
+        for hop in session.path[1:]:
+            self.signaling.send(hop, "rsvp.tear", session=session.session_id)
+
+    # -- protocol handlers ----------------------------------------------------------
+
+    def _on_path(self, message: dict, sender: str) -> None:
+        session_id = message["session"]
+        receiver = message["receiver"]
+        route = list(message["route"]) + [self.node.name]
+        self._path_state[session_id] = {
+            "prev": route[-2],
+            "bandwidth": message["bandwidth"],
+            "sender": message["sender"],
+            "route": route,
+        }
+        if receiver == self.node.name:
+            # Receiver: start the RESV wave back upstream, reserving here
+            # first (the receiver's own downlink counts).
+            if self._try_reserve(session_id, message["bandwidth"]):
+                self.signaling.send(
+                    route[-2],
+                    "rsvp.resv",
+                    session=session_id,
+                    bandwidth=message["bandwidth"],
+                    sender=message["sender"],
+                    route=route,
+                )
+            else:
+                self.signaling.send(
+                    message["sender"],
+                    "rsvp.resv_err",
+                    session=session_id,
+                    at=self.node.name,
+                    reason="admission failed at receiver",
+                )
+            return
+        hop = self._next_hop_toward(receiver)
+        self.signaling.send(
+            hop,
+            "rsvp.path",
+            session=session_id,
+            sender=message["sender"],
+            receiver=receiver,
+            bandwidth=message["bandwidth"],
+            route=route,
+        )
+
+    def _on_resv(self, message: dict, sender: str) -> None:
+        session_id = message["session"]
+        state = self._path_state.get(session_id)
+        origin = message["sender"]
+        if origin == self.node.name:
+            # The RESV wave reached the sender: success iff we can also
+            # admit locally.
+            session = self.sessions.get(session_id)
+            if session is None:
+                return
+            if self._try_reserve(session_id, message["bandwidth"]):
+                session.status = "established"
+                session.path = list(message["route"])
+                session.events.append("established")
+                for hop in session.path[1:]:
+                    self.signaling.send(
+                        hop, "rsvp.established", session=session_id
+                    )
+            else:
+                session.status = "rejected"
+                session.reject_reason = "admission failed at sender"
+                for hop in message["route"][1:]:
+                    self.signaling.send(hop, "rsvp.tear", session=session_id)
+            return
+        if state is None:
+            return
+        if self._try_reserve(session_id, message["bandwidth"]):
+            self.signaling.send(
+                state["prev"],
+                "rsvp.resv",
+                session=session_id,
+                bandwidth=message["bandwidth"],
+                sender=origin,
+                route=message["route"],
+            )
+        else:
+            # Admission failed mid-path: tell the sender, release the
+            # downstream reservations already made by this RESV wave.
+            self.signaling.send(
+                origin,
+                "rsvp.resv_err",
+                session=session_id,
+                at=self.node.name,
+                reason="admission failed",
+            )
+            downstream = self._downstream_of(message["route"], self.node.name)
+            for hop in downstream:
+                self.signaling.send(hop, "rsvp.tear", session=session_id)
+
+    def _on_resv_err(self, message: dict, sender: str) -> None:
+        session = self.sessions.get(message["session"])
+        if session is not None and session.status == "pending":
+            session.status = "rejected"
+            session.reject_reason = (
+                f"{message.get('reason', 'admission failed')} at "
+                f"{message.get('at', '?')}"
+            )
+            session.events.append("rejected")
+
+    def _on_established(self, message: dict, sender: str) -> None:
+        # Informational at transit nodes; state already held.
+        state = self._path_state.get(message["session"])
+        if state is not None:
+            state["established"] = True
+
+    def _on_tear(self, message: dict, sender: str) -> None:
+        self._release_local(message["session"])
+        self._path_state.pop(message["session"], None)
+
+    # -- admission control --------------------------------------------------------------
+
+    def _try_reserve(self, session_id: int, bandwidth: float) -> bool:
+        resources = self.node.capsule.resources
+        task_name = f"rsvp:{session_id}"
+        if task_name not in resources.tasks():
+            resources.create_task(task_name)
+        try:
+            resources.allocate(task_name, BANDWIDTH_POOL, bandwidth)
+        except ResourceError:
+            resources.destroy_task(task_name)
+            return False
+        self._reserved.add(session_id)
+        return True
+
+    def _release_local(self, session_id: int) -> None:
+        if session_id not in self._reserved:
+            return
+        resources = self.node.capsule.resources
+        task_name = f"rsvp:{session_id}"
+        if task_name in resources.tasks():
+            resources.destroy_task(task_name)
+        self._reserved.discard(session_id)
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _next_hop_toward(self, destination: str) -> str:
+        hop = self.signaling.topology.next_hops(self.node.name).get(destination)
+        if hop is None:
+            raise SignalingError(
+                f"{self.node.name} has no route to {destination!r}"
+            )
+        return hop
+
+    @staticmethod
+    def _downstream_of(route: list[str], here: str) -> list[str]:
+        if here not in route:
+            return []
+        return route[route.index(here) + 1 :]
+
+    def reserved_bandwidth(self) -> float:
+        """Bandwidth currently reserved at this node."""
+        pool = self.node.capsule.resources.pool(BANDWIDTH_POOL)
+        return pool.allocated
+
+    def reservation_count(self) -> int:
+        """Sessions holding bandwidth here."""
+        return len(self._reserved)
+
+
+def deploy_rsvp(
+    topology: Topology,
+    agents: dict[str, SignalingAgent],
+    *,
+    bandwidth_capacity: float = 100e6,
+) -> dict[str, RsvpAgent]:
+    """Attach an RSVP agent to every signaling agent."""
+    return {
+        name: RsvpAgent(agent, bandwidth_capacity=bandwidth_capacity)
+        for name, agent in agents.items()
+    }

@@ -1,0 +1,163 @@
+"""Out-of-band signaling (stratum 4).
+
+A :class:`SignalingAgent` lives on each participating node, registered for
+the ``PROTO_SIGNALING`` protocol number.  Messages are dicts serialised
+with ``repr``/``ast.literal_eval`` (literals only) and routed hop-by-hop
+along shortest paths: intermediate agents forward messages not addressed
+to them, so signaling really crosses the simulated network rather than
+teleporting.
+
+Higher protocols (RSVP-like reservation, Genesis spawning, distributed
+reconfiguration) register typed message handlers on the agent.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+from collections.abc import Callable
+from typing import Any
+
+from repro.netsim.node import Node
+from repro.netsim.packet import (
+    PROTO_SIGNALING,
+    IPv4Header,
+    Packet,
+    PacketError,
+)
+from repro.netsim.topology import Topology
+from repro.opencom.errors import OpenComError
+
+_MESSAGE_IDS = itertools.count(1)
+
+MessageHandler = Callable[[dict, str], None]
+
+
+class SignalingError(OpenComError):
+    """Signaling failure: unknown destination, malformed message, ..."""
+
+
+def encode_message(message: dict) -> bytes:
+    """Serialise a signaling message (literals only)."""
+    return repr(message).encode()
+
+
+def decode_message(payload: bytes) -> dict:
+    """Parse a signaling message; raises PacketError when malformed."""
+    try:
+        message = ast.literal_eval(payload.decode())
+    except (ValueError, SyntaxError, UnicodeDecodeError) as exc:
+        raise PacketError(f"malformed signaling message: {exc}") from exc
+    if not isinstance(message, dict):
+        raise PacketError("signaling payload is not a dict")
+    return message
+
+
+class SignalingAgent:
+    """Per-node signaling endpoint with hop-by-hop forwarding."""
+
+    def __init__(self, node: Node, topology: Topology) -> None:
+        self.node = node
+        self.topology = topology
+        self._handlers: dict[str, MessageHandler] = {}
+        self.counters = {"sent": 0, "received": 0, "forwarded": 0, "dropped": 0}
+        node.register_protocol(PROTO_SIGNALING, self._on_packet)
+        #: node name -> agent, maintained by attach_agents for direct tests.
+        self.sent_log: list[dict] = []
+
+    # -- sending -----------------------------------------------------------------
+
+    def send(self, dst_node: str, message_type: str, **fields: Any) -> int:
+        """Send a typed message to the named node; returns the message id.
+
+        The message travels the simulated network: it is scheduled onto
+        links and arrives after real propagation/serialisation delay.
+        """
+        message_id = next(_MESSAGE_IDS)
+        message = {
+            "id": message_id,
+            "type": message_type,
+            "from": self.node.name,
+            "to": dst_node,
+            **fields,
+        }
+        self._route_and_send(message)
+        self.counters["sent"] += 1
+        self.sent_log.append(message)
+        return message_id
+
+    def _route_and_send(self, message: dict) -> None:
+        dst_node = message["to"]
+        if dst_node == self.node.name:
+            # Loopback delivery without touching the network.
+            self._dispatch(message)
+            return
+        next_hops = self.topology.next_hops(self.node.name)
+        hop = next_hops.get(dst_node)
+        if hop is None:
+            raise SignalingError(
+                f"{self.node.name} has no route to {dst_node!r}"
+            )
+        dst_address = self.topology.node(dst_node).address
+        packet = Packet(
+            IPv4Header(
+                src=self.node.address,
+                dst=dst_address,
+                ttl=64,
+                protocol=PROTO_SIGNALING,
+            ),
+            None,
+            encode_message(message),
+            created_at=self.topology.engine.now,
+        )
+        if not self.node.send_to_neighbor(hop, packet):
+            self.counters["dropped"] += 1
+
+    # -- receiving -----------------------------------------------------------------
+
+    def _on_packet(self, packet: Packet, port: str) -> None:
+        try:
+            message = decode_message(packet.payload)
+        except PacketError:
+            self.counters["dropped"] += 1
+            return
+        if message.get("to") == self.node.name:
+            self.counters["received"] += 1
+            self._dispatch(message)
+            return
+        # Transit: forward toward the destination.
+        hop = self.topology.next_hops(self.node.name).get(message.get("to", ""))
+        if hop is None or packet.net.ttl <= 1:
+            self.counters["dropped"] += 1
+            return
+        packet.net.ttl -= 1
+        packet.net.refresh_checksum()
+        self.counters["forwarded"] += 1
+        self.node.send_to_neighbor(hop, packet)
+
+    def _dispatch(self, message: dict) -> None:
+        handler = self._handlers.get(message.get("type", ""))
+        if handler is None:
+            self.counters["dropped"] += 1
+            return
+        handler(message, message.get("from", "?"))
+
+    def on(self, message_type: str, handler: MessageHandler) -> None:
+        """Register the handler for one message type."""
+        if message_type in self._handlers:
+            raise SignalingError(
+                f"{self.node.name} already handles {message_type!r}"
+            )
+        self._handlers[message_type] = handler
+
+    def off(self, message_type: str) -> None:
+        """Remove a message-type handler."""
+        self._handlers.pop(message_type, None)
+
+
+def attach_agents(topology: Topology) -> dict[str, SignalingAgent]:
+    """Create a signaling agent on every node of *topology*."""
+    return {
+        name: SignalingAgent(node, topology)
+        for name, node in topology.nodes.items()
+    }

@@ -1,0 +1,40 @@
+"""The IXP1200 model and the placement meta-model (section 5's planned
+port, built out)."""
+
+from repro.ixp.hardware import (
+    DEFAULT_PROFILES,
+    MICROENGINE,
+    SCRATCHPAD,
+    SDRAM,
+    SRAM,
+    STRONGARM,
+    CostProfile,
+    IxpBoard,
+    MemoryLevel,
+    ProcessingElement,
+)
+from repro.ixp.placement import (
+    PlacedComponent,
+    PlacementMetaModel,
+    PlacementReport,
+)
+from repro.ixp.runtime import BoardSimulator, SimulationResult, StageVisit
+
+__all__ = [
+    "BoardSimulator",
+    "CostProfile",
+    "DEFAULT_PROFILES",
+    "IxpBoard",
+    "MICROENGINE",
+    "MemoryLevel",
+    "PlacedComponent",
+    "PlacementMetaModel",
+    "PlacementReport",
+    "ProcessingElement",
+    "SCRATCHPAD",
+    "SDRAM",
+    "SRAM",
+    "STRONGARM",
+    "SimulationResult",
+    "StageVisit",
+]

@@ -1,0 +1,209 @@
+"""IXP1200 hardware model.
+
+The paper's planned port targets the Intel IXP1200: "an exotic hardware
+architecture comprising multiple processors — both a StrongARM control
+processor and Intel-proprietary 'micro-engine' processors — together with
+distributed/hierarchical memory arrays".
+
+The model is a calibrated cost model, which is all the placement
+experiment needs: processing elements with clock rates and capability
+flags, and a three-level memory hierarchy (scratchpad / SRAM / SDRAM) with
+per-access latencies.  Component *cost profiles* (instructions + memory
+references per packet) combine with a PE and a memory level to give a
+per-packet service time; the placement meta-model optimises over exactly
+this quantity.
+
+Figures are order-of-magnitude faithful to the real part (232 MHz
+StrongARM, 6 micro-engines at ~177-232 MHz, scratchpad ~ a few cycles,
+SRAM ~ 16-20 cycles, SDRAM ~ 33-40 cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.opencom.errors import PlacementError
+
+#: PE kinds.
+STRONGARM = "strongarm"
+MICROENGINE = "microengine"
+
+#: Memory levels, fastest first.
+SCRATCHPAD = "scratchpad"
+SRAM = "sram"
+SDRAM = "sdram"
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the hierarchy."""
+
+    name: str
+    capacity_bytes: int
+    access_cycles: float
+
+
+@dataclass
+class ProcessingElement:
+    """One processor on the board."""
+
+    name: str
+    kind: str
+    clock_hz: float
+    #: Can this PE run control-plane/management components?  Only the
+    #: StrongARM runs the OpenCOM runtime's management half.
+    control_capable: bool
+
+    def cycle_time(self) -> float:
+        """Seconds per cycle."""
+        return 1.0 / self.clock_hz
+
+
+@dataclass
+class CostProfile:
+    """Per-packet cost of one component on this board.
+
+    ``instructions`` execute on the PE; ``memory_references`` hit the
+    component's assigned memory level; ``control_plane`` pins the
+    component to a control-capable PE.
+    """
+
+    instructions: float
+    memory_references: float = 0.0
+    control_plane: bool = False
+    #: Preferred memory level (falls back down the hierarchy when full).
+    memory_level: str = SRAM
+    #: State bytes the component needs resident.
+    state_bytes: int = 512
+
+
+#: Default cost profiles for the stratum-2 component library, in
+#: instructions per packet.  Values are representative of hand-written
+#: micro-engine code for the same function (classification ~ hundreds of
+#: instructions, LPM ~ tens of memory references, header processing ~
+#: small fixed cost).
+DEFAULT_PROFILES: dict[str, CostProfile] = {
+    "ProtocolRecognizer": CostProfile(instructions=20, memory_references=1),
+    "ChecksumValidator": CostProfile(instructions=120, memory_references=5),
+    "IPv4HeaderProcessor": CostProfile(instructions=90, memory_references=4),
+    "IPv6HeaderProcessor": CostProfile(instructions=70, memory_references=4),
+    "Classifier": CostProfile(instructions=250, memory_references=8),
+    "FifoQueue": CostProfile(instructions=40, memory_references=6, memory_level=SDRAM, state_bytes=16384),
+    "RedQueue": CostProfile(instructions=80, memory_references=8, memory_level=SDRAM, state_bytes=16384),
+    "PriorityLinkScheduler": CostProfile(instructions=60, memory_references=4),
+    "DrrScheduler": CostProfile(instructions=90, memory_references=6),
+    "WfqScheduler": CostProfile(instructions=140, memory_references=8),
+    "Forwarder": CostProfile(instructions=180, memory_references=24, memory_level=SRAM, state_bytes=65536),
+    "TokenBucketShaper": CostProfile(instructions=70, memory_references=3),
+    "Policer": CostProfile(instructions=60, memory_references=3),
+    "SourceNat": CostProfile(instructions=150, memory_references=10, state_bytes=32768),
+    "CollectorSink": CostProfile(instructions=10, memory_references=1),
+    "DropSink": CostProfile(instructions=5),
+    "NicIngress": CostProfile(instructions=50, memory_references=4, memory_level=SCRATCHPAD),
+    "NicEgress": CostProfile(instructions=50, memory_references=4, memory_level=SCRATCHPAD),
+    "ExecutionEnvironment": CostProfile(
+        instructions=4000, memory_references=60, control_plane=True, state_bytes=131072
+    ),
+    "Controller": CostProfile(
+        instructions=500, memory_references=10, control_plane=True, state_bytes=8192
+    ),
+    "FlowManager": CostProfile(instructions=200, memory_references=12, state_bytes=32768),
+    "MediaDownsampler": CostProfile(instructions=60, memory_references=4),
+    "FecEncoder": CostProfile(instructions=800, memory_references=30),
+    "FecDecoder": CostProfile(instructions=900, memory_references=34),
+}
+
+
+class IxpBoard:
+    """One IXP1200: a StrongARM, six micro-engines, three memory levels."""
+
+    def __init__(
+        self,
+        *,
+        strongarm_hz: float = 232e6,
+        microengine_hz: float = 177e6,
+        microengines: int = 6,
+    ) -> None:
+        self.pes: dict[str, ProcessingElement] = {
+            "sa0": ProcessingElement("sa0", STRONGARM, strongarm_hz, control_capable=True)
+        }
+        for index in range(microengines):
+            name = f"ue{index}"
+            self.pes[name] = ProcessingElement(
+                name, MICROENGINE, microengine_hz, control_capable=False
+            )
+        self.memory: dict[str, MemoryLevel] = {
+            SCRATCHPAD: MemoryLevel(SCRATCHPAD, 4 * 1024, 3.0),
+            SRAM: MemoryLevel(SRAM, 8 * 1024 * 1024, 18.0),
+            SDRAM: MemoryLevel(SDRAM, 256 * 1024 * 1024, 36.0),
+        }
+        #: Memory consumed per level by placed components.
+        self.memory_used: dict[str, int] = {level: 0 for level in self.memory}
+
+    def pe(self, name: str) -> ProcessingElement:
+        """Look a PE up by name."""
+        try:
+            return self.pes[name]
+        except KeyError:
+            raise PlacementError(f"unknown processing element {name!r}") from None
+
+    def microengines(self) -> list[ProcessingElement]:
+        """The micro-engine PEs in index order."""
+        return [pe for pe in self.pes.values() if pe.kind == MICROENGINE]
+
+    def control_processor(self) -> ProcessingElement:
+        """The StrongARM."""
+        return self.pes["sa0"]
+
+    # -- memory management ----------------------------------------------------------
+
+    def place_state(self, profile: CostProfile) -> str:
+        """Reserve *profile.state_bytes* at the preferred level, spilling
+        down the hierarchy; returns the level actually used."""
+        order = [SCRATCHPAD, SRAM, SDRAM]
+        start = order.index(profile.memory_level)
+        for level_name in order[start:]:
+            level = self.memory[level_name]
+            if self.memory_used[level_name] + profile.state_bytes <= level.capacity_bytes:
+                self.memory_used[level_name] += profile.state_bytes
+                return level_name
+        raise PlacementError(
+            f"no memory level can hold {profile.state_bytes} bytes of state"
+        )
+
+    def release_state(self, level_name: str, state_bytes: int) -> None:
+        """Return reserved state bytes to a level."""
+        self.memory_used[level_name] = max(
+             0, self.memory_used[level_name] - state_bytes
+        )
+
+    # -- cost model --------------------------------------------------------------------
+
+    def service_time(
+        self, profile: CostProfile, pe: ProcessingElement, memory_level: str
+    ) -> float:
+        """Seconds of PE time to process one packet of this component."""
+        level = self.memory[memory_level]
+        cycles = profile.instructions + profile.memory_references * level.access_cycles
+        if pe.kind == STRONGARM and not profile.control_plane:
+            # Data-plane code on the control processor pays interrupt/OS
+            # overhead the micro-engines do not have.
+            cycles *= 1.6
+        return cycles * pe.cycle_time()
+
+    def describe(self) -> dict:
+        """Board summary."""
+        return {
+            "pes": {
+                name: {"kind": pe.kind, "clock_mhz": pe.clock_hz / 1e6}
+                for name, pe in sorted(self.pes.items())
+            },
+            "memory": {
+                name: {
+                    "capacity": level.capacity_bytes,
+                    "access_cycles": level.access_cycles,
+                    "used": self.memory_used[name],
+                }
+                for name, level in self.memory.items()
+            },
+        }

@@ -1,0 +1,302 @@
+"""The placement meta-model.
+
+Section 5: "we think that the CF itself should contain the 'intelligence'
+to transparently manage this placement, but with the possibility to
+control/override this via a 'placement' meta-model".
+
+:class:`PlacementMetaModel` assigns pipeline components to the processing
+elements of an :class:`~repro.ixp.hardware.IxpBoard` under feasibility
+constraints (control-plane components pinned to the StrongARM, memory
+capacity respected), evaluates placements against a traffic profile, and
+supports exactly the two modes the paper asks for:
+
+- *transparent management*: :meth:`auto_place` with the ``greedy`` or
+  ``balanced`` strategy;
+- *control/override*: :meth:`pin` fixes a component to a PE before (or
+  after) auto-placement, and :meth:`migrate` moves one at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.ixp.hardware import (
+    DEFAULT_PROFILES,
+    CostProfile,
+    IxpBoard,
+    ProcessingElement,
+)
+from repro.opencom.errors import PlacementError
+
+
+@dataclass
+class PlacedComponent:
+    """One component under placement management."""
+
+    name: str
+    profile: CostProfile
+    #: Fraction of the total packet stream this component touches.
+    traffic_fraction: float = 1.0
+    pe: str | None = None
+    memory_level: str | None = None
+    pinned: bool = False
+
+
+@dataclass
+class PlacementReport:
+    """Evaluation of one complete placement."""
+
+    assignment: dict[str, str]
+    per_pe_time: dict[str, float]
+    throughput_pps: float
+    bottleneck: str
+    utilisation_spread: float
+    feasible: bool
+    problems: list[str] = field(default_factory=list)
+
+
+class PlacementMetaModel:
+    """Placement management for one board and one component set."""
+
+    def __init__(self, board: IxpBoard) -> None:
+        self.board = board
+        self._components: dict[str, PlacedComponent] = {}
+        self.migrations: list[tuple[str, str | None, str]] = []
+
+    # -- registration -------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        *,
+        profile: CostProfile | None = None,
+        component_type: str | None = None,
+        traffic_fraction: float = 1.0,
+    ) -> PlacedComponent:
+        """Put a component under placement management.
+
+        The cost profile comes from *profile*, or from
+        :data:`~repro.ixp.hardware.DEFAULT_PROFILES` keyed by
+        *component_type*.
+        """
+        if name in self._components:
+            raise PlacementError(f"component {name!r} already registered")
+        if profile is None:
+            if component_type is None or component_type not in DEFAULT_PROFILES:
+                raise PlacementError(
+                    f"no cost profile for {name!r} (type {component_type!r})"
+                )
+            profile = DEFAULT_PROFILES[component_type]
+        placed = PlacedComponent(name, profile, traffic_fraction)
+        self._components[name] = placed
+        return placed
+
+    def components(self) -> dict[str, PlacedComponent]:
+        """Snapshot of managed components."""
+        return dict(self._components)
+
+    # -- override interface ----------------------------------------------------------
+
+    def pin(self, name: str, pe_name: str) -> None:
+        """Override: fix a component to a PE (survives auto_place)."""
+        placed = self._component(name)
+        pe = self.board.pe(pe_name)
+        self._check_feasible(placed, pe)
+        self._assign(placed, pe)
+        placed.pinned = True
+
+    def unpin(self, name: str) -> None:
+        """Release a pin (the component stays put until re-placement)."""
+        self._component(name).pinned = False
+
+    def migrate(self, name: str, pe_name: str) -> None:
+        """Run-time move of one component (records the migration)."""
+        placed = self._component(name)
+        pe = self.board.pe(pe_name)
+        self._check_feasible(placed, pe)
+        previous = placed.pe
+        self._assign(placed, pe)
+        self.migrations.append((name, previous, pe_name))
+
+    # -- transparent placement ----------------------------------------------------------
+
+    def auto_place(self, strategy: str = "balanced") -> PlacementReport:
+        """Place all unpinned components.
+
+        Strategies
+        ----------
+        ``"control"``
+            Everything on the StrongARM (the degenerate pre-port layout —
+            useful as the baseline the paper's port motivates against).
+        ``"greedy"``
+            Heaviest component first onto the currently least-loaded
+            feasible PE.
+        ``"balanced"``
+            Greedy seed, then pairwise-swap local search minimising the
+            bottleneck PE time.
+        """
+        if strategy not in ("control", "greedy", "balanced"):
+            raise PlacementError(f"unknown strategy {strategy!r}")
+        movable = [c for c in self._components.values() if not c.pinned]
+        for component in movable:
+            self._unassign(component)
+
+        if strategy == "control":
+            sa = self.board.control_processor()
+            for component in movable:
+                self._assign(component, sa)
+            return self.evaluate()
+
+        loads: dict[str, float] = {name: 0.0 for name in self.board.pes}
+        for component in self._components.values():
+            if component.pe is not None:
+                loads[component.pe] += self._load_of(component, component.pe)
+        for component in sorted(
+            movable, key=lambda c: -self._nominal_load(c)
+        ):
+            candidates = [
+                pe for pe in self.board.pes.values()
+                if self._feasibility_problem(component, pe) is None
+            ]
+            if not candidates:
+                raise PlacementError(
+                    f"no feasible PE for component {component.name!r}"
+                )
+            best = min(
+                candidates,
+                key=lambda pe: loads[pe.name] + self._load_of(component, pe.name),
+            )
+            self._assign(component, best)
+            loads[best.name] += self._load_of(component, best.name)
+
+        if strategy == "balanced":
+            self._local_search(movable)
+        return self.evaluate()
+
+    def _local_search(self, movable: list[PlacedComponent], *, rounds: int = 50) -> None:
+        for _ in range(rounds):
+            report = self.evaluate()
+            improved = False
+            bottleneck_components = [
+                c for c in movable if c.pe == report.bottleneck
+            ]
+            for component in bottleneck_components:
+                current_pe = component.pe
+                for pe in self.board.pes.values():
+                    if pe.name == current_pe:
+                        continue
+                    if self._feasibility_problem(component, pe) is not None:
+                        continue
+                    self._reassign(component, pe)
+                    candidate = self.evaluate()
+                    if candidate.throughput_pps > report.throughput_pps:
+                        improved = True
+                        report = candidate
+                        break
+                    self._reassign(component, self.board.pe(current_pe))
+                if improved:
+                    break
+            if not improved:
+                return
+
+    # -- evaluation -------------------------------------------------------------------------
+
+    def evaluate(self) -> PlacementReport:
+        """Score the current placement against the traffic profile.
+
+        Per-PE time is the sum over its components of
+        ``service_time * traffic_fraction``; throughput is the inverse of
+        the bottleneck PE's per-packet time; spread is (max-min)/max over
+        loaded PEs.
+        """
+        problems: list[str] = []
+        per_pe: dict[str, float] = {name: 0.0 for name in self.board.pes}
+        for component in self._components.values():
+            if component.pe is None:
+                problems.append(f"component {component.name!r} unplaced")
+                continue
+            per_pe[component.pe] += self._load_of(component, component.pe)
+        bottleneck = max(per_pe, key=lambda name: per_pe[name])
+        bottleneck_time = per_pe[bottleneck]
+        throughput = 1.0 / bottleneck_time if bottleneck_time > 0 else float("inf")
+        loaded = [t for t in per_pe.values() if t > 0]
+        spread = (
+            (max(loaded) - min(loaded)) / max(loaded) if len(loaded) > 1 else 0.0
+        )
+        return PlacementReport(
+            assignment={
+                name: c.pe or "?" for name, c in sorted(self._components.items())
+            },
+            per_pe_time=per_pe,
+            throughput_pps=throughput,
+            bottleneck=bottleneck,
+            utilisation_spread=spread,
+            feasible=not problems,
+            problems=problems,
+        )
+
+    # -- internals ---------------------------------------------------------------------------
+
+    def _component(self, name: str) -> PlacedComponent:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise PlacementError(f"unknown component {name!r}") from None
+
+    def _nominal_load(self, component: PlacedComponent) -> float:
+        reference = self.board.microengines()[0]
+        return (
+            self.board.service_time(
+                component.profile, reference, component.profile.memory_level
+            )
+            * component.traffic_fraction
+        )
+
+    def _load_of(self, component: PlacedComponent, pe_name: str) -> float:
+        level = component.memory_level or component.profile.memory_level
+        return (
+            self.board.service_time(component.profile, self.board.pe(pe_name), level)
+            * component.traffic_fraction
+        )
+
+    def _feasibility_problem(
+        self, component: PlacedComponent, pe: ProcessingElement
+    ) -> str | None:
+        if component.profile.control_plane and not pe.control_capable:
+            return (
+                f"{component.name} is control-plane and {pe.name} is not "
+                "control-capable"
+            )
+        return None
+
+    def _check_feasible(self, component: PlacedComponent, pe: ProcessingElement) -> None:
+        problem = self._feasibility_problem(component, pe)
+        if problem is not None:
+            raise PlacementError(problem)
+
+    def _assign(self, component: PlacedComponent, pe: ProcessingElement) -> None:
+        if component.memory_level is None:
+            component.memory_level = self.board.place_state(component.profile)
+        component.pe = pe.name
+
+    def _reassign(self, component: PlacedComponent, pe: ProcessingElement) -> None:
+        component.pe = pe.name
+
+    def _unassign(self, component: PlacedComponent) -> None:
+        if component.memory_level is not None:
+            self.board.release_state(
+                component.memory_level, component.profile.state_bytes
+            )
+            component.memory_level = None
+        component.pe = None
+
+    def describe(self) -> dict[str, Any]:
+        """Assignment plus migration history."""
+        return {
+            "assignment": {
+                name: {"pe": c.pe, "memory": c.memory_level, "pinned": c.pinned}
+                for name, c in sorted(self._components.items())
+            },
+            "migrations": list(self.migrations),
+        }

@@ -1,0 +1,167 @@
+"""Discrete-event simulation engine.
+
+A classic event-heap simulator over the shared
+:class:`~repro.osbase.clock.VirtualClock`.  Links, nodes, signaling
+protocols and workload generators all schedule callbacks here; running the
+engine advances virtual time deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.opencom.errors import OpenComError
+from repro.osbase.clock import VirtualClock
+
+
+class EngineError(OpenComError):
+    """Invalid engine operation."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Cancellation handle for a scheduled event."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Suppress the event if it has not fired yet."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+
+class Engine:
+    """The event loop: schedule callbacks, run virtual time forward."""
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: list[_Event] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+        #: Exceptions raised by event callbacks (the engine never dies on a
+        #: callback error; failures are recorded for the caller to assert on).
+        self.callback_errors: list[tuple[float, Exception]] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule *callback* to fire *delay* seconds from now."""
+        if delay < 0:
+            raise EngineError(f"cannot schedule in the past (delay {delay})")
+        return self.schedule_at(self.clock.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule *callback* at an absolute virtual time."""
+        if time < self.clock.now:
+            raise EngineError(
+                f"cannot schedule at {time}, now is {self.clock.now}"
+            )
+        event = _Event(time, next(self._sequence), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        jitter: float = 0.0,
+        until: float | None = None,
+    ) -> EventHandle:
+        """Schedule a self-re-arming periodic callback.
+
+        Cancelling the returned handle stops the *current* arm; the wrapper
+        checks a shared flag so cancellation stops the whole series.
+        """
+        if period <= 0:
+            raise EngineError("period must be positive")
+        state = {"stopped": False, "handle": None}
+
+        def tick() -> None:
+            if state["stopped"]:
+                return
+            callback()
+            next_time = self.clock.now + period + jitter
+            if until is None or next_time <= until:
+                state["handle"] = self.schedule_at(next_time, tick)
+
+        first = self.schedule(period, tick)
+        state["handle"] = first
+
+        class _SeriesHandle(EventHandle):
+            def __init__(self) -> None:  # noqa: D401 - tiny adapter
+                pass
+
+            def cancel(self) -> None:
+                state["stopped"] = True
+                handle = state["handle"]
+                if handle is not None:
+                    handle.cancel()
+
+            @property
+            def time(self) -> float:
+                handle = state["handle"]
+                return handle.time if handle is not None else float("inf")
+
+        return _SeriesHandle()
+
+    # -- running --------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(max(event.time, self.clock.now))
+            self.events_processed += 1
+            try:
+                event.callback()
+            except Exception as exc:  # noqa: BLE001 - containment boundary
+                self.callback_errors.append((self.clock.now, exc))
+            return True
+        return False
+
+    def run_until(self, deadline: float, *, max_events: int = 10_000_000) -> int:
+        """Process events up to *deadline* (clock ends exactly there);
+        returns the number of events processed."""
+        processed = 0
+        while processed < max_events:
+            while self._heap and self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+            if not self._heap or self._heap[0].time > deadline:
+                break
+            self.step()
+            processed += 1
+        if self.clock.now < deadline:
+            self.clock.advance_to(deadline)
+        return processed
+
+    def run(self, *, max_events: int = 10_000_000) -> int:
+        """Process events until the heap drains; returns events processed."""
+        processed = 0
+        while processed < max_events and self.step():
+            processed += 1
+        return processed
+
+    def pending(self) -> int:
+        """Events scheduled and not cancelled."""
+        return sum(1 for e in self._heap if not e.cancelled)

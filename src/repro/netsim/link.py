@@ -1,0 +1,157 @@
+"""Point-to-point links: bandwidth, propagation delay, loss, backlog.
+
+A link connects two (node, port) endpoints in full duplex.  Each direction
+serialises packets at the configured bandwidth (a busy-until horizon), adds
+propagation latency, drops with a seeded Bernoulli loss process, and bounds
+its backlog — pushing a packet into a saturated direction fails, which is
+how congestion becomes visible to NICs and queues upstream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.netsim.engine import Engine
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.node import Node
+
+
+@dataclass
+class LinkStats:
+    """Per-direction link statistics."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    dropped_backlog: int = 0
+    bytes_sent: int = 0
+
+
+class _Direction:
+    """One direction of a duplex link."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        bandwidth_bps: float,
+        latency_s: float,
+        loss_rate: float,
+        max_backlog: int,
+        rng: random.Random,
+    ) -> None:
+        self.engine = engine
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self.loss_rate = loss_rate
+        self.max_backlog = max_backlog
+        self.rng = rng
+        self.busy_until = 0.0
+        self.in_flight = 0
+        self.stats = LinkStats()
+
+    def send(self, packet: Packet, deliver) -> bool:
+        """Serialise and propagate one packet; returns False when dropped."""
+        if self.in_flight >= self.max_backlog:
+            self.stats.dropped_backlog += 1
+            return False
+        now = self.engine.now
+        start = max(now, self.busy_until)
+        tx_delay = packet.size_bytes * 8 / self.bandwidth_bps
+        self.busy_until = start + tx_delay
+        self.stats.sent += 1
+        self.stats.bytes_sent += packet.size_bytes
+        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+            self.stats.lost += 1
+            return True  # the sender cannot tell a lost packet was lost
+        arrival = self.busy_until + self.latency_s
+        self.in_flight += 1
+
+        def arrive() -> None:
+            self.in_flight -= 1
+            self.stats.delivered += 1
+            deliver(packet)
+
+        self.engine.schedule_at(arrival, arrive)
+        return True
+
+    @property
+    def utilisation_horizon(self) -> float:
+        """Seconds of queued serialisation work ahead of 'now'."""
+        return max(0.0, self.busy_until - self.engine.now)
+
+
+class Link:
+    """A duplex link between two node ports."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        a: "tuple[Node, str]",
+        b: "tuple[Node, str]",
+        *,
+        bandwidth_bps: float = 100e6,
+        latency_s: float = 1e-3,
+        loss_rate: float = 0.0,
+        max_backlog: int = 1000,
+        seed: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.endpoint_a = a
+        self.endpoint_b = b
+        rng = random.Random(seed)
+        self._forward = _Direction(
+            engine, bandwidth_bps, latency_s, loss_rate, max_backlog, rng
+        )
+        self._reverse = _Direction(
+            engine, bandwidth_bps, latency_s, loss_rate, max_backlog, rng
+        )
+
+    def send_from(self, node: "Node", packet: Packet) -> bool:
+        """Send a packet from one of the two endpoints toward the other."""
+        if node is self.endpoint_a[0]:
+            direction, (peer, port) = self._forward, self.endpoint_b
+        elif node is self.endpoint_b[0]:
+            direction, (peer, port) = self._reverse, self.endpoint_a
+        else:
+            raise ValueError(f"node {node.name} is not an endpoint of this link")
+        return direction.send(packet, lambda pkt: peer.deliver(port, pkt))
+
+    def peer_of(self, node: "Node") -> "Node":
+        """The node at the other end."""
+        if node is self.endpoint_a[0]:
+            return self.endpoint_b[0]
+        if node is self.endpoint_b[0]:
+            return self.endpoint_a[0]
+        raise ValueError(f"node {node.name} is not an endpoint of this link")
+
+    def direction_from(self, node: "Node") -> _Direction:
+        """The outbound direction as seen from *node* (for statistics)."""
+        if node is self.endpoint_a[0]:
+            return self._forward
+        if node is self.endpoint_b[0]:
+            return self._reverse
+        raise ValueError(f"node {node.name} is not an endpoint of this link")
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Adjust both directions' loss rate (wireless-regime switches in
+        experiment C9)."""
+        self._forward.loss_rate = loss_rate
+        self._reverse.loss_rate = loss_rate
+
+    @property
+    def latency_s(self) -> float:
+        """One-way propagation delay."""
+        return self._forward.latency_s
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Per-direction bandwidth."""
+        return self._forward.bandwidth_bps
+
+    def stats(self) -> dict[str, LinkStats]:
+        """Both directions' statistics."""
+        return {"a_to_b": self._forward.stats, "b_to_a": self._reverse.stats}

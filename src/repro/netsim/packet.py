@@ -1,0 +1,451 @@
+"""Packets and protocol headers.
+
+Real header layouts and a real RFC 1071 internet checksum: the stratum-2
+components (checksum validators, header processors, classifiers) operate
+on honest bytes, so their per-packet costs and failure modes are faithful
+even though the wire is simulated.
+
+Addresses are integers internally; the helpers accept and render the usual
+dotted/colon notations via :mod:`ipaddress`.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import itertools
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+from repro.opencom.errors import OpenComError
+
+_PACKET_IDS = itertools.count(1)
+
+#: IP protocol numbers used across the system.
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+#: Locally chosen protocol number for stratum-4 signaling payloads.
+PROTO_SIGNALING = 253
+#: Locally chosen protocol number for stratum-3 active-network capsules.
+PROTO_ACTIVE = 254
+
+
+class PacketError(OpenComError):
+    """Malformed packet or header operation."""
+
+
+def ipv4(address: str | int) -> int:
+    """Parse an IPv4 address to its integer form."""
+    if isinstance(address, int):
+        return address
+    return int(ipaddress.IPv4Address(address))
+
+
+def ipv6(address: str | int) -> int:
+    """Parse an IPv6 address to its integer form."""
+    if isinstance(address, int):
+        return address
+    return int(ipaddress.IPv6Address(address))
+
+
+def format_ipv4(address: int) -> str:
+    """Render an integer IPv4 address in dotted notation."""
+    return str(ipaddress.IPv4Address(address))
+
+
+def format_ipv6(address: int) -> str:
+    """Render an integer IPv6 address in colon notation."""
+    return str(ipaddress.IPv6Address(address))
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 16-bit one's-complement checksum."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass
+class IPv4Header:
+    """IPv4 header (20 bytes, no options)."""
+
+    src: int
+    dst: int
+    ttl: int = 64
+    protocol: int = PROTO_UDP
+    dscp: int = 0
+    ecn: int = 0
+    identification: int = 0
+    total_length: int = 20
+    checksum: int = 0
+
+    VERSION = 4
+    HEADER_LEN = 20
+
+    def compute_checksum(self) -> int:
+        """Checksum over the header with the checksum field zeroed."""
+        return internet_checksum(self._pack(checksum=0))
+
+    def refresh_checksum(self) -> None:
+        """Store the freshly computed checksum (after any field change)."""
+        self.checksum = self.compute_checksum()
+
+    def checksum_ok(self) -> bool:
+        """Validate the stored checksum."""
+        return self.checksum == self.compute_checksum()
+
+    def _pack(self, *, checksum: int | None = None) -> bytes:
+        version_ihl = (4 << 4) | 5
+        tos = ((self.dscp & 0x3F) << 2) | (self.ecn & 0x3)
+        return struct.pack(
+            "!BBHHHBBHII",
+            version_ihl,
+            tos,
+            self.total_length,
+            self.identification,
+            0,  # flags/fragment offset: fragmentation is out of scope
+            self.ttl,
+            self.protocol,
+            self.checksum if checksum is None else checksum,
+            self.src,
+            self.dst,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise the header (checksum as stored)."""
+        return self._pack()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv4Header":
+        """Parse 20 header bytes."""
+        if len(data) < cls.HEADER_LEN:
+            raise PacketError(f"IPv4 header needs 20 bytes, got {len(data)}")
+        (
+            version_ihl,
+            tos,
+            total_length,
+            identification,
+            _flags_frag,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = struct.unpack("!BBHHHBBHII", data[: cls.HEADER_LEN])
+        if version_ihl >> 4 != 4:
+            raise PacketError(f"not an IPv4 header (version {version_ihl >> 4})")
+        return cls(
+            src=src,
+            dst=dst,
+            ttl=ttl,
+            protocol=protocol,
+            dscp=tos >> 2,
+            ecn=tos & 0x3,
+            identification=identification,
+            total_length=total_length,
+            checksum=checksum,
+        )
+
+
+@dataclass
+class IPv6Header:
+    """IPv6 header (40 bytes)."""
+
+    src: int
+    dst: int
+    hop_limit: int = 64
+    traffic_class: int = 0
+    flow_label: int = 0
+    payload_length: int = 0
+    next_header: int = PROTO_UDP
+
+    VERSION = 6
+    HEADER_LEN = 40
+
+    def to_bytes(self) -> bytes:
+        """Serialise the header (IPv6 has no header checksum)."""
+        word0 = (6 << 28) | ((self.traffic_class & 0xFF) << 20) | (
+            self.flow_label & 0xFFFFF
+        )
+        return (
+            struct.pack("!IHBB", word0, self.payload_length, self.next_header, self.hop_limit)
+            + self.src.to_bytes(16, "big")
+            + self.dst.to_bytes(16, "big")
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv6Header":
+        """Parse 40 header bytes."""
+        if len(data) < cls.HEADER_LEN:
+            raise PacketError(f"IPv6 header needs 40 bytes, got {len(data)}")
+        word0, payload_length, next_header, hop_limit = struct.unpack(
+            "!IHBB", data[:8]
+        )
+        if word0 >> 28 != 6:
+            raise PacketError(f"not an IPv6 header (version {word0 >> 28})")
+        return cls(
+            src=int.from_bytes(data[8:24], "big"),
+            dst=int.from_bytes(data[24:40], "big"),
+            hop_limit=hop_limit,
+            traffic_class=(word0 >> 20) & 0xFF,
+            flow_label=word0 & 0xFFFFF,
+            payload_length=payload_length,
+            next_header=next_header,
+        )
+
+
+@dataclass
+class UDPHeader:
+    """UDP header (8 bytes; checksum optional and unused here)."""
+
+    sport: int
+    dport: int
+    length: int = 8
+
+    HEADER_LEN = 8
+
+    def to_bytes(self) -> bytes:
+        """Serialise the header."""
+        return struct.pack("!HHHH", self.sport, self.dport, self.length, 0)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UDPHeader":
+        """Parse 8 header bytes."""
+        if len(data) < cls.HEADER_LEN:
+            raise PacketError(f"UDP header needs 8 bytes, got {len(data)}")
+        sport, dport, length, _checksum = struct.unpack("!HHHH", data[:8])
+        return cls(sport=sport, dport=dport, length=length)
+
+
+@dataclass
+class TCPHeader:
+    """TCP header (20 bytes, no options)."""
+
+    sport: int
+    dport: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+
+    HEADER_LEN = 20
+
+    def to_bytes(self) -> bytes:
+        """Serialise the header."""
+        offset_flags = (5 << 12) | (self.flags & 0x1FF)
+        return struct.pack(
+            "!HHIIHHHH",
+            self.sport,
+            self.dport,
+            self.seq,
+            self.ack,
+            offset_flags,
+            self.window,
+            0,
+            0,
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TCPHeader":
+        """Parse 20 header bytes."""
+        if len(data) < cls.HEADER_LEN:
+            raise PacketError(f"TCP header needs 20 bytes, got {len(data)}")
+        sport, dport, seq, ack, offset_flags, window, _c, _u = struct.unpack(
+            "!HHIIHHHH", data[:20]
+        )
+        return cls(
+            sport=sport,
+            dport=dport,
+            seq=seq,
+            ack=ack,
+            flags=offset_flags & 0x1FF,
+            window=window,
+        )
+
+
+class Packet:
+    """One packet travelling the simulated network.
+
+    A packet carries a network header (v4 or v6), an optional transport
+    header, a payload, and a metadata dict that in-band components use for
+    classification results, ingress port, colour marks, and so on (metadata
+    never crosses the wire — serialisation drops it, as real metadata
+    would be).
+    """
+
+    def __init__(
+        self,
+        net: IPv4Header | IPv6Header,
+        transport: UDPHeader | TCPHeader | None = None,
+        payload: bytes = b"",
+        *,
+        created_at: float = 0.0,
+    ) -> None:
+        self.packet_id = next(_PACKET_IDS)
+        self.net = net
+        self.transport = transport
+        self.payload = payload
+        self.created_at = created_at
+        self.metadata: dict[str, Any] = {}
+        self._refresh_lengths()
+
+    # -- derived fields ----------------------------------------------------------
+
+    def _refresh_lengths(self) -> None:
+        transport_len = len(self.transport.to_bytes()) if self.transport else 0
+        if isinstance(self.net, IPv4Header):
+            self.net.total_length = (
+                IPv4Header.HEADER_LEN + transport_len + len(self.payload)
+            )
+            self.net.refresh_checksum()
+        else:
+            self.net.payload_length = transport_len + len(self.payload)
+
+    @property
+    def version(self) -> int:
+        """IP version (4 or 6)."""
+        return self.net.VERSION
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-wire size."""
+        header = self.net.HEADER_LEN
+        transport = self.transport.HEADER_LEN if self.transport else 0
+        return header + transport + len(self.payload)
+
+    @property
+    def dscp(self) -> int:
+        """Diffserv code point (traffic_class >> 2 for v6)."""
+        if isinstance(self.net, IPv4Header):
+            return self.net.dscp
+        return self.net.traffic_class >> 2
+
+    def flow_key(self) -> tuple:
+        """Five-tuple (version, src, dst, sport, dport, proto) identifying
+        the packet's flow."""
+        sport = getattr(self.transport, "sport", 0)
+        dport = getattr(self.transport, "dport", 0)
+        proto = (
+            self.net.protocol
+            if isinstance(self.net, IPv4Header)
+            else self.net.next_header
+        )
+        return (self.version, self.net.src, self.net.dst, sport, dport, proto)
+
+    # -- serialisation ----------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise the whole packet to wire bytes."""
+        self._refresh_lengths()
+        parts = [self.net.to_bytes()]
+        if self.transport is not None:
+            parts.append(self.transport.to_bytes())
+        parts.append(self.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, *, created_at: float = 0.0) -> "Packet":
+        """Parse wire bytes into a packet (v4 or v6, UDP/TCP transport)."""
+        if not data:
+            raise PacketError("empty packet")
+        version = data[0] >> 4
+        if version == 4:
+            net: IPv4Header | IPv6Header = IPv4Header.from_bytes(data)
+            offset = IPv4Header.HEADER_LEN
+            proto = net.protocol
+        elif version == 6:
+            net = IPv6Header.from_bytes(data)
+            offset = IPv6Header.HEADER_LEN
+            proto = net.next_header
+        else:
+            raise PacketError(f"unknown IP version {version}")
+        transport: UDPHeader | TCPHeader | None = None
+        if proto == PROTO_UDP:
+            transport = UDPHeader.from_bytes(data[offset:])
+            offset += UDPHeader.HEADER_LEN
+        elif proto == PROTO_TCP:
+            transport = TCPHeader.from_bytes(data[offset:])
+            offset += TCPHeader.HEADER_LEN
+        packet = cls(net, transport, data[offset:], created_at=created_at)
+        return packet
+
+    def copy(self) -> "Packet":
+        """Deep-enough copy for fan-out paths (fresh id, copied headers and
+        metadata)."""
+        clone = Packet.from_bytes(self.to_bytes(), created_at=self.created_at)
+        clone.metadata = dict(self.metadata)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        if isinstance(self.net, IPv4Header):
+            src, dst = format_ipv4(self.net.src), format_ipv4(self.net.dst)
+        else:
+            src, dst = format_ipv6(self.net.src), format_ipv6(self.net.dst)
+        return (
+            f"<Packet#{self.packet_id} v{self.version} {src}->{dst} "
+            f"{self.size_bytes}B>"
+        )
+
+
+def make_udp_v4(
+    src: str | int,
+    dst: str | int,
+    *,
+    sport: int = 1000,
+    dport: int = 2000,
+    payload: bytes = b"",
+    ttl: int = 64,
+    dscp: int = 0,
+    created_at: float = 0.0,
+) -> Packet:
+    """Convenience constructor: IPv4/UDP packet."""
+    net = IPv4Header(src=ipv4(src), dst=ipv4(dst), ttl=ttl, dscp=dscp, protocol=PROTO_UDP)
+    transport = UDPHeader(sport=sport, dport=dport, length=UDPHeader.HEADER_LEN + len(payload))
+    return Packet(net, transport, payload, created_at=created_at)
+
+
+def make_udp_v6(
+    src: str | int,
+    dst: str | int,
+    *,
+    sport: int = 1000,
+    dport: int = 2000,
+    payload: bytes = b"",
+    hop_limit: int = 64,
+    traffic_class: int = 0,
+    created_at: float = 0.0,
+) -> Packet:
+    """Convenience constructor: IPv6/UDP packet."""
+    net = IPv6Header(
+        src=ipv6(src),
+        dst=ipv6(dst),
+        hop_limit=hop_limit,
+        traffic_class=traffic_class,
+        next_header=PROTO_UDP,
+    )
+    transport = UDPHeader(sport=sport, dport=dport, length=UDPHeader.HEADER_LEN + len(payload))
+    return Packet(net, transport, payload, created_at=created_at)
+
+
+def make_tcp_v4(
+    src: str | int,
+    dst: str | int,
+    *,
+    sport: int = 1000,
+    dport: int = 80,
+    seq: int = 0,
+    flags: int = 0,
+    payload: bytes = b"",
+    ttl: int = 64,
+    dscp: int = 0,
+    created_at: float = 0.0,
+) -> Packet:
+    """Convenience constructor: IPv4/TCP packet."""
+    net = IPv4Header(src=ipv4(src), dst=ipv4(dst), ttl=ttl, dscp=dscp, protocol=PROTO_TCP)
+    transport = TCPHeader(sport=sport, dport=dport, seq=seq, flags=flags)
+    return Packet(net, transport, payload, created_at=created_at)

@@ -1,0 +1,231 @@
+"""Topology construction and static routing.
+
+Builds networks of :class:`~repro.netsim.node.Node` joined by
+:class:`~repro.netsim.link.Link`, with standard shapes (chain, star, tree,
+ring, grid) and seeded random graphs.  Also computes shortest-path routing
+tables (Dijkstra over link latency) that stratum-2 forwarders and
+stratum-4 signaling both consume.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any
+
+from repro.netsim.engine import Engine
+from repro.netsim.link import Link
+from repro.netsim.node import Node, NodeError
+from repro.netsim.packet import format_ipv4
+
+
+class Topology:
+    """A collection of nodes and links over one engine."""
+
+    def __init__(self, engine: Engine | None = None, *, address_base: int = 0x0A000001) -> None:
+        self.engine = engine if engine is not None else Engine()
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+        self._address_counter = itertools.count(address_base)
+
+    # -- construction -----------------------------------------------------------
+
+    def add_node(self, name: str) -> Node:
+        """Create a node with an auto-assigned 10.x address."""
+        if name in self.nodes:
+            raise NodeError(f"node {name!r} already exists")
+        node = Node(name, self.engine, address=next(self._address_counter))
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        """Look a node up by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise NodeError(f"unknown node {name!r}") from None
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        *,
+        bandwidth_bps: float = 100e6,
+        latency_s: float = 1e-3,
+        loss_rate: float = 0.0,
+        max_backlog: int = 1000,
+        seed: int = 0,
+    ) -> Link:
+        """Join two nodes with a duplex link (ports auto-named)."""
+        node_a, node_b = self.node(a), self.node(b)
+        port_a = f"eth{len(node_a.ports())}"
+        port_b = f"eth{len(node_b.ports())}"
+        link = Link(
+            self.engine,
+            (node_a, port_a),
+            (node_b, port_b),
+            bandwidth_bps=bandwidth_bps,
+            latency_s=latency_s,
+            loss_rate=loss_rate,
+            max_backlog=max_backlog,
+            seed=seed,
+        )
+        node_a.attach_link(port_a, link)
+        node_b.attach_link(port_b, link)
+        self.links.append(link)
+        return link
+
+    # -- routing ---------------------------------------------------------------------
+
+    def shortest_paths(self, source: str) -> dict[str, list[str]]:
+        """Dijkstra by link latency: node name -> path from *source*."""
+        distances: dict[str, float] = {source: 0.0}
+        paths: dict[str, list[str]] = {source: [source]}
+        heap: list[tuple[float, str]] = [(0.0, source)]
+        visited: set[str] = set()
+        while heap:
+            dist, current = heapq.heappop(heap)
+            if current in visited:
+                continue
+            visited.add(current)
+            node = self.node(current)
+            for port in node.ports():
+                link = node.link(port)
+                peer = link.peer_of(node).name
+                candidate = dist + link.latency_s
+                if candidate < distances.get(peer, float("inf")):
+                    distances[peer] = candidate
+                    paths[peer] = paths[current] + [peer]
+                    heapq.heappush(heap, (candidate, peer))
+        return paths
+
+    def next_hops(self, source: str) -> dict[str, str]:
+        """For each destination, the neighbour *source* forwards toward."""
+        return {
+            dst: path[1]
+            for dst, path in self.shortest_paths(source).items()
+            if len(path) > 1
+        }
+
+    def routing_tables(self) -> dict[str, dict[str, str]]:
+        """All nodes' next-hop tables (destination node name keyed)."""
+        return {name: self.next_hops(name) for name in self.nodes}
+
+    def address_routes(self, source: str) -> dict[str, str]:
+        """Next-hop table keyed by destination *address* in /32 prefix
+        notation — the form the stratum-2 LPM forwarder loads directly."""
+        table: dict[str, str] = {}
+        for dst, hop in self.next_hops(source).items():
+            address = self.node(dst).address
+            table[f"{format_ipv4(address)}/32"] = hop
+        return table
+
+    # -- standard shapes --------------------------------------------------------------
+
+    @classmethod
+    def chain(cls, n: int, *, engine: Engine | None = None, **link_kwargs: Any) -> "Topology":
+        """n0 - n1 - ... - n(n-1)."""
+        topo = cls(engine)
+        for i in range(n):
+            topo.add_node(f"n{i}")
+        for i in range(n - 1):
+            topo.connect(f"n{i}", f"n{i + 1}", **link_kwargs)
+        return topo
+
+    @classmethod
+    def star(cls, leaves: int, *, engine: Engine | None = None, **link_kwargs: Any) -> "Topology":
+        """A hub with *leaves* spokes."""
+        topo = cls(engine)
+        topo.add_node("hub")
+        for i in range(leaves):
+            topo.add_node(f"leaf{i}")
+            topo.connect("hub", f"leaf{i}", **link_kwargs)
+        return topo
+
+    @classmethod
+    def ring(cls, n: int, *, engine: Engine | None = None, **link_kwargs: Any) -> "Topology":
+        """A cycle of *n* nodes."""
+        topo = cls(engine)
+        for i in range(n):
+            topo.add_node(f"n{i}")
+        for i in range(n):
+            topo.connect(f"n{i}", f"n{(i + 1) % n}", **link_kwargs)
+        return topo
+
+    @classmethod
+    def binary_tree(
+        cls, depth: int, *, engine: Engine | None = None, **link_kwargs: Any
+    ) -> "Topology":
+        """Complete binary tree of the given depth (root = ``t0``)."""
+        topo = cls(engine)
+        count = 2 ** (depth + 1) - 1
+        for i in range(count):
+            topo.add_node(f"t{i}")
+        for i in range(1, count):
+            topo.connect(f"t{(i - 1) // 2}", f"t{i}", **link_kwargs)
+        return topo
+
+    @classmethod
+    def grid(
+        cls, rows: int, cols: int, *, engine: Engine | None = None, **link_kwargs: Any
+    ) -> "Topology":
+        """rows × cols mesh, nodes named ``g{r}_{c}``."""
+        topo = cls(engine)
+        for r in range(rows):
+            for c in range(cols):
+                topo.add_node(f"g{r}_{c}")
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    topo.connect(f"g{r}_{c}", f"g{r}_{c + 1}", **link_kwargs)
+                if r + 1 < rows:
+                    topo.connect(f"g{r}_{c}", f"g{r + 1}_{c}", **link_kwargs)
+        return topo
+
+    @classmethod
+    def random_connected(
+        cls,
+        n: int,
+        extra_edges: int = 0,
+        *,
+        seed: int = 0,
+        engine: Engine | None = None,
+        **link_kwargs: Any,
+    ) -> "Topology":
+        """A random connected graph: spanning tree plus *extra_edges*
+        random chords (seeded, deterministic)."""
+        rng = random.Random(seed)
+        topo = cls(engine)
+        for i in range(n):
+            topo.add_node(f"r{i}")
+        names = [f"r{i}" for i in range(n)]
+        for i in range(1, n):
+            parent = names[rng.randrange(i)]
+            topo.connect(parent, names[i], **link_kwargs)
+        existing = {
+            frozenset((link.endpoint_a[0].name, link.endpoint_b[0].name))
+            for link in topo.links
+        }
+        attempts = 0
+        added = 0
+        while added < extra_edges and attempts < extra_edges * 20:
+            attempts += 1
+            a, b = rng.sample(names, 2)
+            key = frozenset((a, b))
+            if key in existing:
+                continue
+            topo.connect(a, b, **link_kwargs)
+            existing.add(key)
+            added += 1
+        return topo
+
+    def describe(self) -> dict[str, Any]:
+        """Summary: node count, link count, adjacency."""
+        return {
+            "nodes": sorted(self.nodes),
+            "links": [
+                (link.endpoint_a[0].name, link.endpoint_b[0].name)
+                for link in self.links
+            ],
+        }

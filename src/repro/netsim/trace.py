@@ -1,0 +1,211 @@
+"""Workload generation: flows, traffic mixes, and synthetic route tables.
+
+Everything is seeded and deterministic.  A *flow* yields ``(time, packet)``
+pairs; :func:`inject` schedules a flow onto the engine, handing packets to
+a sink callable (typically ``node.send`` or a pipeline's push interface).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.netsim.engine import Engine
+from repro.netsim.packet import (
+    Packet,
+    format_ipv4,
+    make_tcp_v4,
+    make_udp_v4,
+    make_udp_v6,
+)
+
+FlowItem = tuple[float, Packet]
+PacketSink = Callable[[Packet], None]
+
+
+def cbr_flow(
+    src: str,
+    dst: str,
+    *,
+    rate_pps: float,
+    duration: float,
+    start: float = 0.0,
+    payload_size: int = 512,
+    sport: int = 1000,
+    dport: int = 2000,
+    dscp: int = 0,
+    version: int = 4,
+) -> Iterator[FlowItem]:
+    """Constant-bit-rate UDP flow: one packet every 1/rate seconds."""
+    interval = 1.0 / rate_pps
+    count = int(duration * rate_pps)
+    payload = bytes(payload_size)
+    for i in range(count):
+        t = start + i * interval
+        if version == 4:
+            pkt = make_udp_v4(
+                src, dst, sport=sport, dport=dport, payload=payload, dscp=dscp,
+                created_at=t,
+            )
+        else:
+            pkt = make_udp_v6(
+                src, dst, sport=sport, dport=dport, payload=payload,
+                traffic_class=dscp << 2, created_at=t,
+            )
+        yield t, pkt
+
+
+def poisson_flow(
+    src: str,
+    dst: str,
+    *,
+    rate_pps: float,
+    duration: float,
+    start: float = 0.0,
+    payload_size: int = 512,
+    sport: int = 1000,
+    dport: int = 2000,
+    dscp: int = 0,
+    seed: int = 0,
+) -> Iterator[FlowItem]:
+    """Poisson arrivals (exponential inter-arrival times), seeded."""
+    rng = random.Random(seed)
+    t = start
+    payload = bytes(payload_size)
+    while True:
+        t += rng.expovariate(rate_pps)
+        if t >= start + duration:
+            return
+        yield t, make_udp_v4(
+            src, dst, sport=sport, dport=dport, payload=payload, dscp=dscp,
+            created_at=t,
+        )
+
+
+def onoff_flow(
+    src: str,
+    dst: str,
+    *,
+    rate_pps: float,
+    on_time: float,
+    off_time: float,
+    duration: float,
+    start: float = 0.0,
+    payload_size: int = 512,
+    sport: int = 1000,
+    dport: int = 2000,
+    dscp: int = 0,
+) -> Iterator[FlowItem]:
+    """Bursty on/off CBR: sends at *rate_pps* during on periods."""
+    interval = 1.0 / rate_pps
+    payload = bytes(payload_size)
+    t = start
+    while t < start + duration:
+        burst_end = min(t + on_time, start + duration)
+        while t < burst_end:
+            yield t, make_udp_v4(
+                src, dst, sport=sport, dport=dport, payload=payload, dscp=dscp,
+                created_at=t,
+            )
+            t += interval
+        t = burst_end + off_time
+
+
+def tcp_burst(
+    src: str,
+    dst: str,
+    *,
+    packets: int,
+    rate_pps: float,
+    start: float = 0.0,
+    payload_size: int = 1024,
+    sport: int = 40000,
+    dport: int = 80,
+) -> Iterator[FlowItem]:
+    """A TCP-like packet train with advancing sequence numbers."""
+    interval = 1.0 / rate_pps
+    payload = bytes(payload_size)
+    for i in range(packets):
+        t = start + i * interval
+        yield t, make_tcp_v4(
+            src, dst, sport=sport, dport=dport, seq=i * payload_size,
+            payload=payload, created_at=t,
+        )
+
+
+def merge_flows(*flows: Iterable[FlowItem]) -> list[FlowItem]:
+    """Merge several flows into one time-ordered list."""
+    merged = [item for flow in flows for item in flow]
+    merged.sort(key=lambda item: item[0])
+    return merged
+
+
+def mixed_v4_v6_trace(
+    *,
+    count: int,
+    v6_fraction: float = 0.3,
+    seed: int = 0,
+    payload_size: int = 256,
+    subnets: int = 16,
+) -> list[Packet]:
+    """A shuffled trace of v4 and v6 packets over random host pairs.
+
+    Drives the Figure-3 composite (protocol recogniser fan-out) and the
+    data-path benchmarks.
+    """
+    rng = random.Random(seed)
+    packets: list[Packet] = []
+    for i in range(count):
+        a = rng.randrange(subnets)
+        b = (a + 1 + rng.randrange(subnets - 1)) % subnets
+        host_a = rng.randrange(2, 250)
+        host_b = rng.randrange(2, 250)
+        if rng.random() < v6_fraction:
+            packets.append(
+                make_udp_v6(
+                    f"2001:db8:{a:x}::{host_a:x}",
+                    f"2001:db8:{b:x}::{host_b:x}",
+                    sport=1000 + i % 50,
+                    dport=2000 + i % 10,
+                    payload=bytes(payload_size),
+                )
+            )
+        else:
+            packets.append(
+                make_udp_v4(
+                    f"10.{a}.0.{host_a}",
+                    f"10.{b}.0.{host_b}",
+                    sport=1000 + i % 50,
+                    dport=2000 + i % 10,
+                    payload=bytes(payload_size),
+                )
+            )
+    return packets
+
+
+def synthetic_route_table(
+    *, prefixes: int, next_hops: list[str], seed: int = 0
+) -> dict[str, str]:
+    """A synthetic LPM table: random /8../24 prefixes to random next hops."""
+    rng = random.Random(seed)
+    table: dict[str, str] = {}
+    while len(table) < prefixes:
+        length = rng.choice([8, 12, 16, 20, 24])
+        base = rng.getrandbits(32) & (0xFFFFFFFF << (32 - length))
+        key = f"{format_ipv4(base)}/{length}"
+        table[key] = rng.choice(next_hops)
+    return table
+
+
+def inject(
+    engine: Engine,
+    flow: Iterable[FlowItem],
+    sink: PacketSink,
+) -> int:
+    """Schedule every (time, packet) pair of *flow* onto the engine; the
+    packet is handed to *sink* at its timestamp.  Returns packets scheduled."""
+    scheduled = 0
+    for t, packet in flow:
+        engine.schedule_at(max(t, engine.now), lambda p=packet: sink(p))
+        scheduled += 1
+    return scheduled

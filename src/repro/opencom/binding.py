@@ -1,0 +1,133 @@
+"""The ``bind`` primitive: connecting receptacles to interface instances.
+
+``bind`` is the single composition operation of the model, and therefore the
+natural place to hang *constraints*: the paper implements per-component
+topology constraints "as interceptors on OpenCOM's 'bind' primitive".  This
+module defines the binding record and the constraint protocol; the capsule
+(:mod:`repro.opencom.capsule`) runs the constraint chain on every bind and
+unbind inside its address space.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.opencom.errors import BindError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.opencom.capsule import Capsule
+    from repro.opencom.component import InterfaceRef
+    from repro.opencom.receptacle import Port, Receptacle
+
+_BINDING_IDS = itertools.count(1)
+
+
+@dataclass
+class BindRequest:
+    """Description of a requested bind, handed to bind constraints.
+
+    Constraints may veto the bind by raising
+    :class:`~repro.opencom.errors.ConstraintViolation`; they must not mutate
+    the request.
+    """
+
+    capsule: "Capsule"
+    receptacle: "Receptacle"
+    target: "InterfaceRef"
+    connection_name: str
+    #: "bind" or "unbind".
+    operation: str = "bind"
+    #: Principal on whose behalf the operation runs (ACL subject).
+    principal: str = "system"
+    #: Scratch space for cooperating constraints.
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+#: A bind constraint: called with the request; raises ConstraintViolation to
+#: veto.  Return value is ignored.
+BindConstraint = Callable[[BindRequest], None]
+
+
+class Binding:
+    """A live binding between one receptacle connection and one interface
+    instance.
+
+    Bindings are created through :meth:`repro.opencom.capsule.Capsule.bind`
+    (local) or :func:`repro.opencom.ipc.bind_across` (inter-capsule).  The
+    ``kind`` attribute distinguishes the two transparently to callers, which
+    is exactly the transparency claim of section 5 of the paper.
+    """
+
+    def __init__(
+        self,
+        capsule: "Capsule",
+        receptacle: "Receptacle",
+        target: "InterfaceRef",
+        connection_name: str,
+        *,
+        kind: str = "local",
+    ) -> None:
+        self.binding_id: int = next(_BINDING_IDS)
+        self.capsule = capsule
+        self.receptacle = receptacle
+        self.target = target
+        self.connection_name = connection_name
+        self.kind = kind
+        self.live = False
+        self.port: "Port | None" = None
+
+    # -- lifecycle (driven by the capsule) ------------------------------------
+
+    def _establish(self) -> None:
+        if self.live:
+            raise BindError(f"binding {self.binding_id} already established")
+        self.port = self.receptacle._attach(self.connection_name, self.target, self)
+        self.live = True
+
+    def _teardown(self) -> None:
+        if not self.live:
+            raise BindError(f"binding {self.binding_id} is not live")
+        self.receptacle._detach(self.connection_name)
+        self.live = False
+        self.port = None
+
+    def unbind(self, *, principal: str = "system") -> None:
+        """Tear this binding down through the owning capsule (constraint
+        chain included)."""
+        self.capsule.unbind(self, principal=principal)
+
+    # -- convenience -----------------------------------------------------------
+
+    @property
+    def source_component(self) -> Any:
+        """The component owning the receptacle side."""
+        return self.receptacle.owner
+
+    @property
+    def target_component(self) -> Any:
+        """The component owning the provided side."""
+        return self.target.component
+
+    def describe(self) -> dict[str, Any]:
+        """Human-readable record used by the architecture meta-model."""
+        return {
+            "id": self.binding_id,
+            "kind": self.kind,
+            "source": self.source_component.name,
+            "receptacle": self.receptacle.name,
+            "connection": self.connection_name,
+            "target": self.target_component.name,
+            "interface": self.target.name,
+            "interface_type": self.target.itype.interface_name(),
+            "live": self.live,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<Binding#{self.binding_id} {self.source_component.name}."
+            f"{self.receptacle.name}[{self.connection_name}] -> "
+            f"{self.target_component.name}.{self.target.name} ({self.kind})>"
+        )

@@ -1,0 +1,373 @@
+"""Capsules: the address-space analogue hosting component instances.
+
+A capsule owns a set of component instances, the bindings among them, the
+per-address-space meta-models (architecture, resources) and the constraint
+chain applied to the bind primitive.  Untrusted components are instantiated
+in *child* capsules and bound across capsule boundaries through IPC
+(:mod:`repro.opencom.ipc`), reproducing the isolation design of section 5.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import Any
+
+from repro.opencom.binding import Binding, BindConstraint, BindRequest
+from repro.opencom.component import Component, InterfaceRef
+from repro.opencom.errors import BindError, CapsuleError
+from repro.opencom.events import EventBus
+from repro.opencom.metamodel.architecture import ArchitectureMetaModel
+from repro.opencom.metamodel.resources import ResourceMetaModel
+from repro.opencom.receptacle import Receptacle
+
+
+class Capsule:
+    """An address space hosting components, bindings, and meta-models.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name, unique among siblings.
+    parent:
+        The capsule that spawned this one (``None`` for root capsules).
+        Parent/child structure models the paper's separate-address-space
+        isolation of untrusted constituents.
+    """
+
+    def __init__(self, name: str, parent: "Capsule | None" = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.children: dict[str, Capsule] = {}
+        self.alive = True
+        self.events = EventBus()
+        self._components: dict[str, Component] = {}
+        self._bindings: dict[int, Binding] = {}
+        self._constraints: dict[str, BindConstraint] = {}
+        self.architecture = ArchitectureMetaModel(self)
+        self.resources = ResourceMetaModel(self)
+        if parent is not None:
+            if name in parent.children:
+                raise CapsuleError(f"capsule {parent.name} already has child {name!r}")
+            parent.children[name] = self
+
+    # -- component lifecycle ----------------------------------------------------
+
+    def instantiate(
+        self,
+        component_type: type[Component] | Callable[..., Component],
+        name: str | None = None,
+        /,
+        *args: Any,
+        **kwargs: Any,
+    ) -> Component:
+        """Create a component instance inside this capsule.
+
+        ``component_type`` may be a Component subclass or any factory
+        returning one.  ``name`` defaults to a unique name derived from the
+        type.  Extra arguments are forwarded to the constructor.
+        """
+        self._require_alive()
+        instance = component_type(*args, **kwargs)
+        if not isinstance(instance, Component):
+            raise CapsuleError(
+                f"factory {component_type!r} did not produce a Component"
+            )
+        if name is not None:
+            instance.name = name
+        if instance.name in self._components:
+            raise CapsuleError(
+                f"capsule {self.name} already hosts a component named "
+                f"{instance.name!r}"
+            )
+        instance.capsule = self
+        self._components[instance.name] = instance
+        self.architecture.component_added(instance)
+        self.events.publish(
+            "architecture.instantiate",
+            capsule=self.name,
+            component=instance.name,
+            type=type(instance).__name__,
+        )
+        return instance
+
+    def adopt(self, instance: Component, name: str | None = None) -> Component:
+        """Take ownership of an externally constructed component instance."""
+        self._require_alive()
+        if instance.capsule is not None:
+            raise CapsuleError(
+                f"component {instance.name} already lives in capsule "
+                f"{instance.capsule.name}"
+            )
+        if name is not None:
+            instance.name = name
+        if instance.name in self._components:
+            raise CapsuleError(
+                f"capsule {self.name} already hosts a component named "
+                f"{instance.name!r}"
+            )
+        instance.capsule = self
+        self._components[instance.name] = instance
+        self.architecture.component_added(instance)
+        self.events.publish(
+            "architecture.instantiate",
+            capsule=self.name,
+            component=instance.name,
+            type=type(instance).__name__,
+        )
+        return instance
+
+    def destroy(self, component: Component | str) -> None:
+        """Destroy a hosted component.
+
+        All bindings touching the component must have been unbound first;
+        destroying a component with live bindings is a structural error the
+        architecture meta-model refuses.
+        """
+        instance = self._resolve(component)
+        touching = [
+            b
+            for b in self._bindings.values()
+            if b.source_component is instance or b.target_component is instance
+        ]
+        if touching:
+            raise CapsuleError(
+                f"cannot destroy {instance.name}: {len(touching)} live "
+                "binding(s) reference it"
+            )
+        if instance.state == "running":
+            instance.shutdown()
+        del self._components[instance.name]
+        instance.capsule = None
+        instance.state = "dead"
+        self.architecture.component_removed(instance)
+        self.events.publish(
+            "architecture.destroy", capsule=self.name, component=instance.name
+        )
+
+    def rename(self, component: Component | str, new_name: str) -> Component:
+        """Rename a hosted component (used by hot swap to let a replacement
+        take over the name of the component it replaced)."""
+        instance = self._resolve(component)
+        if new_name == instance.name:
+            return instance
+        if new_name in self._components:
+            raise CapsuleError(
+                f"capsule {self.name} already hosts a component named {new_name!r}"
+            )
+        old_name = instance.name
+        del self._components[old_name]
+        instance.name = new_name
+        self._components[new_name] = instance
+        self.architecture.component_changed(instance)
+        self.events.publish(
+            "architecture.rename",
+            capsule=self.name,
+            component=new_name,
+            previous=old_name,
+        )
+        return instance
+
+    def component(self, name: str) -> Component:
+        """Look a hosted component up by name."""
+        try:
+            return self._components[name]
+        except KeyError:
+            raise CapsuleError(
+                f"capsule {self.name} hosts no component {name!r}"
+            ) from None
+
+    def components(self) -> dict[str, Component]:
+        """Snapshot of hosted components (name -> instance)."""
+        return dict(self._components)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __iter__(self) -> Iterator[Component]:
+        return iter(list(self._components.values()))
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    # -- the bind primitive -------------------------------------------------------
+
+    def bind(
+        self,
+        receptacle: Receptacle,
+        target: InterfaceRef,
+        *,
+        connection_name: str | None = None,
+        principal: str = "system",
+    ) -> Binding:
+        """Bind a receptacle connection to an interface instance.
+
+        Both endpoints must be hosted by this capsule (cross-capsule
+        bindings go through :func:`repro.opencom.ipc.bind_across`).  The
+        constraint chain runs before the connection is made; any constraint
+        may veto by raising ``ConstraintViolation``.
+        """
+        self._require_alive()
+        self._require_hosted(receptacle.owner)
+        self._require_hosted(target.component)
+        name = connection_name if connection_name is not None else self._auto_connection_name(receptacle)
+        request = BindRequest(
+            self, receptacle, target, name, operation="bind", principal=principal
+        )
+        self._run_constraints(request)
+        binding = Binding(self, receptacle, target, name, kind="local")
+        binding._establish()
+        self._bindings[binding.binding_id] = binding
+        self.architecture.binding_added(binding)
+        self.events.publish(
+            "architecture.bind", capsule=self.name, **binding.describe()
+        )
+        return binding
+
+    def unbind(self, binding: Binding, *, principal: str = "system") -> None:
+        """Tear a binding down (constraint chain included)."""
+        self._require_alive()
+        if binding.binding_id not in self._bindings:
+            raise BindError(
+                f"binding #{binding.binding_id} is not registered with "
+                f"capsule {self.name}"
+            )
+        request = BindRequest(
+            self,
+            binding.receptacle,
+            binding.target,
+            binding.connection_name,
+            operation="unbind",
+            principal=principal,
+        )
+        self._run_constraints(request)
+        described = binding.describe()
+        binding._teardown()
+        del self._bindings[binding.binding_id]
+        self.architecture.binding_removed(binding)
+        self.events.publish("architecture.unbind", capsule=self.name, **described)
+
+    def register_binding(self, binding: Binding) -> None:
+        """Register an externally-constructed binding (IPC layer hook)."""
+        self._bindings[binding.binding_id] = binding
+        self.architecture.binding_added(binding)
+        self.events.publish(
+            "architecture.bind", capsule=self.name, **binding.describe()
+        )
+
+    def deregister_binding(self, binding: Binding) -> None:
+        """Remove an externally-managed binding from the books (IPC hook)."""
+        self._bindings.pop(binding.binding_id, None)
+        self.architecture.binding_removed(binding)
+        self.events.publish(
+            "architecture.unbind", capsule=self.name, **binding.describe()
+        )
+
+    def bindings(self) -> list[Binding]:
+        """All live bindings, in creation order."""
+        return [self._bindings[k] for k in sorted(self._bindings)]
+
+    def bindings_to(self, target: InterfaceRef) -> list[Binding]:
+        """Live bindings whose provided side is *target*."""
+        return [b for b in self._bindings.values() if b.target is target]
+
+    def bindings_of(self, component: Component) -> list[Binding]:
+        """Live bindings touching *component* on either side."""
+        return [
+            b
+            for b in self._bindings.values()
+            if b.source_component is component or b.target_component is component
+        ]
+
+    # -- bind constraints -----------------------------------------------------------
+
+    def add_constraint(self, name: str, constraint: BindConstraint) -> None:
+        """Install a named constraint on the bind primitive."""
+        if name in self._constraints:
+            raise BindError(f"constraint {name!r} already installed on {self.name}")
+        self._constraints[name] = constraint
+        self.events.publish("constraints.add", capsule=self.name, constraint=name)
+
+    def remove_constraint(self, name: str) -> None:
+        """Remove a named bind constraint."""
+        if name not in self._constraints:
+            raise BindError(f"no constraint {name!r} on capsule {self.name}")
+        del self._constraints[name]
+        self.events.publish("constraints.remove", capsule=self.name, constraint=name)
+
+    def constraint_names(self) -> list[str]:
+        """Names of installed bind constraints."""
+        return sorted(self._constraints)
+
+    def _run_constraints(self, request: BindRequest) -> None:
+        for constraint in list(self._constraints.values()):
+            constraint(request)
+
+    # -- child capsules ---------------------------------------------------------------
+
+    def spawn_child(self, name: str) -> "Capsule":
+        """Create a child capsule (separate simulated address space)."""
+        self._require_alive()
+        return Capsule(name, parent=self)
+
+    def kill(self, *, reason: str = "killed") -> None:
+        """Terminate this capsule and everything inside it.
+
+        Models an address-space crash: components die, bindings drop, and
+        children are killed recursively.  Cross-capsule bindings into a dead
+        capsule surface :class:`~repro.opencom.errors.IpcFault` on use.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.death_reason = reason
+        for child in list(self.children.values()):
+            child.kill(reason=f"parent {self.name} died")
+        for binding in list(self._bindings.values()):
+            binding.live = False
+        self._bindings.clear()
+        for instance in self._components.values():
+            instance.state = "dead"
+            instance.capsule = None
+        self._components.clear()
+        if self.parent is not None:
+            self.parent.children.pop(self.name, None)
+            self.parent.events.publish(
+                "capsule.child_died", capsule=self.parent.name, child=self.name, reason=reason
+            )
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _auto_connection_name(self, receptacle: Receptacle) -> str:
+        if receptacle.is_single:
+            return "0"
+        index = len(receptacle.connection_names())
+        while str(index) in receptacle.connection_names():
+            index += 1
+        return str(index)
+
+    def _resolve(self, component: Component | str) -> Component:
+        if isinstance(component, str):
+            return self.component(component)
+        if component.name not in self._components or self._components[component.name] is not component:
+            raise CapsuleError(
+                f"component {component.name} is not hosted by capsule {self.name}"
+            )
+        return component
+
+    def _require_hosted(self, component: Component) -> None:
+        if component.capsule is not self:
+            raise BindError(
+                f"component {component.name} is not hosted by capsule "
+                f"{self.name}; cross-capsule bindings require ipc.bind_across"
+            )
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise CapsuleError(f"capsule {self.name} is dead")
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        status = "alive" if self.alive else "dead"
+        return (
+            f"<Capsule {self.name} ({status}) components={len(self._components)} "
+            f"bindings={len(self._bindings)}>"
+        )

@@ -1,0 +1,326 @@
+"""Components: the unit of composition of the OpenCOM model.
+
+A component *provides* named interface instances (each backed by a
+:class:`~repro.opencom.vtable.VTable`) and *requires* interfaces through
+named receptacles.  Both sets are dynamic: instances can be exposed and
+withdrawn at run time, which is what lets the Router CF's rule "it is
+possible to dynamically add/remove instances of these interfaces as long as
+the CF's rules remain satisfied" be exercised for real.
+
+Components are instantiated *into a capsule* (an address-space analogue);
+free-standing instantiation is supported for unit tests but such components
+cannot be bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.opencom.errors import InterfaceError, LifecycleError
+from repro.opencom.interfaces import Interface, require_interface_type
+from repro.opencom.receptacle import Receptacle
+from repro.opencom.vtable import VTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.opencom.capsule import Capsule
+
+_COMPONENT_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Provided:
+    """Declarative description of a provided interface instance.
+
+    Attributes
+    ----------
+    name:
+        Exposure name, unique within the component (e.g. ``"input"``).
+    itype:
+        The interface type exposed.
+    impl_attr:
+        Optional attribute name on the component holding the implementation
+        object.  When ``None`` the component itself implements the methods.
+    """
+
+    name: str
+    itype: type[Interface]
+    impl_attr: str | None = None
+
+
+@dataclass(frozen=True)
+class Required:
+    """Declarative description of a receptacle.
+
+    ``min_connections``/``max_connections`` express the receptacle's arity;
+    ``max_connections=None`` means unbounded (a multi-receptacle).
+    """
+
+    name: str
+    itype: type[Interface]
+    min_connections: int = 1
+    max_connections: int | None = 1
+
+
+class InterfaceRef:
+    """Handle to one exposed interface instance of one component.
+
+    This is what gets plugged into receptacles by ``bind``; it owns the
+    vtable and is therefore also the unit at which interception applies.
+    """
+
+    __slots__ = ("component", "name", "itype", "vtable")
+
+    def __init__(
+        self, component: "Component", name: str, itype: type[Interface], vtable: VTable
+    ) -> None:
+        self.component = component
+        self.name = name
+        self.itype = itype
+        self.vtable = vtable
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<InterfaceRef {self.component.name}.{self.name}:"
+            f"{self.itype.interface_name()}>"
+        )
+
+
+class Component:
+    """Base class for all OpenCOM components.
+
+    Subclasses declare static structure through the ``PROVIDES`` and
+    ``RECEPTACLES`` class attributes and may adjust it dynamically with
+    :meth:`expose`, :meth:`withdraw`, :meth:`add_receptacle` and
+    :meth:`remove_receptacle`.
+
+    Lifecycle: components are created ``stopped``; :meth:`startup` moves
+    them to ``running`` and :meth:`shutdown` back.  Subclasses hook
+    :meth:`on_startup` / :meth:`on_shutdown` rather than overriding the
+    transitions themselves.
+    """
+
+    PROVIDES: tuple[Provided, ...] = ()
+    RECEPTACLES: tuple[Required, ...] = ()
+
+    def __init__(self) -> None:
+        self.component_id: int = next(_COMPONENT_IDS)
+        #: Capsule-unique name; assigned when instantiated into a capsule.
+        self.name: str = f"{type(self).__name__}#{self.component_id}"
+        self.capsule: "Capsule | None" = None
+        self.state: str = "stopped"
+        self._interfaces: dict[str, InterfaceRef] = {}
+        self._receptacles: dict[str, Receptacle] = {}
+        for decl in self.PROVIDES:
+            impl = getattr(self, decl.impl_attr) if decl.impl_attr else self
+            self.expose(decl.name, decl.itype, impl=impl)
+        for decl in self.RECEPTACLES:
+            self.add_receptacle(
+                decl.name,
+                decl.itype,
+                min_connections=decl.min_connections,
+                max_connections=decl.max_connections,
+            )
+
+    # -- provided interfaces -------------------------------------------------
+
+    def expose(
+        self, name: str, itype: type[Interface], impl: object | None = None
+    ) -> InterfaceRef:
+        """Expose a new interface instance under *name*.
+
+        The implementation defaults to the component itself.  Conformance is
+        checked immediately (missing methods raise
+        :class:`~repro.opencom.errors.InterfaceError`).
+        """
+        require_interface_type(itype)
+        if name in self._interfaces:
+            raise InterfaceError(f"{self.name} already exposes interface {name!r}")
+        vtable = VTable(itype, impl if impl is not None else self, name)
+        ref = InterfaceRef(self, name, itype, vtable)
+        self._interfaces[name] = ref
+        self._notify_structure_change()
+        return ref
+
+    def withdraw(self, name: str) -> None:
+        """Withdraw an exposed interface instance.
+
+        The instance must not be the target of any live binding; the capsule
+        enforces this when the component is hosted.
+        """
+        ref = self._interfaces.get(name)
+        if ref is None:
+            raise InterfaceError(f"{self.name} exposes no interface {name!r}")
+        if self.capsule is not None and self.capsule.bindings_to(ref):
+            raise InterfaceError(
+                f"cannot withdraw {self.name}.{name}: live bindings exist"
+            )
+        del self._interfaces[name]
+        self._notify_structure_change()
+
+    def interface(self, name: str) -> InterfaceRef:
+        """Return the exposed interface instance named *name*."""
+        try:
+            return self._interfaces[name]
+        except KeyError:
+            raise InterfaceError(
+                f"{self.name} exposes no interface {name!r}; has "
+                f"{sorted(self._interfaces)}"
+            ) from None
+
+    def interfaces(self) -> dict[str, InterfaceRef]:
+        """Snapshot of exposed interface instances (name -> ref)."""
+        return dict(self._interfaces)
+
+    def interfaces_of_type(self, itype: type[Interface]) -> list[InterfaceRef]:
+        """All exposed instances of the given interface type (subtypes
+        count: an IPacketSink instance satisfies an IPacketPush query)."""
+        return [
+            ref
+            for ref in self._interfaces.values()
+            if ref.itype is itype or issubclass(ref.itype, itype)
+        ]
+
+    def has_interface(self, name: str) -> bool:
+        """True when an interface instance named *name* is exposed."""
+        return name in self._interfaces
+
+    # -- receptacles ----------------------------------------------------------
+
+    def add_receptacle(
+        self,
+        name: str,
+        itype: type[Interface],
+        *,
+        min_connections: int = 1,
+        max_connections: int | None = 1,
+    ) -> Receptacle:
+        """Declare a new receptacle dynamically."""
+        require_interface_type(itype)
+        if name in self._receptacles:
+            raise InterfaceError(f"{self.name} already has receptacle {name!r}")
+        if hasattr(self, name) and name not in self._receptacles:
+            # Receptacles become attributes for call convenience
+            # (``self.out.push(...)``); refuse clobbering real attributes.
+            existing = getattr(self, name)
+            if not isinstance(existing, Receptacle):
+                raise InterfaceError(
+                    f"receptacle name {name!r} collides with an attribute of "
+                    f"{type(self).__name__}"
+                )
+        receptacle = Receptacle(
+            self,
+            name,
+            itype,
+            min_connections=min_connections,
+            max_connections=max_connections,
+        )
+        self._receptacles[name] = receptacle
+        setattr(self, name, receptacle)
+        self._notify_structure_change()
+        return receptacle
+
+    def remove_receptacle(self, name: str) -> None:
+        """Remove a receptacle; it must have no live connections."""
+        receptacle = self._receptacles.get(name)
+        if receptacle is None:
+            raise InterfaceError(f"{self.name} has no receptacle {name!r}")
+        if receptacle.connections():
+            raise InterfaceError(
+                f"cannot remove receptacle {self.name}.{name}: still connected"
+            )
+        del self._receptacles[name]
+        delattr(self, name)
+        self._notify_structure_change()
+
+    def receptacle(self, name: str) -> Receptacle:
+        """Return the receptacle named *name*."""
+        try:
+            return self._receptacles[name]
+        except KeyError:
+            raise InterfaceError(
+                f"{self.name} has no receptacle {name!r}; has "
+                f"{sorted(self._receptacles)}"
+            ) from None
+
+    def receptacles(self) -> dict[str, Receptacle]:
+        """Snapshot of declared receptacles (name -> receptacle)."""
+        return dict(self._receptacles)
+
+    def receptacles_of_type(self, itype: type[Interface]) -> list[Receptacle]:
+        """All receptacles requiring the given interface type (subtype
+        receptacles count)."""
+        return [
+            r
+            for r in self._receptacles.values()
+            if r.itype is itype or issubclass(r.itype, itype)
+        ]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def startup(self) -> None:
+        """Start the component (ILifeCycle)."""
+        if self.state == "running":
+            raise LifecycleError(f"{self.name} is already running")
+        if self.state == "dead":
+            raise LifecycleError(f"{self.name} has been destroyed")
+        self.on_startup()
+        self.state = "running"
+
+    def shutdown(self) -> None:
+        """Stop the component (ILifeCycle)."""
+        if self.state != "running":
+            raise LifecycleError(f"{self.name} is not running")
+        self.on_shutdown()
+        self.state = "stopped"
+
+    def on_startup(self) -> None:
+        """Subclass hook run during :meth:`startup`."""
+
+    def on_shutdown(self) -> None:
+        """Subclass hook run during :meth:`shutdown`."""
+
+    # -- introspection (IMetaInterface) ---------------------------------------
+
+    def enum_interfaces(self) -> list[dict[str, Any]]:
+        """Describe exposed interface instances (interface meta-model)."""
+        return [
+            {
+                "name": name,
+                "interface": ref.itype.interface_name(),
+                "version": ref.itype.VERSION,
+                "intercepted": [
+                    m for m in ref.vtable.iter_methods() if ref.vtable.intercepted(m)
+                ],
+            }
+            for name, ref in sorted(self._interfaces.items())
+        ]
+
+    def enum_receptacles(self) -> list[dict[str, Any]]:
+        """Describe declared receptacles (interface meta-model)."""
+        return [
+            {
+                "name": name,
+                "interface": r.itype.interface_name(),
+                "min": r.min_connections,
+                "max": r.max_connections,
+                "connected": sorted(r.connection_names()),
+            }
+            for name, r in sorted(self._receptacles.items())
+        ]
+
+    # -- internals ------------------------------------------------------------
+
+    def _notify_structure_change(self) -> None:
+        if self.capsule is not None:
+            self.capsule.architecture.component_changed(self)
+
+    def iter_interface_refs(self) -> Iterator[InterfaceRef]:
+        """Iterate exposed interface refs (stable name order)."""
+        for name in sorted(self._interfaces):
+            yield self._interfaces[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"<{type(self).__name__} {self.name} state={self.state}>"

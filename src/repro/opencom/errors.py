@@ -1,0 +1,113 @@
+"""Exception hierarchy for the OpenCOM component model.
+
+Every error raised by :mod:`repro.opencom` derives from :class:`OpenComError`
+so that callers embedding the runtime (component frameworks, the router data
+path, the coordination stratum) can establish a single fault boundary.
+"""
+
+from __future__ import annotations
+
+
+class OpenComError(Exception):
+    """Base class for all OpenCOM runtime errors."""
+
+
+class InterfaceError(OpenComError):
+    """An interface declaration or lookup is invalid.
+
+    Raised when a class used as an interface type does not derive from
+    :class:`repro.opencom.interfaces.Interface`, when an implementation is
+    missing a declared method, or when an interface name is not exposed by a
+    component.
+    """
+
+
+class ReceptacleError(OpenComError):
+    """A receptacle operation is invalid.
+
+    Raised on type mismatches between a receptacle and the interface being
+    plugged into it, on arity violations (too few or too many connections),
+    and on calls through an unbound single receptacle.
+    """
+
+
+class BindError(OpenComError):
+    """A ``bind`` or ``unbind`` operation could not be carried out."""
+
+
+class ConstraintViolation(BindError):
+    """A bind-time constraint (interceptor on the bind primitive) rejected
+    the requested binding.
+
+    The component-framework layer installs these constraints to police the
+    internal topology of composite components (paper, section 5).
+    """
+
+    def __init__(self, constraint_name: str, reason: str) -> None:
+        super().__init__(f"constraint {constraint_name!r} rejected bind: {reason}")
+        self.constraint_name = constraint_name
+        self.reason = reason
+
+
+class RuleViolation(OpenComError):
+    """A component framework's plug-in rules rejected a component.
+
+    Carries the individual rule failures so that callers (and tests) can
+    check exactly which rule fired.
+    """
+
+    def __init__(self, component_name: str, failures: list[str]) -> None:
+        joined = "; ".join(failures)
+        super().__init__(f"component {component_name!r} violates CF rules: {joined}")
+        self.component_name = component_name
+        self.failures = list(failures)
+
+
+class CapsuleError(OpenComError):
+    """A capsule-level operation failed (unknown component, duplicate name,
+    operation on a dead capsule, ...)."""
+
+
+class LifecycleError(OpenComError):
+    """A component lifecycle transition was invalid (e.g. starting a
+    component twice, or using a component after shutdown)."""
+
+
+class IpcFault(OpenComError):
+    """A call across an inter-capsule (out-of-address-space) binding failed.
+
+    This is the fault-containment boundary of the model: a crash of an
+    untrusted constituent in a child capsule surfaces in the parent as an
+    ``IpcFault`` rather than as the original exception, mirroring the
+    process-isolation design of section 5 of the paper.
+    """
+
+    def __init__(self, message: str, *, capsule_name: str | None = None) -> None:
+        super().__init__(message)
+        self.capsule_name = capsule_name
+
+
+class MarshalError(IpcFault):
+    """An argument or result could not be serialised across an IPC binding."""
+
+
+class ResourceError(OpenComError):
+    """Resource meta-model error: over-allocation, unknown pool or task."""
+
+
+class AccessDenied(OpenComError):
+    """An ACL check refused a management operation (constraint addition or
+    removal, controller access, placement override)."""
+
+    def __init__(self, principal: str, operation: str) -> None:
+        super().__init__(f"principal {principal!r} may not perform {operation!r}")
+        self.principal = principal
+        self.operation = operation
+
+
+class PlacementError(OpenComError):
+    """The placement meta-model could not produce or apply a placement."""
+
+
+class QuiesceTimeout(OpenComError):
+    """A reconfiguration could not quiesce the target region in time."""

@@ -1,0 +1,76 @@
+"""A small synchronous event bus used for architecture-change notification.
+
+The architecture meta-model publishes events (component instantiated or
+destroyed, binding made or broken, interface exposed or withdrawn) so that
+component frameworks, controllers and management tools can react to
+structural change — the "causally connected self-representation" that makes
+the middleware reflective rather than merely configurable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+EventHandler = Callable[["Event"], None]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One published event.
+
+    ``topic`` is a dotted name (e.g. ``"architecture.bind"``); ``payload``
+    is topic-specific.
+    """
+
+    topic: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class EventBus:
+    """Synchronous publish/subscribe with prefix topic matching.
+
+    Subscribing to ``"architecture"`` receives every topic beginning with
+    ``"architecture."`` as well as the exact topic ``"architecture"``.
+    Handlers run synchronously in subscription order; a failing handler does
+    not prevent delivery to later handlers, but failures are recorded in
+    :attr:`handler_errors` so tests can assert on them (errors never pass
+    silently).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: dict[str, list[EventHandler]] = {}
+        #: (topic, handler, exception) triples for post-mortem inspection.
+        self.handler_errors: list[tuple[str, EventHandler, Exception]] = []
+
+    def subscribe(self, topic_prefix: str, handler: EventHandler) -> Callable[[], None]:
+        """Register *handler* for a topic prefix; returns an unsubscribe
+        callable."""
+        handlers = self._subscribers.setdefault(topic_prefix, [])
+        handlers.append(handler)
+
+        def unsubscribe() -> None:
+            try:
+                handlers.remove(handler)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, topic: str, **payload: Any) -> Event:
+        """Publish an event, delivering synchronously to all matching
+        subscribers."""
+        event = Event(topic, payload)
+        for prefix, handlers in list(self._subscribers.items()):
+            if topic == prefix or topic.startswith(prefix + "."):
+                for handler in list(handlers):
+                    try:
+                        handler(event)
+                    except Exception as exc:  # noqa: BLE001 - isolation boundary
+                        self.handler_errors.append((topic, handler, exc))
+        return event
+
+    def subscriber_count(self, topic_prefix: str) -> int:
+        """Number of handlers registered under one exact prefix."""
+        return len(self._subscribers.get(topic_prefix, []))

@@ -1,0 +1,89 @@
+"""Whole-pipeline binding fusion: the partial-evaluation optimisation.
+
+Section 5 of the paper reports "temporarily bypassing vtables, using
+partial evaluation techniques, to reduce the overhead of a cross-component
+call to that of a C function call".  The per-binding half of this lives on
+the vtable (:meth:`repro.opencom.vtable.VTable.fuse`); this module provides
+the management layer that fuses and unfuses whole regions of a capsule:
+
+- :func:`fuse_pipeline` walks a list of components and fuses every outgoing
+  port, returning a :class:`FusionPlan` that can undo the optimisation;
+- fusion is *safety-checked*: ports whose target slots carry interceptors
+  are skipped (and reported), and later interceptor installation revokes
+  fused handles automatically, so reflection is never silently bypassed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.opencom.component import Component
+from repro.opencom.receptacle import Port
+
+
+@dataclass
+class FusionPlan:
+    """Record of one fusion pass, able to undo itself."""
+
+    fused_ports: list[Port] = field(default_factory=list)
+    skipped: list[tuple[Port, str]] = field(default_factory=list)
+
+    @property
+    def fused_count(self) -> int:
+        """Number of ports switched to direct dispatch."""
+        return len(self.fused_ports)
+
+    def revert(self) -> None:
+        """Unfuse every port this plan fused."""
+        for port in self.fused_ports:
+            port.unfuse()
+        self.fused_ports.clear()
+
+
+def fuse_component(component: Component, plan: FusionPlan | None = None) -> FusionPlan:
+    """Fuse every outgoing port of one component.
+
+    Ports whose target vtable has interceptors on any slot are left
+    indirect and recorded in ``plan.skipped`` with a reason.
+    """
+    plan = plan if plan is not None else FusionPlan()
+    for receptacle in component.receptacles().values():
+        for port in receptacle.connections():
+            vtable = port.target.vtable
+            intercepted = [m for m in vtable.iter_methods() if vtable.intercepted(m)]
+            if intercepted:
+                plan.skipped.append(
+                    (port, f"interceptors on {', '.join(intercepted)}")
+                )
+                continue
+            port.fuse()
+            plan.fused_ports.append(port)
+    return plan
+
+
+def fuse_pipeline(components: list[Component]) -> FusionPlan:
+    """Fuse every outgoing port of every component in a region.
+
+    Returns a single :class:`FusionPlan`; call ``plan.revert()`` before
+    reconfiguring the region (the architecture meta-model's
+    ``replace_component`` works either way, since unbinding destroys the
+    fused ports, but reverting first keeps intent explicit).
+    """
+    plan = FusionPlan()
+    for component in components:
+        fuse_component(component, plan)
+    return plan
+
+
+def fusion_report(plan: FusionPlan) -> dict[str, object]:
+    """Summarise a fusion pass for logs and benchmarks."""
+    return {
+        "fused": plan.fused_count,
+        "skipped": [
+            {
+                "port": f"{p.receptacle.owner.name}.{p.receptacle.name}[{p.connection_name}]",
+                "reason": reason,
+            }
+            for p, reason in plan.skipped
+        ],
+    }

@@ -1,0 +1,207 @@
+"""Inter-capsule (out-of-address-space) bindings.
+
+Section 5 of the paper: untrusted constituents "can be instantiated, and
+remotely managed by the parent composite, in a separate address-space from
+the parent (inter-component bindings in this case are transparently
+realised in terms of OS-level IPC mechanisms rather than intra-address
+space vtables)".
+
+Here a capsule plays the address space and :class:`IpcChannel` the IPC
+mechanism: every call is marshalled to bytes, carried "across" the
+boundary, unmarshalled and dispatched through the target vtable, and the
+result marshalled back.  The serialising round-trip is real (pickle), so
+the overhead measured by experiment C5 is an honest analogue of
+process-boundary cost, and non-serialisable arguments fail exactly where a
+real IPC binding would.
+
+Fault containment: an exception escaping the remote implementation *kills
+the hosting capsule* (the crash takes down the child address space, not the
+parent), and the caller observes :class:`~repro.opencom.errors.IpcFault`.
+Calls into a dead capsule also raise ``IpcFault``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro.opencom.binding import Binding, BindRequest
+from repro.opencom.capsule import Capsule
+from repro.opencom.component import Component, InterfaceRef
+from repro.opencom.errors import BindError, IpcFault, MarshalError
+from repro.opencom.interfaces import Interface, methods_of
+from repro.opencom.receptacle import Receptacle
+
+
+class IpcChannel:
+    """A byte-oriented call channel between two capsules.
+
+    Statistics (:attr:`calls`, :attr:`bytes_sent`, :attr:`bytes_received`)
+    feed the isolation benchmark.
+    """
+
+    def __init__(self, caller: Capsule, callee: Capsule) -> None:
+        self.caller = caller
+        self.callee = callee
+        self.calls = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def call(self, target: InterfaceRef, method_name: str, args: tuple, kwargs: dict) -> Any:
+        """Carry one call across the capsule boundary."""
+        if not self.callee.alive:
+            raise IpcFault(
+                f"capsule {self.callee.name} is dead "
+                f"({getattr(self.callee, 'death_reason', 'unknown')})",
+                capsule_name=self.callee.name,
+            )
+        request = self._marshal((method_name, args, kwargs))
+        self.calls += 1
+        self.bytes_sent += len(request)
+        # --- boundary: everything below runs "inside" the callee capsule ---
+        name, call_args, call_kwargs = pickle.loads(request)
+        try:
+            result = target.vtable.invoke(name, *call_args, **call_kwargs)
+        except Exception as exc:  # noqa: BLE001 - crash containment boundary
+            self.callee.kill(reason=f"component crash: {exc!r}")
+            raise IpcFault(
+                f"remote component {target.component.name} crashed: {exc!r}",
+                capsule_name=self.callee.name,
+            ) from exc
+        response = self._marshal(result)
+        # --- boundary: back in the caller capsule ---------------------------
+        self.bytes_received += len(response)
+        return pickle.loads(response)
+
+    @staticmethod
+    def _marshal(payload: Any) -> bytes:
+        try:
+            return pickle.dumps(payload)
+        except Exception as exc:  # noqa: BLE001 - conversion to typed error
+            raise MarshalError(f"cannot marshal {type(payload).__name__}: {exc}") from exc
+
+
+class _RemoteImpl:
+    """Implementation object backing a proxy: one marshalling method per
+    interface method, generated at construction time."""
+
+    def __init__(self, channel: IpcChannel, target: InterfaceRef, itype: type[Interface]) -> None:
+        self._channel = channel
+        self._target = target
+        for method in methods_of(itype):
+            setattr(self, method.name, self._make_forwarder(method.name))
+
+    def _make_forwarder(self, method_name: str):
+        channel = self._channel
+        target = self._target
+
+        def forward(*args: Any, **kwargs: Any) -> Any:
+            return channel.call(target, method_name, args, kwargs)
+
+        forward.__name__ = method_name
+        return forward
+
+
+class RemoteProxy(Component):
+    """Local stand-in for a remote interface instance.
+
+    Exposes exactly one interface (named ``"remote"``) whose calls are
+    forwarded across the channel.  Because the proxy is an ordinary local
+    component, the caller-side binding is an ordinary local binding: the
+    *transparency* claim of the paper.
+    """
+
+    def __init__(self, channel: IpcChannel, target: InterfaceRef) -> None:
+        self._channel = channel
+        self._remote_target = target
+        self._impl = _RemoteImpl(channel, target, target.itype)
+        super().__init__()
+        self.expose("remote", target.itype, impl=self._impl)
+
+    @property
+    def channel(self) -> IpcChannel:
+        """The underlying IPC channel (statistics live here)."""
+        return self._channel
+
+
+class RemoteBinding:
+    """Handle for one cross-capsule binding.
+
+    Owns the proxy component and the local binding on the caller side;
+    ``unbind`` dismantles both.
+    """
+
+    def __init__(
+        self,
+        local_binding: Binding,
+        proxy: RemoteProxy,
+        caller_capsule: Capsule,
+        callee_capsule: Capsule,
+        target: InterfaceRef,
+    ) -> None:
+        self.local_binding = local_binding
+        self.proxy = proxy
+        self.caller_capsule = caller_capsule
+        self.callee_capsule = callee_capsule
+        self.target = target
+
+    @property
+    def channel(self) -> IpcChannel:
+        """The underlying IPC channel."""
+        return self.proxy.channel
+
+    @property
+    def live(self) -> bool:
+        """True while the local half exists and the callee capsule lives."""
+        return self.local_binding.live and self.callee_capsule.alive
+
+    def unbind(self, *, principal: str = "system") -> None:
+        """Dismantle the binding and destroy the proxy."""
+        if self.local_binding.live:
+            self.caller_capsule.unbind(self.local_binding, principal=principal)
+        if self.proxy.name in self.caller_capsule:
+            self.caller_capsule.destroy(self.proxy)
+
+
+def bind_across(
+    receptacle: Receptacle,
+    target: InterfaceRef,
+    *,
+    connection_name: str | None = None,
+    principal: str = "system",
+) -> RemoteBinding:
+    """Bind a receptacle in one capsule to an interface in another.
+
+    The receptacle's owner and the target component must live in different
+    capsules.  A :class:`RemoteProxy` is instantiated next to the caller and
+    bound locally; calls then marshal across an :class:`IpcChannel`.
+
+    The caller capsule's bind-constraint chain runs against the *logical*
+    request (receptacle -> remote target) before any plumbing is created,
+    so composite topology constraints police remote bindings too.
+    """
+    caller_capsule = receptacle.owner.capsule
+    callee_capsule = target.component.capsule
+    if caller_capsule is None or callee_capsule is None:
+        raise BindError("both endpoints must be hosted in capsules")
+    if caller_capsule is callee_capsule:
+        raise BindError(
+            "endpoints share a capsule; use Capsule.bind for local bindings"
+        )
+    name = connection_name if connection_name is not None else (
+        "0" if receptacle.is_single else str(len(receptacle.connection_names()))
+    )
+    logical = BindRequest(
+        caller_capsule, receptacle, target, name,
+        operation="bind", principal=principal,
+    )
+    logical.metadata["remote"] = True
+    caller_capsule._run_constraints(logical)
+
+    channel = IpcChannel(caller_capsule, callee_capsule)
+    proxy = RemoteProxy(channel, target)
+    caller_capsule.adopt(proxy, f"proxy:{target.component.name}.{target.name}#{proxy.component_id}")
+    local = Binding(caller_capsule, receptacle, proxy.interface("remote"), name, kind="ipc")
+    local._establish()
+    caller_capsule.register_binding(local)
+    return RemoteBinding(local, proxy, caller_capsule, callee_capsule, target)

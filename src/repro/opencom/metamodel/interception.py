@@ -1,0 +1,147 @@
+"""Interception meta-model helpers.
+
+The raw interception mechanism lives on the vtable
+(:mod:`repro.opencom.vtable`); this module adds the management layer: a
+named :class:`Interceptor` object that can be applied to whole interfaces,
+removed in one step, and introspected — plus stock interceptors (call
+counting, tracing, admission control) used across the test suite and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.opencom.component import InterfaceRef
+from repro.opencom.vtable import CallContext
+
+
+@dataclass
+class Interceptor:
+    """A named bundle of pre/post/around behaviour for whole interfaces.
+
+    Any subset of the three hooks may be provided.  Applying the bundle to
+    an interface instance installs it on every method slot; ``detach``
+    removes every installation made through this object.
+    """
+
+    name: str
+    pre: Callable[[CallContext], None] | None = None
+    post: Callable[[CallContext], None] | None = None
+    around: Callable[[Callable[..., Any], CallContext], Any] | None = None
+    _installed: list[tuple[InterfaceRef, str]] = field(default_factory=list, repr=False)
+
+    def attach(self, iref: InterfaceRef, methods: list[str] | None = None) -> None:
+        """Install on all (or the named) methods of an interface instance."""
+        vtable = iref.vtable
+        targets = list(methods) if methods is not None else list(vtable.iter_methods())
+        for method in targets:
+            if self.pre is not None:
+                vtable.add_pre(method, self.name, self.pre)
+            if self.post is not None:
+                vtable.add_post(method, self.name, self.post)
+            if self.around is not None:
+                vtable.add_around(method, self.name, self.around)
+            self._installed.append((iref, method))
+
+    def detach(self) -> None:
+        """Remove every installation made by this interceptor."""
+        for iref, method in self._installed:
+            iref.vtable.remove_interceptor(method, self.name)
+        self._installed.clear()
+
+    @property
+    def installed_count(self) -> int:
+        """Number of (interface, method) slots currently intercepted."""
+        return len(self._installed)
+
+
+def intercept_interface(
+    iref: InterfaceRef,
+    name: str,
+    *,
+    pre: Callable[[CallContext], None] | None = None,
+    post: Callable[[CallContext], None] | None = None,
+    around: Callable[[Callable[..., Any], CallContext], Any] | None = None,
+) -> Interceptor:
+    """Convenience: build an :class:`Interceptor` and attach it."""
+    interceptor = Interceptor(name, pre=pre, post=post, around=around)
+    interceptor.attach(iref)
+    return interceptor
+
+
+class CallCounter:
+    """Stock interceptor: counts calls per (interface, method).
+
+    Used by the Router CF for per-component packet counters and by the
+    interception benchmarks.
+    """
+
+    def __init__(self, name: str = "call-counter") -> None:
+        self.name = name
+        self.counts: dict[tuple[str, str], int] = {}
+
+    def __call__(self, ctx: CallContext) -> None:
+        key = (ctx.interface_name, ctx.method_name)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def total(self) -> int:
+        """Total calls observed across all slots."""
+        return sum(self.counts.values())
+
+    def attach_to(self, iref: InterfaceRef) -> Interceptor:
+        """Attach as a pre-interceptor to every method of *iref*."""
+        interceptor = Interceptor(self.name, pre=self)
+        interceptor.attach(iref)
+        return interceptor
+
+
+class CallTrace:
+    """Stock interceptor: records (interface, method, args) tuples."""
+
+    def __init__(self, name: str = "call-trace", *, limit: int = 10000) -> None:
+        self.name = name
+        self.limit = limit
+        self.records: list[tuple[str, str, tuple]] = []
+        self.dropped = 0
+
+    def __call__(self, ctx: CallContext) -> None:
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append((ctx.interface_name, ctx.method_name, ctx.args))
+
+    def attach_to(self, iref: InterfaceRef) -> Interceptor:
+        """Attach as a pre-interceptor to every method of *iref*."""
+        interceptor = Interceptor(self.name, pre=self)
+        interceptor.attach(iref)
+        return interceptor
+
+
+class AdmissionGate:
+    """Stock around-interceptor: drops calls while closed.
+
+    Used to quiesce a component's interface during reconfiguration: calls
+    made while the gate is closed return ``default`` without reaching the
+    implementation, and are counted in :attr:`rejected`.
+    """
+
+    def __init__(self, name: str = "admission-gate", *, default: Any = None) -> None:
+        self.name = name
+        self.open = True
+        self.default = default
+        self.rejected = 0
+
+    def __call__(self, proceed: Callable[..., Any], ctx: CallContext) -> Any:
+        if not self.open:
+            self.rejected += 1
+            return self.default
+        return proceed()
+
+    def attach_to(self, iref: InterfaceRef) -> Interceptor:
+        """Attach as an around-interceptor to every method of *iref*."""
+        interceptor = Interceptor(self.name, around=self)
+        interceptor.attach(iref)
+        return interceptor

@@ -1,0 +1,71 @@
+"""Interface meta-model: language-independent introspection.
+
+The Windows OpenCOM implementation built introspection on type libraries;
+here the "type library" is the interface registry of
+:mod:`repro.opencom.interfaces`.  This module renders interface types and
+whole components into plain-dict descriptions suitable for management
+tools, remote inspection (they serialise cleanly), and documentation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.opencom.component import Component
+from repro.opencom.interfaces import (
+    Interface,
+    lookup_interface,
+    methods_of,
+    registered_interfaces,
+)
+
+
+def describe_interface(itype: type[Interface] | str) -> dict[str, Any]:
+    """Describe an interface type (by class or registry name)."""
+    if isinstance(itype, str):
+        itype = lookup_interface(itype)
+    return {
+        "name": itype.interface_name(),
+        "version": itype.VERSION,
+        "doc": (itype.__doc__ or "").strip(),
+        "methods": [
+            {
+                "name": m.name,
+                "parameters": list(m.parameters),
+                "doc": m.doc,
+            }
+            for m in methods_of(itype)
+        ],
+    }
+
+
+def describe_component(component: Component) -> dict[str, Any]:
+    """Full introspective description of a component instance."""
+    return {
+        "name": component.name,
+        "type": type(component).__name__,
+        "state": component.state,
+        "capsule": component.capsule.name if component.capsule else None,
+        "interfaces": component.enum_interfaces(),
+        "receptacles": component.enum_receptacles(),
+        "doc": (type(component).__doc__ or "").strip(),
+    }
+
+
+def type_library() -> list[dict[str, Any]]:
+    """Describe every registered interface type (the full type library)."""
+    return [
+        describe_interface(itype)
+        for _, itype in sorted(registered_interfaces().items())
+    ]
+
+
+def interfaces_compatible(
+    provided: type[Interface], required: type[Interface]
+) -> bool:
+    """True when an instance of *provided* can satisfy *required*.
+
+    Compatibility is subtype-based (identity or subclassing), matching the
+    binding rule enforced by receptacles.
+    """
+    return provided is required or issubclass(provided, required)

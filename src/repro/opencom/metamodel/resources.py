@@ -1,0 +1,258 @@
+"""The resources meta-model: tasks, pools, and fine-grained accounting.
+
+The paper (after [Blair,99]) associates each capsule with a privileged CF
+that controls "the resourcing of dynamically-delineable units of work
+called 'tasks'".  Tasks are orthogonal to the component architecture: one
+task may span many components and one component may serve many tasks.
+'Resources' cover system-level pools (threads, memory, bandwidth) *and*
+abstract, application-defined units of allocation.
+
+This module provides the bookkeeping half of the meta-model; the stratum-1
+thread-management CF (:mod:`repro.osbase.scheduler`) consumes it to drive
+pluggable scheduling, and the Router CF uses it to map tasks onto
+constituents (experiment C10).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.opencom.errors import ResourceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.opencom.capsule import Capsule
+    from repro.opencom.component import Component
+
+_TASK_IDS = itertools.count(1)
+
+
+@dataclass
+class ResourcePool:
+    """A bounded pool of one resource kind.
+
+    ``kind`` is free-form: ``"threads"``, ``"memory"``, ``"bandwidth"`` or
+    any abstract application-defined unit (e.g. ``"flow-slots"``).
+    """
+
+    name: str
+    kind: str
+    capacity: float
+    allocations: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def allocated(self) -> float:
+        """Total units currently allocated."""
+        return sum(self.allocations.values())
+
+    @property
+    def available(self) -> float:
+        """Units still allocatable."""
+        return self.capacity - self.allocated
+
+    @property
+    def utilisation(self) -> float:
+        """Allocated fraction in [0, 1] (0 for zero-capacity pools)."""
+        if self.capacity <= 0:
+            return 0.0
+        return self.allocated / self.capacity
+
+    def _allocate(self, task_name: str, amount: float) -> None:
+        if amount <= 0:
+            raise ResourceError(f"allocation amount must be positive, got {amount}")
+        if amount > self.available + 1e-12:
+            raise ResourceError(
+                f"pool {self.name!r} over-allocated: requested {amount}, "
+                f"available {self.available} of {self.capacity}"
+            )
+        self.allocations[task_name] = self.allocations.get(task_name, 0.0) + amount
+
+    def _release(self, task_name: str, amount: float | None) -> float:
+        held = self.allocations.get(task_name, 0.0)
+        if held == 0.0:
+            raise ResourceError(
+                f"task {task_name!r} holds nothing in pool {self.name!r}"
+            )
+        to_release = held if amount is None else amount
+        if to_release > held + 1e-12:
+            raise ResourceError(
+                f"task {task_name!r} cannot release {to_release} from pool "
+                f"{self.name!r}: holds only {held}"
+            )
+        remaining = held - to_release
+        if remaining <= 1e-12:
+            del self.allocations[task_name]
+        else:
+            self.allocations[task_name] = remaining
+        return to_release
+
+
+class Task:
+    """A dynamically-delineable unit of work with resource allocations.
+
+    Tasks carry a priority (consumed by pluggable schedulers) and an
+    attachment set of components they currently span.
+    """
+
+    def __init__(self, name: str, *, priority: int = 0) -> None:
+        self.task_id: int = next(_TASK_IDS)
+        self.name = name
+        self.priority = priority
+        self.attached_components: set[str] = set()
+        #: pool name -> amount currently held.
+        self.holdings: dict[str, float] = {}
+        #: Accumulated "work units" executed on behalf of this task;
+        #: maintained by the stratum-1 scheduler for accounting.
+        self.work_done: float = 0.0
+        self.alive = True
+
+    def attach(self, component: "Component") -> None:
+        """Record that this task's work flows through *component*."""
+        self.attached_components.add(component.name)
+
+    def detach(self, component: "Component") -> None:
+        """Remove a component attachment."""
+        self.attached_components.discard(component.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"<Task {self.name} prio={self.priority} holdings={self.holdings}>"
+
+
+class ResourceMetaModel:
+    """Per-capsule resource accounting and task registry."""
+
+    def __init__(self, capsule: "Capsule | None" = None) -> None:
+        self.capsule = capsule
+        self._pools: dict[str, ResourcePool] = {}
+        self._tasks: dict[str, Task] = {}
+
+    # -- pools ------------------------------------------------------------------
+
+    def create_pool(self, name: str, kind: str, capacity: float) -> ResourcePool:
+        """Create a named resource pool."""
+        if name in self._pools:
+            raise ResourceError(f"pool {name!r} already exists")
+        if capacity < 0:
+            raise ResourceError("pool capacity must be non-negative")
+        pool = ResourcePool(name, kind, capacity)
+        self._pools[name] = pool
+        return pool
+
+    def pool(self, name: str) -> ResourcePool:
+        """Look a pool up by name."""
+        try:
+            return self._pools[name]
+        except KeyError:
+            raise ResourceError(f"unknown pool {name!r}") from None
+
+    def pools(self) -> dict[str, ResourcePool]:
+        """Snapshot of pools (name -> pool)."""
+        return dict(self._pools)
+
+    def resize_pool(self, name: str, new_capacity: float) -> None:
+        """Grow or shrink a pool; shrinking below current allocation fails."""
+        pool = self.pool(name)
+        if new_capacity < pool.allocated:
+            raise ResourceError(
+                f"cannot shrink pool {name!r} to {new_capacity}: "
+                f"{pool.allocated} already allocated"
+            )
+        pool.capacity = new_capacity
+
+    # -- tasks -------------------------------------------------------------------
+
+    def create_task(self, name: str, *, priority: int = 0) -> Task:
+        """Create a named task."""
+        if name in self._tasks:
+            raise ResourceError(f"task {name!r} already exists")
+        task = Task(name, priority=priority)
+        self._tasks[name] = task
+        return task
+
+    def task(self, name: str) -> Task:
+        """Look a task up by name."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise ResourceError(f"unknown task {name!r}") from None
+
+    def tasks(self) -> dict[str, Task]:
+        """Snapshot of tasks (name -> task)."""
+        return dict(self._tasks)
+
+    def iter_tasks(self) -> Iterator[Task]:
+        """Iterate live tasks in name order."""
+        for name in sorted(self._tasks):
+            yield self._tasks[name]
+
+    def destroy_task(self, name: str) -> None:
+        """Destroy a task, releasing everything it holds."""
+        task = self.task(name)
+        for pool_name in list(task.holdings):
+            self.release(name, pool_name)
+        task.alive = False
+        del self._tasks[name]
+
+    # -- allocation ---------------------------------------------------------------
+
+    def allocate(self, task_name: str, pool_name: str, amount: float) -> None:
+        """Allocate *amount* units of *pool_name* to *task_name*."""
+        task = self.task(task_name)
+        pool = self.pool(pool_name)
+        pool._allocate(task_name, amount)
+        task.holdings[pool_name] = task.holdings.get(pool_name, 0.0) + amount
+
+    def release(
+        self, task_name: str, pool_name: str, amount: float | None = None
+    ) -> None:
+        """Release units (all when *amount* is None) back to the pool."""
+        task = self.task(task_name)
+        pool = self.pool(pool_name)
+        released = pool._release(task_name, amount)
+        remaining = task.holdings.get(pool_name, 0.0) - released
+        if remaining <= 1e-12:
+            task.holdings.pop(pool_name, None)
+        else:
+            task.holdings[pool_name] = remaining
+
+    def transfer(
+        self, from_task: str, to_task: str, pool_name: str, amount: float
+    ) -> None:
+        """Move an allocation between tasks without touching availability."""
+        self.release(from_task, pool_name, amount)
+        self.allocate(to_task, pool_name, amount)
+
+    # -- accounting ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Accounting snapshot: per-pool utilisation and per-task holdings."""
+        return {
+            "pools": {
+                name: {
+                    "kind": p.kind,
+                    "capacity": p.capacity,
+                    "allocated": p.allocated,
+                    "utilisation": round(p.utilisation, 6),
+                }
+                for name, p in sorted(self._pools.items())
+            },
+            "tasks": {
+                name: {
+                    "priority": t.priority,
+                    "holdings": dict(t.holdings),
+                    "components": sorted(t.attached_components),
+                    "work_done": t.work_done,
+                }
+                for name, t in sorted(self._tasks.items())
+            },
+        }
+
+    def tasks_on_component(self, component_name: str) -> list[Task]:
+        """Tasks whose work currently flows through one component."""
+        return [
+            t
+            for t in self.iter_tasks()
+            if component_name in t.attached_components
+        ]

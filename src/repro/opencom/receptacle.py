@@ -1,0 +1,258 @@
+"""Receptacles: named required interfaces of a component.
+
+A receptacle is the "required" half of a binding.  Calls made by the owning
+component travel through the receptacle to the vtable of the interface
+instance plugged into it.  Two call styles are supported:
+
+- *single receptacles* (``max_connections=1``) forward interface methods
+  directly: ``self.out.push(pkt)``;
+- *multi receptacles* expose named ports: ``self.out["ipv4"].push(pkt)``,
+  and iterate over connected ports.
+
+Each connection dispatches in one of two regimes (see
+:mod:`repro.opencom.vtable`): ``indirect`` through the vtable (the default,
+always observes interceptors) or ``fused`` via revocable direct-call
+handles.  ``Receptacle.fuse()`` switches a connection to the fused regime;
+interceptor installation transparently reverts it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any
+
+from repro.opencom.errors import ReceptacleError
+from repro.opencom.interfaces import Interface, methods_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.opencom.binding import Binding
+    from repro.opencom.component import Component, InterfaceRef
+
+
+class _IndirectCall:
+    """Callable dispatching one method through the live vtable.
+
+    Kept as a tiny class rather than a closure so ports can introspect and
+    replace their call handles when switching dispatch regimes.
+    """
+
+    __slots__ = ("_vtable", "_name")
+
+    def __init__(self, vtable: Any, name: str) -> None:
+        self._vtable = vtable
+        self._name = name
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self._vtable.invoke(self._name, *args, **kwargs)
+
+
+class Port:
+    """One live connection of a receptacle.
+
+    Interface methods are materialised as instance attributes at connect
+    time, so a data-path call is one attribute load plus one call.
+    """
+
+    def __init__(
+        self,
+        receptacle: "Receptacle",
+        connection_name: str,
+        target: "InterfaceRef",
+        binding: "Binding",
+    ) -> None:
+        self.receptacle = receptacle
+        self.connection_name = connection_name
+        self.target = target
+        self.binding = binding
+        self.fused = False
+        self._method_names = [m.name for m in methods_of(target.itype)]
+        self._unwatchers: list = []
+        for reserved in self._method_names:
+            if hasattr(Port, reserved):
+                raise ReceptacleError(
+                    f"interface method name {reserved!r} collides with the "
+                    "Port API"
+                )
+        self._install_indirect()
+
+    def _install_indirect(self) -> None:
+        for unwatch in self._unwatchers:
+            unwatch()
+        self._unwatchers.clear()
+        vtable = self.target.vtable
+        for name in self._method_names:
+            setattr(self, name, _IndirectCall(vtable, name))
+        self.fused = False
+
+    def fuse(self) -> None:
+        """Switch this port's calls to fused (direct) dispatch.
+
+        The vtable installs the *raw bound method* as this port's call
+        attribute — the partial-evaluation result: a cross-component call
+        at plain-function-call cost.  Interceptor changes on the target
+        slot transparently re-install the dispatch closure, so reflection
+        is never bypassed.
+        """
+        if self.fused:
+            return
+        vtable = self.target.vtable
+        for name in self._method_names:
+            self._unwatchers.append(
+                vtable.watch_slot(name, lambda target, n=name: setattr(self, n, target))
+            )
+        self.fused = True
+
+    def unfuse(self) -> None:
+        """Return to indirect vtable dispatch."""
+        self._install_indirect()
+
+    def call(self, method_name: str, *args: Any, **kwargs: Any) -> Any:
+        """Late-bound call by method name (reflective invocation path)."""
+        return self.target.vtable.invoke(method_name, *args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<Port {self.receptacle.owner.name}.{self.receptacle.name}"
+            f"[{self.connection_name}] -> {self.target!r}>"
+        )
+
+
+class Receptacle:
+    """A named required interface with arity constraints.
+
+    Connections are keyed by *connection name*.  Single receptacles use the
+    reserved name ``"0"`` by default and additionally forward interface
+    methods directly (``receptacle.method(...)``).
+    """
+
+    def __init__(
+        self,
+        owner: "Component",
+        name: str,
+        itype: type[Interface],
+        *,
+        min_connections: int = 1,
+        max_connections: int | None = 1,
+    ) -> None:
+        if min_connections < 0:
+            raise ReceptacleError("min_connections must be >= 0")
+        if max_connections is not None and max_connections < max(min_connections, 1):
+            raise ReceptacleError("max_connections must be >= max(min_connections, 1)")
+        self.owner = owner
+        self.name = name
+        self.itype = itype
+        self.min_connections = min_connections
+        self.max_connections = max_connections
+        self._ports: dict[str, Port] = {}
+
+    # -- connection management (driven by the bind primitive) -----------------
+
+    def _attach(
+        self, connection_name: str, target: "InterfaceRef", binding: "Binding"
+    ) -> Port:
+        if not (target.itype is self.itype or issubclass(target.itype, self.itype)):
+            raise ReceptacleError(
+                f"receptacle {self.owner.name}.{self.name} requires "
+                f"{self.itype.interface_name()} but was offered "
+                f"{target.itype.interface_name()}"
+            )
+        if self.max_connections is not None and len(self._ports) >= self.max_connections:
+            raise ReceptacleError(
+                f"receptacle {self.owner.name}.{self.name} is full "
+                f"(max {self.max_connections})"
+            )
+        if connection_name in self._ports:
+            raise ReceptacleError(
+                f"receptacle {self.owner.name}.{self.name} already has a "
+                f"connection named {connection_name!r}"
+            )
+        port = Port(self, connection_name, target, binding)
+        self._ports[connection_name] = port
+        return port
+
+    def _detach(self, connection_name: str) -> None:
+        if connection_name not in self._ports:
+            raise ReceptacleError(
+                f"receptacle {self.owner.name}.{self.name} has no connection "
+                f"named {connection_name!r}"
+            )
+        del self._ports[connection_name]
+
+    # -- introspection ---------------------------------------------------------
+
+    def connections(self) -> list[Port]:
+        """Live ports in stable connection-name order."""
+        return [self._ports[k] for k in sorted(self._ports)]
+
+    def connection_names(self) -> list[str]:
+        """Names of live connections."""
+        return sorted(self._ports)
+
+    def port(self, connection_name: str) -> Port:
+        """Return the port for one named connection."""
+        try:
+            return self._ports[connection_name]
+        except KeyError:
+            raise ReceptacleError(
+                f"receptacle {self.owner.name}.{self.name} has no connection "
+                f"named {connection_name!r}"
+            ) from None
+
+    @property
+    def is_single(self) -> bool:
+        """True for single-connection receptacles."""
+        return self.max_connections == 1
+
+    @property
+    def bound(self) -> bool:
+        """True when at least one connection is live."""
+        return bool(self._ports)
+
+    def satisfied(self) -> bool:
+        """True when the arity constraint is currently met."""
+        return len(self._ports) >= self.min_connections
+
+    def fuse(self) -> None:
+        """Fuse every live port (direct dispatch)."""
+        for port in self._ports.values():
+            port.fuse()
+
+    def unfuse(self) -> None:
+        """Unfuse every live port (vtable dispatch)."""
+        for port in self._ports.values():
+            port.unfuse()
+
+    # -- call convenience --------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        # Only reached for names not found normally: forward interface
+        # methods when exactly one connection is live.
+        ports = object.__getattribute__(self, "_ports")
+        if len(ports) == 1:
+            (port,) = ports.values()
+            try:
+                return getattr(port, name)
+            except AttributeError:
+                pass
+        if not ports and not name.startswith("_"):
+            raise ReceptacleError(
+                f"receptacle {self.owner.name}.{self.name} is unbound; "
+                f"cannot access {name!r}"
+            )
+        raise AttributeError(name)
+
+    def __getitem__(self, connection_name: str) -> Port:
+        return self.port(connection_name)
+
+    def __iter__(self) -> Iterator[Port]:
+        return iter(self.connections())
+
+    def __len__(self) -> int:
+        return len(self._ports)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<Receptacle {self.owner.name}.{self.name}:"
+            f"{self.itype.interface_name()} "
+            f"[{len(self._ports)}/{self.max_connections or 'inf'}]>"
+        )

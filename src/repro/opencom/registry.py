@@ -1,0 +1,142 @@
+"""Component type registry: named, versioned component factories.
+
+Deployment in the paper's sense — shipping a new component implementation
+to a node and instantiating it by name — needs a level of indirection
+between component *type names* and Python classes.  The registry provides
+it, together with simple semantic-version selection so that "managed
+software evolution" (upgrading a deployed component type) is expressible:
+register version 2, then ask the architecture meta-model to replace running
+instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.opencom.component import Component
+from repro.opencom.errors import CapsuleError
+
+
+def _parse_version(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split("."))
+    except ValueError:
+        raise CapsuleError(f"invalid version string {text!r}") from None
+
+
+@dataclass
+class RegisteredType:
+    """One registered component type version."""
+
+    type_name: str
+    version: str
+    factory: Callable[..., Component]
+    description: str = ""
+    #: Free-form metadata: footprint class, target stratum, trust level ...
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def version_key(self) -> tuple[int, ...]:
+        """Sortable version tuple."""
+        return _parse_version(self.version)
+
+
+class ComponentRegistry:
+    """Registry of deployable component types.
+
+    Multiple versions of one type name may coexist; lookups default to the
+    highest version.  Registries can be *chained* (node-local registry
+    falling back to a network-wide one) through the ``parent`` link, which
+    is how remote deployment is modelled in the coordination stratum.
+    """
+
+    def __init__(self, parent: "ComponentRegistry | None" = None) -> None:
+        self.parent = parent
+        self._types: dict[str, dict[str, RegisteredType]] = {}
+
+    def register(
+        self,
+        type_name: str,
+        factory: Callable[..., Component],
+        *,
+        version: str = "1.0",
+        description: str = "",
+        **metadata: Any,
+    ) -> RegisteredType:
+        """Register a component type version.
+
+        Re-registering the same (name, version) pair is an error; publish a
+        new version instead — that is the evolution story.
+        """
+        versions = self._types.setdefault(type_name, {})
+        if version in versions:
+            raise CapsuleError(
+                f"component type {type_name!r} version {version} already registered"
+            )
+        entry = RegisteredType(type_name, version, factory, description, metadata)
+        versions[version] = entry
+        return entry
+
+    def lookup(self, type_name: str, version: str | None = None) -> RegisteredType:
+        """Find a registered type (highest version by default), consulting
+        parent registries on a miss."""
+        versions = self._types.get(type_name)
+        if versions:
+            if version is not None:
+                if version in versions:
+                    return versions[version]
+            else:
+                best = max(versions.values(), key=lambda e: e.version_key)
+                return best
+        if self.parent is not None:
+            return self.parent.lookup(type_name, version)
+        suffix = f" version {version}" if version else ""
+        raise CapsuleError(f"unknown component type {type_name!r}{suffix}")
+
+    def create(
+        self, type_name: str, *args: Any, version: str | None = None, **kwargs: Any
+    ) -> Component:
+        """Instantiate a registered type (not yet placed in a capsule)."""
+        entry = self.lookup(type_name, version)
+        instance = entry.factory(*args, **kwargs)
+        if not isinstance(instance, Component):
+            raise CapsuleError(
+                f"factory for {type_name!r} produced {type(instance).__name__}, "
+                "not a Component"
+            )
+        return instance
+
+    def versions(self, type_name: str) -> list[str]:
+        """All locally registered versions of a type, ascending."""
+        versions = self._types.get(type_name, {})
+        return [
+            e.version
+            for e in sorted(versions.values(), key=lambda e: e.version_key)
+        ]
+
+    def type_names(self) -> list[str]:
+        """Locally registered type names (sorted)."""
+        return sorted(self._types)
+
+    def catalogue(self) -> list[dict[str, Any]]:
+        """Describe every locally registered type/version (for shipping to
+        management tools)."""
+        rows: list[dict[str, Any]] = []
+        for type_name in self.type_names():
+            for version in self.versions(type_name):
+                entry = self._types[type_name][version]
+                rows.append(
+                    {
+                        "type": type_name,
+                        "version": version,
+                        "description": entry.description,
+                        "metadata": dict(entry.metadata),
+                    }
+                )
+        return rows
+
+
+#: Process-wide default registry; nodes normally chain their own off this.
+GLOBAL_REGISTRY = ComponentRegistry()

@@ -1,0 +1,337 @@
+"""Virtual dispatch tables with vtable-level interception and fusion.
+
+OpenCOM dispatches every cross-component call through a per-interface
+*vtable*.  The vtable is the reflective hook of the model: interceptors are
+spliced into individual slots (the paper: interception "is very efficient as
+it is implemented at the vtable level"), and, conversely, when no
+interceptors are present a slot can be *fused* -- the partial-evaluation
+optimisation of section 5 that reduces a cross-component call to the cost of
+a plain function call.
+
+Three dispatch regimes coexist per slot:
+
+``interposed``
+    pre/post/around interceptors wrap the implementation; rebuilt as a
+    composed closure whenever the interceptor set changes, so steady-state
+    calls never walk an interceptor list.
+``indirect``
+    no interceptors; the slot holds the bound implementation method and the
+    call costs one dictionary lookup plus one call (the "vtable" cost).
+``fused``
+    the caller has been handed the raw bound method; zero indirection.
+    Fusing is only permitted while the slot is unintercepted, and adding an
+    interceptor revokes outstanding fused references (callers observe this
+    through :class:`FusedCall` becoming stale).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.opencom.errors import InterfaceError
+from repro.opencom.interfaces import Interface, implements, methods_of
+
+
+@dataclass
+class CallContext:
+    """Context handed to pre/post interceptors for one dispatched call."""
+
+    interface_name: str
+    method_name: str
+    args: tuple
+    kwargs: dict
+    #: Set by post-interceptors' view of the call; ``None`` until the
+    #: implementation has returned.
+    result: Any = None
+    #: Free-form scratch space shared by the interceptors of one call.
+    scratch: dict = field(default_factory=dict)
+
+
+PreInterceptor = Callable[[CallContext], None]
+PostInterceptor = Callable[[CallContext], None]
+AroundInterceptor = Callable[[Callable[..., Any], CallContext], Any]
+
+
+@dataclass
+class _SlotInterceptors:
+    """Interceptor sets for one vtable slot, keyed by registration name."""
+
+    pre: dict[str, PreInterceptor] = field(default_factory=dict)
+    post: dict[str, PostInterceptor] = field(default_factory=dict)
+    around: dict[str, AroundInterceptor] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.pre or self.post or self.around)
+
+    def count(self) -> int:
+        return len(self.pre) + len(self.post) + len(self.around)
+
+
+class FusedCall:
+    """Handle to a fused (direct) slot call.
+
+    Calling the handle is as cheap as calling the implementation method
+    directly, except for a single attribute load of ``_target``.  When the
+    originating slot gains an interceptor the handle is *revoked*: it keeps
+    working, but transparently falls back to dispatching through the vtable
+    so interception is never bypassed.
+    """
+
+    __slots__ = ("_target", "_vtable", "_name", "revoked")
+
+    def __init__(self, target: Callable[..., Any], vtable: "VTable", name: str) -> None:
+        self._target = target
+        self._vtable = vtable
+        self._name = name
+        self.revoked = False
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self._target(*args, **kwargs)
+
+    def _revoke(self) -> None:
+        """Redirect the handle back through the vtable (slow path)."""
+        vtable, name = self._vtable, self._name
+        self._target = lambda *a, **kw: vtable.invoke(name, *a, **kw)
+        self.revoked = True
+
+    def _refresh(self, target: Callable[..., Any]) -> None:
+        """Re-fuse the handle onto a direct target after interceptors are
+        removed again."""
+        self._target = target
+        self.revoked = False
+
+
+class VTable:
+    """Dispatch table for one exposed interface instance.
+
+    Parameters
+    ----------
+    itype:
+        The interface type whose methods define the slots.
+    impl:
+        The implementation object; must structurally conform to *itype*.
+    interface_name:
+        The exposure name (e.g. ``"in0"``); used in diagnostics and in
+        call contexts.
+    """
+
+    def __init__(self, itype: type[Interface], impl: object, interface_name: str) -> None:
+        problems = implements(impl, itype)
+        if problems:
+            raise InterfaceError(
+                f"implementation {type(impl).__name__} does not conform to "
+                f"{itype.interface_name()}: " + "; ".join(problems)
+            )
+        self.itype = itype
+        self.impl = impl
+        self.interface_name = interface_name
+        #: Raw bound methods, one per declared interface method.
+        self._raw: dict[str, Callable[..., Any]] = {
+            m.name: getattr(impl, m.name) for m in methods_of(itype)
+        }
+        #: Effective slots: raw methods, or composed interceptor closures.
+        self._slots: dict[str, Callable[..., Any]] = dict(self._raw)
+        self._interceptors: dict[str, _SlotInterceptors] = {}
+        self._fused: dict[str, list[FusedCall]] = {}
+        #: Slot watchers: called with the effective slot callable now and
+        #: after every interceptor change.  This is the zero-overhead
+        #: fusion path: watchers install the *raw bound method* at their
+        #: call site while a slot is unintercepted, and the vtable swaps
+        #: the dispatch closure in when interception appears.
+        self._watchers: dict[str, list[Callable[[Callable[..., Any]], None]]] = {}
+
+    # -- dispatch -----------------------------------------------------------
+
+    def invoke(self, method_name: str, *args: Any, **kwargs: Any) -> Any:
+        """Dispatch a call through the vtable (the 'indirect' regime)."""
+        try:
+            slot = self._slots[method_name]
+        except KeyError:
+            raise InterfaceError(
+                f"interface {self.itype.interface_name()} has no method "
+                f"{method_name!r}"
+            ) from None
+        return slot(*args, **kwargs)
+
+    def slot(self, method_name: str) -> Callable[..., Any]:
+        """Return the current effective slot callable for *method_name*.
+
+        The returned callable reflects interceptors installed *at the time
+        of the call to this function*; callers that must observe later
+        interceptor changes should use :meth:`invoke` or :meth:`fuse`.
+        """
+        try:
+            return self._slots[method_name]
+        except KeyError:
+            raise InterfaceError(
+                f"interface {self.itype.interface_name()} has no method "
+                f"{method_name!r}"
+            ) from None
+
+    def fuse(self, method_name: str) -> FusedCall:
+        """Return a revocable direct-call handle for *method_name*.
+
+        While the slot is unintercepted the handle calls the implementation
+        method with zero vtable indirection; if interceptors appear later
+        the handle silently reverts to full dispatch.
+        """
+        if method_name not in self._raw:
+            raise InterfaceError(
+                f"interface {self.itype.interface_name()} has no method "
+                f"{method_name!r}"
+            )
+        intercepted = bool(self._interceptors.get(method_name))
+        target = self._slots[method_name] if intercepted else self._raw[method_name]
+        handle = FusedCall(target, self, method_name)
+        if intercepted:
+            handle.revoked = True
+        self._fused.setdefault(method_name, []).append(handle)
+        return handle
+
+    def watch_slot(
+        self, method_name: str, setter: Callable[[Callable[..., Any]], None]
+    ) -> Callable[[], None]:
+        """Register a call-site *setter* for one slot.
+
+        The setter is invoked immediately with the current effective slot
+        (the raw bound method when unintercepted — true direct dispatch)
+        and again whenever the effective slot changes.  Returns an
+        unsubscribe callable.
+        """
+        if method_name not in self._raw:
+            raise InterfaceError(
+                f"interface {self.itype.interface_name()} has no method "
+                f"{method_name!r}"
+            )
+        watchers = self._watchers.setdefault(method_name, [])
+        watchers.append(setter)
+        setter(self._slots[method_name])
+
+        def unsubscribe() -> None:
+            try:
+                watchers.remove(setter)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    # -- interception -------------------------------------------------------
+
+    def add_pre(self, method_name: str, name: str, fn: PreInterceptor) -> None:
+        """Install a pre-interceptor on one slot under a registration name."""
+        self._interceptors_for(method_name).pre[name] = fn
+        self._rebuild(method_name)
+
+    def add_post(self, method_name: str, name: str, fn: PostInterceptor) -> None:
+        """Install a post-interceptor on one slot under a registration name."""
+        self._interceptors_for(method_name).post[name] = fn
+        self._rebuild(method_name)
+
+    def add_around(self, method_name: str, name: str, fn: AroundInterceptor) -> None:
+        """Install an around-interceptor; it receives ``(proceed, context)``
+        and is responsible for calling ``proceed`` (or not)."""
+        self._interceptors_for(method_name).around[name] = fn
+        self._rebuild(method_name)
+
+    def remove_interceptor(self, method_name: str, name: str) -> bool:
+        """Remove interceptor *name* from a slot (any kind).
+
+        Returns True when something was removed.
+        """
+        entry = self._interceptors.get(method_name)
+        if entry is None:
+            return False
+        removed = False
+        for table in (entry.pre, entry.post, entry.around):
+            if name in table:
+                del table[name]
+                removed = True
+        if removed:
+            self._rebuild(method_name)
+        return removed
+
+    def interceptor_names(self, method_name: str) -> list[str]:
+        """Registration names of all interceptors on one slot."""
+        entry = self._interceptors.get(method_name)
+        if entry is None:
+            return []
+        return sorted({*entry.pre, *entry.post, *entry.around})
+
+    def intercepted(self, method_name: str) -> bool:
+        """True when the slot currently has at least one interceptor."""
+        return bool(self._interceptors.get(method_name))
+
+    def iter_methods(self) -> Iterator[str]:
+        """Iterate slot (method) names in vtable order."""
+        return iter(self._raw)
+
+    # -- internals ----------------------------------------------------------
+
+    def _interceptors_for(self, method_name: str) -> _SlotInterceptors:
+        if method_name not in self._raw:
+            raise InterfaceError(
+                f"interface {self.itype.interface_name()} has no method "
+                f"{method_name!r}"
+            )
+        return self._interceptors.setdefault(method_name, _SlotInterceptors())
+
+    def _rebuild(self, method_name: str) -> None:
+        """Recompose the effective slot after an interceptor change.
+
+        Composition happens once per change, so the steady-state dispatch
+        cost is one closure call per interceptor rather than a list walk
+        with per-call conditionals.
+        """
+        raw = self._raw[method_name]
+        entry = self._interceptors.get(method_name)
+        if not entry:
+            self._slots[method_name] = raw
+            for handle in self._fused.get(method_name, []):
+                handle._refresh(raw)
+            for setter in self._watchers.get(method_name, []):
+                setter(raw)
+            return
+
+        pres = list(entry.pre.values())
+        posts = list(entry.post.values())
+        arounds = list(entry.around.values())
+        iface_name = self.interface_name
+
+        def dispatch(*args: Any, **kwargs: Any) -> Any:
+            ctx = CallContext(iface_name, method_name, args, kwargs)
+            for pre in pres:
+                pre(ctx)
+
+            def proceed(*a: Any, **kw: Any) -> Any:
+                # Around interceptors may re-invoke with altered arguments;
+                # default to the (possibly pre-interceptor-mutated) context.
+                call_args = a if a else ctx.args
+                call_kwargs = kw if kw else ctx.kwargs
+                return raw(*call_args, **call_kwargs)
+
+            invoke = proceed
+            for around in reversed(arounds):
+                invoke = _wrap_around(around, invoke, ctx)
+            ctx.result = invoke()
+            for post in posts:
+                post(ctx)
+            return ctx.result
+
+        self._slots[method_name] = dispatch
+        for handle in self._fused.get(method_name, []):
+            handle._revoke()
+        for setter in self._watchers.get(method_name, []):
+            setter(dispatch)
+
+
+def _wrap_around(
+    around: AroundInterceptor, inner: Callable[..., Any], ctx: CallContext
+) -> Callable[..., Any]:
+    """Bind one around-interceptor over *inner* for a single call context."""
+
+    def wrapped() -> Any:
+        return around(inner, ctx)
+
+    return wrapped

@@ -1,0 +1,47 @@
+"""Stratum 1 — hardware abstraction: virtual clock, timers, memory
+allocation, the buffer-management CF, cooperative threads with the
+pluggable-scheduler thread-management CF, and the NIC model."""
+
+from repro.osbase.buffers import (
+    Buffer,
+    BufferManagementCF,
+    BufferPool,
+    IBufferPool,
+)
+from repro.osbase.clock import ClockError, VirtualClock
+from repro.osbase.memory import Allocation, MemoryAllocator
+from repro.osbase.nic import INic, Nic
+from repro.osbase.scheduler import (
+    EdfScheduler,
+    IScheduler,
+    LotteryScheduler,
+    PriorityScheduler,
+    RoundRobinScheduler,
+    ThreadManagerCF,
+)
+from repro.osbase.threads import SimThread, ThreadError, WaitEvent
+from repro.osbase.timers import Timer, TimerWheel
+
+__all__ = [
+    "Allocation",
+    "Buffer",
+    "BufferManagementCF",
+    "BufferPool",
+    "ClockError",
+    "EdfScheduler",
+    "IBufferPool",
+    "INic",
+    "IScheduler",
+    "LotteryScheduler",
+    "MemoryAllocator",
+    "Nic",
+    "PriorityScheduler",
+    "RoundRobinScheduler",
+    "SimThread",
+    "ThreadError",
+    "ThreadManagerCF",
+    "Timer",
+    "TimerWheel",
+    "VirtualClock",
+    "WaitEvent",
+]

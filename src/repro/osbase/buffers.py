@@ -1,0 +1,199 @@
+"""The buffer-management CF (stratum 1).
+
+The paper lists buffer management among the implemented CFs and notes that
+router components "can also take advantage of our existing buffer
+management CF".  Here: reference-counted packet buffers drawn from
+fixed-size pools, with zero-copy slicing, per-pool accounting, and a CF
+whose rule set governs pool plug-ins.
+
+Buffers back the packet payloads travelling through the stratum-2 data
+path; pool exhaustion is how input-pressure drop policies are exercised.
+"""
+
+from __future__ import annotations
+
+from repro.cf.framework import ComponentFramework
+from repro.cf.rules import ProvidesInterface
+from repro.opencom.component import Component, Provided
+from repro.opencom.errors import ResourceError
+from repro.opencom.interfaces import Interface
+
+
+class IBufferPool(Interface):
+    """Interface of a buffer pool plug-in."""
+
+    def acquire(self, size: int):
+        """Obtain a buffer of at least *size* bytes (refcount 1)."""
+        ...
+
+    def release(self, buffer) -> None:
+        """Drop one reference; the buffer returns to the pool at zero."""
+        ...
+
+    def stats(self) -> dict:
+        """Pool occupancy statistics."""
+        ...
+
+
+class Buffer:
+    """A reference-counted byte buffer from a pool.
+
+    Supports zero-copy views: :meth:`view` returns a memoryview over the
+    valid region; :meth:`clone_ref` bumps the refcount for shared
+    ownership along a multicast path.
+    """
+
+    __slots__ = ("pool", "capacity", "length", "_data", "refcount")
+
+    def __init__(self, pool: "BufferPool", capacity: int) -> None:
+        self.pool = pool
+        self.capacity = capacity
+        self.length = 0
+        self._data = bytearray(capacity)
+        self.refcount = 0
+
+    def write(self, payload: bytes) -> None:
+        """Fill the buffer with *payload* (must fit the capacity)."""
+        if len(payload) > self.capacity:
+            raise ResourceError(
+                f"payload of {len(payload)} exceeds buffer capacity {self.capacity}"
+            )
+        self._data[: len(payload)] = payload
+        self.length = len(payload)
+
+    def view(self) -> memoryview:
+        """Zero-copy view of the valid region."""
+        return memoryview(self._data)[: self.length]
+
+    def tobytes(self) -> bytes:
+        """Copy the valid region out as bytes."""
+        return bytes(self._data[: self.length])
+
+    def clone_ref(self) -> "Buffer":
+        """Add a reference (shared ownership); returns self."""
+        if self.refcount <= 0:
+            raise ResourceError("cannot clone a released buffer")
+        self.refcount += 1
+        return self
+
+
+class BufferPool(Component):
+    """Fixed-size buffer pool component (IBufferPool plug-in).
+
+    Pools pre-carve *count* buffers of *buffer_size* bytes each from a
+    conceptual arena; acquire/release recycle them without allocation.
+    """
+
+    PROVIDES = (Provided("pool", IBufferPool),)
+
+    def __init__(self, buffer_size: int, count: int) -> None:
+        if buffer_size <= 0 or count <= 0:
+            raise ResourceError("buffer_size and count must be positive")
+        self.buffer_size = buffer_size
+        self.count = count
+        self._free: list[Buffer] = [Buffer(self, buffer_size) for _ in range(count)]
+        self.acquired_total = 0
+        self.released_total = 0
+        self.exhaustion_events = 0
+        super().__init__()
+
+    def acquire(self, size: int) -> Buffer:
+        """Obtain a buffer of at least *size* bytes (refcount 1)."""
+        if size > self.buffer_size:
+            raise ResourceError(
+                f"requested {size} bytes exceeds pool buffer size {self.buffer_size}"
+            )
+        if not self._free:
+            self.exhaustion_events += 1
+            raise ResourceError(
+                f"buffer pool {self.name} exhausted ({self.count} buffers in flight)"
+            )
+        buffer = self._free.pop()
+        buffer.refcount = 1
+        buffer.length = 0
+        self.acquired_total += 1
+        return buffer
+
+    def release(self, buffer: Buffer) -> None:
+        """Drop one reference; the buffer returns to the pool at zero."""
+        if buffer.pool is not self:
+            raise ResourceError("buffer released to the wrong pool")
+        if buffer.refcount <= 0:
+            raise ResourceError("buffer already fully released")
+        buffer.refcount -= 1
+        if buffer.refcount == 0:
+            self.released_total += 1
+            self._free.append(buffer)
+
+    def stats(self) -> dict:
+        """Pool occupancy statistics."""
+        return {
+            "buffer_size": self.buffer_size,
+            "count": self.count,
+            "free": len(self._free),
+            "in_flight": self.count - len(self._free),
+            "acquired_total": self.acquired_total,
+            "released_total": self.released_total,
+            "exhaustion_events": self.exhaustion_events,
+        }
+
+    @property
+    def in_flight(self) -> int:
+        """Buffers currently held by users."""
+        return self.count - len(self._free)
+
+
+class BufferManagementCF(ComponentFramework):
+    """CF accepting buffer-pool plug-ins and routing acquisitions.
+
+    Pools are selected best-fit by buffer size; the CF therefore behaves as
+    a segregated-fit allocator composed from pluggable pools, which is the
+    bespoke-configuration story: an embedded profile plugs in one small
+    pool, a core-router profile several large ones.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(rules=[ProvidesInterface(IBufferPool, min_count=1, max_count=1)])
+
+    def add_pool(self, pool: BufferPool, *, principal: str = "system") -> BufferPool:
+        """Accept a pool plug-in."""
+        self.accept(pool, principal=principal)
+        return pool
+
+    def acquire(self, size: int) -> Buffer:
+        """Acquire from the smallest pool that fits *size*.
+
+        Falls through to larger pools when the best-fit pool is exhausted;
+        raises ResourceError when every candidate is exhausted.
+        """
+        candidates = sorted(
+            (
+                plugin
+                for plugin in self.plugins().values()
+                if isinstance(plugin, BufferPool) and plugin.buffer_size >= size
+            ),
+            key=lambda p: p.buffer_size,
+        )
+        if not candidates:
+            raise ResourceError(f"no pool can hold {size} bytes")
+        last_error: ResourceError | None = None
+        for pool in candidates:
+            try:
+                return pool.acquire(size)
+            except ResourceError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    def total_stats(self) -> dict:
+        """Aggregated statistics across all pools."""
+        pools = [
+            p for p in self.plugins().values() if isinstance(p, BufferPool)
+        ]
+        return {
+            "pools": len(pools),
+            "buffers": sum(p.count for p in pools),
+            "free": sum(len(p._free) for p in pools),
+            "in_flight": sum(p.in_flight for p in pools),
+            "exhaustion_events": sum(p.exhaustion_events for p in pools),
+        }

@@ -1,0 +1,46 @@
+"""Virtual time: the clock every stratum-1 service is driven by.
+
+All simulated subsystems (thread scheduler, timer wheel, network links,
+token buckets) share a :class:`VirtualClock` so experiments are perfectly
+deterministic and independent of host load.  Time is a float in seconds.
+"""
+
+from __future__ import annotations
+
+from repro.opencom.errors import OpenComError
+
+
+class ClockError(OpenComError):
+    """Invalid clock manipulation (e.g. moving time backwards)."""
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Advance time by *delta* seconds; returns the new time."""
+        if delta < 0:
+            raise ClockError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance time to an absolute timestamp (no-op when in the past is
+        requested exactly at 'now'; strictly earlier raises)."""
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"<VirtualClock t={self._now:.9f}>"

@@ -1,0 +1,126 @@
+"""Simulated memory allocation: the stratum-1 allocator.
+
+A first-fit free-list allocator over a fixed arena, with per-owner
+accounting and fragmentation statistics.  Nothing here touches real memory
+— the allocator manages *address ranges* so that embedded-profile
+experiments (footprint, OOM behaviour, fragmentation under component
+churn) are deterministic and inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.opencom.errors import ResourceError
+
+
+@dataclass
+class Allocation:
+    """One live allocation: [offset, offset+size)."""
+
+    offset: int
+    size: int
+    owner: str
+
+
+class MemoryAllocator:
+    """First-fit free-list allocator over an arena of *capacity* bytes."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ResourceError("arena capacity must be positive")
+        self.capacity = capacity
+        #: Free list as sorted, non-adjacent (offset, size) runs.
+        self._free: list[tuple[int, int]] = [(0, capacity)]
+        self._allocations: dict[int, Allocation] = {}
+
+    # -- allocation ------------------------------------------------------------
+
+    def alloc(self, size: int, owner: str = "anonymous") -> Allocation:
+        """Allocate *size* bytes; raises ResourceError when no free run is
+        large enough (external fragmentation is real here)."""
+        if size <= 0:
+            raise ResourceError(f"allocation size must be positive, got {size}")
+        for index, (offset, run) in enumerate(self._free):
+            if run >= size:
+                if run == size:
+                    del self._free[index]
+                else:
+                    self._free[index] = (offset + size, run - size)
+                allocation = Allocation(offset, size, owner)
+                self._allocations[offset] = allocation
+                return allocation
+        raise ResourceError(
+            f"out of memory: requested {size}, largest free run "
+            f"{self.largest_free_run()} of {self.free_bytes()} free"
+        )
+
+    def free(self, allocation: Allocation) -> None:
+        """Return an allocation to the arena, coalescing adjacent runs."""
+        live = self._allocations.get(allocation.offset)
+        if live is not allocation:
+            raise ResourceError(
+                f"double free or foreign allocation at offset {allocation.offset}"
+            )
+        del self._allocations[allocation.offset]
+        self._insert_free(allocation.offset, allocation.size)
+
+    def _insert_free(self, offset: int, size: int) -> None:
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (offset, size))
+        # Coalesce with right neighbour, then left.
+        if lo + 1 < len(self._free):
+            right_offset, right_size = self._free[lo + 1]
+            if offset + size == right_offset:
+                self._free[lo] = (offset, size + right_size)
+                del self._free[lo + 1]
+        if lo > 0:
+            left_offset, left_size = self._free[lo - 1]
+            cur_offset, cur_size = self._free[lo]
+            if left_offset + left_size == cur_offset:
+                self._free[lo - 1] = (left_offset, left_size + cur_size)
+                del self._free[lo]
+
+    # -- accounting ---------------------------------------------------------------
+
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return sum(a.size for a in self._allocations.values())
+
+    def free_bytes(self) -> int:
+        """Bytes currently free (possibly fragmented)."""
+        return sum(size for _, size in self._free)
+
+    def largest_free_run(self) -> int:
+        """Size of the largest contiguous free run."""
+        return max((size for _, size in self._free), default=0)
+
+    def fragmentation(self) -> float:
+        """External fragmentation in [0, 1]: 1 - largest_run/free_bytes."""
+        free = self.free_bytes()
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_run() / free
+
+    def usage_by_owner(self) -> dict[str, int]:
+        """Bytes allocated per owner label."""
+        usage: dict[str, int] = {}
+        for allocation in self._allocations.values():
+            usage[allocation.owner] = usage.get(allocation.owner, 0) + allocation.size
+        return usage
+
+    def allocation_count(self) -> int:
+        """Number of live allocations."""
+        return len(self._allocations)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<MemoryAllocator {self.used_bytes()}/{self.capacity} used, "
+            f"frag={self.fragmentation():.2f}>"
+        )

@@ -1,0 +1,142 @@
+"""Network interface card model (stratum-1 hardware access).
+
+A NIC owns bounded RX and TX rings.  The network side (a simulated link)
+deposits arriving packets into the RX ring and drains the TX ring at line
+rate; the host side (the router data path) drains RX and fills TX.  Ring
+overflow drops packets and counts them — exactly the behaviour that makes
+input-pressure experiments meaningful.
+
+The NIC is an OpenCOM component so that "standard components that
+interface to network cards" (paper, section 5) can bind to it like to
+anything else.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from typing import Any
+
+from repro.opencom.component import Component, Provided
+from repro.opencom.interfaces import Interface
+
+
+class INic(Interface):
+    """Host-side interface of a NIC."""
+
+    def receive_frame(self, packet) -> bool:
+        """Network side: deposit a packet into RX; False when dropped."""
+        ...
+
+    def poll_rx(self):
+        """Host side: take one packet from RX (None when empty)."""
+        ...
+
+    def transmit(self, packet) -> bool:
+        """Host side: queue a packet for transmission; False when dropped."""
+        ...
+
+    def poll_tx(self):
+        """Network side: take one packet from TX (None when empty)."""
+        ...
+
+
+class Nic(Component):
+    """A NIC with bounded RX/TX rings and drop accounting."""
+
+    PROVIDES = (Provided("nic", INic),)
+
+    def __init__(
+        self,
+        *,
+        rx_ring_size: int = 256,
+        tx_ring_size: int = 256,
+        mtu: int = 1500,
+    ) -> None:
+        self.rx_ring_size = rx_ring_size
+        self.tx_ring_size = tx_ring_size
+        self.mtu = mtu
+        self._rx: deque[Any] = deque()
+        self._tx: deque[Any] = deque()
+        self.counters = {
+            "rx_packets": 0,
+            "rx_drops": 0,
+            "rx_overruns": 0,
+            "tx_packets": 0,
+            "tx_drops": 0,
+            "oversize_drops": 0,
+        }
+        #: Optional push-mode hook: when set, received frames are handed
+        #: straight to the handler instead of queueing (interrupt-driven
+        #: rather than polled operation).
+        self.rx_handler: Callable[[Any], None] | None = None
+        super().__init__()
+
+    # -- network side ------------------------------------------------------------
+
+    def receive_frame(self, packet: Any) -> bool:
+        """Deposit an arriving packet; returns False when dropped."""
+        size = getattr(packet, "size_bytes", 0)
+        if size > self.mtu:
+            self.counters["oversize_drops"] += 1
+            return False
+        if self.rx_handler is not None:
+            self.counters["rx_packets"] += 1
+            self.rx_handler(packet)
+            return True
+        if len(self._rx) >= self.rx_ring_size:
+            self.counters["rx_drops"] += 1
+            self.counters["rx_overruns"] += 1
+            return False
+        self._rx.append(packet)
+        self.counters["rx_packets"] += 1
+        return True
+
+    def poll_tx(self) -> Any | None:
+        """Take one packet off the TX ring (link drain side)."""
+        if not self._tx:
+            return None
+        return self._tx.popleft()
+
+    # -- host side -----------------------------------------------------------------
+
+    def poll_rx(self) -> Any | None:
+        """Take one received packet (None when the RX ring is empty)."""
+        if not self._rx:
+            return None
+        return self._rx.popleft()
+
+    def drain_rx(self, handler: Callable[[Any], None], *, budget: int | None = None) -> int:
+        """Hand up to *budget* received packets to *handler*; returns the
+        number processed (NAPI-style polled processing)."""
+        processed = 0
+        while self._rx and (budget is None or processed < budget):
+            handler(self._rx.popleft())
+            processed += 1
+        return processed
+
+    def transmit(self, packet: Any) -> bool:
+        """Queue a packet for transmission; returns False when the TX ring
+        is full (packet dropped and counted)."""
+        if len(self._tx) >= self.tx_ring_size:
+            self.counters["tx_drops"] += 1
+            return False
+        self._tx.append(packet)
+        self.counters["tx_packets"] += 1
+        return True
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def rx_depth(self) -> int:
+        """Packets waiting in the RX ring."""
+        return len(self._rx)
+
+    @property
+    def tx_depth(self) -> int:
+        """Packets waiting in the TX ring."""
+        return len(self._tx)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot plus current ring depths."""
+        return {**self.counters, "rx_depth": self.rx_depth, "tx_depth": self.tx_depth}

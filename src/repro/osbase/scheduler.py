@@ -1,0 +1,259 @@
+"""The thread-management CF with pluggable schedulers (stratum 1).
+
+The paper lists "thread management (offering pluggable schedulers)" among
+the implemented CFs.  :class:`ThreadManagerCF` accepts exactly one
+scheduler plug-in at a time — a component providing :class:`IScheduler` —
+and supports *hot swap* of the scheduling policy while threads run, which
+experiment C10 exercises: swapping round-robin for strict priority
+visibly shifts per-task latency in the predicted direction.
+
+Stock schedulers: round-robin, strict priority, deterministic lottery,
+and earliest-deadline-first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any
+
+from repro.cf.framework import ComponentFramework
+from repro.cf.rules import ProvidesInterface
+from repro.opencom.component import Component, Provided
+from repro.opencom.errors import RuleViolation
+from repro.opencom.interfaces import Interface
+from repro.opencom.metamodel.resources import Task
+from repro.osbase.clock import VirtualClock
+from repro.osbase.threads import SimThread, ThreadBody, WaitEvent
+
+
+class IScheduler(Interface):
+    """Interface of a scheduler plug-in: picks the next thread to run."""
+
+    def select(self, ready: list) -> object:
+        """Return one thread from the non-empty *ready* list."""
+        ...
+
+
+class RoundRobinScheduler(Component):
+    """FIFO rotation: the thread that ran least recently goes first."""
+
+    PROVIDES = (Provided("scheduler", IScheduler),)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_run: dict[int, int] = {}
+        self._tick = itertools.count()
+
+    def select(self, ready: list) -> SimThread:
+        """Pick the thread with the oldest last-run tick."""
+        choice = min(ready, key=lambda t: self._last_run.get(t.thread_id, -1))
+        self._last_run[choice.thread_id] = next(self._tick)
+        return choice
+
+
+class PriorityScheduler(Component):
+    """Strict priority, round-robin within a priority level."""
+
+    PROVIDES = (Provided("scheduler", IScheduler),)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_run: dict[int, int] = {}
+        self._tick = itertools.count()
+
+    def select(self, ready: list) -> SimThread:
+        """Pick the highest-priority thread, oldest-run first within a tie."""
+        top = max(t.priority for t in ready)
+        level = [t for t in ready if t.priority == top]
+        choice = min(level, key=lambda t: self._last_run.get(t.thread_id, -1))
+        self._last_run[choice.thread_id] = next(self._tick)
+        return choice
+
+
+class LotteryScheduler(Component):
+    """Probabilistic proportional share: tickets = priority + 1.
+
+    Seeded for reproducibility; over many quanta each thread receives CPU
+    in proportion to its ticket count.
+    """
+
+    PROVIDES = (Provided("scheduler", IScheduler),)
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def select(self, ready: list) -> SimThread:
+        """Hold a ticket lottery among the ready threads."""
+        tickets = [max(t.priority, 0) + 1 for t in ready]
+        return self._rng.choices(ready, weights=tickets, k=1)[0]
+
+
+class EdfScheduler(Component):
+    """Earliest-deadline-first; deadline-less threads run in the slack."""
+
+    PROVIDES = (Provided("scheduler", IScheduler),)
+
+    def select(self, ready: list) -> SimThread:
+        """Pick the thread with the earliest deadline (ties by id)."""
+        with_deadline = [t for t in ready if t.deadline is not None]
+        if with_deadline:
+            return min(with_deadline, key=lambda t: (t.deadline, t.thread_id))
+        return min(ready, key=lambda t: t.thread_id)
+
+
+class ThreadManagerCF(ComponentFramework):
+    """The stratum-1 thread-management CF.
+
+    Owns the run queues (ready / sleeping / blocked), drives the shared
+    :class:`VirtualClock` forward by one *quantum* per executed thread
+    slice, and delegates the pick-next decision to the current scheduler
+    plug-in.  The scheduler can be hot-swapped at any step boundary.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        *,
+        quantum: float = 1e-5,
+        scheduler: Component | None = None,
+    ) -> None:
+        super().__init__(
+            rules=[ProvidesInterface(IScheduler, min_count=1, max_count=1)]
+        )
+        self.clock = clock
+        self.quantum = quantum
+        self._threads: dict[int, SimThread] = {}
+        self._sleeping: list[tuple[float, int, SimThread]] = []
+        self._sleep_seq = itertools.count()
+        self._scheduler: Component | None = None
+        if scheduler is not None:
+            self.set_scheduler(scheduler)
+
+    # -- scheduler plug-in management ---------------------------------------------
+
+    def set_scheduler(self, scheduler: Component, *, principal: str = "system") -> None:
+        """Install (or hot-swap) the scheduler plug-in."""
+        failures = self.validate_component(scheduler)
+        if failures:
+            raise RuleViolation(scheduler.name, failures)
+        if self._scheduler is not None:
+            self.eject(self._scheduler, principal=principal)
+        self.accept(scheduler, principal=principal)
+        self._scheduler = scheduler
+
+    @property
+    def scheduler(self) -> Component:
+        """The current scheduler plug-in."""
+        if self._scheduler is None:
+            raise RuleViolation("ThreadManagerCF", ["no scheduler installed"])
+        return self._scheduler
+
+    # -- thread management -----------------------------------------------------------
+
+    def spawn(
+        self,
+        name: str,
+        body: ThreadBody,
+        *,
+        priority: int = 0,
+        task: Task | None = None,
+        deadline: float | None = None,
+    ) -> SimThread:
+        """Create a ready thread under this manager."""
+        thread = SimThread(
+            name, body, priority=priority, task=task, deadline=deadline
+        )
+        self._threads[thread.thread_id] = thread
+        return thread
+
+    def threads(self) -> list[SimThread]:
+        """All threads (any state), by id."""
+        return [self._threads[k] for k in sorted(self._threads)]
+
+    def ready_threads(self) -> list[SimThread]:
+        """Threads currently runnable."""
+        return [t for t in self._threads.values() if t.state == "ready"]
+
+    def alive_count(self) -> int:
+        """Threads not yet done."""
+        return sum(1 for t in self._threads.values() if not t.done)
+
+    # -- execution ----------------------------------------------------------------------
+
+    def step(self) -> SimThread | None:
+        """Run one scheduling step: wake sleepers, pick, run one quantum.
+
+        Returns the thread that ran, or None when nothing was runnable (in
+        which case the clock jumps to the next wake time if one exists).
+        """
+        self._wake_due()
+        ready = self.ready_threads()
+        if not ready:
+            if self._sleeping:
+                wake_at = self._sleeping[0][0]
+                self.clock.advance_to(max(wake_at, self.clock.now))
+                self._wake_due()
+                ready = self.ready_threads()
+            if not ready:
+                return None
+        thread = self.scheduler.select(ready)
+        yielded = thread.run_quantum(self.clock.now)
+        self.clock.advance(self.quantum)
+        self._handle_yield(thread, yielded)
+        return thread
+
+    def run_until_idle(self, *, max_steps: int = 1_000_000) -> int:
+        """Step until no thread is ready or sleeping; returns steps taken.
+
+        Threads blocked on events that nothing will signal are left
+        blocked (that is a deadlock the caller can assert on).
+        """
+        steps = 0
+        while steps < max_steps:
+            if self.step() is None:
+                break
+            steps += 1
+        return steps
+
+    def run_for(self, duration: float, *, max_steps: int = 10_000_000) -> int:
+        """Step until *duration* virtual seconds have elapsed."""
+        deadline = self.clock.now + duration
+        steps = 0
+        while self.clock.now < deadline and steps < max_steps:
+            if self.step() is None:
+                break
+            steps += 1
+        return steps
+
+    # -- internals --------------------------------------------------------------------------
+
+    def _handle_yield(self, thread: SimThread, yielded: Any) -> None:
+        if thread.done or yielded is None:
+            return
+        if isinstance(yielded, (int, float)):
+            thread.state = "sleeping"
+            thread.wake_time = self.clock.now + float(yielded)
+            heapq.heappush(
+                self._sleeping, (thread.wake_time, next(self._sleep_seq), thread)
+            )
+            return
+        if isinstance(yielded, WaitEvent):
+            thread.state = "blocked"
+            thread.waiting_on = yielded
+            yielded.waiters.append(thread)
+            return
+        thread.state = "done"
+        thread.error = TypeError(
+            f"thread {thread.name} yielded unsupported value {yielded!r}"
+        )
+
+    def _wake_due(self) -> None:
+        now = self.clock.now
+        while self._sleeping and self._sleeping[0][0] <= now:
+            _, _, thread = heapq.heappop(self._sleeping)
+            if thread.state == "sleeping":
+                thread.state = "ready"
+                thread.wake_time = None

@@ -1,0 +1,140 @@
+"""Cooperative simulated threads (stratum-1 concurrency).
+
+Threads are generator-based: the body yields to the scheduler at explicit
+points, which keeps every experiment deterministic.  The yield protocol:
+
+- ``yield`` (None) — give up the quantum, stay ready;
+- ``yield <float seconds>`` — sleep for that much virtual time;
+- ``yield event`` (a :class:`WaitEvent`) — block until the event signals.
+
+Each thread may be associated with a resources-meta-model
+:class:`~repro.opencom.metamodel.resources.Task`; the scheduler charges
+executed quanta to the task's ``work_done``, which is what experiment C10
+measures when comparing pluggable schedulers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Generator
+from typing import Any
+
+from repro.opencom.errors import OpenComError
+from repro.opencom.metamodel.resources import Task
+
+_THREAD_IDS = itertools.count(1)
+
+ThreadBody = Generator[Any, None, None]
+
+
+class ThreadError(OpenComError):
+    """Invalid thread operation (bad yield value, double start, ...)."""
+
+
+class WaitEvent:
+    """A signalable event threads can block on."""
+
+    def __init__(self, name: str = "event") -> None:
+        self.name = name
+        self.waiters: list[SimThread] = []
+        self.signal_count = 0
+
+    def signal(self) -> list["SimThread"]:
+        """Wake every waiter; returns the threads made ready."""
+        self.signal_count += 1
+        woken = self.waiters
+        self.waiters = []
+        for thread in woken:
+            thread.state = "ready"
+            thread.waiting_on = None
+        return woken
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"<WaitEvent {self.name} waiters={len(self.waiters)}>"
+
+
+class SimThread:
+    """One cooperative thread.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name.
+    body:
+        The generator driving the thread.
+    priority:
+        Consulted by priority/lottery schedulers (higher = more urgent).
+    task:
+        Optional resources-meta-model task charged for executed quanta.
+    deadline:
+        Optional absolute virtual-time deadline (EDF scheduling).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        body: ThreadBody,
+        *,
+        priority: int = 0,
+        task: Task | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        if not isinstance(body, Generator):
+            raise ThreadError(
+                f"thread body must be a generator, got {type(body).__name__}"
+            )
+        self.thread_id = next(_THREAD_IDS)
+        self.name = name
+        self.body = body
+        self.priority = priority
+        self.task = task
+        self.deadline = deadline
+        self.state = "ready"
+        self.wake_time: float | None = None
+        self.waiting_on: WaitEvent | None = None
+        self.quanta_run = 0
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        #: Exception that terminated the thread abnormally, if any.
+        self.error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        """True once the body has run to completion (or crashed)."""
+        return self.state == "done"
+
+    def run_quantum(self, now: float) -> Any:
+        """Resume the body for one quantum; returns the yielded value.
+
+        Raises StopIteration handling internally: a completed body moves
+        the thread to ``done``.  A crashing body also moves to ``done`` and
+        records the error (a crashed thread never takes the scheduler
+        down — errors are contained per-thread).
+        """
+        if self.state != "ready":
+            raise ThreadError(f"thread {self.name} is {self.state}, not ready")
+        if self.started_at is None:
+            self.started_at = now
+        self.state = "running"
+        self.quanta_run += 1
+        if self.task is not None:
+            self.task.work_done += 1
+        try:
+            yielded = next(self.body)
+        except StopIteration:
+            self.state = "done"
+            self.finished_at = now
+            return None
+        except Exception as exc:  # noqa: BLE001 - per-thread containment
+            self.state = "done"
+            self.finished_at = now
+            self.error = exc
+            return None
+        self.state = "ready"
+        return yielded
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<SimThread {self.name} state={self.state} prio={self.priority} "
+            f"quanta={self.quanta_run}>"
+        )

@@ -1,0 +1,119 @@
+"""Timer service over virtual time.
+
+A heap-based timer wheel: callbacks are scheduled at absolute virtual
+times and fired by :meth:`TimerWheel.fire_due` as the clock advances.
+Supports one-shot and periodic timers with cancellation handles.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.osbase.clock import VirtualClock
+
+_TIMER_IDS = itertools.count(1)
+
+
+@dataclass(order=True)
+class _Entry:
+    deadline: float
+    sequence: int
+    timer: "Timer" = field(compare=False)
+
+
+class Timer:
+    """Handle for one scheduled timer."""
+
+    def __init__(
+        self,
+        callback: Callable[[], None],
+        deadline: float,
+        *,
+        period: float | None = None,
+    ) -> None:
+        self.timer_id = next(_TIMER_IDS)
+        self.callback = callback
+        self.deadline = deadline
+        self.period = period
+        self.cancelled = False
+        self.fire_count = 0
+
+    def cancel(self) -> None:
+        """Cancel the timer; pending firings are suppressed."""
+        self.cancelled = True
+
+
+class TimerWheel:
+    """Priority-queue timer service bound to a :class:`VirtualClock`."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self.clock = clock
+        self._heap: list[_Entry] = []
+        self._sequence = itertools.count()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule a one-shot callback *delay* seconds from now."""
+        timer = Timer(callback, self.clock.now + max(delay, 0.0))
+        heapq.heappush(self._heap, _Entry(timer.deadline, next(self._sequence), timer))
+        return timer
+
+    def schedule_at(self, deadline: float, callback: Callable[[], None]) -> Timer:
+        """Schedule a one-shot callback at an absolute virtual time."""
+        timer = Timer(callback, max(deadline, self.clock.now))
+        heapq.heappush(self._heap, _Entry(timer.deadline, next(self._sequence), timer))
+        return timer
+
+    def schedule_periodic(self, period: float, callback: Callable[[], None]) -> Timer:
+        """Schedule a periodic callback with the given period (first firing
+        one period from now)."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        timer = Timer(callback, self.clock.now + period, period=period)
+        heapq.heappush(self._heap, _Entry(timer.deadline, next(self._sequence), timer))
+        return timer
+
+    def next_deadline(self) -> float | None:
+        """Earliest pending deadline, or None when idle."""
+        while self._heap and self._heap[0].timer.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].deadline if self._heap else None
+
+    def fire_due(self) -> int:
+        """Fire every timer whose deadline is <= now; returns count fired."""
+        fired = 0
+        now = self.clock.now
+        while self._heap and self._heap[0].deadline <= now:
+            entry = heapq.heappop(self._heap)
+            timer = entry.timer
+            if timer.cancelled:
+                continue
+            timer.fire_count += 1
+            fired += 1
+            timer.callback()
+            if timer.period is not None and not timer.cancelled:
+                timer.deadline = entry.deadline + timer.period
+                heapq.heappush(
+                    self._heap, _Entry(timer.deadline, next(self._sequence), timer)
+                )
+        return fired
+
+    def run_until(self, deadline: float) -> int:
+        """Advance the clock to *deadline*, firing timers in order; returns
+        total timers fired."""
+        fired = 0
+        while True:
+            nxt = self.next_deadline()
+            if nxt is None or nxt > deadline:
+                break
+            self.clock.advance_to(nxt)
+            fired += self.fire_due()
+        if self.clock.now < deadline:
+            self.clock.advance_to(deadline)
+        return fired
+
+    def pending_count(self) -> int:
+        """Number of scheduled, uncancelled timers."""
+        return sum(1 for e in self._heap if not e.timer.cancelled)

@@ -1,0 +1,55 @@
+"""The Router CF's standard component library (stratum 2)."""
+
+from repro.router.components.base import PacketComponent, PushComponent
+from repro.router.components.classifier import Classifier
+from repro.router.components.forwarding import Forwarder, LpmTable
+from repro.router.components.headerproc import (
+    ChecksumValidator,
+    IPv4HeaderProcessor,
+    IPv6HeaderProcessor,
+    ProtocolRecognizer,
+)
+from repro.router.components.meters import (
+    CollectorSink,
+    DropSink,
+    PacketCounterTap,
+    PullSource,
+    RateMeter,
+)
+from repro.router.components.nat import SourceNat
+from repro.router.components.nicadapters import NicEgress, NicIngress
+from repro.router.components.queues import FifoQueue, RedQueue
+from repro.router.components.scheduling import (
+    DrrScheduler,
+    LinkSchedulerBase,
+    PriorityLinkScheduler,
+    WfqScheduler,
+)
+from repro.router.components.shaper import Policer, TokenBucketShaper
+
+__all__ = [
+    "ChecksumValidator",
+    "Classifier",
+    "CollectorSink",
+    "DropSink",
+    "DrrScheduler",
+    "FifoQueue",
+    "Forwarder",
+    "IPv4HeaderProcessor",
+    "IPv6HeaderProcessor",
+    "LinkSchedulerBase",
+    "LpmTable",
+    "NicEgress",
+    "NicIngress",
+    "PacketComponent",
+    "PacketCounterTap",
+    "Policer",
+    "PriorityLinkScheduler",
+    "ProtocolRecognizer",
+    "PullSource",
+    "PushComponent",
+    "RateMeter",
+    "RedQueue",
+    "SourceNat",
+    "TokenBucketShaper",
+]

@@ -1,0 +1,93 @@
+"""Shared machinery for Router CF plug-in components.
+
+Conventions used throughout the stratum-2 component library:
+
+- push-style processors provide an ``IPacketPush`` interface named
+  ``in0`` and emit downstream through a multi-receptacle named ``out``
+  whose *connection names* are the "named outgoing interfaces" that filter
+  specifications refer to;
+- every component keeps a ``counters`` dict (packets seen, dropped,
+  emitted, per-reason drops) so experiments read consistent statistics;
+- drops are never silent: they are counted, and optionally handed to a
+  dead-letter connection named ``drop`` when one is bound.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.netsim.packet import Packet
+from repro.opencom.component import Component, Provided, Required
+from repro.opencom.errors import ReceptacleError
+from repro.router.interfaces import IPacketPush
+
+
+class PacketComponent(Component):
+    """Base for all packet-processing components: counter bookkeeping."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = defaultdict(int)
+        super().__init__()
+
+    def count(self, key: str, increment: int = 1) -> None:
+        """Bump a named counter."""
+        self.counters[key] += increment
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot."""
+        return dict(self.counters)
+
+
+class PushComponent(PacketComponent):
+    """Base for push-style processors: ``in0`` in, ``out`` fan-out.
+
+    Subclasses implement :meth:`process`; the default :meth:`push` counts
+    the packet and delegates.  :meth:`emit` routes to a named outgoing
+    connection (or the sole connection when unambiguous), counting drops
+    when the requested connection is unbound.
+    """
+
+    PROVIDES = (Provided("in0", IPacketPush),)
+    RECEPTACLES = (
+        Required("out", IPacketPush, min_connections=0, max_connections=None),
+    )
+
+    def push(self, packet: Packet) -> None:
+        """IPacketPush entry point."""
+        self.count("rx")
+        self.process(packet)
+
+    def process(self, packet: Packet) -> None:
+        """Subclass hook: handle one packet (default: pass through)."""
+        self.emit(packet)
+
+    def emit(self, packet: Packet, connection: str | None = None) -> bool:
+        """Send *packet* on the named outgoing connection.
+
+        With ``connection=None`` the sole connection is used.  Unbound or
+        ambiguous emission drops the packet (counted as
+        ``drop:no-route``) — a mis-plumbed pipeline is observable, not
+        fatal.
+        """
+        out = self.receptacle("out")
+        if connection is None:
+            ports = out.connections()
+            if len(ports) == 1:
+                ports[0].push(packet)
+                self.count("tx")
+                return True
+            self.count("drop:no-route")
+            return False
+        try:
+            port = out.port(connection)
+        except ReceptacleError:
+            self.count("drop:no-route")
+            self.count(f"drop:no-route:{connection}")
+            return False
+        port.push(packet)
+        self.count("tx")
+        return True
+
+    def output_names(self) -> list[str]:
+        """Names of currently bound outgoing connections."""
+        return self.receptacle("out").connection_names()

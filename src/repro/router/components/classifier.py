@@ -1,0 +1,65 @@
+"""The classifier component: IClassifier over a filter table.
+
+The canonical IClassifier plug-in of the Router CF: packets entering
+``in0`` are matched against the installed :class:`FilterSpec` table and
+emitted on the *named outgoing connection* the winning filter designates —
+the exact semantics rule 2 of the CF binds IClassifier components to.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.netsim.packet import Packet
+from repro.opencom.component import Provided
+from repro.router.components.base import PushComponent
+from repro.router.filters import FilterSpec, FilterTable
+from repro.router.interfaces import IClassifier
+
+class Classifier(PushComponent):
+    """Filter-table packet classifier.
+
+    Parameters
+    ----------
+    default_output:
+        Connection name for packets no filter matches; ``None`` means
+        unmatched packets are dropped (counted ``drop:unclassified``).
+    """
+
+    PROVIDES = PushComponent.PROVIDES + (Provided("classifier", IClassifier),)
+
+    def __init__(self, *, default_output: str | None = None) -> None:
+        super().__init__()
+        self.table = FilterTable()
+        self.default_output = default_output
+
+    # -- IClassifier -------------------------------------------------------------
+
+    def register_filter(self, spec: FilterSpec | str) -> int:
+        """Install a filter (spec object or filter-language text)."""
+        return self.table.add(spec)
+
+    def remove_filter(self, filter_id: int) -> None:
+        """Remove a filter by id."""
+        self.table.remove(filter_id)
+
+    def list_filters(self) -> list[dict[str, Any]]:
+        """Describe installed filters, highest priority first."""
+        return self.table.describe()
+
+    # -- data path ------------------------------------------------------------------
+
+    def process(self, packet: Packet) -> None:
+        """Classify and emit on the winning filter's output."""
+        spec = self.table.classify(packet)
+        if spec is not None:
+            packet.metadata["class"] = spec.output
+            self.count(f"class:{spec.output}")
+            self.emit(packet, spec.output)
+            return
+        if self.default_output is not None:
+            packet.metadata["class"] = self.default_output
+            self.count(f"class:{self.default_output}")
+            self.emit(packet, self.default_output)
+            return
+        self.count("drop:unclassified")

@@ -1,0 +1,126 @@
+"""Measurement and terminal components: counters, meters, sinks, sources.
+
+These are the "standard components" a pipeline is instrumented with, and
+the terminals tests and benchmarks use to observe what a data path
+actually delivered.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.netsim.packet import Packet
+from repro.opencom.component import Provided
+from repro.osbase.clock import VirtualClock
+from repro.router.components.base import PacketComponent, PushComponent
+from repro.router.interfaces import IPacketPull, IPacketSink
+
+
+class PacketCounterTap(PushComponent):
+    """Transparent pass-through counting packets and bytes."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.bytes_seen = 0
+
+    def process(self, packet: Packet) -> None:
+        """Count and forward."""
+        self.bytes_seen += packet.size_bytes
+        self.emit(packet)
+
+
+class RateMeter(PushComponent):
+    """Pass-through measuring throughput over a sliding window of virtual
+    time."""
+
+    def __init__(self, clock: VirtualClock, *, window_s: float = 1.0) -> None:
+        super().__init__()
+        self.clock = clock
+        self.window_s = window_s
+        self._events: deque[tuple[float, int]] = deque()
+
+    def process(self, packet: Packet) -> None:
+        """Record and forward."""
+        now = self.clock.now
+        self._events.append((now, packet.size_bytes))
+        horizon = now - self.window_s
+        while self._events and self._events[0][0] < horizon:
+            self._events.popleft()
+        self.emit(packet)
+
+    def rate_pps(self) -> float:
+        """Packets/second over the current window."""
+        return len(self._events) / self.window_s
+
+    def rate_bps(self) -> float:
+        """Bits/second over the current window."""
+        return sum(size for _, size in self._events) * 8 / self.window_s
+
+
+class CollectorSink(PacketComponent):
+    """Terminal sink retaining (optionally bounded) delivered packets."""
+
+    PROVIDES = (Provided("in0", IPacketSink),)
+
+    def __init__(self, *, keep: int | None = None) -> None:
+        super().__init__()
+        self.keep = keep
+        self.packets: list[Packet] = []
+        self.bytes_received = 0
+
+    def push(self, packet: Packet) -> None:
+        """Absorb one packet."""
+        self.count("rx")
+        self.bytes_received += packet.size_bytes
+        if self.keep is None or len(self.packets) < self.keep:
+            self.packets.append(packet)
+
+    def collected_count(self) -> int:
+        """Packets absorbed so far."""
+        return self.counters["rx"]
+
+    def clear(self) -> None:
+        """Reset retained packets and byte count (counters survive)."""
+        self.packets.clear()
+        self.bytes_received = 0
+
+
+class DropSink(PacketComponent):
+    """Terminal sink that discards everything (but counts it)."""
+
+    PROVIDES = (Provided("in0", IPacketSink),)
+
+    def push(self, packet: Packet) -> None:
+        """Discard one packet."""
+        self.count("rx")
+
+    def collected_count(self) -> int:
+        """Packets discarded so far."""
+        return self.counters["rx"]
+
+
+class PullSource(PacketComponent):
+    """IPacketPull provider over a pre-loaded packet list (test feeder for
+    pull-side components such as link schedulers)."""
+
+    PROVIDES = (Provided("pull0", IPacketPull),)
+
+    def __init__(self, packets: list[Packet] | None = None) -> None:
+        super().__init__()
+        self._queue: deque[Packet] = deque(packets or [])
+
+    def load(self, packets: list[Packet]) -> None:
+        """Append packets to the feed."""
+        self._queue.extend(packets)
+
+    def pull(self) -> Packet | None:
+        """Hand out the next packet."""
+        if not self._queue:
+            return None
+        self.count("tx")
+        return self._queue.popleft()
+
+    @property
+    def remaining(self) -> int:
+        """Packets still queued."""
+        return len(self._queue)

@@ -1,0 +1,104 @@
+"""Source NAT: a stateful in-band function.
+
+Demonstrates that the Router CF accommodates stateful per-flow plug-ins:
+outbound packets are rewritten to a public address with a translated
+source port; inbound packets matching a translation are rewritten back.
+Translation state is declared in ``STATE_ATTRS`` so a NAT component can be
+hot-swapped without dropping established flows.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet import IPv4Header, Packet, ipv4
+from repro.router.components.base import PushComponent
+
+
+class SourceNat(PushComponent):
+    """IPv4 source NAT with port translation.
+
+    Packets entering ``in0`` are treated as *outbound*: their source
+    address becomes *public_address* and their source port a translated
+    port; they leave on connection ``out-wan``.  Packets entering the
+    second provided interface ``in-wan`` are *inbound*: a reverse lookup
+    restores the original address/port, and they leave on ``out-lan``.
+    """
+
+    OUT_WAN = "out-wan"
+    OUT_LAN = "out-lan"
+
+    STATE_ATTRS = ("_forward", "_reverse", "_next_port")
+
+    def __init__(self, public_address: str | int, *, port_base: int = 30000) -> None:
+        super().__init__()
+        self.public_address = ipv4(public_address)
+        self.port_base = port_base
+        self._next_port = port_base
+        #: (orig_src, orig_sport) -> translated sport
+        self._forward: dict[tuple[int, int], int] = {}
+        #: translated sport -> (orig_src, orig_sport)
+        self._reverse: dict[int, tuple[int, int]] = {}
+        self.expose("in-wan", type(self).PROVIDES[0].itype, impl=_InboundSide(self))
+
+    def process(self, packet: Packet) -> None:
+        """Outbound translation."""
+        net = packet.net
+        transport = packet.transport
+        if not isinstance(net, IPv4Header) or transport is None:
+            self.count("drop:not-natable")
+            return
+        key = (net.src, transport.sport)
+        translated = self._forward.get(key)
+        if translated is None:
+            translated = self._allocate_port()
+            if translated is None:
+                self.count("drop:port-exhausted")
+                return
+            self._forward[key] = translated
+            self._reverse[translated] = key
+        net.src = self.public_address
+        transport.sport = translated
+        net.refresh_checksum()
+        self.count("translated-out")
+        self.emit(packet, self.OUT_WAN)
+
+    def process_inbound(self, packet: Packet) -> None:
+        """Inbound reverse translation."""
+        self.count("rx")
+        net = packet.net
+        transport = packet.transport
+        if not isinstance(net, IPv4Header) or transport is None:
+            self.count("drop:not-natable")
+            return
+        original = self._reverse.get(transport.dport)
+        if original is None:
+            self.count("drop:no-translation")
+            return
+        net.dst, transport.dport = original
+        net.refresh_checksum()
+        self.count("translated-in")
+        self.emit(packet, self.OUT_LAN)
+
+    def _allocate_port(self) -> int | None:
+        for _ in range(65535 - self.port_base):
+            port = self._next_port
+            self._next_port += 1
+            if self._next_port >= 65536:
+                self._next_port = self.port_base
+            if port not in self._reverse:
+                return port
+        return None
+
+    def translation_count(self) -> int:
+        """Number of live translations."""
+        return len(self._forward)
+
+
+class _InboundSide:
+    """IPacketPush implementation for the NAT's WAN-facing interface."""
+
+    def __init__(self, nat: SourceNat) -> None:
+        self._nat = nat
+
+    def push(self, packet: Packet) -> None:
+        """Reverse-translate one inbound packet."""
+        self._nat.process_inbound(packet)

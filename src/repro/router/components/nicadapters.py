@@ -1,0 +1,87 @@
+"""NIC adapter components: the edge of the stratum-2 data path.
+
+The paper's Router CF provides "'standard' components that interface to
+network cards and wrap efficient kernel-user space communication
+mechanisms".  :class:`NicIngress` turns frames arriving at a stratum-1
+:class:`~repro.osbase.nic.Nic` into pushes on the pipeline;
+:class:`NicEgress` turns pipeline pushes into transmissions (usually
+``node.send`` on a port).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.netsim.packet import Packet
+from repro.osbase.nic import Nic
+from repro.router.components.base import PacketComponent, PushComponent
+from repro.opencom.component import Required
+from repro.router.interfaces import IPacketPush
+
+
+class NicIngress(PacketComponent):
+    """Frames from a NIC become pushes on the ``out`` receptacle.
+
+    Operates in interrupt mode (``attach`` installs an rx handler) or
+    polled mode (:meth:`poll` drains the RX ring through the pipeline
+    with a budget — NAPI style).
+    """
+
+    RECEPTACLES = (
+        Required("out", IPacketPush, min_connections=0, max_connections=1),
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._nic: Nic | None = None
+
+    def attach(self, nic: Nic, *, interrupt_mode: bool = True) -> None:
+        """Bind to a NIC; interrupt mode pushes frames as they arrive."""
+        self._nic = nic
+        if interrupt_mode:
+            nic.rx_handler = self._on_frame
+        else:
+            nic.rx_handler = None
+
+    def detach(self) -> None:
+        """Unhook from the NIC."""
+        if self._nic is not None and self._nic.rx_handler == self._on_frame:
+            self._nic.rx_handler = None
+        self._nic = None
+
+    def _on_frame(self, packet: Packet) -> None:
+        self.count("rx")
+        out = self.receptacle("out")
+        if out.bound:
+            out.push(packet)
+            self.count("tx")
+        else:
+            self.count("drop:unplumbed")
+
+    def poll(self, budget: int = 64) -> int:
+        """Polled mode: drain up to *budget* frames from the RX ring."""
+        if self._nic is None:
+            return 0
+        return self._nic.drain_rx(self._on_frame, budget=budget)
+
+
+class NicEgress(PushComponent):
+    """Pipeline pushes become transmissions via a transmit callable."""
+
+    def __init__(self, transmit: Callable[[Packet], bool] | None = None) -> None:
+        super().__init__()
+        self._transmit = transmit
+
+    def set_transmit(self, transmit: Callable[[Packet], bool]) -> None:
+        """Install (or replace) the transmit function."""
+        self._transmit = transmit
+
+    def process(self, packet: Packet) -> None:
+        """Transmit; failures count ``drop:tx-failed``."""
+        if self._transmit is None:
+            self.count("drop:unplumbed")
+            return
+        if self._transmit(packet):
+            self.count("tx")
+        else:
+            self.count("drop:tx-failed")

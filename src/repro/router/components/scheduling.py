@@ -1,0 +1,198 @@
+"""Link schedulers: diffserv-style service of multiple queues.
+
+The "Link scheduler" of Figure 3.  A link scheduler *pulls* from a set of
+named queue connections (multi-receptacle ``inputs`` of IPacketPull) and
+pushes serviced packets downstream through ``out``.  Disciplines:
+
+- :class:`PriorityLinkScheduler` — strict priority by input order;
+- :class:`DrrScheduler` — deficit round robin (byte-fair);
+- :class:`WfqScheduler` — weighted fair queueing via virtual finish times
+  approximated per-connection (start-time fair queueing flavour).
+
+Schedulers are themselves IPacketPull providers, so they cascade; calling
+:meth:`service` drives up to a packet budget through to the output.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet import Packet
+from repro.opencom.component import Provided, Required
+from repro.router.components.base import PacketComponent
+from repro.router.interfaces import IPacketPull, IPacketPush
+
+
+class LinkSchedulerBase(PacketComponent):
+    """Common plumbing: pull-from-inputs, push-to-out, service loop."""
+
+    PROVIDES = (Provided("pull0", IPacketPull),)
+    RECEPTACLES = (
+        Required("inputs", IPacketPull, min_connections=0, max_connections=None),
+        Required("out", IPacketPush, min_connections=0, max_connections=1),
+    )
+
+    def pull(self) -> Packet | None:
+        """Select and return the next packet across all inputs."""
+        raise NotImplementedError
+
+    def service(self, budget: int = 1) -> int:
+        """Pull up to *budget* packets and push them to ``out``.
+
+        Returns the number of packets actually serviced; stops early when
+        every input is empty.
+        """
+        serviced = 0
+        out = self.receptacle("out")
+        while serviced < budget:
+            packet = self.pull()
+            if packet is None:
+                break
+            self.count("tx")
+            if out.bound:
+                out.push(packet)
+            else:
+                self.count("drop:no-output")
+            serviced += 1
+        return serviced
+
+    def input_names(self) -> list[str]:
+        """Names of connected queue inputs."""
+        return self.receptacle("inputs").connection_names()
+
+
+class PriorityLinkScheduler(LinkSchedulerBase):
+    """Strict priority: inputs served in the order given by *priorities*
+    (connection names, most important first); unlisted inputs come last in
+    name order."""
+
+    def __init__(self, priorities: list[str] | None = None) -> None:
+        super().__init__()
+        self.priorities = list(priorities) if priorities else []
+
+    def _ordered_inputs(self) -> list[str]:
+        names = self.input_names()
+        listed = [n for n in self.priorities if n in names]
+        rest = sorted(n for n in names if n not in self.priorities)
+        return listed + rest
+
+    def pull(self) -> Packet | None:
+        """Serve the highest-priority non-empty input."""
+        inputs = self.receptacle("inputs")
+        for name in self._ordered_inputs():
+            packet = inputs.port(name).pull()
+            if packet is not None:
+                self.count(f"served:{name}")
+                return packet
+        return None
+
+
+class DrrScheduler(LinkSchedulerBase):
+    """Deficit round robin: byte-fair service with per-input quanta.
+
+    ``quantum`` bytes are added to an input's deficit each visit; packets
+    are served while the deficit covers them.  Weights are expressed by
+    per-input quantum overrides.
+    """
+
+    def __init__(self, *, quantum: int = 1500, quanta: dict[str, int] | None = None) -> None:
+        super().__init__()
+        self.quantum = quantum
+        self.quanta = dict(quanta) if quanta else {}
+        self._deficits: dict[str, float] = {}
+        self._ring: list[str] = []
+        self._cursor = 0
+        #: Head-of-line stash: a pulled packet too big for the current
+        #: deficit waits here rather than being re-queued.
+        self._pending: dict[str, Packet] = {}
+
+    def _refresh_ring(self) -> None:
+        names = self.input_names()
+        if names != self._ring:
+            self._ring = names
+            self._cursor = self._cursor % len(names) if names else 0
+
+    def _head(self, name: str) -> Packet | None:
+        if name in self._pending:
+            return self._pending[name]
+        packet = self.receptacle("inputs").port(name).pull()
+        if packet is not None:
+            self._pending[name] = packet
+        return packet
+
+    def pull(self) -> Packet | None:
+        """Serve per deficit round robin."""
+        self._refresh_ring()
+        if not self._ring:
+            return None
+        for _ in range(2 * len(self._ring)):
+            name = self._ring[self._cursor]
+            head = self._head(name)
+            if head is None:
+                # Empty input: reset its deficit, move on.
+                self._deficits[name] = 0.0
+                self._cursor = (self._cursor + 1) % len(self._ring)
+                continue
+            deficit = self._deficits.get(name, 0.0)
+            if deficit < head.size_bytes:
+                self._deficits[name] = deficit + self.quanta.get(name, self.quantum)
+                self._cursor = (self._cursor + 1) % len(self._ring)
+                continue
+            self._deficits[name] = deficit - head.size_bytes
+            del self._pending[name]
+            self.count(f"served:{name}")
+            return head
+        return None
+
+
+class WfqScheduler(LinkSchedulerBase):
+    """Start-time fair queueing: weighted fair service by virtual tags.
+
+    When a packet becomes an input's head it receives its tags *once*:
+    ``start = max(v, last_finish[input])``, ``finish = start +
+    size/weight``, and ``last_finish`` advances immediately so the input's
+    next packet queues behind.  The head with the earliest finish tag is
+    served, and the virtual clock ``v`` advances to the *start* tag of the
+    served packet (assigning tags at service time and racing ``v`` to
+    finish tags is the classic starvation bug this avoids).
+    """
+
+    def __init__(self, *, weights: dict[str, float] | None = None, default_weight: float = 1.0) -> None:
+        super().__init__()
+        self.weights = dict(weights) if weights else {}
+        self.default_weight = default_weight
+        self._virtual_time = 0.0
+        self._last_finish: dict[str, float] = {}
+        self._pending: dict[str, Packet] = {}
+        #: input name -> (start_tag, finish_tag) of the pending head.
+        self._tags: dict[str, tuple[float, float]] = {}
+
+    def _head(self, name: str) -> Packet | None:
+        if name in self._pending:
+            return self._pending[name]
+        packet = self.receptacle("inputs").port(name).pull()
+        if packet is not None:
+            weight = max(self.weights.get(name, self.default_weight), 1e-9)
+            start = max(self._virtual_time, self._last_finish.get(name, 0.0))
+            finish = start + packet.size_bytes / weight
+            self._last_finish[name] = finish
+            self._pending[name] = packet
+            self._tags[name] = (start, finish)
+        return packet
+
+    def pull(self) -> Packet | None:
+        """Serve the head with the earliest virtual finish tag."""
+        best_name: str | None = None
+        best_finish = float("inf")
+        for name in self.input_names():
+            if self._head(name) is None:
+                continue
+            _, finish = self._tags[name]
+            if finish < best_finish:
+                best_finish = finish
+                best_name = name
+        if best_name is None:
+            return None
+        packet = self._pending.pop(best_name)
+        start, _ = self._tags.pop(best_name)
+        self._virtual_time = max(self._virtual_time, start)
+        self.count(f"served:{best_name}")
+        return packet

@@ -1,0 +1,152 @@
+"""Traffic shaping and policing: token buckets over virtual time.
+
+- :class:`TokenBucketShaper` — delays (queues) non-conforming packets and
+  releases them as tokens accrue; drive with :meth:`release_due` or a
+  timer;
+- :class:`Policer` — drops (or DSCP-remarks) non-conforming packets
+  immediately, never queues.
+
+Both are exact token buckets over the shared virtual clock, so conformance
+results are deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.netsim.packet import IPv4Header, Packet
+from repro.osbase.clock import VirtualClock
+from repro.router.components.base import PushComponent
+
+
+class _TokenBucket:
+    """rate tokens/second, up to *burst* capacity (token = byte)."""
+
+    def __init__(self, clock: VirtualClock, rate: float, burst: float) -> None:
+        self.clock = clock
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self._last_refill = clock.now
+
+    def refill(self) -> None:
+        now = self.clock.now
+        self.tokens = min(self.burst, self.tokens + (now - self._last_refill) * self.rate)
+        self._last_refill = now
+
+    def try_consume(self, amount: float) -> bool:
+        self.refill()
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+    def time_until(self, amount: float) -> float:
+        """Seconds until *amount* tokens will be available.
+
+        Requests above the burst capacity can never be satisfied: the
+        bucket caps at *burst*, so the answer is infinity (callers must
+        drop such packets rather than wait).
+        """
+        if amount > self.burst:
+            return float("inf")
+        self.refill()
+        deficit = amount - self.tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate
+
+
+class TokenBucketShaper(PushComponent):
+    """Shape to *rate_bytes_per_s* with *burst_bytes* tolerance.
+
+    Conforming packets pass straight through; the rest wait in a bounded
+    backlog released by :meth:`release_due` (call it as time advances, or
+    wire it to a :class:`~repro.osbase.timers.TimerWheel`).
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        *,
+        rate_bytes_per_s: float,
+        burst_bytes: float,
+        backlog_capacity: int = 256,
+    ) -> None:
+        super().__init__()
+        self.clock = clock
+        self.bucket = _TokenBucket(clock, rate_bytes_per_s, burst_bytes)
+        self.backlog_capacity = backlog_capacity
+        self._backlog: deque[Packet] = deque()
+
+    def process(self, packet: Packet) -> None:
+        """Pass conforming packets; queue the rest (drop when the backlog
+        is full).  Packets larger than the burst can never conform and
+        would stall the backlog head forever — they are dropped."""
+        if packet.size_bytes > self.bucket.burst:
+            self.count("drop:oversize-burst")
+            return
+        if not self._backlog and self.bucket.try_consume(packet.size_bytes):
+            self.count("conforming")
+            self.emit(packet)
+            return
+        if len(self._backlog) >= self.backlog_capacity:
+            self.count("drop:shaper-overflow")
+            return
+        self.count("shaped")
+        self._backlog.append(packet)
+
+    def release_due(self) -> int:
+        """Release backlogged packets now affordable; returns count."""
+        released = 0
+        while self._backlog:
+            head = self._backlog[0]
+            if not self.bucket.try_consume(head.size_bytes):
+                break
+            self._backlog.popleft()
+            self.emit(head)
+            released += 1
+        self.count("released", released) if released else None
+        return released
+
+    def next_release_in(self) -> float | None:
+        """Seconds until the head packet conforms (None when idle)."""
+        if not self._backlog:
+            return None
+        return self.bucket.time_until(self._backlog[0].size_bytes)
+
+    @property
+    def backlog_depth(self) -> int:
+        """Packets currently held back."""
+        return len(self._backlog)
+
+
+class Policer(PushComponent):
+    """Police to a token bucket: violating packets are dropped, or
+    re-marked to *remark_dscp* and forwarded when remarking is configured."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        *,
+        rate_bytes_per_s: float,
+        burst_bytes: float,
+        remark_dscp: int | None = None,
+    ) -> None:
+        super().__init__()
+        self.bucket = _TokenBucket(clock, rate_bytes_per_s, burst_bytes)
+        self.remark_dscp = remark_dscp
+
+    def process(self, packet: Packet) -> None:
+        """Forward conforming traffic; drop or remark the excess."""
+        if self.bucket.try_consume(packet.size_bytes):
+            self.count("conforming")
+            self.emit(packet)
+            return
+        if self.remark_dscp is not None and isinstance(packet.net, IPv4Header):
+            packet.net.dscp = self.remark_dscp
+            packet.net.refresh_checksum()
+            self.count("remarked")
+            self.emit(packet)
+            return
+        self.count("drop:police")

@@ -1,0 +1,279 @@
+"""Packet-filter specifications and the filter expression language.
+
+A :class:`FilterSpec` matches packets on the classic five-tuple-plus
+fields and names the outgoing connection on which matches must be
+emitted — the semantics IClassifier components are contractually bound to
+honour (Router CF rule 2, section 5 of the paper).
+
+Specs can be built directly or parsed from a compact text form::
+
+    version=4 and dst=10.3.0.0/16 and proto=udp and dport=2000-2999 -> video priority=20
+
+Grammar (informal): ``clause ('and' clause)* '->' OUTPUT ['priority=' INT]``
+with clauses ``version=4|6``, ``src=PREFIX``, ``dst=PREFIX``,
+``proto=udp|tcp|icmp|INT``, ``sport=N[-M]``, ``dport=N[-M]``, ``dscp=N``.
+``*`` as a clause matches everything.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.netsim.packet import (
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    IPv4Header,
+    Packet,
+    ipv4,
+    ipv6,
+)
+from repro.opencom.errors import OpenComError
+
+_FILTER_IDS = itertools.count(1)
+
+_PROTO_NAMES = {"udp": PROTO_UDP, "tcp": PROTO_TCP, "icmp": PROTO_ICMP}
+
+
+class FilterError(OpenComError):
+    """Malformed filter specification."""
+
+
+def parse_prefix(text: str, *, version: int | None = None) -> tuple[int, int, int]:
+    """Parse ``addr/len`` into (version, network_int, prefix_len).
+
+    A bare address is a host prefix (/32 or /128).  The version is
+    inferred from the address form unless forced.
+    """
+    if "/" in text:
+        addr_text, _, len_text = text.partition("/")
+        try:
+            prefix_len = int(len_text)
+        except ValueError:
+            raise FilterError(f"bad prefix length in {text!r}") from None
+    else:
+        addr_text, prefix_len = text, -1
+    if ":" in addr_text:
+        ver, bits = 6, 128
+        address = ipv6(addr_text)
+    else:
+        ver, bits = 4, 32
+        address = ipv4(addr_text)
+    if version is not None and version != ver:
+        raise FilterError(f"address {text!r} is not IPv{version}")
+    if prefix_len < 0:
+        prefix_len = bits
+    if not 0 <= prefix_len <= bits:
+        raise FilterError(f"prefix length {prefix_len} out of range for IPv{ver}")
+    mask = ((1 << prefix_len) - 1) << (bits - prefix_len) if prefix_len else 0
+    return ver, address & mask, prefix_len
+
+
+def _prefix_matches(address: int, version: int, prefix: tuple[int, int, int]) -> bool:
+    pver, network, length = prefix
+    if version != pver:
+        return False
+    bits = 32 if pver == 4 else 128
+    if length == 0:
+        return True
+    mask = ((1 << length) - 1) << (bits - length)
+    return (address & mask) == network
+
+
+@dataclass
+class FilterSpec:
+    """One packet filter: match fields -> output connection name.
+
+    ``None`` fields are wildcards.  Port fields are inclusive
+    ``(low, high)`` ranges.  Higher ``priority`` wins; ties break by
+    installation order (earlier wins).
+    """
+
+    output: str
+    version: int | None = None
+    src: tuple[int, int, int] | None = None
+    dst: tuple[int, int, int] | None = None
+    protocol: int | None = None
+    sport: tuple[int, int] | None = None
+    dport: tuple[int, int] | None = None
+    dscp: int | None = None
+    priority: int = 0
+    filter_id: int = field(default_factory=lambda: next(_FILTER_IDS))
+
+    def matches(self, packet: Packet) -> bool:
+        """True when *packet* satisfies every non-wildcard field."""
+        if self.version is not None and packet.version != self.version:
+            return False
+        net = packet.net
+        if self.src is not None and not _prefix_matches(
+            net.src, packet.version, self.src
+        ):
+            return False
+        if self.dst is not None and not _prefix_matches(
+            net.dst, packet.version, self.dst
+        ):
+            return False
+        if self.protocol is not None:
+            proto = net.protocol if isinstance(net, IPv4Header) else net.next_header
+            if proto != self.protocol:
+                return False
+        if self.sport is not None:
+            sport = getattr(packet.transport, "sport", None)
+            if sport is None or not self.sport[0] <= sport <= self.sport[1]:
+                return False
+        if self.dport is not None:
+            dport = getattr(packet.transport, "dport", None)
+            if dport is None or not self.dport[0] <= dport <= self.dport[1]:
+                return False
+        if self.dscp is not None and packet.dscp != self.dscp:
+            return False
+        return True
+
+    def describe(self) -> dict[str, Any]:
+        """Plain-dict rendering (used by IClassifier.list_filters)."""
+        def prefix_text(p: tuple[int, int, int] | None) -> str | None:
+            if p is None:
+                return None
+            ver, network, length = p
+            if ver == 4:
+                from repro.netsim.packet import format_ipv4
+                return f"{format_ipv4(network)}/{length}"
+            from repro.netsim.packet import format_ipv6
+            return f"{format_ipv6(network)}/{length}"
+
+        return {
+            "id": self.filter_id,
+            "output": self.output,
+            "priority": self.priority,
+            "version": self.version,
+            "src": prefix_text(self.src),
+            "dst": prefix_text(self.dst),
+            "protocol": self.protocol,
+            "sport": self.sport,
+            "dport": self.dport,
+            "dscp": self.dscp,
+        }
+
+
+def _parse_port_range(text: str) -> tuple[int, int]:
+    if "-" in text:
+        low_text, _, high_text = text.partition("-")
+    else:
+        low_text = high_text = text
+    try:
+        low, high = int(low_text), int(high_text)
+    except ValueError:
+        raise FilterError(f"bad port range {text!r}") from None
+    if not (0 <= low <= high <= 65535):
+        raise FilterError(f"port range {text!r} out of order or range")
+    return low, high
+
+
+def parse_filter(text: str) -> FilterSpec:
+    """Parse the compact filter language into a :class:`FilterSpec`."""
+    head, arrow, tail = text.partition("->")
+    if not arrow:
+        raise FilterError(f"filter {text!r} lacks '-> output'")
+    tail_parts = tail.split()
+    if not tail_parts:
+        raise FilterError(f"filter {text!r} names no output")
+    output = tail_parts[0]
+    priority = 0
+    for extra in tail_parts[1:]:
+        key, eq, value = extra.partition("=")
+        if key != "priority" or not eq:
+            raise FilterError(f"unexpected trailing token {extra!r}")
+        try:
+            priority = int(value)
+        except ValueError:
+            raise FilterError(f"bad priority {value!r}") from None
+
+    spec = FilterSpec(output=output, priority=priority)
+    clauses = [c.strip() for c in head.split(" and ")]
+    for clause in clauses:
+        clause = clause.strip()
+        if not clause or clause == "*":
+            continue
+        key, eq, value = clause.partition("=")
+        if not eq:
+            raise FilterError(f"bad clause {clause!r}")
+        key, value = key.strip(), value.strip()
+        if key == "version":
+            if value not in ("4", "6"):
+                raise FilterError(f"bad version {value!r}")
+            spec.version = int(value)
+        elif key == "src":
+            spec.src = parse_prefix(value)
+        elif key == "dst":
+            spec.dst = parse_prefix(value)
+        elif key == "proto":
+            if value in _PROTO_NAMES:
+                spec.protocol = _PROTO_NAMES[value]
+            else:
+                try:
+                    spec.protocol = int(value)
+                except ValueError:
+                    raise FilterError(f"unknown protocol {value!r}") from None
+        elif key == "sport":
+            spec.sport = _parse_port_range(value)
+        elif key == "dport":
+            spec.dport = _parse_port_range(value)
+        elif key == "dscp":
+            try:
+                spec.dscp = int(value)
+            except ValueError:
+                raise FilterError(f"bad dscp {value!r}") from None
+        else:
+            raise FilterError(f"unknown clause key {key!r}")
+    # Consistency: src/dst version agreement.
+    for prefix in (spec.src, spec.dst):
+        if prefix is not None and spec.version is not None and prefix[0] != spec.version:
+            raise FilterError(
+                f"clause address family IPv{prefix[0]} conflicts with "
+                f"version={spec.version}"
+            )
+    return spec
+
+
+class FilterTable:
+    """An ordered set of filters with first-match-by-priority semantics."""
+
+    def __init__(self) -> None:
+        self._filters: list[FilterSpec] = []
+
+    def add(self, spec: FilterSpec | str) -> int:
+        """Install a spec (or parse one from text); returns the filter id."""
+        if isinstance(spec, str):
+            spec = parse_filter(spec)
+        self._filters.append(spec)
+        # Highest priority first; stable sort keeps install order for ties.
+        self._filters.sort(key=lambda s: -s.priority)
+        return spec.filter_id
+
+    def remove(self, filter_id: int) -> None:
+        """Remove by id; unknown ids raise FilterError."""
+        for index, spec in enumerate(self._filters):
+            if spec.filter_id == filter_id:
+                del self._filters[index]
+                return
+        raise FilterError(f"no filter with id {filter_id}")
+
+    def classify(self, packet: Packet) -> FilterSpec | None:
+        """First matching spec in priority order, or None."""
+        for spec in self._filters:
+            if spec.matches(packet):
+                return spec
+        return None
+
+    def describe(self) -> list[dict[str, Any]]:
+        """All specs, highest priority first."""
+        return [spec.describe() for spec in self._filters]
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def outputs(self) -> set[str]:
+        """Every output name referenced by installed filters."""
+        return {spec.output for spec in self._filters}

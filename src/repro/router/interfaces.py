@@ -1,0 +1,63 @@
+"""The Router CF's packet-passing and classification interfaces.
+
+Straight from section 5 of the paper: compliant components "must support
+appropriate numbers and combinations of specific packet-passing
+interfaces/receptacles (called IPacketPush and IPacketPull: these
+respectively enable push- and pull-oriented inter-component
+communication)", and "may (optionally) support an IClassifier interface
+which exports an operation register_filter() that is used to install
+packet-filters".
+"""
+
+from __future__ import annotations
+
+from repro.opencom.interfaces import Interface
+
+
+class IPacketPush(Interface):
+    """Push-oriented packet passing: the caller drives the packet."""
+
+    def push(self, packet) -> None:
+        """Hand one packet to the component for processing."""
+        ...
+
+
+class IPacketPull(Interface):
+    """Pull-oriented packet passing: the caller asks for the next packet."""
+
+    def pull(self):
+        """Return the next packet, or None when none is available."""
+        ...
+
+
+class IClassifier(Interface):
+    """Optional classification interface of Router CF plug-ins.
+
+    Components honouring IClassifier must emit each matching packet on the
+    *named outgoing* IPacketPush/IPacketPull connection given by the filter
+    specification.
+    """
+
+    def register_filter(self, spec) -> int:
+        """Install a packet filter; returns a filter id."""
+        ...
+
+    def remove_filter(self, filter_id: int) -> None:
+        """Remove a previously installed filter."""
+        ...
+
+    def list_filters(self) -> list:
+        """Describe installed filters (highest priority first)."""
+        ...
+
+
+class IPacketSink(IPacketPush):
+    """A terminal IPacketPush: accepts packets and never emits them.
+
+    Sub-typing IPacketPush lets sinks plug into any push receptacle while
+    still being recognisable to rule checks that need a terminal stage.
+    """
+
+    def collected_count(self) -> int:
+        """Number of packets absorbed so far."""
+        ...

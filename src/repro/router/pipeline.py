@@ -1,0 +1,221 @@
+"""Pipeline assembly: standard router data paths from the component
+library, including the exact Figure-3 composite.
+
+These builders return a :class:`RouterPipeline` handle exposing the entry
+push interface, the per-stage components, and a ``service`` pump for the
+pull-side (queues → link scheduler) half of the path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cf.composite import CompositeComponent
+from repro.cf.constraints import acyclic
+from repro.opencom.capsule import Capsule
+from repro.opencom.component import Component
+from repro.osbase.clock import VirtualClock
+from repro.router.components.classifier import Classifier
+from repro.router.components.forwarding import Forwarder
+from repro.router.components.headerproc import (
+    IPv4HeaderProcessor,
+    IPv6HeaderProcessor,
+    ProtocolRecognizer,
+)
+from repro.router.components.meters import CollectorSink
+from repro.router.components.queues import FifoQueue
+from repro.router.components.scheduling import PriorityLinkScheduler
+from repro.router.router_cf import RouterCF
+
+
+@dataclass
+class RouterPipeline:
+    """Handle over an assembled data path."""
+
+    capsule: Capsule
+    cf: RouterCF
+    entry: Component
+    stages: dict[str, Component] = field(default_factory=dict)
+    scheduler: Component | None = None
+    composite: CompositeComponent | None = None
+
+    def push(self, packet: Any) -> None:
+        """Inject one packet at the pipeline entry."""
+        self.entry.interface("in0").vtable.invoke("push", packet)
+
+    def service(self, budget: int = 64) -> int:
+        """Pump the pull side (scheduler) for up to *budget* packets."""
+        if self.scheduler is None:
+            return 0
+        return self.scheduler.service(budget)
+
+    def drain(self, *, max_rounds: int = 10_000, budget: int = 64) -> int:
+        """Service until the scheduler finds nothing more; returns packets
+        serviced."""
+        total = 0
+        for _ in range(max_rounds):
+            serviced = self.service(budget)
+            total += serviced
+            if serviced == 0:
+                break
+        return total
+
+    def stage_stats(self) -> dict[str, dict[str, int]]:
+        """Counters of every stage, keyed by stage name."""
+        stats = {}
+        for name, stage in self.stages.items():
+            stage_stats = getattr(stage, "stats", None)
+            stats[name] = stage_stats() if callable(stage_stats) else {}
+        return stats
+
+
+def build_figure3_composite(
+    capsule: Capsule,
+    *,
+    name: str = "gateway",
+    queue_capacity: int = 256,
+    classes: tuple[str, ...] = ("expedited", "best-effort"),
+) -> tuple[CompositeComponent, RouterPipeline]:
+    """Assemble the composite of Figure 3 inside *capsule*.
+
+    Topology (all constituents conforming to the Router CF, managed by the
+    composite's controller, internal topology kept acyclic by a
+    controller-installed constraint)::
+
+        protocol-recogniser --ipv4--> ipv4-processor -\\
+                            --ipv6--> ipv6-processor --+--> classifier
+        classifier --<class>--> queue:<class>  (one queueing gateway per class)
+        link-scheduler  <--pull-- queues; pushes --> forward-sink
+
+    The composite exports the recogniser's ``in0`` as ``input`` and the
+    classifier's IClassifier as ``classifier`` ("Access to IClassifier
+    interfaces" in the figure).
+    """
+    cf = RouterCF()
+    capsule.adopt(cf, f"{name}-cf")
+    composite = capsule.instantiate(lambda: CompositeComponent(capsule), name)
+
+    recogniser = composite.add_member(ProtocolRecognizer, "protocol-recogniser")
+    v4 = composite.add_member(IPv4HeaderProcessor, "ipv4-processor")
+    v6 = composite.add_member(IPv6HeaderProcessor, "ipv6-processor")
+    classifier = composite.add_member(
+        lambda: Classifier(default_output=classes[-1]), "classifier"
+    )
+    queues: dict[str, Component] = {}
+    for klass in classes:
+        queues[klass] = composite.add_member(
+            lambda: FifoQueue(queue_capacity), f"queue:{klass}"
+        )
+    scheduler = composite.add_member(
+        lambda: PriorityLinkScheduler(list(classes)), "link-scheduler"
+    )
+    sink = composite.add_member(CollectorSink, "forward-sink")
+
+    composite.bind_internal(
+        "protocol-recogniser", "out", "ipv4-processor", "in0",
+        connection_name=ProtocolRecognizer.OUT_V4,
+    )
+    composite.bind_internal(
+        "protocol-recogniser", "out", "ipv6-processor", "in0",
+        connection_name=ProtocolRecognizer.OUT_V6,
+    )
+    composite.bind_internal("ipv4-processor", "out", "classifier", "in0")
+    composite.bind_internal("ipv6-processor", "out", "classifier", "in0")
+    for klass in classes:
+        composite.bind_internal(
+            "classifier", "out", f"queue:{klass}", "in0", connection_name=klass
+        )
+        composite.bind_internal(
+            "link-scheduler", "inputs", f"queue:{klass}", "pull0",
+            connection_name=klass,
+        )
+    composite.bind_internal("link-scheduler", "out", "forward-sink", "in0")
+
+    composite.controller.add_constraint("acyclic", acyclic())
+    composite.export("input", "protocol-recogniser", "in0")
+    composite.export("classifier", "classifier", "classifier")
+    cf.accept(composite)
+
+    pipeline = RouterPipeline(
+        capsule=capsule,
+        cf=cf,
+        entry=recogniser,
+        stages={
+            "recogniser": recogniser,
+            "ipv4": v4,
+            "ipv6": v6,
+            "classifier": classifier,
+            **{f"queue:{k}": q for k, q in queues.items()},
+            "scheduler": scheduler,
+            "sink": sink,
+        },
+        scheduler=scheduler,
+        composite=composite,
+    )
+    return composite, pipeline
+
+
+def build_forwarding_pipeline(
+    capsule: Capsule,
+    *,
+    routes: dict[str, str],
+    next_hop_sinks: dict[str, Component] | None = None,
+    clock: VirtualClock | None = None,
+    queue_capacity: int = 256,
+    validate_checksums: bool = True,
+) -> RouterPipeline:
+    """A flat (non-composite) IPv4 forwarding path used by the data-path
+    benchmarks: recogniser → v4 processor → forwarder → per-hop sinks.
+
+    ``next_hop_sinks`` maps next-hop names to sink components (created as
+    :class:`CollectorSink` when omitted).
+    """
+    cf = RouterCF()
+    capsule.adopt(cf, "router-cf")
+    recogniser = capsule.instantiate(ProtocolRecognizer, "recogniser")
+    v4 = capsule.instantiate(
+        lambda: IPv4HeaderProcessor(validate_checksum=validate_checksums), "ipv4"
+    )
+    v6 = capsule.instantiate(IPv6HeaderProcessor, "ipv6")
+    forwarder = capsule.instantiate(Forwarder, "forwarder")
+    forwarder.load_routes(routes)
+
+    hops = sorted(set(routes.values()))
+    sinks: dict[str, Component] = {}
+    for hop in hops:
+        if next_hop_sinks and hop in next_hop_sinks:
+            sinks[hop] = next_hop_sinks[hop]
+        else:
+            sinks[hop] = capsule.instantiate(CollectorSink, f"sink:{hop}")
+
+    capsule.bind(
+        recogniser.receptacle("out"), v4.interface("in0"),
+        connection_name=ProtocolRecognizer.OUT_V4,
+    )
+    capsule.bind(
+        recogniser.receptacle("out"), v6.interface("in0"),
+        connection_name=ProtocolRecognizer.OUT_V6,
+    )
+    capsule.bind(v4.receptacle("out"), forwarder.interface("in0"))
+    capsule.bind(v6.receptacle("out"), forwarder.interface("in0"))
+    for hop, sink in sinks.items():
+        capsule.bind(
+            forwarder.receptacle("out"), sink.interface("in0"), connection_name=hop
+        )
+
+    for component in (recogniser, v4, v6, forwarder):
+        cf.accept(component)
+
+    return RouterPipeline(
+        capsule=capsule,
+        cf=cf,
+        entry=recogniser,
+        stages={
+            "recogniser": recogniser,
+            "ipv4": v4,
+            "ipv6": v6,
+            "forwarder": forwarder,
+            **{f"sink:{hop}": sink for hop, sink in sinks.items()},
+        },
+    )

@@ -1,0 +1,160 @@
+"""The Router CF ("Gateway CF"): the paper's stratum-2 component framework.
+
+Section 5 defines three run-time-checked rules for plug-ins, reproduced
+here verbatim as the CF's rule set:
+
+1. *Packet-passing shape* — compliant components must support appropriate
+   numbers and combinations of IPacketPush/IPacketPull interfaces and
+   receptacles; instances may be added/removed dynamically as long as the
+   rules stay satisfied (the guarded-change API of the CF base enforces
+   this).
+2. *IClassifier semantics* — components optionally supporting IClassifier
+   must be able to honour filter specs "in terms of the particular named
+   outgoing IPacketPush or IPacketPull interface(s)": concretely, they
+   must have an outgoing packet receptacle to emit on, and
+   :meth:`RouterCF.check_filter_outputs` verifies at filter-install time
+   that every referenced output connection exists.
+3. *Composite recursion* — composite plug-ins must contain a controller
+   and every constituent must recursively conform.
+
+The CF also wires composites to the resources meta-model (task → component
+mapping) per the last rule of section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cf.composite import CompositeComponent
+from repro.cf.framework import ComponentFramework
+from repro.cf.rules import AtLeastOneOf, ConditionalRule, PredicateRule, Rule
+from repro.opencom.component import Component
+from repro.opencom.errors import RuleViolation
+from repro.router.interfaces import IClassifier, IPacketPull, IPacketPush
+
+
+def _is_composite(component: Component) -> bool:
+    return callable(getattr(component, "constituents", None))
+
+
+def _has_classifier(component: Component) -> bool:
+    # Composites export IClassifier by delegation; the semantics obligation
+    # falls on the internal classifier constituent, which the recursive
+    # check covers.
+    if _is_composite(component):
+        return False
+    return bool(component.interfaces_of_type(IClassifier))
+
+
+def _has_controller(component: Component) -> bool:
+    constituents = getattr(component, "constituents", None)
+    if not callable(constituents):
+        return True  # not a composite: rule does not apply
+    return any(getattr(m, "IS_CONTROLLER", False) for m in constituents())
+
+
+def router_rules() -> list[Rule]:
+    """The Router CF's rule set (fresh instances, safe to mutate per-CF)."""
+    return [
+        # Rule 1: must take part in packet passing in some role.
+        AtLeastOneOf([IPacketPush, IPacketPull], role="any"),
+        # Rule 2: IClassifier implies a named outgoing packet receptacle.
+        ConditionalRule(
+            _has_classifier,
+            [AtLeastOneOf([IPacketPush, IPacketPull], role="requires")],
+            name="classifier-needs-outputs",
+        ),
+        # Rule 3 (partial): composites must contain a controller; the
+        # recursive constituent check is built into the CF base.
+        PredicateRule(
+            "composite-has-controller",
+            _has_controller,
+            "composite components must contain a controller constituent",
+        ),
+    ]
+
+
+class RouterCF(ComponentFramework):
+    """The stratum-2 Router CF."""
+
+    def __init__(self) -> None:
+        super().__init__(rules=router_rules())
+
+    # -- filter-semantics enforcement (rule 2, install-time half) --------------
+
+    def install_filter(
+        self, plugin: Component, spec: Any, *, principal: str = "system"
+    ) -> int:
+        """Install a packet filter on an accepted IClassifier plug-in,
+        verifying the named output exists before installation.
+
+        Returns the filter id.
+        """
+        self.acl.check(principal, "filter.install")
+        self._require_plugin(plugin)
+        refs = plugin.interfaces_of_type(IClassifier)
+        if not refs:
+            raise RuleViolation(
+                plugin.name, ["component does not support IClassifier"]
+            )
+        classifier_ref = refs[0]
+        filter_id = classifier_ref.vtable.invoke("register_filter", spec)
+        problems = self.check_filter_outputs(plugin)
+        if problems:
+            classifier_ref.vtable.invoke("remove_filter", filter_id)
+            raise RuleViolation(plugin.name, problems)
+        return filter_id
+
+    def check_filter_outputs(self, plugin: Component) -> list[str]:
+        """Verify every output named by the plug-in's filters is a live
+        outgoing connection (rule 2's semantics obligation)."""
+        refs = plugin.interfaces_of_type(IClassifier)
+        if not refs:
+            return []
+        outputs: set[str] = set()
+        for ref in refs:
+            for described in ref.vtable.invoke("list_filters"):
+                outputs.add(described["output"])
+        default_output = getattr(plugin, "default_output", None)
+        if default_output:
+            outputs.add(default_output)
+        bound: set[str] = set()
+        for receptacle in plugin.receptacles().values():
+            if issubclass(receptacle.itype, (IPacketPush, IPacketPull)):
+                bound.update(receptacle.connection_names())
+        missing = sorted(outputs - bound)
+        return [
+            f"filter names output {name!r} but no outgoing packet "
+            "connection of that name exists"
+            for name in missing
+        ]
+
+    # -- resource integration (section 5, last rule) -----------------------------
+
+    def map_task_to_constituents(
+        self,
+        composite: CompositeComponent,
+        task_name: str,
+        member_names: list[str],
+        *,
+        principal: str = "system",
+    ) -> None:
+        """Attach a resources-meta-model task to designated constituents of
+        an accepted composite plug-in (flexible task → component mapping)."""
+        self.acl.check(principal, "task.map")
+        self._require_plugin(composite)
+        resources = composite.host_capsule.resources
+        task = resources.task(task_name)
+        for member_name in member_names:
+            member = composite.member(member_name)
+            task.attach(member)
+
+    def validate_with_report(self, component: Component) -> dict[str, Any]:
+        """Validate and return a structured accept/reject report (used by
+        the F2 benchmark to tabulate rule outcomes)."""
+        failures = self.validate_component(component)
+        return {
+            "component": component.name,
+            "accepted": not failures,
+            "failures": failures,
+        }

@@ -1,0 +1,99 @@
+"""Footprint accounting and benchmark statistics."""
+
+import pytest
+
+from repro.analysis import (
+    format_table,
+    mean,
+    measure_capsule,
+    measure_tree,
+    median,
+    percentile,
+    relative_factor,
+    stddev,
+    summarise,
+)
+from repro.opencom import Capsule
+from repro.router import CollectorSink, ProtocolRecognizer, build_figure3_composite
+
+
+class TestFootprint:
+    def test_empty_capsule_is_runtime_only(self):
+        report = measure_capsule(Capsule("empty"))
+        assert report.total_bytes == 9 * 1024 + 1024
+
+    def test_code_cost_shared_per_type(self):
+        capsule = Capsule("c")
+        one = measure_capsule(capsule)
+        capsule.instantiate(CollectorSink, "a")
+        two = measure_capsule(capsule)
+        capsule.instantiate(CollectorSink, "b")
+        three = measure_capsule(capsule)
+        first_increment = two.total_bytes - one.total_bytes
+        second_increment = three.total_bytes - two.total_bytes
+        # The second instance pays only state, not code.
+        assert second_increment < first_increment
+
+    def test_bindings_cost(self):
+        capsule = Capsule("c")
+        recogniser = capsule.instantiate(ProtocolRecognizer, "r")
+        sink = capsule.instantiate(CollectorSink, "s")
+        before = measure_capsule(capsule).total_bytes
+        capsule.bind(
+            recogniser.receptacle("out"), sink.interface("in0"),
+            connection_name="ipv4",
+        )
+        after = measure_capsule(capsule).total_bytes
+        assert after - before == 40
+
+    def test_figure3_footprint_plausible(self):
+        capsule = Capsule("node")
+        build_figure3_composite(capsule)
+        report = measure_capsule(capsule)
+        assert 15 < report.total_kb < 40
+
+    def test_measure_tree_includes_children(self):
+        capsule = Capsule("root")
+        capsule.spawn_child("child")
+        reports = measure_tree(capsule)
+        assert set(reports) == {"root", "child"}
+
+    def test_by_type_accounting(self):
+        capsule = Capsule("c")
+        capsule.instantiate(CollectorSink, "a")
+        capsule.instantiate(CollectorSink, "b")
+        report = measure_capsule(capsule)
+        assert report.by_type["CollectorSink"] == 256 + 512 * 2
+
+
+class TestStats:
+    def test_mean_median(self):
+        assert mean([1, 2, 3]) == 2
+        assert median([1, 2, 3, 100]) == 2.5
+        assert mean([]) == 0.0
+
+    def test_percentile_interpolates(self):
+        values = list(range(1, 101))
+        assert percentile(values, 95) == pytest.approx(95.05)
+        assert percentile([5], 99) == 5
+        assert percentile([], 50) == 0.0
+
+    def test_stddev(self):
+        assert stddev([2, 2, 2]) == 0
+        assert stddev([1]) == 0
+        assert stddev([0, 10]) == 5
+
+    def test_summarise_keys(self):
+        summary = summarise([1.0, 2.0, 3.0])
+        assert set(summary) == {"mean", "median", "p95", "stddev", "min", "max"}
+
+    def test_relative_factor(self):
+        assert relative_factor(2.0, 6.0) == 3.0
+        assert relative_factor(0.0, 1.0) == float("inf")
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]

@@ -1,0 +1,206 @@
+"""Execution environments, capsule packets, and code admission."""
+
+import pytest
+
+from repro.appservices import (
+    CodeAdmission,
+    ExecutionEnvironment,
+    SecurityError,
+    decode_capsule,
+    encode_capsule,
+    make_capsule_packet,
+    sign_code,
+    verify_signature,
+)
+from repro.netsim import PacketError, make_udp_v4
+from repro.opencom import AccessDenied
+from repro.router import CollectorSink
+
+KEY = b"alice-key"
+
+
+@pytest.fixture
+def admission():
+    registry = CodeAdmission()
+    registry.trust("alice", KEY, step_budget=100, may_broadcast=True)
+    return registry
+
+
+@pytest.fixture
+def ee(capsule, admission):
+    environment = capsule.instantiate(
+        lambda: ExecutionEnvironment("n0", admission), "ee"
+    )
+    sinks = {}
+    for port in ("east", "west"):
+        sink = capsule.instantiate(CollectorSink, port)
+        capsule.bind(
+            environment.receptacle("out"), sink.interface("in0"),
+            connection_name=port,
+        )
+        sinks[port] = sink
+    return environment, sinks
+
+
+def run_capsule(environment, program, *, principal="alice", key=KEY, data=None, ttl=32):
+    packet = make_capsule_packet(
+        "10.0.0.1", "10.0.0.9", principal, key, program, data=data, ttl=ttl
+    )
+    environment.interface("in0").vtable.invoke("push", packet)
+    return packet
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self):
+        code = b"some-program"
+        signature = sign_code(KEY, code)
+        assert verify_signature(KEY, code, signature)
+        assert not verify_signature(b"other", code, signature)
+        assert not verify_signature(KEY, b"tampered", signature)
+
+    def test_admission_accepts_trusted(self, admission):
+        code = b"c"
+        policy = admission.admit("alice", code, sign_code(KEY, code))
+        assert policy.step_budget == 100
+        assert admission.admitted == 1
+
+    def test_admission_rejects_unknown_principal(self, admission):
+        with pytest.raises(AccessDenied):
+            admission.admit("mallory", b"c", "sig")
+        assert admission.rejected == 1
+
+    def test_admission_rejects_bad_signature(self, admission):
+        with pytest.raises(SecurityError):
+            admission.admit("alice", b"c", "0" * 64)
+
+    def test_revoke(self, admission):
+        admission.revoke("alice")
+        assert not admission.is_trusted("alice")
+
+
+class TestCapsuleCodec:
+    def test_roundtrip(self):
+        program = [("set", "a", 1), ("halt",)]
+        payload = encode_capsule("alice", KEY, program, {"k": "v"})
+        decoded = decode_capsule(payload)
+        assert decoded.principal == "alice"
+        assert decoded.program == program
+        assert decoded.data == {"k": "v"}
+        assert verify_signature(KEY, decoded.code_bytes(), decoded.signature)
+
+    def test_invalid_program_rejected_at_encode(self):
+        with pytest.raises(PacketError, match="invalid capsule program"):
+            encode_capsule("alice", KEY, [("bad-op",)])
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(PacketError):
+            decode_capsule(b"}{not python")
+        with pytest.raises(PacketError):
+            decode_capsule(b"[1, 2, 3]")
+
+    def test_capsule_packet_uses_active_protocol(self):
+        packet = make_capsule_packet("10.0.0.1", "10.0.0.2", "alice", KEY, [("halt",)])
+        from repro.netsim import PROTO_ACTIVE
+
+        assert packet.net.protocol == PROTO_ACTIVE
+
+
+class TestExecutionEnvironment:
+    def test_forward_action_emits_on_named_port(self, ee):
+        environment, sinks = ee
+        run_capsule(environment, [("forward", "east")])
+        assert sinks["east"].collected_count() == 1
+        assert sinks["west"].collected_count() == 0
+        assert environment.execution_count() == 1
+
+    def test_forward_decrements_ttl(self, ee):
+        environment, sinks = ee
+        run_capsule(environment, [("forward", "east")], ttl=5)
+        assert sinks["east"].packets[0].net.ttl == 4
+
+    def test_ttl_exhaustion_blocks_forward(self, ee):
+        environment, sinks = ee
+        run_capsule(environment, [("forward", "east")], ttl=1)
+        assert sinks["east"].collected_count() == 0
+        assert environment.counters["drop:ttl-expired"] == 1
+
+    def test_broadcast_excludes_ingress(self, ee):
+        environment, sinks = ee
+        packet = make_capsule_packet(
+            "10.0.0.1", "10.0.0.9", "alice", KEY, [("broadcast",)]
+        )
+        packet.metadata["ingress_port"] = "east"
+        environment.interface("in0").vtable.invoke("push", packet)
+        assert sinks["west"].collected_count() == 1
+        assert sinks["east"].collected_count() == 0
+
+    def test_broadcast_policy_enforced(self, capsule, ee, admission):
+        environment, sinks = ee
+        admission.trust("bob", b"bob-key", may_broadcast=False)
+        run_capsule(environment, [("broadcast",)], principal="bob", key=b"bob-key")
+        assert environment.counters["drop:broadcast-forbidden"] == 1
+        assert sinks["east"].collected_count() == 0
+
+    def test_deliver_invokes_handler(self, ee):
+        environment, _ = ee
+        delivered = []
+        environment.deliver_handler = lambda packet, data: delivered.append(data)
+        run_capsule(environment, [("deliver",)], data={"payload": 42})
+        assert delivered == [{"payload": 42}]
+
+    def test_untrusted_principal_dropped(self, ee):
+        environment, _ = ee
+        run_capsule(environment, [("halt",)], principal="mallory", key=b"wrong")
+        assert environment.counters["drop:untrusted-principal"] == 1
+
+    def test_tampered_signature_dropped(self, ee, admission):
+        environment, _ = ee
+        packet = make_capsule_packet("10.0.0.1", "10.0.0.9", "alice", KEY, [("halt",)])
+        # Tamper with the program after signing.
+        tampered = packet.payload.replace(b"halt", b"drop")
+        packet.payload = tampered
+        environment.interface("in0").vtable.invoke("push", packet)
+        assert environment.counters["drop:bad-signature"] == 1
+
+    def test_non_active_packet_dropped(self, ee):
+        environment, _ = ee
+        environment.interface("in0").vtable.invoke(
+            "push", make_udp_v4("10.0.0.1", "10.0.0.2")
+        )
+        assert environment.counters["drop:not-active"] == 1
+
+    def test_program_error_counted(self, ee):
+        environment, _ = ee
+        run_capsule(environment, [("add", "x", "nan", 1)])
+        assert environment.counters["drop:program-error"] == 1
+
+    def test_soft_store_persists_across_capsules(self, ee):
+        environment, _ = ee
+        counter_program = [
+            ("load", "n", "count"),
+            ("cmp", "fresh", "n", "==", None),
+            ("jif", "fresh", 1),
+            ("jmp", 1),
+            ("set", "n", 0),
+            ("add", "n", "n", 1),
+            ("store", "count", "n"),
+        ]
+        for _ in range(3):
+            run_capsule(environment, counter_program)
+        assert environment.soft_store("alice")["count"] == 3
+
+    def test_soft_stores_isolated_per_principal(self, ee, admission):
+        environment, _ = ee
+        admission.trust("bob", b"bob-key")
+        run_capsule(environment, [("store", "mark", 1)])
+        run_capsule(environment, [("store", "mark", 2)], principal="bob", key=b"bob-key")
+        assert environment.soft_store("alice")["mark"] == 1
+        assert environment.soft_store("bob")["mark"] == 2
+
+    def test_environment_exposes_packet_fields(self, ee):
+        environment, _ = ee
+        run_capsule(environment, [("env", "n", "node"), ("trace", "n"),
+                                  ("env", "d", "data.job"), ("trace", "d")],
+                    data={"job": "probe"})
+        result = environment.executions[-1]
+        assert result.trace == ["n0", "probe"]

@@ -1,0 +1,177 @@
+"""Media filters (downsampling, truncation, FEC) and per-flow dispatch."""
+
+import pytest
+
+from repro.appservices import (
+    FecDecoder,
+    FecEncoder,
+    FlowManager,
+    MediaDownsampler,
+    PayloadTruncator,
+)
+from repro.netsim import make_udp_v4
+from repro.router import CollectorSink
+
+
+def push(component, packet):
+    component.interface("in0").vtable.invoke("push", packet)
+
+
+def media_packet(i, *, sport=5000, size=64):
+    return make_udp_v4(
+        "10.0.0.1", "10.0.0.2", sport=sport, dport=6000,
+        payload=bytes([i % 251]) * size,
+    )
+
+
+class TestDownsampler:
+    def test_keeps_ratio_per_flow(self, capsule):
+        sampler = capsule.instantiate(lambda: MediaDownsampler(keep=1, out_of=3), "d")
+        sink = capsule.instantiate(CollectorSink, "s")
+        capsule.bind(sampler.receptacle("out"), sink.interface("in0"))
+        for i in range(9):
+            push(sampler, media_packet(i))
+        assert sink.collected_count() == 3
+        assert sampler.counters["downsampled"] == 6
+
+    def test_flows_tracked_independently(self, capsule):
+        sampler = capsule.instantiate(lambda: MediaDownsampler(keep=1, out_of=2), "d")
+        sink = capsule.instantiate(CollectorSink, "s")
+        capsule.bind(sampler.receptacle("out"), sink.interface("in0"))
+        push(sampler, media_packet(0, sport=1))  # flow A position 0 -> kept
+        push(sampler, media_packet(0, sport=2))  # flow B position 0 -> kept
+        assert sink.collected_count() == 2
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            MediaDownsampler(keep=3, out_of=2)
+        with pytest.raises(ValueError):
+            MediaDownsampler(keep=0, out_of=2)
+
+
+class TestTruncator:
+    def test_truncates_and_fixes_lengths(self, capsule):
+        truncator = capsule.instantiate(lambda: PayloadTruncator(max_payload=16), "t")
+        sink = capsule.instantiate(CollectorSink, "s")
+        capsule.bind(truncator.receptacle("out"), sink.interface("in0"))
+        push(truncator, media_packet(1, size=64))
+        out = sink.packets[0]
+        assert len(out.payload) == 16
+        assert out.net.total_length == out.size_bytes
+        assert out.net.checksum_ok()
+
+    def test_small_payload_untouched(self, capsule):
+        truncator = capsule.instantiate(lambda: PayloadTruncator(max_payload=100), "t")
+        sink = capsule.instantiate(CollectorSink, "s")
+        capsule.bind(truncator.receptacle("out"), sink.interface("in0"))
+        push(truncator, media_packet(1, size=10))
+        assert truncator.counters["untouched"] == 1
+
+
+class TestFec:
+    @pytest.fixture
+    def codec(self, capsule):
+        encoder = capsule.instantiate(lambda: FecEncoder(group_size=4), "enc")
+        decoder = capsule.instantiate(lambda: FecDecoder(group_size=4), "dec")
+        encoded = capsule.instantiate(CollectorSink, "wire")
+        received = capsule.instantiate(CollectorSink, "app")
+        capsule.bind(encoder.receptacle("out"), encoded.interface("in0"))
+        capsule.bind(decoder.receptacle("out"), received.interface("in0"))
+        return encoder, decoder, encoded, received
+
+    def test_parity_emitted_per_group(self, codec):
+        encoder, _, encoded, _ = codec
+        for i in range(8):
+            push(encoder, media_packet(i))
+        assert encoder.counters["parity"] == 2
+        assert encoded.collected_count() == 10  # 8 data + 2 parity
+
+    def test_single_loss_recovered(self, codec):
+        encoder, decoder, encoded, received = codec
+        originals = [media_packet(i) for i in range(4)]
+        for packet in originals:
+            push(encoder, packet)
+        on_wire = list(encoded.packets)
+        lost_index = 2
+        for packet in on_wire:
+            if packet.metadata.get("fec-index") == lost_index and not packet.metadata.get("fec-parity"):
+                continue  # drop it
+            push(decoder, packet)
+        assert decoder.counters["recovered"] == 1
+        recovered = [p for p in received.packets if p.metadata.get("fec-recovered")]
+        assert recovered[0].payload == originals[lost_index].payload
+
+    def test_no_loss_parity_unneeded(self, codec):
+        encoder, decoder, encoded, received = codec
+        for i in range(4):
+            push(encoder, media_packet(i))
+        for packet in encoded.packets:
+            push(decoder, packet)
+        assert decoder.counters["parity-unneeded"] == 1
+        assert received.collected_count() == 4
+
+    def test_double_loss_not_recoverable(self, codec):
+        encoder, decoder, encoded, received = codec
+        for i in range(4):
+            push(encoder, media_packet(i))
+        for packet in encoded.packets:
+            index = packet.metadata.get("fec-index")
+            if index in (1, 2) and not packet.metadata.get("fec-parity"):
+                continue
+            push(decoder, packet)
+        assert decoder.counters["parity-insufficient"] == 1
+        assert decoder.counters.get("recovered", 0) == 0
+
+    def test_group_size_bounds(self):
+        with pytest.raises(ValueError):
+            FecEncoder(group_size=1)
+
+
+class TestFlowManager:
+    @pytest.fixture
+    def manager(self, capsule):
+        flow_manager = capsule.instantiate(
+            lambda: FlowManager(max_flows=2, default_output="slow"), "fm"
+        )
+        sinks = {}
+        for name in ("fast", "slow"):
+            sink = capsule.instantiate(CollectorSink, name)
+            capsule.bind(
+                flow_manager.receptacle("out"), sink.interface("in0"),
+                connection_name=name,
+            )
+            sinks[name] = sink
+        return flow_manager, sinks
+
+    def test_first_packet_classifies_rest_hit_cache(self, manager):
+        flow_manager, sinks = manager
+        flow_manager.bind_flow_class("dport=6000 -> fast")
+        for i in range(5):
+            push(flow_manager, media_packet(i))
+        assert sinks["fast"].collected_count() == 5
+        assert flow_manager.counters["miss"] == 1
+        assert flow_manager.counters["hit"] == 4
+
+    def test_default_for_unmatched(self, manager):
+        flow_manager, sinks = manager
+        push(flow_manager, make_udp_v4("10.0.0.1", "10.0.0.2", dport=80))
+        assert sinks["slow"].collected_count() == 1
+
+    def test_lru_eviction(self, manager):
+        flow_manager, _ = manager
+        flow_manager.bind_flow_class("* -> fast")
+        for sport in (1, 2, 3):
+            push(flow_manager, media_packet(0, sport=sport))
+        assert flow_manager.flow_count == 2
+        assert flow_manager.counters["evicted"] == 1
+
+    def test_no_default_drops(self, capsule):
+        flow_manager = capsule.instantiate(lambda: FlowManager(), "strict")
+        push(flow_manager, media_packet(0))
+        assert flow_manager.counters["drop:no-flow-class"] == 1
+
+    def test_flow_class_metadata(self, manager):
+        flow_manager, sinks = manager
+        flow_manager.bind_flow_class("dport=6000 -> fast")
+        push(flow_manager, media_packet(0))
+        assert sinks["fast"].packets[0].metadata["flow_class"] == "fast"

@@ -1,0 +1,161 @@
+"""The capsule VM: ops, limits, and static validation."""
+
+import pytest
+
+from repro.appservices import CapsuleVM, validate_program
+
+
+@pytest.fixture
+def vm():
+    return CapsuleVM(step_budget=200)
+
+
+class TestOps:
+    def test_set_mov_arithmetic(self, vm):
+        result = vm.execute([
+            ("set", "a", 10),
+            ("mov", "b", "a"),
+            ("add", "c", "a", "b"),
+            ("sub", "d", "c", 5),
+            ("mul", "e", "d", 2),
+        ])
+        assert result.status == "ok"
+        assert result.registers["c"] == 20
+        assert result.registers["d"] == 15
+        assert result.registers["e"] == 30
+
+    def test_cmp_all_operators(self, vm):
+        program = []
+        for i, op in enumerate(("<", "<=", "==", "!=", ">", ">=")):
+            program.append(("cmp", f"r{i}", 3, op, 5))
+        result = vm.execute(program)
+        assert [result.registers[f"r{i}"] for i in range(6)] == [
+            True, True, False, True, False, False
+        ]
+
+    def test_jmp_skips(self, vm):
+        result = vm.execute([
+            ("set", "a", 1),
+            ("jmp", 1),
+            ("set", "a", 99),  # skipped
+            ("trace", "a"),
+        ])
+        assert result.trace == [1]
+
+    def test_jif_conditional(self, vm):
+        result = vm.execute([
+            ("cmp", "go", 1, "==", 1),
+            ("jif", "go", 1),
+            ("trace", "not-taken"),
+            ("trace", "end"),
+        ])
+        assert result.trace == ["end"]
+
+    def test_backward_jump_loop(self, vm):
+        result = vm.execute([
+            ("set", "i", 0),
+            ("add", "i", "i", 1),
+            ("cmp", "done", "i", ">=", 3),
+            ("jif", "done", 1),
+            ("jmp", -4),
+            ("trace", "i"),
+        ])
+        assert result.trace == [3]
+
+    def test_env_and_store(self, vm):
+        store = {}
+        result = vm.execute(
+            [
+                ("env", "who", "node"),
+                ("store", "visited-by", "who"),
+                ("load", "check", "visited-by"),
+                ("trace", "check"),
+            ],
+            environment={"node": "n7"},
+            soft_store=store,
+        )
+        assert store == {"visited-by": "n7"}
+        assert result.trace == ["n7"]
+
+    def test_actions_recorded_in_order(self, vm):
+        result = vm.execute([
+            ("forward", "east"),
+            ("deliver",),
+            ("broadcast",),
+        ])
+        assert result.actions == [("forward", "east"), ("deliver",), ("broadcast",)]
+
+    def test_drop_halts_execution(self, vm):
+        result = vm.execute([("drop",), ("trace", "unreached")])
+        assert result.actions == [("drop",)]
+        assert result.trace == []
+
+    def test_halt(self, vm):
+        result = vm.execute([("halt",), ("trace", "no")])
+        assert result.status == "ok"
+        assert result.trace == []
+
+
+class TestLimits:
+    def test_step_budget(self):
+        vm = CapsuleVM(step_budget=10)
+        result = vm.execute([("jmp", -1)])
+        assert result.status == "error"
+        assert "budget" in result.reason
+        assert result.steps == 10
+
+    def test_register_limit(self, vm):
+        program = [("set", f"r{i}", i) for i in range(100)]
+        result = vm.execute(program)
+        assert result.status == "error"
+        assert "register limit" in result.reason
+
+    def test_oversize_value_rejected(self, vm):
+        result = vm.execute([("set", "big", "x" * 10_000)])
+        assert result.status == "error"
+        assert "too large" in result.reason
+
+    def test_unknown_op(self, vm):
+        result = vm.execute([("explode",)])
+        assert result.status == "error"
+        assert "unknown op" in result.reason
+
+    def test_type_error_contained(self, vm):
+        result = vm.execute([("add", "x", "not-a-number", 1)])
+        assert result.status == "error"
+        assert "needs numbers" in result.reason
+
+    def test_malformed_instruction(self, vm):
+        result = vm.execute(["not a tuple"])
+        assert result.status == "error"
+        assert "malformed" in result.reason
+
+    def test_jump_before_start(self, vm):
+        result = vm.execute([("jmp", -5)])
+        assert result.status == "error"
+
+    def test_errors_never_raise(self, vm):
+        # Even grossly malformed programs return a result object.
+        for program in ([(1, 2)], [("cmp", "a", 1, "??", 2)], [("mov",)]):
+            result = vm.execute(program)
+            assert result.status == "error"
+
+
+class TestValidation:
+    def test_good_program_validates(self):
+        assert validate_program([("set", "a", 1), ("halt",)]) == []
+
+    def test_non_list_rejected(self):
+        assert validate_program("code") != []
+
+    def test_unknown_op_flagged(self):
+        problems = validate_program([("frobnicate",)])
+        assert any("unknown op" in p for p in problems)
+
+    def test_out_of_range_jump_flagged(self):
+        problems = validate_program([("jmp", 99)])
+        assert any("out of range" in p for p in problems)
+
+    def test_non_int_offset_flagged(self):
+        problems = validate_program([("jmp", "far")])
+        assert any("must be int" in p for p in problems)

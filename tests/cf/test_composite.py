@@ -1,0 +1,239 @@
+"""Composite components: membership, exports, constraints, hot swap,
+isolation."""
+
+import pytest
+
+from repro.cf import CompositeComponent, acyclic, no_binding_to
+from repro.opencom import (
+    AccessDenied,
+    CapsuleError,
+    Component,
+    ConstraintViolation,
+    Provided,
+    Required,
+)
+from repro.opencom.ipc import RemoteBinding
+
+from tests.conftest import Echoer, IEcho
+
+
+class Stage(Component):
+    PROVIDES = (Provided("in0", IEcho),)
+    RECEPTACLES = (Required("out", IEcho, min_connections=0),)
+
+    STATE_ATTRS = ("seen",)
+
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def echo(self, value):
+        self.seen.append(value)
+        if self.out.bound:
+            return self.out.echo(value)
+        return value
+
+
+@pytest.fixture
+def composite(capsule):
+    return capsule.instantiate(lambda: CompositeComponent(capsule), "comp")
+
+
+class TestMembership:
+    def test_add_member_names_are_scoped(self, composite):
+        member = composite.add_member(Stage, "a")
+        assert member.name == "comp.a"
+        assert composite.member("a") is member
+        assert composite.member("comp.a") is member
+
+    def test_duplicate_member_rejected(self, composite):
+        composite.add_member(Stage, "a")
+        with pytest.raises(CapsuleError, match="already has member"):
+            composite.add_member(Stage, "a")
+
+    def test_controller_is_member(self, composite):
+        assert composite.controller.name in composite.member_names()
+
+    def test_remove_member(self, composite):
+        composite.add_member(Stage, "a")
+        composite.remove_member("a")
+        assert "comp.a" not in composite.member_names()
+
+    def test_remove_controller_rejected(self, composite):
+        with pytest.raises(CapsuleError, match="controller cannot"):
+            composite.remove_member(composite.controller.name)
+
+    def test_remove_exported_member_rejected(self, composite):
+        composite.add_member(Stage, "a")
+        composite.export("input", "a", "in0")
+        with pytest.raises(CapsuleError, match="exported"):
+            composite.remove_member("a")
+
+    def test_unknown_member(self, composite):
+        with pytest.raises(CapsuleError, match="no member"):
+            composite.member("ghost")
+
+
+class TestInternalTopology:
+    def test_bind_internal_local(self, composite):
+        composite.add_member(Stage, "a")
+        composite.add_member(Stage, "b")
+        binding = composite.bind_internal("a", "out", "b", "in0")
+        assert binding.live
+        assert composite.member("a").echo("x") == "x"
+        assert composite.member("b").seen == ["x"]
+
+    def test_unbind_internal(self, composite):
+        composite.add_member(Stage, "a")
+        composite.add_member(Stage, "b")
+        binding = composite.bind_internal("a", "out", "b", "in0")
+        composite.unbind_internal(binding)
+        assert composite.internal_bindings() == []
+
+    def test_unbind_foreign_binding_rejected(self, capsule, composite):
+        a = capsule.instantiate(Stage, "outside-a")
+        b = capsule.instantiate(Stage, "outside-b")
+        binding = capsule.bind(a.receptacle("out"), b.interface("in0"))
+        with pytest.raises(CapsuleError, match="not internal"):
+            composite.unbind_internal(binding)
+
+
+class TestConstraints:
+    def test_acyclic_constraint_blocks_cycles(self, composite):
+        composite.add_member(Stage, "a")
+        composite.add_member(Stage, "b")
+        composite.controller.add_constraint("acyclic", acyclic())
+        composite.bind_internal("a", "out", "b", "in0")
+        with pytest.raises(ConstraintViolation, match="cycle"):
+            composite.bind_internal("b", "out", "a", "in0")
+
+    def test_constraint_scoped_to_members(self, capsule, composite):
+        composite.add_member(Stage, "a")
+        composite.controller.add_constraint("no-into-a", no_binding_to("comp.a"))
+        # Outside the composite the constraint does not apply.
+        x = capsule.instantiate(Stage, "x")
+        y = capsule.instantiate(Stage, "y")
+        capsule.bind(x.receptacle("out"), y.interface("in0"))  # fine
+
+    def test_constraint_removal_policed_by_acl(self, composite):
+        composite.controller.add_constraint("c", acyclic())
+        with pytest.raises(AccessDenied):
+            composite.controller.remove_constraint("c", principal="mallory")
+        composite.controller.acl.grant("admin", "constraint.*")
+        composite.controller.remove_constraint("c", principal="admin")
+        assert composite.controller.constraint_names() == []
+
+    def test_constraint_add_policed_by_acl(self, composite):
+        with pytest.raises(AccessDenied):
+            composite.controller.add_constraint(
+                "c", acyclic(), principal="mallory"
+            )
+
+    def test_duplicate_constraint_rejected(self, composite):
+        composite.controller.add_constraint("c", acyclic())
+        with pytest.raises(ConstraintViolation, match="already installed"):
+            composite.controller.add_constraint("c", acyclic())
+
+
+class TestExports:
+    def test_export_delegates_calls(self, composite):
+        composite.add_member(Stage, "a")
+        composite.export("input", "a", "in0")
+        composite.interface("input").vtable.invoke("echo", "via-boundary")
+        assert composite.member("a").seen == ["via-boundary"]
+
+    def test_export_map(self, composite):
+        composite.add_member(Stage, "a")
+        composite.export("input", "a", "in0")
+        assert composite.export_map() == {"input": ("comp.a", "in0")}
+
+    def test_export_observes_internal_interception(self, composite):
+        composite.add_member(Stage, "a")
+        composite.export("input", "a", "in0")
+        seen = []
+        composite.member("a").interface("in0").vtable.add_pre(
+            "echo", "spy", lambda ctx: seen.append(ctx.args)
+        )
+        composite.interface("input").vtable.invoke("echo", "watched")
+        assert seen == [("watched",)]
+
+
+class TestHotSwap:
+    def test_replace_member_preserves_wiring_and_exports(self, composite):
+        composite.add_member(Stage, "a")
+        composite.add_member(Stage, "b")
+        composite.bind_internal("a", "out", "b", "in0")
+        composite.export("input", "a", "in0")
+
+        class Stage2(Stage):
+            pass
+
+        replacement = composite.controller.replace_member("a", Stage2)
+        assert isinstance(replacement, Stage2)
+        assert replacement.name == "comp.a"
+        composite.interface("input").vtable.invoke("echo", "post-swap")
+        assert replacement.seen == ["post-swap"]
+        assert composite.member("b").seen == ["post-swap"]
+
+    def test_replace_member_transfers_declared_state(self, composite):
+        member = composite.add_member(Stage, "a")
+        member.echo("history")
+        replacement = composite.controller.replace_member("a", Stage)
+        assert replacement.seen == ["history"]
+
+    def test_replace_member_acl(self, composite):
+        composite.add_member(Stage, "a")
+        with pytest.raises(AccessDenied):
+            composite.controller.replace_member("a", Stage, principal="mallory")
+
+    def test_controller_cannot_be_swapped(self, composite):
+        with pytest.raises(CapsuleError, match="controller cannot"):
+            composite.controller.replace_member(
+                composite.controller.name, Stage
+            )
+
+
+class TestIsolation:
+    def test_isolated_member_lives_in_child_capsule(self, capsule, composite):
+        member = composite.add_member(Stage, "risky", isolated=True)
+        assert composite.is_isolated("risky")
+        assert member.capsule is not capsule
+        assert member.capsule.parent is capsule
+
+    def test_binding_to_isolated_member_is_ipc(self, composite):
+        composite.add_member(Stage, "a")
+        composite.add_member(Stage, "risky", isolated=True)
+        binding = composite.bind_internal("a", "out", "risky", "in0")
+        assert isinstance(binding, RemoteBinding)
+
+    def test_isolated_member_crash_contained(self, capsule, composite):
+        class Bomb(Stage):
+            def echo(self, value):
+                raise RuntimeError("bang")
+
+        composite.add_member(Stage, "a")
+        composite.add_member(Bomb, "bomb", isolated=True)
+        composite.bind_internal("a", "out", "bomb", "in0")
+        from repro.opencom import IpcFault
+
+        with pytest.raises(IpcFault):
+            composite.member("a").echo("x")
+        assert capsule.alive
+        assert not composite.member_capsule("bomb").alive
+
+    def test_remove_isolated_member_kills_child(self, capsule, composite):
+        composite.add_member(Stage, "risky", isolated=True)
+        child = composite.member_capsule("risky")
+        # Must drop internal bindings first (none here), then remove.
+        composite.remove_member("risky")
+        assert not child.alive
+
+    def test_describe_internals(self, composite):
+        composite.add_member(Stage, "a")
+        composite.add_member(Stage, "risky", isolated=True)
+        composite.bind_internal("a", "out", "risky", "in0")
+        composite.export("input", "a", "in0")
+        info = composite.describe_internals()
+        assert info["members"]["comp.a"]["isolated"] is False
+        assert info["members"]["comp.risky"]["isolated"] is True
+        assert info["exports"]["input"]["member"] == "comp.a"

@@ -1,0 +1,168 @@
+"""Stock topology constraints and the ACL."""
+
+import pytest
+
+from repro.cf import (
+    AccessControlList,
+    TopologyConstraint,
+    acyclic,
+    frozen_topology,
+    max_fan_out,
+    no_binding_from,
+    no_binding_to,
+    only_interface_type,
+    pipeline_order,
+)
+from repro.opencom import AccessDenied, Component, ConstraintViolation, Provided, Required
+
+from tests.conftest import IAdder, IEcho
+
+
+class Stage(Component):
+    PROVIDES = (Provided("in0", IEcho),)
+    RECEPTACLES = (Required("out", IEcho, min_connections=0, max_connections=None),)
+
+    def echo(self, value):
+        return value
+
+
+def wire(capsule, src, dst):
+    return capsule.bind(src.receptacle("out"), dst.interface("in0"))
+
+
+class TestStockConstraints:
+    def test_no_binding_to(self, capsule):
+        capsule.add_constraint("c", TopologyConstraint("c", no_binding_to("b")))
+        a = capsule.instantiate(Stage, "a")
+        b = capsule.instantiate(Stage, "b")
+        with pytest.raises(ConstraintViolation):
+            wire(capsule, a, b)
+        wire(capsule, b, a)  # other direction fine
+
+    def test_no_binding_from(self, capsule):
+        capsule.add_constraint("c", TopologyConstraint("c", no_binding_from("a")))
+        a = capsule.instantiate(Stage, "a")
+        b = capsule.instantiate(Stage, "b")
+        with pytest.raises(ConstraintViolation):
+            wire(capsule, a, b)
+        wire(capsule, b, a)
+
+    def test_only_interface_type(self, capsule):
+        capsule.add_constraint(
+            "c", TopologyConstraint("c", only_interface_type(IAdder))
+        )
+        a = capsule.instantiate(Stage, "a")
+        b = capsule.instantiate(Stage, "b")
+        with pytest.raises(ConstraintViolation, match="only IAdder"):
+            wire(capsule, a, b)
+
+    def test_max_fan_out(self, capsule):
+        capsule.add_constraint("c", TopologyConstraint("c", max_fan_out(2)))
+        hub = capsule.instantiate(Stage, "hub")
+        spokes = [capsule.instantiate(Stage, f"s{i}") for i in range(3)]
+        wire(capsule, hub, spokes[0])
+        wire(capsule, hub, spokes[1])
+        with pytest.raises(ConstraintViolation, match="limit is 2"):
+            wire(capsule, hub, spokes[2])
+
+    def test_acyclic_allows_dag_blocks_cycle(self, capsule):
+        capsule.add_constraint("c", TopologyConstraint("c", acyclic()))
+        a = capsule.instantiate(Stage, "a")
+        b = capsule.instantiate(Stage, "b")
+        c = capsule.instantiate(Stage, "c")
+        wire(capsule, a, b)
+        wire(capsule, b, c)
+        with pytest.raises(ConstraintViolation, match="cycle"):
+            wire(capsule, c, a)
+
+    def test_acyclic_blocks_self_binding(self, capsule):
+        capsule.add_constraint("c", TopologyConstraint("c", acyclic()))
+        a = capsule.instantiate(Stage, "a")
+        with pytest.raises(ConstraintViolation, match="trivial cycle"):
+            wire(capsule, a, a)
+
+    def test_frozen_topology(self, capsule):
+        a = capsule.instantiate(Stage, "a")
+        b = capsule.instantiate(Stage, "b")
+        capsule.add_constraint(
+            "c",
+            TopologyConstraint(
+                "c", frozen_topology({"a", "b"}), members={"a", "b"},
+                operations=("bind", "unbind"),
+            ),
+        )
+        with pytest.raises(ConstraintViolation, match="frozen"):
+            wire(capsule, a, b)
+
+    def test_pipeline_order(self, capsule):
+        capsule.add_constraint(
+            "c", TopologyConstraint("c", pipeline_order(["a", "b", "c"]))
+        )
+        a = capsule.instantiate(Stage, "a")
+        b = capsule.instantiate(Stage, "b")
+        c = capsule.instantiate(Stage, "c")
+        wire(capsule, a, b)
+        wire(capsule, b, c)
+        with pytest.raises(ConstraintViolation, match="pipeline order"):
+            wire(capsule, c, a)
+
+    def test_scope_excludes_outsiders(self, capsule):
+        constraint = TopologyConstraint(
+            "c", no_binding_to("b"), members={"a", "b"}
+        )
+        capsule.add_constraint("c", constraint)
+        outsider = capsule.instantiate(Stage, "outsider")
+        b = capsule.instantiate(Stage, "b")
+        # outsider is not a member: constraint out of scope.
+        wire(capsule, outsider, b)
+
+    def test_operations_filter(self, capsule):
+        constraint = TopologyConstraint(
+            "c", lambda req: "never", operations=("unbind",)
+        )
+        capsule.add_constraint("c", constraint)
+        a = capsule.instantiate(Stage, "a")
+        b = capsule.instantiate(Stage, "b")
+        binding = wire(capsule, a, b)  # bind unaffected
+        with pytest.raises(ConstraintViolation):
+            capsule.unbind(binding)
+
+
+class TestAcl:
+    def test_exact_grant(self):
+        acl = AccessControlList()
+        acl.grant("alice", "constraint.add")
+        assert acl.allows("alice", "constraint.add")
+        assert not acl.allows("alice", "constraint.remove")
+
+    def test_wildcard_grants(self):
+        acl = AccessControlList()
+        acl.grant("root", "*")
+        acl.grant("ops", "constraint.*")
+        assert acl.allows("root", "anything.at.all")
+        assert acl.allows("ops", "constraint.add")
+        assert acl.allows("ops", "constraint.remove")
+        assert not acl.allows("ops", "member.replace")
+
+    def test_system_always_allowed(self):
+        acl = AccessControlList()
+        assert acl.allows("system", "anything")
+
+    def test_revoke(self):
+        acl = AccessControlList()
+        acl.grant("alice", "op")
+        acl.revoke("alice", "op")
+        assert not acl.allows("alice", "op")
+        acl.revoke("alice", "op")  # idempotent
+
+    def test_check_raises(self):
+        acl = AccessControlList()
+        with pytest.raises(AccessDenied) as excinfo:
+            acl.check("mallory", "secret.op")
+        assert excinfo.value.principal == "mallory"
+
+    def test_grants_snapshot(self):
+        acl = AccessControlList()
+        acl.grant("alice", "b")
+        acl.grant("alice", "a")
+        assert acl.grants() == {"alice": ["a", "b"]}

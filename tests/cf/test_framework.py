@@ -1,0 +1,146 @@
+"""The CF base: acceptance, recursive checking, guarded change, ACLs."""
+
+import pytest
+
+from repro.cf import ComponentFramework, CompositeComponent, ProvidesInterface
+from repro.opencom import AccessDenied, RuleViolation
+
+from tests.conftest import Adder, Caller, Echoer, IAdder, IEcho
+
+
+@pytest.fixture
+def cf(capsule):
+    framework = ComponentFramework(rules=[ProvidesInterface(IEcho, min_count=1)])
+    capsule.adopt(framework, "cf")
+    return framework
+
+
+class TestAcceptance:
+    def test_accept_conforming(self, capsule, cf):
+        echoer = capsule.instantiate(Echoer, "e")
+        cf.accept(echoer)
+        assert cf.is_plugin(echoer)
+        assert "e" in cf.plugins()
+
+    def test_reject_nonconforming_with_failures(self, capsule, cf):
+        adder = capsule.instantiate(Adder, "a")
+        with pytest.raises(RuleViolation) as excinfo:
+            cf.accept(adder)
+        assert excinfo.value.component_name == "a"
+        assert excinfo.value.failures
+
+    def test_eject(self, capsule, cf):
+        echoer = capsule.instantiate(Echoer, "e")
+        cf.accept(echoer)
+        cf.eject(echoer)
+        assert not cf.is_plugin(echoer)
+
+    def test_eject_non_plugin_rejected(self, capsule, cf):
+        echoer = capsule.instantiate(Echoer, "e")
+        with pytest.raises(RuleViolation, match="not a plug-in"):
+            cf.eject(echoer)
+
+    def test_acl_polices_accept(self, capsule, cf):
+        echoer = capsule.instantiate(Echoer, "e")
+        with pytest.raises(AccessDenied):
+            cf.accept(echoer, principal="mallory")
+        cf.acl.grant("alice", "plugin.accept")
+        cf.accept(echoer, principal="alice")
+
+    def test_extra_checks_hook(self, capsule):
+        class Strict(ComponentFramework):
+            def extra_checks(self, component):
+                return ["always unhappy"]
+
+        strict = Strict()
+        capsule.adopt(strict, "strict")
+        echoer = capsule.instantiate(Echoer, "e")
+        with pytest.raises(RuleViolation, match="always unhappy"):
+            strict.accept(echoer)
+
+
+class TestRecursiveValidation:
+    def test_composite_constituents_checked(self, capsule, cf):
+        composite = capsule.instantiate(lambda: CompositeComponent(capsule), "comp")
+        composite.add_member(Adder, "bad-member")  # provides no IEcho
+        composite.expose("boundary", IEcho, impl=Echoer())
+        failures = cf.validate_component(composite)
+        assert any("constituent comp.bad-member" in f for f in failures)
+
+    def test_controller_exempt_from_rules(self, capsule, cf):
+        composite = capsule.instantiate(lambda: CompositeComponent(capsule), "comp")
+        composite.expose("boundary", IEcho, impl=Echoer())
+        # The controller provides no IEcho but must not fail the check.
+        assert cf.validate_component(composite) == []
+
+    def test_validate_all_reports_drift(self, capsule, cf):
+        echoer = capsule.instantiate(Echoer, "e")
+        cf.accept(echoer)
+        assert cf.validate_all() == {}
+        echoer.withdraw("main")  # drift outside CF control
+        report = cf.validate_all()
+        assert "e" in report
+
+
+class TestGuardedChange:
+    def test_add_interface_instance_allowed(self, capsule, cf):
+        echoer = capsule.instantiate(Echoer, "e")
+        cf.accept(echoer)
+        cf.add_interface_instance(echoer, "second", IEcho)
+        assert echoer.has_interface("second")
+
+    def test_add_violating_instance_rolled_back(self, capsule):
+        framework = ComponentFramework(
+            rules=[ProvidesInterface(IEcho, min_count=1, max_count=1)]
+        )
+        capsule.adopt(framework, "bounded")
+        echoer = capsule.instantiate(Echoer, "e")
+        framework.accept(echoer)
+        with pytest.raises(RuleViolation):
+            framework.add_interface_instance(echoer, "second", IEcho)
+        assert not echoer.has_interface("second")
+
+    def test_remove_interface_instance_rolled_back_on_violation(self, capsule, cf):
+        echoer = capsule.instantiate(Echoer, "e")
+        cf.accept(echoer)
+        with pytest.raises(RuleViolation):
+            cf.remove_interface_instance(echoer, "main")
+        assert echoer.has_interface("main")
+
+    def test_remove_interface_instance_allowed_when_rules_hold(self, capsule, cf):
+        echoer = capsule.instantiate(Echoer, "e")
+        echoer.expose("second", IEcho)
+        cf.accept(echoer)
+        cf.remove_interface_instance(echoer, "second")
+        assert not echoer.has_interface("second")
+
+    def test_add_receptacle_guarded(self, capsule, cf):
+        echoer = capsule.instantiate(Echoer, "e")
+        cf.accept(echoer)
+        cf.add_receptacle_instance(echoer, "extra", IAdder)
+        assert "extra" in echoer.receptacles()
+
+    def test_remove_receptacle_guarded(self, capsule, cf):
+        echoer = capsule.instantiate(Echoer, "e")
+        echoer.add_receptacle("extra", IAdder, min_connections=0)
+        cf.accept(echoer)
+        cf.remove_receptacle_instance(echoer, "extra")
+        assert "extra" not in echoer.receptacles()
+
+    def test_guarded_change_requires_plugin(self, capsule, cf):
+        outsider = capsule.instantiate(Echoer, "outsider")
+        with pytest.raises(RuleViolation, match="not a plug-in"):
+            cf.add_interface_instance(outsider, "x", IEcho)
+
+    def test_guarded_change_acl(self, capsule, cf):
+        echoer = capsule.instantiate(Echoer, "e")
+        cf.accept(echoer)
+        with pytest.raises(AccessDenied):
+            cf.add_interface_instance(echoer, "x", IEcho, principal="mallory")
+
+    def test_describe(self, capsule, cf):
+        echoer = capsule.instantiate(Echoer, "e")
+        cf.accept(echoer)
+        description = cf.describe()
+        assert description["plugins"] == ["e"]
+        assert description["rules"] == ["provides-IEcho"]

@@ -1,0 +1,108 @@
+"""Declarative CF rules."""
+
+from repro.cf import (
+    AtLeastOneOf,
+    ConditionalRule,
+    InterfaceNamePattern,
+    PredicateRule,
+    ProvidesInterface,
+    RequiresReceptacle,
+    check_rules,
+)
+from repro.opencom import Component, Provided, Required
+
+from tests.conftest import Adder, Caller, Echoer, FanOut, IAdder, IEcho
+
+
+class TestProvidesInterface:
+    def test_pass_when_count_in_range(self):
+        assert ProvidesInterface(IEcho, min_count=1).check(Echoer()) == []
+
+    def test_fail_below_min(self):
+        failures = ProvidesInterface(IEcho, min_count=2).check(Echoer())
+        assert failures and "at least 2" in failures[0]
+
+    def test_fail_above_max(self):
+        echoer = Echoer()
+        echoer.expose("extra", IEcho)
+        failures = ProvidesInterface(IEcho, max_count=1).check(echoer)
+        assert failures and "at most 1" in failures[0]
+
+    def test_zero_min_allows_absence(self):
+        assert ProvidesInterface(IEcho, min_count=0).check(Adder()) == []
+
+
+class TestRequiresReceptacle:
+    def test_pass(self):
+        assert RequiresReceptacle(IEcho, min_count=1).check(Caller()) == []
+
+    def test_fail_missing(self):
+        failures = RequiresReceptacle(IAdder).check(Caller())
+        assert failures and "at least 1" in failures[0]
+
+    def test_max_bound(self):
+        component = Caller()
+        component.add_receptacle("second", IEcho, min_connections=0)
+        failures = RequiresReceptacle(IEcho, max_count=1).check(component)
+        assert failures
+
+
+class TestAtLeastOneOf:
+    def test_any_role_passes_with_provides(self):
+        assert AtLeastOneOf([IEcho]).check(Echoer()) == []
+
+    def test_any_role_passes_with_requires(self):
+        assert AtLeastOneOf([IEcho]).check(Caller()) == []
+
+    def test_any_role_fails_with_neither(self):
+        failures = AtLeastOneOf([IEcho]).check(Adder())
+        assert failures and "expose or require" in failures[0]
+
+    def test_provides_role(self):
+        assert AtLeastOneOf([IEcho], role="provides").check(Caller())
+        assert AtLeastOneOf([IEcho], role="provides").check(Echoer()) == []
+
+    def test_requires_role(self):
+        assert AtLeastOneOf([IEcho], role="requires").check(Echoer())
+        assert AtLeastOneOf([IEcho], role="requires").check(Caller()) == []
+
+
+class TestConditionalRule:
+    def test_condition_false_skips(self):
+        rule = ConditionalRule(
+            lambda c: False, [ProvidesInterface(IAdder)], name="never"
+        )
+        assert rule.check(Echoer()) == []
+
+    def test_condition_true_applies_and_prefixes(self):
+        rule = ConditionalRule(
+            lambda c: True, [ProvidesInterface(IAdder)], name="always"
+        )
+        failures = rule.check(Echoer())
+        assert failures and failures[0].startswith("[always]")
+
+
+class TestPredicateAndNaming:
+    def test_predicate_rule(self):
+        rule = PredicateRule("named-e", lambda c: c.name.startswith("E"), "bad name")
+        component = Echoer()
+        component.name = "Elephant"
+        assert rule.check(component) == []
+        component.name = "zebra"
+        assert rule.check(component) == ["bad name"]
+
+    def test_interface_name_pattern(self):
+        echoer = Echoer()  # exposes "main"
+        rule = InterfaceNamePattern(IEcho, "in")
+        failures = rule.check(echoer)
+        assert failures and "must be named in*" in failures[0]
+        conforming = Echoer()
+        conforming.withdraw("main")
+        conforming.expose("in0", IEcho)
+        assert rule.check(conforming) == []
+
+    def test_check_rules_collects_all(self):
+        failures = check_rules(
+            [ProvidesInterface(IAdder), RequiresReceptacle(IAdder)], Echoer()
+        )
+        assert len(failures) == 2

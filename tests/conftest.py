@@ -1,0 +1,88 @@
+"""Shared fixtures and helper components for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.opencom import Capsule, Component, Interface, Provided, Required
+
+
+class IEcho(Interface):
+    """Test interface: echo a value back."""
+
+    def echo(self, value):
+        """Return the value."""
+        ...
+
+
+class IAdder(Interface):
+    """Test interface: two-argument arithmetic."""
+
+    def add(self, a, b):
+        """Return a + b."""
+        ...
+
+    def scale(self, x, factor):
+        """Return x * factor."""
+        ...
+
+
+class Echoer(Component):
+    """Echoes values and counts calls."""
+
+    PROVIDES = (Provided("main", IEcho),)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.calls = 0
+
+    def echo(self, value):
+        self.calls += 1
+        return value
+
+
+class Adder(Component):
+    """Implements IAdder."""
+
+    PROVIDES = (Provided("math", IAdder),)
+
+    def add(self, a, b):
+        return a + b
+
+    def scale(self, x, factor):
+        return x * factor
+
+
+class Caller(Component):
+    """Holds a single IEcho receptacle."""
+
+    RECEPTACLES = (Required("target", IEcho),)
+
+    def call(self, value):
+        return self.target.echo(value)
+
+
+class FanOut(Component):
+    """Holds a multi IEcho receptacle."""
+
+    RECEPTACLES = (
+        Required("targets", IEcho, min_connections=0, max_connections=None),
+    )
+
+    def call_all(self, value):
+        return [port.echo(value) for port in self.targets]
+
+
+@pytest.fixture
+def capsule():
+    """A fresh root capsule."""
+    return Capsule("test")
+
+
+@pytest.fixture
+def bound_pair(capsule):
+    """(caller, echoer, binding) wired in `capsule`."""
+    echoer = capsule.instantiate(Echoer, "echoer")
+    caller = capsule.instantiate(Caller, "caller")
+    binding = capsule.bind(caller.receptacle("target"), echoer.interface("main"))
+    return caller, echoer, binding

@@ -1,0 +1,180 @@
+"""Remote deployment and managed evolution over signaling."""
+
+import pytest
+
+from repro.coordination import attach_agents
+from repro.coordination.deployment import (
+    DeploymentError,
+    DeploymentManager,
+    deploy_agents,
+)
+from repro.netsim import Topology, make_udp_v4
+from repro.opencom import Component, ComponentRegistry, Provided
+from repro.router import CollectorSink, IPacketPush
+
+
+class MarkerV1(Component):
+    """Stamps packets with its version."""
+
+    from repro.opencom import Required
+
+    PROVIDES = (Provided("in0", IPacketPush),)
+    RECEPTACLES = (Required("out", IPacketPush, min_connections=0),)
+    VERSION_TAG = "v1"
+    STATE_ATTRS = ("seen",)
+
+    def __init__(self):
+        super().__init__()
+        self.seen = 0
+
+    def push(self, packet):
+        self.seen += 1
+        packet.metadata["stamped-by"] = self.VERSION_TAG
+
+
+class MarkerV2(MarkerV1):
+    VERSION_TAG = "v2"
+
+
+@pytest.fixture
+def network():
+    topo = Topology.chain(3, latency_s=0.001)
+    registry = ComponentRegistry()
+    registry.register("marker", MarkerV1, version="1.0")
+    registry.register("sink", CollectorSink, version="1.0")
+    agents = attach_agents(topo)
+    deployment_agents = deploy_agents(agents, registry)
+    manager = DeploymentManager(agents["n0"])
+    return topo, registry, deployment_agents, manager
+
+
+class TestRemoteInstantiation:
+    def test_instantiate_on_remote_node(self, network):
+        topo, _, _, manager = network
+        request = manager.instantiate("n2", "marker", "stamp")
+        topo.engine.run()
+        reply = manager.reply_for(request)
+        assert reply["ok"] is True
+        assert reply["version"] == "1.0"
+        component = topo.node("n2").capsule.component("stamp")
+        assert isinstance(component, MarkerV1)
+        assert component.state == "running"
+
+    def test_instantiate_without_start(self, network):
+        topo, _, _, manager = network
+        manager.instantiate("n1", "marker", "stamp", start=False)
+        topo.engine.run()
+        assert topo.node("n1").capsule.component("stamp").state == "stopped"
+
+    def test_unknown_type_reported(self, network):
+        topo, _, _, manager = network
+        request = manager.instantiate("n2", "no-such-type", "x")
+        topo.engine.run()
+        reply = manager.reply_for(request)
+        assert reply["ok"] is False
+        assert "no-such-type" in reply["error"]
+
+    def test_duplicate_name_reported(self, network):
+        topo, _, _, manager = network
+        manager.instantiate("n2", "marker", "stamp")
+        request = manager.instantiate("n2", "marker", "stamp")
+        topo.engine.run()
+        assert manager.reply_for(request)["ok"] is False
+
+    def test_reply_before_engine_run_raises(self, network):
+        _, _, _, manager = network
+        request = manager.instantiate("n2", "marker", "stamp")
+        with pytest.raises(DeploymentError, match="no reply"):
+            manager.reply_for(request)
+
+
+class TestManagedEvolution:
+    def test_upgrade_preserves_bindings_and_state(self, network):
+        topo, registry, _, manager = network
+        node = topo.node("n2")
+        manager.instantiate("n2", "marker", "stamp")
+        manager.instantiate("n2", "sink", "collector", start=False)
+        topo.engine.run()
+        marker = node.capsule.component("stamp")
+        # Wire a local consumer and push some traffic through v1.
+        sink = node.capsule.component("collector")
+        node.capsule.bind(marker.receptacle("out"), sink.interface("in0"))
+        for _ in range(3):
+            marker.interface("in0").vtable.invoke(
+                "push", make_udp_v4("10.0.0.1", "10.0.0.2")
+            )
+        assert marker.seen == 3
+
+        # Publish v2 network-wide, roll it out to n2.
+        registry.register("marker", MarkerV2, version="2.0")
+        request = manager.upgrade("n2", "stamp", "marker")
+        topo.engine.run()
+        reply = manager.reply_for(request)
+        assert reply["ok"] is True
+        assert reply["version"] == "2.0"
+        upgraded = node.capsule.component("stamp")
+        assert isinstance(upgraded, MarkerV2)
+        assert upgraded.seen == 3           # declared state migrated
+        assert upgraded.state == "running"  # was running, restarted
+        packet = make_udp_v4("10.0.0.1", "10.0.0.2")
+        upgraded.interface("in0").vtable.invoke("push", packet)
+        assert packet.metadata["stamped-by"] == "v2"
+
+    def test_fleet_rollout(self, network):
+        topo, registry, _, manager = network
+        for node_name in ("n1", "n2"):
+            manager.instantiate(node_name, "marker", "stamp")
+        topo.engine.run()
+        registry.register("marker", MarkerV2, version="2.0")
+        requests = manager.rollout(["n1", "n2"], "stamp", "marker")
+        topo.engine.run()
+        for node_name, request in requests.items():
+            assert manager.reply_for(request)["ok"] is True
+            component = topo.node(node_name).capsule.component("stamp")
+            assert isinstance(component, MarkerV2)
+
+    def test_upgrade_unknown_component_reported(self, network):
+        topo, _, _, manager = network
+        request = manager.upgrade("n2", "ghost", "marker")
+        topo.engine.run()
+        assert manager.reply_for(request)["ok"] is False
+
+    def test_node_local_registry_shadows_network(self, network):
+        topo, _, deployment_agents, manager = network
+        deployment_agents["n2"].registry.register(
+            "marker", MarkerV2, version="1.5"
+        )
+        request = manager.instantiate("n2", "marker", "stamp")
+        topo.engine.run()
+        assert manager.reply_for(request)["version"] == "1.5"
+
+
+class TestRemoteIntrospection:
+    def test_inventory_query(self, network):
+        topo, _, _, manager = network
+        manager.instantiate("n2", "marker", "stamp")
+        topo.engine.run()
+        request = manager.query("n2")
+        topo.engine.run()
+        reply = manager.reply_for(request)
+        names = [entry["name"] for entry in reply["inventory"]]
+        assert "stamp" in names
+
+    def test_component_description_query(self, network):
+        topo, _, _, manager = network
+        manager.instantiate("n2", "marker", "stamp")
+        topo.engine.run()
+        request = manager.query("n2", name="stamp")
+        topo.engine.run()
+        description = manager.reply_for(request)["description"]
+        assert description["type"] == "MarkerV1"
+        assert description["interfaces"][0]["interface"] == "IPacketPush"
+
+    def test_destroy_remote_component(self, network):
+        topo, _, _, manager = network
+        manager.instantiate("n2", "marker", "stamp")
+        topo.engine.run()
+        request = manager.destroy("n2", "stamp")
+        topo.engine.run()
+        assert manager.reply_for(request)["ok"] is True
+        assert "stamp" not in topo.node("n2").capsule

@@ -1,0 +1,164 @@
+"""Genesis spawning networks: addressing, routing, containment, isolation."""
+
+import pytest
+
+from repro.coordination import GenesisError, GenesisFramework
+from repro.netsim import Topology
+
+
+@pytest.fixture
+def physical():
+    topo = Topology.binary_tree(2, latency_s=0.0005)  # t0..t6
+    return topo, GenesisFramework(topo)
+
+
+class TestSpawning:
+    def test_spawn_assigns_virtual_addresses(self, physical):
+        _, genesis = physical
+        network = genesis.spawn("vn", ["t0", "t1", "t2"], bandwidth_share=10e6)
+        addresses = {
+            network.virtual_address_of(m) for m in ("t0", "t1", "t2")
+        }
+        assert len(addresses) == 3
+        info = network.describe()
+        assert info["members"]["t0"]["virtual_address"].startswith("10.")
+
+    def test_duplicate_name_rejected(self, physical):
+        _, genesis = physical
+        genesis.spawn("vn", ["t0", "t1"], bandwidth_share=1e6)
+        with pytest.raises(GenesisError, match="already exists"):
+            genesis.spawn("vn", ["t0", "t2"], bandwidth_share=1e6)
+
+    def test_disconnected_members_rejected(self, physical):
+        _, genesis = physical
+        # t3 and t4 are siblings under t1: not adjacent to each other.
+        with pytest.raises(GenesisError, match="connected"):
+            genesis.spawn("vn", ["t3", "t4"], bandwidth_share=1e6)
+
+    def test_unknown_member_rejected(self, physical):
+        _, genesis = physical
+        with pytest.raises(GenesisError, match="unknown member"):
+            genesis.spawn("vn", ["t0", "mars"], bandwidth_share=1e6)
+
+    def test_too_few_members_rejected(self, physical):
+        _, genesis = physical
+        with pytest.raises(GenesisError, match="at least 2"):
+            genesis.spawn("vn", ["t0"], bandwidth_share=1e6)
+
+    def test_insufficient_bandwidth_rolls_back_all_members(self, physical):
+        topo, genesis = physical
+        # Exhaust t2's pool so the spawn fails mid-allocation.
+        resources = topo.node("t2").capsule.resources
+        resources.create_task("hog")
+        resources.allocate("hog", "bandwidth", 95e6)
+        with pytest.raises(GenesisError, match="insufficient bandwidth"):
+            genesis.spawn("vn", ["t0", "t1", "t2"], bandwidth_share=10e6)
+        # t0 and t1 must not retain partial allocations.
+        for node in ("t0", "t1"):
+            pool = topo.node(node).capsule.resources.pool("bandwidth")
+            assert pool.allocated == 0
+
+    def test_routers_live_in_child_capsules(self, physical):
+        topo, genesis = physical
+        network = genesis.spawn("vn", ["t0", "t1"], bandwidth_share=1e6)
+        router = network.routers["t0"]
+        assert router.capsule.parent is topo.node("t0").capsule
+
+
+class TestVirtualDataPlane:
+    def test_adjacent_delivery(self, physical):
+        topo, genesis = physical
+        network = genesis.spawn("vn", ["t0", "t1"], bandwidth_share=10e6)
+        network.send("t0", "t1", b"hello")
+        topo.engine.run()
+        assert len(network.deliveries) == 1
+        assert network.deliveries[0].payload == b"hello"
+
+    def test_multi_hop_routing_inside_members(self, physical):
+        topo, genesis = physical
+        network = genesis.spawn("vn", ["t3", "t1", "t0", "t2", "t6"], bandwidth_share=10e6)
+        network.send("t3", "t6", b"across")
+        topo.engine.run()
+        delivery = network.deliveries[0]
+        assert delivery.hops == ["t3", "t1", "t0", "t2", "t6"]
+
+    def test_non_member_cannot_be_addressed(self, physical):
+        _, genesis = physical
+        network = genesis.spawn("vn", ["t0", "t1"], bandwidth_share=1e6)
+        with pytest.raises(GenesisError, match="not a member"):
+            network.send("t0", "t6", b"x")
+
+    def test_networks_isolated_from_each_other(self, physical):
+        topo, genesis = physical
+        alpha = genesis.spawn("alpha", ["t0", "t1", "t3"], bandwidth_share=10e6)
+        beta = genesis.spawn("beta", ["t0", "t2", "t6"], bandwidth_share=10e6)
+        alpha.send("t3", "t0", b"alpha-data")
+        beta.send("t6", "t0", b"beta-data")
+        topo.engine.run()
+        assert [d.payload for d in alpha.deliveries] == [b"alpha-data"]
+        assert [d.payload for d in beta.deliveries] == [b"beta-data"]
+
+    def test_bandwidth_policing(self, physical):
+        topo, genesis = physical
+        network = genesis.spawn("vn", ["t0", "t1"], bandwidth_share=8_000.0)
+        # Burst is share/4 bytes = 250 bytes; each send consumes 64+payload.
+        for _ in range(20):
+            network.send("t0", "t1", b"x" * 100)
+        topo.engine.run()
+        policed = network.routers["t0"].counters["policed"]
+        assert policed > 0
+        assert len(network.deliveries) + policed == 20
+
+
+class TestLifecycle:
+    def test_release_frees_resources_and_kills_routers(self, physical):
+        topo, genesis = physical
+        network = genesis.spawn("vn", ["t0", "t1"], bandwidth_share=10e6)
+        router_capsule = network.routers["t0"].capsule
+        network.release()
+        assert network.released
+        assert not router_capsule.alive
+        assert topo.node("t0").capsule.resources.pool("bandwidth").allocated == 0
+        assert genesis.total_spawned() == 0
+
+    def test_release_is_idempotent(self, physical):
+        _, genesis = physical
+        network = genesis.spawn("vn", ["t0", "t1"], bandwidth_share=1e6)
+        network.release()
+        network.release()
+
+    def test_send_after_release_rejected(self, physical):
+        _, genesis = physical
+        network = genesis.spawn("vn", ["t0", "t1"], bandwidth_share=1e6)
+        network.release()
+        with pytest.raises(GenesisError, match="released"):
+            network.send("t0", "t1", b"x")
+
+
+class TestNestedSpawning:
+    def test_child_from_parent_members(self, physical):
+        _, genesis = physical
+        parent = genesis.spawn("parent", ["t0", "t1", "t3"], bandwidth_share=20e6)
+        child = parent.spawn_child("child", ["t0", "t1"], bandwidth_share=5e6)
+        assert child.name in genesis.networks
+        assert child in parent.children
+
+    def test_child_members_must_be_parent_members(self, physical):
+        _, genesis = physical
+        parent = genesis.spawn("parent", ["t0", "t1"], bandwidth_share=20e6)
+        with pytest.raises(GenesisError, match="not members of parent"):
+            parent.spawn_child("child", ["t0", "t2"], bandwidth_share=1e6)
+
+    def test_child_share_bounded_by_parent(self, physical):
+        _, genesis = physical
+        parent = genesis.spawn("parent", ["t0", "t1"], bandwidth_share=5e6)
+        with pytest.raises(GenesisError, match="exceeds the parent"):
+            parent.spawn_child("child", ["t0", "t1"], bandwidth_share=10e6)
+
+    def test_parent_release_releases_children(self, physical):
+        _, genesis = physical
+        parent = genesis.spawn("parent", ["t0", "t1"], bandwidth_share=20e6)
+        child = parent.spawn_child("child", ["t0", "t1"], bandwidth_share=5e6)
+        parent.release()
+        assert child.released
+        assert genesis.total_spawned() == 0

@@ -1,0 +1,116 @@
+"""RSVP-style reservation: admission, rejection, teardown, containment."""
+
+import pytest
+
+from repro.coordination import BANDWIDTH_POOL, attach_agents, deploy_rsvp
+from repro.netsim import Topology
+
+
+@pytest.fixture
+def network():
+    topo = Topology.chain(5, latency_s=0.001)
+    agents = attach_agents(topo)
+    rsvp = deploy_rsvp(topo, agents, bandwidth_capacity=10e6)
+    return topo, rsvp
+
+
+def reserved_map(topo, rsvp):
+    return {name: rsvp[name].reserved_bandwidth() for name in topo.nodes}
+
+
+class TestReservation:
+    def test_end_to_end_establishment(self, network):
+        topo, rsvp = network
+        session = rsvp["n0"].reserve("n4", 4e6)
+        topo.engine.run()
+        assert session.status == "established"
+        assert session.path == ["n0", "n1", "n2", "n3", "n4"]
+        assert all(v == 4e6 for v in reserved_map(topo, rsvp).values())
+
+    def test_admission_rejection_leaves_no_residue(self, network):
+        topo, rsvp = network
+        first = rsvp["n0"].reserve("n4", 7e6)
+        topo.engine.run()
+        second = rsvp["n0"].reserve("n4", 7e6)
+        topo.engine.run()
+        assert first.status == "established"
+        assert second.status == "rejected"
+        assert "admission failed" in second.reject_reason
+        assert all(v == 7e6 for v in reserved_map(topo, rsvp).values())
+
+    def test_multiple_sessions_share_capacity(self, network):
+        topo, rsvp = network
+        a = rsvp["n0"].reserve("n4", 4e6)
+        topo.engine.run()
+        b = rsvp["n0"].reserve("n4", 5e6)
+        topo.engine.run()
+        assert a.status == b.status == "established"
+        assert all(v == 9e6 for v in reserved_map(topo, rsvp).values())
+
+    def test_teardown_releases_everywhere(self, network):
+        topo, rsvp = network
+        session = rsvp["n0"].reserve("n4", 6e6)
+        topo.engine.run()
+        rsvp["n0"].teardown(session)
+        topo.engine.run()
+        assert session.status == "torn-down"
+        assert all(v == 0 for v in reserved_map(topo, rsvp).values())
+
+    def test_capacity_reusable_after_teardown(self, network):
+        topo, rsvp = network
+        session = rsvp["n0"].reserve("n4", 9e6)
+        topo.engine.run()
+        rsvp["n0"].teardown(session)
+        topo.engine.run()
+        again = rsvp["n0"].reserve("n4", 9e6)
+        topo.engine.run()
+        assert again.status == "established"
+
+    def test_reservation_between_interior_nodes(self, network):
+        topo, rsvp = network
+        session = rsvp["n1"].reserve("n3", 5e6)
+        topo.engine.run()
+        assert session.status == "established"
+        reserved = reserved_map(topo, rsvp)
+        assert reserved["n0"] == 0
+        assert reserved["n4"] == 0
+        assert reserved["n2"] == 5e6
+
+    def test_invalid_bandwidth_rejected(self, network):
+        _, rsvp = network
+        from repro.coordination import SignalingError
+
+        with pytest.raises(SignalingError):
+            rsvp["n0"].reserve("n4", 0)
+
+    def test_teardown_of_pending_session_is_noop(self, network):
+        topo, rsvp = network
+        session = rsvp["n0"].reserve("n4", 1e6)
+        rsvp["n0"].teardown(session)  # still pending: ignored
+        topo.engine.run()
+        assert session.status == "established"
+
+
+class TestBranchingTopology:
+    def test_reservations_on_disjoint_branches_independent(self):
+        topo = Topology.binary_tree(2, latency_s=0.001)
+        agents = attach_agents(topo)
+        rsvp = deploy_rsvp(topo, agents, bandwidth_capacity=10e6)
+        left = rsvp["t3"].reserve("t4", 8e6)   # under t1
+        right = rsvp["t5"].reserve("t6", 8e6)  # under t2
+        topo.engine.run()
+        assert left.status == "established"
+        assert right.status == "established"
+        # The root never saw either reservation.
+        assert rsvp["t0"].reserved_bandwidth() == 0
+
+    def test_shared_bottleneck_contended(self):
+        topo = Topology.star(3, latency_s=0.001)
+        agents = attach_agents(topo)
+        rsvp = deploy_rsvp(topo, agents, bandwidth_capacity=10e6)
+        a = rsvp["leaf0"].reserve("leaf1", 6e6)
+        topo.engine.run()
+        b = rsvp["leaf2"].reserve("leaf1", 6e6)
+        topo.engine.run()
+        assert a.status == "established"
+        assert b.status == "rejected"  # hub or leaf1 pool exhausted

@@ -1,0 +1,86 @@
+"""Signaling: encoding, delivery, hop-by-hop forwarding."""
+
+import pytest
+
+from repro.coordination import (
+    SignalingError,
+    attach_agents,
+    decode_message,
+    encode_message,
+)
+from repro.netsim import PacketError, Topology
+
+
+@pytest.fixture
+def chain():
+    topo = Topology.chain(4, latency_s=0.001)
+    agents = attach_agents(topo)
+    return topo, agents
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        message = {"type": "x", "value": [1, 2, {"nested": True}]}
+        assert decode_message(encode_message(message)) == message
+
+    def test_malformed_rejected(self):
+        with pytest.raises(PacketError):
+            decode_message(b"import os")
+        with pytest.raises(PacketError):
+            decode_message(b"(1, 2)")
+
+
+class TestDelivery:
+    def test_adjacent_delivery(self, chain):
+        topo, agents = chain
+        got = []
+        agents["n1"].on("ping", lambda msg, sender: got.append((msg["value"], sender)))
+        agents["n0"].send("n1", "ping", value=7)
+        topo.engine.run()
+        assert got == [(7, "n0")]
+
+    def test_multi_hop_forwarding(self, chain):
+        topo, agents = chain
+        got = []
+        agents["n3"].on("ping", lambda msg, sender: got.append(sender))
+        agents["n0"].send("n3", "ping")
+        topo.engine.run()
+        assert got == ["n0"]
+        # Transit nodes forwarded rather than consumed.
+        assert agents["n1"].counters["forwarded"] == 1
+        assert agents["n2"].counters["forwarded"] == 1
+        assert agents["n1"].counters["received"] == 0
+
+    def test_loopback_without_network(self, chain):
+        topo, agents = chain
+        got = []
+        agents["n0"].on("self-note", lambda msg, sender: got.append(1))
+        agents["n0"].send("n0", "self-note")
+        assert got == [1]  # immediate, no engine run needed
+
+    def test_unknown_destination_raises(self, chain):
+        _, agents = chain
+        with pytest.raises(SignalingError, match="no route"):
+            agents["n0"].send("mars", "ping")
+
+    def test_unhandled_message_dropped(self, chain):
+        topo, agents = chain
+        agents["n0"].send("n1", "nobody-listens")
+        topo.engine.run()
+        assert agents["n1"].counters["dropped"] == 1
+
+    def test_delivery_takes_network_time(self, chain):
+        topo, agents = chain
+        times = []
+        agents["n3"].on("t", lambda msg, sender: times.append(topo.engine.now))
+        agents["n0"].send("n3", "t")
+        topo.engine.run()
+        assert times[0] >= 3 * 0.001  # three hops of latency
+
+    def test_handler_registration_conflicts(self, chain):
+        _, agents = chain
+        agents["n0"].on("x", lambda m, s: None)
+        with pytest.raises(SignalingError, match="already handles"):
+            agents["n0"].on("x", lambda m, s: None)
+        agents["n0"].off("x")
+        agents["n0"].on("x", lambda m, s: None)

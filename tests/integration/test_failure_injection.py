@@ -1,0 +1,162 @@
+"""Failure injection: crashing components, dead capsules mid-traffic,
+handler bugs, and engine callback errors — failures must be contained,
+counted, and recoverable, never silent."""
+
+import pytest
+
+from repro.netsim import Engine, Topology, make_udp_v4
+from repro.opencom import (
+    Capsule,
+    Component,
+    IpcFault,
+    Provided,
+    Required,
+    bind_across,
+)
+from repro.router import (
+    CollectorSink,
+    IPacketPush,
+    ProtocolRecognizer,
+    build_figure3_composite,
+)
+
+
+class FlakyStage(Component):
+    """Crashes on every Nth packet."""
+
+    PROVIDES = (Provided("in0", IPacketPush),)
+    RECEPTACLES = (Required("out", IPacketPush, min_connections=0),)
+
+    def __init__(self, crash_every=3):
+        super().__init__()
+        self.crash_every = crash_every
+        self.count = 0
+
+    def push(self, packet):
+        self.count += 1
+        if self.count % self.crash_every == 0:
+            raise RuntimeError(f"flaky crash #{self.count}")
+        if self.out.bound:
+            self.out.push(packet)
+
+
+class TestInCapsuleCrashes:
+    def test_crash_propagates_to_caller_synchronously(self, capsule):
+        flaky = capsule.instantiate(lambda: FlakyStage(crash_every=1), "flaky")
+        with pytest.raises(RuntimeError, match="flaky crash"):
+            flaky.interface("in0").vtable.invoke(
+                "push", make_udp_v4("10.0.0.1", "10.0.0.2")
+            )
+
+    def test_partial_failure_leaves_component_usable(self, capsule):
+        flaky = capsule.instantiate(lambda: FlakyStage(crash_every=2), "flaky")
+        sink = capsule.instantiate(CollectorSink, "sink")
+        capsule.bind(flaky.receptacle("out"), sink.interface("in0"))
+        delivered, crashed = 0, 0
+        for i in range(10):
+            try:
+                flaky.interface("in0").vtable.invoke(
+                    "push", make_udp_v4("10.0.0.1", "10.0.0.2")
+                )
+                delivered += 1
+            except RuntimeError:
+                crashed += 1
+        assert delivered == 5
+        assert crashed == 5
+        assert sink.collected_count() == 5
+
+
+class TestIsolatedCrashes:
+    def test_flaky_isolated_stage_can_be_cycled(self, capsule):
+        """The watchdog pattern: crash -> child dies -> parent redeploys."""
+
+        class Feeder(Component):
+            RECEPTACLES = (Required("out", IPacketPush),)
+
+        feeder = capsule.instantiate(Feeder, "feeder")
+        survivors = 0
+        for generation in range(3):
+            child = capsule.spawn_child(f"worker-{generation}")
+            flaky = child.instantiate(lambda: FlakyStage(crash_every=4), "flaky")
+            remote = bind_across(feeder.receptacle("out"), flaky.interface("in0"))
+            try:
+                while True:
+                    feeder.receptacle("out").push(
+                        make_udp_v4("10.0.0.1", "10.0.0.2")
+                    )
+                    survivors += 1
+            except IpcFault:
+                assert not child.alive
+                assert capsule.alive
+                remote.unbind()
+        assert survivors == 9  # 3 packets per generation before the crash
+
+    def test_capsule_killed_mid_traffic_faults_cleanly(self, capsule):
+        class Feeder(Component):
+            RECEPTACLES = (Required("out", IPacketPush),)
+
+        child = capsule.spawn_child("victim")
+        sink = child.instantiate(CollectorSink, "sink")
+        feeder = capsule.instantiate(Feeder, "feeder")
+        bind_across(feeder.receptacle("out"), sink.interface("in0"))
+        feeder.receptacle("out").push(make_udp_v4("10.0.0.1", "10.0.0.2"))
+        child.kill(reason="operator action")
+        with pytest.raises(IpcFault, match="dead"):
+            feeder.receptacle("out").push(make_udp_v4("10.0.0.1", "10.0.0.2"))
+
+
+class TestEngineAndEventIsolation:
+    def test_engine_survives_callback_errors(self):
+        engine = Engine()
+        good = []
+        engine.schedule(1.0, lambda: (_ for _ in ()).throw(ValueError("cb")))
+        engine.schedule(2.0, lambda: good.append(1))
+        engine.run()
+        assert good == [1]
+        assert len(engine.callback_errors) == 1
+
+    def test_event_bus_handler_error_does_not_break_binds(self, capsule):
+        def bad_handler(event):
+            raise RuntimeError("observer bug")
+
+        capsule.events.subscribe("architecture", bad_handler)
+        recogniser = capsule.instantiate(ProtocolRecognizer, "r")
+        sink = capsule.instantiate(CollectorSink, "s")
+        binding = capsule.bind(
+            recogniser.receptacle("out"), sink.interface("in0"),
+            connection_name="ipv4",
+        )
+        assert binding.live  # structural operation unaffected
+        assert capsule.events.handler_errors
+
+    def test_node_send_to_dead_ringed_nic_counted(self):
+        topo = Topology.chain(2)
+        node = topo.node("n0")
+        node.nic("eth0").tx_ring_size = 0  # injected fault: ring disabled
+        ok = node.send("eth0", make_udp_v4("10.0.0.1", "10.0.0.2"))
+        assert ok is False
+        assert node.counters["send_failures"] == 1
+
+
+class TestCompositeFaultContainment:
+    def test_figure3_with_isolated_flaky_member(self, capsule):
+        """An untrusted stage added in isolation crashes without harming
+        the rest of the composite."""
+        composite, pipeline = build_figure3_composite(capsule)
+        flaky = composite.add_member(
+            lambda: FlakyStage(crash_every=1), "untrusted", isolated=True
+        )
+        # Call into the isolated member across its IPC boundary; the crash
+        # must kill only the child capsule.
+        with pytest.raises(IpcFault):
+            remote_ref = composite.member("untrusted").interface("in0")
+            from repro.opencom.ipc import IpcChannel
+
+            channel = IpcChannel(capsule, composite.member_capsule("untrusted"))
+            channel.call(remote_ref, "push", (make_udp_v4("10.0.0.1", "10.0.0.2"),), {})
+        assert not composite.member_capsule("untrusted").alive
+        assert capsule.alive
+        # The composite's own data path still works.
+        pipeline.push(make_udp_v4("10.0.0.1", "10.0.0.2"))
+        pipeline.drain()
+        assert pipeline.stages["sink"].collected_count() == 1

@@ -1,0 +1,141 @@
+"""Integration: runtime reconfiguration under traffic (the 24x7 claim,
+experiment C4's correctness half) and the layer-violation adaptation
+pattern (C9)."""
+
+import pytest
+
+from repro.netsim import make_udp_v4, mixed_v4_v6_trace
+from repro.opencom import AdmissionGate, Capsule
+from repro.router import (
+    FifoQueue,
+    RedQueue,
+    build_figure3_composite,
+)
+
+
+class TestHotSwapUnderTraffic:
+    def test_queue_swap_preserves_backlog_and_loses_nothing(self, capsule):
+        composite, pipeline = build_figure3_composite(capsule)
+        trace = mixed_v4_v6_trace(count=400, seed=21)
+        # Push the first half, leaving packets queued.
+        for packet in trace[:200]:
+            pipeline.push(packet)
+        queued_before = (
+            pipeline.stages["queue:expedited"].depth
+            + pipeline.stages["queue:best-effort"].depth
+        )
+        assert queued_before == 200
+
+        # Swap the best-effort FIFO for a larger one *live* (a capacity
+        # upgrade); STATE_ATTRS carries the backlog across.
+        replacement = composite.controller.replace_member(
+            "queue:best-effort", lambda: FifoQueue(1024)
+        )
+        assert isinstance(replacement, FifoQueue)
+        assert replacement.capacity == 1024
+        assert replacement.depth > 0  # backlog survived the swap
+
+        for packet in trace[200:]:
+            pipeline.push(packet)
+        pipeline.drain()
+        sink = pipeline.stages["sink"]
+        assert sink.collected_count() == 400  # zero loss across the swap
+
+    def test_fifo_to_red_swap_activates_red_policy(self, capsule):
+        """Swapping in RED under a deep transferred backlog immediately
+        applies RED's early-drop policy — the policy change is live."""
+        composite, pipeline = build_figure3_composite(capsule)
+        trace = mixed_v4_v6_trace(count=200, seed=22)
+        for packet in trace:
+            pipeline.push(packet)
+        red = composite.controller.replace_member(
+            "queue:best-effort", lambda: RedQueue(256, min_threshold=8, max_threshold=32, weight=0.5)
+        )
+        assert red.depth > 0  # backlog carried over
+        for packet in mixed_v4_v6_trace(count=100, seed=23):
+            pipeline.push(packet)
+        drops = red.counters.get("drop:red-early", 0) + red.counters.get(
+            "drop:red-forced", 0
+        )
+        assert drops > 0  # RED is in charge now
+
+    def test_scheduler_swap_changes_service_order(self, capsule):
+        from repro.router import DrrScheduler
+
+        composite, pipeline = build_figure3_composite(capsule)
+        pipeline.stages["classifier"].register_filter(
+            "dport=7000 -> expedited priority=9"
+        )
+        for i in range(10):
+            pipeline.push(make_udp_v4("10.0.0.1", "10.0.0.2", dport=80))
+            pipeline.push(make_udp_v4("10.0.0.1", "10.0.0.2", dport=7000))
+
+        # Quantum of one small packet so DRR visibly alternates classes.
+        replacement = composite.controller.replace_member(
+            "link-scheduler", lambda: DrrScheduler(quantum=30)
+        )
+        pipeline.stages["scheduler"] = replacement
+        pipeline.scheduler = replacement
+        served = []
+        while True:
+            packet = replacement.pull()
+            if packet is None:
+                break
+            served.append(packet.transport.dport)
+        # DRR interleaves classes rather than strictly preferring 7000.
+        first_half = served[: len(served) // 2]
+        assert 80 in first_half and 7000 in first_half
+
+    def test_admission_gate_quiesces_during_swap(self, capsule):
+        composite, pipeline = build_figure3_composite(capsule)
+        gate = AdmissionGate()
+        gate.attach_to(composite.member("protocol-recogniser").interface("in0"))
+        gate.open = False
+        pipeline.push(make_udp_v4("10.0.0.1", "10.0.0.2"))
+        assert gate.rejected == 1
+        gate.open = True
+        pipeline.push(make_udp_v4("10.0.0.1", "10.0.0.2"))
+        pipeline.drain()
+        assert pipeline.stages["sink"].collected_count() == 1
+
+
+class TestLayerViolatingAdaptation:
+    def test_link_loss_signal_drives_stratum3_reconfiguration(self):
+        """The C9 pattern: a transport-level adapter reads link-layer state
+        (loss rate) through reflection and reconfigures the pipeline."""
+        from repro.appservices import FecEncoder
+        from repro.cf import CompositeComponent
+        from repro.router import CollectorSink, PacketCounterTap
+
+        capsule = Capsule("wireless-node")
+        composite = capsule.instantiate(lambda: CompositeComponent(capsule), "path")
+        tap = composite.add_member(PacketCounterTap, "tap")
+        sink = composite.add_member(CollectorSink, "sink")
+        binding = composite.bind_internal("tap", "out", "sink", "in0")
+
+        # The "layer-violating" signal: link loss observed out-of-band.
+        link_loss = {"rate": 0.0}
+
+        def adapt():
+            if link_loss["rate"] > 0.05 and "path.fec" not in composite.member_names():
+                composite.unbind_internal(binding)
+                composite.add_member(lambda: FecEncoder(group_size=4), "fec")
+                composite.bind_internal("tap", "out", "fec", "in0")
+                composite.bind_internal("fec", "out", "sink", "in0")
+
+        for i in range(4):
+            tap.interface("in0").vtable.invoke(
+                "push", make_udp_v4("10.0.0.1", "10.0.0.2", payload=bytes(64))
+            )
+        assert sink.collected_count() == 4
+        assert not any(p.metadata.get("fec-parity") for p in sink.packets)
+
+        link_loss["rate"] = 0.2  # the wireless link degrades
+        adapt()
+        for i in range(4):
+            tap.interface("in0").vtable.invoke(
+                "push", make_udp_v4("10.0.0.1", "10.0.0.2", payload=bytes(64))
+            )
+        parity = [p for p in sink.packets if p.metadata.get("fec-parity")]
+        assert len(parity) == 1  # FEC now active without restarting anything
+        assert capsule.architecture.check_consistency() == []

@@ -1,0 +1,120 @@
+"""Integration: a component router deployed on simulated nodes forwards
+real traffic end to end (strata 1+2 over the network substrate)."""
+
+import pytest
+
+from repro.netsim import Topology, cbr_flow, inject, make_udp_v4
+from repro.router import (
+    CollectorSink,
+    Forwarder,
+    IPv4HeaderProcessor,
+    NicEgress,
+    NicIngress,
+    ProtocolRecognizer,
+    RouterCF,
+)
+
+
+def deploy_router(node, topology):
+    """Assemble NIC-to-NIC forwarding inside a node's capsule."""
+    capsule = node.capsule
+    cf = RouterCF()
+    capsule.adopt(cf, "router-cf")
+    recogniser = capsule.instantiate(ProtocolRecognizer, "recogniser")
+    v4 = capsule.instantiate(IPv4HeaderProcessor, "v4")
+    forwarder = capsule.instantiate(Forwarder, "forwarder")
+    forwarder.load_routes(topology.address_routes(node.name))
+    capsule.bind(
+        recogniser.receptacle("out"), v4.interface("in0"), connection_name="ipv4"
+    )
+    capsule.bind(v4.receptacle("out"), forwarder.interface("in0"))
+    ingresses = {}
+    for port in node.ports():
+        ingress = capsule.instantiate(NicIngress, f"ingress:{port}")
+        capsule.bind(ingress.receptacle("out"), recogniser.interface("in0"))
+        ingress.attach(node.nic(port))
+        ingresses[port] = ingress
+        peer = node.neighbor(port).name
+        egress = capsule.instantiate(
+            lambda p=port: NicEgress(lambda pkt, p=p: node.send(p, pkt)),
+            f"egress:{port}",
+        )
+        capsule.bind(
+            forwarder.receptacle("out"), egress.interface("in0"),
+            connection_name=peer,
+        )
+    for component in (recogniser, v4, forwarder, *ingresses.values()):
+        cf.accept(component)
+    return forwarder
+
+
+@pytest.fixture
+def routed_chain():
+    topo = Topology.chain(4, latency_s=0.001, bandwidth_bps=10e6)
+    # n0 and n3 are hosts; n1 and n2 are component routers.
+    for name in ("n1", "n2"):
+        deploy_router(topo.node(name), topo)
+    received = []
+    topo.node("n3").set_packet_handler(
+        lambda packet, port: received.append((topo.engine.now, packet))
+    )
+    return topo, received
+
+
+class TestEndToEndForwarding:
+    def test_packet_crosses_two_component_routers(self, routed_chain):
+        topo, received = routed_chain
+        dst = topo.node("n3").address
+        topo.node("n0").send("eth0", make_udp_v4("10.99.0.1", dst, payload=b"through"))
+        topo.engine.run()
+        assert len(received) == 1
+        _, packet = received[0]
+        assert packet.payload == b"through"
+
+    def test_ttl_decremented_per_router_hop(self, routed_chain):
+        topo, received = routed_chain
+        dst = topo.node("n3").address
+        topo.node("n0").send("eth0", make_udp_v4("10.99.0.1", dst, ttl=10))
+        topo.engine.run()
+        _, packet = received[0]
+        assert packet.net.ttl == 8  # two component routers on the path
+
+    def test_checksum_valid_after_rewrites(self, routed_chain):
+        topo, received = routed_chain
+        dst = topo.node("n3").address
+        topo.node("n0").send("eth0", make_udp_v4("10.99.0.1", dst))
+        topo.engine.run()
+        assert received[0][1].net.checksum_ok()
+
+    def test_flow_arrives_in_order_with_loss_free_links(self, routed_chain):
+        topo, received = routed_chain
+        dst = topo.node("n3").address
+        flow = cbr_flow("10.99.0.1", dst, rate_pps=200, duration=0.1, payload_size=64)
+        inject(
+            topo.engine,
+            ((t, p) for t, p in flow),
+            lambda p: topo.node("n0").send("eth0", p),
+        )
+        topo.engine.run()
+        assert len(received) == 20
+        ids = [p.packet_id for _, p in received]
+        assert ids == sorted(ids)
+
+    def test_expired_ttl_dropped_at_router(self, routed_chain):
+        topo, received = routed_chain
+        dst = topo.node("n3").address
+        topo.node("n0").send("eth0", make_udp_v4("10.99.0.1", dst, ttl=1))
+        topo.engine.run()
+        assert received == []
+        v4 = topo.node("n1").capsule.component("v4")
+        assert v4.counters["drop:ttl-expired"] == 1
+
+    def test_router_counters_consistent(self, routed_chain):
+        topo, received = routed_chain
+        dst = topo.node("n3").address
+        for _ in range(10):
+            topo.node("n0").send("eth0", make_udp_v4("10.99.0.1", dst))
+        topo.engine.run()
+        forwarder = topo.node("n1").capsule.component("forwarder")
+        assert forwarder.counters["hop:n2"] == 10
+        assert topo.node("n1").capsule.architecture.check_consistency() == []

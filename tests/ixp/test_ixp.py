@@ -1,0 +1,159 @@
+"""IXP1200 board model, placement meta-model, and board simulation."""
+
+import pytest
+
+from repro.ixp import (
+    DEFAULT_PROFILES,
+    BoardSimulator,
+    CostProfile,
+    IxpBoard,
+    PlacementMetaModel,
+    SCRATCHPAD,
+    SDRAM,
+    SRAM,
+    StageVisit,
+)
+from repro.opencom import PlacementError
+
+
+@pytest.fixture
+def board():
+    return IxpBoard()
+
+
+@pytest.fixture
+def placement(board):
+    model = PlacementMetaModel(board)
+    for name, ctype, fraction in [
+        ("recogniser", "ProtocolRecognizer", 1.0),
+        ("v4", "IPv4HeaderProcessor", 0.7),
+        ("v6", "IPv6HeaderProcessor", 0.3),
+        ("classifier", "Classifier", 1.0),
+        ("forwarder", "Forwarder", 1.0),
+        ("controller", "Controller", 0.01),
+    ]:
+        model.register(name, component_type=ctype, traffic_fraction=fraction)
+    return model
+
+
+class TestBoard:
+    def test_board_shape(self, board):
+        assert len(board.microengines()) == 6
+        assert board.control_processor().kind == "strongarm"
+        assert set(board.memory) == {SCRATCHPAD, SRAM, SDRAM}
+
+    def test_memory_hierarchy_latency_order(self, board):
+        assert (
+            board.memory[SCRATCHPAD].access_cycles
+            < board.memory[SRAM].access_cycles
+            < board.memory[SDRAM].access_cycles
+        )
+
+    def test_service_time_scales_with_memory_level(self, board):
+        profile = CostProfile(instructions=100, memory_references=10)
+        ue = board.microengines()[0]
+        fast = board.service_time(profile, ue, SCRATCHPAD)
+        slow = board.service_time(profile, ue, SDRAM)
+        assert slow > fast
+
+    def test_data_plane_on_strongarm_pays_overhead(self, board):
+        profile = CostProfile(instructions=100, memory_references=0)
+        sa_time = board.service_time(profile, board.control_processor(), SRAM)
+        ue_time = board.service_time(profile, board.microengines()[0], SRAM)
+        # StrongARM is clocked faster but pays the 1.6x data-plane penalty.
+        assert sa_time > ue_time * 0.9
+
+    def test_memory_placement_spills_down(self, board):
+        big = CostProfile(instructions=1, memory_level=SCRATCHPAD, state_bytes=3000)
+        first = board.place_state(big)
+        second = board.place_state(big)  # scratchpad (4 KB) now full
+        assert first == SCRATCHPAD
+        assert second == SRAM
+
+    def test_memory_exhaustion_raises(self, board):
+        huge = CostProfile(instructions=1, memory_level=SDRAM, state_bytes=10**9)
+        with pytest.raises(PlacementError, match="no memory level"):
+            board.place_state(huge)
+
+    def test_default_profiles_cover_component_library(self):
+        for name in ("Classifier", "Forwarder", "FifoQueue", "ExecutionEnvironment"):
+            assert name in DEFAULT_PROFILES
+
+
+class TestPlacement:
+    def test_control_strategy_uses_only_strongarm(self, placement):
+        report = placement.auto_place("control")
+        assert set(report.assignment.values()) == {"sa0"}
+
+    def test_greedy_beats_control(self, placement):
+        control = placement.auto_place("control")
+        greedy = placement.auto_place("greedy")
+        assert greedy.throughput_pps > control.throughput_pps
+
+    def test_balanced_at_least_as_good_as_greedy(self, placement):
+        greedy = placement.auto_place("greedy")
+        balanced = placement.auto_place("balanced")
+        assert balanced.throughput_pps >= greedy.throughput_pps * 0.999
+
+    def test_control_plane_pinned_to_strongarm(self, placement):
+        report = placement.auto_place("balanced")
+        assert report.assignment["controller"] == "sa0"
+
+    def test_control_plane_cannot_go_to_microengine(self, placement):
+        with pytest.raises(PlacementError, match="control-capable"):
+            placement.pin("controller", "ue0")
+
+    def test_pin_survives_auto_place(self, placement):
+        placement.pin("forwarder", "ue5")
+        report = placement.auto_place("balanced")
+        assert report.assignment["forwarder"] == "ue5"
+
+    def test_migrate_records_history(self, placement):
+        placement.auto_place("greedy")
+        before = placement.components()["classifier"].pe
+        target = "ue3" if before != "ue3" else "ue4"
+        placement.migrate("classifier", target)
+        assert placement.migrations == [("classifier", before, target)]
+
+    def test_unknown_strategy(self, placement):
+        with pytest.raises(PlacementError, match="unknown strategy"):
+            placement.auto_place("magic")
+
+    def test_duplicate_registration_rejected(self, placement):
+        with pytest.raises(PlacementError, match="already registered"):
+            placement.register("classifier", component_type="Classifier")
+
+    def test_missing_profile_rejected(self, board):
+        model = PlacementMetaModel(board)
+        with pytest.raises(PlacementError, match="no cost profile"):
+            model.register("mystery", component_type="NoSuchType")
+
+    def test_report_shape(self, placement):
+        report = placement.auto_place("balanced")
+        assert report.feasible
+        assert report.bottleneck in report.per_pe_time
+        assert 0.0 <= report.utilisation_spread <= 1.0
+
+
+class TestBoardSimulator:
+    def test_simulation_agrees_with_analytic_bottleneck(self, placement, board):
+        report = placement.auto_place("balanced")
+        simulator = BoardSimulator(board, placement)
+        stages = [
+            StageVisit("recogniser", 1.0),
+            StageVisit("v4", 0.7),
+            StageVisit("v6", 0.3),
+            StageVisit("classifier", 1.0),
+            StageVisit("forwarder", 1.0),
+        ]
+        result = simulator.run(stages, packets=10_000)
+        assert result.bottleneck == report.bottleneck
+        assert result.throughput_pps == pytest.approx(
+            report.throughput_pps, rel=0.05
+        )
+
+    def test_fractional_stages_charge_partial_traffic(self, placement, board):
+        placement.auto_place("balanced")
+        simulator = BoardSimulator(board, placement)
+        result = simulator.run([StageVisit("v4", 0.5)], packets=1000)
+        assert result.per_component_packets["v4"] == 500

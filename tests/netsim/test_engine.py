@@ -1,0 +1,95 @@
+"""The discrete-event engine."""
+
+import pytest
+
+from repro.netsim import Engine, EngineError
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, engine):
+        order = []
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.run()
+        assert order == ["a", "b"]
+        assert engine.now == 2.0
+
+    def test_same_time_fifo(self, engine):
+        order = []
+        engine.schedule(1.0, lambda: order.append(1))
+        engine.schedule(1.0, lambda: order.append(2))
+        engine.run()
+        assert order == [1, 2]
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(EngineError):
+            engine.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(EngineError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_cancel(self, engine):
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_events_scheduled_during_run(self, engine):
+        log = []
+
+        def cascade():
+            log.append(engine.now)
+            if len(log) < 3:
+                engine.schedule(1.0, cascade)
+
+        engine.schedule(1.0, cascade)
+        engine.run()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_run_until_stops_at_deadline(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(5.0, lambda: fired.append(5))
+        engine.run_until(2.0)
+        assert fired == [1]
+        assert engine.now == 2.0
+        assert engine.pending() == 1
+
+    def test_callback_errors_contained(self, engine):
+        def bad():
+            raise ValueError("callback bug")
+
+        fired = []
+        engine.schedule(1.0, bad)
+        engine.schedule(2.0, lambda: fired.append(1))
+        engine.run()
+        assert fired == [1]
+        assert len(engine.callback_errors) == 1
+
+    def test_periodic(self, engine):
+        ticks = []
+        engine.schedule_periodic(1.0, lambda: ticks.append(engine.now), until=3.5)
+        engine.run()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_periodic_cancel(self, engine):
+        ticks = []
+        handle = engine.schedule_periodic(1.0, lambda: ticks.append(1))
+        engine.schedule(2.5, handle.cancel)
+        engine.run_until(10.0)
+        assert ticks == [1, 1]
+
+    def test_events_processed_counter(self, engine):
+        for i in range(5):
+            engine.schedule(i + 1.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 5

@@ -1,0 +1,188 @@
+"""Links, nodes and topologies over the engine."""
+
+import pytest
+
+from repro.netsim import (
+    PROTO_UDP,
+    Engine,
+    NodeError,
+    Topology,
+    make_udp_v4,
+)
+from repro.netsim.packet import IPv4Header, Packet
+
+
+def two_node_topo(**link_kwargs):
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    defaults = {"bandwidth_bps": 1e6, "latency_s": 0.01}
+    defaults.update(link_kwargs)
+    topo.connect("a", "b", **defaults)
+    return topo
+
+
+class TestLink:
+    def test_delivery_includes_tx_and_propagation_delay(self):
+        topo = two_node_topo()
+        received = []
+        topo.node("b").set_packet_handler(lambda p, port: received.append(topo.engine.now))
+        packet = make_udp_v4("10.0.0.1", "10.0.0.99", payload=bytes(97))  # 125 bytes
+        topo.node("a").send("eth0", packet)
+        topo.engine.run()
+        # 125 bytes at 1 Mbps = 1 ms serialisation + 10 ms latency
+        assert received[0] == pytest.approx(0.011, rel=1e-6)
+
+    def test_serialisation_queues_back_to_back(self):
+        topo = two_node_topo()
+        times = []
+        topo.node("b").set_packet_handler(lambda p, port: times.append(topo.engine.now))
+        for _ in range(3):
+            topo.node("a").send("eth0", make_udp_v4("10.0.0.1", "10.0.0.99", payload=bytes(97)))
+        topo.engine.run()
+        # Arrivals 1 ms apart: the link serialises one packet at a time.
+        assert times == pytest.approx([0.011, 0.012, 0.013], rel=1e-6)
+
+    def test_loss_rate_drops_deterministically(self):
+        topo = two_node_topo(loss_rate=0.5, seed=7)
+        received = []
+        topo.node("b").set_packet_handler(lambda p, port: received.append(p))
+        for _ in range(200):
+            topo.node("a").send("eth0", make_udp_v4("10.0.0.1", "10.0.0.99"))
+        topo.engine.run()
+        stats = topo.links[0].stats()["a_to_b"]
+        assert stats.lost + stats.delivered == stats.sent == 200
+        assert 60 <= stats.lost <= 140
+
+    def test_backlog_limit_drops(self):
+        topo = two_node_topo(max_backlog=5)
+        for _ in range(10):
+            topo.node("a").send("eth0", make_udp_v4("10.0.0.1", "10.0.0.99"))
+        stats = topo.links[0].stats()["a_to_b"]
+        assert stats.dropped_backlog == 5
+
+    def test_set_loss_rate_live(self):
+        topo = two_node_topo()
+        topo.links[0].set_loss_rate(1.0)
+        received = []
+        topo.node("b").set_packet_handler(lambda p, port: received.append(p))
+        topo.node("a").send("eth0", make_udp_v4("10.0.0.1", "10.0.0.99"))
+        topo.engine.run()
+        assert received == []
+
+
+class TestNode:
+    def test_control_protocol_dispatch(self):
+        topo = two_node_topo()
+        node_b = topo.node("b")
+        got = []
+        node_b.register_protocol(200, lambda p, port: got.append(p))
+        packet = Packet(
+            IPv4Header(src=topo.node("a").address, dst=node_b.address, protocol=200),
+            None,
+            b"control",
+        )
+        topo.node("a").send("eth0", packet)
+        topo.engine.run()
+        assert len(got) == 1
+        assert node_b.counters["delivered_local"] == 1
+
+    def test_duplicate_protocol_registration_rejected(self):
+        topo = two_node_topo()
+        topo.node("a").register_protocol(200, lambda p, port: None)
+        with pytest.raises(NodeError, match="already handles"):
+            topo.node("a").register_protocol(200, lambda p, port: None)
+
+    def test_no_handler_drop_counted(self):
+        topo = two_node_topo()
+        topo.node("a").send("eth0", make_udp_v4("10.0.0.1", "10.0.0.99"))
+        topo.engine.run()
+        assert topo.node("b").counters["no_handler_drops"] == 1
+
+    def test_ingress_metadata(self):
+        topo = two_node_topo()
+        seen = []
+        topo.node("b").set_packet_handler(lambda p, port: seen.append(p.metadata))
+        topo.node("a").send("eth0", make_udp_v4("10.0.0.1", "10.0.0.99"))
+        topo.engine.run()
+        assert seen[0]["ingress_port"] == "eth0"
+        assert seen[0]["ingress_node"] == "b"
+
+    def test_send_to_neighbor_and_port_to(self):
+        topo = Topology.chain(3)
+        n1 = topo.node("n1")
+        assert n1.port_to("n0") == "eth0"
+        assert n1.port_to("n2") == "eth1"
+        with pytest.raises(NodeError, match="no link to"):
+            n1.port_to("n99")
+
+    def test_unknown_port(self):
+        topo = two_node_topo()
+        with pytest.raises(NodeError, match="no port"):
+            topo.node("a").link("eth9")
+
+    def test_describe(self):
+        topo = two_node_topo()
+        info = topo.node("a").describe()
+        assert info["ports"]["eth0"]["peer"] == "b"
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node("x")
+        with pytest.raises(NodeError, match="already exists"):
+            topo.add_node("x")
+
+    def test_addresses_unique(self):
+        topo = Topology.chain(5)
+        addresses = {node.address for node in topo.nodes.values()}
+        assert len(addresses) == 5
+
+    def test_chain_routes(self):
+        topo = Topology.chain(4)
+        hops = topo.next_hops("n0")
+        assert hops == {"n1": "n1", "n2": "n1", "n3": "n1"}
+        assert topo.next_hops("n2") == {"n0": "n1", "n1": "n1", "n3": "n3"}
+
+    def test_shortest_path_prefers_low_latency(self):
+        topo = Topology()
+        for name in ("a", "b", "c"):
+            topo.add_node(name)
+        topo.connect("a", "c", latency_s=0.1)       # direct but slow
+        topo.connect("a", "b", latency_s=0.01)
+        topo.connect("b", "c", latency_s=0.01)      # via b: 0.02 total
+        assert topo.shortest_paths("a")["c"] == ["a", "b", "c"]
+
+    def test_star_topology(self):
+        topo = Topology.star(4)
+        assert topo.next_hops("leaf0")["leaf3"] == "hub"
+
+    def test_ring_topology(self):
+        topo = Topology.ring(6)
+        assert len(topo.links) == 6
+        hops = topo.next_hops("n0")
+        assert hops["n1"] == "n1"
+        assert hops["n5"] == "n5"
+
+    def test_binary_tree(self):
+        topo = Topology.binary_tree(2)
+        assert len(topo.nodes) == 7
+        assert topo.next_hops("t3")["t6"] == "t1"  # up toward the root
+
+    def test_grid(self):
+        topo = Topology.grid(2, 3)
+        assert len(topo.nodes) == 6
+        assert len(topo.links) == 7
+
+    def test_random_connected_is_connected(self):
+        topo = Topology.random_connected(12, extra_edges=4, seed=3)
+        paths = topo.shortest_paths("r0")
+        assert len(paths) == 12
+
+    def test_address_routes_format(self):
+        topo = Topology.chain(2)
+        routes = topo.address_routes("n0")
+        (prefix, hop), = routes.items()
+        assert prefix.endswith("/32")
+        assert hop == "n1"

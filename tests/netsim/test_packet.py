@@ -1,0 +1,149 @@
+"""Packet headers, checksums, serialisation round trips."""
+
+import pytest
+
+from repro.netsim import (
+    IPv4Header,
+    IPv6Header,
+    Packet,
+    PacketError,
+    format_ipv4,
+    format_ipv6,
+    internet_checksum,
+    ipv4,
+    ipv6,
+    make_tcp_v4,
+    make_udp_v4,
+    make_udp_v6,
+)
+
+
+class TestAddresses:
+    def test_ipv4_parse_format_roundtrip(self):
+        assert format_ipv4(ipv4("192.168.1.1")) == "192.168.1.1"
+        assert ipv4("0.0.0.1") == 1
+
+    def test_ipv6_parse_format_roundtrip(self):
+        assert format_ipv6(ipv6("2001:db8::1")) == "2001:db8::1"
+
+    def test_int_passthrough(self):
+        assert ipv4(42) == 42
+        assert ipv6(42) == 42
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # RFC 1071 example-style vector.
+        assert internet_checksum(b"\x00\x01\xf2\x03\xf4\xf5\xf6\xf7") == 0x220D
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_header_checksum_validates(self):
+        header = IPv4Header(src=ipv4("10.0.0.1"), dst=ipv4("10.0.0.2"))
+        header.refresh_checksum()
+        assert header.checksum_ok()
+
+    def test_corruption_detected(self):
+        packet = make_udp_v4("10.0.0.1", "10.0.0.2")
+        packet.net.ttl = 5  # field changed without checksum refresh
+        assert not packet.net.checksum_ok()
+
+    def test_checksum_survives_wire(self):
+        packet = make_udp_v4("10.0.0.1", "10.0.0.2", payload=b"data")
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed.net.checksum_ok()
+
+
+class TestHeaders:
+    def test_ipv4_roundtrip_all_fields(self):
+        header = IPv4Header(
+            src=ipv4("1.2.3.4"), dst=ipv4("5.6.7.8"), ttl=17,
+            protocol=6, dscp=46, ecn=1, identification=999, total_length=40,
+        )
+        header.refresh_checksum()
+        parsed = IPv4Header.from_bytes(header.to_bytes())
+        assert parsed == header
+
+    def test_ipv6_roundtrip_all_fields(self):
+        header = IPv6Header(
+            src=ipv6("2001:db8::1"), dst=ipv6("2001:db8::2"),
+            hop_limit=9, traffic_class=0xB8, flow_label=0x12345,
+            payload_length=100, next_header=17,
+        )
+        assert IPv6Header.from_bytes(header.to_bytes()) == header
+
+    def test_short_ipv4_buffer_rejected(self):
+        with pytest.raises(PacketError, match="20 bytes"):
+            IPv4Header.from_bytes(b"\x45\x00")
+
+    def test_wrong_version_rejected(self):
+        header = make_udp_v6("::1", "::2").net.to_bytes()
+        with pytest.raises(PacketError, match="not an IPv4"):
+            IPv4Header.from_bytes(header)
+
+    def test_tcp_roundtrip(self):
+        packet = make_tcp_v4("10.0.0.1", "10.0.0.2", sport=1234, dport=80, seq=777, flags=0x12)
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed.transport.seq == 777
+        assert parsed.transport.flags == 0x12
+
+
+class TestPacket:
+    def test_full_v4_roundtrip(self):
+        packet = make_udp_v4("10.1.2.3", "10.4.5.6", sport=5, dport=7, payload=b"hello")
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed.net.src == packet.net.src
+        assert parsed.transport.sport == 5
+        assert parsed.payload == b"hello"
+
+    def test_full_v6_roundtrip(self):
+        packet = make_udp_v6("2001:db8::1", "2001:db8::2", payload=b"six")
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed.version == 6
+        assert parsed.payload == b"six"
+
+    def test_size_bytes(self):
+        packet = make_udp_v4("10.0.0.1", "10.0.0.2", payload=bytes(100))
+        assert packet.size_bytes == 20 + 8 + 100
+        assert len(packet.to_bytes()) == packet.size_bytes
+
+    def test_total_length_field_tracks_payload(self):
+        packet = make_udp_v4("10.0.0.1", "10.0.0.2", payload=bytes(64))
+        assert packet.net.total_length == packet.size_bytes
+
+    def test_flow_key(self):
+        a = make_udp_v4("10.0.0.1", "10.0.0.2", sport=1, dport=2)
+        b = make_udp_v4("10.0.0.1", "10.0.0.2", sport=1, dport=2)
+        c = make_udp_v4("10.0.0.1", "10.0.0.2", sport=9, dport=2)
+        assert a.flow_key() == b.flow_key()
+        assert a.flow_key() != c.flow_key()
+
+    def test_dscp_property_v4_and_v6(self):
+        v4 = make_udp_v4("10.0.0.1", "10.0.0.2", dscp=46)
+        v6 = make_udp_v6("::1", "::2", traffic_class=46 << 2)
+        assert v4.dscp == 46
+        assert v6.dscp == 46
+
+    def test_copy_is_independent(self):
+        packet = make_udp_v4("10.0.0.1", "10.0.0.2", payload=b"orig")
+        packet.metadata["tag"] = "original"
+        clone = packet.copy()
+        assert clone.packet_id != packet.packet_id
+        assert clone.metadata["tag"] == "original"
+        clone.net.ttl = 1
+        assert packet.net.ttl == 64
+
+    def test_metadata_does_not_cross_wire(self):
+        packet = make_udp_v4("10.0.0.1", "10.0.0.2")
+        packet.metadata["secret"] = "local-only"
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed.metadata == {}
+
+    def test_empty_bytes_rejected(self):
+        with pytest.raises(PacketError, match="empty"):
+            Packet.from_bytes(b"")
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(PacketError, match="unknown IP version"):
+            Packet.from_bytes(b"\x10" + bytes(30))

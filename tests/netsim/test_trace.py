@@ -1,0 +1,92 @@
+"""Workload generators."""
+
+import pytest
+
+from repro.netsim import (
+    Engine,
+    cbr_flow,
+    inject,
+    merge_flows,
+    mixed_v4_v6_trace,
+    onoff_flow,
+    poisson_flow,
+    synthetic_route_table,
+    tcp_burst,
+)
+
+
+class TestFlows:
+    def test_cbr_spacing_and_count(self):
+        items = list(cbr_flow("10.0.0.1", "10.0.0.2", rate_pps=100, duration=0.1))
+        assert len(items) == 10
+        gaps = [b[0] - a[0] for a, b in zip(items, items[1:])]
+        assert all(gap == pytest.approx(0.01) for gap in gaps)
+
+    def test_cbr_v6(self):
+        items = list(
+            cbr_flow("2001:db8::1", "2001:db8::2", rate_pps=10, duration=0.2, version=6)
+        )
+        assert all(p.version == 6 for _, p in items)
+
+    def test_poisson_deterministic_for_seed(self):
+        a = [(t, p.size_bytes) for t, p in poisson_flow("10.0.0.1", "10.0.0.2", rate_pps=100, duration=1.0, seed=5)]
+        b = [(t, p.size_bytes) for t, p in poisson_flow("10.0.0.1", "10.0.0.2", rate_pps=100, duration=1.0, seed=5)]
+        assert a == b
+        assert len(a) > 50
+
+    def test_poisson_rate_approximate(self):
+        items = list(poisson_flow("10.0.0.1", "10.0.0.2", rate_pps=200, duration=5.0, seed=1))
+        assert len(items) == pytest.approx(1000, rel=0.15)
+
+    def test_onoff_has_gaps(self):
+        items = list(
+            onoff_flow(
+                "10.0.0.1", "10.0.0.2", rate_pps=100,
+                on_time=0.05, off_time=0.05, duration=0.2,
+            )
+        )
+        gaps = [b[0] - a[0] for a, b in zip(items, items[1:])]
+        assert max(gaps) >= 0.05  # an off period
+
+    def test_tcp_burst_sequences_advance(self):
+        items = list(tcp_burst("10.0.0.1", "10.0.0.2", packets=3, rate_pps=10))
+        seqs = [p.transport.seq for _, p in items]
+        assert seqs == [0, 1024, 2048]
+
+    def test_merge_flows_time_ordered(self):
+        a = cbr_flow("10.0.0.1", "10.0.0.2", rate_pps=10, duration=0.3)
+        b = cbr_flow("10.0.0.3", "10.0.0.4", rate_pps=7, duration=0.3, start=0.01)
+        merged = merge_flows(a, b)
+        times = [t for t, _ in merged]
+        assert times == sorted(times)
+
+
+class TestTraces:
+    def test_mixed_trace_fraction(self):
+        trace = mixed_v4_v6_trace(count=1000, v6_fraction=0.3, seed=2)
+        v6 = sum(1 for p in trace if p.version == 6)
+        assert v6 == pytest.approx(300, abs=50)
+
+    def test_mixed_trace_deterministic(self):
+        a = [p.net.dst for p in mixed_v4_v6_trace(count=50, seed=9)]
+        b = [p.net.dst for p in mixed_v4_v6_trace(count=50, seed=9)]
+        assert a == b
+
+    def test_route_table_size_and_format(self):
+        table = synthetic_route_table(prefixes=100, next_hops=["a", "b", "c"], seed=4)
+        assert len(table) == 100
+        for prefix, hop in table.items():
+            address, _, length = prefix.partition("/")
+            assert 8 <= int(length) <= 24
+            assert hop in ("a", "b", "c")
+
+    def test_inject_schedules_all(self):
+        engine = Engine()
+        sunk = []
+        count = inject(
+            engine,
+            cbr_flow("10.0.0.1", "10.0.0.2", rate_pps=50, duration=0.1),
+            sunk.append,
+        )
+        engine.run()
+        assert count == len(sunk) == 5

@@ -1,0 +1,187 @@
+"""The architecture meta-model: graph views, consistency, hot swap."""
+
+import pytest
+
+from repro.opencom import CapsuleError, Component, Provided, Required
+
+from tests.conftest import Caller, Echoer, FanOut, IEcho
+
+
+def build_chain(capsule, length=3):
+    """e0 <- c1 <- ... chain: caller i targets echoer/caller i-1."""
+
+    class Stage(Component):
+        PROVIDES = (Provided("main", IEcho),)
+        RECEPTACLES = (Required("next", IEcho, min_connections=0),)
+
+        def echo(self, value):
+            if self.next.bound:
+                return self.next.echo(value)
+            return value
+
+    stages = [capsule.instantiate(Stage, f"s{i}") for i in range(length)]
+    for upstream, downstream in zip(stages, stages[1:]):
+        capsule.bind(upstream.receptacle("next"), downstream.interface("main"))
+    return stages
+
+
+class TestGraphView:
+    def test_snapshot_nodes_and_edges(self, capsule):
+        build_chain(capsule, 3)
+        view = capsule.architecture.snapshot()
+        assert set(view.nodes) == {"s0", "s1", "s2"}
+        assert len(view.edges) == 2
+
+    def test_successors_predecessors(self, capsule):
+        build_chain(capsule, 3)
+        view = capsule.architecture.snapshot()
+        assert view.successors("s0") == ["s1"]
+        assert view.predecessors("s2") == ["s1"]
+        assert view.predecessors("s0") == []
+
+    def test_reachability(self, capsule):
+        build_chain(capsule, 4)
+        view = capsule.architecture.snapshot()
+        assert view.reachable_from("s0") == {"s1", "s2", "s3"}
+        assert view.reachable_from("s3") == set()
+
+    def test_find_path(self, capsule):
+        build_chain(capsule, 4)
+        view = capsule.architecture.snapshot()
+        assert view.find_path("s0", "s3") == ["s0", "s1", "s2", "s3"]
+        assert view.find_path("s3", "s0") is None
+        assert view.find_path("s1", "s1") == ["s1"]
+
+    def test_cycle_detection(self, capsule):
+        stages = build_chain(capsule, 3)
+        capsule.bind(stages[-1].receptacle("next"), stages[0].interface("main"))
+        view = capsule.architecture.snapshot()
+        cycles = view.cycles()
+        assert cycles and set(cycles[0]) >= {"s0", "s1", "s2"}
+
+    def test_version_bumps_on_change(self, capsule):
+        before = capsule.architecture.version
+        build_chain(capsule, 2)
+        assert capsule.architecture.version > before
+
+    def test_export_dot(self, capsule):
+        build_chain(capsule, 2)
+        dot = capsule.architecture.export_dot()
+        assert 'digraph "test"' in dot
+        assert '"s0" -> "s1"' in dot
+
+
+class TestConsistency:
+    def test_consistent_capsule_reports_nothing(self, capsule, bound_pair):
+        assert capsule.architecture.check_consistency() == []
+
+    def test_unsatisfied_running_receptacle_reported(self, capsule):
+        caller = capsule.instantiate(Caller, "c")
+        caller.startup()
+        problems = capsule.architecture.check_consistency()
+        assert any("unsatisfied" in p for p in problems)
+
+    def test_stopped_unsatisfied_receptacle_not_reported(self, capsule):
+        capsule.instantiate(Caller, "c")
+        assert capsule.architecture.check_consistency() == []
+
+    def test_cycle_reported_as_warning(self, capsule):
+        stages = build_chain(capsule, 2)
+        capsule.bind(stages[-1].receptacle("next"), stages[0].interface("main"))
+        problems = capsule.architecture.check_consistency()
+        assert any(p.startswith("warning: binding cycle") for p in problems)
+
+
+class TestReplaceComponent:
+    def test_swap_preserves_topology(self, capsule):
+        stages = build_chain(capsule, 3)
+        middle = stages[1]
+
+        class Replacement(Component):
+            PROVIDES = (Provided("main", IEcho),)
+            RECEPTACLES = (Required("next", IEcho, min_connections=0),)
+
+            def echo(self, value):
+                return ("replaced", self.next.echo(value))
+
+        new = capsule.architecture.replace_component(middle, Replacement)
+        assert middle.state == "dead"
+        # s0 -> replacement -> s2 still works end to end.
+        assert stages[0].echo("x") == ("replaced", "x")
+        assert capsule.architecture.check_consistency() == []
+
+    def test_swap_by_name(self, capsule):
+        build_chain(capsule, 2)
+
+        class Replacement(Component):
+            PROVIDES = (Provided("main", IEcho),)
+            RECEPTACLES = (Required("next", IEcho, min_connections=0),)
+
+            def echo(self, value):
+                return "new"
+
+        replacement = capsule.architecture.replace_component("s1", Replacement)
+        assert replacement.name == "s1'"
+        assert capsule.component("s0").echo(1) == "new"
+
+    def test_swap_transfers_state(self, capsule):
+        echoer = capsule.instantiate(Echoer, "e")
+        echoer.calls = 42
+        new = capsule.architecture.replace_component(
+            echoer, Echoer, transfer_state=lambda old, new: setattr(new, "calls", old.calls)
+        )
+        assert new.calls == 42
+
+    def test_swap_restarts_running_component(self, capsule):
+        echoer = capsule.instantiate(Echoer, "e")
+        echoer.startup()
+        new = capsule.architecture.replace_component(echoer, Echoer)
+        assert new.state == "running"
+
+    def test_failed_swap_rolls_back(self, capsule):
+        stages = build_chain(capsule, 3)
+        middle = stages[1]
+        middle.startup()
+
+        class Incompatible(Component):
+            """Exposes no 'main' interface: rebinding must fail."""
+
+        with pytest.raises(Exception):
+            capsule.architecture.replace_component(middle, Incompatible)
+        # Original is back, running, fully wired.
+        assert capsule.component("s1") is middle
+        assert middle.state == "running"
+        assert stages[0].echo("ok") == "ok"
+        assert capsule.architecture.check_consistency() == []
+
+
+class TestQuiesce:
+    def test_quiesce_and_resume_region(self, capsule):
+        stages = build_chain(capsule, 2)
+        for stage in stages:
+            stage.startup()
+        capsule.architecture.quiesce_region(stages)
+        assert all(s.state == "stopped" for s in stages)
+        capsule.architecture.resume_region(stages)
+        assert all(s.state == "running" for s in stages)
+
+    def test_quiesce_drain_predicate(self, capsule):
+        stages = build_chain(capsule, 1)
+        stages[0].startup()
+        attempts = []
+
+        def drain():
+            attempts.append(1)
+            return len(attempts) >= 3
+
+        capsule.architecture.quiesce_region(stages, drain=drain)
+        assert len(attempts) == 3
+
+    def test_quiesce_timeout(self, capsule):
+        from repro.opencom import QuiesceTimeout
+
+        stages = build_chain(capsule, 1)
+        with pytest.raises(QuiesceTimeout):
+            capsule.architecture.quiesce_region(
+                stages, drain=lambda: False, max_rounds=5
+            )

@@ -1,0 +1,235 @@
+"""Capsules: hosting, the bind primitive, constraints, child capsules."""
+
+import pytest
+
+from repro.opencom import (
+    BindError,
+    Capsule,
+    CapsuleError,
+    Component,
+    ConstraintViolation,
+)
+
+from tests.conftest import Adder, Caller, Echoer, FanOut
+
+
+class TestHosting:
+    def test_instantiate_assigns_name_and_capsule(self, capsule):
+        echoer = capsule.instantiate(Echoer, "e")
+        assert echoer.name == "e"
+        assert echoer.capsule is capsule
+        assert capsule.component("e") is echoer
+
+    def test_instantiate_with_factory_callable(self, capsule):
+        echoer = capsule.instantiate(lambda: Echoer(), "made")
+        assert isinstance(echoer, Echoer)
+
+    def test_factory_returning_non_component_rejected(self, capsule):
+        with pytest.raises(CapsuleError, match="did not produce"):
+            capsule.instantiate(lambda: object(), "bad")
+
+    def test_duplicate_name_rejected(self, capsule):
+        capsule.instantiate(Echoer, "dup")
+        with pytest.raises(CapsuleError, match="already hosts"):
+            capsule.instantiate(Echoer, "dup")
+
+    def test_adopt_external_instance(self, capsule):
+        echoer = Echoer()
+        capsule.adopt(echoer, "adopted")
+        assert capsule.component("adopted") is echoer
+
+    def test_adopt_already_hosted_rejected(self, capsule):
+        echoer = capsule.instantiate(Echoer, "e")
+        other = Capsule("other")
+        with pytest.raises(CapsuleError, match="already lives"):
+            other.adopt(echoer)
+
+    def test_destroy_removes_component(self, capsule):
+        echoer = capsule.instantiate(Echoer, "e")
+        capsule.destroy(echoer)
+        assert "e" not in capsule
+        assert echoer.state == "dead"
+
+    def test_destroy_with_live_bindings_refused(self, capsule, bound_pair):
+        _, echoer, _ = bound_pair
+        with pytest.raises(CapsuleError, match="live binding"):
+            capsule.destroy(echoer)
+
+    def test_destroy_running_component_shuts_it_down(self, capsule):
+        echoer = capsule.instantiate(Echoer, "e")
+        echoer.startup()
+        capsule.destroy(echoer)
+        assert echoer.state == "dead"
+
+    def test_unknown_component_lookup(self, capsule):
+        with pytest.raises(CapsuleError, match="hosts no component"):
+            capsule.component("ghost")
+
+    def test_container_protocol(self, capsule):
+        capsule.instantiate(Echoer, "e")
+        assert "e" in capsule
+        assert len(capsule) == 1
+        assert [c.name for c in capsule] == ["e"]
+
+    def test_rename(self, capsule):
+        echoer = capsule.instantiate(Echoer, "before")
+        capsule.rename(echoer, "after")
+        assert capsule.component("after") is echoer
+        assert "before" not in capsule
+
+    def test_rename_collision_rejected(self, capsule):
+        capsule.instantiate(Echoer, "a")
+        b = capsule.instantiate(Echoer, "b")
+        with pytest.raises(CapsuleError):
+            capsule.rename(b, "a")
+
+
+class TestBindPrimitive:
+    def test_bind_and_call(self, bound_pair):
+        caller, _, binding = bound_pair
+        assert binding.live
+        assert caller.call(1) == 1
+
+    def test_bind_records_in_capsule(self, capsule, bound_pair):
+        _, _, binding = bound_pair
+        assert binding in capsule.bindings()
+
+    def test_unbind_tears_down(self, capsule, bound_pair):
+        caller, _, binding = bound_pair
+        capsule.unbind(binding)
+        assert not binding.live
+        assert capsule.bindings() == []
+        assert not caller.receptacle("target").bound
+
+    def test_unbind_twice_rejected(self, capsule, bound_pair):
+        _, _, binding = bound_pair
+        capsule.unbind(binding)
+        with pytest.raises(BindError, match="not registered"):
+            capsule.unbind(binding)
+
+    def test_bind_foreign_component_rejected(self, capsule):
+        caller = capsule.instantiate(Caller, "c")
+        other = Capsule("other")
+        echoer = other.instantiate(Echoer, "e")
+        with pytest.raises(BindError, match="not hosted"):
+            capsule.bind(caller.receptacle("target"), echoer.interface("main"))
+
+    def test_binding_describe(self, bound_pair):
+        _, _, binding = bound_pair
+        description = binding.describe()
+        assert description["source"] == "caller"
+        assert description["target"] == "echoer"
+        assert description["kind"] == "local"
+        assert description["interface_type"] == "IEcho"
+
+    def test_bindings_of_and_to(self, capsule, bound_pair):
+        caller, echoer, binding = bound_pair
+        assert capsule.bindings_of(caller) == [binding]
+        assert capsule.bindings_of(echoer) == [binding]
+        assert capsule.bindings_to(echoer.interface("main")) == [binding]
+
+
+class TestBindConstraints:
+    def test_constraint_vetoes_bind(self, capsule):
+        def veto(request):
+            raise ConstraintViolation("no-binds", "everything is forbidden")
+
+        capsule.add_constraint("no-binds", veto)
+        caller = capsule.instantiate(Caller, "c")
+        echoer = capsule.instantiate(Echoer, "e")
+        with pytest.raises(ConstraintViolation):
+            capsule.bind(caller.receptacle("target"), echoer.interface("main"))
+
+    def test_constraint_sees_request_fields(self, capsule):
+        requests = []
+        capsule.add_constraint("spy", requests.append)
+        caller = capsule.instantiate(Caller, "c")
+        echoer = capsule.instantiate(Echoer, "e")
+        capsule.bind(
+            caller.receptacle("target"), echoer.interface("main"),
+            principal="alice",
+        )
+        assert requests[0].operation == "bind"
+        assert requests[0].principal == "alice"
+
+    def test_unbind_runs_constraints_too(self, capsule, bound_pair):
+        _, _, binding = bound_pair
+        operations = []
+        capsule.add_constraint("spy", lambda req: operations.append(req.operation))
+        capsule.unbind(binding)
+        assert operations == ["unbind"]
+
+    def test_remove_constraint(self, capsule):
+        capsule.add_constraint("temp", lambda req: None)
+        capsule.remove_constraint("temp")
+        assert capsule.constraint_names() == []
+
+    def test_duplicate_constraint_name_rejected(self, capsule):
+        capsule.add_constraint("x", lambda req: None)
+        with pytest.raises(BindError, match="already installed"):
+            capsule.add_constraint("x", lambda req: None)
+
+    def test_remove_unknown_constraint_rejected(self, capsule):
+        with pytest.raises(BindError, match="no constraint"):
+            capsule.remove_constraint("ghost")
+
+
+class TestChildCapsules:
+    def test_spawn_child(self, capsule):
+        child = capsule.spawn_child("child")
+        assert child.parent is capsule
+        assert capsule.children["child"] is child
+
+    def test_duplicate_child_name_rejected(self, capsule):
+        capsule.spawn_child("c")
+        with pytest.raises(CapsuleError, match="already has child"):
+            capsule.spawn_child("c")
+
+    def test_kill_cascades_to_children(self, capsule):
+        child = capsule.spawn_child("child")
+        grandchild = child.spawn_child("grand")
+        child.kill()
+        assert not child.alive
+        assert not grandchild.alive
+        assert capsule.alive
+        assert "child" not in capsule.children
+
+    def test_kill_marks_components_dead(self, capsule):
+        child = capsule.spawn_child("child")
+        echoer = child.instantiate(Echoer, "e")
+        child.kill(reason="test crash")
+        assert echoer.state == "dead"
+        assert child.death_reason == "test crash"
+
+    def test_dead_capsule_refuses_operations(self, capsule):
+        child = capsule.spawn_child("child")
+        child.kill()
+        with pytest.raises(CapsuleError, match="dead"):
+            child.instantiate(Echoer, "e")
+
+    def test_parent_notified_of_child_death(self, capsule):
+        events = []
+        capsule.events.subscribe("capsule.child_died", events.append)
+        child = capsule.spawn_child("child")
+        child.kill(reason="boom")
+        assert events[0].payload["child"] == "child"
+        assert events[0].payload["reason"] == "boom"
+
+
+class TestEvents:
+    def test_instantiate_publishes_event(self, capsule):
+        seen = []
+        capsule.events.subscribe("architecture", seen.append)
+        capsule.instantiate(Echoer, "e")
+        assert seen[0].topic == "architecture.instantiate"
+        assert seen[0].payload["component"] == "e"
+
+    def test_bind_and_unbind_publish_events(self, capsule):
+        topics = []
+        capsule.events.subscribe("architecture", lambda e: topics.append(e.topic))
+        echoer = capsule.instantiate(Echoer, "e")
+        caller = capsule.instantiate(Caller, "c")
+        binding = capsule.bind(caller.receptacle("target"), echoer.interface("main"))
+        capsule.unbind(binding)
+        assert "architecture.bind" in topics
+        assert "architecture.unbind" in topics

@@ -1,0 +1,171 @@
+"""Component structure: exposures, receptacles, lifecycle, introspection."""
+
+import pytest
+
+from repro.opencom import (
+    Component,
+    InterfaceError,
+    LifecycleError,
+    Provided,
+    Required,
+)
+
+from tests.conftest import Adder, Caller, Echoer, IAdder, IEcho
+
+
+class TestDeclarativeStructure:
+    def test_provides_declaration_exposes_interface(self):
+        echoer = Echoer()
+        assert echoer.has_interface("main")
+        assert echoer.interface("main").itype is IEcho
+
+    def test_receptacles_declaration_creates_receptacle(self):
+        caller = Caller()
+        assert caller.receptacle("target").itype is IEcho
+
+    def test_receptacle_becomes_attribute(self):
+        caller = Caller()
+        assert caller.target is caller.receptacle("target")
+
+    def test_unique_names_generated(self):
+        a, b = Echoer(), Echoer()
+        assert a.name != b.name
+
+    def test_missing_method_for_provided_interface_raises(self):
+        class Broken(Component):
+            PROVIDES = (Provided("main", IEcho),)
+
+        with pytest.raises(InterfaceError, match="does not conform"):
+            Broken()
+
+
+class TestDynamicStructure:
+    def test_expose_new_interface_instance(self):
+        echoer = Echoer()
+        ref = echoer.expose("second", IEcho)
+        assert ref.vtable.invoke("echo", 5) == 5
+        assert len(echoer.interfaces_of_type(IEcho)) == 2
+
+    def test_expose_duplicate_name_raises(self):
+        echoer = Echoer()
+        with pytest.raises(InterfaceError, match="already exposes"):
+            echoer.expose("main", IEcho)
+
+    def test_expose_with_external_impl(self):
+        class Impl:
+            def echo(self, value):
+                return ("wrapped", value)
+
+        echoer = Echoer()
+        ref = echoer.expose("alt", IEcho, impl=Impl())
+        assert ref.vtable.invoke("echo", 1) == ("wrapped", 1)
+
+    def test_withdraw_interface(self):
+        echoer = Echoer()
+        echoer.expose("second", IEcho)
+        echoer.withdraw("second")
+        assert not echoer.has_interface("second")
+
+    def test_withdraw_unknown_raises(self):
+        with pytest.raises(InterfaceError, match="exposes no interface"):
+            Echoer().withdraw("ghost")
+
+    def test_withdraw_bound_interface_refused(self, capsule):
+        echoer = capsule.instantiate(Echoer, "e")
+        caller = capsule.instantiate(Caller, "c")
+        capsule.bind(caller.receptacle("target"), echoer.interface("main"))
+        with pytest.raises(InterfaceError, match="live bindings"):
+            echoer.withdraw("main")
+
+    def test_add_receptacle_dynamically(self):
+        echoer = Echoer()
+        echoer.add_receptacle("extra", IAdder, min_connections=0)
+        assert echoer.receptacle("extra").itype is IAdder
+
+    def test_add_receptacle_name_collision_with_attribute(self):
+        echoer = Echoer()
+        with pytest.raises(InterfaceError, match="collides"):
+            echoer.add_receptacle("calls", IEcho)
+
+    def test_remove_receptacle(self):
+        caller = Caller()
+        caller.remove_receptacle("target")
+        with pytest.raises(InterfaceError):
+            caller.receptacle("target")
+        assert not hasattr(caller, "target")
+
+    def test_remove_connected_receptacle_refused(self, bound_pair):
+        caller, _, _ = bound_pair
+        with pytest.raises(InterfaceError, match="still connected"):
+            caller.remove_receptacle("target")
+
+
+class TestLifecycle:
+    def test_startup_shutdown_cycle(self):
+        echoer = Echoer()
+        assert echoer.state == "stopped"
+        echoer.startup()
+        assert echoer.state == "running"
+        echoer.shutdown()
+        assert echoer.state == "stopped"
+
+    def test_double_startup_raises(self):
+        echoer = Echoer()
+        echoer.startup()
+        with pytest.raises(LifecycleError):
+            echoer.startup()
+
+    def test_shutdown_when_stopped_raises(self):
+        with pytest.raises(LifecycleError):
+            Echoer().shutdown()
+
+    def test_hooks_invoked(self):
+        events = []
+
+        class Hooked(Component):
+            def on_startup(self):
+                events.append("up")
+
+            def on_shutdown(self):
+                events.append("down")
+
+        component = Hooked()
+        component.startup()
+        component.shutdown()
+        assert events == ["up", "down"]
+
+
+class TestIntrospection:
+    def test_enum_interfaces(self):
+        info = Echoer().enum_interfaces()
+        assert info == [
+            {
+                "name": "main",
+                "interface": "IEcho",
+                "version": "1.0",
+                "intercepted": [],
+            }
+        ]
+
+    def test_enum_receptacles(self):
+        info = Caller().enum_receptacles()
+        assert info[0]["name"] == "target"
+        assert info[0]["interface"] == "IEcho"
+        assert info[0]["connected"] == []
+
+    def test_interfaces_of_type_counts_subtypes(self):
+        class ISpecialEcho(IEcho):
+            pass
+
+        class Special(Component):
+            PROVIDES = (Provided("s", ISpecialEcho),)
+
+            def echo(self, value):
+                return value
+
+        assert len(Special().interfaces_of_type(IEcho)) == 1
+
+    def test_iter_interface_refs_sorted(self):
+        echoer = Echoer()
+        echoer.expose("aaa", IEcho)
+        assert [r.name for r in echoer.iter_interface_refs()] == ["aaa", "main"]

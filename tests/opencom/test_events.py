@@ -1,0 +1,60 @@
+"""The event bus: prefix matching, unsubscribe, handler isolation."""
+
+from repro.opencom.events import EventBus
+
+
+class TestEventBus:
+    def test_exact_topic_delivery(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("a.b", seen.append)
+        bus.publish("a.b", value=1)
+        assert seen[0].payload == {"value": 1}
+
+    def test_prefix_matching(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("a", lambda e: seen.append(e.topic))
+        bus.publish("a.b")
+        bus.publish("a.b.c")
+        bus.publish("a")
+        bus.publish("ab")  # not a dotted descendant: no delivery
+        assert seen == ["a.b", "a.b.c", "a"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe("t", seen.append)
+        unsubscribe()
+        bus.publish("t")
+        assert seen == []
+        unsubscribe()  # idempotent
+
+    def test_failing_handler_does_not_block_others(self):
+        bus = EventBus()
+        seen = []
+
+        def bad(event):
+            raise ValueError("handler bug")
+
+        bus.subscribe("t", bad)
+        bus.subscribe("t", seen.append)
+        bus.publish("t")
+        assert len(seen) == 1
+        assert len(bus.handler_errors) == 1
+        topic, handler, error = bus.handler_errors[0]
+        assert topic == "t"
+        assert isinstance(error, ValueError)
+
+    def test_subscriber_count(self):
+        bus = EventBus()
+        bus.subscribe("x", lambda e: None)
+        bus.subscribe("x", lambda e: None)
+        assert bus.subscriber_count("x") == 2
+        assert bus.subscriber_count("y") == 0
+
+    def test_publish_returns_event(self):
+        bus = EventBus()
+        event = bus.publish("topic", a=1)
+        assert event.topic == "topic"
+        assert event.payload == {"a": 1}

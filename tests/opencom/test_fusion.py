@@ -1,0 +1,52 @@
+"""Whole-pipeline fusion plans and safety interlocks."""
+
+from repro.opencom import CallCounter, fuse_component, fuse_pipeline
+from repro.opencom.fusion import fusion_report
+
+from tests.conftest import Caller, Echoer, FanOut
+
+
+class TestFusionPlans:
+    def test_fuse_component_fuses_outgoing_ports(self, capsule, bound_pair):
+        caller, _, _ = bound_pair
+        plan = fuse_component(caller)
+        assert plan.fused_count == 1
+        assert caller.receptacle("target").port("0").fused
+
+    def test_fuse_pipeline_collects_across_components(self, capsule):
+        fan = capsule.instantiate(FanOut, "fan")
+        callers = []
+        for i in range(3):
+            echoer = capsule.instantiate(Echoer, f"e{i}")
+            capsule.bind(fan.receptacle("targets"), echoer.interface("main"))
+        plan = fuse_pipeline([fan])
+        assert plan.fused_count == 3
+
+    def test_revert_unfuses(self, capsule, bound_pair):
+        caller, _, _ = bound_pair
+        plan = fuse_component(caller)
+        plan.revert()
+        assert not caller.receptacle("target").port("0").fused
+        assert plan.fused_count == 0
+
+    def test_intercepted_targets_skipped(self, capsule, bound_pair):
+        caller, echoer, _ = bound_pair
+        CallCounter().attach_to(echoer.interface("main"))
+        plan = fuse_component(caller)
+        assert plan.fused_count == 0
+        assert len(plan.skipped) == 1
+        port, reason = plan.skipped[0]
+        assert "interceptors" in reason
+
+    def test_calls_still_work_after_fusion(self, capsule, bound_pair):
+        caller, _, _ = bound_pair
+        fuse_component(caller)
+        assert caller.call("fused") == "fused"
+
+    def test_fusion_report_shape(self, capsule, bound_pair):
+        caller, echoer, _ = bound_pair
+        CallCounter().attach_to(echoer.interface("main"))
+        plan = fuse_component(caller)
+        report = fusion_report(plan)
+        assert report["fused"] == 0
+        assert report["skipped"][0]["port"] == "caller.target[0]"

@@ -1,0 +1,83 @@
+"""Interception meta-model: bundles, stock interceptors."""
+
+from repro.opencom import (
+    AdmissionGate,
+    CallCounter,
+    CallTrace,
+    Interceptor,
+    intercept_interface,
+)
+
+from tests.conftest import Adder
+
+
+class TestInterceptorBundle:
+    def test_attach_to_all_methods(self):
+        adder = Adder()
+        seen = []
+        interceptor = Interceptor("spy", pre=lambda ctx: seen.append(ctx.method_name))
+        interceptor.attach(adder.interface("math"))
+        adder.interface("math").vtable.invoke("add", 1, 2)
+        adder.interface("math").vtable.invoke("scale", 3, 4)
+        assert seen == ["add", "scale"]
+        assert interceptor.installed_count == 2
+
+    def test_attach_to_named_methods_only(self):
+        adder = Adder()
+        seen = []
+        interceptor = Interceptor("spy", pre=lambda ctx: seen.append(ctx.method_name))
+        interceptor.attach(adder.interface("math"), methods=["add"])
+        adder.interface("math").vtable.invoke("add", 1, 2)
+        adder.interface("math").vtable.invoke("scale", 3, 4)
+        assert seen == ["add"]
+
+    def test_detach_removes_everything(self):
+        adder = Adder()
+        seen = []
+        interceptor = intercept_interface(
+            adder.interface("math"), "spy", pre=lambda ctx: seen.append(1)
+        )
+        interceptor.detach()
+        adder.interface("math").vtable.invoke("add", 1, 2)
+        assert seen == []
+        assert interceptor.installed_count == 0
+        assert not adder.interface("math").vtable.intercepted("add")
+
+
+class TestStockInterceptors:
+    def test_call_counter(self):
+        adder = Adder()
+        counter = CallCounter()
+        counter.attach_to(adder.interface("math"))
+        for _ in range(3):
+            adder.interface("math").vtable.invoke("add", 1, 1)
+        adder.interface("math").vtable.invoke("scale", 2, 2)
+        assert counter.counts[("math", "add")] == 3
+        assert counter.total() == 4
+
+    def test_call_trace_records_and_bounds(self):
+        adder = Adder()
+        trace = CallTrace(limit=2)
+        trace.attach_to(adder.interface("math"))
+        for i in range(5):
+            adder.interface("math").vtable.invoke("add", i, i)
+        assert len(trace.records) == 2
+        assert trace.dropped == 3
+        assert trace.records[0] == ("math", "add", (0, 0))
+
+    def test_admission_gate_blocks_when_closed(self):
+        adder = Adder()
+        gate = AdmissionGate(default=-99)
+        gate.attach_to(adder.interface("math"))
+        assert adder.interface("math").vtable.invoke("add", 1, 1) == 2
+        gate.open = False
+        assert adder.interface("math").vtable.invoke("add", 1, 1) == -99
+        assert gate.rejected == 1
+        gate.open = True
+        assert adder.interface("math").vtable.invoke("add", 1, 1) == 2
+
+    def test_enum_interfaces_reports_intercepted_methods(self):
+        adder = Adder()
+        CallCounter().attach_to(adder.interface("math"))
+        info = adder.enum_interfaces()[0]
+        assert info["intercepted"] == ["add", "scale"]

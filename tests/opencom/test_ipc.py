@@ -1,0 +1,162 @@
+"""Inter-capsule bindings: transparency, marshalling, crash containment."""
+
+import pytest
+
+from repro.opencom import (
+    BindError,
+    Capsule,
+    Component,
+    ConstraintViolation,
+    IpcFault,
+    MarshalError,
+    Provided,
+    bind_across,
+)
+
+from tests.conftest import Caller, Echoer, IEcho
+
+
+@pytest.fixture
+def parent_and_child(capsule):
+    child = capsule.spawn_child("child")
+    return capsule, child
+
+
+class Crasher(Component):
+    """Raises on every call."""
+
+    PROVIDES = (Provided("main", IEcho),)
+
+    def echo(self, value):
+        raise RuntimeError("component crash")
+
+
+class TestTransparency:
+    def test_cross_capsule_call_works(self, parent_and_child):
+        parent, child = parent_and_child
+        echoer = child.instantiate(Echoer, "remote-echoer")
+        caller = parent.instantiate(Caller, "caller")
+        bind_across(caller.receptacle("target"), echoer.interface("main"))
+        assert caller.call("over-ipc") == "over-ipc"
+
+    def test_binding_kind_is_ipc(self, parent_and_child):
+        parent, child = parent_and_child
+        echoer = child.instantiate(Echoer, "e")
+        caller = parent.instantiate(Caller, "c")
+        remote = bind_across(caller.receptacle("target"), echoer.interface("main"))
+        assert remote.local_binding.kind == "ipc"
+        assert remote.live
+
+    def test_same_capsule_rejected(self, capsule):
+        echoer = capsule.instantiate(Echoer, "e")
+        caller = capsule.instantiate(Caller, "c")
+        with pytest.raises(BindError, match="share a capsule"):
+            bind_across(caller.receptacle("target"), echoer.interface("main"))
+
+    def test_channel_statistics_accumulate(self, parent_and_child):
+        parent, child = parent_and_child
+        echoer = child.instantiate(Echoer, "e")
+        caller = parent.instantiate(Caller, "c")
+        remote = bind_across(caller.receptacle("target"), echoer.interface("main"))
+        for i in range(5):
+            caller.call(i)
+        assert remote.channel.calls == 5
+        assert remote.channel.bytes_sent > 0
+        assert remote.channel.bytes_received > 0
+
+    def test_arguments_cross_by_value(self, parent_and_child):
+        """Marshalling means no shared mutable state across the boundary."""
+        parent, child = parent_and_child
+
+        class Mutator(Component):
+            PROVIDES = (Provided("main", IEcho),)
+
+            def echo(self, value):
+                value.append("remote-side")
+                return value
+
+        mutator = child.instantiate(Mutator, "m")
+        caller = parent.instantiate(Caller, "c")
+        bind_across(caller.receptacle("target"), mutator.interface("main"))
+        original = ["local"]
+        result = caller.call(original)
+        assert result == ["local", "remote-side"]
+        assert original == ["local"]  # caller's list untouched
+
+    def test_unmarshallable_argument_raises(self, parent_and_child):
+        parent, child = parent_and_child
+        echoer = child.instantiate(Echoer, "e")
+        caller = parent.instantiate(Caller, "c")
+        bind_across(caller.receptacle("target"), echoer.interface("main"))
+        with pytest.raises(MarshalError):
+            caller.call(lambda: None)
+
+    def test_unbind_dismantles_proxy(self, parent_and_child):
+        parent, child = parent_and_child
+        echoer = child.instantiate(Echoer, "e")
+        caller = parent.instantiate(Caller, "c")
+        remote = bind_across(caller.receptacle("target"), echoer.interface("main"))
+        proxy_name = remote.proxy.name
+        remote.unbind()
+        assert proxy_name not in parent
+        assert not caller.receptacle("target").bound
+
+    def test_constraints_police_remote_binds(self, parent_and_child):
+        parent, child = parent_and_child
+
+        def veto(request):
+            if request.metadata.get("remote"):
+                raise ConstraintViolation("no-remote", "remote bindings forbidden")
+
+        parent.add_constraint("no-remote", veto)
+        echoer = child.instantiate(Echoer, "e")
+        caller = parent.instantiate(Caller, "c")
+        with pytest.raises(ConstraintViolation):
+            bind_across(caller.receptacle("target"), echoer.interface("main"))
+        # Nothing was half-created.
+        assert parent.bindings() == []
+        assert len(parent) == 1
+
+
+class TestCrashContainment:
+    def test_crash_kills_child_not_parent(self, parent_and_child):
+        parent, child = parent_and_child
+        crasher = child.instantiate(Crasher, "crasher")
+        caller = parent.instantiate(Caller, "c")
+        bind_across(caller.receptacle("target"), crasher.interface("main"))
+        with pytest.raises(IpcFault, match="crashed"):
+            caller.call("boom")
+        assert not child.alive
+        assert parent.alive
+
+    def test_calls_into_dead_capsule_fault(self, parent_and_child):
+        parent, child = parent_and_child
+        echoer = child.instantiate(Echoer, "e")
+        caller = parent.instantiate(Caller, "c")
+        remote = bind_across(caller.receptacle("target"), echoer.interface("main"))
+        child.kill(reason="administrative")
+        with pytest.raises(IpcFault, match="dead"):
+            caller.call("anyone there?")
+        assert not remote.live
+
+    def test_parent_can_replace_dead_child(self, parent_and_child):
+        parent, child = parent_and_child
+        crasher = child.instantiate(Crasher, "crasher")
+        caller = parent.instantiate(Caller, "c")
+        remote = bind_across(caller.receptacle("target"), crasher.interface("main"))
+        with pytest.raises(IpcFault):
+            caller.call("x")
+        # Recovery: drop the dead binding, spawn a fresh child, rebind.
+        remote.unbind()
+        replacement_capsule = parent.spawn_child("child-2")
+        echoer = replacement_capsule.instantiate(Echoer, "e")
+        bind_across(caller.receptacle("target"), echoer.interface("main"))
+        assert caller.call("recovered") == "recovered"
+
+    def test_in_capsule_crash_propagates(self, capsule):
+        """The contrast case: same-capsule crashes reach the caller raw."""
+        crasher = capsule.instantiate(Crasher, "crasher")
+        caller = capsule.instantiate(Caller, "c")
+        capsule.bind(caller.receptacle("target"), crasher.interface("main"))
+        with pytest.raises(RuntimeError, match="component crash"):
+            caller.call("x")

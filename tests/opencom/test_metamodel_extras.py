@@ -1,0 +1,98 @@
+"""Interface meta-model helpers and vtable slot-watching."""
+
+import pytest
+
+from repro.opencom import describe_component, describe_interface, type_library
+from repro.opencom.metamodel.interface_meta import interfaces_compatible
+
+from tests.conftest import Adder, Caller, Echoer, IAdder, IEcho
+
+
+class TestDescribeInterface:
+    def test_by_class(self):
+        description = describe_interface(IAdder)
+        assert description["name"] == "IAdder"
+        assert [m["name"] for m in description["methods"]] == ["add", "scale"]
+        assert description["methods"][0]["parameters"] == ["a", "b"]
+
+    def test_by_registry_name(self):
+        assert describe_interface("IEcho")["name"] == "IEcho"
+
+    def test_doc_captured(self):
+        assert "arithmetic" in describe_interface(IAdder)["doc"]
+
+    def test_type_library_contains_known_interfaces(self):
+        names = {entry["name"] for entry in type_library()}
+        assert {"IEcho", "IAdder", "IPacketPush", "IClassifier"} <= names
+
+    def test_type_library_serialisable(self):
+        import json
+
+        json.dumps(type_library())  # must not raise
+
+
+class TestDescribeComponent:
+    def test_full_description(self, capsule):
+        echoer = capsule.instantiate(Echoer, "e")
+        description = describe_component(echoer)
+        assert description["name"] == "e"
+        assert description["capsule"] == "test"
+        assert description["state"] == "stopped"
+        assert description["interfaces"][0]["interface"] == "IEcho"
+
+    def test_unhosted_component(self):
+        description = describe_component(Echoer())
+        assert description["capsule"] is None
+
+
+class TestCompatibility:
+    def test_identity(self):
+        assert interfaces_compatible(IEcho, IEcho)
+
+    def test_subtype(self):
+        class IEchoExt(IEcho):
+            pass
+
+        assert interfaces_compatible(IEchoExt, IEcho)
+        assert not interfaces_compatible(IEcho, IEchoExt)
+
+    def test_unrelated(self):
+        assert not interfaces_compatible(IAdder, IEcho)
+
+
+class TestSlotWatching:
+    def test_watcher_called_immediately_with_raw(self):
+        adder = Adder()
+        vtable = adder.interface("math").vtable
+        observed = []
+        vtable.watch_slot("add", observed.append)
+        assert len(observed) == 1
+        assert observed[0](1, 2) == 3
+
+    def test_watcher_notified_on_interception_change(self):
+        adder = Adder()
+        vtable = adder.interface("math").vtable
+        observed = []
+        vtable.watch_slot("add", observed.append)
+        vtable.add_pre("add", "x", lambda ctx: None)
+        vtable.remove_interceptor("add", "x")
+        assert len(observed) == 3  # initial + intercepted + restored
+        # After removal the watcher holds the raw method again.
+        assert observed[-1] is observed[0]
+
+    def test_unsubscribe_stops_notifications(self):
+        adder = Adder()
+        vtable = adder.interface("math").vtable
+        observed = []
+        unsubscribe = vtable.watch_slot("add", observed.append)
+        unsubscribe()
+        vtable.add_pre("add", "x", lambda ctx: None)
+        assert len(observed) == 1
+        unsubscribe()  # idempotent
+
+    def test_watch_unknown_slot_raises(self):
+        from repro.opencom import InterfaceError
+
+        adder = Adder()
+        with pytest.raises(InterfaceError):
+            adder.interface("math").vtable.watch_slot("divide", lambda s: None)

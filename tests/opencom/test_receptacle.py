@@ -1,0 +1,161 @@
+"""Receptacle arity, ports, dispatch regimes and call convenience."""
+
+import pytest
+
+from repro.opencom import ReceptacleError
+from repro.opencom.receptacle import Receptacle
+
+from tests.conftest import Adder, Caller, Echoer, FanOut, IAdder, IEcho
+
+
+class TestArity:
+    def test_negative_min_rejected(self):
+        with pytest.raises(ReceptacleError):
+            Receptacle(Echoer(), "r", IEcho, min_connections=-1)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(ReceptacleError):
+            Receptacle(Echoer(), "r", IEcho, min_connections=3, max_connections=2)
+
+    def test_single_receptacle_full_after_one(self, capsule):
+        caller = capsule.instantiate(Caller, "c")
+        e1 = capsule.instantiate(Echoer, "e1")
+        e2 = capsule.instantiate(Echoer, "e2")
+        capsule.bind(caller.receptacle("target"), e1.interface("main"))
+        with pytest.raises(ReceptacleError, match="full"):
+            capsule.bind(caller.receptacle("target"), e2.interface("main"))
+
+    def test_multi_receptacle_accepts_many(self, capsule):
+        fan = capsule.instantiate(FanOut, "f")
+        for i in range(5):
+            echoer = capsule.instantiate(Echoer, f"e{i}")
+            capsule.bind(fan.receptacle("targets"), echoer.interface("main"))
+        assert len(fan.receptacle("targets")) == 5
+
+    def test_satisfied_tracks_min(self, capsule):
+        caller = capsule.instantiate(Caller, "c")
+        assert not caller.receptacle("target").satisfied()
+        echoer = capsule.instantiate(Echoer, "e")
+        capsule.bind(caller.receptacle("target"), echoer.interface("main"))
+        assert caller.receptacle("target").satisfied()
+
+    def test_type_mismatch_rejected(self, capsule):
+        caller = capsule.instantiate(Caller, "c")
+        adder = capsule.instantiate(Adder, "a")
+        with pytest.raises(ReceptacleError, match="requires IEcho"):
+            capsule.bind(caller.receptacle("target"), adder.interface("math"))
+
+    def test_subtype_interface_accepted(self, capsule):
+        class IEchoPlus(IEcho):
+            pass
+
+        from repro.opencom import Component, Provided
+
+        class Plus(Component):
+            PROVIDES = (Provided("plus", IEchoPlus),)
+
+            def echo(self, value):
+                return ("plus", value)
+
+        caller = capsule.instantiate(Caller, "c")
+        plus = capsule.instantiate(Plus, "p")
+        capsule.bind(caller.receptacle("target"), plus.interface("plus"))
+        assert caller.call(1) == ("plus", 1)
+
+
+class TestPortsAndNaming:
+    def test_connection_names_default_sequence(self, capsule):
+        fan = capsule.instantiate(FanOut, "f")
+        for i in range(3):
+            echoer = capsule.instantiate(Echoer, f"e{i}")
+            capsule.bind(fan.receptacle("targets"), echoer.interface("main"))
+        assert fan.receptacle("targets").connection_names() == ["0", "1", "2"]
+
+    def test_named_connections(self, capsule):
+        fan = capsule.instantiate(FanOut, "f")
+        echoer = capsule.instantiate(Echoer, "e")
+        capsule.bind(
+            fan.receptacle("targets"), echoer.interface("main"),
+            connection_name="special",
+        )
+        port = fan.receptacle("targets")["special"]
+        assert port.echo("x") == "x"
+
+    def test_duplicate_connection_name_rejected(self, capsule):
+        fan = capsule.instantiate(FanOut, "f")
+        e1 = capsule.instantiate(Echoer, "e1")
+        e2 = capsule.instantiate(Echoer, "e2")
+        capsule.bind(fan.receptacle("targets"), e1.interface("main"), connection_name="dup")
+        with pytest.raises(ReceptacleError, match="already has a connection"):
+            capsule.bind(fan.receptacle("targets"), e2.interface("main"), connection_name="dup")
+
+    def test_unknown_port_raises(self, capsule):
+        fan = capsule.instantiate(FanOut, "f")
+        with pytest.raises(ReceptacleError, match="no connection"):
+            fan.receptacle("targets").port("ghost")
+
+    def test_iteration_is_name_ordered(self, capsule):
+        fan = capsule.instantiate(FanOut, "f")
+        for name in ("zeta", "alpha"):
+            echoer = capsule.instantiate(Echoer, f"e-{name}")
+            capsule.bind(fan.receptacle("targets"), echoer.interface("main"), connection_name=name)
+        assert [p.connection_name for p in fan.receptacle("targets")] == ["alpha", "zeta"]
+
+
+class TestCallStyles:
+    def test_single_receptacle_forwards_methods(self, bound_pair):
+        caller, echoer, _ = bound_pair
+        assert caller.call("hello") == "hello"
+        assert echoer.calls == 1
+
+    def test_unbound_single_receptacle_raises_on_call(self, capsule):
+        caller = capsule.instantiate(Caller, "c")
+        with pytest.raises(ReceptacleError, match="unbound"):
+            caller.call("x")
+
+    def test_reflective_call_by_name(self, bound_pair):
+        caller, _, _ = bound_pair
+        port = caller.receptacle("target").port("0")
+        assert port.call("echo", 9) == 9
+
+    def test_fan_out_calls_every_port(self, capsule):
+        fan = capsule.instantiate(FanOut, "f")
+        for i in range(3):
+            echoer = capsule.instantiate(Echoer, f"e{i}")
+            capsule.bind(fan.receptacle("targets"), echoer.interface("main"))
+        assert fan.call_all(7) == [7, 7, 7]
+
+
+class TestDispatchRegimes:
+    def test_port_starts_indirect(self, bound_pair):
+        caller, _, _ = bound_pair
+        assert caller.receptacle("target").port("0").fused is False
+
+    def test_fuse_and_unfuse(self, bound_pair):
+        caller, _, _ = bound_pair
+        port = caller.receptacle("target").port("0")
+        port.fuse()
+        assert port.fused is True
+        assert caller.call("a") == "a"
+        port.unfuse()
+        assert port.fused is False
+        assert caller.call("b") == "b"
+
+    def test_fused_port_still_observes_new_interceptors(self, bound_pair):
+        caller, echoer, _ = bound_pair
+        caller.receptacle("target").fuse()
+        seen = []
+        echoer.interface("main").vtable.add_pre(
+            "echo", "spy", lambda ctx: seen.append(ctx.args)
+        )
+        caller.call("watched")
+        assert seen == [("watched",)]
+
+    def test_indirect_port_observes_interceptors(self, bound_pair):
+        caller, echoer, _ = bound_pair
+        seen = []
+        echoer.interface("main").vtable.add_pre(
+            "echo", "spy", lambda ctx: seen.append(1)
+        )
+        caller.call("x")
+        assert seen == [1]

@@ -1,0 +1,86 @@
+"""Component type registry: versions, chaining, evolution."""
+
+import pytest
+
+from repro.opencom import CapsuleError, ComponentRegistry
+
+from tests.conftest import Echoer
+
+
+@pytest.fixture
+def registry():
+    reg = ComponentRegistry()
+    reg.register("echoer", Echoer, version="1.0", description="first")
+    return reg
+
+
+class TestRegistration:
+    def test_register_and_create(self, registry, capsule):
+        instance = registry.create("echoer")
+        capsule.adopt(instance, "e")
+        assert isinstance(instance, Echoer)
+
+    def test_duplicate_version_rejected(self, registry):
+        with pytest.raises(CapsuleError, match="already registered"):
+            registry.register("echoer", Echoer, version="1.0")
+
+    def test_unknown_type_rejected(self, registry):
+        with pytest.raises(CapsuleError, match="unknown component type"):
+            registry.lookup("ghost")
+
+    def test_factory_returning_non_component_rejected(self, registry):
+        registry.register("bad", lambda: object())
+        with pytest.raises(CapsuleError, match="not a Component"):
+            registry.create("bad")
+
+    def test_invalid_version_string_rejected(self, registry):
+        registry.register("weird", Echoer, version="not.a.version"[:3])
+        with pytest.raises(CapsuleError, match="invalid version"):
+            registry.register("weird2", Echoer, version="1.x")
+            registry.lookup("weird2")
+
+
+class TestVersioning:
+    def test_highest_version_wins_by_default(self, registry):
+        class EchoerV2(Echoer):
+            pass
+
+        registry.register("echoer", EchoerV2, version="2.0")
+        assert registry.lookup("echoer").version == "2.0"
+        assert isinstance(registry.create("echoer"), EchoerV2)
+
+    def test_explicit_version_selection(self, registry):
+        class EchoerV2(Echoer):
+            pass
+
+        registry.register("echoer", EchoerV2, version="2.0")
+        assert registry.lookup("echoer", version="1.0").version == "1.0"
+
+    def test_version_ordering_is_numeric(self, registry):
+        registry.register("echoer", Echoer, version="10.0")
+        registry.register("echoer", Echoer, version="2.0")
+        assert registry.versions("echoer") == ["1.0", "2.0", "10.0"]
+        assert registry.lookup("echoer").version == "10.0"
+
+
+class TestChaining:
+    def test_child_falls_back_to_parent(self, registry):
+        child = ComponentRegistry(parent=registry)
+        assert child.lookup("echoer").version == "1.0"
+
+    def test_child_shadows_parent(self, registry):
+        class Local(Echoer):
+            pass
+
+        child = ComponentRegistry(parent=registry)
+        child.register("echoer", Local, version="1.5")
+        assert child.lookup("echoer").version == "1.5"
+        assert registry.lookup("echoer").version == "1.0"
+
+    def test_catalogue(self, registry):
+        registry.register("echoer", Echoer, version="2.0", description="second")
+        rows = registry.catalogue()
+        assert [(r["type"], r["version"]) for r in rows] == [
+            ("echoer", "1.0"),
+            ("echoer", "2.0"),
+        ]

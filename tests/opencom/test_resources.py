@@ -1,0 +1,151 @@
+"""The resources meta-model: pools, tasks, allocation invariants."""
+
+import pytest
+
+from repro.opencom import ResourceError
+from repro.opencom.metamodel.resources import ResourceMetaModel
+
+from tests.conftest import Echoer
+
+
+@pytest.fixture
+def resources():
+    model = ResourceMetaModel()
+    model.create_pool("threads", "threads", 8)
+    model.create_pool("memory", "memory", 1024)
+    model.create_task("worker", priority=5)
+    return model
+
+
+class TestPools:
+    def test_create_and_lookup(self, resources):
+        pool = resources.pool("threads")
+        assert pool.capacity == 8
+        assert pool.kind == "threads"
+
+    def test_duplicate_pool_rejected(self, resources):
+        with pytest.raises(ResourceError, match="already exists"):
+            resources.create_pool("threads", "threads", 4)
+
+    def test_negative_capacity_rejected(self, resources):
+        with pytest.raises(ResourceError):
+            resources.create_pool("bad", "x", -1)
+
+    def test_unknown_pool(self, resources):
+        with pytest.raises(ResourceError, match="unknown pool"):
+            resources.pool("ghost")
+
+    def test_resize_up(self, resources):
+        resources.resize_pool("threads", 16)
+        assert resources.pool("threads").capacity == 16
+
+    def test_resize_below_allocation_rejected(self, resources):
+        resources.allocate("worker", "threads", 6)
+        with pytest.raises(ResourceError, match="cannot shrink"):
+            resources.resize_pool("threads", 4)
+
+    def test_utilisation(self, resources):
+        resources.allocate("worker", "memory", 512)
+        assert resources.pool("memory").utilisation == pytest.approx(0.5)
+
+    def test_zero_capacity_pool_utilisation(self, resources):
+        resources.create_pool("empty", "x", 0)
+        assert resources.pool("empty").utilisation == 0.0
+
+
+class TestTasks:
+    def test_create_task(self, resources):
+        task = resources.task("worker")
+        assert task.priority == 5
+        assert task.alive
+
+    def test_duplicate_task_rejected(self, resources):
+        with pytest.raises(ResourceError, match="already exists"):
+            resources.create_task("worker")
+
+    def test_attach_detach_component(self, resources):
+        echoer = Echoer()
+        task = resources.task("worker")
+        task.attach(echoer)
+        assert echoer.name in task.attached_components
+        assert resources.tasks_on_component(echoer.name) == [task]
+        task.detach(echoer)
+        assert resources.tasks_on_component(echoer.name) == []
+
+    def test_destroy_task_releases_everything(self, resources):
+        resources.allocate("worker", "threads", 4)
+        resources.allocate("worker", "memory", 100)
+        resources.destroy_task("worker")
+        assert resources.pool("threads").allocated == 0
+        assert resources.pool("memory").allocated == 0
+        with pytest.raises(ResourceError):
+            resources.task("worker")
+
+
+class TestAllocation:
+    def test_allocate_and_release(self, resources):
+        resources.allocate("worker", "threads", 3)
+        assert resources.pool("threads").allocated == 3
+        assert resources.task("worker").holdings == {"threads": 3}
+        resources.release("worker", "threads")
+        assert resources.pool("threads").allocated == 0
+        assert resources.task("worker").holdings == {}
+
+    def test_partial_release(self, resources):
+        resources.allocate("worker", "memory", 100)
+        resources.release("worker", "memory", 40)
+        assert resources.task("worker").holdings == {"memory": 60}
+        assert resources.pool("memory").allocated == 60
+
+    def test_over_allocation_rejected(self, resources):
+        with pytest.raises(ResourceError, match="over-allocated"):
+            resources.allocate("worker", "threads", 9)
+
+    def test_over_allocation_leaves_no_residue(self, resources):
+        resources.allocate("worker", "threads", 8)
+        with pytest.raises(ResourceError):
+            resources.allocate("worker", "threads", 1)
+        assert resources.pool("threads").allocated == 8
+
+    def test_zero_or_negative_amount_rejected(self, resources):
+        with pytest.raises(ResourceError):
+            resources.allocate("worker", "threads", 0)
+        with pytest.raises(ResourceError):
+            resources.allocate("worker", "threads", -2)
+
+    def test_release_more_than_held_rejected(self, resources):
+        resources.allocate("worker", "memory", 10)
+        with pytest.raises(ResourceError, match="holds only"):
+            resources.release("worker", "memory", 20)
+
+    def test_release_when_holding_nothing_rejected(self, resources):
+        with pytest.raises(ResourceError, match="holds nothing"):
+            resources.release("worker", "threads")
+
+    def test_transfer_between_tasks(self, resources):
+        resources.create_task("other")
+        resources.allocate("worker", "memory", 200)
+        resources.transfer("worker", "other", "memory", 80)
+        assert resources.task("worker").holdings == {"memory": 120}
+        assert resources.task("other").holdings == {"memory": 80}
+        assert resources.pool("memory").allocated == 200
+
+    def test_repeat_allocation_accumulates(self, resources):
+        resources.allocate("worker", "threads", 2)
+        resources.allocate("worker", "threads", 3)
+        assert resources.task("worker").holdings == {"threads": 5}
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self, resources):
+        resources.allocate("worker", "threads", 2)
+        snapshot = resources.snapshot()
+        assert snapshot["pools"]["threads"]["allocated"] == 2
+        assert snapshot["tasks"]["worker"]["holdings"] == {"threads": 2}
+        assert snapshot["tasks"]["worker"]["priority"] == 5
+
+    def test_capsule_has_resource_model(self, capsule):
+        capsule.resources.create_pool("abstract-units", "abstract", 10)
+        capsule.resources.create_task("t")
+        capsule.resources.allocate("t", "abstract-units", 4)
+        assert capsule.resources.pool("abstract-units").available == 6

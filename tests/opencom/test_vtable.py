@@ -1,0 +1,149 @@
+"""VTable dispatch, interception regimes, and fusion revocation."""
+
+import pytest
+
+from repro.opencom import InterfaceError, VTable
+from repro.opencom.vtable import CallContext
+
+from tests.conftest import Adder, IAdder, IEcho
+
+
+@pytest.fixture
+def vtable():
+    return VTable(IAdder, Adder(), "math")
+
+
+class TestDispatch:
+    def test_invoke_dispatches_to_impl(self, vtable):
+        assert vtable.invoke("add", 2, 3) == 5
+
+    def test_invoke_with_kwargs(self, vtable):
+        assert vtable.invoke("scale", x=4, factor=10) == 40
+
+    def test_invoke_unknown_method_raises(self, vtable):
+        with pytest.raises(InterfaceError, match="no method"):
+            vtable.invoke("divide", 1, 2)
+
+    def test_nonconforming_impl_rejected_at_construction(self):
+        class Wrong:
+            pass
+
+        with pytest.raises(InterfaceError, match="does not conform"):
+            VTable(IEcho, Wrong(), "x")
+
+    def test_slot_returns_callable(self, vtable):
+        assert vtable.slot("add")(1, 1) == 2
+
+    def test_iter_methods(self, vtable):
+        assert list(vtable.iter_methods()) == ["add", "scale"]
+
+
+class TestInterception:
+    def test_pre_interceptor_sees_args(self, vtable):
+        seen = []
+        vtable.add_pre("add", "spy", lambda ctx: seen.append(ctx.args))
+        vtable.invoke("add", 7, 8)
+        assert seen == [(7, 8)]
+
+    def test_post_interceptor_sees_result(self, vtable):
+        results = []
+        vtable.add_post("add", "spy", lambda ctx: results.append(ctx.result))
+        vtable.invoke("add", 7, 8)
+        assert results == [15]
+
+    def test_around_interceptor_can_shortcut(self, vtable):
+        vtable.add_around("add", "gate", lambda proceed, ctx: -1)
+        assert vtable.invoke("add", 7, 8) == -1
+
+    def test_around_interceptor_can_proceed(self, vtable):
+        vtable.add_around("add", "pass", lambda proceed, ctx: proceed())
+        assert vtable.invoke("add", 7, 8) == 15
+
+    def test_around_interceptors_nest_outermost_first(self, vtable):
+        order = []
+
+        def outer(proceed, ctx):
+            order.append("outer-in")
+            result = proceed()
+            order.append("outer-out")
+            return result
+
+        def inner(proceed, ctx):
+            order.append("inner-in")
+            result = proceed()
+            order.append("inner-out")
+            return result
+
+        vtable.add_around("add", "a-outer", outer)
+        vtable.add_around("add", "b-inner", inner)
+        vtable.invoke("add", 1, 1)
+        assert order == ["outer-in", "inner-in", "inner-out", "outer-out"]
+
+    def test_remove_interceptor(self, vtable):
+        count = []
+        vtable.add_pre("add", "spy", lambda ctx: count.append(1))
+        assert vtable.remove_interceptor("add", "spy") is True
+        vtable.invoke("add", 1, 1)
+        assert count == []
+
+    def test_remove_unknown_interceptor_returns_false(self, vtable):
+        assert vtable.remove_interceptor("add", "ghost") is False
+
+    def test_intercepted_flag(self, vtable):
+        assert not vtable.intercepted("add")
+        vtable.add_pre("add", "spy", lambda ctx: None)
+        assert vtable.intercepted("add")
+        assert not vtable.intercepted("scale")
+
+    def test_interceptor_names(self, vtable):
+        vtable.add_pre("add", "alpha", lambda ctx: None)
+        vtable.add_post("add", "beta", lambda ctx: None)
+        assert vtable.interceptor_names("add") == ["alpha", "beta"]
+
+    def test_interceptors_on_unknown_method_raise(self, vtable):
+        with pytest.raises(InterfaceError):
+            vtable.add_pre("divide", "x", lambda ctx: None)
+
+    def test_call_context_fields(self, vtable):
+        captured: list[CallContext] = []
+        vtable.add_pre("add", "spy", captured.append)
+        vtable.invoke("add", 1, 2)
+        ctx = captured[0]
+        assert ctx.interface_name == "math"
+        assert ctx.method_name == "add"
+        assert ctx.args == (1, 2)
+
+
+class TestFusion:
+    def test_fused_call_matches_invoke(self, vtable):
+        fused = vtable.fuse("add")
+        assert fused(3, 4) == vtable.invoke("add", 3, 4)
+
+    def test_fused_handle_not_revoked_initially(self, vtable):
+        assert vtable.fuse("add").revoked is False
+
+    def test_adding_interceptor_revokes_fused_handles(self, vtable):
+        fused = vtable.fuse("add")
+        seen = []
+        vtable.add_pre("add", "spy", lambda ctx: seen.append(ctx.args))
+        assert fused.revoked is True
+        # The handle still works and the interceptor now observes the call.
+        assert fused(5, 6) == 11
+        assert seen == [(5, 6)]
+
+    def test_removing_interceptors_refuses_handle(self, vtable):
+        fused = vtable.fuse("add")
+        vtable.add_pre("add", "spy", lambda ctx: None)
+        vtable.remove_interceptor("add", "spy")
+        assert fused.revoked is False
+        assert fused(1, 2) == 3
+
+    def test_fusing_intercepted_slot_yields_revoked_handle(self, vtable):
+        vtable.add_pre("add", "spy", lambda ctx: None)
+        fused = vtable.fuse("add")
+        assert fused.revoked is True
+        assert fused(2, 2) == 4
+
+    def test_fuse_unknown_method_raises(self, vtable):
+        with pytest.raises(InterfaceError):
+            vtable.fuse("divide")

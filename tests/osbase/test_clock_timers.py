@@ -1,0 +1,114 @@
+"""Virtual clock and timer wheel."""
+
+import pytest
+
+from repro.osbase import ClockError, TimerWheel, VirtualClock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        assert clock.now == 1.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock().advance(-1)
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_past_rejected(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(9.0)
+
+
+class TestTimers:
+    @pytest.fixture
+    def wheel(self):
+        return TimerWheel(VirtualClock())
+
+    def test_one_shot_fires_once(self, wheel):
+        fired = []
+        wheel.schedule(1.0, lambda: fired.append(wheel.clock.now))
+        wheel.run_until(5.0)
+        assert fired == [1.0]
+
+    def test_firing_order_by_deadline(self, wheel):
+        order = []
+        wheel.schedule(2.0, lambda: order.append("late"))
+        wheel.schedule(1.0, lambda: order.append("early"))
+        wheel.run_until(3.0)
+        assert order == ["early", "late"]
+
+    def test_same_deadline_fifo(self, wheel):
+        order = []
+        wheel.schedule(1.0, lambda: order.append("first"))
+        wheel.schedule(1.0, lambda: order.append("second"))
+        wheel.run_until(2.0)
+        assert order == ["first", "second"]
+
+    def test_cancel_suppresses(self, wheel):
+        fired = []
+        timer = wheel.schedule(1.0, lambda: fired.append(1))
+        timer.cancel()
+        wheel.run_until(2.0)
+        assert fired == []
+        assert wheel.pending_count() == 0
+
+    def test_periodic_fires_repeatedly(self, wheel):
+        fired = []
+        timer = wheel.schedule_periodic(1.0, lambda: fired.append(wheel.clock.now))
+        wheel.run_until(3.5)
+        assert fired == [1.0, 2.0, 3.0]
+        assert timer.fire_count == 3
+
+    def test_periodic_cancel_stops_series(self, wheel):
+        fired = []
+        timer = wheel.schedule_periodic(1.0, lambda: fired.append(1))
+        wheel.run_until(1.5)
+        timer.cancel()
+        wheel.run_until(5.0)
+        assert fired == [1]
+
+    def test_zero_period_rejected(self, wheel):
+        with pytest.raises(ValueError):
+            wheel.schedule_periodic(0, lambda: None)
+
+    def test_schedule_at_absolute(self, wheel):
+        fired = []
+        wheel.schedule_at(2.5, lambda: fired.append(wheel.clock.now))
+        wheel.run_until(3.0)
+        assert fired == [2.5]
+
+    def test_next_deadline(self, wheel):
+        assert wheel.next_deadline() is None
+        wheel.schedule(4.0, lambda: None)
+        wheel.schedule(2.0, lambda: None)
+        assert wheel.next_deadline() == 2.0
+
+    def test_run_until_lands_clock_exactly(self, wheel):
+        wheel.schedule(1.0, lambda: None)
+        wheel.run_until(7.25)
+        assert wheel.clock.now == 7.25
+
+    def test_timer_scheduled_inside_callback(self, wheel):
+        fired = []
+
+        def chain():
+            fired.append(wheel.clock.now)
+            if len(fired) < 3:
+                wheel.schedule(1.0, chain)
+
+        wheel.schedule(1.0, chain)
+        wheel.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]

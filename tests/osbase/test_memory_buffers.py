@@ -1,0 +1,165 @@
+"""Memory allocator and the buffer-management CF."""
+
+import pytest
+
+from repro.opencom import ResourceError
+from repro.osbase import BufferManagementCF, BufferPool, MemoryAllocator
+
+
+class TestAllocator:
+    def test_basic_alloc_free(self):
+        arena = MemoryAllocator(1000)
+        allocation = arena.alloc(100, "me")
+        assert arena.used_bytes() == 100
+        arena.free(allocation)
+        assert arena.used_bytes() == 0
+        assert arena.free_bytes() == 1000
+
+    def test_out_of_memory(self):
+        arena = MemoryAllocator(100)
+        arena.alloc(80)
+        with pytest.raises(ResourceError, match="out of memory"):
+            arena.alloc(40)
+
+    def test_double_free_rejected(self):
+        arena = MemoryAllocator(100)
+        allocation = arena.alloc(10)
+        arena.free(allocation)
+        with pytest.raises(ResourceError, match="double free"):
+            arena.free(allocation)
+
+    def test_invalid_size_rejected(self):
+        arena = MemoryAllocator(100)
+        with pytest.raises(ResourceError):
+            arena.alloc(0)
+        with pytest.raises(ResourceError):
+            arena.alloc(-5)
+
+    def test_coalescing_restores_full_run(self):
+        arena = MemoryAllocator(300)
+        a = arena.alloc(100)
+        b = arena.alloc(100)
+        c = arena.alloc(100)
+        arena.free(a)
+        arena.free(c)
+        arena.free(b)  # middle free must coalesce both sides
+        assert arena.largest_free_run() == 300
+        assert arena.fragmentation() == 0.0
+
+    def test_external_fragmentation_observable(self):
+        arena = MemoryAllocator(300)
+        blocks = [arena.alloc(100) for _ in range(3)]
+        arena.free(blocks[0])
+        arena.free(blocks[2])
+        # 200 free but largest run is 100: a 150 alloc must fail.
+        assert arena.free_bytes() == 200
+        assert arena.largest_free_run() == 100
+        assert arena.fragmentation() == pytest.approx(0.5)
+        with pytest.raises(ResourceError):
+            arena.alloc(150)
+
+    def test_usage_by_owner(self):
+        arena = MemoryAllocator(1000)
+        arena.alloc(100, "router")
+        arena.alloc(50, "router")
+        arena.alloc(25, "ee")
+        assert arena.usage_by_owner() == {"router": 150, "ee": 25}
+
+    def test_first_fit_reuses_freed_hole(self):
+        arena = MemoryAllocator(300)
+        a = arena.alloc(100)
+        arena.alloc(100)
+        arena.free(a)
+        replacement = arena.alloc(50)
+        assert replacement.offset == 0
+
+
+class TestBufferPool:
+    def test_acquire_release_cycle(self, capsule):
+        pool = capsule.instantiate(lambda: BufferPool(256, 2), "p")
+        buffer = pool.acquire(100)
+        assert buffer.refcount == 1
+        assert pool.in_flight == 1
+        pool.release(buffer)
+        assert pool.in_flight == 0
+
+    def test_exhaustion(self, capsule):
+        pool = capsule.instantiate(lambda: BufferPool(256, 1), "p")
+        pool.acquire(10)
+        with pytest.raises(ResourceError, match="exhausted"):
+            pool.acquire(10)
+        assert pool.exhaustion_events == 1
+
+    def test_oversize_request_rejected(self, capsule):
+        pool = capsule.instantiate(lambda: BufferPool(256, 1), "p")
+        with pytest.raises(ResourceError, match="exceeds pool buffer size"):
+            pool.acquire(1000)
+
+    def test_refcounted_sharing(self, capsule):
+        pool = capsule.instantiate(lambda: BufferPool(64, 1), "p")
+        buffer = pool.acquire(10)
+        buffer.clone_ref()
+        pool.release(buffer)
+        assert pool.in_flight == 1  # still one reference out
+        pool.release(buffer)
+        assert pool.in_flight == 0
+
+    def test_release_wrong_pool_rejected(self, capsule):
+        p1 = capsule.instantiate(lambda: BufferPool(64, 1), "p1")
+        p2 = capsule.instantiate(lambda: BufferPool(64, 1), "p2")
+        buffer = p1.acquire(10)
+        with pytest.raises(ResourceError, match="wrong pool"):
+            p2.release(buffer)
+
+    def test_write_and_views(self, capsule):
+        pool = capsule.instantiate(lambda: BufferPool(64, 1), "p")
+        buffer = pool.acquire(20)
+        buffer.write(b"hello")
+        assert buffer.tobytes() == b"hello"
+        assert bytes(buffer.view()) == b"hello"
+        with pytest.raises(ResourceError, match="exceeds buffer capacity"):
+            buffer.write(b"x" * 100)
+
+    def test_over_release_rejected(self, capsule):
+        pool = capsule.instantiate(lambda: BufferPool(64, 1), "p")
+        buffer = pool.acquire(10)
+        pool.release(buffer)
+        with pytest.raises(ResourceError, match="already fully released"):
+            pool.release(buffer)
+
+
+class TestBufferManagementCF:
+    @pytest.fixture
+    def manager(self, capsule):
+        cf = capsule.instantiate(BufferManagementCF, "bm")
+        cf.add_pool(capsule.instantiate(lambda: BufferPool(128, 2), "small"))
+        cf.add_pool(capsule.instantiate(lambda: BufferPool(2048, 2), "large"))
+        return cf
+
+    def test_best_fit_pool_selection(self, manager):
+        assert manager.acquire(100).capacity == 128
+        assert manager.acquire(500).capacity == 2048
+
+    def test_falls_through_on_exhaustion(self, manager):
+        manager.acquire(100)
+        manager.acquire(100)  # small pool now empty
+        assert manager.acquire(100).capacity == 2048
+
+    def test_no_pool_fits(self, manager):
+        with pytest.raises(ResourceError, match="no pool can hold"):
+            manager.acquire(10_000)
+
+    def test_all_exhausted(self, capsule):
+        cf = capsule.instantiate(BufferManagementCF, "bm2")
+        pool = capsule.instantiate(lambda: BufferPool(64, 1), "only")
+        cf.add_pool(pool)
+        cf.acquire(10)
+        with pytest.raises(ResourceError, match="exhausted"):
+            cf.acquire(10)
+
+    def test_total_stats(self, manager):
+        manager.acquire(100)
+        stats = manager.total_stats()
+        assert stats["pools"] == 2
+        assert stats["buffers"] == 4
+        assert stats["in_flight"] == 1

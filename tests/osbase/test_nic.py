@@ -1,0 +1,73 @@
+"""NIC rings, drops and polling."""
+
+import pytest
+
+from repro.netsim import make_udp_v4
+from repro.osbase import Nic
+
+
+@pytest.fixture
+def nic(capsule):
+    return capsule.instantiate(lambda: Nic(rx_ring_size=4, tx_ring_size=2), "nic")
+
+
+def packet(size=64):
+    return make_udp_v4("10.0.0.1", "10.0.0.2", payload=bytes(size))
+
+
+class TestRx:
+    def test_receive_and_poll(self, nic):
+        p = packet()
+        assert nic.receive_frame(p)
+        assert nic.rx_depth == 1
+        assert nic.poll_rx() is p
+        assert nic.poll_rx() is None
+
+    def test_ring_overflow_drops(self, nic):
+        for _ in range(4):
+            assert nic.receive_frame(packet())
+        assert not nic.receive_frame(packet())
+        assert nic.counters["rx_drops"] == 1
+        assert nic.counters["rx_overruns"] == 1
+        assert nic.counters["rx_packets"] == 4
+
+    def test_oversize_drop(self, nic):
+        big = packet(size=2000)
+        assert not nic.receive_frame(big)
+        assert nic.counters["oversize_drops"] == 1
+
+    def test_interrupt_mode_bypasses_ring(self, nic):
+        handled = []
+        nic.rx_handler = handled.append
+        p = packet()
+        nic.receive_frame(p)
+        assert handled == [p]
+        assert nic.rx_depth == 0
+
+    def test_drain_rx_budget(self, nic):
+        for _ in range(4):
+            nic.receive_frame(packet())
+        handled = []
+        assert nic.drain_rx(handled.append, budget=3) == 3
+        assert nic.rx_depth == 1
+
+
+class TestTx:
+    def test_transmit_and_poll(self, nic):
+        p = packet()
+        assert nic.transmit(p)
+        assert nic.tx_depth == 1
+        assert nic.poll_tx() is p
+
+    def test_tx_ring_overflow(self, nic):
+        assert nic.transmit(packet())
+        assert nic.transmit(packet())
+        assert not nic.transmit(packet())
+        assert nic.counters["tx_drops"] == 1
+
+    def test_stats_shape(self, nic):
+        nic.receive_frame(packet())
+        stats = nic.stats()
+        assert stats["rx_packets"] == 1
+        assert stats["rx_depth"] == 1
+        assert stats["tx_depth"] == 0

@@ -1,0 +1,218 @@
+"""Cooperative threads and the pluggable-scheduler thread-management CF."""
+
+import pytest
+
+from repro.opencom import RuleViolation
+from repro.opencom.metamodel.resources import ResourceMetaModel
+from repro.osbase import (
+    EdfScheduler,
+    LotteryScheduler,
+    PriorityScheduler,
+    RoundRobinScheduler,
+    ThreadManagerCF,
+    VirtualClock,
+    WaitEvent,
+)
+from repro.osbase.threads import SimThread, ThreadError
+
+
+def spin(label, log, iterations=3):
+    for i in range(iterations):
+        log.append((label, i))
+        yield
+
+
+@pytest.fixture
+def manager():
+    return ThreadManagerCF(VirtualClock(), scheduler=RoundRobinScheduler())
+
+
+class TestSimThread:
+    def test_non_generator_body_rejected(self):
+        with pytest.raises(ThreadError, match="generator"):
+            SimThread("bad", lambda: None)
+
+    def test_runs_to_completion(self):
+        log = []
+        thread = SimThread("t", spin("t", log, 2))
+        thread.run_quantum(0.0)
+        thread.run_quantum(0.0)
+        thread.run_quantum(0.0)
+        assert thread.done
+        assert log == [("t", 0), ("t", 1)]
+
+    def test_crash_contained_and_recorded(self):
+        def bomb():
+            yield
+            raise ValueError("thread bug")
+
+        thread = SimThread("b", bomb())
+        thread.run_quantum(0.0)
+        thread.run_quantum(0.0)
+        assert thread.done
+        assert isinstance(thread.error, ValueError)
+
+    def test_run_quantum_in_wrong_state_rejected(self):
+        thread = SimThread("t", spin("t", []))
+        thread.state = "blocked"
+        with pytest.raises(ThreadError):
+            thread.run_quantum(0.0)
+
+
+class TestSchedulers:
+    def test_round_robin_interleaves(self, manager):
+        log = []
+        manager.spawn("a", spin("a", log))
+        manager.spawn("b", spin("b", log))
+        manager.run_until_idle()
+        assert log == [
+            ("a", 0), ("b", 0), ("a", 1), ("b", 1), ("a", 2), ("b", 2)
+        ]
+
+    def test_priority_runs_urgent_first(self):
+        manager = ThreadManagerCF(VirtualClock(), scheduler=PriorityScheduler())
+        log = []
+        manager.spawn("low", spin("low", log), priority=1)
+        manager.spawn("high", spin("high", log), priority=9)
+        manager.run_until_idle()
+        assert log[:3] == [("high", 0), ("high", 1), ("high", 2)]
+
+    def test_lottery_is_proportional(self):
+        manager = ThreadManagerCF(VirtualClock(), scheduler=LotteryScheduler(seed=42))
+        log = []
+
+        def forever(label):
+            while True:
+                log.append(label)
+                yield
+
+        manager.spawn("heavy", forever("heavy"), priority=9)   # 10 tickets
+        manager.spawn("light", forever("light"), priority=0)   # 1 ticket
+        for _ in range(1100):
+            manager.step()
+        heavy = log.count("heavy")
+        assert heavy / len(log) == pytest.approx(10 / 11, abs=0.05)
+
+    def test_edf_runs_earliest_deadline(self):
+        manager = ThreadManagerCF(VirtualClock(), scheduler=EdfScheduler())
+        log = []
+        manager.spawn("late", spin("late", log, 1), deadline=10.0)
+        manager.spawn("soon", spin("soon", log, 1), deadline=1.0)
+        manager.run_until_idle()
+        assert log[0] == ("soon", 0)
+
+    def test_scheduler_hot_swap(self, manager):
+        log = []
+
+        def forever(label):
+            while True:
+                log.append(label)
+                yield
+
+        manager.spawn("lo", forever("lo"), priority=0)
+        manager.spawn("hi", forever("hi"), priority=9)
+        for _ in range(10):
+            manager.step()
+        round_robin_hi = log.count("hi")
+        manager.set_scheduler(PriorityScheduler())
+        log.clear()
+        for _ in range(10):
+            manager.step()
+        assert log == ["hi"] * 10  # strict priority after swap
+        assert 4 <= round_robin_hi <= 6  # fair before swap
+
+    def test_scheduler_rule_checked(self, manager):
+        from repro.opencom import Component
+
+        class NotAScheduler(Component):
+            pass
+
+        with pytest.raises(RuleViolation):
+            manager.set_scheduler(NotAScheduler())
+
+    def test_no_scheduler_installed(self):
+        manager = ThreadManagerCF(VirtualClock())
+        manager.spawn("t", spin("t", []))
+        with pytest.raises(RuleViolation, match="no scheduler"):
+            manager.step()
+
+
+class TestBlockingAndTime:
+    def test_sleep_advances_clock(self, manager):
+        wake_times = []
+
+        def sleeper():
+            yield 0.25
+            wake_times.append(manager.clock.now)
+
+        manager.spawn("s", sleeper())
+        manager.run_until_idle()
+        assert wake_times[0] >= 0.25
+
+    def test_sleepers_wake_in_order(self, manager):
+        order = []
+
+        def sleeper(label, duration):
+            yield duration
+            order.append(label)
+
+        manager.spawn("late", sleeper("late", 0.5))
+        manager.spawn("early", sleeper("early", 0.1))
+        manager.run_until_idle()
+        assert order == ["early", "late"]
+
+    def test_wait_event_blocks_until_signal(self, manager):
+        event = WaitEvent("go")
+        log = []
+
+        def waiter():
+            log.append("before")
+            yield event
+            log.append("after")
+
+        def signaller():
+            yield
+            yield
+            event.signal()
+
+        manager.spawn("w", waiter())
+        manager.spawn("s", signaller())
+        manager.run_until_idle()
+        assert log == ["before", "after"]
+        assert event.signal_count == 1
+
+    def test_blocked_thread_without_signal_stays_blocked(self, manager):
+        event = WaitEvent("never")
+
+        def waiter():
+            yield event
+
+        thread = manager.spawn("w", waiter())
+        manager.run_until_idle()
+        assert thread.state == "blocked"
+        assert manager.alive_count() == 1
+
+    def test_bad_yield_value_kills_thread(self, manager):
+        def confused():
+            yield "what is this"
+
+        thread = manager.spawn("c", confused())
+        manager.run_until_idle()
+        assert thread.done
+        assert isinstance(thread.error, TypeError)
+
+    def test_work_charged_to_task(self, manager):
+        resources = ResourceMetaModel()
+        task = resources.create_task("data-plane")
+        manager.spawn("t", spin("t", [], 5), task=task)
+        manager.run_until_idle()
+        assert task.work_done == 6  # 5 yields + final completion quantum
+
+    def test_run_for_duration(self, manager):
+        def forever():
+            while True:
+                yield
+
+        manager.spawn("f", forever())
+        manager.run_for(0.001)
+        assert manager.clock.now >= 0.001

@@ -1,0 +1,285 @@
+"""The stratum-2 component library: header processors, classifier, NAT,
+meters, NIC adapters."""
+
+import pytest
+
+from repro.netsim import format_ipv4, make_udp_v4, make_udp_v6
+from repro.router import (
+    ChecksumValidator,
+    Classifier,
+    CollectorSink,
+    DropSink,
+    IPv4HeaderProcessor,
+    IPv6HeaderProcessor,
+    NicEgress,
+    NicIngress,
+    PacketCounterTap,
+    ProtocolRecognizer,
+    RateMeter,
+    SourceNat,
+)
+from repro.osbase import Nic, VirtualClock
+
+
+def wire(capsule, src, dst, connection=None):
+    return capsule.bind(
+        src.receptacle("out"), dst.interface("in0"), connection_name=connection
+    )
+
+
+def push(component, packet):
+    component.interface("in0").vtable.invoke("push", packet)
+
+
+class TestProtocolRecognizer:
+    def test_fan_out_by_version(self, capsule):
+        recogniser = capsule.instantiate(ProtocolRecognizer, "r")
+        v4_sink = capsule.instantiate(CollectorSink, "v4")
+        v6_sink = capsule.instantiate(CollectorSink, "v6")
+        wire(capsule, recogniser, v4_sink, "ipv4")
+        wire(capsule, recogniser, v6_sink, "ipv6")
+        push(recogniser, make_udp_v4("10.0.0.1", "10.0.0.2"))
+        push(recogniser, make_udp_v6("::1", "::2"))
+        assert v4_sink.collected_count() == 1
+        assert v6_sink.collected_count() == 1
+        assert recogniser.counters["v4"] == 1
+        assert recogniser.counters["v6"] == 1
+
+    def test_unbound_version_counted_as_drop(self, capsule):
+        recogniser = capsule.instantiate(ProtocolRecognizer, "r")
+        push(recogniser, make_udp_v4("10.0.0.1", "10.0.0.2"))
+        assert recogniser.counters["drop:no-route:ipv4"] == 1
+
+
+class TestHeaderProcessors:
+    def test_ttl_decrement_and_checksum_refresh(self, capsule):
+        processor = capsule.instantiate(IPv4HeaderProcessor, "p")
+        sink = capsule.instantiate(CollectorSink, "s")
+        wire(capsule, processor, sink)
+        packet = make_udp_v4("10.0.0.1", "10.0.0.2", ttl=5)
+        push(processor, packet)
+        delivered = sink.packets[0]
+        assert delivered.net.ttl == 4
+        assert delivered.net.checksum_ok()
+
+    def test_ttl_expiry_drops(self, capsule):
+        processor = capsule.instantiate(IPv4HeaderProcessor, "p")
+        sink = capsule.instantiate(CollectorSink, "s")
+        wire(capsule, processor, sink)
+        push(processor, make_udp_v4("10.0.0.1", "10.0.0.2", ttl=1))
+        assert sink.collected_count() == 0
+        assert processor.counters["drop:ttl-expired"] == 1
+
+    def test_corrupt_checksum_drops(self, capsule):
+        processor = capsule.instantiate(IPv4HeaderProcessor, "p")
+        sink = capsule.instantiate(CollectorSink, "s")
+        wire(capsule, processor, sink)
+        packet = make_udp_v4("10.0.0.1", "10.0.0.2")
+        packet.net.checksum ^= 0xFFFF
+        push(processor, packet)
+        assert processor.counters["drop:bad-checksum"] == 1
+
+    def test_checksum_validation_can_be_disabled(self, capsule):
+        processor = capsule.instantiate(
+            lambda: IPv4HeaderProcessor(validate_checksum=False), "p"
+        )
+        sink = capsule.instantiate(CollectorSink, "s")
+        wire(capsule, processor, sink)
+        packet = make_udp_v4("10.0.0.1", "10.0.0.2")
+        packet.net.checksum ^= 0xFFFF
+        push(processor, packet)
+        assert sink.collected_count() == 1
+
+    def test_v6_hop_limit(self, capsule):
+        processor = capsule.instantiate(IPv6HeaderProcessor, "p")
+        sink = capsule.instantiate(CollectorSink, "s")
+        wire(capsule, processor, sink)
+        push(processor, make_udp_v6("::1", "::2", hop_limit=2))
+        assert sink.packets[0].net.hop_limit == 1
+        push(processor, make_udp_v6("::1", "::2", hop_limit=1))
+        assert processor.counters["drop:hop-limit-expired"] == 1
+
+    def test_wrong_family_dropped(self, capsule):
+        processor = capsule.instantiate(IPv4HeaderProcessor, "p")
+        push(processor, make_udp_v6("::1", "::2"))
+        assert processor.counters["drop:not-ipv4"] == 1
+
+    def test_checksum_validator_passes_v6(self, capsule):
+        validator = capsule.instantiate(ChecksumValidator, "v")
+        sink = capsule.instantiate(CollectorSink, "s")
+        wire(capsule, validator, sink)
+        push(validator, make_udp_v6("::1", "::2"))
+        assert sink.collected_count() == 1
+
+
+class TestClassifier:
+    @pytest.fixture
+    def classified(self, capsule):
+        classifier = capsule.instantiate(
+            lambda: Classifier(default_output="best-effort"), "c"
+        )
+        video = capsule.instantiate(CollectorSink, "video")
+        best_effort = capsule.instantiate(CollectorSink, "be")
+        wire(capsule, classifier, video, "video")
+        wire(capsule, classifier, best_effort, "best-effort")
+        return classifier, video, best_effort
+
+    def test_filter_routes_to_named_output(self, classified):
+        classifier, video, best_effort = classified
+        classifier.register_filter("dport=5000-5999 -> video priority=5")
+        push(classifier, make_udp_v4("10.0.0.1", "10.0.0.2", dport=5500))
+        push(classifier, make_udp_v4("10.0.0.1", "10.0.0.2", dport=80))
+        assert video.collected_count() == 1
+        assert best_effort.collected_count() == 1
+
+    def test_class_metadata_stamped(self, classified):
+        classifier, video, _ = classified
+        classifier.register_filter("dport=5000 -> video")
+        push(classifier, make_udp_v4("10.0.0.1", "10.0.0.2", dport=5000))
+        assert video.packets[0].metadata["class"] == "video"
+
+    def test_no_default_drops_unmatched(self, capsule):
+        classifier = capsule.instantiate(Classifier, "strict")
+        push(classifier, make_udp_v4("10.0.0.1", "10.0.0.2"))
+        assert classifier.counters["drop:unclassified"] == 1
+
+    def test_remove_filter_restores_default(self, classified):
+        classifier, video, best_effort = classified
+        fid = classifier.register_filter("dport=5000 -> video")
+        classifier.remove_filter(fid)
+        push(classifier, make_udp_v4("10.0.0.1", "10.0.0.2", dport=5000))
+        assert video.collected_count() == 0
+        assert best_effort.collected_count() == 1
+
+    def test_list_filters(self, classified):
+        classifier, _, _ = classified
+        classifier.register_filter("dport=1 -> video priority=2")
+        classifier.register_filter("dport=2 -> video priority=8")
+        priorities = [f["priority"] for f in classifier.list_filters()]
+        assert priorities == [8, 2]
+
+
+class TestSourceNat:
+    @pytest.fixture
+    def nat_setup(self, capsule):
+        nat = capsule.instantiate(lambda: SourceNat("203.0.113.1"), "nat")
+        wan = capsule.instantiate(CollectorSink, "wan")
+        lan = capsule.instantiate(CollectorSink, "lan")
+        capsule.bind(nat.receptacle("out"), wan.interface("in0"), connection_name=SourceNat.OUT_WAN)
+        capsule.bind(nat.receptacle("out"), lan.interface("in0"), connection_name=SourceNat.OUT_LAN)
+        return nat, wan, lan
+
+    def test_outbound_translation(self, nat_setup):
+        nat, wan, _ = nat_setup
+        push(nat, make_udp_v4("192.168.1.10", "8.8.8.8", sport=1234))
+        out = wan.packets[0]
+        assert format_ipv4(out.net.src) == "203.0.113.1"
+        assert out.transport.sport >= 30000
+        assert out.net.checksum_ok()
+
+    def test_stable_mapping_per_flow(self, nat_setup):
+        nat, wan, _ = nat_setup
+        push(nat, make_udp_v4("192.168.1.10", "8.8.8.8", sport=1234))
+        push(nat, make_udp_v4("192.168.1.10", "8.8.8.8", sport=1234))
+        assert wan.packets[0].transport.sport == wan.packets[1].transport.sport
+        assert nat.translation_count() == 1
+
+    def test_distinct_flows_distinct_ports(self, nat_setup):
+        nat, wan, _ = nat_setup
+        push(nat, make_udp_v4("192.168.1.10", "8.8.8.8", sport=1))
+        push(nat, make_udp_v4("192.168.1.11", "8.8.8.8", sport=1))
+        assert wan.packets[0].transport.sport != wan.packets[1].transport.sport
+
+    def test_inbound_reverse_translation(self, nat_setup):
+        nat, wan, lan = nat_setup
+        push(nat, make_udp_v4("192.168.1.10", "8.8.8.8", sport=1234))
+        translated_port = wan.packets[0].transport.sport
+        reply = make_udp_v4("8.8.8.8", "203.0.113.1", sport=53, dport=translated_port)
+        nat.interface("in-wan").vtable.invoke("push", reply)
+        back = lan.packets[0]
+        assert format_ipv4(back.net.dst) == "192.168.1.10"
+        assert back.transport.dport == 1234
+
+    def test_unknown_inbound_dropped(self, nat_setup):
+        nat, _, lan = nat_setup
+        stray = make_udp_v4("8.8.8.8", "203.0.113.1", dport=4444)
+        nat.interface("in-wan").vtable.invoke("push", stray)
+        assert lan.collected_count() == 0
+        assert nat.counters["drop:no-translation"] == 1
+
+
+class TestMetersAndSinks:
+    def test_counter_tap_transparent(self, capsule):
+        tap = capsule.instantiate(PacketCounterTap, "t")
+        sink = capsule.instantiate(CollectorSink, "s")
+        wire(capsule, tap, sink)
+        packet = make_udp_v4("10.0.0.1", "10.0.0.2", payload=bytes(100))
+        push(tap, packet)
+        assert sink.collected_count() == 1
+        assert tap.bytes_seen == packet.size_bytes
+
+    def test_rate_meter_window(self, capsule):
+        clock = VirtualClock()
+        meter = capsule.instantiate(lambda: RateMeter(clock, window_s=1.0), "m")
+        sink = capsule.instantiate(CollectorSink, "s")
+        wire(capsule, meter, sink)
+        for _ in range(10):
+            push(meter, make_udp_v4("10.0.0.1", "10.0.0.2", payload=bytes(100)))
+            clock.advance(0.01)
+        assert meter.rate_pps() == 10
+        clock.advance(2.0)
+        push(meter, make_udp_v4("10.0.0.1", "10.0.0.2"))
+        assert meter.rate_pps() == 1  # window slid past the old burst
+
+    def test_collector_keep_bound(self, capsule):
+        sink = capsule.instantiate(lambda: CollectorSink(keep=2), "s")
+        for i in range(5):
+            push(sink, make_udp_v4("10.0.0.1", "10.0.0.2"))
+        assert sink.collected_count() == 5
+        assert len(sink.packets) == 2
+
+    def test_drop_sink_counts(self, capsule):
+        sink = capsule.instantiate(DropSink, "d")
+        push(sink, make_udp_v4("10.0.0.1", "10.0.0.2"))
+        assert sink.collected_count() == 1
+
+
+class TestNicAdapters:
+    def test_ingress_interrupt_mode(self, capsule):
+        nic = capsule.instantiate(Nic, "nic")
+        ingress = capsule.instantiate(NicIngress, "in")
+        sink = capsule.instantiate(CollectorSink, "s")
+        capsule.bind(ingress.receptacle("out"), sink.interface("in0"))
+        ingress.attach(nic)
+        nic.receive_frame(make_udp_v4("10.0.0.1", "10.0.0.2"))
+        assert sink.collected_count() == 1
+
+    def test_ingress_polled_mode(self, capsule):
+        nic = capsule.instantiate(Nic, "nic")
+        ingress = capsule.instantiate(NicIngress, "in")
+        sink = capsule.instantiate(CollectorSink, "s")
+        capsule.bind(ingress.receptacle("out"), sink.interface("in0"))
+        ingress.attach(nic, interrupt_mode=False)
+        for _ in range(5):
+            nic.receive_frame(make_udp_v4("10.0.0.1", "10.0.0.2"))
+        assert ingress.poll(budget=3) == 3
+        assert sink.collected_count() == 3
+
+    def test_ingress_unplumbed_drop(self, capsule):
+        nic = capsule.instantiate(Nic, "nic")
+        ingress = capsule.instantiate(NicIngress, "in")
+        ingress.attach(nic)
+        nic.receive_frame(make_udp_v4("10.0.0.1", "10.0.0.2"))
+        assert ingress.counters["drop:unplumbed"] == 1
+
+    def test_egress_transmit(self, capsule):
+        sent = []
+        egress = capsule.instantiate(lambda: NicEgress(lambda p: sent.append(p) or True), "out")
+        push(egress, make_udp_v4("10.0.0.1", "10.0.0.2"))
+        assert len(sent) == 1
+        assert egress.counters["tx"] == 1
+
+    def test_egress_failure_counted(self, capsule):
+        egress = capsule.instantiate(lambda: NicEgress(lambda p: False), "out")
+        push(egress, make_udp_v4("10.0.0.1", "10.0.0.2"))
+        assert egress.counters["drop:tx-failed"] == 1

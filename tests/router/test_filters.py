@@ -1,0 +1,166 @@
+"""The filter language and filter tables."""
+
+import pytest
+
+from repro.netsim import make_tcp_v4, make_udp_v4, make_udp_v6
+from repro.router import FilterError, FilterSpec, FilterTable, parse_filter, parse_prefix
+
+
+class TestPrefixParsing:
+    def test_v4_prefix(self):
+        assert parse_prefix("10.0.0.0/8") == (4, 10 << 24, 8)
+
+    def test_bare_address_is_host_prefix(self):
+        version, network, length = parse_prefix("10.1.2.3")
+        assert (version, length) == (4, 32)
+
+    def test_v6_prefix(self):
+        version, _, length = parse_prefix("2001:db8::/32")
+        assert (version, length) == (6, 32)
+
+    def test_network_bits_masked(self):
+        _, network, _ = parse_prefix("10.1.2.3/8")
+        assert network == 10 << 24
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(FilterError):
+            parse_prefix("10.0.0.0/xx")
+        with pytest.raises(FilterError):
+            parse_prefix("10.0.0.0/40")
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(FilterError):
+            parse_prefix("10.0.0.0/8", version=6)
+
+
+class TestParseFilter:
+    def test_full_clause_set(self):
+        spec = parse_filter(
+            "version=4 and src=10.0.0.0/8 and dst=10.3.0.0/16 and proto=udp "
+            "and sport=1000-1999 and dport=2000 and dscp=46 -> video priority=7"
+        )
+        assert spec.output == "video"
+        assert spec.priority == 7
+        assert spec.version == 4
+        assert spec.protocol == 17
+        assert spec.sport == (1000, 1999)
+        assert spec.dport == (2000, 2000)
+        assert spec.dscp == 46
+
+    def test_wildcard(self):
+        spec = parse_filter("* -> everything")
+        assert spec.matches(make_udp_v4("10.0.0.1", "10.0.0.2"))
+        assert spec.matches(make_udp_v6("::1", "::2"))
+
+    def test_proto_names_and_numbers(self):
+        assert parse_filter("proto=tcp -> x").protocol == 6
+        assert parse_filter("proto=47 -> x").protocol == 47
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(FilterError, match="lacks"):
+            parse_filter("version=4")
+
+    def test_missing_output_rejected(self):
+        with pytest.raises(FilterError, match="names no output"):
+            parse_filter("version=4 -> ")
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(FilterError, match="unknown clause"):
+            parse_filter("colour=blue -> x")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(FilterError):
+            parse_filter("version=5 -> x")
+
+    def test_bad_ports_rejected(self):
+        with pytest.raises(FilterError):
+            parse_filter("dport=99999 -> x")
+        with pytest.raises(FilterError):
+            parse_filter("dport=200-100 -> x")
+
+    def test_address_family_conflict_rejected(self):
+        with pytest.raises(FilterError, match="conflicts"):
+            parse_filter("version=6 and dst=10.0.0.0/8 -> x")
+
+    def test_bad_trailing_token_rejected(self):
+        with pytest.raises(FilterError, match="trailing"):
+            parse_filter("* -> x bogus=1")
+
+
+class TestMatching:
+    def test_dst_prefix_match(self):
+        spec = parse_filter("dst=10.3.0.0/16 -> x")
+        assert spec.matches(make_udp_v4("10.0.0.1", "10.3.9.9"))
+        assert not spec.matches(make_udp_v4("10.0.0.1", "10.4.0.1"))
+
+    def test_version_filtering(self):
+        spec = parse_filter("version=6 -> x")
+        assert spec.matches(make_udp_v6("::1", "::2"))
+        assert not spec.matches(make_udp_v4("10.0.0.1", "10.0.0.2"))
+
+    def test_v4_prefix_never_matches_v6(self):
+        spec = parse_filter("dst=10.0.0.0/8 -> x")
+        assert not spec.matches(make_udp_v6("::1", "::2"))
+
+    def test_port_ranges(self):
+        spec = parse_filter("dport=2000-2999 -> x")
+        assert spec.matches(make_udp_v4("10.0.0.1", "10.0.0.2", dport=2500))
+        assert not spec.matches(make_udp_v4("10.0.0.1", "10.0.0.2", dport=3000))
+
+    def test_port_clause_rejects_transportless(self):
+        from repro.netsim.packet import IPv4Header, Packet, ipv4
+
+        spec = parse_filter("dport=80 -> x")
+        bare = Packet(IPv4Header(src=ipv4("10.0.0.1"), dst=ipv4("10.0.0.2")))
+        assert not spec.matches(bare)
+
+    def test_dscp_match(self):
+        spec = parse_filter("dscp=46 -> ef")
+        assert spec.matches(make_udp_v4("10.0.0.1", "10.0.0.2", dscp=46))
+        assert not spec.matches(make_udp_v4("10.0.0.1", "10.0.0.2", dscp=0))
+
+    def test_proto_match_tcp(self):
+        spec = parse_filter("proto=tcp -> x")
+        assert spec.matches(make_tcp_v4("10.0.0.1", "10.0.0.2"))
+        assert not spec.matches(make_udp_v4("10.0.0.1", "10.0.0.2"))
+
+
+class TestFilterTable:
+    def test_priority_order_wins(self):
+        table = FilterTable()
+        table.add("dst=10.0.0.0/8 -> low priority=1")
+        table.add("dst=10.3.0.0/16 -> high priority=9")
+        packet = make_udp_v4("10.0.0.1", "10.3.1.1")
+        assert table.classify(packet).output == "high"
+
+    def test_tie_breaks_by_install_order(self):
+        table = FilterTable()
+        table.add("* -> first priority=5")
+        table.add("* -> second priority=5")
+        assert table.classify(make_udp_v4("10.0.0.1", "10.0.0.2")).output == "first"
+
+    def test_no_match_returns_none(self):
+        table = FilterTable()
+        table.add("dst=10.0.0.0/8 -> x")
+        assert table.classify(make_udp_v4("10.0.0.1", "192.168.0.1")) is None
+
+    def test_remove_by_id(self):
+        table = FilterTable()
+        fid = table.add("* -> x")
+        table.remove(fid)
+        assert len(table) == 0
+        with pytest.raises(FilterError, match="no filter"):
+            table.remove(fid)
+
+    def test_describe_priority_sorted(self):
+        table = FilterTable()
+        table.add("* -> low priority=1")
+        table.add("* -> high priority=10")
+        outputs = [d["output"] for d in table.describe()]
+        assert outputs == ["high", "low"]
+
+    def test_outputs_set(self):
+        table = FilterTable()
+        table.add("* -> a")
+        table.add("version=4 -> b")
+        assert table.outputs() == {"a", "b"}

@@ -1,0 +1,125 @@
+"""Assembled pipelines: the Figure-3 composite and the flat forwarding
+path."""
+
+import pytest
+
+from repro.netsim import make_udp_v4, make_udp_v6, mixed_v4_v6_trace
+from repro.opencom import Capsule, ConstraintViolation
+from repro.router import build_figure3_composite, build_forwarding_pipeline
+
+
+class TestFigure3Composite:
+    @pytest.fixture
+    def figure3(self, capsule):
+        composite, pipeline = build_figure3_composite(capsule)
+        return capsule, composite, pipeline
+
+    def test_v4_and_v6_paths_reach_sink(self, figure3):
+        _, _, pipeline = figure3
+        pipeline.push(make_udp_v4("10.0.0.1", "10.0.0.2"))
+        pipeline.push(make_udp_v6("2001:db8::1", "2001:db8::2"))
+        pipeline.drain()
+        assert pipeline.stages["sink"].collected_count() == 2
+
+    def test_ttl_decremented_on_the_way(self, figure3):
+        _, _, pipeline = figure3
+        pipeline.push(make_udp_v4("10.0.0.1", "10.0.0.2", ttl=9))
+        pipeline.drain()
+        assert pipeline.stages["sink"].packets[0].net.ttl == 8
+
+    def test_classifier_splits_traffic_classes(self, figure3):
+        _, _, pipeline = figure3
+        pipeline.stages["classifier"].register_filter(
+            "dport=7000-7999 -> expedited priority=10"
+        )
+        pipeline.push(make_udp_v4("10.0.0.1", "10.0.0.2", dport=7500))
+        pipeline.push(make_udp_v4("10.0.0.1", "10.0.0.2", dport=80))
+        assert pipeline.stages["queue:expedited"].depth == 1
+        assert pipeline.stages["queue:best-effort"].depth == 1
+
+    def test_expedited_served_first(self, figure3):
+        _, _, pipeline = figure3
+        pipeline.stages["classifier"].register_filter(
+            "dport=7000 -> expedited priority=10"
+        )
+        pipeline.push(make_udp_v4("10.0.0.1", "10.0.0.2", dport=80))
+        pipeline.push(make_udp_v4("10.0.0.1", "10.0.0.2", dport=7000))
+        pipeline.drain()
+        sink = pipeline.stages["sink"]
+        assert sink.packets[0].transport.dport == 7000
+
+    def test_composite_structure_matches_figure(self, figure3):
+        _, composite, _ = figure3
+        info = composite.describe_internals()
+        member_shorts = {name.split(".", 1)[1] for name in info["members"]}
+        assert {
+            "protocol-recogniser", "ipv4-processor", "ipv6-processor",
+            "classifier", "queue:expedited", "queue:best-effort",
+            "link-scheduler", "forward-sink",
+        } <= member_shorts
+        assert info["constraints"] == ["acyclic"]
+        assert set(info["exports"]) == {"input", "classifier"}
+
+    def test_acyclic_constraint_active(self, figure3):
+        _, composite, _ = figure3
+        # classifier -> recogniser would close recogniser -> v4 ->
+        # classifier -> recogniser.
+        with pytest.raises(ConstraintViolation, match="cycle"):
+            composite.bind_internal(
+                "classifier", "out", "protocol-recogniser", "in0",
+                connection_name="loop",
+            )
+
+    def test_exported_classifier_interface_usable(self, figure3):
+        _, composite, pipeline = figure3
+        composite.interface("classifier").vtable.invoke(
+            "register_filter", "dport=9 -> expedited"
+        )
+        filters = composite.interface("classifier").vtable.invoke("list_filters")
+        assert len(filters) == 1
+
+    def test_consistency_clean(self, figure3):
+        capsule, _, _ = figure3
+        assert capsule.architecture.check_consistency() == []
+
+    def test_bulk_trace_accounting(self, figure3):
+        _, _, pipeline = figure3
+        trace = mixed_v4_v6_trace(count=300, seed=11)
+        for pkt in trace:
+            pipeline.push(pkt)
+            pipeline.service(budget=2)
+        pipeline.drain()
+        sink = pipeline.stages["sink"]
+        recogniser = pipeline.stages["recogniser"]
+        assert recogniser.counters["rx"] == 300
+        assert sink.collected_count() == 300  # interleaved service: no loss
+
+
+class TestForwardingPipeline:
+    @pytest.fixture
+    def forwarding(self, capsule):
+        routes = {
+            "10.1.0.0/16": "west",
+            "10.2.0.0/16": "east",
+            "0.0.0.0/0": "default",
+        }
+        return build_forwarding_pipeline(capsule, routes=routes)
+
+    def test_routes_to_correct_sinks(self, forwarding):
+        forwarding.push(make_udp_v4("10.0.0.1", "10.1.9.9"))
+        forwarding.push(make_udp_v4("10.0.0.1", "10.2.9.9"))
+        forwarding.push(make_udp_v4("10.0.0.1", "172.16.0.1"))
+        assert forwarding.stages["sink:west"].collected_count() == 1
+        assert forwarding.stages["sink:east"].collected_count() == 1
+        assert forwarding.stages["sink:default"].collected_count() == 1
+
+    def test_stage_stats(self, forwarding):
+        forwarding.push(make_udp_v4("10.0.0.1", "10.1.9.9"))
+        stats = forwarding.stage_stats()
+        assert stats["recogniser"]["v4"] == 1
+        assert stats["forwarder"]["hop:west"] == 1
+
+    def test_all_stages_are_cf_plugins(self, forwarding):
+        assert {"recogniser", "ipv4", "ipv6", "forwarder"} <= set(
+            forwarding.cf.plugins()
+        )

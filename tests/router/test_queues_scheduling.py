@@ -1,0 +1,363 @@
+"""Queues, link schedulers, shapers and forwarding."""
+
+import pytest
+
+from repro.netsim import make_udp_v4
+from repro.osbase import VirtualClock
+from repro.router import (
+    CollectorSink,
+    DrrScheduler,
+    FifoQueue,
+    Forwarder,
+    LpmTable,
+    Policer,
+    PriorityLinkScheduler,
+    RedQueue,
+    TokenBucketShaper,
+    WfqScheduler,
+)
+
+
+def packet(dport=1000, size=100, dst="10.0.0.2"):
+    return make_udp_v4("10.0.0.1", dst, dport=dport, payload=bytes(size))
+
+
+def push(component, pkt):
+    component.interface("in0").vtable.invoke("push", pkt)
+
+
+class TestFifoQueue:
+    def test_fifo_order(self, capsule):
+        queue = capsule.instantiate(lambda: FifoQueue(10), "q")
+        first, second = packet(), packet()
+        push(queue, first)
+        push(queue, second)
+        assert queue.pull() is first
+        assert queue.pull() is second
+        assert queue.pull() is None
+
+    def test_drop_tail(self, capsule):
+        queue = capsule.instantiate(lambda: FifoQueue(2), "q")
+        for _ in range(3):
+            push(queue, packet())
+        assert queue.depth == 2
+        assert queue.counters["drop:overflow"] == 1
+
+    def test_backlog_bytes(self, capsule):
+        queue = capsule.instantiate(lambda: FifoQueue(10), "q")
+        push(queue, packet(size=100))
+        push(queue, packet(size=200))
+        assert queue.backlog_bytes == (128 + 228)
+
+
+class TestRedQueue:
+    def test_accepts_below_min_threshold(self, capsule):
+        queue = capsule.instantiate(
+            lambda: RedQueue(100, min_threshold=10, max_threshold=50), "q"
+        )
+        for _ in range(5):
+            push(queue, packet())
+        assert queue.depth == 5
+        assert queue.counters.get("drop:red-early", 0) == 0
+
+    def test_early_drops_under_sustained_load(self, capsule):
+        queue = capsule.instantiate(
+            lambda: RedQueue(
+                1000, min_threshold=5, max_threshold=20,
+                max_drop_probability=1.0, weight=0.5, seed=1,
+            ),
+            "q",
+        )
+        for _ in range(200):
+            push(queue, packet())
+        drops = queue.counters.get("drop:red-early", 0) + queue.counters.get(
+            "drop:red-forced", 0
+        )
+        assert drops > 0
+        assert queue.depth < 200
+
+    def test_forced_drop_above_max(self, capsule):
+        queue = capsule.instantiate(
+            lambda: RedQueue(1000, min_threshold=1, max_threshold=2, weight=1.0), "q"
+        )
+        for _ in range(20):
+            push(queue, packet())
+        assert queue.counters.get("drop:red-forced", 0) > 0
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            RedQueue(10, min_threshold=5, max_threshold=5)
+
+    def test_average_tracks_depth(self, capsule):
+        queue = capsule.instantiate(
+            lambda: RedQueue(100, min_threshold=50, max_threshold=90, weight=1.0), "q"
+        )
+        for _ in range(10):
+            push(queue, packet())
+        assert queue.average_depth > 0
+
+
+def build_scheduler(capsule, scheduler_factory, queue_names):
+    scheduler = capsule.instantiate(scheduler_factory, "sched")
+    queues = {}
+    for name in queue_names:
+        queue = capsule.instantiate(lambda: FifoQueue(1000), f"q-{name}")
+        capsule.bind(
+            scheduler.receptacle("inputs"), queue.interface("pull0"),
+            connection_name=name,
+        )
+        queues[name] = queue
+    sink = capsule.instantiate(CollectorSink, "sink")
+    capsule.bind(scheduler.receptacle("out"), sink.interface("in0"))
+    return scheduler, queues, sink
+
+
+class TestPriorityScheduler:
+    def test_strict_priority(self, capsule):
+        scheduler, queues, sink = build_scheduler(
+            capsule, lambda: PriorityLinkScheduler(["gold", "silver"]), ["gold", "silver"]
+        )
+        for i in range(3):
+            push(queues["silver"], packet(dport=1))
+            push(queues["gold"], packet(dport=2))
+        scheduler.service(budget=6)
+        classes = [p.transport.dport for p in sink.packets]
+        assert classes == [2, 2, 2, 1, 1, 1]
+
+    def test_lower_class_served_when_high_empty(self, capsule):
+        scheduler, queues, sink = build_scheduler(
+            capsule, lambda: PriorityLinkScheduler(["gold", "silver"]), ["gold", "silver"]
+        )
+        push(queues["silver"], packet())
+        assert scheduler.service(budget=5) == 1
+        assert sink.collected_count() == 1
+
+    def test_service_stops_when_empty(self, capsule):
+        scheduler, _, _ = build_scheduler(
+            capsule, lambda: PriorityLinkScheduler([]), ["only"]
+        )
+        assert scheduler.service(budget=10) == 0
+
+
+class TestDrrScheduler:
+    def test_byte_fairness_with_unequal_packet_sizes(self, capsule):
+        scheduler, queues, sink = build_scheduler(
+            capsule, lambda: DrrScheduler(quantum=500), ["big", "small"]
+        )
+        for _ in range(40):
+            push(queues["big"], packet(dport=1, size=972))   # 1000B packets
+            push(queues["small"], packet(dport=2, size=222))  # 250B packets
+        scheduler.service(budget=50)
+        big_bytes = sum(p.size_bytes for p in sink.packets if p.transport.dport == 1)
+        small_bytes = sum(p.size_bytes for p in sink.packets if p.transport.dport == 2)
+        # Byte share should be near equal despite a 4x packet-size gap.
+        assert big_bytes / small_bytes == pytest.approx(1.0, abs=0.35)
+
+    def test_weighted_quanta(self, capsule):
+        scheduler, queues, sink = build_scheduler(
+            capsule,
+            lambda: DrrScheduler(quantum=500, quanta={"heavy": 1500}),
+            ["heavy", "light"],
+        )
+        for _ in range(60):
+            push(queues["heavy"], packet(dport=1, size=472))
+            push(queues["light"], packet(dport=2, size=472))
+        scheduler.service(budget=40)
+        heavy = sum(1 for p in sink.packets if p.transport.dport == 1)
+        light = sum(1 for p in sink.packets if p.transport.dport == 2)
+        assert heavy / light == pytest.approx(3.0, abs=1.0)
+
+    def test_empty_inputs_skipped(self, capsule):
+        scheduler, queues, sink = build_scheduler(
+            capsule, lambda: DrrScheduler(quantum=500), ["a", "b"]
+        )
+        push(queues["b"], packet())
+        assert scheduler.service(budget=2) == 1
+
+
+class TestWfqScheduler:
+    def test_weight_proportional_service(self, capsule):
+        scheduler, queues, sink = build_scheduler(
+            capsule,
+            lambda: WfqScheduler(weights={"gold": 3.0, "bronze": 1.0}),
+            ["gold", "bronze"],
+        )
+        for _ in range(100):
+            push(queues["gold"], packet(dport=1))
+            push(queues["bronze"], packet(dport=2))
+        scheduler.service(budget=40)
+        gold = sum(1 for p in sink.packets if p.transport.dport == 1)
+        bronze = sum(1 for p in sink.packets if p.transport.dport == 2)
+        assert gold / bronze == pytest.approx(3.0, abs=1.0)
+
+    def test_single_input_serves_all(self, capsule):
+        scheduler, queues, sink = build_scheduler(
+            capsule, lambda: WfqScheduler(), ["only"]
+        )
+        for _ in range(5):
+            push(queues["only"], packet())
+        assert scheduler.service(budget=10) == 5
+
+
+class TestShapers:
+    def test_conforming_passes_immediately(self, capsule):
+        clock = VirtualClock()
+        shaper = capsule.instantiate(
+            lambda: TokenBucketShaper(clock, rate_bytes_per_s=10_000, burst_bytes=1000), "sh"
+        )
+        sink = capsule.instantiate(CollectorSink, "s")
+        capsule.bind(shaper.receptacle("out"), sink.interface("in0"))
+        push(shaper, packet(size=100))
+        assert sink.collected_count() == 1
+        assert shaper.counters["conforming"] == 1
+
+    def test_burst_exhaustion_queues(self, capsule):
+        clock = VirtualClock()
+        shaper = capsule.instantiate(
+            lambda: TokenBucketShaper(clock, rate_bytes_per_s=1000, burst_bytes=200), "sh"
+        )
+        sink = capsule.instantiate(CollectorSink, "s")
+        capsule.bind(shaper.receptacle("out"), sink.interface("in0"))
+        push(shaper, packet(size=100))  # 128B: fits burst
+        push(shaper, packet(size=100))  # exceeds remaining tokens: queued
+        assert sink.collected_count() == 1
+        assert shaper.backlog_depth == 1
+        # Tokens accrue with virtual time; release the backlog.
+        clock.advance(shaper.next_release_in())
+        shaper.release_due()
+        assert sink.collected_count() == 2
+        assert shaper.backlog_depth == 0
+
+    def test_backlog_overflow_drops(self, capsule):
+        clock = VirtualClock()
+        shaper = capsule.instantiate(
+            lambda: TokenBucketShaper(
+                clock, rate_bytes_per_s=1, burst_bytes=150, backlog_capacity=2
+            ),
+            "sh",
+        )
+        sink = capsule.instantiate(CollectorSink, "s")
+        capsule.bind(shaper.receptacle("out"), sink.interface("in0"))
+        for _ in range(5):
+            push(shaper, packet())  # 1 conforms, 2 backlog, 2 overflow
+        assert shaper.counters["drop:shaper-overflow"] == 2
+        assert shaper.backlog_depth == 2
+
+    def test_oversize_packet_dropped_not_stalled(self, capsule):
+        """A packet larger than the burst can never conform; it must be
+        dropped rather than wedging the backlog head forever."""
+        clock = VirtualClock()
+        shaper = capsule.instantiate(
+            lambda: TokenBucketShaper(
+                clock, rate_bytes_per_s=1000, burst_bytes=100
+            ),
+            "sh",
+        )
+        sink = capsule.instantiate(CollectorSink, "s")
+        capsule.bind(shaper.receptacle("out"), sink.interface("in0"))
+        push(shaper, packet(size=500))  # 528B > 100B burst
+        assert shaper.counters["drop:oversize-burst"] == 1
+        push(shaper, packet(size=50))   # a small one still flows
+        assert sink.collected_count() == 1
+        assert shaper.next_release_in() is None
+
+    def test_policer_drops_excess(self, capsule):
+        clock = VirtualClock()
+        policer = capsule.instantiate(
+            lambda: Policer(clock, rate_bytes_per_s=1000, burst_bytes=150), "p"
+        )
+        sink = capsule.instantiate(CollectorSink, "s")
+        capsule.bind(policer.receptacle("out"), sink.interface("in0"))
+        push(policer, packet(size=100))
+        push(policer, packet(size=100))
+        assert sink.collected_count() == 1
+        assert policer.counters["drop:police"] == 1
+
+    def test_policer_remarks_instead_of_dropping(self, capsule):
+        clock = VirtualClock()
+        policer = capsule.instantiate(
+            lambda: Policer(
+                clock, rate_bytes_per_s=1000, burst_bytes=150, remark_dscp=8
+            ),
+            "p",
+        )
+        sink = capsule.instantiate(CollectorSink, "s")
+        capsule.bind(policer.receptacle("out"), sink.interface("in0"))
+        push(policer, packet(size=100))
+        push(policer, packet(size=100))
+        assert sink.collected_count() == 2
+        assert sink.packets[1].dscp == 8
+        assert sink.packets[1].net.checksum_ok()
+
+
+class TestLpmAndForwarder:
+    def test_longest_prefix_wins(self):
+        table = LpmTable()
+        table.insert("10.0.0.0/8", "coarse")
+        table.insert("10.3.0.0/16", "fine")
+        from repro.netsim import ipv4
+
+        assert table.lookup(ipv4("10.3.1.1")) == "fine"
+        assert table.lookup(ipv4("10.4.1.1")) == "coarse"
+        assert table.lookup(ipv4("192.168.0.1")) is None
+
+    def test_default_route(self):
+        table = LpmTable()
+        table.insert("0.0.0.0/0", "default")
+        from repro.netsim import ipv4
+
+        assert table.lookup(ipv4("1.2.3.4")) == "default"
+
+    def test_remove(self):
+        table = LpmTable()
+        table.insert("10.0.0.0/8", "x")
+        assert table.size() == 1
+        table.remove("10.0.0.0/8")
+        assert table.size() == 0
+        from repro.router import FilterError
+
+        with pytest.raises(FilterError):
+            table.remove("10.0.0.0/8")
+
+    def test_v6_prefixes_separate(self):
+        table = LpmTable()
+        table.insert("2001:db8::/32", "six")
+        from repro.netsim import ipv6
+
+        assert table.lookup(ipv6("2001:db8::1"), version=6) == "six"
+        assert table.size(version=6) == 1
+        assert table.size(version=4) == 0
+
+    def test_replace_value(self):
+        table = LpmTable()
+        table.insert("10.0.0.0/8", "old")
+        table.insert("10.0.0.0/8", "new")
+        from repro.netsim import ipv4
+
+        assert table.lookup(ipv4("10.1.1.1")) == "new"
+        assert table.size() == 1
+
+    def test_forwarder_emits_per_hop(self, capsule):
+        forwarder = capsule.instantiate(Forwarder, "f")
+        forwarder.load_routes({"10.1.0.0/16": "west", "10.2.0.0/16": "east"})
+        west = capsule.instantiate(CollectorSink, "west")
+        east = capsule.instantiate(CollectorSink, "east")
+        capsule.bind(forwarder.receptacle("out"), west.interface("in0"), connection_name="west")
+        capsule.bind(forwarder.receptacle("out"), east.interface("in0"), connection_name="east")
+        push(forwarder, packet(dst="10.1.5.5"))
+        push(forwarder, packet(dst="10.2.5.5"))
+        assert west.collected_count() == 1
+        assert east.collected_count() == 1
+        assert west.packets[0].metadata["next_hop"] == "west"
+
+    def test_forwarder_default_route(self, capsule):
+        forwarder = capsule.instantiate(lambda: Forwarder(default_route="gw"), "f")
+        sink = capsule.instantiate(CollectorSink, "gw")
+        capsule.bind(forwarder.receptacle("out"), sink.interface("in0"), connection_name="gw")
+        push(forwarder, packet(dst="203.0.113.9"))
+        assert sink.collected_count() == 1
+
+    def test_forwarder_unroutable_drop(self, capsule):
+        forwarder = capsule.instantiate(Forwarder, "f")
+        push(forwarder, packet(dst="203.0.113.9"))
+        assert forwarder.counters["drop:no-route-entry"] == 1

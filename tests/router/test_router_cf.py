@@ -1,0 +1,173 @@
+"""The Router CF's rules (Figure 2 / experiment F2) and its guarded
+dynamics."""
+
+import pytest
+
+from repro.cf import CompositeComponent
+from repro.opencom import Component, Provided, Required, RuleViolation
+from repro.router import (
+    Classifier,
+    CollectorSink,
+    IPacketPull,
+    IPacketPush,
+    ProtocolRecognizer,
+    RouterCF,
+)
+
+from tests.conftest import Adder
+
+
+@pytest.fixture
+def cf(capsule):
+    framework = RouterCF()
+    capsule.adopt(framework, "router-cf")
+    return framework
+
+
+class PushOnly(Component):
+    PROVIDES = (Provided("in0", IPacketPush),)
+
+    def push(self, packet):
+        pass
+
+
+class PullOnly(Component):
+    PROVIDES = (Provided("pull0", IPacketPull),)
+
+    def pull(self):
+        return None
+
+
+class ClassifierWithoutOutputs(Component):
+    """Violates rule 2: IClassifier but nowhere to emit."""
+
+    from repro.router import IClassifier
+
+    PROVIDES = (
+        Provided("in0", IPacketPush),
+        Provided("classifier", IClassifier),
+    )
+
+    def push(self, packet):
+        pass
+
+    def register_filter(self, spec):
+        return 0
+
+    def remove_filter(self, filter_id):
+        pass
+
+    def list_filters(self):
+        return []
+
+
+class TestRule1PacketShape:
+    def test_push_provider_accepted(self, capsule, cf):
+        cf.accept(capsule.instantiate(PushOnly, "p"))
+
+    def test_pull_provider_accepted(self, capsule, cf):
+        cf.accept(capsule.instantiate(PullOnly, "p"))
+
+    def test_receptacle_only_accepted(self, capsule, cf):
+        class Emitter(Component):
+            RECEPTACLES = (Required("out", IPacketPush, min_connections=0),)
+
+        cf.accept(capsule.instantiate(Emitter, "e"))
+
+    def test_no_packet_interfaces_rejected(self, capsule, cf):
+        with pytest.raises(RuleViolation) as excinfo:
+            cf.accept(capsule.instantiate(Adder, "a"))
+        assert any("IPacketPush" in f for f in excinfo.value.failures)
+
+    def test_dynamic_addition_of_packet_interface(self, capsule, cf):
+        component = capsule.instantiate(PushOnly, "p")
+        cf.accept(component)
+        cf.add_interface_instance(component, "in1", IPacketPush, impl=component)
+        assert component.has_interface("in1")
+
+    def test_dynamic_removal_keeping_rules_satisfied(self, capsule, cf):
+        component = capsule.instantiate(PushOnly, "p")
+        component.expose("in1", IPacketPush, impl=component)
+        cf.accept(component)
+        cf.remove_interface_instance(component, "in1")
+        assert not component.has_interface("in1")
+
+    def test_dynamic_removal_breaking_rules_rolled_back(self, capsule, cf):
+        component = capsule.instantiate(PushOnly, "p")
+        cf.accept(component)
+        with pytest.raises(RuleViolation):
+            cf.remove_interface_instance(component, "in0")
+        assert component.has_interface("in0")
+
+
+class TestRule2ClassifierSemantics:
+    def test_classifier_without_outputs_rejected(self, capsule, cf):
+        with pytest.raises(RuleViolation) as excinfo:
+            cf.accept(capsule.instantiate(ClassifierWithoutOutputs, "bad"))
+        assert any("classifier-needs-outputs" in f for f in excinfo.value.failures)
+
+    def test_real_classifier_accepted(self, capsule, cf):
+        cf.accept(capsule.instantiate(Classifier, "c"))
+
+    def test_install_filter_verifies_output_exists(self, capsule, cf):
+        classifier = capsule.instantiate(Classifier, "c")
+        sink = capsule.instantiate(CollectorSink, "s")
+        capsule.bind(
+            classifier.receptacle("out"), sink.interface("in0"),
+            connection_name="video",
+        )
+        cf.accept(classifier)
+        fid = cf.install_filter(classifier, "dport=5000 -> video")
+        assert fid > 0
+
+    def test_install_filter_with_missing_output_rejected_and_rolled_back(
+        self, capsule, cf
+    ):
+        classifier = capsule.instantiate(Classifier, "c")
+        cf.accept(classifier)
+        with pytest.raises(RuleViolation, match="no outgoing packet"):
+            cf.install_filter(classifier, "dport=5000 -> nowhere")
+        assert classifier.list_filters() == []
+
+    def test_install_filter_on_non_classifier_rejected(self, capsule, cf):
+        component = capsule.instantiate(PushOnly, "p")
+        cf.accept(component)
+        with pytest.raises(RuleViolation, match="does not support IClassifier"):
+            cf.install_filter(component, "* -> x")
+
+
+class TestRule3Composites:
+    def test_composite_with_controller_accepted(self, capsule, cf):
+        composite = capsule.instantiate(lambda: CompositeComponent(capsule), "gw")
+        composite.add_member(ProtocolRecognizer, "r")
+        composite.export("input", "r", "in0")
+        cf.accept(composite)
+
+    def test_nonconforming_constituent_rejected_recursively(self, capsule, cf):
+        composite = capsule.instantiate(lambda: CompositeComponent(capsule), "gw")
+        composite.add_member(ProtocolRecognizer, "r")
+        composite.add_member(Adder, "rogue")
+        composite.export("input", "r", "in0")
+        with pytest.raises(RuleViolation) as excinfo:
+            cf.accept(composite)
+        assert any("constituent gw.rogue" in f for f in excinfo.value.failures)
+
+    def test_validate_with_report(self, capsule, cf):
+        good = capsule.instantiate(PushOnly, "good")
+        bad = capsule.instantiate(Adder, "bad")
+        assert cf.validate_with_report(good)["accepted"] is True
+        report = cf.validate_with_report(bad)
+        assert report["accepted"] is False
+        assert report["failures"]
+
+
+class TestResourceIntegration:
+    def test_map_task_to_constituents(self, capsule, cf):
+        composite = capsule.instantiate(lambda: CompositeComponent(capsule), "gw")
+        composite.add_member(ProtocolRecognizer, "r")
+        composite.export("input", "r", "in0")
+        cf.accept(composite)
+        capsule.resources.create_task("data-path")
+        cf.map_task_to_constituents(composite, "data-path", ["r"])
+        task = capsule.resources.task("data-path")
+        assert "gw.r" in task.attached_components

@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import ipaddress
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import percentile
+from repro.netsim import Packet, format_ipv4, internet_checksum, make_udp_v4
+from repro.opencom.metamodel.resources import ResourceMetaModel
+from repro.osbase import MemoryAllocator
+from repro.router import LpmTable, parse_prefix
+from repro.router.filters import FilterSpec
+
+addresses = st.integers(min_value=0, max_value=2**32 - 1)
+payloads = st.binary(max_size=512)
+ports = st.integers(min_value=0, max_value=65535)
+
+
+class TestPacketProperties:
+    @given(src=addresses, dst=addresses, sport=ports, dport=ports, payload=payloads)
+    @settings(max_examples=150)
+    def test_serialisation_roundtrip(self, src, dst, sport, dport, payload):
+        packet = make_udp_v4(src, dst, sport=sport, dport=dport, payload=payload)
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed.net.src == src
+        assert parsed.net.dst == dst
+        assert parsed.transport.sport == sport
+        assert parsed.transport.dport == dport
+        assert parsed.payload == payload
+        assert parsed.net.checksum_ok()
+
+    @given(data=st.binary(min_size=1, max_size=128))
+    def test_checksum_of_checksummed_data_is_zero(self, data):
+        # Appending the checksum makes the whole sum verify (RFC 1071).
+        checksum = internet_checksum(data if len(data) % 2 == 0 else data + b"\x00")
+        padded = data if len(data) % 2 == 0 else data + b"\x00"
+        whole = padded + checksum.to_bytes(2, "big")
+        assert internet_checksum(whole) == 0
+
+    @given(src=addresses, dst=addresses)
+    def test_ttl_change_breaks_checksum(self, src, dst):
+        packet = make_udp_v4(src, dst)
+        packet.net.ttl = (packet.net.ttl + 1) % 256
+        assert not packet.net.checksum_ok()
+
+
+class TestLpmProperties:
+    @given(
+        routes=st.dictionaries(
+            st.tuples(addresses, st.integers(min_value=1, max_value=32)),
+            st.sampled_from(["a", "b", "c", "d"]),
+            min_size=1,
+            max_size=40,
+        ),
+        probe=addresses,
+    )
+    @settings(max_examples=100)
+    def test_trie_matches_reference_implementation(self, routes, probe):
+        table = LpmTable()
+        normalised = {}
+        for (address, length), hop in routes.items():
+            network = ipaddress.ip_network((address, length), strict=False)
+            normalised[(int(network.network_address), length)] = hop
+            table.insert(f"{network.network_address}/{length}", hop)
+
+        def reference(addr):
+            best, best_len = None, -1
+            for (network, length), hop in normalised.items():
+                mask = ((1 << length) - 1) << (32 - length) if length else 0
+                if addr & mask == network and length > best_len:
+                    best, best_len = hop, length
+            return best
+
+        assert table.lookup(probe) == reference(probe)
+
+    @given(address=addresses, length=st.integers(min_value=0, max_value=32))
+    def test_prefix_parse_masks_host_bits(self, address, length):
+        text = f"{format_ipv4(address)}/{length}"
+        version, network, parsed_length = parse_prefix(text)
+        assert version == 4
+        assert parsed_length == length
+        if length:
+            mask = ((1 << length) - 1) << (32 - length)
+            assert network == address & mask
+        else:
+            assert network == 0
+
+
+class TestFilterProperties:
+    @given(
+        dst=addresses,
+        length=st.integers(min_value=0, max_value=32),
+        probe=addresses,
+    )
+    def test_prefix_filter_agrees_with_ipaddress(self, dst, length, probe):
+        network = ipaddress.ip_network((dst, length), strict=False)
+        spec = FilterSpec(output="x", dst=parse_prefix(str(network)))
+        packet = make_udp_v4(0, probe)
+        expected = ipaddress.ip_address(probe) in network
+        assert spec.matches(packet) == expected
+
+    @given(low=ports, high=ports, probe=ports)
+    def test_port_range_semantics(self, low, high, probe):
+        low, high = min(low, high), max(low, high)
+        spec = FilterSpec(output="x", dport=(low, high))
+        packet = make_udp_v4(0, 1, dport=probe)
+        assert spec.matches(packet) == (low <= probe <= high)
+
+
+class TestAllocatorProperties:
+    @given(
+        operations=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=1, max_value=200)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100)
+    def test_conservation_and_coalescing(self, operations):
+        arena = MemoryAllocator(4096)
+        live = []
+        for is_alloc, size in operations:
+            if is_alloc or not live:
+                try:
+                    live.append(arena.alloc(size))
+                except Exception:
+                    pass
+            else:
+                arena.free(live.pop(len(live) // 2))
+        # Conservation: used + free == capacity, always.
+        assert arena.used_bytes() + arena.free_bytes() == 4096
+        assert arena.used_bytes() == sum(a.size for a in live)
+        # Free everything: one maximal run must re-form.
+        for allocation in live:
+            arena.free(allocation)
+        assert arena.largest_free_run() == 4096
+        assert arena.fragmentation() == 0.0
+
+    @given(
+        operations=st.lists(
+            st.tuples(st.booleans(), st.floats(min_value=0.1, max_value=50)),
+            max_size=40,
+        )
+    )
+    def test_resource_pool_never_oversubscribes(self, operations):
+        model = ResourceMetaModel()
+        model.create_pool("p", "x", 100.0)
+        model.create_task("t")
+        for is_alloc, amount in operations:
+            try:
+                if is_alloc:
+                    model.allocate("t", "p", amount)
+                else:
+                    model.release("t", "p", amount)
+            except Exception:
+                pass
+            pool = model.pool("p")
+            assert -1e-9 <= pool.allocated <= pool.capacity + 1e-9
+            held = model.task("t").holdings.get("p", 0.0)
+            assert abs(held - pool.allocated) < 1e-6
+
+
+class TestStatsProperties:
+    @given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
+    def test_percentile_bounds(self, values):
+        for p in (0, 25, 50, 75, 100):
+            result = percentile(values, p)
+            assert min(values) <= result <= max(values)
+
+    @given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    def test_percentile_monotone(self, values):
+        assert percentile(values, 10) <= percentile(values, 90)

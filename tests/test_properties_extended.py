@@ -1,0 +1,207 @@
+"""Extended property-based tests: sandbox robustness, shaper conformance,
+FEC recovery, scheduler fairness, filter-table determinism."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.appservices import CapsuleVM, FecDecoder, FecEncoder
+from repro.netsim import make_udp_v4
+from repro.opencom import Capsule
+from repro.osbase import VirtualClock
+from repro.router import CollectorSink, DrrScheduler, FifoQueue
+from repro.router.components.shaper import _TokenBucket
+from repro.router.filters import FilterTable
+
+
+# -- sandbox fuzzing ---------------------------------------------------------
+
+_scalar = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.text(max_size=8),
+    st.none(),
+    st.booleans(),
+)
+
+_ops = st.sampled_from(
+    ["set", "mov", "add", "sub", "mul", "cmp", "jmp", "jif", "env", "load",
+     "store", "forward", "broadcast", "deliver", "drop", "trace", "halt",
+     "bogus-op"]
+)
+
+
+@st.composite
+def random_instruction(draw):
+    op = draw(_ops)
+    arity = draw(st.integers(min_value=0, max_value=4))
+    args = tuple(draw(_scalar) for _ in range(arity))
+    return (op, *args)
+
+
+class TestSandboxRobustness:
+    @given(program=st.lists(random_instruction(), max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_vm_never_raises_on_arbitrary_programs(self, program):
+        """Whatever garbage arrives in a capsule, the VM returns a result
+        object — it must never throw into the execution environment."""
+        vm = CapsuleVM(step_budget=100)
+        result = vm.execute(program, environment={"node": "n0"}, soft_store={})
+        assert result.status in ("ok", "error")
+        assert result.steps <= 100
+
+    @given(program=st.lists(random_instruction(), max_size=30))
+    @settings(max_examples=100)
+    def test_vm_soft_store_keys_are_bounded_types(self, program):
+        store: dict = {}
+        CapsuleVM(step_budget=100).execute(program, soft_store=store)
+        for key in store:
+            assert isinstance(key, (str, int))
+
+
+# -- token bucket conformance ---------------------------------------------------
+
+class TestTokenBucketProperties:
+    @given(
+        rate=st.floats(min_value=100, max_value=1e6),
+        burst=st.floats(min_value=100, max_value=1e5),
+        arrivals=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0001, max_value=0.5),   # gap seconds
+                st.integers(min_value=1, max_value=2000),     # size bytes
+            ),
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_long_run_conformance_never_exceeds_rate_plus_burst(
+        self, rate, burst, arrivals
+    ):
+        """Accepted bytes over any run are bounded by burst + rate*elapsed
+        — the defining token-bucket property."""
+        clock = VirtualClock()
+        bucket = _TokenBucket(clock, rate, burst)
+        accepted = 0.0
+        for gap, size in arrivals:
+            clock.advance(gap)
+            if bucket.try_consume(size):
+                accepted += size
+            assert accepted <= burst + rate * clock.now + 1e-6
+
+    @given(size=st.integers(min_value=1, max_value=1000))
+    def test_time_until_is_sufficient(self, size):
+        clock = VirtualClock()
+        bucket = _TokenBucket(clock, rate=500.0, burst=2000.0)
+        bucket.tokens = 0.0
+        wait = bucket.time_until(size)
+        clock.advance(wait + 1e-9)
+        assert bucket.try_consume(size)
+
+    @given(size=st.integers(min_value=11, max_value=10_000))
+    def test_oversize_requests_are_impossible(self, size):
+        """time_until is honest: above-burst requests report infinity."""
+        bucket = _TokenBucket(VirtualClock(), rate=500.0, burst=10.0)
+        assert bucket.time_until(size) == float("inf")
+        assert not bucket.try_consume(size)
+
+
+# -- FEC recovery --------------------------------------------------------------
+
+class TestFecProperties:
+    @given(
+        payload_seeds=st.lists(
+            st.integers(min_value=0, max_value=255), min_size=4, max_size=4
+        ),
+        lost_index=st.integers(min_value=0, max_value=3),
+        width=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100)
+    def test_any_single_loss_in_a_group_is_recovered(
+        self, payload_seeds, lost_index, width
+    ):
+        capsule = Capsule("fec-prop")
+        encoder = capsule.instantiate(lambda: FecEncoder(group_size=4), "enc")
+        decoder = capsule.instantiate(lambda: FecDecoder(group_size=4), "dec")
+        wire = capsule.instantiate(CollectorSink, "wire")
+        out = capsule.instantiate(CollectorSink, "out")
+        capsule.bind(encoder.receptacle("out"), wire.interface("in0"))
+        capsule.bind(decoder.receptacle("out"), out.interface("in0"))
+
+        originals = [
+            make_udp_v4("10.0.0.1", "10.0.0.2", sport=9, dport=9,
+                        payload=bytes([seed]) * width)
+            for seed in payload_seeds
+        ]
+        for packet in originals:
+            encoder.interface("in0").vtable.invoke("push", packet)
+        for packet in wire.packets:
+            if (
+                packet.metadata.get("fec-index") == lost_index
+                and not packet.metadata.get("fec-parity")
+            ):
+                continue
+            decoder.interface("in0").vtable.invoke("push", packet)
+        recovered = [p for p in out.packets if p.metadata.get("fec-recovered")]
+        assert len(recovered) == 1
+        assert recovered[0].payload == originals[lost_index].payload
+
+
+# -- DRR fairness -----------------------------------------------------------------
+
+class TestDrrFairnessProperty:
+    @given(
+        size_a=st.integers(min_value=64, max_value=1400),
+        size_b=st.integers(min_value=64, max_value=1400),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_two_backlogged_flows_get_equal_bytes(self, size_a, size_b, seed):
+        """With both inputs permanently backlogged, DRR serves byte shares
+        within one quantum + one max packet of equal."""
+        capsule = Capsule(f"drr-{seed}")
+        scheduler = capsule.instantiate(lambda: DrrScheduler(quantum=1500), "s")
+        queues = {}
+        for name, size in (("a", size_a), ("b", size_b)):
+            queue = capsule.instantiate(lambda: FifoQueue(10_000), f"q{name}")
+            capsule.bind(
+                scheduler.receptacle("inputs"), queue.interface("pull0"),
+                connection_name=name,
+            )
+            for _ in range(200):
+                queue.push(
+                    make_udp_v4("10.0.0.1", "10.0.0.2", dport=1 if name == "a" else 2,
+                                payload=bytes(size - 28))
+                )
+            queues[name] = queue
+        served_bytes = {"a": 0, "b": 0}
+        for _ in range(120):
+            packet = scheduler.pull()
+            if packet is None:
+                break
+            key = "a" if packet.transport.dport == 1 else "b"
+            served_bytes[key] += packet.size_bytes
+        slack = 1500 + max(size_a, size_b)
+        assert abs(served_bytes["a"] - served_bytes["b"]) <= slack
+
+
+# -- filter table determinism ---------------------------------------------------
+
+class TestFilterTableProperties:
+    @given(
+        priorities=st.lists(
+            st.integers(min_value=-100, max_value=100), min_size=1, max_size=20
+        ),
+        probe_port=st.integers(min_value=0, max_value=65535),
+    )
+    def test_classification_picks_max_priority_earliest_installed(
+        self, priorities, probe_port
+    ):
+        table = FilterTable()
+        for index, priority in enumerate(priorities):
+            table.add(f"* -> out{index} priority={priority}")
+        packet = make_udp_v4("10.0.0.1", "10.0.0.2", dport=probe_port)
+        winner = table.classify(packet)
+        assert winner is not None
+        best = max(priorities)
+        expected_index = priorities.index(best)
+        assert winner.output == f"out{expected_index}"
