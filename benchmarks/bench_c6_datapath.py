@@ -16,10 +16,10 @@ not an order of magnitude.
 
 import time
 
-from benchmarks.conftest import once, report
+from benchmarks.conftest import make_route_trace, once, report
 from repro.analysis import relative_factor
 from repro.baselines import ClickRouter, MonolithicRouter, standard_click_config
-from repro.netsim import make_udp_v4, synthetic_route_table
+from repro.netsim import synthetic_route_table
 from repro.opencom import Capsule, fuse_pipeline
 from repro.router import build_forwarding_pipeline
 
@@ -29,16 +29,7 @@ HOPS = ["east", "west", "north", "south"]
 
 
 def make_trace(routes):
-    import random
-
-    rng = random.Random(99)
-    prefixes = list(routes)
-    trace = []
-    for i in range(PACKETS):
-        prefix = prefixes[rng.randrange(len(prefixes))]
-        base = prefix.split("/")[0]
-        trace.append(make_udp_v4("10.255.0.1", base, dport=i % 100, payload=bytes(64)))
-    return trace
+    return make_route_trace(routes, PACKETS)
 
 
 def routes_with_default():

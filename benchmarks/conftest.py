@@ -9,6 +9,7 @@ substrate-dependent.
 from __future__ import annotations
 
 from repro.analysis import format_table
+from repro.netsim import udp_route_trace
 
 
 def report(title: str, headers: list[str], rows: list[list[object]]) -> None:
@@ -21,3 +22,10 @@ def once(benchmark, fn):
     """Run a shape experiment exactly once under the benchmark fixture
     (keeps ``--benchmark-only`` selecting every experiment)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def make_route_trace(routes: dict[str, str], packets: int, *, seed: int = 99):
+    """Shared C6/C11 trace builder: the whole trace is materialised before
+    any timer starts, so experiments measure the data path, not packet
+    construction."""
+    return udp_route_trace(routes, count=packets, seed=seed)

@@ -1,0 +1,99 @@
+"""Run every benchmark file and record a perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_results.json]
+
+Each ``bench_*.py`` is executed as its own pytest session (isolation: one
+benchmark's interpreter state cannot skew another's timings).  The result
+file maps benchmark name to status, wall-clock duration and the captured
+report tables, so future PRs can diff throughput numbers against this one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def run_one(bench: Path) -> dict:
+    """Run one benchmark file under pytest; capture tables and status."""
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", str(bench), "-q", "-s", "--no-header"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    duration = time.perf_counter() - start
+    # Keep only the experiment tables ("=== title ===" blocks) — the rest
+    # of the pytest output is noise for a trajectory file.
+    tables: list[str] = []
+    keep = False
+    for line in proc.stdout.splitlines():
+        if line.startswith("=== ") and line.rstrip().endswith("==="):
+            keep = True
+        elif keep and (not line.strip() or line.startswith("---- ") or line[:1] == "="):
+            keep = line.startswith("=== ")
+        if keep:
+            tables.append(line)
+    return {
+        "status": "passed" if proc.returncode == 0 else "failed",
+        "returncode": proc.returncode,
+        "duration_s": round(duration, 3),
+        "tables": "\n".join(tables),
+        "tail": "" if proc.returncode == 0 else "\n".join(proc.stdout.splitlines()[-25:]),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_results.json"),
+        help="where to write the results JSON",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="substring filter on benchmark file names (e.g. 'c11')",
+    )
+    args = parser.parse_args(argv)
+
+    benches = sorted(BENCH_DIR.glob("bench_*.py"))
+    if args.only:
+        benches = [b for b in benches if args.only in b.name]
+    results: dict[str, dict] = {}
+    failed = 0
+    for bench in benches:
+        print(f"[run_all] {bench.name} ...", flush=True)
+        outcome = run_one(bench)
+        results[bench.stem] = outcome
+        if outcome["status"] != "passed":
+            failed += 1
+        print(
+            f"[run_all]   {outcome['status']} in {outcome['duration_s']}s",
+            flush=True,
+        )
+
+    payload = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "benchmarks": results,
+        "summary": {"total": len(results), "failed": failed},
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[run_all] wrote {out_path} ({len(results)} benchmarks, {failed} failed)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

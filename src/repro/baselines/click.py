@@ -22,7 +22,7 @@ from typing import Any
 
 from repro.netsim.packet import IPv4Header, IPv6Header, Packet
 from repro.opencom.errors import OpenComError
-from repro.router.components.forwarding import LpmTable
+from repro.router.components.forwarding import Stride8LpmTable
 from repro.router.filters import FilterTable
 
 
@@ -38,15 +38,26 @@ class ClickElement:
         self.next: "ClickElement | None" = None
         self.counters: dict[str, int] = {}
 
-    def count(self, key: str) -> None:
-        self.counters[key] = self.counters.get(key, 0) + 1
+    def count(self, key: str, increment: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + increment
 
     def push(self, packet: Packet) -> None:
         raise NotImplementedError
 
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Batch entry point; elements override to amortise per-call work
+        (the default loops :meth:`push`)."""
+        push = self.push
+        for packet in packets:
+            push(packet)
+
     def emit(self, packet: Packet) -> None:
         if self.next is not None:
             self.next.push(packet)
+
+    def emit_batch(self, packets: list[Packet]) -> None:
+        if self.next is not None and packets:
+            self.next.push_batch(packets)
 
 
 class ClickCheckHeader(ClickElement):
@@ -71,6 +82,29 @@ class ClickCheckHeader(ClickElement):
         self.count("ok")
         self.emit(packet)
 
+    def push_batch(self, packets: list[Packet]) -> None:
+        survivors: list[Packet] = []
+        for packet in packets:
+            net = packet.net
+            if isinstance(net, IPv4Header):
+                if not net.checksum_ok():
+                    self.count("drop:bad-checksum")
+                    continue
+                if net.ttl <= 1:
+                    self.count("drop:ttl")
+                    continue
+                net.ttl -= 1
+                net.refresh_checksum()
+            elif isinstance(net, IPv6Header):
+                if net.hop_limit <= 1:
+                    self.count("drop:ttl")
+                    continue
+                net.hop_limit -= 1
+            survivors.append(packet)
+        if survivors:
+            self.count("ok", len(survivors))
+            self.emit_batch(survivors)
+
 
 class ClickClassifier(ClickElement):
     """Classifier with named outputs (multi-output element)."""
@@ -91,6 +125,30 @@ class ClickClassifier(ClickElement):
         self.count(f"class:{output}")
         target.push(packet)
 
+    def push_batch(self, packets: list[Packet]) -> None:
+        default = self.default_output
+        if not self.table and default is not None:
+            # No filters installed: the whole batch takes the default
+            # output without a per-packet classify.
+            target = self.outputs.get(default)
+            if target is None:
+                self.count("drop:unclassified", len(packets))
+                return
+            self.count(f"class:{default}", len(packets))
+            target.push_batch(packets)
+            return
+        groups: dict[str, list[Packet]] = {}
+        for packet in packets:
+            spec = self.table.classify(packet)
+            output = spec.output if spec is not None else default
+            if output is None or output not in self.outputs:
+                self.count("drop:unclassified")
+                continue
+            groups.setdefault(output, []).append(packet)
+        for output, group in groups.items():
+            self.count(f"class:{output}", len(group))
+            self.outputs[output].push_batch(group)
+
 
 class ClickQueue(ClickElement):
     """Bounded FIFO; pulled by a scheduler."""
@@ -106,6 +164,15 @@ class ClickQueue(ClickElement):
             return
         self.queue.append(packet)
 
+    def push_batch(self, packets: list[Packet]) -> None:
+        room = self.capacity - len(self.queue)
+        if room >= len(packets):
+            self.queue.extend(packets)
+            return
+        if room > 0:
+            self.queue.extend(packets[:room])
+        self.count("drop:overflow", len(packets) - max(room, 0))
+
     def pull(self) -> Packet | None:
         if not self.queue:
             return None
@@ -113,22 +180,37 @@ class ClickQueue(ClickElement):
 
 
 class ClickLookup(ClickElement):
-    """LPM route lookup with per-hop outputs."""
+    """LPM route lookup with per-hop outputs (stride-8 + result cache,
+    the same table the component Forwarder uses — the baselines and the
+    CF differ in structure, not in algorithms)."""
 
     def __init__(self, name: str, routes: dict[str, str]) -> None:
         super().__init__(name)
-        self.table = LpmTable()
+        self.table = Stride8LpmTable()
         self.table.load(routes)
         self.outputs: dict[str, ClickElement] = {}
 
     def push(self, packet: Packet) -> None:
-        hop = self.table.lookup(packet.net.dst, version=packet.version)
+        hop = self.table.lookup_cached(packet.net.dst, version=packet.version)
         target = self.outputs.get(hop) if hop else None
         if target is None:
             self.count("drop:no-route")
             return
         self.count(f"hop:{hop}")
         target.push(packet)
+
+    def push_batch(self, packets: list[Packet]) -> None:
+        lookup = self.table.lookup_cached
+        groups: dict[str, list[Packet]] = {}
+        for packet in packets:
+            hop = lookup(packet.net.dst, version=packet.version)
+            if not hop or hop not in self.outputs:
+                self.count("drop:no-route")
+                continue
+            groups.setdefault(hop, []).append(packet)
+        for hop, group in groups.items():
+            self.count(f"hop:{hop}", len(group))
+            self.outputs[hop].push_batch(group)
 
 
 class ClickScheduler(ClickElement):
@@ -143,21 +225,27 @@ class ClickScheduler(ClickElement):
         raise ClickError("schedulers are pull elements")
 
     def service(self, budget: int = 1) -> int:
-        serviced = 0
-        while serviced < budget:
-            packet = None
-            for queue_name in self.order:
-                queue = self.queues.get(queue_name)
-                if queue is not None:
-                    packet = queue.pull()
-                    if packet is not None:
-                        break
-            if packet is None:
+        # Bulk-drain in strict priority order, touching the deques directly
+        # (connections in Click are plain references — the point of the
+        # baseline).  Equivalent to the per-packet rescan for acyclic
+        # configs; a config feeding the scheduler's output back into its
+        # own queues sees those packets in the *next* service call.
+        batch: list[Packet] = []
+        remaining = budget
+        for queue_name in self.order:
+            queue = self.queues.get(queue_name)
+            if queue is None:
+                continue
+            pending = queue.queue
+            while pending and remaining:
+                batch.append(pending.popleft())
+                remaining -= 1
+            if not remaining:
                 break
-            self.count("tx")
-            self.emit(packet)
-            serviced += 1
-        return serviced
+        if batch:
+            self.count("tx", len(batch))
+            self.emit_batch(batch)
+        return len(batch)
 
 
 class ClickSink(ClickElement):
@@ -170,6 +258,10 @@ class ClickSink(ClickElement):
     def push(self, packet: Packet) -> None:
         self.count("rx")
         self.packets.append(packet)
+
+    def push_batch(self, packets: list[Packet]) -> None:
+        self.count("rx", len(packets))
+        self.packets.extend(packets)
 
 
 class ClickRouter:
@@ -232,6 +324,10 @@ class ClickRouter:
     def push(self, packet: Packet) -> None:
         """Inject one packet at the entry element."""
         self.elements[self.entry_name].push(packet)
+
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Inject a whole batch at the entry element."""
+        self.elements[self.entry_name].push_batch(packets)
 
     def service(self, budget: int = 64) -> int:
         """Pump every scheduler element."""

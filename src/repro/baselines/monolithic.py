@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.netsim.packet import IPv4Header, IPv6Header, Packet
-from repro.router.components.forwarding import LpmTable
+from repro.router.components.forwarding import Stride8LpmTable
 from repro.router.filters import FilterTable
 
 
@@ -27,7 +27,7 @@ class MonolithicRouter:
         queue_capacity: int = 128,
         expedited_filters: list[str] | None = None,
     ) -> None:
-        self.table = LpmTable()
+        self.table = Stride8LpmTable()
         self.table.load(routes)
         self.filters = FilterTable()
         for text in expedited_filters or []:
@@ -75,22 +75,62 @@ class MonolithicRouter:
             return
         queue.append(packet)
 
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Batch ingress: the whole path inlined per packet, with the
+        bookkeeping (rx counter, bound lookups) hoisted out of the loop."""
+        counters = self.counters
+        counters["rx"] += len(packets)
+        # One emptiness probe replaces a per-packet classify against an
+        # empty filter table (classify still runs per packet otherwise).
+        classify = self.filters.classify if self.filters else None
+        expedited, best_effort = self._expedited, self._best_effort
+        capacity = self.queue_capacity
+        for packet in packets:
+            net = packet.net
+            if isinstance(net, IPv4Header):
+                if not net.checksum_ok():
+                    counters["drop:bad-checksum"] += 1
+                    continue
+                if net.ttl <= 1:
+                    counters["drop:ttl"] += 1
+                    continue
+                net.ttl -= 1
+                net.refresh_checksum()
+            elif isinstance(net, IPv6Header):
+                if net.hop_limit <= 1:
+                    counters["drop:ttl"] += 1
+                    continue
+                net.hop_limit -= 1
+            queue = (
+                expedited
+                if classify is not None and classify(packet) is not None
+                else best_effort
+            )
+            if len(queue) >= capacity:
+                counters["drop:overflow"] += 1
+                continue
+            queue.append(packet)
+
     def service(self, budget: int = 64) -> int:
         """The whole egress path, inlined (strict priority + LPM)."""
         serviced = 0
+        counters = self.counters
+        delivered = self.delivered
+        lookup = self.table.lookup_cached
+        expedited, best_effort = self._expedited, self._best_effort
         while serviced < budget:
-            if self._expedited:
-                packet = self._expedited.popleft()
-            elif self._best_effort:
-                packet = self._best_effort.popleft()
+            if expedited:
+                packet = expedited.popleft()
+            elif best_effort:
+                packet = best_effort.popleft()
             else:
                 break
-            hop = self.table.lookup(packet.net.dst, version=packet.version)
+            hop = lookup(packet.net.dst, version=packet.version)
             if hop is None:
-                self.counters["drop:no-route"] += 1
+                counters["drop:no-route"] += 1
             else:
-                self.delivered.setdefault(hop, []).append(packet)
-                self.counters["tx"] += 1
+                delivered.setdefault(hop, []).append(packet)
+                counters["tx"] += 1
             serviced += 1
         return serviced
 

@@ -60,12 +60,18 @@ def format_ipv6(address: int) -> str:
 
 
 def internet_checksum(data: bytes) -> int:
-    """RFC 1071 16-bit one's-complement checksum."""
+    """RFC 1071 16-bit one's-complement checksum.
+
+    One bulk unpack + deferred carry fold instead of a per-word loop: the
+    sum of n 16-bit words needs at most ``log2(n)`` end-around folds, so
+    folding after the sum is equivalent to folding per word (RFC 1071 §2,
+    "deferred carries") and several times faster — this runs twice per
+    forwarded IPv4 packet in every system the benchmarks compare.
+    """
     if len(data) % 2:
         data = data + b"\x00"
-    total = 0
-    for (word,) in struct.iter_unpack("!H", data):
-        total += word
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
 

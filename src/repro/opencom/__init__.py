@@ -53,7 +53,7 @@ from repro.opencom.metamodel.interface_meta import (
 from repro.opencom.metamodel.resources import ResourceMetaModel, ResourcePool, Task
 from repro.opencom.receptacle import Port, Receptacle
 from repro.opencom.registry import GLOBAL_REGISTRY, ComponentRegistry, RegisteredType
-from repro.opencom.vtable import CallContext, FusedCall, VTable
+from repro.opencom.vtable import CallContext, FusedBatchCall, FusedCall, VTable
 
 __all__ = [
     "AccessDenied",
@@ -70,6 +70,7 @@ __all__ = [
     "Component",
     "ComponentRegistry",
     "ConstraintViolation",
+    "FusedBatchCall",
     "FusedCall",
     "FusionPlan",
     "GLOBAL_REGISTRY",

@@ -46,11 +46,34 @@ class _IndirectCall:
         return self._vtable.invoke(self._name, *args, **kwargs)
 
 
+class _IndirectBatchCall:
+    """Callable dispatching a whole list through the live vtable's batch
+    path (one call per item, or the target's native batch method when the
+    slot is unintercepted)."""
+
+    __slots__ = ("_vtable", "_name")
+
+    def __init__(self, vtable: Any, name: str) -> None:
+        self._vtable = vtable
+        self._name = name
+
+    def __call__(self, items: list) -> None:
+        self._vtable.invoke_batch(self._name, items)
+
+
 class Port:
     """One live connection of a receptacle.
 
     Interface methods are materialised as instance attributes at connect
     time, so a data-path call is one attribute load plus one call.
+
+    Every single-argument interface method additionally gets a
+    ``<method>_batch`` attribute accepting a list (``port.push_batch(pkts)``).
+    In the indirect regime it routes through
+    :meth:`~repro.opencom.vtable.VTable.invoke_batch`; fusing the port
+    (see :meth:`fuse`) installs the target's native batch callable
+    directly, with the same revoke-on-interception guarantee as scalar
+    fusion.
     """
 
     def __init__(
@@ -65,7 +88,17 @@ class Port:
         self.target = target
         self.binding = binding
         self.fused = False
-        self._method_names = [m.name for m in methods_of(target.itype)]
+        methods = methods_of(target.itype)
+        self._method_names = [m.name for m in methods]
+        #: batch attribute name -> underlying method name; synthesized only
+        #: for single-argument methods (push-style), and only when the name
+        #: is free (not a declared method, not part of the Port API).
+        self._batch_names: dict[str, str] = {}
+        declared = set(self._method_names)
+        for m in methods:
+            batch_name = f"{m.name}_batch"
+            if m.arity == 1 and batch_name not in declared and not hasattr(Port, batch_name):
+                self._batch_names[batch_name] = m.name
         self._unwatchers: list = []
         for reserved in self._method_names:
             if hasattr(Port, reserved):
@@ -82,6 +115,8 @@ class Port:
         vtable = self.target.vtable
         for name in self._method_names:
             setattr(self, name, _IndirectCall(vtable, name))
+        for batch_name, name in self._batch_names.items():
+            setattr(self, batch_name, _IndirectBatchCall(vtable, name))
         self.fused = False
 
     def fuse(self) -> None:
@@ -99,6 +134,12 @@ class Port:
         for name in self._method_names:
             self._unwatchers.append(
                 vtable.watch_slot(name, lambda target, n=name: setattr(self, n, target))
+            )
+        for batch_name, name in self._batch_names.items():
+            self._unwatchers.append(
+                vtable.watch_batch_slot(
+                    name, lambda target, n=batch_name: setattr(self, n, target)
+                )
             )
         self.fused = True
 

@@ -22,6 +22,15 @@ Three dispatch regimes coexist per slot:
     Fusing is only permitted while the slot is unintercepted, and adding an
     interceptor revokes outstanding fused references (callers observe this
     through :class:`FusedCall` becoming stale).
+
+Every regime also has a *batch* variant (:meth:`VTable.invoke_batch`,
+:meth:`VTable.fuse_batch`, :meth:`VTable.watch_batch_slot`) that dispatches
+one call per item of a list — or a single call to the implementation's
+native ``<method>_batch`` when one exists and the slot is unintercepted.
+The safety invariant is identical to the scalar path: as soon as a slot
+gains an interceptor, batch dispatch degrades to one interposed call per
+item, so interceptors observe every element and are never silently
+bypassed by the vectorised path.
 """
 
 from __future__ import annotations
@@ -103,6 +112,24 @@ class FusedCall:
         self.revoked = False
 
 
+class FusedBatchCall(FusedCall):
+    """Handle to a fused batch call: ``handle(items)`` processes a list.
+
+    While the originating slot is unintercepted the handle targets the
+    implementation's native ``<method>_batch`` (or a tight loop over the
+    raw bound method).  Interceptor installation revokes it exactly like a
+    scalar :class:`FusedCall`: the handle keeps working but dispatches each
+    item through the vtable so interception observes every element.
+    """
+
+    __slots__ = ()
+
+    def _revoke(self) -> None:
+        vtable, name = self._vtable, self._name
+        self._target = lambda items: vtable.invoke_batch(name, items)
+        self.revoked = True
+
+
 class VTable:
     """Dispatch table for one exposed interface instance.
 
@@ -133,8 +160,26 @@ class VTable:
         }
         #: Effective slots: raw methods, or composed interceptor closures.
         self._slots: dict[str, Callable[..., Any]] = dict(self._raw)
+        #: Native batch implementations: ``<method>_batch`` callables found
+        #: on the impl object.  Used by the batch dispatch paths while the
+        #: corresponding slot is unintercepted.
+        self._raw_batch: dict[str, Callable[..., Any]] = {}
+        for m in methods_of(itype):
+            native = getattr(impl, f"{m.name}_batch", None)
+            if callable(native):
+                self._raw_batch[m.name] = native
+        #: Effective batch callables, built lazily per slot and invalidated
+        #: on every interceptor change.
+        self._batch_slots: dict[str, Callable[..., Any]] = {}
         self._interceptors: dict[str, _SlotInterceptors] = {}
         self._fused: dict[str, list[FusedCall]] = {}
+        self._fused_batch: dict[str, list[FusedBatchCall]] = {}
+        self._batch_watchers: dict[str, list[Callable[[Callable[..., Any]], None]]] = {}
+        #: Monomorphic inline cache for :meth:`invoke`: data-path callers
+        #: repeat the same method name, so the steady-state cost is one
+        #: string compare and one attribute load instead of a dict lookup.
+        self._ic_name: str | None = None
+        self._ic_slot: Callable[..., Any] | None = None
         #: Slot watchers: called with the effective slot callable now and
         #: after every interceptor change.  This is the zero-overhead
         #: fusion path: watchers install the *raw bound method* at their
@@ -145,7 +190,14 @@ class VTable:
     # -- dispatch -----------------------------------------------------------
 
     def invoke(self, method_name: str, *args: Any, **kwargs: Any) -> Any:
-        """Dispatch a call through the vtable (the 'indirect' regime)."""
+        """Dispatch a call through the vtable (the 'indirect' regime).
+
+        Warm-path cost is one name compare plus one bound-callable load:
+        the last dispatched slot is cached inline and invalidated whenever
+        the slot set or an interceptor changes.
+        """
+        if method_name == self._ic_name:
+            return self._ic_slot(*args, **kwargs)
         try:
             slot = self._slots[method_name]
         except KeyError:
@@ -153,7 +205,31 @@ class VTable:
                 f"interface {self.itype.interface_name()} has no method "
                 f"{method_name!r}"
             ) from None
+        self._ic_name = method_name
+        self._ic_slot = slot
         return slot(*args, **kwargs)
+
+    def invoke_batch(self, method_name: str, items: list) -> None:
+        """Dispatch one call per element of *items* through the vtable.
+
+        Unintercepted slots use the implementation's native
+        ``<method>_batch(items)`` when it exists (one cross-component call
+        for the whole list), falling back to a tight loop over the raw
+        bound method.  Intercepted slots always dispatch item-by-item
+        through the composed interceptor closure, so interceptors observe
+        every element.  Designed for void single-argument data-path methods
+        (``push``-style); return values are discarded.
+        """
+        batch = self._batch_slots.get(method_name)
+        if batch is None:
+            if method_name not in self._raw:
+                raise InterfaceError(
+                    f"interface {self.itype.interface_name()} has no method "
+                    f"{method_name!r}"
+                )
+            batch = self._effective_batch(method_name)
+            self._batch_slots[method_name] = batch
+        batch(items)
 
     def slot(self, method_name: str) -> Callable[..., Any]:
         """Return the current effective slot callable for *method_name*.
@@ -190,6 +266,25 @@ class VTable:
         self._fused.setdefault(method_name, []).append(handle)
         return handle
 
+    def fuse_batch(self, method_name: str) -> FusedBatchCall:
+        """Return a revocable direct batch-call handle for *method_name*.
+
+        ``handle(items)`` processes a whole list at the cost of a single
+        call while the slot is unintercepted; interceptor installation
+        reverts it to per-item vtable dispatch (see
+        :class:`FusedBatchCall`).
+        """
+        if method_name not in self._raw:
+            raise InterfaceError(
+                f"interface {self.itype.interface_name()} has no method "
+                f"{method_name!r}"
+            )
+        handle = FusedBatchCall(self._direct_batch(method_name), self, method_name)
+        if self._interceptors.get(method_name):
+            handle._revoke()
+        self._fused_batch.setdefault(method_name, []).append(handle)
+        return handle
+
     def watch_slot(
         self, method_name: str, setter: Callable[[Callable[..., Any]], None]
     ) -> Callable[[], None]:
@@ -208,6 +303,34 @@ class VTable:
         watchers = self._watchers.setdefault(method_name, [])
         watchers.append(setter)
         setter(self._slots[method_name])
+
+        def unsubscribe() -> None:
+            try:
+                watchers.remove(setter)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def watch_batch_slot(
+        self, method_name: str, setter: Callable[[Callable[..., Any]], None]
+    ) -> Callable[[], None]:
+        """Register a call-site *setter* for one slot's batch callable.
+
+        The batch analogue of :meth:`watch_slot`: the setter receives the
+        current effective batch callable (native ``<method>_batch`` or a
+        raw-method loop while unintercepted; a per-item dispatch loop once
+        interceptors appear) and is re-invoked on every interceptor change.
+        Returns an unsubscribe callable.
+        """
+        if method_name not in self._raw:
+            raise InterfaceError(
+                f"interface {self.itype.interface_name()} has no method "
+                f"{method_name!r}"
+            )
+        watchers = self._batch_watchers.setdefault(method_name, [])
+        watchers.append(setter)
+        setter(self._effective_batch(method_name))
 
         def unsubscribe() -> None:
             try:
@@ -269,6 +392,32 @@ class VTable:
 
     # -- internals ----------------------------------------------------------
 
+    def _direct_batch(self, method_name: str) -> Callable[..., Any]:
+        """Zero-interception batch callable: the implementation's native
+        ``<method>_batch``, or a tight loop over the raw bound method."""
+        native = self._raw_batch.get(method_name)
+        if native is not None:
+            return native
+        raw = self._raw[method_name]
+
+        def loop(items: list) -> None:
+            for item in items:
+                raw(item)
+
+        return loop
+
+    def _effective_batch(self, method_name: str) -> Callable[..., Any]:
+        """The batch callable honouring the slot's current regime."""
+        if not self._interceptors.get(method_name):
+            return self._direct_batch(method_name)
+        slot = self._slots[method_name]
+
+        def dispatch_batch(items: list) -> None:
+            for item in items:
+                slot(item)
+
+        return dispatch_batch
+
     def _interceptors_for(self, method_name: str) -> _SlotInterceptors:
         if method_name not in self._raw:
             raise InterfaceError(
@@ -286,12 +435,20 @@ class VTable:
         """
         raw = self._raw[method_name]
         entry = self._interceptors.get(method_name)
+        self._ic_name = None
+        self._ic_slot = None
+        self._batch_slots.pop(method_name, None)
         if not entry:
             self._slots[method_name] = raw
             for handle in self._fused.get(method_name, []):
                 handle._refresh(raw)
             for setter in self._watchers.get(method_name, []):
                 setter(raw)
+            direct_batch = self._direct_batch(method_name)
+            for handle in self._fused_batch.get(method_name, []):
+                handle._refresh(direct_batch)
+            for setter in self._batch_watchers.get(method_name, []):
+                setter(direct_batch)
             return
 
         pres = list(entry.pre.values())
@@ -324,6 +481,12 @@ class VTable:
             handle._revoke()
         for setter in self._watchers.get(method_name, []):
             setter(dispatch)
+        for handle in self._fused_batch.get(method_name, []):
+            handle._revoke()
+        if self._batch_watchers.get(method_name):
+            interposed_batch = self._effective_batch(method_name)
+            for setter in self._batch_watchers[method_name]:
+                setter(interposed_batch)
 
 
 def _wrap_around(

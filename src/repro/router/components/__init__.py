@@ -2,7 +2,7 @@
 
 from repro.router.components.base import PacketComponent, PushComponent
 from repro.router.components.classifier import Classifier
-from repro.router.components.forwarding import Forwarder, LpmTable
+from repro.router.components.forwarding import Forwarder, LpmTable, Stride8LpmTable
 from repro.router.components.headerproc import (
     ChecksumValidator,
     IPv4HeaderProcessor,
@@ -51,5 +51,6 @@ __all__ = [
     "RateMeter",
     "RedQueue",
     "SourceNat",
+    "Stride8LpmTable",
     "TokenBucketShaper",
 ]

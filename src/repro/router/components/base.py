@@ -9,7 +9,12 @@ Conventions used throughout the stratum-2 component library:
 - every component keeps a ``counters`` dict (packets seen, dropped,
   emitted, per-reason drops) so experiments read consistent statistics;
 - drops are never silent: they are counted, and optionally handed to a
-  dead-letter connection named ``drop`` when one is bound.
+  dead-letter connection named ``drop`` when one is bound;
+- every push-style component also accepts *batches*: ``push_batch(list)``
+  must be observationally equivalent to calling ``push`` once per element
+  (same counter totals, same per-connection emission order) while
+  amortising per-call dispatch cost.  See :meth:`PushComponent.push_batch`
+  for the exact protocol.
 """
 
 from __future__ import annotations
@@ -57,6 +62,32 @@ class PushComponent(PacketComponent):
         self.count("rx")
         self.process(packet)
 
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Batch IPacketPush entry point: process a whole list of packets.
+
+        Protocol (the contract every override must honour):
+
+        - counter totals after ``push_batch(pkts)`` equal those after
+          ``for p in pkts: push(p)``;
+        - packets forwarded on any one outgoing connection leave in their
+          arrival order (per-connection FIFO).  A batching component *may*
+          group packets per connection, so the interleaving *across*
+          different outgoing connections can differ from per-packet
+          operation — exactly like a fan-out NIC queue;
+        - interception is the vtable's concern, not the component's: when
+          an interceptor sits on the ``in0`` slot the vtable delivers the
+          batch item-by-item through the interposed closure and this method
+          is bypassed entirely.
+
+        The default loops :meth:`process`; subclasses override it to
+        amortise per-call work (bulk queue appends, grouped emission,
+        shared lookups).
+        """
+        self.count("rx", len(packets))
+        process = self.process
+        for packet in packets:
+            process(packet)
+
     def process(self, packet: Packet) -> None:
         """Subclass hook: handle one packet (default: pass through)."""
         self.emit(packet)
@@ -86,6 +117,35 @@ class PushComponent(PacketComponent):
             return False
         port.push(packet)
         self.count("tx")
+        return True
+
+    def emit_batch(self, packets: list[Packet], connection: str | None = None) -> bool:
+        """Send a whole list of packets down one outgoing connection.
+
+        The batch analogue of :meth:`emit`: one ``push_batch`` call on the
+        port instead of a per-packet ``push``, with identical counter
+        semantics (``tx``/``drop:no-route`` bumped by the batch size).
+        Empty batches are a no-op.
+        """
+        if not packets:
+            return True
+        out = self.receptacle("out")
+        if connection is None:
+            ports = out.connections()
+            if len(ports) == 1:
+                ports[0].push_batch(packets)
+                self.count("tx", len(packets))
+                return True
+            self.count("drop:no-route", len(packets))
+            return False
+        try:
+            port = out.port(connection)
+        except ReceptacleError:
+            self.count("drop:no-route", len(packets))
+            self.count(f"drop:no-route:{connection}", len(packets))
+            return False
+        port.push_batch(packets)
+        self.count("tx", len(packets))
         return True
 
     def output_names(self) -> list[str]:

@@ -63,3 +63,38 @@ class Classifier(PushComponent):
             self.emit(packet, self.default_output)
             return
         self.count("drop:unclassified")
+
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Classify per packet, emit one grouped batch per output class.
+
+        Per-output order matches arrival order; different classes leave in
+        first-seen class order rather than interleaved.
+        """
+        self.count("rx", len(packets))
+        default = self.default_output
+        if not self.table and default is not None:
+            # No filters installed: the whole batch is default class.
+            for packet in packets:
+                packet.metadata["class"] = default
+            self.count(f"class:{default}", len(packets))
+            self.emit_batch(packets, default)
+            return
+        classify = self.table.classify
+        groups: dict[str, list[Packet]] = {}
+        unclassified = 0
+        for packet in packets:
+            spec = classify(packet)
+            output = spec.output if spec is not None else default
+            if output is None:
+                unclassified += 1
+                continue
+            packet.metadata["class"] = output
+            group = groups.get(output)
+            if group is None:
+                group = groups[output] = []
+            group.append(packet)
+        for output, group in groups.items():
+            self.count(f"class:{output}", len(group))
+            self.emit_batch(group, output)
+        if unclassified:
+            self.count("drop:unclassified", unclassified)

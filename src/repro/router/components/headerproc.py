@@ -36,6 +36,29 @@ class ProtocolRecognizer(PushComponent):
         else:
             self.count("drop:unknown-version")
 
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Partition the batch by IP version and emit each family once."""
+        self.count("rx", len(packets))
+        v4: list[Packet] = []
+        v6: list[Packet] = []
+        unknown = 0
+        for packet in packets:
+            net = packet.net
+            if isinstance(net, IPv4Header):
+                v4.append(packet)
+            elif isinstance(net, IPv6Header):
+                v6.append(packet)
+            else:
+                unknown += 1
+        if v4:
+            self.count("v4", len(v4))
+            self.emit_batch(v4, self.OUT_V4)
+        if v6:
+            self.count("v6", len(v6))
+            self.emit_batch(v6, self.OUT_V6)
+        if unknown:
+            self.count("drop:unknown-version", unknown)
+
 
 class ChecksumValidator(PushComponent):
     """Drop IPv4 packets whose header checksum does not verify.
@@ -52,6 +75,23 @@ class ChecksumValidator(PushComponent):
             return
         self.count("ok")
         self.emit(packet)
+
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Verify per packet, emit the survivors as one batch."""
+        self.count("rx", len(packets))
+        survivors: list[Packet] = []
+        bad = 0
+        for packet in packets:
+            net = packet.net
+            if isinstance(net, IPv4Header) and not net.checksum_ok():
+                bad += 1
+                continue
+            survivors.append(packet)
+        if bad:
+            self.count("drop:bad-checksum", bad)
+        if survivors:
+            self.count("ok", len(survivors))
+            self.emit_batch(survivors)
 
 
 class IPv4HeaderProcessor(PushComponent):
@@ -82,6 +122,30 @@ class IPv4HeaderProcessor(PushComponent):
         self.count("forwarded")
         self.emit(packet)
 
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Header work stays per-packet; dispatch and emission amortise."""
+        self.count("rx", len(packets))
+        counters = self.counters
+        validate = self.validate_checksum
+        survivors: list[Packet] = []
+        for packet in packets:
+            net = packet.net
+            if not isinstance(net, IPv4Header):
+                counters["drop:not-ipv4"] += 1
+                continue
+            if validate and not net.checksum_ok():
+                counters["drop:bad-checksum"] += 1
+                continue
+            if net.ttl <= 1:
+                counters["drop:ttl-expired"] += 1
+                continue
+            net.ttl -= 1
+            net.refresh_checksum()
+            survivors.append(packet)
+        if survivors:
+            self.count("forwarded", len(survivors))
+            self.emit_batch(survivors)
+
 
 class IPv6HeaderProcessor(PushComponent):
     """IPv6 forwarding-path header handling (hop-limit decrement)."""
@@ -98,3 +162,22 @@ class IPv6HeaderProcessor(PushComponent):
         net.hop_limit -= 1
         self.count("forwarded")
         self.emit(packet)
+
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Hop-limit work per packet, one emission for the survivors."""
+        self.count("rx", len(packets))
+        counters = self.counters
+        survivors: list[Packet] = []
+        for packet in packets:
+            net = packet.net
+            if not isinstance(net, IPv6Header):
+                counters["drop:not-ipv6"] += 1
+                continue
+            if net.hop_limit <= 1:
+                counters["drop:hop-limit-expired"] += 1
+                continue
+            net.hop_limit -= 1
+            survivors.append(packet)
+        if survivors:
+            self.count("forwarded", len(survivors))
+            self.emit_batch(survivors)

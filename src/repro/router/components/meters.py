@@ -28,6 +28,12 @@ class PacketCounterTap(PushComponent):
         self.bytes_seen += packet.size_bytes
         self.emit(packet)
 
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Count the batch and forward it whole."""
+        self.count("rx", len(packets))
+        self.bytes_seen += sum(p.size_bytes for p in packets)
+        self.emit_batch(packets)
+
 
 class RateMeter(PushComponent):
     """Pass-through measuring throughput over a sliding window of virtual
@@ -75,6 +81,17 @@ class CollectorSink(PacketComponent):
         if self.keep is None or len(self.packets) < self.keep:
             self.packets.append(packet)
 
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Absorb a whole batch (bulk extend, bounded by ``keep``)."""
+        self.count("rx", len(packets))
+        self.bytes_received += sum(p.size_bytes for p in packets)
+        if self.keep is None:
+            self.packets.extend(packets)
+        else:
+            room = self.keep - len(self.packets)
+            if room > 0:
+                self.packets.extend(packets[:room])
+
     def collected_count(self) -> int:
         """Packets absorbed so far."""
         return self.counters["rx"]
@@ -93,6 +110,10 @@ class DropSink(PacketComponent):
     def push(self, packet: Packet) -> None:
         """Discard one packet."""
         self.count("rx")
+
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Discard a whole batch (one counter bump)."""
+        self.count("rx", len(packets))
 
     def collected_count(self) -> int:
         """Packets discarded so far."""

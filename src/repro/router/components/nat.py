@@ -102,3 +102,9 @@ class _InboundSide:
     def push(self, packet: Packet) -> None:
         """Reverse-translate one inbound packet."""
         self._nat.process_inbound(packet)
+
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Reverse-translate a batch (per-packet state walk)."""
+        process = self._nat.process_inbound
+        for packet in packets:
+            process(packet)

@@ -59,10 +59,24 @@ class NicIngress(PacketComponent):
             self.count("drop:unplumbed")
 
     def poll(self, budget: int = 64) -> int:
-        """Polled mode: drain up to *budget* frames from the RX ring."""
+        """Polled mode: drain up to *budget* frames from the RX ring.
+
+        Drained frames enter the pipeline as one batch per poll (NAPI
+        batching), with the same counters as interrupt-mode delivery.
+        """
         if self._nic is None:
             return 0
-        return self._nic.drain_rx(self._on_frame, budget=budget)
+        frames: list[Packet] = []
+        drained = self._nic.drain_rx(frames.append, budget=budget)
+        if frames:
+            self.count("rx", len(frames))
+            out = self.receptacle("out")
+            if out.bound:
+                out.push_batch(frames)
+                self.count("tx", len(frames))
+            else:
+                self.count("drop:unplumbed", len(frames))
+        return drained
 
 
 class NicEgress(PushComponent):

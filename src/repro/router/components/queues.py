@@ -42,6 +42,22 @@ class FifoQueue(PacketComponent):
             return
         self._queue.append(packet)
 
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Bulk enqueue with exact drop-tail semantics: the packets that
+        fit are appended in order, the tail of the batch overflows."""
+        n = len(packets)
+        self.count("rx", n)
+        queue = self._queue
+        room = self.capacity - len(queue)
+        if room >= n:
+            queue.extend(packets)
+            return
+        if room > 0:
+            queue.extend(packets[:room])
+            self.count("drop:overflow", n - room)
+        else:
+            self.count("drop:overflow", n)
+
     def pull(self) -> Packet | None:
         """Dequeue the head packet (None when empty)."""
         if not self._queue:
@@ -115,6 +131,13 @@ class RedQueue(PacketComponent):
                 self.count("drop:red-early")
                 return
         self._queue.append(packet)
+
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Per-packet RED admission (the EWMA advances on every arrival,
+        so batches cannot be bulk-admitted without changing drop maths)."""
+        push = self.push
+        for packet in packets:
+            push(packet)
 
     def pull(self) -> Packet | None:
         """Dequeue the head packet (None when empty)."""

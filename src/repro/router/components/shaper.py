@@ -97,17 +97,25 @@ class TokenBucketShaper(PushComponent):
         self._backlog.append(packet)
 
     def release_due(self) -> int:
-        """Release backlogged packets now affordable; returns count."""
-        released = 0
+        """Release backlogged packets now affordable; returns count.
+
+        Released packets leave as one batch (order preserved), so a timer
+        tick that frees many packets crosses the downstream binding once.
+        Admission (:meth:`process` via the inherited per-packet
+        ``push_batch`` fallback) stays per-packet: every arrival consults
+        the token bucket individually.
+        """
+        released: list[Packet] = []
         while self._backlog:
             head = self._backlog[0]
             if not self.bucket.try_consume(head.size_bytes):
                 break
             self._backlog.popleft()
-            self.emit(head)
-            released += 1
-        self.count("released", released) if released else None
-        return released
+            released.append(head)
+        if released:
+            self.emit_batch(released)
+            self.count("released", len(released))
+        return len(released)
 
     def next_release_in(self) -> float | None:
         """Seconds until the head packet conforms (None when idle)."""

@@ -267,6 +267,14 @@ class FilterTable:
                 return spec
         return None
 
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def __bool__(self) -> bool:
+        """True when any filter is installed (batch paths use this to skip
+        per-packet classification against an empty table)."""
+        return bool(self._filters)
+
     def describe(self) -> list[dict[str, Any]]:
         """All specs, highest priority first."""
         return [spec.describe() for spec in self._filters]

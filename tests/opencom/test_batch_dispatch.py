@@ -1,0 +1,186 @@
+"""Batch dispatch: invoke_batch, fuse_batch, batch watchers, and the
+interception safety invariant on the vectorised path."""
+
+import pytest
+
+from repro.opencom import FusedBatchCall, InterfaceError, VTable
+from repro.opencom.interfaces import Interface
+
+
+class ISink(Interface):
+    """Test interface: a push-style single-argument void method."""
+
+    def absorb(self, item):
+        """Take one item."""
+        ...
+
+
+class LoopedSink:
+    """Implements ISink with no native batch method."""
+
+    def __init__(self):
+        self.items = []
+
+    def absorb(self, item):
+        self.items.append(item)
+
+
+class VectorSink(LoopedSink):
+    """Implements ISink plus a native absorb_batch."""
+
+    def __init__(self):
+        super().__init__()
+        self.batch_calls = 0
+
+    def absorb_batch(self, items):
+        self.batch_calls += 1
+        self.items.extend(items)
+
+
+@pytest.fixture
+def looped():
+    impl = LoopedSink()
+    return impl, VTable(ISink, impl, "in")
+
+
+@pytest.fixture
+def vector():
+    impl = VectorSink()
+    return impl, VTable(ISink, impl, "in")
+
+
+class TestInvokeBatch:
+    def test_loops_impl_in_order(self, looped):
+        impl, vtable = looped
+        vtable.invoke_batch("absorb", [1, 2, 3])
+        assert impl.items == [1, 2, 3]
+
+    def test_uses_native_batch_when_unintercepted(self, vector):
+        impl, vtable = vector
+        vtable.invoke_batch("absorb", [1, 2])
+        assert impl.batch_calls == 1
+        assert impl.items == [1, 2]
+
+    def test_unknown_method_raises(self, looped):
+        _, vtable = looped
+        with pytest.raises(InterfaceError, match="no method"):
+            vtable.invoke_batch("drain", [1])
+
+    def test_interceptor_sees_every_item(self, vector):
+        impl, vtable = vector
+        seen = []
+        vtable.add_pre("absorb", "spy", lambda ctx: seen.append(ctx.args[0]))
+        vtable.invoke_batch("absorb", [7, 8, 9])
+        # The native batch method is bypassed: interposed per-item calls.
+        assert impl.batch_calls == 0
+        assert seen == [7, 8, 9]
+        assert impl.items == [7, 8, 9]
+
+    def test_native_batch_resumes_after_interceptor_removed(self, vector):
+        impl, vtable = vector
+        vtable.add_pre("absorb", "spy", lambda ctx: None)
+        vtable.invoke_batch("absorb", [1])
+        vtable.remove_interceptor("absorb", "spy")
+        vtable.invoke_batch("absorb", [2, 3])
+        assert impl.batch_calls == 1
+        assert impl.items == [1, 2, 3]
+
+
+class TestInvokeInlineCache:
+    def test_warm_invoke_still_observes_new_interceptors(self, looped):
+        impl, vtable = looped
+        vtable.invoke("absorb", 1)  # warm the inline cache
+        seen = []
+        vtable.add_pre("absorb", "spy", lambda ctx: seen.append(ctx.args[0]))
+        vtable.invoke("absorb", 2)
+        assert seen == [2]
+
+    def test_warm_invoke_observes_interceptor_removal(self, looped):
+        impl, vtable = looped
+        seen = []
+        vtable.add_pre("absorb", "spy", lambda ctx: seen.append(ctx.args[0]))
+        vtable.invoke("absorb", 1)
+        vtable.remove_interceptor("absorb", "spy")
+        vtable.invoke("absorb", 2)
+        assert seen == [1]
+        assert impl.items == [1, 2]
+
+
+class TestFuseBatch:
+    def test_fused_batch_targets_native(self, vector):
+        impl, vtable = vector
+        handle = vtable.fuse_batch("absorb")
+        assert isinstance(handle, FusedBatchCall)
+        assert handle.revoked is False
+        handle([1, 2])
+        assert impl.batch_calls == 1
+
+    def test_fused_batch_loops_raw_without_native(self, looped):
+        impl, vtable = looped
+        handle = vtable.fuse_batch("absorb")
+        handle([4, 5])
+        assert impl.items == [4, 5]
+
+    def test_interceptor_revokes_mid_run(self, vector):
+        impl, vtable = vector
+        handle = vtable.fuse_batch("absorb")
+        handle([1, 2])
+        seen = []
+        vtable.add_pre("absorb", "spy", lambda ctx: seen.append(ctx.args[0]))
+        assert handle.revoked is True
+        # The handle still works but every item now crosses the interceptor.
+        handle([3, 4])
+        assert seen == [3, 4]
+        assert impl.items == [1, 2, 3, 4]
+        assert impl.batch_calls == 1  # only the pre-interception batch
+
+    def test_refused_after_interceptor_removed(self, vector):
+        impl, vtable = vector
+        handle = vtable.fuse_batch("absorb")
+        vtable.add_pre("absorb", "spy", lambda ctx: None)
+        vtable.remove_interceptor("absorb", "spy")
+        assert handle.revoked is False
+        handle([1])
+        assert impl.batch_calls == 1
+
+    def test_fusing_intercepted_slot_yields_revoked_handle(self, vector):
+        impl, vtable = vector
+        vtable.add_pre("absorb", "spy", lambda ctx: None)
+        handle = vtable.fuse_batch("absorb")
+        assert handle.revoked is True
+        handle([1])
+        assert impl.items == [1]
+
+    def test_fuse_batch_unknown_method_raises(self, looped):
+        _, vtable = looped
+        with pytest.raises(InterfaceError):
+            vtable.fuse_batch("drain")
+
+
+class TestWatchBatchSlot:
+    def test_setter_called_immediately_with_native(self, vector):
+        impl, vtable = vector
+        installed = []
+        vtable.watch_batch_slot("absorb", installed.append)
+        assert installed[-1] == impl.absorb_batch
+
+    def test_setter_swapped_on_interception_and_back(self, vector):
+        impl, vtable = vector
+        installed = []
+        vtable.watch_batch_slot("absorb", installed.append)
+        vtable.add_pre("absorb", "spy", lambda ctx: None)
+        # The interposed batch callable loops the dispatch closure.
+        installed[-1]([1, 2])
+        assert impl.batch_calls == 0
+        assert impl.items == [1, 2]
+        vtable.remove_interceptor("absorb", "spy")
+        assert installed[-1] == impl.absorb_batch
+
+    def test_unsubscribe_stops_updates(self, vector):
+        _, vtable = vector
+        installed = []
+        unsubscribe = vtable.watch_batch_slot("absorb", installed.append)
+        count = len(installed)
+        unsubscribe()
+        vtable.add_pre("absorb", "spy", lambda ctx: None)
+        assert len(installed) == count

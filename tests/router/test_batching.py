@@ -1,0 +1,261 @@
+"""Batch-datapath semantics: push_batch equivalence with N x push,
+interception revocation mid-run, stride-8 LPM equivalence, and drain
+exhaustion reporting."""
+
+import random
+
+import pytest
+
+from repro.netsim import make_udp_v4, make_udp_v6, mixed_v4_v6_trace, synthetic_route_table
+from repro.netsim.trace import udp_route_trace
+from repro.opencom import Capsule, fuse_pipeline
+from repro.router import (
+    DrainExhausted,
+    FifoQueue,
+    LpmTable,
+    Stride8LpmTable,
+    build_figure3_composite,
+    build_forwarding_pipeline,
+)
+
+ROUTES = dict(synthetic_route_table(prefixes=64, next_hops=["a", "b", "c"], seed=7))
+ROUTES["0.0.0.0/0"] = "a"
+
+
+@pytest.fixture
+def capsule():
+    return Capsule("test")
+
+
+def build(capsule):
+    return build_forwarding_pipeline(capsule, routes=ROUTES)
+
+
+def trace(n=200, seed=3):
+    return udp_route_trace(ROUTES, count=n, seed=seed)
+
+
+def sink_ids(pipeline):
+    return {
+        name: [p.packet_id for p in sink.packets]
+        for name, sink in pipeline.stages.items()
+        if name.startswith("sink:")
+    }
+
+
+class TestPushBatchEquivalence:
+    @pytest.mark.parametrize("fused", [False, True])
+    def test_stats_and_order_match_per_packet(self, fused):
+        """push_batch == N x push: same stage stats, same per-sink order."""
+        per_packet = build(Capsule("pp"))
+        batched_pipe = build(Capsule("b"))
+        if fused:
+            fuse_pipeline(list(batched_pipe.capsule.components().values()))
+
+        t1, t2 = trace(), trace()
+        assert [p.net.dst for p in t1] == [p.net.dst for p in t2]
+        for packet in t1:
+            per_packet.push(packet)
+        batched_pipe.push_batch(t2)
+
+        assert per_packet.stage_stats() == batched_pipe.stage_stats()
+        ids1, ids2 = sink_ids(per_packet), sink_ids(batched_pipe)
+        # Same multiset of destinations per sink, same relative order.
+        assert {k: len(v) for k, v in ids1.items()} == {
+            k: len(v) for k, v in ids2.items()
+        }
+        for name in ids2:
+            # Packet ids differ between the two traces; compare positions.
+            order1 = [t1.index(p) for sink in [per_packet.stages[name]] for p in sink.packets]
+            order2 = [t2.index(p) for sink in [batched_pipe.stages[name]] for p in sink.packets]
+            assert order1 == sorted(order1)
+            assert order1 == order2
+
+    def test_mixed_protocol_stats_match(self):
+        """v4/v6 mixed traffic: batch fan-out keeps counters identical."""
+        per_packet = build(Capsule("pp"))
+        batched_pipe = build(Capsule("b"))
+        t1 = mixed_v4_v6_trace(count=150, v6_fraction=0.4, seed=11)
+        t2 = mixed_v4_v6_trace(count=150, v6_fraction=0.4, seed=11)
+        for packet in t1:
+            per_packet.push(packet)
+        batched_pipe.push_batch(t2)
+        assert per_packet.stage_stats() == batched_pipe.stage_stats()
+
+    def test_figure3_composite_accepts_batches(self, capsule):
+        _, pipeline = build_figure3_composite(capsule)
+        packets = [
+            make_udp_v4("10.0.0.1", "10.0.1.2", payload=bytes(32)) for _ in range(20)
+        ] + [make_udp_v6("2001:db8::1", "2001:db8::2", payload=bytes(32)) for _ in range(5)]
+        pipeline.push_batch(packets)
+        serviced = pipeline.drain(budget=16)
+        assert serviced == 25
+        assert pipeline.stages["sink"].collected_count() == 25
+
+    def test_fifo_queue_batch_overflow_matches_per_packet(self):
+        loop_q, batch_q = FifoQueue(10), FifoQueue(10)
+        packets1 = [make_udp_v4("10.0.0.1", "10.0.0.2") for _ in range(25)]
+        packets2 = [make_udp_v4("10.0.0.1", "10.0.0.2") for _ in range(25)]
+        for p in packets1:
+            loop_q.push(p)
+        batch_q.push_batch(packets2)
+        assert loop_q.stats() == batch_q.stats()
+        assert batch_q.depth == 10
+        # Drop-tail: the packets that made it are the head of the batch.
+        assert [p.packet_id for p in batch_q._queue] == [
+            p.packet_id for p in packets2[:10]
+        ]
+
+
+class TestBatchInterception:
+    def test_interceptor_installed_mid_run_revokes_fused_batch(self):
+        """Install an interceptor between two batches of a fused run: the
+        second batch must cross it per-packet, and stats must not change."""
+        pipeline = build(Capsule("dut"))
+        plan = fuse_pipeline(list(pipeline.capsule.components().values()))
+        assert plan.fused_count > 0
+
+        first, second = trace(60, seed=5)[:30], trace(60, seed=5)[30:]
+        pipeline.push_batch(first)
+
+        forwarder = pipeline.stages["forwarder"]
+        vtable = forwarder.interface("in0").vtable
+        seen = []
+        vtable.add_pre("push", "audit", lambda ctx: seen.append(ctx.args[0]))
+
+        pipeline.push_batch(second)
+        # The interceptor saw exactly the second batch, item by item.
+        assert len(seen) == len(second)
+        # Delivery is complete regardless.
+        delivered = sum(
+            sink.collected_count()
+            for name, sink in pipeline.stages.items()
+            if name.startswith("sink:")
+        )
+        assert delivered == 60
+
+    def test_unfused_batch_path_also_observes_interceptors(self):
+        pipeline = build(Capsule("dut"))
+        forwarder = pipeline.stages["forwarder"]
+        vtable = forwarder.interface("in0").vtable
+        seen = []
+        vtable.add_pre("push", "audit", lambda ctx: seen.append(ctx.args[0]))
+        batch = trace(20, seed=9)
+        pipeline.push_batch(batch)
+        assert len(seen) == 20
+
+    def test_summary_reports_skipped_ports(self):
+        pipeline = build(Capsule("dut"))
+        forwarder = pipeline.stages["forwarder"]
+        forwarder.interface("in0").vtable.add_pre("push", "spy", lambda ctx: None)
+        plan = fuse_pipeline(list(pipeline.capsule.components().values()))
+        assert plan.skipped
+        summary = plan.summary()
+        assert "skipped" in summary and "interceptors on push" in summary
+
+
+class TestStride8Equivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_v4_tables_agree_with_bitwise(self, seed):
+        rng = random.Random(seed)
+        routes = synthetic_route_table(
+            prefixes=300, next_hops=["a", "b", "c", "d"], seed=seed
+        )
+        bitwise, stride8 = LpmTable(), Stride8LpmTable()
+        bitwise.load(routes)
+        stride8.load(routes)
+        assert bitwise.size() == stride8.size() == len(routes)
+        for _ in range(2000):
+            address = rng.getrandbits(32)
+            assert bitwise.lookup(address) == stride8.lookup(address), hex(address)
+            assert stride8.lookup_cached(address) == stride8.lookup(address)
+
+    def test_default_route_and_removal(self):
+        rng = random.Random(42)
+        routes = synthetic_route_table(prefixes=50, next_hops=["x", "y"], seed=42)
+        routes["0.0.0.0/0"] = "default"
+        bitwise, stride8 = LpmTable(), Stride8LpmTable()
+        bitwise.load(routes)
+        stride8.load(routes)
+        victims = rng.sample(sorted(routes), 20)
+        for prefix in victims:
+            bitwise.remove(prefix)
+            stride8.remove(prefix)
+        assert stride8.size() == len(routes) - 20
+        for _ in range(1000):
+            address = rng.getrandbits(32)
+            assert bitwise.lookup(address) == stride8.lookup(address)
+
+    def test_remove_unknown_prefix_raises(self):
+        from repro.router import FilterError
+
+        table = Stride8LpmTable()
+        with pytest.raises(FilterError):
+            table.remove("10.0.0.0/8")
+
+    def test_nested_prefixes_longest_wins(self):
+        table = Stride8LpmTable()
+        table.insert("10.0.0.0/8", "short")
+        table.insert("10.1.0.0/16", "mid")
+        table.insert("10.1.2.0/24", "long")
+        table.insert("10.1.2.128/25", "longest")
+        from repro.netsim import ipv4
+
+        assert table.lookup(ipv4("10.9.9.9")) == "short"
+        assert table.lookup(ipv4("10.1.9.9")) == "mid"
+        assert table.lookup(ipv4("10.1.2.5")) == "long"
+        assert table.lookup(ipv4("10.1.2.200")) == "longest"
+        assert table.lookup(ipv4("11.0.0.1")) is None
+
+    def test_v6_lookup(self):
+        from repro.netsim import ipv6
+
+        table = Stride8LpmTable()
+        table.insert("2001:db8::/32", "lab")
+        table.insert("2001:db8:1::/48", "pod")
+        assert table.lookup(ipv6("2001:db8:1::5"), version=6) == "pod"
+        assert table.lookup(ipv6("2001:db8:2::5"), version=6) == "lab"
+        assert table.lookup(ipv6("2002::1"), version=6) is None
+
+    def test_cache_invalidated_on_route_change(self):
+        from repro.netsim import ipv4
+
+        table = Stride8LpmTable()
+        table.insert("10.0.0.0/8", "old")
+        address = ipv4("10.1.1.1")
+        assert table.lookup_cached(address) == "old"
+        table.insert("10.1.0.0/16", "new")
+        assert table.lookup_cached(address) == "new"
+        table.remove("10.1.0.0/16")
+        assert table.lookup_cached(address) == "old"
+
+
+class TestDrainReporting:
+    def test_exhausted_drain_warns(self, capsule):
+        _, pipeline = build_figure3_composite(capsule)
+        packets = [
+            make_udp_v4("10.0.0.1", "10.0.1.2", payload=bytes(16)) for _ in range(50)
+        ]
+        pipeline.push_batch(packets)
+        with pytest.warns(DrainExhausted, match="max_rounds=3"):
+            serviced = pipeline.drain(max_rounds=3, budget=1)
+        assert serviced == 4  # 3 rounds + the probe round
+
+    def test_exact_fit_drain_does_not_warn(self, capsule, recwarn):
+        """Workload finishing exactly on the last round is a full drain."""
+        _, pipeline = build_figure3_composite(capsule)
+        pipeline.push_batch(
+            [make_udp_v4("10.0.0.1", "10.0.1.2", payload=bytes(16)) for _ in range(3)]
+        )
+        serviced = pipeline.drain(max_rounds=3, budget=1)
+        assert serviced == 3
+        assert not [w for w in recwarn.list if issubclass(w.category, DrainExhausted)]
+
+    def test_complete_drain_does_not_warn(self, capsule, recwarn):
+        _, pipeline = build_figure3_composite(capsule)
+        pipeline.push_batch(
+            [make_udp_v4("10.0.0.1", "10.0.1.2", payload=bytes(16)) for _ in range(10)]
+        )
+        serviced = pipeline.drain(budget=4)
+        assert serviced == 10
+        assert not [w for w in recwarn.list if issubclass(w.category, DrainExhausted)]
