@@ -12,6 +12,8 @@ A4 — rule checking granularity: accept-time check cost vs re-validating
 
 import time
 
+import pytest
+
 from benchmarks.conftest import once, report
 from repro.analysis import mean
 from repro.cf import TopologyConstraint
@@ -27,6 +29,8 @@ from repro.router import (
     RouterCF,
     WfqScheduler,
 )
+
+pytestmark = pytest.mark.bench
 
 
 def test_a1_bind_constraint_overhead(benchmark):

@@ -12,6 +12,8 @@ latency in the predicted direction, and the resources meta-model accounts
 every quantum.
 """
 
+import pytest
+
 from benchmarks.conftest import once, report
 from repro.opencom.metamodel.resources import ResourceMetaModel
 from repro.osbase import (
@@ -21,6 +23,8 @@ from repro.osbase import (
     ThreadManagerCF,
     VirtualClock,
 )
+
+pytestmark = pytest.mark.bench
 
 QUANTA = 3_000
 

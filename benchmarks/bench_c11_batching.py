@@ -20,12 +20,16 @@ Shape asserted:
 import gc
 import time
 
+import pytest
+
 from benchmarks.bench_c6_datapath import HOPS, PACKETS, routes_with_default
-from benchmarks.conftest import make_route_trace, once, report
+from benchmarks.conftest import SMOKE, make_route_trace, once, report
 from repro.baselines import ClickRouter, MonolithicRouter, standard_click_config
 from repro.netsim import batched
 from repro.opencom import Capsule, fuse_pipeline
 from repro.router import build_forwarding_pipeline
+
+pytestmark = pytest.mark.bench
 
 BATCH_SIZES = (1, 8, 32, 128)
 HEADLINE_BATCH = 32
@@ -160,17 +164,23 @@ def test_c11_batching_throughput(benchmark):
     for name, (_, delivered) in results.items():
         assert delivered == PACKETS, name
 
-    # Headline: batching + fusion buys >= 2x over the seed per-packet
-    # vtable path on the same trace.
-    headline = throughput[f"CF fused, batch-{HEADLINE_BATCH}"]
-    assert headline >= 2.0 * throughput["CF vtable, per-packet"]
+    # Magnitude claims are noise-dominated on the smoke trace; smoke mode
+    # asserts the paper ordering only (below).
+    if not SMOKE:
+        # Headline: batching + fusion buys >= 2x over the seed per-packet
+        # vtable path on the same trace.
+        headline = throughput[f"CF fused, batch-{HEADLINE_BATCH}"]
+        assert headline >= 2.0 * throughput["CF vtable, per-packet"]
 
-    # Batching helps even without fusion, and bigger batches don't hurt
-    # (generous slack: only a gross regression fails).
-    assert throughput[f"CF vtable, batch-{HEADLINE_BATCH}"] >= throughput[
-        "CF vtable, per-packet"
-    ]
-    assert throughput["CF fused, batch-128"] >= throughput["CF fused, batch-8"] * 0.7
+        # Batching helps even without fusion, and bigger batches don't
+        # hurt (generous slack: only a gross regression fails).
+        assert throughput[f"CF vtable, batch-{HEADLINE_BATCH}"] >= throughput[
+            "CF vtable, per-packet"
+        ]
+        assert (
+            throughput["CF fused, batch-128"]
+            >= throughput["CF fused, batch-8"] * 0.7
+        )
 
     # Paper ordering preserved under batching (same slack style as C6).
     mono = throughput[f"monolithic, batch-{HEADLINE_BATCH}"]

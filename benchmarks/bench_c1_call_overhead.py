@@ -18,6 +18,8 @@ import pytest
 from benchmarks.conftest import report
 from repro.opencom import Capsule, Component, Interface, Provided, Required
 
+pytestmark = pytest.mark.bench
+
 CALLS = 20_000
 
 

@@ -10,6 +10,8 @@ library; the embedded-minimal profile lands at ≈18 KB in the calibrated
 accounting model, and the full-stack profile is several times larger.
 """
 
+import pytest
+
 from benchmarks.conftest import once, report
 from repro.analysis import measure_capsule
 from repro.appservices import CodeAdmission, ExecutionEnvironment
@@ -32,6 +34,8 @@ from repro.router import (
     WfqScheduler,
     build_figure3_composite,
 )
+
+pytestmark = pytest.mark.bench
 
 
 def embedded_minimal():

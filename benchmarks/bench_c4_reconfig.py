@@ -13,6 +13,8 @@ larger implementation) applied while a burst of traffic sits queued:
 - the monolithic router cannot express the change at all.
 """
 
+import pytest
+
 from benchmarks.conftest import once, report
 from repro.baselines import (
     ClickRouter,
@@ -23,6 +25,8 @@ from repro.baselines import (
 from repro.netsim import mixed_v4_v6_trace
 from repro.opencom import Capsule
 from repro.router import FifoQueue, build_figure3_composite
+
+pytestmark = pytest.mark.bench
 
 TRACE = 2_000
 ROUTES = {"0.0.0.0/0": "out", "::/0": "out"}

@@ -12,10 +12,14 @@ child capsule, after which the parent detects the fault and re-deploys.
 
 import time
 
+import pytest
+
 from benchmarks.conftest import once, report
 from repro.netsim import make_udp_v4
 from repro.opencom import Capsule, Component, IpcFault, Provided, Required, bind_across
 from repro.router import Classifier, CollectorSink, IPacketPush
+
+pytestmark = pytest.mark.bench
 
 CALLS = 3_000
 

@@ -16,15 +16,19 @@ not an order of magnitude.
 
 import time
 
-from benchmarks.conftest import make_route_trace, once, report
+import pytest
+
+from benchmarks.conftest import make_route_trace, once, report, scaled
 from repro.analysis import relative_factor
 from repro.baselines import ClickRouter, MonolithicRouter, standard_click_config
 from repro.netsim import synthetic_route_table
 from repro.opencom import Capsule, fuse_pipeline
 from repro.router import build_forwarding_pipeline
 
-PACKETS = 5_000
-ROUTE_COUNT = 1_000
+pytestmark = pytest.mark.bench
+
+PACKETS = scaled(5_000, 800)
+ROUTE_COUNT = scaled(1_000, 128)
 HOPS = ["east", "west", "north", "south"]
 
 

@@ -11,8 +11,12 @@ analytic cost model cross-checked by simulation, and a manual override
 demonstrating the control path.
 """
 
+import pytest
+
 from benchmarks.conftest import once, report
 from repro.ixp import BoardSimulator, IxpBoard, PlacementMetaModel, StageVisit
+
+pytestmark = pytest.mark.bench
 
 GRAPH = [
     # (name, cost-profile type, fraction of the packet stream)

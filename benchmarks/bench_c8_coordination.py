@@ -12,9 +12,13 @@ isolated virtual networks over an 8-node tree with verified resource
 containment.
 """
 
+import pytest
+
 from benchmarks.conftest import once, report
 from repro.coordination import GenesisFramework, attach_agents, deploy_rsvp
 from repro.netsim import Topology
+
+pytestmark = pytest.mark.bench
 
 
 def test_c8_rsvp_admission_sweep(benchmark):

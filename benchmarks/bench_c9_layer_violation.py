@@ -14,11 +14,15 @@ without it under the lossy regime, and the adaptation is a live
 reconfiguration, not a restart.
 """
 
+import pytest
+
 from benchmarks.conftest import once, report
 from repro.appservices import FecDecoder, FecEncoder
 from repro.netsim import Topology, make_udp_v4
 from repro.opencom import Capsule
 from repro.router import CollectorSink, PacketCounterTap
+
+pytestmark = pytest.mark.bench
 
 PACKETS = 400
 GROUP = 4

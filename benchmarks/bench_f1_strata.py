@@ -9,6 +9,8 @@ uniformity property: every entry is the same kind of thing (an OpenCOM
 component in one capsule, introspectable through the same meta-models).
 """
 
+import pytest
+
 from benchmarks.conftest import once, report
 from repro.appservices import CodeAdmission, ExecutionEnvironment
 from repro.coordination import attach_agents, deploy_rsvp
@@ -22,6 +24,8 @@ from repro.osbase import (
     VirtualClock,
 )
 from repro.router import build_figure3_composite
+
+pytestmark = pytest.mark.bench
 
 STRATUM_OF_TYPE = {
     # stratum 1

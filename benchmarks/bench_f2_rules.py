@@ -19,6 +19,8 @@ from repro.router import (
     RouterCF,
 )
 
+pytestmark = pytest.mark.bench
+
 
 def make_shape(pushes, pulls, push_receptacles, pull_receptacles, classifier):
     """Build a component class with the given interface shape."""

@@ -9,10 +9,14 @@ tables: per-stage packet accounting, the internal topology, and the
 constraint/ACL behaviour.
 """
 
+import pytest
+
 from benchmarks.conftest import once, report
 from repro.netsim import mixed_v4_v6_trace
 from repro.opencom import AccessDenied, Capsule, ConstraintViolation
 from repro.router import build_figure3_composite
+
+pytestmark = pytest.mark.bench
 
 TRACE = 10_000
 

@@ -4,12 +4,33 @@ Every experiment prints its paper-style table (run pytest with ``-s`` to
 see them) and asserts on the *shape* of the result — who wins, in which
 direction, by roughly what factor — never on absolute timings, which are
 substrate-dependent.
+
+Smoke mode
+----------
+``REPRO_BENCH_SMOKE=1`` (set by ``run_all.py --smoke``, which tier-1 runs
+through ``tests/test_bench_smoke.py``) switches the smoke-capable
+benchmarks to a tiny trace and paper-*ordering* assertions only: the
+magnitude claims (">= 2x", monotonicity) are skipped because they are
+noise-dominated at smoke scale, while a broken ordering — a genuine perf
+regression in the dispatch layers — still fails fast.  Benchmarks consult
+:data:`SMOKE` and size constants via :func:`scaled`.
 """
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis import format_table
 from repro.netsim import udp_route_trace
+
+#: True when running under ``run_all.py --smoke`` (or any caller that
+#: exports REPRO_BENCH_SMOKE=1).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def scaled(full: int, smoke: int) -> int:
+    """Pick a workload size: *full* normally, *smoke* under smoke mode."""
+    return smoke if SMOKE else full
 
 
 def report(title: str, headers: list[str], rows: list[list[object]]) -> None:

@@ -3,17 +3,27 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--out BENCH_results.json]
+    PYTHONPATH=src python benchmarks/run_all.py --smoke
 
 Each ``bench_*.py`` is executed as its own pytest session (isolation: one
 benchmark's interpreter state cannot skew another's timings).  The result
 file maps benchmark name to status, wall-clock duration and the captured
 report tables, so future PRs can diff throughput numbers against this one.
+
+``--smoke`` runs only the smoke-capable data-path benchmarks on a tiny
+trace (``REPRO_BENCH_SMOKE=1``; see ``benchmarks/conftest.py``), with the
+paper-*ordering* assertions kept and the noise-prone magnitude assertions
+skipped.  Tier-1 runs this mode through ``tests/test_bench_smoke.py`` so
+a perf regression that flips the paper's ordering fails fast without
+timing noise; results default to ``BENCH_smoke.json`` so the full-run
+trajectory in ``BENCH_results.json`` is never overwritten by a smoke run.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import time
@@ -22,15 +32,30 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 
+#: Benchmarks that understand REPRO_BENCH_SMOKE (tiny trace, ordering-only
+#: assertions); --smoke runs exactly these.  C6 also scales under smoke
+#: (C11/C12 import its constants) but is excluded here: it measures each
+#: system once, so its single-shot ordering is too noise-prone for a
+#: tier-1 gate, while C11/C12 assert the same paper ordering from
+#: interleaved best-of-3 sweeps.
+SMOKE_BENCHES = (
+    "bench_c11_batching.py",
+    "bench_c12_pull_batching.py",
+)
 
-def run_one(bench: Path) -> dict:
+
+def run_one(bench: Path, *, smoke: bool = False) -> dict:
     """Run one benchmark file under pytest; capture tables and status."""
+    env = dict(os.environ)
+    if smoke:
+        env["REPRO_BENCH_SMOKE"] = "1"
     start = time.perf_counter()
     proc = subprocess.run(
         [sys.executable, "-m", "pytest", str(bench), "-q", "-s", "--no-header"],
         cwd=REPO_ROOT,
         capture_output=True,
         text=True,
+        env=env,
     )
     duration = time.perf_counter() - start
     # Keep only the experiment tables ("=== title ===" blocks) — the rest
@@ -57,24 +82,37 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=str(REPO_ROOT / "BENCH_results.json"),
-        help="where to write the results JSON",
+        default=None,
+        help="where to write the results JSON (default: BENCH_results.json, "
+        "or BENCH_smoke.json under --smoke)",
     )
     parser.add_argument(
         "--only",
         default=None,
         help="substring filter on benchmark file names (e.g. 'c11')",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny-trace mode: run only the smoke-capable benchmarks with "
+        "REPRO_BENCH_SMOKE=1 (paper-ordering assertions only)",
+    )
     args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = str(
+            REPO_ROOT / ("BENCH_smoke.json" if args.smoke else "BENCH_results.json")
+        )
 
     benches = sorted(BENCH_DIR.glob("bench_*.py"))
+    if args.smoke:
+        benches = [b for b in benches if b.name in SMOKE_BENCHES]
     if args.only:
         benches = [b for b in benches if args.only in b.name]
     results: dict[str, dict] = {}
     failed = 0
     for bench in benches:
         print(f"[run_all] {bench.name} ...", flush=True)
-        outcome = run_one(bench)
+        outcome = run_one(bench, smoke=args.smoke)
         results[bench.stem] = outcome
         if outcome["status"] != "passed":
             failed += 1
@@ -86,6 +124,7 @@ def main(argv: list[str] | None = None) -> int:
     payload = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
+        "smoke": args.smoke,
         "benchmarks": results,
         "summary": {"total": len(results), "failed": failed},
     }

@@ -178,6 +178,15 @@ class ClickQueue(ClickElement):
             return None
         return self.queue.popleft()
 
+    def pull_batch(self, max_n: int) -> list[Packet]:
+        """Bulk dequeue up to *max_n* head packets (order preserved)."""
+        queue = self.queue
+        n = min(max_n, len(queue))
+        if n <= 0:
+            return []
+        popleft = queue.popleft
+        return [popleft() for _ in range(n)]
+
 
 class ClickLookup(ClickElement):
     """LPM route lookup with per-hop outputs (stride-8 + result cache,
@@ -225,21 +234,24 @@ class ClickScheduler(ClickElement):
         raise ClickError("schedulers are pull elements")
 
     def service(self, budget: int = 1) -> int:
-        # Bulk-drain in strict priority order, touching the deques directly
-        # (connections in Click are plain references — the point of the
-        # baseline).  Equivalent to the per-packet rescan for acyclic
-        # configs; a config feeding the scheduler's output back into its
-        # own queues sees those packets in the *next* service call.
+        # Bulk-drain in strict priority order through the queues'
+        # pull_batch (connections in Click are plain references — the
+        # point of the baseline — so this is a direct method call, the
+        # same per-input-run algorithm the CF PriorityLinkScheduler
+        # batches through its port handles).  Equivalent to the
+        # per-packet rescan for acyclic configs; a config feeding the
+        # scheduler's output back into its own queues sees those packets
+        # in the *next* service call.
         batch: list[Packet] = []
         remaining = budget
         for queue_name in self.order:
             queue = self.queues.get(queue_name)
             if queue is None:
                 continue
-            pending = queue.queue
-            while pending and remaining:
-                batch.append(pending.popleft())
-                remaining -= 1
+            got = queue.pull_batch(remaining)
+            if got:
+                batch.extend(got)
+                remaining -= len(got)
             if not remaining:
                 break
         if batch:

@@ -112,26 +112,33 @@ class MonolithicRouter:
             queue.append(packet)
 
     def service(self, budget: int = 64) -> int:
-        """The whole egress path, inlined (strict priority + LPM)."""
+        """The whole egress path, inlined (strict priority + LPM).
+
+        Drains each class deque as one run (the batched pull side of the
+        component pipelines, hand-inlined): within one service call no
+        pushes interleave, so a run per class in priority order is the
+        same packet order as the per-packet priority rescan.
+        """
         serviced = 0
         counters = self.counters
         delivered = self.delivered
         lookup = self.table.lookup_cached
-        expedited, best_effort = self._expedited, self._best_effort
-        while serviced < budget:
-            if expedited:
-                packet = expedited.popleft()
-            elif best_effort:
-                packet = best_effort.popleft()
-            else:
-                break
-            hop = lookup(packet.net.dst, version=packet.version)
-            if hop is None:
-                counters["drop:no-route"] += 1
-            else:
-                delivered.setdefault(hop, []).append(packet)
-                counters["tx"] += 1
-            serviced += 1
+        for queue in (self._expedited, self._best_effort):
+            n = min(budget - serviced, len(queue))
+            if n <= 0:
+                if serviced >= budget:
+                    break
+                continue
+            popleft = queue.popleft
+            for _ in range(n):
+                packet = popleft()
+                hop = lookup(packet.net.dst, version=packet.version)
+                if hop is None:
+                    counters["drop:no-route"] += 1
+                else:
+                    delivered.setdefault(hop, []).append(packet)
+                    counters["tx"] += 1
+            serviced += n
         return serviced
 
     @property

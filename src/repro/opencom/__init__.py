@@ -53,7 +53,13 @@ from repro.opencom.metamodel.interface_meta import (
 from repro.opencom.metamodel.resources import ResourceMetaModel, ResourcePool, Task
 from repro.opencom.receptacle import Port, Receptacle
 from repro.opencom.registry import GLOBAL_REGISTRY, ComponentRegistry, RegisteredType
-from repro.opencom.vtable import CallContext, FusedBatchCall, FusedCall, VTable
+from repro.opencom.vtable import (
+    CallContext,
+    FusedBatchCall,
+    FusedCall,
+    FusedPullBatchCall,
+    VTable,
+)
 
 __all__ = [
     "AccessDenied",
@@ -72,6 +78,7 @@ __all__ = [
     "ConstraintViolation",
     "FusedBatchCall",
     "FusedCall",
+    "FusedPullBatchCall",
     "FusionPlan",
     "GLOBAL_REGISTRY",
     "GraphView",

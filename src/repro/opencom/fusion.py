@@ -8,9 +8,11 @@ the management layer that fuses and unfuses whole regions of a capsule:
 
 - :func:`fuse_pipeline` walks a list of components and fuses every outgoing
   port, returning a :class:`FusionPlan` that can undo the optimisation;
-- fusing a port covers its scalar *and* batch call handles: the port's
-  ``<method>_batch`` attributes are rewired to the targets' native batch
-  callables, so a fused region forwards whole batches at one call per hop;
+- fusing a port covers its scalar *and* batch call handles — push-shaped
+  (``port.push_batch(pkts)``) and pull-shaped (``port.pull_batch(max_n)``)
+  alike: the port's ``<method>_batch`` attributes are rewired to the
+  targets' native batch callables, so a fused region forwards (and drains)
+  whole batches at one call per hop;
 - fusion is *safety-checked*: ports whose target slots carry interceptors
   are skipped (and reported), and later interceptor installation revokes
   fused handles — scalar and batch — automatically, so reflection is never

@@ -61,6 +61,21 @@ class _IndirectBatchCall:
         self._vtable.invoke_batch(self._name, items)
 
 
+class _IndirectPullBatchCall:
+    """Callable drawing up to ``max_n`` items through the live vtable's
+    pull-batch path (the target's native batch method while unintercepted,
+    one interposed pull per item otherwise)."""
+
+    __slots__ = ("_vtable", "_name")
+
+    def __init__(self, vtable: Any, name: str) -> None:
+        self._vtable = vtable
+        self._name = name
+
+    def __call__(self, max_n: int) -> list:
+        return self._vtable.invoke_pull_batch(self._name, max_n)
+
+
 class Port:
     """One live connection of a receptacle.
 
@@ -74,6 +89,14 @@ class Port:
     (see :meth:`fuse`) installs the target's native batch callable
     directly, with the same revoke-on-interception guarantee as scalar
     fusion.
+
+    Zero-argument (pull-style) interface methods get the pull-shaped
+    twin: a ``<method>_batch`` attribute accepting a count and returning a
+    list (``port.pull_batch(max_n)``), routed through
+    :meth:`~repro.opencom.vtable.VTable.invoke_pull_batch` in the indirect
+    regime and through the target's native pull-batch callable when
+    fused — again with automatic revocation the moment the scalar slot is
+    intercepted.
     """
 
     def __init__(
@@ -94,11 +117,18 @@ class Port:
         #: for single-argument methods (push-style), and only when the name
         #: is free (not a declared method, not part of the Port API).
         self._batch_names: dict[str, str] = {}
+        #: Same mapping for zero-argument methods (pull-style); these get
+        #: pull-shaped batch handles (``handle(max_n) -> list``).
+        self._pull_batch_names: dict[str, str] = {}
         declared = set(self._method_names)
         for m in methods:
             batch_name = f"{m.name}_batch"
-            if m.arity == 1 and batch_name not in declared and not hasattr(Port, batch_name):
+            if batch_name in declared or hasattr(Port, batch_name):
+                continue
+            if m.arity == 1:
                 self._batch_names[batch_name] = m.name
+            elif m.arity == 0:
+                self._pull_batch_names[batch_name] = m.name
         self._unwatchers: list = []
         for reserved in self._method_names:
             if hasattr(Port, reserved):
@@ -117,6 +147,8 @@ class Port:
             setattr(self, name, _IndirectCall(vtable, name))
         for batch_name, name in self._batch_names.items():
             setattr(self, batch_name, _IndirectBatchCall(vtable, name))
+        for batch_name, name in self._pull_batch_names.items():
+            setattr(self, batch_name, _IndirectPullBatchCall(vtable, name))
         self.fused = False
 
     def fuse(self) -> None:
@@ -138,6 +170,12 @@ class Port:
         for batch_name, name in self._batch_names.items():
             self._unwatchers.append(
                 vtable.watch_batch_slot(
+                    name, lambda target, n=batch_name: setattr(self, n, target)
+                )
+            )
+        for batch_name, name in self._pull_batch_names.items():
+            self._unwatchers.append(
+                vtable.watch_pull_batch_slot(
                     name, lambda target, n=batch_name: setattr(self, n, target)
                 )
             )

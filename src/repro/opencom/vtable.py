@@ -23,14 +23,30 @@ Three dispatch regimes coexist per slot:
     interceptor revokes outstanding fused references (callers observe this
     through :class:`FusedCall` becoming stale).
 
-Every regime also has a *batch* variant (:meth:`VTable.invoke_batch`,
-:meth:`VTable.fuse_batch`, :meth:`VTable.watch_batch_slot`) that dispatches
-one call per item of a list — or a single call to the implementation's
-native ``<method>_batch`` when one exists and the slot is unintercepted.
-The safety invariant is identical to the scalar path: as soon as a slot
-gains an interceptor, batch dispatch degrades to one interposed call per
-item, so interceptors observe every element and are never silently
-bypassed by the vectorised path.
+Every regime also has a *batch* variant that dispatches whole lists per
+crossing — or a single call to the implementation's native
+``<method>_batch`` when one exists and the slot is unintercepted.  Batch
+dispatch comes in two shapes, selected by the arity of the underlying
+interface method:
+
+*push-shaped* (arity 1, ``push``-style)
+    :meth:`VTable.invoke_batch`, :meth:`VTable.fuse_batch`,
+    :meth:`VTable.watch_batch_slot`.  The batch callable takes a list and
+    returns nothing; the native method is ``<method>_batch(items)``.
+*pull-shaped* (arity 0, ``pull``-style)
+    :meth:`VTable.invoke_pull_batch`, :meth:`VTable.fuse_pull_batch`,
+    :meth:`VTable.watch_pull_batch_slot`.  The batch callable takes
+    ``max_n`` and returns the list of items produced before the source ran
+    dry (a ``None`` from the scalar method ends the batch early); the
+    native method is ``<method>_batch(max_n) -> list``.
+
+The safety invariant is identical on both shapes and mirrors the scalar
+path: as soon as a slot gains an interceptor, batch dispatch degrades to
+one interposed call per item — pushes cross the interceptor one element at
+a time, pulls are drawn one interposed call at a time (interceptors
+observe every produced item through ``CallContext.result``) — so the
+native batch method is never allowed to smuggle items past reflection.
+Removing the last interceptor restores native batch dispatch.
 """
 
 from __future__ import annotations
@@ -130,6 +146,25 @@ class FusedBatchCall(FusedCall):
         self.revoked = True
 
 
+class FusedPullBatchCall(FusedCall):
+    """Handle to a fused pull-batch call: ``handle(max_n)`` returns a list.
+
+    The pull-shaped twin of :class:`FusedBatchCall`.  While the slot is
+    unintercepted the handle targets the implementation's native
+    ``<method>_batch(max_n)`` (or a tight collect loop over the raw bound
+    method).  Interceptor installation revokes it: the handle keeps
+    working but draws each item through the vtable's interposed slot, so
+    interceptors observe every produced item.
+    """
+
+    __slots__ = ()
+
+    def _revoke(self) -> None:
+        vtable, name = self._vtable, self._name
+        self._target = lambda max_n: vtable.invoke_pull_batch(name, max_n)
+        self.revoked = True
+
+
 class VTable:
     """Dispatch table for one exposed interface instance.
 
@@ -160,6 +195,10 @@ class VTable:
         }
         #: Effective slots: raw methods, or composed interceptor closures.
         self._slots: dict[str, Callable[..., Any]] = dict(self._raw)
+        #: Declared arity per method: decides whether a slot's batch shape
+        #: is push-style (arity 1: ``<m>_batch(items)``) or pull-style
+        #: (arity 0: ``<m>_batch(max_n) -> list``).
+        self._arity: dict[str, int] = {m.name: m.arity for m in methods_of(itype)}
         #: Native batch implementations: ``<method>_batch`` callables found
         #: on the impl object.  Used by the batch dispatch paths while the
         #: corresponding slot is unintercepted.
@@ -171,10 +210,16 @@ class VTable:
         #: Effective batch callables, built lazily per slot and invalidated
         #: on every interceptor change.
         self._batch_slots: dict[str, Callable[..., Any]] = {}
+        #: Effective pull-batch callables (same lifecycle as _batch_slots).
+        self._pull_batch_slots: dict[str, Callable[..., Any]] = {}
         self._interceptors: dict[str, _SlotInterceptors] = {}
         self._fused: dict[str, list[FusedCall]] = {}
         self._fused_batch: dict[str, list[FusedBatchCall]] = {}
+        self._fused_pull_batch: dict[str, list[FusedPullBatchCall]] = {}
         self._batch_watchers: dict[str, list[Callable[[Callable[..., Any]], None]]] = {}
+        self._pull_batch_watchers: dict[
+            str, list[Callable[[Callable[..., Any]], None]]
+        ] = {}
         #: Monomorphic inline cache for :meth:`invoke`: data-path callers
         #: repeat the same method name, so the steady-state cost is one
         #: string compare and one attribute load instead of a dict lookup.
@@ -218,18 +263,39 @@ class VTable:
         bound method.  Intercepted slots always dispatch item-by-item
         through the composed interceptor closure, so interceptors observe
         every element.  Designed for void single-argument data-path methods
-        (``push``-style); return values are discarded.
+        (``push``-style); return values are discarded.  Zero-argument
+        (``pull``-style) slots are refused — use
+        :meth:`invoke_pull_batch` for those.
         """
         batch = self._batch_slots.get(method_name)
         if batch is None:
-            if method_name not in self._raw:
-                raise InterfaceError(
-                    f"interface {self.itype.interface_name()} has no method "
-                    f"{method_name!r}"
-                )
+            self._require_shape(method_name, pull=False)
             batch = self._effective_batch(method_name)
             self._batch_slots[method_name] = batch
         batch(items)
+
+    def invoke_pull_batch(self, method_name: str, max_n: int) -> list:
+        """Draw up to *max_n* items from a pull-style slot as one batch.
+
+        The pull-shaped twin of :meth:`invoke_batch` — the reflection
+        invariant of the pull side lives here.  Unintercepted slots use
+        the implementation's native ``<method>_batch(max_n)`` when it
+        exists (the whole batch crosses the component boundary in one
+        call), falling back to a collect loop over the raw bound method.
+        The moment the slot gains an interceptor the batch degrades to one
+        *interposed* scalar call per item, so interceptors observe every
+        produced item (via ``CallContext.result``) and the native batch
+        method can never smuggle items past reflection.  A ``None`` from
+        the scalar method ends the batch early; the items produced so far
+        are returned.  Single-argument (``push``-style) slots are refused
+        — use :meth:`invoke_batch` for those.
+        """
+        puller = self._pull_batch_slots.get(method_name)
+        if puller is None:
+            self._require_shape(method_name, pull=True)
+            puller = self._effective_pull_batch(method_name)
+            self._pull_batch_slots[method_name] = puller
+        return puller(max_n)
 
     def slot(self, method_name: str) -> Callable[..., Any]:
         """Return the current effective slot callable for *method_name*.
@@ -274,15 +340,27 @@ class VTable:
         reverts it to per-item vtable dispatch (see
         :class:`FusedBatchCall`).
         """
-        if method_name not in self._raw:
-            raise InterfaceError(
-                f"interface {self.itype.interface_name()} has no method "
-                f"{method_name!r}"
-            )
+        self._require_shape(method_name, pull=False)
         handle = FusedBatchCall(self._direct_batch(method_name), self, method_name)
         if self._interceptors.get(method_name):
             handle._revoke()
         self._fused_batch.setdefault(method_name, []).append(handle)
+        return handle
+
+    def fuse_pull_batch(self, method_name: str) -> FusedPullBatchCall:
+        """Return a revocable direct pull-batch handle for *method_name*.
+
+        ``handle(max_n)`` draws a whole list at the cost of a single call
+        while the slot is unintercepted; interceptor installation reverts
+        it to per-item interposed pulls (see :class:`FusedPullBatchCall`).
+        """
+        self._require_shape(method_name, pull=True)
+        handle = FusedPullBatchCall(
+            self._direct_pull_batch(method_name), self, method_name
+        )
+        if self._interceptors.get(method_name):
+            handle._revoke()
+        self._fused_pull_batch.setdefault(method_name, []).append(handle)
         return handle
 
     def watch_slot(
@@ -323,14 +401,35 @@ class VTable:
         interceptors appear) and is re-invoked on every interceptor change.
         Returns an unsubscribe callable.
         """
-        if method_name not in self._raw:
-            raise InterfaceError(
-                f"interface {self.itype.interface_name()} has no method "
-                f"{method_name!r}"
-            )
+        self._require_shape(method_name, pull=False)
         watchers = self._batch_watchers.setdefault(method_name, [])
         watchers.append(setter)
         setter(self._effective_batch(method_name))
+
+        def unsubscribe() -> None:
+            try:
+                watchers.remove(setter)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def watch_pull_batch_slot(
+        self, method_name: str, setter: Callable[[Callable[..., Any]], None]
+    ) -> Callable[[], None]:
+        """Register a call-site *setter* for one slot's pull-batch callable.
+
+        The pull-shaped analogue of :meth:`watch_batch_slot`: the setter
+        receives the current effective pull-batch callable (native
+        ``<method>_batch`` or a raw-method collect loop while
+        unintercepted; an interposed per-item draw loop once interceptors
+        appear) and is re-invoked on every interceptor change.  Returns an
+        unsubscribe callable.
+        """
+        self._require_shape(method_name, pull=True)
+        watchers = self._pull_batch_watchers.setdefault(method_name, [])
+        watchers.append(setter)
+        setter(self._effective_pull_batch(method_name))
 
         def unsubscribe() -> None:
             try:
@@ -392,6 +491,38 @@ class VTable:
 
     # -- internals ----------------------------------------------------------
 
+    def _require_shape(self, method_name: str, *, pull: bool) -> None:
+        """Validate that a slot exists and has the requested batch shape.
+
+        Pull-shaped batch dispatch only fits zero-argument methods (the
+        scalar call *produces* the item); push-shaped batch dispatch needs
+        at least one argument (the scalar call *consumes* the item).
+        """
+        arity = self._arity.get(method_name)
+        if arity is None:
+            raise InterfaceError(
+                f"interface {self.itype.interface_name()} has no method "
+                f"{method_name!r}"
+            )
+        if pull and arity != 0:
+            raise InterfaceError(
+                f"method {method_name!r} of {self.itype.interface_name()} "
+                f"takes {arity} argument(s); pull-batch dispatch requires a "
+                "zero-argument (pull-style) method — use the push-shaped "
+                "batch API instead"
+            )
+        if not pull and arity != 1:
+            hint = (
+                "use invoke_pull_batch/fuse_pull_batch/watch_pull_batch_slot"
+                if arity == 0
+                else "multi-argument methods have no batch shape"
+            )
+            raise InterfaceError(
+                f"method {method_name!r} of {self.itype.interface_name()} "
+                f"takes {arity} argument(s); push-batch dispatch requires a "
+                f"single-argument (push-style) method — {hint}"
+            )
+
     def _direct_batch(self, method_name: str) -> Callable[..., Any]:
         """Zero-interception batch callable: the implementation's native
         ``<method>_batch``, or a tight loop over the raw bound method."""
@@ -418,6 +549,51 @@ class VTable:
 
         return dispatch_batch
 
+    def _direct_pull_batch(self, method_name: str) -> Callable[..., Any]:
+        """Zero-interception pull-batch callable: the implementation's
+        native ``<method>_batch(max_n)``, or a collect loop over the raw
+        bound method that stops at *max_n* items or the first ``None``."""
+        native = self._raw_batch.get(method_name)
+        if native is not None:
+            return native
+        raw = self._raw[method_name]
+
+        def collect(max_n: int) -> list:
+            items: list = []
+            while len(items) < max_n:
+                item = raw()
+                if item is None:
+                    break
+                items.append(item)
+            return items
+
+        return collect
+
+    def _effective_pull_batch(self, method_name: str) -> Callable[..., Any]:
+        """The pull-batch callable honouring the slot's current regime.
+
+        The pull-side reflection invariant: an intercepted slot draws one
+        *interposed* scalar call per item, so every produced item crosses
+        the composed interceptor closure (pre-interceptors see the call,
+        post/around interceptors see the item via ``CallContext.result``).
+        The native ``<method>_batch`` is only ever reached while the slot
+        is unintercepted.
+        """
+        if not self._interceptors.get(method_name):
+            return self._direct_pull_batch(method_name)
+        slot = self._slots[method_name]
+
+        def dispatch_pull_batch(max_n: int) -> list:
+            items: list = []
+            while len(items) < max_n:
+                item = slot()
+                if item is None:
+                    break
+                items.append(item)
+            return items
+
+        return dispatch_pull_batch
+
     def _interceptors_for(self, method_name: str) -> _SlotInterceptors:
         if method_name not in self._raw:
             raise InterfaceError(
@@ -438,17 +614,31 @@ class VTable:
         self._ic_name = None
         self._ic_slot = None
         self._batch_slots.pop(method_name, None)
+        self._pull_batch_slots.pop(method_name, None)
         if not entry:
             self._slots[method_name] = raw
             for handle in self._fused.get(method_name, []):
                 handle._refresh(raw)
             for setter in self._watchers.get(method_name, []):
                 setter(raw)
-            direct_batch = self._direct_batch(method_name)
-            for handle in self._fused_batch.get(method_name, []):
-                handle._refresh(direct_batch)
-            for setter in self._batch_watchers.get(method_name, []):
-                setter(direct_batch)
+            if (
+                self._fused_batch.get(method_name)
+                or self._batch_watchers.get(method_name)
+            ):
+                direct_batch = self._direct_batch(method_name)
+                for handle in self._fused_batch.get(method_name, []):
+                    handle._refresh(direct_batch)
+                for setter in self._batch_watchers.get(method_name, []):
+                    setter(direct_batch)
+            if (
+                self._fused_pull_batch.get(method_name)
+                or self._pull_batch_watchers.get(method_name)
+            ):
+                direct_pull = self._direct_pull_batch(method_name)
+                for handle in self._fused_pull_batch.get(method_name, []):
+                    handle._refresh(direct_pull)
+                for setter in self._pull_batch_watchers.get(method_name, []):
+                    setter(direct_pull)
             return
 
         pres = list(entry.pre.values())
@@ -487,6 +677,12 @@ class VTable:
             interposed_batch = self._effective_batch(method_name)
             for setter in self._batch_watchers[method_name]:
                 setter(interposed_batch)
+        for handle in self._fused_pull_batch.get(method_name, []):
+            handle._revoke()
+        if self._pull_batch_watchers.get(method_name):
+            interposed_pull = self._effective_pull_batch(method_name)
+            for setter in self._pull_batch_watchers[method_name]:
+                setter(interposed_pull)
 
 
 def _wrap_around(

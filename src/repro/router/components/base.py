@@ -19,12 +19,27 @@ Conventions used throughout the stratum-2 component library:
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 
 from repro.netsim.packet import Packet
 from repro.opencom.component import Component, Provided, Required
 from repro.opencom.errors import ReceptacleError
 from repro.router.interfaces import IPacketPush
+
+
+def bulk_dequeue(queue: deque, max_n: int) -> list:
+    """Pop up to *max_n* items off the head of *queue*, in order.
+
+    The shared body of every native ``pull_batch``: identical to *max_n*
+    ``popleft()`` calls with the length probe and bound-method lookup paid
+    once.  Callers own the counter bookkeeping (bump ``tx`` by the length
+    of the returned list to match the scalar ``pull`` contract).
+    """
+    n = min(max_n, len(queue))
+    if n <= 0:
+        return []
+    popleft = queue.popleft
+    return [popleft() for _ in range(n)]
 
 
 class PacketComponent(Component):

@@ -12,7 +12,7 @@ from collections import deque
 from repro.netsim.packet import Packet
 from repro.opencom.component import Provided
 from repro.osbase.clock import VirtualClock
-from repro.router.components.base import PacketComponent, PushComponent
+from repro.router.components.base import PacketComponent, PushComponent, bulk_dequeue
 from repro.router.interfaces import IPacketPull, IPacketSink
 
 
@@ -140,6 +140,14 @@ class PullSource(PacketComponent):
             return None
         self.count("tx")
         return self._queue.popleft()
+
+    def pull_batch(self, max_n: int) -> list[Packet]:
+        """Hand out up to *max_n* packets in one call (bulk feed,
+        equivalent to repeated ``pull()``)."""
+        got = bulk_dequeue(self._queue, max_n)
+        if got:
+            self.count("tx", len(got))
+        return got
 
     @property
     def remaining(self) -> int:

@@ -13,7 +13,7 @@ from collections import deque
 
 from repro.netsim.packet import Packet
 from repro.opencom.component import Provided
-from repro.router.components.base import PacketComponent
+from repro.router.components.base import PacketComponent, bulk_dequeue
 from repro.router.interfaces import IPacketPull, IPacketPush
 
 
@@ -64,6 +64,18 @@ class FifoQueue(PacketComponent):
             return None
         self.count("tx")
         return self._queue.popleft()
+
+    def pull_batch(self, max_n: int) -> list[Packet]:
+        """Bulk dequeue up to *max_n* head packets in one call.
+
+        Exactly equivalent to *max_n* ``pull()`` calls (same order, same
+        ``tx`` total, same residual depth) with the per-packet dispatch
+        and counter cost paid once.
+        """
+        got = bulk_dequeue(self._queue, max_n)
+        if got:
+            self.count("tx", len(got))
+        return got
 
     @property
     def depth(self) -> int:
@@ -145,6 +157,15 @@ class RedQueue(PacketComponent):
             return None
         self.count("tx")
         return self._queue.popleft()
+
+    def pull_batch(self, max_n: int) -> list[Packet]:
+        """Bulk dequeue up to *max_n* head packets (RED only gates
+        *admission*; the service side is a plain FIFO, so bulk dequeue is
+        exactly equivalent to repeated ``pull()``)."""
+        got = bulk_dequeue(self._queue, max_n)
+        if got:
+            self.count("tx", len(got))
+        return got
 
     @property
     def depth(self) -> int:

@@ -11,6 +11,16 @@ pushes serviced packets downstream through ``out``.  Disciplines:
 
 Schedulers are themselves IPacketPull providers, so they cascade; calling
 :meth:`service` drives up to a packet budget through to the output.
+
+The whole service loop is batch-aware: :meth:`LinkSchedulerBase.service`
+draws its budget through the scheduler's native ``pull_batch`` (strict
+priority drains whole runs per input via the queues' port-level
+``pull_batch`` handles; DRR/WFQ serve whole rounds with per-round quanta)
+and hands the serviced list downstream as one ``push_batch``, so the
+queue→scheduler and scheduler→NIC crossings are paid once per budget
+rather than once per packet.  Every ``pull_batch`` is observationally
+equivalent to repeated ``pull()``: identical packet order, identical
+per-input ``served:*`` counters, identical residual queue depths.
 """
 
 from __future__ import annotations
@@ -31,27 +41,48 @@ class LinkSchedulerBase(PacketComponent):
     )
 
     def pull(self) -> Packet | None:
-        """Select and return the next packet across all inputs."""
+        """Select and return the next packet across all inputs.
+
+        Must return ``None`` only when every input is genuinely empty —
+        an input that merely cannot be served *yet* (e.g. a DRR deficit
+        still building) is skipped explicitly, never reported as
+        exhaustion.  :meth:`service` relies on this: a ``None`` ends the
+        service round, so a transient ``None`` would strand packets in
+        other inputs.
+        """
         raise NotImplementedError
+
+    def pull_batch(self, max_n: int) -> list[Packet]:
+        """Draw up to *max_n* packets in scheduling order as one batch.
+
+        Base implementation: a collect loop over :meth:`pull`.
+        Disciplines override it to amortise per-packet work (bulk input
+        drains, hoisted ring/deficit state) while preserving exact
+        ``pull()``-loop equivalence.
+        """
+        out: list[Packet] = []
+        pull = self.pull
+        while len(out) < max_n:
+            packet = pull()
+            if packet is None:
+                break
+            out.append(packet)
+        return out
 
     def service(self, budget: int = 1) -> int:
         """Pull up to *budget* packets and push them to ``out``.
 
-        Returns the number of packets actually serviced; stops early when
-        every input is empty.  Serviced packets leave as one batch per
-        service call (scheduling order preserved), so the downstream
-        crossing is paid once per budget rather than once per packet.
+        Returns the number of packets actually serviced; stops only when
+        every input is empty (see :meth:`pull`).  The whole budget is
+        drawn through :meth:`pull_batch` and leaves as one
+        ``push_batch`` per service call (scheduling order preserved), so
+        both the input and the output crossings are paid per budget, not
+        per packet.
         """
-        out = self.receptacle("out")
-        pull = self.pull
-        batch: list[Packet] = []
-        while len(batch) < budget:
-            packet = pull()
-            if packet is None:
-                break
-            batch.append(packet)
+        batch = self.pull_batch(budget)
         if batch:
             self.count("tx", len(batch))
+            out = self.receptacle("out")
             if out.bound:
                 out.push_batch(batch)
             else:
@@ -88,19 +119,47 @@ class PriorityLinkScheduler(LinkSchedulerBase):
                 return packet
         return None
 
+    def pull_batch(self, max_n: int) -> list[Packet]:
+        """Drain whole runs per input, highest priority first.
+
+        Equivalent to repeated ``pull()``: the scalar path rescans from
+        the top priority on every call, but within one batch (no pushes
+        interleave) an input that is empty stays empty, so draining each
+        input in priority order yields the identical packet sequence —
+        while the queue crossing is one ``pull_batch`` per input instead
+        of one ``pull`` per packet.
+        """
+        inputs = self.receptacle("inputs")
+        out: list[Packet] = []
+        remaining = max_n
+        for name in self._ordered_inputs():
+            if remaining <= 0:
+                break
+            got = inputs.port(name).pull_batch(remaining)
+            if got:
+                self.count(f"served:{name}", len(got))
+                out.extend(got)
+                remaining -= len(got)
+        return out
+
 
 class DrrScheduler(LinkSchedulerBase):
     """Deficit round robin: byte-fair service with per-input quanta.
 
     ``quantum`` bytes are added to an input's deficit each visit; packets
     are served while the deficit covers them.  Weights are expressed by
-    per-input quantum overrides.
+    per-input quantum overrides (all quanta must be positive — a zero
+    quantum could never cover a packet and would stall the ring).
     """
 
     def __init__(self, *, quantum: int = 1500, quanta: dict[str, int] | None = None) -> None:
         super().__init__()
-        self.quantum = quantum
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
         self.quanta = dict(quanta) if quanta else {}
+        if any(q <= 0 for q in self.quanta.values()):
+            raise ValueError("per-input quanta must be positive")
+        self.quantum = quantum
         self._deficits: dict[str, float] = {}
         self._ring: list[str] = []
         self._cursor = 0
@@ -123,28 +182,101 @@ class DrrScheduler(LinkSchedulerBase):
         return packet
 
     def pull(self) -> Packet | None:
-        """Serve per deficit round robin."""
+        """Serve per deficit round robin.
+
+        The walk distinguishes *empty* inputs (no head: deficit reset,
+        skipped explicitly) from inputs whose deficit merely hasn't
+        covered the head yet (quantum added, revisited next lap).  It
+        returns ``None`` only after a full lap finds every input empty,
+        so a large packet that needs several quanta to afford is a few
+        more lap iterations — never a premature end of service while
+        other inputs still hold packets.  Terminates because each
+        non-empty visit adds a positive quantum to that input's deficit.
+        """
         self._refresh_ring()
-        if not self._ring:
+        ring = self._ring
+        if not ring:
             return None
-        for _ in range(2 * len(self._ring)):
-            name = self._ring[self._cursor]
+        deficits = self._deficits
+        quanta = self.quanta
+        empty_streak = 0
+        while empty_streak < len(ring):
+            name = ring[self._cursor]
             head = self._head(name)
             if head is None:
-                # Empty input: reset its deficit, move on.
-                self._deficits[name] = 0.0
-                self._cursor = (self._cursor + 1) % len(self._ring)
+                # Explicit empty-input skip: reset its deficit, move on.
+                deficits[name] = 0.0
+                self._cursor = (self._cursor + 1) % len(ring)
+                empty_streak += 1
                 continue
-            deficit = self._deficits.get(name, 0.0)
+            empty_streak = 0
+            deficit = deficits.get(name, 0.0)
             if deficit < head.size_bytes:
-                self._deficits[name] = deficit + self.quanta.get(name, self.quantum)
-                self._cursor = (self._cursor + 1) % len(self._ring)
+                deficits[name] = deficit + quanta.get(name, self.quantum)
+                self._cursor = (self._cursor + 1) % len(ring)
                 continue
-            self._deficits[name] = deficit - head.size_bytes
+            deficits[name] = deficit - head.size_bytes
             del self._pending[name]
             self.count(f"served:{name}")
             return head
         return None
+
+    def pull_batch(self, max_n: int) -> list[Packet]:
+        """Serve whole rounds: one quantum top-up per visit, then a burst
+        of consecutive heads while the deficit covers them.
+
+        This is exactly the packet sequence of repeated ``pull()`` (the
+        scalar path leaves the cursor on a served input, so consecutive
+        pulls drain the same burst) with the ring walk, deficit lookups
+        and counter bumps hoisted out of the per-packet path.
+        """
+        out: list[Packet] = []
+        self._refresh_ring()
+        ring = self._ring
+        if not ring:
+            return out
+        deficits = self._deficits
+        quanta = self.quanta
+        pending = self._pending
+        empty_streak = 0
+        while len(out) < max_n and empty_streak < len(ring):
+            name = ring[self._cursor]
+            head = self._head(name)
+            if head is None:
+                deficits[name] = 0.0
+                self._cursor = (self._cursor + 1) % len(ring)
+                empty_streak += 1
+                continue
+            empty_streak = 0
+            deficit = deficits.get(name, 0.0)
+            served = 0
+            exhausted = False
+            while head is not None and deficit >= head.size_bytes:
+                deficit -= head.size_bytes
+                del pending[name]
+                out.append(head)
+                served += 1
+                if len(out) >= max_n:
+                    # Batch full: stop without prefetching the next head
+                    # (a scalar pull loop that stopped here would not
+                    # have touched the input again).
+                    break
+                head = self._head(name)
+                exhausted = head is None
+            if served:
+                self.count(f"served:{name}", served)
+            if len(out) >= max_n:
+                deficits[name] = deficit
+                break
+            if exhausted:
+                # Input went empty mid-burst: explicit skip, reset.
+                deficits[name] = 0.0
+                self._cursor = (self._cursor + 1) % len(ring)
+                empty_streak += 1
+                continue
+            deficits[name] = deficit + quanta.get(name, self.quantum)
+            self._cursor = (self._cursor + 1) % len(ring)
+        return out
 
 
 class WfqScheduler(LinkSchedulerBase):
@@ -182,17 +314,23 @@ class WfqScheduler(LinkSchedulerBase):
             self._tags[name] = (start, finish)
         return packet
 
-    def pull(self) -> Packet | None:
-        """Serve the head with the earliest virtual finish tag."""
+    def _select(self, names: list[str]) -> str | None:
+        """Name of the input whose head has the earliest finish tag."""
+        tags = self._tags
         best_name: str | None = None
         best_finish = float("inf")
-        for name in self.input_names():
+        for name in names:
             if self._head(name) is None:
                 continue
-            _, finish = self._tags[name]
+            finish = tags[name][1]
             if finish < best_finish:
                 best_finish = finish
                 best_name = name
+        return best_name
+
+    def pull(self) -> Packet | None:
+        """Serve the head with the earliest virtual finish tag."""
+        best_name = self._select(self.input_names())
         if best_name is None:
             return None
         packet = self._pending.pop(best_name)
@@ -200,3 +338,28 @@ class WfqScheduler(LinkSchedulerBase):
         self._virtual_time = max(self._virtual_time, start)
         self.count(f"served:{best_name}")
         return packet
+
+    def pull_batch(self, max_n: int) -> list[Packet]:
+        """Serve whole rounds of earliest-finish selections.
+
+        Tags are computed once per head (scalar behaviour) and the input
+        enumeration is hoisted out of the per-packet loop; the emitted
+        sequence is identical to repeated ``pull()``.
+        """
+        out: list[Packet] = []
+        names = self.input_names()
+        if not names:
+            return out
+        pending = self._pending
+        tags = self._tags
+        while len(out) < max_n:
+            best_name = self._select(names)
+            if best_name is None:
+                break
+            packet = pending.pop(best_name)
+            start, _ = tags.pop(best_name)
+            if start > self._virtual_time:
+                self._virtual_time = start
+            self.count(f"served:{best_name}")
+            out.append(packet)
+        return out

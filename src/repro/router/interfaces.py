@@ -23,7 +23,26 @@ class IPacketPush(Interface):
 
 
 class IPacketPull(Interface):
-    """Pull-oriented packet passing: the caller asks for the next packet."""
+    """Pull-oriented packet passing: the caller asks for the next packet.
+
+    Batched pulls
+    -------------
+    Providers may additionally implement a native
+    ``pull_batch(max_n) -> list`` that dequeues up to *max_n* packets in
+    one cross-component call (bulk deque slicing, one counter bump).  It
+    is deliberately a *discovered* convention rather than a declared
+    interface method: declaring it would give ``pull_batch`` a vtable slot
+    — and an interception point — of its own, letting batched callers
+    bypass interceptors registered on ``pull``.  Instead the vtable's
+    pull-batch machinery
+    (:meth:`~repro.opencom.vtable.VTable.invoke_pull_batch` and the
+    ``pull_batch`` handles materialised on ports) uses the native method
+    only while the ``pull`` slot is unintercepted, degrading to per-item
+    interposed ``pull`` calls the moment an interceptor appears.  A native
+    ``pull_batch`` must be observationally equivalent to calling ``pull``
+    until *max_n* packets or the first ``None``: same packet order, same
+    counter totals, same residual queue depth.
+    """
 
     def pull(self):
         """Return the next packet, or None when none is available."""

@@ -68,7 +68,16 @@ class RouterPipeline:
         self._vtable().invoke_batch("push", packets)
 
     def service(self, budget: int = 64) -> int:
-        """Pump the pull side (scheduler) for up to *budget* packets."""
+        """Pump the pull side (scheduler) for up to *budget* packets.
+
+        The whole round is batched end to end: the scheduler draws its
+        budget through the queues' ``pull_batch`` port handles and hands
+        the serviced list downstream as one ``push_batch``, so with the
+        push side already batched no crossing in the pipeline is paid
+        per packet.  Interceptors on any ``pull``/``push`` slot still see
+        per-packet calls (the vtable degrades batch dispatch on
+        interception).
+        """
         if self.scheduler is None:
             return 0
         return self.scheduler.service(budget)

@@ -1,9 +1,10 @@
 """Batch dispatch: invoke_batch, fuse_batch, batch watchers, and the
-interception safety invariant on the vectorised path."""
+interception safety invariant on the vectorised path — push-shaped
+(absorb/ISink) and pull-shaped (draw/IWell) alike."""
 
 import pytest
 
-from repro.opencom import FusedBatchCall, InterfaceError, VTable
+from repro.opencom import FusedBatchCall, FusedPullBatchCall, InterfaceError, VTable
 from repro.opencom.interfaces import Interface
 
 
@@ -12,6 +13,14 @@ class ISink(Interface):
 
     def absorb(self, item):
         """Take one item."""
+        ...
+
+
+class IWell(Interface):
+    """Test interface: a pull-style zero-argument producer method."""
+
+    def draw(self):
+        """Produce the next item, or None when dry."""
         ...
 
 
@@ -37,6 +46,29 @@ class VectorSink(LoopedSink):
         self.items.extend(items)
 
 
+class LoopedWell:
+    """Implements IWell with no native batch method."""
+
+    def __init__(self, items):
+        self.items = list(items)
+
+    def draw(self):
+        return self.items.pop(0) if self.items else None
+
+
+class VectorWell(LoopedWell):
+    """Implements IWell plus a native draw_batch."""
+
+    def __init__(self, items):
+        super().__init__(items)
+        self.batch_calls = 0
+
+    def draw_batch(self, max_n):
+        self.batch_calls += 1
+        got, self.items = self.items[:max_n], self.items[max_n:]
+        return got
+
+
 @pytest.fixture
 def looped():
     impl = LoopedSink()
@@ -47,6 +79,18 @@ def looped():
 def vector():
     impl = VectorSink()
     return impl, VTable(ISink, impl, "in")
+
+
+@pytest.fixture
+def looped_well():
+    impl = LoopedWell([1, 2, 3, 4, 5])
+    return impl, VTable(IWell, impl, "well")
+
+
+@pytest.fixture
+def vector_well():
+    impl = VectorWell([1, 2, 3, 4, 5])
+    return impl, VTable(IWell, impl, "well")
 
 
 class TestInvokeBatch:
@@ -155,6 +199,166 @@ class TestFuseBatch:
         _, vtable = looped
         with pytest.raises(InterfaceError):
             vtable.fuse_batch("drain")
+
+
+class TestInvokePullBatch:
+    def test_loops_impl_in_order_until_max_n(self, looped_well):
+        impl, vtable = looped_well
+        assert vtable.invoke_pull_batch("draw", 3) == [1, 2, 3]
+        assert impl.items == [4, 5]
+
+    def test_stops_at_first_none(self, looped_well):
+        _, vtable = looped_well
+        assert vtable.invoke_pull_batch("draw", 99) == [1, 2, 3, 4, 5]
+        assert vtable.invoke_pull_batch("draw", 99) == []
+
+    def test_uses_native_batch_when_unintercepted(self, vector_well):
+        impl, vtable = vector_well
+        assert vtable.invoke_pull_batch("draw", 2) == [1, 2]
+        assert impl.batch_calls == 1
+
+    def test_unknown_method_raises(self, looped_well):
+        _, vtable = looped_well
+        with pytest.raises(InterfaceError, match="no method"):
+            vtable.invoke_pull_batch("drain", 1)
+
+    def test_shape_guard_rejects_push_method(self, looped):
+        _, vtable = looped
+        with pytest.raises(InterfaceError, match="pull-batch"):
+            vtable.invoke_pull_batch("absorb", 1)
+
+    def test_shape_guard_rejects_pull_method_on_push_api(self, looped_well):
+        _, vtable = looped_well
+        with pytest.raises(InterfaceError, match="invoke_pull_batch"):
+            vtable.invoke_batch("draw", [1])
+
+    def test_shape_guard_rejects_multi_argument_methods(self):
+        class IPair(Interface):
+            """Two-argument method: no batch shape at all."""
+
+            def combine(self, a, b):
+                """Merge two values."""
+                ...
+
+        class Pairer:
+            def combine(self, a, b):
+                return (a, b)
+
+        vtable = VTable(IPair, Pairer(), "pair")
+        with pytest.raises(InterfaceError, match="no batch shape"):
+            vtable.invoke_batch("combine", [(1, 2)])
+        with pytest.raises(InterfaceError, match="pull-batch"):
+            vtable.invoke_pull_batch("combine", 1)
+
+    def test_interceptor_sees_every_item(self, vector_well):
+        """The native batch method is bypassed on interception: per-item
+        interposed pulls, each item observed through ctx.result."""
+        impl, vtable = vector_well
+        seen = []
+        vtable.add_post("draw", "spy", lambda ctx: seen.append(ctx.result))
+        assert vtable.invoke_pull_batch("draw", 3) == [1, 2, 3]
+        assert impl.batch_calls == 0
+        assert seen == [1, 2, 3]
+
+    def test_around_interceptor_can_filter_items(self, vector_well):
+        """An around interceptor on the scalar slot shapes the batch."""
+        _, vtable = vector_well
+
+        def censor(proceed, ctx):
+            item = proceed()
+            return None if item == 2 else item
+
+        vtable.add_around("draw", "censor", censor)
+        # The None from the censored item ends the batch early — exactly
+        # what a scalar pull loop would have observed.
+        assert vtable.invoke_pull_batch("draw", 5) == [1]
+
+    def test_native_batch_resumes_after_interceptor_removed(self, vector_well):
+        impl, vtable = vector_well
+        vtable.add_post("draw", "spy", lambda ctx: None)
+        assert vtable.invoke_pull_batch("draw", 1) == [1]
+        vtable.remove_interceptor("draw", "spy")
+        assert vtable.invoke_pull_batch("draw", 2) == [2, 3]
+        assert impl.batch_calls == 1
+
+
+class TestFusePullBatch:
+    def test_fused_pull_batch_targets_native(self, vector_well):
+        impl, vtable = vector_well
+        handle = vtable.fuse_pull_batch("draw")
+        assert isinstance(handle, FusedPullBatchCall)
+        assert handle.revoked is False
+        assert handle(2) == [1, 2]
+        assert impl.batch_calls == 1
+
+    def test_fused_pull_batch_loops_raw_without_native(self, looped_well):
+        _, vtable = looped_well
+        handle = vtable.fuse_pull_batch("draw")
+        assert handle(4) == [1, 2, 3, 4]
+
+    def test_interceptor_revokes_mid_stream(self, vector_well):
+        """Installing an interceptor between two batches of a fused
+        stream reverts the handle to per-item interposed pulls and the
+        interceptor observes every subsequent item."""
+        impl, vtable = vector_well
+        handle = vtable.fuse_pull_batch("draw")
+        assert handle(2) == [1, 2]
+        seen = []
+        vtable.add_post("draw", "spy", lambda ctx: seen.append(ctx.result))
+        assert handle.revoked is True
+        assert handle(3) == [3, 4, 5]
+        assert seen == [3, 4, 5]
+        assert impl.batch_calls == 1  # only the pre-interception batch
+
+    def test_refused_after_interceptor_removed(self, vector_well):
+        impl, vtable = vector_well
+        handle = vtable.fuse_pull_batch("draw")
+        vtable.add_post("draw", "spy", lambda ctx: None)
+        vtable.remove_interceptor("draw", "spy")
+        assert handle.revoked is False
+        assert handle(1) == [1]
+        assert impl.batch_calls == 1
+
+    def test_fusing_intercepted_slot_yields_revoked_handle(self, vector_well):
+        impl, vtable = vector_well
+        vtable.add_post("draw", "spy", lambda ctx: None)
+        handle = vtable.fuse_pull_batch("draw")
+        assert handle.revoked is True
+        assert handle(1) == [1]
+        assert impl.batch_calls == 0
+
+    def test_fuse_pull_batch_shape_guard(self, looped):
+        _, vtable = looped
+        with pytest.raises(InterfaceError):
+            vtable.fuse_pull_batch("absorb")
+
+
+class TestWatchPullBatchSlot:
+    def test_setter_called_immediately_with_native(self, vector_well):
+        impl, vtable = vector_well
+        installed = []
+        vtable.watch_pull_batch_slot("draw", installed.append)
+        assert installed[-1] == impl.draw_batch
+
+    def test_setter_swapped_on_interception_and_back(self, vector_well):
+        impl, vtable = vector_well
+        installed = []
+        vtable.watch_pull_batch_slot("draw", installed.append)
+        vtable.add_post("draw", "spy", lambda ctx: None)
+        # The interposed pull-batch callable loops the dispatch closure.
+        assert installed[-1](2) == [1, 2]
+        assert impl.batch_calls == 0
+        vtable.remove_interceptor("draw", "spy")
+        assert installed[-1] == impl.draw_batch
+
+    def test_unsubscribe_stops_updates(self, vector_well):
+        _, vtable = vector_well
+        installed = []
+        unsubscribe = vtable.watch_pull_batch_slot("draw", installed.append)
+        count = len(installed)
+        unsubscribe()
+        vtable.add_post("draw", "spy", lambda ctx: None)
+        assert len(installed) == count
 
 
 class TestWatchBatchSlot:

@@ -1,0 +1,176 @@
+"""Property-style fairness of the link schedulers under batch service.
+
+Two families of properties over randomized packet-size streams:
+
+- *fairness bounds*: while every input stays backlogged, DRR keeps byte
+  shares within the deficit bound (one quantum + one MTU of drift,
+  normalised by per-input quanta) after every service round, and WFQ
+  keeps weight-normalised shares within the start-time-fair-queueing
+  bound (one MTU per weight);
+- *batch/scalar agreement*: the batched service path (``pull_batch``)
+  emits exactly the scalar ``pull()`` sequence, so the fairness bounds
+  proved on one path transfer to the other.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import make_udp_v4
+from repro.opencom import Capsule, fuse_pipeline
+from repro.router import DrrScheduler, FifoQueue, WfqScheduler
+
+MTU = 1500
+MIN_SIZE = 64
+PER_FLOW = 400
+
+
+def sized_packet(size, dport):
+    return make_udp_v4("10.0.0.1", "10.0.0.2", dport=dport, payload=bytes(size - 28))
+
+
+def build(capsule, factory, streams):
+    """A scheduler over one backlogged FifoQueue per stream.
+
+    *streams* maps input name -> (dport, [packet sizes]).
+    """
+    scheduler = capsule.instantiate(factory, "sched")
+    queues = {}
+    for name, (dport, sizes) in streams.items():
+        queue = capsule.instantiate(lambda: FifoQueue(len(sizes) + 1), f"q-{name}")
+        capsule.bind(
+            scheduler.receptacle("inputs"), queue.interface("pull0"),
+            connection_name=name,
+        )
+        for size in sizes:
+            queue.push(sized_packet(size, dport))
+        queues[name] = queue
+    return scheduler, queues
+
+
+def random_streams(seed, flows):
+    rng = random.Random(seed)
+    return {
+        name: (dport, [rng.randrange(MIN_SIZE, MTU + 1) for _ in range(PER_FLOW)])
+        for name, dport in flows
+    }
+
+
+def served_bytes_by_dport(packets):
+    shares: dict[int, int] = {}
+    for packet in packets:
+        key = packet.transport.dport
+        shares[key] = shares.get(key, 0) + packet.size_bytes
+    return shares
+
+
+class TestDrrDeficitBound:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_equal_quanta_byte_shares_bounded_each_round(self, seed):
+        """Equal quanta: after every batched service round the byte-share
+        gap between two permanently backlogged flows stays within one
+        quantum plus one MTU."""
+        quantum = MTU
+        scheduler, queues = build(
+            Capsule(f"drr-{seed}"),
+            lambda: DrrScheduler(quantum=quantum),
+            random_streams(seed, [("a", 1), ("b", 2)]),
+        )
+        shares = {1: 0, 2: 0}
+        for _ in range(12):
+            batch = scheduler.pull_batch(24)
+            assert batch, "backlogged scheduler must serve every round"
+            for dport, size in served_bytes_by_dport(batch).items():
+                shares[dport] += size
+            assert all(q.depth > 0 for q in queues.values()), "stream too short"
+            assert abs(shares[1] - shares[2]) <= quantum + MTU
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_weighted_quanta_normalised_shares_bounded(self, seed):
+        """3:1 quanta: quanta-normalised byte shares drift by at most one
+        round's worth (one quantum + one MTU, normalised per flow)."""
+        quanta = {"a": 3 * MTU, "b": MTU}
+        scheduler, queues = build(
+            Capsule(f"drrw-{seed}"),
+            lambda: DrrScheduler(quantum=MTU, quanta=quanta),
+            random_streams(seed, [("a", 1), ("b", 2)]),
+        )
+        shares = {1: 0, 2: 0}
+        slack = 2 + (quanta["a"] + MTU) / quanta["a"] + (quanta["b"] + MTU) / quanta["b"]
+        for _ in range(10):
+            batch = scheduler.pull_batch(24)
+            assert batch
+            for dport, size in served_bytes_by_dport(batch).items():
+                shares[dport] += size
+            assert all(q.depth > 0 for q in queues.values()), "stream too short"
+            assert abs(shares[1] / quanta["a"] - shares[2] / quanta["b"]) <= slack
+
+
+class TestWfqProportionalShare:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_weight_normalised_shares_within_one_mtu_per_weight(self, seed):
+        """Start-time fair queueing bound: for backlogged flows the
+        weight-normalised service gap never exceeds one MTU per weight
+        (checked after every batched service round)."""
+        weights = {"a": 3.0, "b": 1.0}
+        scheduler, queues = build(
+            Capsule(f"wfq-{seed}"),
+            lambda: WfqScheduler(weights=weights),
+            random_streams(seed, [("a", 1), ("b", 2)]),
+        )
+        shares = {1: 0, 2: 0}
+        bound = MTU / weights["a"] + MTU / weights["b"]
+        for _ in range(12):
+            batch = scheduler.pull_batch(24)
+            assert batch
+            for dport, size in served_bytes_by_dport(batch).items():
+                shares[dport] += size
+            assert all(q.depth > 0 for q in queues.values()), "stream too short"
+            assert (
+                abs(shares[1] / weights["a"] - shares[2] / weights["b"]) <= bound
+            )
+
+
+class TestBatchScalarAgreement:
+    @pytest.mark.parametrize("fused", [False, True])
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: DrrScheduler(quantum=MTU),
+            lambda: DrrScheduler(quantum=MTU, quanta={"a": 3 * MTU, "b": MTU}),
+            lambda: WfqScheduler(weights={"a": 3.0, "b": 1.0}),
+        ],
+        ids=["drr-equal", "drr-weighted", "wfq"],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_batched_service_emits_scalar_sequence(self, factory, fused, seed):
+        """The fairness properties transfer between paths because the
+        paths are the *same sequence*: pull_batch chunks replay the exact
+        scalar pull order on both dispatch regimes."""
+        streams = random_streams(seed, [("a", 1), ("b", 2)])
+        scalar_sched, _ = build(Capsule("scalar"), factory, streams)
+        batch_capsule = Capsule("batch")
+        batch_sched, _ = build(batch_capsule, factory, streams)
+        if fused:
+            fuse_pipeline(list(batch_capsule.components().values()))
+
+        scalar_order = []
+        while len(scalar_order) < 300:
+            packet = scalar_sched.pull()
+            if packet is None:
+                break
+            scalar_order.append((packet.transport.dport, packet.size_bytes))
+        batch_order = []
+        while len(batch_order) < 300:
+            got = batch_sched.pull_batch(min(13, 300 - len(batch_order)))
+            if not got:
+                break
+            batch_order.extend((p.transport.dport, p.size_bytes) for p in got)
+
+        assert batch_order == scalar_order

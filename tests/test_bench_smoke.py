@@ -1,0 +1,46 @@
+"""Tier-1 wiring of the benchmark smoke mode.
+
+Runs ``benchmarks/run_all.py --smoke`` — the batching data-path
+benchmarks (C11/C12) on a tiny trace with paper-*ordering* assertions
+only — so a dispatch-layer perf regression that flips the paper's
+ordering fails the ordinary test run, without the timing noise of the
+magnitude claims.  The full-scale trajectory stays in the benchmarks
+themselves (``run_all.py`` without flags → ``BENCH_results.json``).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+pytestmark = pytest.mark.bench
+
+
+def test_run_all_smoke_orders_hold(tmp_path):
+    out = tmp_path / "smoke.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "run_all.py"),
+            "--smoke",
+            "--out",
+            str(out),
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout[-3000:] + proc.stderr[-3000:]
+    payload = json.loads(out.read_text())
+    assert payload["smoke"] is True
+    names = set(payload["benchmarks"])
+    assert {"bench_c11_batching", "bench_c12_pull_batching"} <= names
+    for name, outcome in payload["benchmarks"].items():
+        assert outcome["status"] == "passed", (name, outcome["tail"])
+        assert outcome["tables"], name  # the report tables were captured
+    assert payload["summary"]["failed"] == 0
