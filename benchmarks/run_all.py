@@ -41,7 +41,23 @@ REPO_ROOT = BENCH_DIR.parent
 SMOKE_BENCHES = (
     "bench_c11_batching.py",
     "bench_c12_pull_batching.py",
+    "bench_c13_zerocopy.py",
 )
+
+#: Every benchmark file must opt into the ``bench`` pytest marker
+#: (``pytestmark = pytest.mark.bench``) so ``-m "not bench"`` reliably
+#: deselects the whole suite; a missing marker is a hard error here
+#: rather than a silently unmarked benchmark.
+_MARKER_TOKEN = "pytest.mark.bench"
+
+
+def missing_bench_markers(benches: list[Path]) -> list[str]:
+    """Names of benchmark files that never mention the ``bench`` marker."""
+    return [
+        bench.name
+        for bench in benches
+        if _MARKER_TOKEN not in bench.read_text(encoding="utf-8")
+    ]
 
 
 def run_one(bench: Path, *, smoke: bool = False) -> dict:
@@ -104,6 +120,15 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     benches = sorted(BENCH_DIR.glob("bench_*.py"))
+    unmarked = missing_bench_markers(benches)
+    if unmarked:
+        print(
+            "[run_all] ERROR: benchmark file(s) missing the 'bench' pytest "
+            f"marker: {', '.join(unmarked)} — add 'pytestmark = "
+            "pytest.mark.bench' so tier-1 can deselect them",
+            flush=True,
+        )
+        return 2
     if args.smoke:
         benches = [b for b in benches if b.name in SMOKE_BENCHES]
     if args.only:

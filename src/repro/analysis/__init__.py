@@ -2,7 +2,9 @@
 
 from repro.analysis.footprint import (
     COST_TABLE,
+    ByteMovementReport,
     FootprintReport,
+    measure_byte_movement,
     measure_capsule,
     measure_tree,
 )
@@ -18,9 +20,11 @@ from repro.analysis.stats import (
 
 __all__ = [
     "COST_TABLE",
+    "ByteMovementReport",
     "FootprintReport",
     "format_table",
     "mean",
+    "measure_byte_movement",
     "measure_capsule",
     "measure_tree",
     "median",

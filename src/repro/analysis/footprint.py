@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.opencom.capsule import Capsule
+from repro.osbase.memory import DATAPATH_LEDGER, CopyLedger
 
 #: Per-type (code_bytes, per_instance_state_bytes).  The runtime row is
 #: charged once per capsule.
@@ -124,3 +125,52 @@ def measure_tree(capsule: Capsule) -> dict[str, FootprintReport]:
     for child in capsule.children.values():
         reports.update(measure_tree(child))
     return reports
+
+
+@dataclass
+class ByteMovementReport:
+    """Copy-vs-reference accounting over a datapath run.
+
+    Produced from the :class:`~repro.osbase.memory.CopyLedger` the packet
+    layer reports into: *copies* are byte-materialising operations (header
+    packs, payload duplication, copy-on-write unsharing), *references* are
+    zero-copy hand-offs (``WirePacket.clone_ref`` refcount bumps).  The
+    C13 experiment divides the movement by forwarded packets to get the
+    copies-per-packet figure the zero-copy path is judged on.
+    """
+
+    copies: int
+    copy_bytes: int
+    references: int
+    reference_bytes: int
+
+    @property
+    def events(self) -> int:
+        """Total accounted byte-movement events."""
+        return self.copies + self.references
+
+    @property
+    def reference_share(self) -> float:
+        """Fraction of events that moved no bytes (0.0 when idle)."""
+        if not self.events:
+            return 0.0
+        return self.references / self.events
+
+    def per_packet(self, packets: int) -> dict[str, float]:
+        """Copies/references/bytes normalised per forwarded packet."""
+        n = max(packets, 1)
+        return {
+            "copies_per_packet": self.copies / n,
+            "copy_bytes_per_packet": self.copy_bytes / n,
+            "references_per_packet": self.references / n,
+        }
+
+
+def measure_byte_movement(
+    since: dict[str, int] | None = None, *, ledger: CopyLedger | None = None
+) -> ByteMovementReport:
+    """Snapshot the datapath ledger (optionally as a delta over *since*,
+    a previous ``ledger.snapshot()``)."""
+    ledger = ledger if ledger is not None else DATAPATH_LEDGER
+    counts = ledger.delta(since) if since is not None else ledger.snapshot()
+    return ByteMovementReport(**counts)

@@ -53,8 +53,14 @@ def encode_capsule(
     return repr(envelope).encode()
 
 
-def decode_capsule(payload: bytes) -> CapsulePayload:
-    """Parse a capsule payload (literals only — never executes anything)."""
+def decode_capsule(payload: bytes | memoryview) -> CapsulePayload:
+    """Parse a capsule payload (literals only — never executes anything).
+
+    Accepts the zero-copy path's memoryview payloads; decoding is a
+    delivery-edge operation, so the one materialisation here is fine.
+    """
+    if isinstance(payload, memoryview):
+        payload = payload.tobytes()
     try:
         envelope = ast.literal_eval(payload.decode())
     except (ValueError, SyntaxError, UnicodeDecodeError) as exc:

@@ -20,7 +20,7 @@ from repro.appservices.sandbox import CapsuleVM, ExecutionResult
 from repro.appservices.security import CodeAdmission, SecurityError
 from repro.netsim.packet import Packet, PacketError, format_ipv4
 from repro.opencom.errors import AccessDenied
-from repro.router.components.base import PushComponent
+from repro.router.components.base import PushComponent, release_dropped
 
 
 class ExecutionEnvironment(PushComponent):
@@ -61,11 +61,13 @@ class ExecutionEnvironment(PushComponent):
         """Admit, execute, and apply the program's actions."""
         if not is_capsule_packet(packet):
             self.count("drop:not-active")
+            release_dropped(packet)
             return
         try:
             capsule = decode_capsule(packet.payload)
         except PacketError:
             self.count("drop:malformed")
+            release_dropped(packet)
             return
         try:
             policy = self.admission.admit(
@@ -73,9 +75,11 @@ class ExecutionEnvironment(PushComponent):
             )
         except AccessDenied:
             self.count("drop:untrusted-principal")
+            release_dropped(packet)
             return
         except SecurityError:
             self.count("drop:bad-signature")
+            release_dropped(packet)
             return
 
         store = self._soft_stores.setdefault(capsule.principal, {})
@@ -119,30 +123,33 @@ class ExecutionEnvironment(PushComponent):
         self, packet: Packet, result: ExecutionResult, may_broadcast: bool
     ) -> None:
         out = self.receptacle("out")
+        emitted_original = False
+        delivered_original = False
         for action in result.actions:
             kind = action[0]
             if kind == "forward":
                 port = str(action[1])
-                if packet.net.ttl <= 1:
+                if not packet.net.decrement_ttl():
                     self.count("drop:ttl-expired")
                     continue
-                packet.net.ttl -= 1
-                packet.net.refresh_checksum()
                 self.emit(packet, port)
+                emitted_original = True
             elif kind == "broadcast":
                 if not may_broadcast:
                     self.count("drop:broadcast-forbidden")
                     continue
                 ingress = packet.metadata.get("ingress_port")
-                if packet.net.ttl <= 1:
+                if not packet.net.decrement_ttl():
                     self.count("drop:ttl-expired")
                     continue
-                packet.net.ttl -= 1
-                packet.net.refresh_checksum()
+                # Wire-resident packets fan out by reference (refcount
+                # bump + copy-on-write divergence); materialised packets
+                # still pay a real per-port copy.
+                clone_ref = getattr(packet, "clone_ref", None)
                 for port in out.connection_names():
                     if port == ingress:
                         continue
-                    clone = packet.copy()
+                    clone = clone_ref() if clone_ref is not None else packet.copy()
                     clone.metadata["ingress_port"] = packet.metadata.get("ingress_port")
                     self.emit(clone, port)
             elif kind == "deliver":
@@ -151,10 +158,18 @@ class ExecutionEnvironment(PushComponent):
                     try:
                         capsule = decode_capsule(packet.payload)
                         self.deliver_handler(packet, capsule.data)
+                        delivered_original = True
                     except PacketError:
                         self.count("drop:malformed")
             elif kind == "drop":
                 self.count("dropped-by-program")
+        if not emitted_original and not delivered_original:
+            # The EE consumed the packet without handing it on (its
+            # traffic, if any, rides in broadcast clones): drop its
+            # buffer reference so a pooled wire buffer returns to its
+            # pool and clones never copy-on-write against a pinned
+            # original.
+            release_dropped(packet)
 
     # -- introspection -----------------------------------------------------------------
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.netsim.packet import Packet
-from repro.router.components.base import PushComponent
+from repro.router.components.base import PushComponent, release_dropped
 from repro.router.filters import FilterTable
 
 
@@ -50,6 +50,7 @@ class FlowManager(PushComponent):
             output = spec.output if spec is not None else self.default_output
             if output is None:
                 self.count("drop:no-flow-class")
+                release_dropped(packet)
                 return
             self._flow_table[key] = output
             if len(self._flow_table) > self.max_flows:

@@ -22,6 +22,7 @@ from typing import Any
 
 from repro.netsim.packet import IPv4Header, IPv6Header, Packet
 from repro.opencom.errors import OpenComError
+from repro.router.components.base import release_dropped
 from repro.router.components.forwarding import Stride8LpmTable
 from repro.router.filters import FilterTable
 
@@ -68,17 +69,19 @@ class ClickCheckHeader(ClickElement):
         if isinstance(net, IPv4Header):
             if not net.checksum_ok():
                 self.count("drop:bad-checksum")
+                release_dropped(packet)
                 return
-            if net.ttl <= 1:
+            # Same polymorphic byte path as the CF components and the
+            # monolithic baseline (incremental checksum on wire views).
+            if not net.decrement_ttl():
                 self.count("drop:ttl")
+                release_dropped(packet)
                 return
-            net.ttl -= 1
-            net.refresh_checksum()
         elif isinstance(net, IPv6Header):
-            if net.hop_limit <= 1:
+            if not net.decrement_hop_limit():
                 self.count("drop:ttl")
+                release_dropped(packet)
                 return
-            net.hop_limit -= 1
         self.count("ok")
         self.emit(packet)
 
@@ -89,17 +92,17 @@ class ClickCheckHeader(ClickElement):
             if isinstance(net, IPv4Header):
                 if not net.checksum_ok():
                     self.count("drop:bad-checksum")
+                    release_dropped(packet)
                     continue
-                if net.ttl <= 1:
+                if not net.decrement_ttl():
                     self.count("drop:ttl")
+                    release_dropped(packet)
                     continue
-                net.ttl -= 1
-                net.refresh_checksum()
             elif isinstance(net, IPv6Header):
-                if net.hop_limit <= 1:
+                if not net.decrement_hop_limit():
                     self.count("drop:ttl")
+                    release_dropped(packet)
                     continue
-                net.hop_limit -= 1
             survivors.append(packet)
         if survivors:
             self.count("ok", len(survivors))
@@ -121,6 +124,7 @@ class ClickClassifier(ClickElement):
         target = self.outputs.get(output) if output else None
         if target is None:
             self.count("drop:unclassified")
+            release_dropped(packet)
             return
         self.count(f"class:{output}")
         target.push(packet)
@@ -133,6 +137,8 @@ class ClickClassifier(ClickElement):
             target = self.outputs.get(default)
             if target is None:
                 self.count("drop:unclassified", len(packets))
+                for packet in packets:
+                    release_dropped(packet)
                 return
             self.count(f"class:{default}", len(packets))
             target.push_batch(packets)
@@ -143,6 +149,7 @@ class ClickClassifier(ClickElement):
             output = spec.output if spec is not None else default
             if output is None or output not in self.outputs:
                 self.count("drop:unclassified")
+                release_dropped(packet)
                 continue
             groups.setdefault(output, []).append(packet)
         for output, group in groups.items():
@@ -161,6 +168,7 @@ class ClickQueue(ClickElement):
     def push(self, packet: Packet) -> None:
         if len(self.queue) >= self.capacity:
             self.count("drop:overflow")
+            release_dropped(packet)
             return
         self.queue.append(packet)
 
@@ -172,6 +180,8 @@ class ClickQueue(ClickElement):
         if room > 0:
             self.queue.extend(packets[:room])
         self.count("drop:overflow", len(packets) - max(room, 0))
+        for packet in packets[max(room, 0):]:
+            release_dropped(packet)
 
     def pull(self) -> Packet | None:
         if not self.queue:
@@ -204,6 +214,7 @@ class ClickLookup(ClickElement):
         target = self.outputs.get(hop) if hop else None
         if target is None:
             self.count("drop:no-route")
+            release_dropped(packet)
             return
         self.count(f"hop:{hop}")
         target.push(packet)
@@ -215,6 +226,7 @@ class ClickLookup(ClickElement):
             hop = lookup(packet.net.dst, version=packet.version)
             if not hop or hop not in self.outputs:
                 self.count("drop:no-route")
+                release_dropped(packet)
                 continue
             groups.setdefault(hop, []).append(packet)
         for hop, group in groups.items():

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.netsim.packet import IPv4Header, IPv6Header, Packet
+from repro.router.components.base import release_dropped
 from repro.router.components.forwarding import Stride8LpmTable
 from repro.router.filters import FilterTable
 
@@ -54,17 +55,20 @@ class MonolithicRouter:
         if isinstance(net, IPv4Header):
             if not net.checksum_ok():
                 self.counters["drop:bad-checksum"] += 1
+                release_dropped(packet)
                 return
-            if net.ttl <= 1:
+            # Polymorphic byte path (same as the component router and
+            # Click): full re-sum on materialised headers, RFC 1624
+            # incremental update on wire-resident views.
+            if not net.decrement_ttl():
                 self.counters["drop:ttl"] += 1
+                release_dropped(packet)
                 return
-            net.ttl -= 1
-            net.refresh_checksum()
         elif isinstance(net, IPv6Header):
-            if net.hop_limit <= 1:
+            if not net.decrement_hop_limit():
                 self.counters["drop:ttl"] += 1
+                release_dropped(packet)
                 return
-            net.hop_limit -= 1
         queue = (
             self._expedited
             if self.filters.classify(packet) is not None
@@ -72,6 +76,7 @@ class MonolithicRouter:
         )
         if len(queue) >= self.queue_capacity:
             self.counters["drop:overflow"] += 1
+            release_dropped(packet)
             return
         queue.append(packet)
 
@@ -90,17 +95,17 @@ class MonolithicRouter:
             if isinstance(net, IPv4Header):
                 if not net.checksum_ok():
                     counters["drop:bad-checksum"] += 1
+                    release_dropped(packet)
                     continue
-                if net.ttl <= 1:
+                if not net.decrement_ttl():
                     counters["drop:ttl"] += 1
+                    release_dropped(packet)
                     continue
-                net.ttl -= 1
-                net.refresh_checksum()
             elif isinstance(net, IPv6Header):
-                if net.hop_limit <= 1:
+                if not net.decrement_hop_limit():
                     counters["drop:ttl"] += 1
+                    release_dropped(packet)
                     continue
-                net.hop_limit -= 1
             queue = (
                 expedited
                 if classify is not None and classify(packet) is not None
@@ -108,6 +113,7 @@ class MonolithicRouter:
             )
             if len(queue) >= capacity:
                 counters["drop:overflow"] += 1
+                release_dropped(packet)
                 continue
             queue.append(packet)
 
@@ -135,6 +141,7 @@ class MonolithicRouter:
                 hop = lookup(packet.net.dst, version=packet.version)
                 if hop is None:
                     counters["drop:no-route"] += 1
+                    release_dropped(packet)
                 else:
                     delivered.setdefault(hop, []).append(packet)
                     counters["tx"] += 1

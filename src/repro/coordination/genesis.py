@@ -373,8 +373,11 @@ class GenesisFramework:
 
     def _make_dispatcher(self, node: Node):
         def dispatch(packet: Packet, port: str) -> None:
+            payload = packet.payload
+            if isinstance(payload, memoryview):  # zero-copy wire packets
+                payload = payload.tobytes()
             try:
-                inner = ast.literal_eval(packet.payload.decode())
+                inner = ast.literal_eval(payload.decode())
             except (ValueError, SyntaxError, UnicodeDecodeError):
                 return
             if not isinstance(inner, dict):

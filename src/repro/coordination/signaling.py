@@ -42,8 +42,14 @@ def encode_message(message: dict) -> bytes:
     return repr(message).encode()
 
 
-def decode_message(payload: bytes) -> dict:
-    """Parse a signaling message; raises PacketError when malformed."""
+def decode_message(payload: bytes | memoryview) -> dict:
+    """Parse a signaling message; raises PacketError when malformed.
+
+    Accepts the zero-copy path's memoryview payloads (one materialisation
+    at the delivery edge, as in ``appservices.capsules.decode_capsule``).
+    """
+    if isinstance(payload, memoryview):
+        payload = payload.tobytes()
     try:
         message = ast.literal_eval(payload.decode())
     except (ValueError, SyntaxError, UnicodeDecodeError) as exc:

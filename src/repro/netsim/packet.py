@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.opencom.errors import OpenComError
+from repro.osbase.memory import DATAPATH_LEDGER as _LEDGER
 
 _PACKET_IDS = itertools.count(1)
 
@@ -59,7 +60,7 @@ def format_ipv6(address: int) -> str:
     return str(ipaddress.IPv6Address(address))
 
 
-def internet_checksum(data: bytes) -> int:
+def internet_checksum(data: bytes | bytearray | memoryview) -> int:
     """RFC 1071 16-bit one's-complement checksum.
 
     One bulk unpack + deferred carry fold instead of a per-word loop: the
@@ -67,10 +68,35 @@ def internet_checksum(data: bytes) -> int:
     folding after the sum is equivalent to folding per word (RFC 1071 §2,
     "deferred carries") and several times faster — this runs twice per
     forwarded IPv4 packet in every system the benchmarks compare.
+
+    Accepts any buffer (bytes, bytearray, memoryview) without copying: the
+    zero-copy path checksums header *views* in place.  An odd trailing
+    byte is folded in as its zero-padded word directly — the RFC's virtual
+    pad byte — instead of reallocating ``data + b"\\x00"``.
     """
-    if len(data) % 2:
-        data = data + b"\x00"
-    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    n = len(data)
+    if n % 2:
+        total = data[n - 1] << 8
+        n -= 1
+    else:
+        total = 0
+    total += sum(struct.unpack_from(f"!{n // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def incremental_checksum_update(checksum: int, old_word: int, new_word: int) -> int:
+    """RFC 1624 incremental checksum update (equation 3).
+
+    Given a stored header checksum and one 16-bit word changing from
+    *old_word* to *new_word*, returns the new checksum without re-summing
+    the header: ``HC' = ~(~HC + ~m + m')``.  Equation 3 (rather than RFC
+    1141's equation 2) is used because it cannot produce the ``-0``
+    anomaly when the sum collapses.  Apply once per changed 16-bit word
+    (TTL decrement touches one word, a NAT address rewrite two).
+    """
+    total = (~checksum & 0xFFFF) + (~old_word & 0xFFFF) + (new_word & 0xFFFF)
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
@@ -105,7 +131,36 @@ class IPv4Header:
         """Validate the stored checksum."""
         return self.checksum == self.compute_checksum()
 
+    def decrement_ttl(self) -> bool:
+        """Age the header one hop: returns False (untouched) when the TTL
+        is already expired, otherwise decrements and refreshes the
+        checksum.
+
+        The byte handling is polymorphic: on this materialised header the
+        refresh is a full RFC 1071 recomputation; the wire-resident view
+        (:class:`repro.netsim.wire.V4View`) overrides it with an in-place
+        RFC 1624 incremental update.
+        """
+        if self.ttl <= 1:
+            return False
+        self.ttl -= 1
+        self.refresh_checksum()
+        return True
+
+    def rewrite_src(self, new_src: int) -> None:
+        """Rewrite the source address and refresh the checksum (NAT path;
+        the wire view overrides with an incremental update)."""
+        self.src = new_src
+        self.refresh_checksum()
+
+    def rewrite_dst(self, new_dst: int) -> None:
+        """Rewrite the destination address and refresh the checksum (NAT
+        path; the wire view overrides with an incremental update)."""
+        self.dst = new_dst
+        self.refresh_checksum()
+
     def _pack(self, *, checksum: int | None = None) -> bytes:
+        _LEDGER.record_copy(self.HEADER_LEN)
         version_ihl = (4 << 4) | 5
         tos = ((self.dscp & 0x3F) << 2) | (self.ecn & 0x3)
         return struct.pack(
@@ -126,11 +181,40 @@ class IPv4Header:
         """Serialise the header (checksum as stored)."""
         return self._pack()
 
+    def pack_into(
+        self, buf: bytearray | memoryview, offset: int = 0, *,
+        checksum: int | None = None,
+    ) -> int:
+        """Serialise the header into *buf* at *offset*; returns the offset
+        just past it.  No intermediate ``bytes`` is allocated."""
+        version_ihl = (4 << 4) | 5
+        tos = ((self.dscp & 0x3F) << 2) | (self.ecn & 0x3)
+        struct.pack_into(
+            "!BBHHHBBHII",
+            buf,
+            offset,
+            version_ihl,
+            tos,
+            self.total_length,
+            self.identification,
+            0,  # flags/fragment offset: fragmentation is out of scope
+            self.ttl,
+            self.protocol,
+            self.checksum if checksum is None else checksum,
+            self.src,
+            self.dst,
+        )
+        return offset + self.HEADER_LEN
+
     @classmethod
-    def from_bytes(cls, data: bytes) -> "IPv4Header":
-        """Parse 20 header bytes."""
-        if len(data) < cls.HEADER_LEN:
-            raise PacketError(f"IPv4 header needs 20 bytes, got {len(data)}")
+    def from_view(
+        cls, view: bytes | bytearray | memoryview, offset: int = 0
+    ) -> "IPv4Header":
+        """Parse 20 header bytes at *offset* without slicing a copy."""
+        if len(view) - offset < cls.HEADER_LEN:
+            raise PacketError(
+                f"IPv4 header needs 20 bytes, got {len(view) - offset}"
+            )
         (
             version_ihl,
             tos,
@@ -142,7 +226,7 @@ class IPv4Header:
             checksum,
             src,
             dst,
-        ) = struct.unpack("!BBHHHBBHII", data[: cls.HEADER_LEN])
+        ) = struct.unpack_from("!BBHHHBBHII", view, offset)
         if version_ihl >> 4 != 4:
             raise PacketError(f"not an IPv4 header (version {version_ihl >> 4})")
         return cls(
@@ -156,6 +240,11 @@ class IPv4Header:
             total_length=total_length,
             checksum=checksum,
         )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv4Header":
+        """Parse 20 header bytes."""
+        return cls.from_view(data)
 
 
 @dataclass
@@ -173,8 +262,17 @@ class IPv6Header:
     VERSION = 6
     HEADER_LEN = 40
 
+    def decrement_hop_limit(self) -> bool:
+        """Age the header one hop: False when already expired, otherwise
+        decrement (v6 has no header checksum to maintain)."""
+        if self.hop_limit <= 1:
+            return False
+        self.hop_limit -= 1
+        return True
+
     def to_bytes(self) -> bytes:
         """Serialise the header (IPv6 has no header checksum)."""
+        _LEDGER.record_copy(self.HEADER_LEN)
         word0 = (6 << 28) | ((self.traffic_class & 0xFF) << 20) | (
             self.flow_label & 0xFFFFF
         )
@@ -184,25 +282,51 @@ class IPv6Header:
             + self.dst.to_bytes(16, "big")
         )
 
+    def pack_into(self, buf: bytearray | memoryview, offset: int = 0) -> int:
+        """Serialise the header into *buf* at *offset*; returns the offset
+        just past it."""
+        word0 = (6 << 28) | ((self.traffic_class & 0xFF) << 20) | (
+            self.flow_label & 0xFFFFF
+        )
+        struct.pack_into(
+            "!IHBB", buf, offset,
+            word0, self.payload_length, self.next_header, self.hop_limit,
+        )
+        buf[offset + 8 : offset + 24] = self.src.to_bytes(16, "big")
+        buf[offset + 24 : offset + 40] = self.dst.to_bytes(16, "big")
+        return offset + self.HEADER_LEN
+
     @classmethod
-    def from_bytes(cls, data: bytes) -> "IPv6Header":
-        """Parse 40 header bytes."""
-        if len(data) < cls.HEADER_LEN:
-            raise PacketError(f"IPv6 header needs 40 bytes, got {len(data)}")
-        word0, payload_length, next_header, hop_limit = struct.unpack(
-            "!IHBB", data[:8]
+    def from_view(
+        cls, view: bytes | bytearray | memoryview, offset: int = 0
+    ) -> "IPv6Header":
+        """Parse 40 header bytes at *offset* without slicing a copy."""
+        if len(view) - offset < cls.HEADER_LEN:
+            raise PacketError(
+                f"IPv6 header needs 40 bytes, got {len(view) - offset}"
+            )
+        word0, payload_length, next_header, hop_limit = struct.unpack_from(
+            "!IHBB", view, offset
         )
         if word0 >> 28 != 6:
             raise PacketError(f"not an IPv6 header (version {word0 >> 28})")
+        src_hi, src_lo, dst_hi, dst_lo = struct.unpack_from(
+            "!QQQQ", view, offset + 8
+        )
         return cls(
-            src=int.from_bytes(data[8:24], "big"),
-            dst=int.from_bytes(data[24:40], "big"),
+            src=(src_hi << 64) | src_lo,
+            dst=(dst_hi << 64) | dst_lo,
             hop_limit=hop_limit,
             traffic_class=(word0 >> 20) & 0xFF,
             flow_label=word0 & 0xFFFFF,
             payload_length=payload_length,
             next_header=next_header,
         )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv6Header":
+        """Parse 40 header bytes."""
+        return cls.from_view(data)
 
 
 @dataclass
@@ -217,15 +341,29 @@ class UDPHeader:
 
     def to_bytes(self) -> bytes:
         """Serialise the header."""
+        _LEDGER.record_copy(self.HEADER_LEN)
         return struct.pack("!HHHH", self.sport, self.dport, self.length, 0)
+
+    def pack_into(self, buf: bytearray | memoryview, offset: int = 0) -> int:
+        """Serialise the header into *buf* at *offset*; returns the offset
+        just past it."""
+        struct.pack_into("!HHHH", buf, offset, self.sport, self.dport, self.length, 0)
+        return offset + self.HEADER_LEN
+
+    @classmethod
+    def from_view(
+        cls, view: bytes | bytearray | memoryview, offset: int = 0
+    ) -> "UDPHeader":
+        """Parse 8 header bytes at *offset* without slicing a copy."""
+        if len(view) - offset < cls.HEADER_LEN:
+            raise PacketError(f"UDP header needs 8 bytes, got {len(view) - offset}")
+        sport, dport, length, _checksum = struct.unpack_from("!HHHH", view, offset)
+        return cls(sport=sport, dport=dport, length=length)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "UDPHeader":
         """Parse 8 header bytes."""
-        if len(data) < cls.HEADER_LEN:
-            raise PacketError(f"UDP header needs 8 bytes, got {len(data)}")
-        sport, dport, length, _checksum = struct.unpack("!HHHH", data[:8])
-        return cls(sport=sport, dport=dport, length=length)
+        return cls.from_view(data)
 
 
 @dataclass
@@ -243,6 +381,7 @@ class TCPHeader:
 
     def to_bytes(self) -> bytes:
         """Serialise the header."""
+        _LEDGER.record_copy(self.HEADER_LEN)
         offset_flags = (5 << 12) | (self.flags & 0x1FF)
         return struct.pack(
             "!HHIIHHHH",
@@ -256,13 +395,26 @@ class TCPHeader:
             0,
         )
 
+    def pack_into(self, buf: bytearray | memoryview, offset: int = 0) -> int:
+        """Serialise the header into *buf* at *offset*; returns the offset
+        just past it."""
+        offset_flags = (5 << 12) | (self.flags & 0x1FF)
+        struct.pack_into(
+            "!HHIIHHHH", buf, offset,
+            self.sport, self.dport, self.seq, self.ack,
+            offset_flags, self.window, 0, 0,
+        )
+        return offset + self.HEADER_LEN
+
     @classmethod
-    def from_bytes(cls, data: bytes) -> "TCPHeader":
-        """Parse 20 header bytes."""
-        if len(data) < cls.HEADER_LEN:
-            raise PacketError(f"TCP header needs 20 bytes, got {len(data)}")
-        sport, dport, seq, ack, offset_flags, window, _c, _u = struct.unpack(
-            "!HHIIHHHH", data[:20]
+    def from_view(
+        cls, view: bytes | bytearray | memoryview, offset: int = 0
+    ) -> "TCPHeader":
+        """Parse 20 header bytes at *offset* without slicing a copy."""
+        if len(view) - offset < cls.HEADER_LEN:
+            raise PacketError(f"TCP header needs 20 bytes, got {len(view) - offset}")
+        sport, dport, seq, ack, offset_flags, window, _c, _u = struct.unpack_from(
+            "!HHIIHHHH", view, offset
         )
         return cls(
             sport=sport,
@@ -272,6 +424,11 @@ class TCPHeader:
             flags=offset_flags & 0x1FF,
             window=window,
         )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TCPHeader":
+        """Parse 20 header bytes."""
+        return cls.from_view(data)
 
 
 class Packet:
@@ -303,7 +460,7 @@ class Packet:
     # -- derived fields ----------------------------------------------------------
 
     def _refresh_lengths(self) -> None:
-        transport_len = len(self.transport.to_bytes()) if self.transport else 0
+        transport_len = self.transport.HEADER_LEN if self.transport else 0
         if isinstance(self.net, IPv4Header):
             self.net.total_length = (
                 IPv4Header.HEADER_LEN + transport_len + len(self.payload)
@@ -345,39 +502,54 @@ class Packet:
 
     # -- serialisation ----------------------------------------------------------------
 
+    def write_into(self, buf: bytearray | memoryview, offset: int = 0) -> int:
+        """Serialise the whole packet into *buf* at *offset* (headers via
+        ``pack_into``, payload by slice assignment); returns the offset
+        just past the packet.  This is the single materialisation the
+        zero-copy path pays when a packet enters the wire representation.
+        """
+        self._refresh_lengths()
+        offset = self.net.pack_into(buf, offset)
+        if self.transport is not None:
+            offset = self.transport.pack_into(buf, offset)
+        end = offset + len(self.payload)
+        buf[offset:end] = self.payload
+        return end
+
     def to_bytes(self) -> bytes:
         """Serialise the whole packet to wire bytes."""
-        self._refresh_lengths()
-        parts = [self.net.to_bytes()]
-        if self.transport is not None:
-            parts.append(self.transport.to_bytes())
-        parts.append(self.payload)
-        return b"".join(parts)
+        size = self.size_bytes
+        _LEDGER.record_copy(size)
+        out = bytearray(size)
+        self.write_into(out, 0)
+        return bytes(out)
 
     @classmethod
-    def from_bytes(cls, data: bytes, *, created_at: float = 0.0) -> "Packet":
+    def from_bytes(
+        cls, data: bytes | bytearray | memoryview, *, created_at: float = 0.0
+    ) -> "Packet":
         """Parse wire bytes into a packet (v4 or v6, UDP/TCP transport)."""
-        if not data:
+        if not len(data):
             raise PacketError("empty packet")
         version = data[0] >> 4
         if version == 4:
-            net: IPv4Header | IPv6Header = IPv4Header.from_bytes(data)
+            net: IPv4Header | IPv6Header = IPv4Header.from_view(data)
             offset = IPv4Header.HEADER_LEN
             proto = net.protocol
         elif version == 6:
-            net = IPv6Header.from_bytes(data)
+            net = IPv6Header.from_view(data)
             offset = IPv6Header.HEADER_LEN
             proto = net.next_header
         else:
             raise PacketError(f"unknown IP version {version}")
         transport: UDPHeader | TCPHeader | None = None
         if proto == PROTO_UDP:
-            transport = UDPHeader.from_bytes(data[offset:])
+            transport = UDPHeader.from_view(data, offset)
             offset += UDPHeader.HEADER_LEN
         elif proto == PROTO_TCP:
-            transport = TCPHeader.from_bytes(data[offset:])
+            transport = TCPHeader.from_view(data, offset)
             offset += TCPHeader.HEADER_LEN
-        packet = cls(net, transport, data[offset:], created_at=created_at)
+        packet = cls(net, transport, bytes(data[offset:]), created_at=created_at)
         return packet
 
     def copy(self) -> "Packet":

@@ -1,0 +1,728 @@
+"""Wire-resident packets: the zero-copy serialisation path.
+
+A :class:`WirePacket` materialises a packet's bytes exactly once — into a
+reference-counted :class:`~repro.osbase.buffers.Buffer` drawn from the
+buffer-management CF's pools (or a standalone buffer when no pool is
+plumbed in) — and every subsequent header read or write goes through
+``struct.unpack_from`` / ``struct.pack_into`` on a ``memoryview`` of that
+buffer.  No hop on the data path allocates an intermediate ``bytes``: TTL
+decrement and NAT rewrites patch fields in place and maintain the IPv4
+checksum with RFC 1624 *incremental* updates instead of re-summing the
+header.
+
+Compatibility is by substitution, not by parallel API: the header *views*
+(:class:`V4View`, :class:`V6View`, :class:`UDPView`, :class:`TCPView`)
+subclass the materialised header dataclasses and override every field as
+a property over the underlying memoryview.  ``isinstance(packet.net,
+IPv4Header)`` checks, filter matching, classifier key extraction and the
+LPM lookup therefore run unchanged on wire packets — their reads simply
+become ``unpack_from`` on the view, and their writes ``pack_into`` — so
+the component router *and* both baselines share one byte path and the
+C6/C11/C12/C13 comparisons stay structural.
+
+Fan-out is zero-copy too: :meth:`WirePacket.clone_ref` shares the backing
+buffer (refcount bump, recorded as a *reference* in the
+:data:`~repro.osbase.memory.DATAPATH_LEDGER`), and the first mutation of
+a shared packet triggers copy-on-write unsharing (recorded as a *copy*),
+so clones may safely diverge without eager duplication.
+"""
+
+from __future__ import annotations
+
+from struct import pack_into, unpack_from
+from typing import Any
+
+from repro.netsim.packet import (
+    PROTO_TCP,
+    PROTO_UDP,
+    IPv4Header,
+    IPv6Header,
+    Packet,
+    PacketError,
+    TCPHeader,
+    UDPHeader,
+    _PACKET_IDS,
+    incremental_checksum_update,
+    internet_checksum,
+)
+from repro.osbase.buffers import Buffer
+from repro.osbase.memory import DATAPATH_LEDGER as _LEDGER
+
+
+class V4View(IPv4Header):
+    """IPv4 header fields as properties over a wire packet's memoryview.
+
+    Subclasses the materialised dataclass so every ``isinstance`` check
+    and generic field access keeps working; reads are ``unpack_from`` and
+    writes are ``pack_into`` (through the owner's copy-on-write barrier,
+    :meth:`WirePacket._unshare`).
+    """
+
+    def __init__(self, owner: "WirePacket", offset: int) -> None:
+        # Deliberately not the dataclass __init__: a view has no
+        # materialised fields, only the owner's buffer.
+        self._o = owner
+        self._off = offset
+
+    # -- field properties -------------------------------------------------------
+
+    @property
+    def src(self) -> int:
+        return unpack_from("!I", self._o._mv, self._off + 12)[0]
+
+    @src.setter
+    def src(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!I", o._mv, self._off + 12, value)
+
+    @property
+    def dst(self) -> int:
+        return unpack_from("!I", self._o._mv, self._off + 16)[0]
+
+    @dst.setter
+    def dst(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!I", o._mv, self._off + 16, value)
+
+    @property
+    def ttl(self) -> int:
+        return self._o._mv[self._off + 8]
+
+    @ttl.setter
+    def ttl(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        o._mv[self._off + 8] = value
+
+    @property
+    def protocol(self) -> int:
+        return self._o._mv[self._off + 9]
+
+    @protocol.setter
+    def protocol(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        o._mv[self._off + 9] = value
+
+    @property
+    def dscp(self) -> int:
+        return self._o._mv[self._off + 1] >> 2
+
+    @dscp.setter
+    def dscp(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        o._mv[self._off + 1] = ((value & 0x3F) << 2) | (o._mv[self._off + 1] & 0x3)
+
+    @property
+    def ecn(self) -> int:
+        return self._o._mv[self._off + 1] & 0x3
+
+    @ecn.setter
+    def ecn(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        o._mv[self._off + 1] = (o._mv[self._off + 1] & 0xFC) | (value & 0x3)
+
+    @property
+    def identification(self) -> int:
+        return unpack_from("!H", self._o._mv, self._off + 4)[0]
+
+    @identification.setter
+    def identification(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!H", o._mv, self._off + 4, value)
+
+    @property
+    def total_length(self) -> int:
+        return unpack_from("!H", self._o._mv, self._off + 2)[0]
+
+    @total_length.setter
+    def total_length(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!H", o._mv, self._off + 2, value)
+
+    @property
+    def checksum(self) -> int:
+        return unpack_from("!H", self._o._mv, self._off + 10)[0]
+
+    @checksum.setter
+    def checksum(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!H", o._mv, self._off + 10, value)
+
+    # -- checksum handling, in place -------------------------------------------
+
+    def header_view(self) -> memoryview:
+        """Zero-copy view of exactly the 20 header bytes."""
+        return self._o._mv[self._off : self._off + self.HEADER_LEN]
+
+    def checksum_ok(self) -> bool:
+        """Validate the stored checksum without materialising the header:
+        the RFC 1071 sum over a header *including* a valid checksum field
+        folds to zero."""
+        return internet_checksum(self.header_view()) == 0
+
+    def compute_checksum(self) -> int:
+        """Checksum with the stored field zeroed — computed over the view
+        by briefly zeroing the field in place (restored before returning,
+        single-threaded datapath)."""
+        mv = self._o._mv
+        off = self._off + 10
+        stored_hi, stored_lo = mv[off], mv[off + 1]
+        mv[off] = mv[off + 1] = 0
+        try:
+            return internet_checksum(self.header_view())
+        finally:
+            mv[off], mv[off + 1] = stored_hi, stored_lo
+
+    def refresh_checksum(self) -> None:
+        """Recompute and store the checksum, all through the view."""
+        o = self._o
+        o._unshare()
+        mv = o._mv
+        off = self._off + 10
+        mv[off] = mv[off + 1] = 0
+        pack_into("!H", mv, off, internet_checksum(self.header_view()))
+
+    def decrement_ttl(self) -> bool:
+        """TTL decrement with an RFC 1624 incremental checksum update:
+        exactly one 16-bit word (TTL, protocol) changes, so the checksum
+        is patched without re-summing the header."""
+        o = self._o
+        off = self._off
+        ttl = o._mv[off + 8]
+        if ttl <= 1:
+            return False
+        o._unshare()
+        mv = o._mv  # unsharing may have swapped the backing buffer
+        old_word = (ttl << 8) | mv[off + 9]
+        mv[off + 8] = ttl - 1
+        (stored,) = unpack_from("!H", mv, off + 10)
+        pack_into(
+            "!H", mv, off + 10,
+            incremental_checksum_update(stored, old_word, old_word - 0x100),
+        )
+        return True
+
+    def _rewrite_address(self, field_offset: int, new_address: int) -> None:
+        o = self._o
+        o._unshare()
+        mv = o._mv
+        off = self._off
+        old_hi, old_lo = unpack_from("!HH", mv, off + field_offset)
+        (stored,) = unpack_from("!H", mv, off + 10)
+        stored = incremental_checksum_update(
+            stored, old_hi, (new_address >> 16) & 0xFFFF
+        )
+        stored = incremental_checksum_update(stored, old_lo, new_address & 0xFFFF)
+        pack_into("!H", mv, off + 10, stored)
+        pack_into("!I", mv, off + field_offset, new_address)
+
+    def rewrite_src(self, new_src: int) -> None:
+        """NAT source rewrite: two words change; checksum patched with two
+        RFC 1624 incremental updates instead of a full re-sum."""
+        self._rewrite_address(12, new_src)
+
+    def rewrite_dst(self, new_dst: int) -> None:
+        """NAT destination rewrite, incremental (see :meth:`rewrite_src`)."""
+        self._rewrite_address(16, new_dst)
+
+
+class V6View(IPv6Header):
+    """IPv6 header fields as properties over a wire packet's memoryview."""
+
+    def __init__(self, owner: "WirePacket", offset: int) -> None:
+        self._o = owner
+        self._off = offset
+
+    @property
+    def src(self) -> int:
+        hi, lo = unpack_from("!QQ", self._o._mv, self._off + 8)
+        return (hi << 64) | lo
+
+    @src.setter
+    def src(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into(
+            "!QQ", o._mv, self._off + 8, value >> 64, value & ((1 << 64) - 1)
+        )
+
+    @property
+    def dst(self) -> int:
+        hi, lo = unpack_from("!QQ", self._o._mv, self._off + 24)
+        return (hi << 64) | lo
+
+    @dst.setter
+    def dst(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into(
+            "!QQ", o._mv, self._off + 24, value >> 64, value & ((1 << 64) - 1)
+        )
+
+    @property
+    def hop_limit(self) -> int:
+        return self._o._mv[self._off + 7]
+
+    @hop_limit.setter
+    def hop_limit(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        o._mv[self._off + 7] = value
+
+    @property
+    def next_header(self) -> int:
+        return self._o._mv[self._off + 6]
+
+    @next_header.setter
+    def next_header(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        o._mv[self._off + 6] = value
+
+    @property
+    def payload_length(self) -> int:
+        return unpack_from("!H", self._o._mv, self._off + 4)[0]
+
+    @payload_length.setter
+    def payload_length(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!H", o._mv, self._off + 4, value)
+
+    @property
+    def _word0(self) -> int:
+        return unpack_from("!I", self._o._mv, self._off)[0]
+
+    def _set_word0(self, word0: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!I", o._mv, self._off, word0)
+
+    @property
+    def traffic_class(self) -> int:
+        return (self._word0 >> 20) & 0xFF
+
+    @traffic_class.setter
+    def traffic_class(self, value: int) -> None:
+        self._set_word0((self._word0 & ~(0xFF << 20)) | ((value & 0xFF) << 20))
+
+    @property
+    def flow_label(self) -> int:
+        return self._word0 & 0xFFFFF
+
+    @flow_label.setter
+    def flow_label(self, value: int) -> None:
+        self._set_word0((self._word0 & ~0xFFFFF) | (value & 0xFFFFF))
+
+    def decrement_hop_limit(self) -> bool:
+        """Hop-limit decrement in place (no checksum in v6)."""
+        o = self._o
+        off = self._off + 7
+        hop = o._mv[off]
+        if hop <= 1:
+            return False
+        o._unshare()
+        o._mv[off] = hop - 1
+        return True
+
+
+class UDPView(UDPHeader):
+    """UDP header fields as properties over a wire packet's memoryview."""
+
+    def __init__(self, owner: "WirePacket", offset: int) -> None:
+        self._o = owner
+        self._off = offset
+
+    @property
+    def sport(self) -> int:
+        return unpack_from("!H", self._o._mv, self._off)[0]
+
+    @sport.setter
+    def sport(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!H", o._mv, self._off, value)
+
+    @property
+    def dport(self) -> int:
+        return unpack_from("!H", self._o._mv, self._off + 2)[0]
+
+    @dport.setter
+    def dport(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!H", o._mv, self._off + 2, value)
+
+    @property
+    def length(self) -> int:
+        return unpack_from("!H", self._o._mv, self._off + 4)[0]
+
+    @length.setter
+    def length(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!H", o._mv, self._off + 4, value)
+
+
+class TCPView(TCPHeader):
+    """TCP header fields as properties over a wire packet's memoryview."""
+
+    def __init__(self, owner: "WirePacket", offset: int) -> None:
+        self._o = owner
+        self._off = offset
+
+    @property
+    def sport(self) -> int:
+        return unpack_from("!H", self._o._mv, self._off)[0]
+
+    @sport.setter
+    def sport(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!H", o._mv, self._off, value)
+
+    @property
+    def dport(self) -> int:
+        return unpack_from("!H", self._o._mv, self._off + 2)[0]
+
+    @dport.setter
+    def dport(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!H", o._mv, self._off + 2, value)
+
+    @property
+    def seq(self) -> int:
+        return unpack_from("!I", self._o._mv, self._off + 4)[0]
+
+    @seq.setter
+    def seq(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!I", o._mv, self._off + 4, value)
+
+    @property
+    def ack(self) -> int:
+        return unpack_from("!I", self._o._mv, self._off + 8)[0]
+
+    @ack.setter
+    def ack(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!I", o._mv, self._off + 8, value)
+
+    @property
+    def flags(self) -> int:
+        return unpack_from("!H", self._o._mv, self._off + 12)[0] & 0x1FF
+
+    @flags.setter
+    def flags(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!H", o._mv, self._off + 12, (5 << 12) | (value & 0x1FF))
+
+    @property
+    def window(self) -> int:
+        return unpack_from("!H", self._o._mv, self._off + 14)[0]
+
+    @window.setter
+    def window(self, value: int) -> None:
+        o = self._o
+        o._unshare()
+        pack_into("!H", o._mv, self._off + 14, value)
+
+
+class WirePacket:
+    """One packet living in wire format inside a (pooled) buffer.
+
+    Drop-in on the data path for :class:`~repro.netsim.packet.Packet`:
+    ``net``/``transport`` are header views (real subclasses of the header
+    dataclasses), ``metadata`` rides alongside exactly as on materialised
+    packets, and ``flow_key``/``dscp``/``size_bytes`` match.  The
+    difference is purely in byte handling — one materialisation at
+    construction, zero per-hop allocations afterwards.
+    """
+
+    __slots__ = (
+        "buffer",
+        "_mv",
+        "length",
+        "packet_id",
+        "created_at",
+        "metadata",
+        "version",
+        "net",
+        "transport",
+        "_payload_off",
+    )
+
+    def __init__(
+        self,
+        buffer: Buffer,
+        *,
+        created_at: float = 0.0,
+        metadata: dict[str, Any] | None = None,
+    ) -> None:
+        self.buffer = buffer
+        self.length = buffer.length
+        self._mv = memoryview(buffer._data)
+        self.packet_id = next(_PACKET_IDS)
+        self.created_at = created_at
+        self.metadata = metadata if metadata is not None else {}
+        self._parse_layout()
+
+    def _parse_layout(self) -> None:
+        mv = self._mv
+        if self.length == 0:
+            raise PacketError("empty packet")
+        version = mv[0] >> 4
+        self.version = version
+        if version == 4:
+            if self.length < IPv4Header.HEADER_LEN:
+                raise PacketError(f"IPv4 header needs 20 bytes, got {self.length}")
+            self.net = V4View(self, 0)
+            proto = mv[9]
+            offset = IPv4Header.HEADER_LEN
+        elif version == 6:
+            if self.length < IPv6Header.HEADER_LEN:
+                raise PacketError(f"IPv6 header needs 40 bytes, got {self.length}")
+            self.net = V6View(self, 0)
+            proto = mv[6]
+            offset = IPv6Header.HEADER_LEN
+        else:
+            raise PacketError(f"unknown IP version {version}")
+        self.transport = None
+        # Mirror Packet.from_bytes exactly: a transport protocol with a
+        # truncated header is malformed, not "transport-less" (the wire
+        # and copy representations must reject the same inputs).
+        if proto == PROTO_UDP:
+            if self.length < offset + UDPHeader.HEADER_LEN:
+                raise PacketError(
+                    f"UDP header needs 8 bytes, got {self.length - offset}"
+                )
+            self.transport = UDPView(self, offset)
+            offset += UDPHeader.HEADER_LEN
+        elif proto == PROTO_TCP:
+            if self.length < offset + TCPHeader.HEADER_LEN:
+                raise PacketError(
+                    f"TCP header needs 20 bytes, got {self.length - offset}"
+                )
+            self.transport = TCPView(self, offset)
+            offset += TCPHeader.HEADER_LEN
+        self._payload_off = offset
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_wire(
+        cls,
+        data: bytes | bytearray | memoryview,
+        *,
+        pool: Any = None,
+        created_at: float = 0.0,
+        metadata: dict[str, Any] | None = None,
+    ) -> "WirePacket":
+        """Wrap wire bytes: one write into a pooled buffer (``pool`` may
+        be a :class:`~repro.osbase.buffers.BufferPool`, a
+        :class:`~repro.osbase.buffers.BufferManagementCF`, or None for a
+        standalone buffer), zero copies afterwards."""
+        _LEDGER.record_copy(len(data))
+        if pool is None:
+            buffer = Buffer.standalone(data)
+        else:
+            buffer = pool.acquire(len(data))
+            buffer.write(data)
+        return cls(buffer, created_at=created_at, metadata=metadata)
+
+    @classmethod
+    def from_packet(cls, packet: Packet, *, pool: Any = None) -> "WirePacket":
+        """Materialise *packet* once into wire format (the only copy the
+        zero-copy path pays), carrying over metadata and timestamps."""
+        size = packet.size_bytes
+        _LEDGER.record_copy(size)
+        if pool is None:
+            buffer = Buffer(None, size)
+            buffer.refcount = 1
+        else:
+            buffer = pool.acquire(size)
+        packet.write_into(buffer._data, 0)
+        buffer.length = size
+        return cls(
+            buffer,
+            created_at=packet.created_at,
+            metadata=dict(packet.metadata),
+        )
+
+    # -- Packet-compatible surface ---------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-wire size."""
+        return self.length
+
+    @property
+    def dscp(self) -> int:
+        """Diffserv code point (traffic_class >> 2 for v6)."""
+        if self.version == 4:
+            return self._mv[1] >> 2
+        return ((unpack_from("!I", self._mv, 0)[0] >> 20) & 0xFF) >> 2
+
+    @property
+    def payload(self) -> memoryview:
+        """Zero-copy view of the payload region."""
+        return self._mv[self._payload_off : self.length]
+
+    @payload.setter
+    def payload(self, data: bytes | bytearray | memoryview) -> None:
+        """Rewrite the payload (app services truncate/replace payloads,
+        e.g. :class:`~repro.appservices.media_filter.PayloadTruncator`).
+
+        In place when the new payload fits the private backing buffer;
+        a shared buffer (copy-on-write) or a growing payload moves the
+        packet to a private standalone buffer of the required size (one
+        counted copy).  Header length fields — and, for IPv4, the
+        checksum — are fixed up immediately: a wire packet's bytes are
+        always consistent, there is no later serialisation step to
+        repair them.
+        """
+        new_length = self._payload_off + len(data)
+        buffer = self.buffer
+        if buffer.refcount > 1 or new_length > buffer.capacity:
+            _LEDGER.record_copy(new_length)
+            private = Buffer(None, max(new_length, self.length))
+            private.refcount = 1
+            private._data[: self._payload_off] = self._mv[: self._payload_off]
+            self.buffer = private
+            self._mv = memoryview(private._data)
+            self._mv[self._payload_off : new_length] = data
+            buffer.release_ref()  # after the write: *data* may view it
+        else:
+            self._mv[self._payload_off : new_length] = data
+        self.length = new_length
+        self.buffer.length = new_length
+        self._refresh_lengths()
+
+    def _refresh_lengths(self) -> None:
+        """Re-sync header length fields (and the IPv4 checksum) with the
+        current wire length — the wire analogue of
+        :meth:`Packet._refresh_lengths`, called by app services after
+        payload surgery."""
+        net = self.net
+        if self.version == 4:
+            net.total_length = self.length
+            net.refresh_checksum()
+        else:
+            net.payload_length = self.length - IPv6Header.HEADER_LEN
+
+    def flow_key(self) -> tuple:
+        """Five-tuple (version, src, dst, sport, dport, proto) read by
+        ``unpack_from`` on the view — no header objects touched."""
+        mv = self._mv
+        if self.version == 4:
+            src, dst = unpack_from("!II", mv, 12)
+            proto = mv[9]
+        else:
+            src_hi, src_lo, dst_hi, dst_lo = unpack_from("!QQQQ", mv, 8)
+            src, dst = (src_hi << 64) | src_lo, (dst_hi << 64) | dst_lo
+            proto = mv[6]
+        transport = self.transport
+        if transport is not None:
+            sport, dport = unpack_from(
+                "!HH", mv, self._payload_off - transport.HEADER_LEN
+            )
+        else:
+            sport = dport = 0
+        return (self.version, src, dst, sport, dport, proto)
+
+    # -- byte-level operations --------------------------------------------------
+
+    def wire_view(self) -> memoryview:
+        """Zero-copy view of the whole packet."""
+        return self._mv[: self.length]
+
+    def to_bytes(self) -> bytes:
+        """Copy the wire bytes out (an explicit materialisation, counted)."""
+        _LEDGER.record_copy(self.length)
+        return bytes(self._mv[: self.length])
+
+    def to_packet(self) -> Packet:
+        """Parse back into a materialised :class:`Packet` (for equivalence
+        tests and components that need an object graph)."""
+        packet = Packet.from_bytes(self.to_bytes(), created_at=self.created_at)
+        packet.metadata = dict(self.metadata)
+        return packet
+
+    def clone_ref(self) -> "WirePacket":
+        """Zero-copy clone for fan-out: shares the backing buffer (one
+        refcount bump, ledger-recorded as a reference).  The clone carries
+        its own metadata dict; the first header write on either side
+        triggers copy-on-write unsharing, so clones may diverge safely.
+        """
+        _LEDGER.record_reference(self.length)
+        self.buffer.clone_ref()
+        clone = object.__new__(WirePacket)
+        clone.buffer = self.buffer
+        clone._mv = self._mv
+        clone.length = self.length
+        clone.packet_id = next(_PACKET_IDS)
+        clone.created_at = self.created_at
+        clone.metadata = dict(self.metadata)
+        clone._parse_layout()
+        return clone
+
+    def copy(self) -> "WirePacket":
+        """Deep copy into a fresh standalone buffer (counted as a copy)."""
+        _LEDGER.record_copy(self.length)
+        buffer = Buffer.standalone(self._mv[: self.length])
+        return WirePacket(
+            buffer, created_at=self.created_at, metadata=dict(self.metadata)
+        )
+
+    def _unshare(self) -> None:
+        """Copy-on-write barrier: before any in-place write, a packet whose
+        buffer is shared (refcount > 1) moves to a private standalone copy
+        so siblings on a multicast path never observe the mutation."""
+        buffer = self.buffer
+        if buffer.refcount > 1:
+            _LEDGER.record_copy(self.length)
+            private = Buffer.standalone(self._mv[: self.length])
+            buffer.release_ref()
+            self.buffer = private
+            self._mv = memoryview(private._data)
+
+    def release(self) -> None:
+        """Return the packet's buffer reference (to its pool, when pooled).
+
+        After release the views must not be touched; the buffer may be
+        recycled to carry another packet.
+        """
+        self._mv = memoryview(b"")
+        self.buffer.release_ref()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<WirePacket#{self.packet_id} v{self.version} {self.length}B "
+            f"refs={self.buffer.refcount}>"
+        )
+
+
+def to_wire(packet: Packet | WirePacket, *, pool: Any = None) -> WirePacket:
+    """Coerce onto the wire path: materialise a :class:`Packet` once, pass
+    a :class:`WirePacket` through untouched."""
+    if isinstance(packet, WirePacket):
+        return packet
+    return WirePacket.from_packet(packet, pool=pool)
+
+
+def wire_trace(packets: list, *, pool: Any = None) -> list:
+    """Materialise a whole trace onto the wire path (benchmark setup: one
+    counted copy per packet, before any timer starts)."""
+    return [to_wire(packet, pool=pool) for packet in packets]

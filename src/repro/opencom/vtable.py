@@ -47,6 +47,12 @@ a time, pulls are drawn one interposed call at a time (interceptors
 observe every produced item through ``CallContext.result``) — so the
 native batch method is never allowed to smuggle items past reflection.
 Removing the last interceptor restores native batch dispatch.
+
+This degradation rule is one of the two load-bearing dispatch invariants
+of the repo (the other — why ``pull_batch`` is a *discovered* convention
+rather than a declared interface method — lives with ``IPacketPull`` in
+:mod:`repro.router.interfaces`); both are summarised with the datapath
+walkthrough in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

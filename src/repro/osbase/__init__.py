@@ -9,7 +9,12 @@ from repro.osbase.buffers import (
     IBufferPool,
 )
 from repro.osbase.clock import ClockError, VirtualClock
-from repro.osbase.memory import Allocation, MemoryAllocator
+from repro.osbase.memory import (
+    DATAPATH_LEDGER,
+    Allocation,
+    CopyLedger,
+    MemoryAllocator,
+)
 from repro.osbase.nic import INic, Nic
 from repro.osbase.scheduler import (
     EdfScheduler,
@@ -23,11 +28,13 @@ from repro.osbase.threads import SimThread, ThreadError, WaitEvent
 from repro.osbase.timers import Timer, TimerWheel
 
 __all__ = [
+    "DATAPATH_LEDGER",
     "Allocation",
     "Buffer",
     "BufferManagementCF",
     "BufferPool",
     "ClockError",
+    "CopyLedger",
     "EdfScheduler",
     "IBufferPool",
     "INic",

@@ -41,18 +41,32 @@ class Buffer:
     Supports zero-copy views: :meth:`view` returns a memoryview over the
     valid region; :meth:`clone_ref` bumps the refcount for shared
     ownership along a multicast path.
+
+    A buffer may also be *standalone* (``pool=None``): same refcounting
+    and view semantics, but releasing the last reference simply abandons
+    it to the garbage collector instead of returning it to a pool.  The
+    zero-copy packet path (:mod:`repro.netsim.wire`) uses standalone
+    buffers when no pool is plumbed in, and for copy-on-write unsharing.
     """
 
     __slots__ = ("pool", "capacity", "length", "_data", "refcount")
 
-    def __init__(self, pool: "BufferPool", capacity: int) -> None:
+    def __init__(self, pool: "BufferPool | None", capacity: int) -> None:
         self.pool = pool
         self.capacity = capacity
         self.length = 0
         self._data = bytearray(capacity)
         self.refcount = 0
 
-    def write(self, payload: bytes) -> None:
+    @classmethod
+    def standalone(cls, payload: bytes | bytearray | memoryview) -> "Buffer":
+        """A pool-less buffer holding *payload* (refcount 1)."""
+        buffer = cls(None, len(payload))
+        buffer.refcount = 1
+        buffer.write(payload)
+        return buffer
+
+    def write(self, payload: bytes | bytearray | memoryview) -> None:
         """Fill the buffer with *payload* (must fit the capacity)."""
         if len(payload) > self.capacity:
             raise ResourceError(
@@ -75,6 +89,17 @@ class Buffer:
             raise ResourceError("cannot clone a released buffer")
         self.refcount += 1
         return self
+
+    def release_ref(self) -> None:
+        """Drop one reference, routing through the owning pool when there
+        is one (so pool accounting stays exact) and decrementing in place
+        for standalone buffers."""
+        if self.pool is not None:
+            self.pool.release(self)
+            return
+        if self.refcount <= 0:
+            raise ResourceError("buffer already fully released")
+        self.refcount -= 1
 
 
 class BufferPool(Component):

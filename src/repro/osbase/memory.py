@@ -5,6 +5,15 @@ accounting and fragmentation statistics.  Nothing here touches real memory
 — the allocator manages *address ranges* so that embedded-profile
 experiments (footprint, OOM behaviour, fragmentation under component
 churn) are deterministic and inspectable.
+
+This module also hosts the :class:`CopyLedger`: the pool-accounting side
+of the zero-copy datapath.  Every byte-materialising operation on the
+packet layer (header ``_pack``, ``Packet.to_bytes``, ``WirePacket.copy``)
+records a *copy*, and every shared-ownership hand-off
+(``WirePacket.clone_ref`` over a pooled buffer) records a *reference*, so
+experiments can report copies-vs-references per forwarded packet
+(``analysis.footprint.measure_byte_movement``) exactly as they report
+pool occupancy.
 """
 
 from __future__ import annotations
@@ -12,6 +21,61 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.opencom.errors import ResourceError
+
+
+class CopyLedger:
+    """Datapath byte-movement accounting: copies vs shared references.
+
+    A *copy* is any operation that materialises packet bytes into fresh
+    storage (header serialisation, payload duplication, copy-on-write
+    unsharing).  A *reference* is a hand-off that bumps a refcount instead
+    of moving bytes.  The ledger is a pair of event/byte counter pairs —
+    cheap enough to bump from the per-packet hot path being measured.
+    """
+
+    __slots__ = ("copies", "copy_bytes", "references", "reference_bytes")
+
+    def __init__(self) -> None:
+        self.copies = 0
+        self.copy_bytes = 0
+        self.references = 0
+        self.reference_bytes = 0
+
+    def record_copy(self, nbytes: int) -> None:
+        """Count one byte-materialising operation of *nbytes*."""
+        self.copies += 1
+        self.copy_bytes += nbytes
+
+    def record_reference(self, nbytes: int) -> None:
+        """Count one zero-copy hand-off covering *nbytes*."""
+        self.references += 1
+        self.reference_bytes += nbytes
+
+    def snapshot(self) -> dict[str, int]:
+        """Current counter values as a plain dict."""
+        return {
+            "copies": self.copies,
+            "copy_bytes": self.copy_bytes,
+            "references": self.references,
+            "reference_bytes": self.reference_bytes,
+        }
+
+    def delta(self, since: dict[str, int]) -> dict[str, int]:
+        """Counter movement since a previous :meth:`snapshot`."""
+        now = self.snapshot()
+        return {key: now[key] - since.get(key, 0) for key in now}
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.copies = 0
+        self.copy_bytes = 0
+        self.references = 0
+        self.reference_bytes = 0
+
+
+#: Process-wide ledger the packet layer reports into.  Benchmarks snapshot
+#: and delta it around a timed region; tests may ``reset()`` it.
+DATAPATH_LEDGER = CopyLedger()
 
 
 @dataclass

@@ -27,6 +27,21 @@ from repro.opencom.errors import ReceptacleError
 from repro.router.interfaces import IPacketPush
 
 
+def release_dropped(packet) -> None:
+    """Return a dropped packet's pooled buffer, if it has one.
+
+    Push transfers ownership down the datapath, so whichever component
+    drops a packet is the last holder of its buffer reference.  Wire
+    packets (:class:`repro.netsim.wire.WirePacket`) expose ``release()``
+    for exactly this hand-back — without it a pooled buffer whose packet
+    is dropped never re-enters its pool.  Materialised packets are a
+    no-op (their storage is garbage-collected).
+    """
+    release = getattr(packet, "release", None)
+    if release is not None:
+        release()
+
+
 def bulk_dequeue(queue: deque, max_n: int) -> list:
     """Pop up to *max_n* items off the head of *queue*, in order.
 
@@ -123,12 +138,14 @@ class PushComponent(PacketComponent):
                 self.count("tx")
                 return True
             self.count("drop:no-route")
+            release_dropped(packet)
             return False
         try:
             port = out.port(connection)
         except ReceptacleError:
             self.count("drop:no-route")
             self.count(f"drop:no-route:{connection}")
+            release_dropped(packet)
             return False
         port.push(packet)
         self.count("tx")
@@ -152,12 +169,16 @@ class PushComponent(PacketComponent):
                 self.count("tx", len(packets))
                 return True
             self.count("drop:no-route", len(packets))
+            for packet in packets:
+                release_dropped(packet)
             return False
         try:
             port = out.port(connection)
         except ReceptacleError:
             self.count("drop:no-route", len(packets))
             self.count(f"drop:no-route:{connection}", len(packets))
+            for packet in packets:
+                release_dropped(packet)
             return False
         port.push_batch(packets)
         self.count("tx", len(packets))

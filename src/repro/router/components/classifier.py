@@ -4,6 +4,12 @@ The canonical IClassifier plug-in of the Router CF: packets entering
 ``in0`` are matched against the installed :class:`FilterSpec` table and
 emitted on the *named outgoing connection* the winning filter designates —
 the exact semantics rule 2 of the CF binds IClassifier components to.
+
+Key extraction is byte-path agnostic: filter matching reads match fields
+through the packet's header objects, so on wire-resident packets
+(:mod:`repro.netsim.wire`) every ``src``/``dst``/``proto``/port read is a
+``struct.unpack_from`` on the packet's memoryview — no header is
+materialised to classify.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from typing import Any
 
 from repro.netsim.packet import Packet
 from repro.opencom.component import Provided
-from repro.router.components.base import PushComponent
+from repro.router.components.base import PushComponent, release_dropped
 from repro.router.filters import FilterSpec, FilterTable
 from repro.router.interfaces import IClassifier
 
@@ -63,6 +69,7 @@ class Classifier(PushComponent):
             self.emit(packet, self.default_output)
             return
         self.count("drop:unclassified")
+        release_dropped(packet)
 
     def push_batch(self, packets: list[Packet]) -> None:
         """Classify per packet, emit one grouped batch per output class.
@@ -87,6 +94,7 @@ class Classifier(PushComponent):
             output = spec.output if spec is not None else default
             if output is None:
                 unclassified += 1
+                release_dropped(packet)
                 continue
             packet.metadata["class"] = output
             group = groups.get(output)

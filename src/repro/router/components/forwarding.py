@@ -14,7 +14,11 @@ Two LPM implementations with the same API:
 :class:`Forwarder` resolves each packet's next hop over the stride-8 table
 and emits it on the outgoing connection named after the next hop;
 :meth:`Forwarder.push_batch` groups a batch per hop so each downstream
-connection is crossed once per batch.
+connection is crossed once per batch.  The lookup key (``packet.net.dst``)
+is byte-path agnostic: on wire-resident packets it is a single
+``struct.unpack_from`` on the packet's memoryview
+(:class:`repro.netsim.wire.V4View.dst`), so route resolution never
+materialises a header.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.netsim.packet import Packet
-from repro.router.components.base import PushComponent
+from repro.router.components.base import PushComponent, release_dropped
 from repro.router.filters import FilterError, parse_prefix
 
 
@@ -266,6 +270,7 @@ class Forwarder(PushComponent):
             next_hop = self.default_route
         if next_hop is None:
             self.count("drop:no-route-entry")
+            release_dropped(packet)
             return
         packet.metadata["next_hop"] = next_hop
         self.count(f"hop:{next_hop}")
@@ -284,6 +289,7 @@ class Forwarder(PushComponent):
                 next_hop = default
             if next_hop is None:
                 unroutable += 1
+                release_dropped(packet)
                 continue
             packet.metadata["next_hop"] = next_hop
             group = groups.get(next_hop)

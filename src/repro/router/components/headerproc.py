@@ -7,12 +7,19 @@
 - :class:`IPv4HeaderProcessor` — validation + TTL decrement + checksum
   refresh (drops TTL-expired packets);
 - :class:`IPv6HeaderProcessor` — hop-limit handling for the v6 path.
+
+Byte handling is polymorphic through the header objects: on materialised
+:class:`~repro.netsim.packet.Packet` headers, validation packs 20 bytes
+and ageing re-sums the header; on wire-resident packets
+(:mod:`repro.netsim.wire`) the same calls checksum the memoryview in
+place and patch TTL changes with RFC 1624 incremental updates — the
+components themselves are byte-path agnostic.
 """
 
 from __future__ import annotations
 
 from repro.netsim.packet import IPv4Header, IPv6Header, Packet
-from repro.router.components.base import PushComponent
+from repro.router.components.base import PushComponent, release_dropped
 
 
 class ProtocolRecognizer(PushComponent):
@@ -35,6 +42,7 @@ class ProtocolRecognizer(PushComponent):
             self.emit(packet, self.OUT_V6)
         else:
             self.count("drop:unknown-version")
+            release_dropped(packet)
 
     def push_batch(self, packets: list[Packet]) -> None:
         """Partition the batch by IP version and emit each family once."""
@@ -50,6 +58,7 @@ class ProtocolRecognizer(PushComponent):
                 v6.append(packet)
             else:
                 unknown += 1
+                release_dropped(packet)
         if v4:
             self.count("v4", len(v4))
             self.emit_batch(v4, self.OUT_V4)
@@ -72,6 +81,7 @@ class ChecksumValidator(PushComponent):
         """Verify and forward or drop."""
         if isinstance(packet.net, IPv4Header) and not packet.net.checksum_ok():
             self.count("drop:bad-checksum")
+            release_dropped(packet)
             return
         self.count("ok")
         self.emit(packet)
@@ -85,6 +95,7 @@ class ChecksumValidator(PushComponent):
             net = packet.net
             if isinstance(net, IPv4Header) and not net.checksum_ok():
                 bad += 1
+                release_dropped(packet)
                 continue
             survivors.append(packet)
         if bad:
@@ -110,15 +121,19 @@ class IPv4HeaderProcessor(PushComponent):
         net = packet.net
         if not isinstance(net, IPv4Header):
             self.count("drop:not-ipv4")
+            release_dropped(packet)
             return
         if self.validate_checksum and not net.checksum_ok():
             self.count("drop:bad-checksum")
+            release_dropped(packet)
             return
-        if net.ttl <= 1:
+        # decrement_ttl is polymorphic byte handling: full checksum
+        # recomputation on materialised headers, in-place RFC 1624
+        # incremental update on wire-resident views.
+        if not net.decrement_ttl():
             self.count("drop:ttl-expired")
+            release_dropped(packet)
             return
-        net.ttl -= 1
-        net.refresh_checksum()
         self.count("forwarded")
         self.emit(packet)
 
@@ -132,15 +147,16 @@ class IPv4HeaderProcessor(PushComponent):
             net = packet.net
             if not isinstance(net, IPv4Header):
                 counters["drop:not-ipv4"] += 1
+                release_dropped(packet)
                 continue
             if validate and not net.checksum_ok():
                 counters["drop:bad-checksum"] += 1
+                release_dropped(packet)
                 continue
-            if net.ttl <= 1:
+            if not net.decrement_ttl():
                 counters["drop:ttl-expired"] += 1
+                release_dropped(packet)
                 continue
-            net.ttl -= 1
-            net.refresh_checksum()
             survivors.append(packet)
         if survivors:
             self.count("forwarded", len(survivors))
@@ -155,11 +171,12 @@ class IPv6HeaderProcessor(PushComponent):
         net = packet.net
         if not isinstance(net, IPv6Header):
             self.count("drop:not-ipv6")
+            release_dropped(packet)
             return
-        if net.hop_limit <= 1:
+        if not net.decrement_hop_limit():
             self.count("drop:hop-limit-expired")
+            release_dropped(packet)
             return
-        net.hop_limit -= 1
         self.count("forwarded")
         self.emit(packet)
 
@@ -172,11 +189,12 @@ class IPv6HeaderProcessor(PushComponent):
             net = packet.net
             if not isinstance(net, IPv6Header):
                 counters["drop:not-ipv6"] += 1
+                release_dropped(packet)
                 continue
-            if net.hop_limit <= 1:
+            if not net.decrement_hop_limit():
                 counters["drop:hop-limit-expired"] += 1
+                release_dropped(packet)
                 continue
-            net.hop_limit -= 1
             survivors.append(packet)
         if survivors:
             self.count("forwarded", len(survivors))

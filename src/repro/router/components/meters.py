@@ -12,7 +12,12 @@ from collections import deque
 from repro.netsim.packet import Packet
 from repro.opencom.component import Provided
 from repro.osbase.clock import VirtualClock
-from repro.router.components.base import PacketComponent, PushComponent, bulk_dequeue
+from repro.router.components.base import (
+    PacketComponent,
+    PushComponent,
+    bulk_dequeue,
+    release_dropped,
+)
 from repro.router.interfaces import IPacketPull, IPacketSink
 
 
@@ -108,12 +113,15 @@ class DropSink(PacketComponent):
     PROVIDES = (Provided("in0", IPacketSink),)
 
     def push(self, packet: Packet) -> None:
-        """Discard one packet."""
+        """Discard one packet (returning any pooled wire buffer)."""
         self.count("rx")
+        release_dropped(packet)
 
     def push_batch(self, packets: list[Packet]) -> None:
         """Discard a whole batch (one counter bump)."""
         self.count("rx", len(packets))
+        for packet in packets:
+            release_dropped(packet)
 
     def collected_count(self) -> int:
         """Packets discarded so far."""

@@ -10,7 +10,7 @@ hot-swapped without dropping established flows.
 from __future__ import annotations
 
 from repro.netsim.packet import IPv4Header, Packet, ipv4
-from repro.router.components.base import PushComponent
+from repro.router.components.base import PushComponent, release_dropped
 
 
 class SourceNat(PushComponent):
@@ -45,6 +45,7 @@ class SourceNat(PushComponent):
         transport = packet.transport
         if not isinstance(net, IPv4Header) or transport is None:
             self.count("drop:not-natable")
+            release_dropped(packet)
             return
         key = (net.src, transport.sport)
         translated = self._forward.get(key)
@@ -52,12 +53,15 @@ class SourceNat(PushComponent):
             translated = self._allocate_port()
             if translated is None:
                 self.count("drop:port-exhausted")
+                release_dropped(packet)
                 return
             self._forward[key] = translated
             self._reverse[translated] = key
-        net.src = self.public_address
+        # rewrite_src refreshes the checksum itself: a full re-sum on
+        # materialised headers, two RFC 1624 incremental updates in place
+        # on wire-resident views (the sport lives outside the IP checksum).
+        net.rewrite_src(self.public_address)
         transport.sport = translated
-        net.refresh_checksum()
         self.count("translated-out")
         self.emit(packet, self.OUT_WAN)
 
@@ -68,13 +72,16 @@ class SourceNat(PushComponent):
         transport = packet.transport
         if not isinstance(net, IPv4Header) or transport is None:
             self.count("drop:not-natable")
+            release_dropped(packet)
             return
         original = self._reverse.get(transport.dport)
         if original is None:
             self.count("drop:no-translation")
+            release_dropped(packet)
             return
-        net.dst, transport.dport = original
-        net.refresh_checksum()
+        original_dst, original_dport = original
+        net.rewrite_dst(original_dst)
+        transport.dport = original_dport
         self.count("translated-in")
         self.emit(packet, self.OUT_LAN)
 

@@ -14,7 +14,11 @@ from collections.abc import Callable
 
 from repro.netsim.packet import Packet
 from repro.osbase.nic import Nic
-from repro.router.components.base import PacketComponent, PushComponent
+from repro.router.components.base import (
+    PacketComponent,
+    PushComponent,
+    release_dropped,
+)
 from repro.opencom.component import Required
 from repro.router.interfaces import IPacketPush
 
@@ -57,6 +61,7 @@ class NicIngress(PacketComponent):
             self.count("tx")
         else:
             self.count("drop:unplumbed")
+            release_dropped(packet)
 
     def poll(self, budget: int = 64) -> int:
         """Polled mode: drain up to *budget* frames from the RX ring.
@@ -76,6 +81,8 @@ class NicIngress(PacketComponent):
                 self.count("tx", len(frames))
             else:
                 self.count("drop:unplumbed", len(frames))
+                for frame in frames:
+                    release_dropped(frame)
         return drained
 
 
@@ -94,8 +101,10 @@ class NicEgress(PushComponent):
         """Transmit; failures count ``drop:tx-failed``."""
         if self._transmit is None:
             self.count("drop:unplumbed")
+            release_dropped(packet)
             return
         if self._transmit(packet):
             self.count("tx")
         else:
             self.count("drop:tx-failed")
+            release_dropped(packet)

@@ -13,7 +13,11 @@ from collections import deque
 
 from repro.netsim.packet import Packet
 from repro.opencom.component import Provided
-from repro.router.components.base import PacketComponent, bulk_dequeue
+from repro.router.components.base import (
+    PacketComponent,
+    bulk_dequeue,
+    release_dropped,
+)
 from repro.router.interfaces import IPacketPull, IPacketPush
 
 
@@ -39,6 +43,7 @@ class FifoQueue(PacketComponent):
         self.count("rx")
         if len(self._queue) >= self.capacity:
             self.count("drop:overflow")
+            release_dropped(packet)
             return
         self._queue.append(packet)
 
@@ -55,8 +60,12 @@ class FifoQueue(PacketComponent):
         if room > 0:
             queue.extend(packets[:room])
             self.count("drop:overflow", n - room)
+            overflowed = packets[room:]
         else:
             self.count("drop:overflow", n)
+            overflowed = packets
+        for packet in overflowed:
+            release_dropped(packet)
 
     def pull(self) -> Packet | None:
         """Dequeue the head packet (None when empty)."""
@@ -131,9 +140,11 @@ class RedQueue(PacketComponent):
         self._avg = (1 - self.weight) * self._avg + self.weight * len(self._queue)
         if len(self._queue) >= self.capacity:
             self.count("drop:overflow")
+            release_dropped(packet)
             return
         if self._avg >= self.max_threshold:
             self.count("drop:red-forced")
+            release_dropped(packet)
             return
         if self._avg > self.min_threshold:
             fraction = (self._avg - self.min_threshold) / (
@@ -141,6 +152,7 @@ class RedQueue(PacketComponent):
             )
             if self._rng.random() < fraction * self.max_drop_probability:
                 self.count("drop:red-early")
+                release_dropped(packet)
                 return
         self._queue.append(packet)
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from repro.netsim.packet import Packet
 from repro.opencom.component import Provided, Required
-from repro.router.components.base import PacketComponent
+from repro.router.components.base import PacketComponent, release_dropped
 from repro.router.interfaces import IPacketPull, IPacketPush
 
 
@@ -87,6 +87,8 @@ class LinkSchedulerBase(PacketComponent):
                 out.push_batch(batch)
             else:
                 self.count("drop:no-output", len(batch))
+                for packet in batch:
+                    release_dropped(packet)
         return len(batch)
 
     def input_names(self) -> list[str]:

@@ -16,7 +16,7 @@ from collections import deque
 
 from repro.netsim.packet import IPv4Header, Packet
 from repro.osbase.clock import VirtualClock
-from repro.router.components.base import PushComponent
+from repro.router.components.base import PushComponent, release_dropped
 
 
 class _TokenBucket:
@@ -85,6 +85,7 @@ class TokenBucketShaper(PushComponent):
         would stall the backlog head forever — they are dropped."""
         if packet.size_bytes > self.bucket.burst:
             self.count("drop:oversize-burst")
+            release_dropped(packet)
             return
         if not self._backlog and self.bucket.try_consume(packet.size_bytes):
             self.count("conforming")
@@ -92,6 +93,7 @@ class TokenBucketShaper(PushComponent):
             return
         if len(self._backlog) >= self.backlog_capacity:
             self.count("drop:shaper-overflow")
+            release_dropped(packet)
             return
         self.count("shaped")
         self._backlog.append(packet)
@@ -158,3 +160,4 @@ class Policer(PushComponent):
             self.emit(packet)
             return
         self.count("drop:police")
+        release_dropped(packet)

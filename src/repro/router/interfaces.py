@@ -42,6 +42,11 @@ class IPacketPull(Interface):
     ``pull_batch`` must be observationally equivalent to calling ``pull``
     until *max_n* packets or the first ``None``: same packet order, same
     counter totals, same residual queue depth.
+
+    This is one of the two load-bearing dispatch invariants of the repo
+    (the other — batch dispatch degrading to interposed per-item calls
+    under interception — lives in :mod:`repro.opencom.vtable`); both are
+    summarised with the datapath walkthrough in ``docs/architecture.md``.
     """
 
     def pull(self):

@@ -39,6 +39,26 @@ class TestChecksum:
     def test_odd_length_padded(self):
         assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
 
+    def test_odd_length_matches_explicit_pad_across_sizes(self):
+        # The trailing odd byte is folded in directly (no reallocation);
+        # it must equal the RFC's conceptual zero-padded computation.
+        for n in (1, 3, 5, 21, 99):
+            data = bytes((7 * i + 3) % 256 for i in range(n))
+            assert internet_checksum(data) == internet_checksum(data + b"\x00"), n
+
+    def test_accepts_memoryview_and_bytearray(self):
+        data = bytes(range(40))
+        for odd in (data, data + b"\xfe"):
+            expected = internet_checksum(odd)
+            assert internet_checksum(bytearray(odd)) == expected
+            assert internet_checksum(memoryview(bytearray(odd))) == expected
+
+    def test_memoryview_slice_of_larger_buffer(self):
+        # The zero-copy path checksums header views that sit mid-buffer.
+        arena = bytearray(b"\xaa" * 8 + bytes(range(20)) + b"\xbb" * 8)
+        view = memoryview(arena)[8:28]
+        assert internet_checksum(view) == internet_checksum(bytes(range(20)))
+
     def test_header_checksum_validates(self):
         header = IPv4Header(src=ipv4("10.0.0.1"), dst=ipv4("10.0.0.2"))
         header.refresh_checksum()

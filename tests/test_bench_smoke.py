@@ -1,13 +1,19 @@
 """Tier-1 wiring of the benchmark smoke mode.
 
-Runs ``benchmarks/run_all.py --smoke`` — the batching data-path
-benchmarks (C11/C12) on a tiny trace with paper-*ordering* assertions
-only — so a dispatch-layer perf regression that flips the paper's
-ordering fails the ordinary test run, without the timing noise of the
-magnitude claims.  The full-scale trajectory stays in the benchmarks
-themselves (``run_all.py`` without flags → ``BENCH_results.json``).
+Runs ``benchmarks/run_all.py --smoke`` — the batching and zero-copy
+data-path benchmarks (C11/C12/C13) on a tiny trace with the
+paper-*ordering* (and, for C13, the deterministic copies-per-packet)
+assertions only — so a dispatch- or byte-path regression that flips the
+paper's ordering fails the ordinary test run, without the timing noise
+of the magnitude claims.  The full-scale trajectory stays in the
+benchmarks themselves (``run_all.py`` without flags →
+``BENCH_results.json``).
+
+Also covers the harness's own gate: every ``bench_*.py`` must carry the
+``bench`` pytest marker or ``run_all.py`` refuses to run.
 """
 
+import importlib.util
 import json
 import subprocess
 import sys
@@ -18,6 +24,15 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 pytestmark = pytest.mark.bench
+
+
+def _load_run_all():
+    spec = importlib.util.spec_from_file_location(
+        "run_all", REPO_ROOT / "benchmarks" / "run_all.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 def test_run_all_smoke_orders_hold(tmp_path):
@@ -39,8 +54,30 @@ def test_run_all_smoke_orders_hold(tmp_path):
     payload = json.loads(out.read_text())
     assert payload["smoke"] is True
     names = set(payload["benchmarks"])
-    assert {"bench_c11_batching", "bench_c12_pull_batching"} <= names
+    assert {
+        "bench_c11_batching",
+        "bench_c12_pull_batching",
+        "bench_c13_zerocopy",
+    } <= names
     for name, outcome in payload["benchmarks"].items():
         assert outcome["status"] == "passed", (name, outcome["tail"])
         assert outcome["tables"], name  # the report tables were captured
     assert payload["summary"]["failed"] == 0
+
+
+def test_every_benchmark_carries_the_bench_marker():
+    run_all = _load_run_all()
+    benches = sorted((REPO_ROOT / "benchmarks").glob("bench_*.py"))
+    assert benches, "no benchmark files found"
+    assert run_all.missing_bench_markers(benches) == []
+
+
+def test_run_all_fails_loudly_on_unmarked_benchmark(tmp_path):
+    run_all = _load_run_all()
+    marked = tmp_path / "bench_marked.py"
+    marked.write_text("import pytest\npytestmark = pytest.mark.bench\n")
+    unmarked = tmp_path / "bench_unmarked.py"
+    unmarked.write_text("def test_sneaky():\n    pass\n")
+    assert run_all.missing_bench_markers([marked, unmarked]) == [
+        "bench_unmarked.py"
+    ]

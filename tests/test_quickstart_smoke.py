@@ -1,0 +1,36 @@
+"""The README's first command can never rot: run examples/quickstart.py.
+
+``python examples/quickstart.py`` is the documented entry point into the
+repository (README "Quick start"), so tier-1 executes it exactly as a
+reader would and checks the walkthrough's observable milestones, not just
+the exit code.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_quickstart_example_runs():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / "quickstart.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout[-2000:] + proc.stderr[-2000:]
+    # The five steps each print a milestone; spot-check one per phase.
+    assert "fast sink:" in proc.stdout
+    assert "architecture:" in proc.stdout
+    assert "intercepted" in proc.stdout
+    assert "after hot swap:" in proc.stdout
