@@ -42,6 +42,10 @@ SMOKE_BENCHES = (
     "bench_c11_batching.py",
     "bench_c12_pull_batching.py",
     "bench_c13_zerocopy.py",
+    # C14's headline claims (zero steady-state allocations, zero net pool
+    # occupancy drift, full free-list recovery) are exact event counts,
+    # so they gate tier-1 at full strength even on the smoke trace.
+    "bench_c14_steady_state.py",
 )
 
 #: Every benchmark file must opt into the ``bench`` pytest marker

@@ -52,6 +52,7 @@ COST_TABLE: dict[str, tuple[int, int]] = {
     "SourceNat": (1088, 2048),
     "NicIngress": (448, 96),
     "NicEgress": (448, 96),
+    "TransmitAdapter": (512, 96),
     "CollectorSink": (256, 512),
     "DropSink": (192, 32),
     "PacketCounterTap": (320, 64),
@@ -134,15 +135,21 @@ class ByteMovementReport:
     Produced from the :class:`~repro.osbase.memory.CopyLedger` the packet
     layer reports into: *copies* are byte-materialising operations (header
     packs, payload duplication, copy-on-write unsharing), *references* are
-    zero-copy hand-offs (``WirePacket.clone_ref`` refcount bumps).  The
-    C13 experiment divides the movement by forwarded packets to get the
-    copies-per-packet figure the zero-copy path is judged on.
+    zero-copy hand-offs (``WirePacket.clone_ref`` refcount bumps), and
+    *allocations* are fresh backing-store carves (new
+    :class:`~repro.osbase.buffers.Buffer` instances, as opposed to pool
+    recycling).  The C13 experiment divides the movement by forwarded
+    packets to get the copies-per-packet figure the zero-copy path is
+    judged on; the C14 experiment asserts the allocation count stays at
+    zero once the pooled lifecycle is warm.
     """
 
     copies: int
     copy_bytes: int
     references: int
     reference_bytes: int
+    allocations: int = 0
+    allocation_bytes: int = 0
 
     @property
     def events(self) -> int:
@@ -163,6 +170,7 @@ class ByteMovementReport:
             "copies_per_packet": self.copies / n,
             "copy_bytes_per_packet": self.copy_bytes / n,
             "references_per_packet": self.references / n,
+            "allocations_per_packet": self.allocations / n,
         }
 
 

@@ -99,6 +99,7 @@ class ExecutionEnvironment(PushComponent):
             self.executions.append(result)
         if result.status != "ok":
             self.count("drop:program-error")
+            release_dropped(packet)
             return
         self.count("executed")
         self._apply_actions(packet, result, policy.may_broadcast)

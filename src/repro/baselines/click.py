@@ -273,19 +273,32 @@ class ClickScheduler(ClickElement):
 
 
 class ClickSink(ClickElement):
-    """Terminal element (Discard / ToDevice stand-in)."""
+    """Terminal element (Discard / ToDevice stand-in).
 
-    def __init__(self, name: str) -> None:
+    With ``recycle=True`` the sink counts each delivery but releases its
+    pooled buffer immediately (ToDevice semantics: the frame left the
+    machine) instead of retaining the packet.
+    """
+
+    def __init__(self, name: str, recycle: bool = False) -> None:
         super().__init__(name)
+        self.recycle = recycle
         self.packets: list[Packet] = []
 
     def push(self, packet: Packet) -> None:
         self.count("rx")
-        self.packets.append(packet)
+        if self.recycle:
+            release_dropped(packet)
+        else:
+            self.packets.append(packet)
 
     def push_batch(self, packets: list[Packet]) -> None:
         self.count("rx", len(packets))
-        self.packets.extend(packets)
+        if self.recycle:
+            for packet in packets:
+                release_dropped(packet)
+        else:
+            self.packets.extend(packets)
 
 
 class ClickRouter:
@@ -392,6 +405,7 @@ def standard_click_config(
     queue_capacity: int = 128,
     classes: tuple[str, ...] = ("expedited", "best-effort"),
     class_filters: list[str] | None = None,
+    recycle_sinks: bool = False,
 ) -> dict[str, Any]:
     """The Click equivalent of the Figure-3 data path: check -> classify ->
     per-class queues -> priority scheduler -> lookup -> per-hop sinks."""
@@ -408,7 +422,7 @@ def standard_click_config(
         outputs["classify"][klass] = f"q-{klass}"
         scheduler_queues["sched"][klass] = f"q-{klass}"
     for hop in sorted(set(routes.values())):
-        elements[f"sink-{hop}"] = ("sink", {})
+        elements[f"sink-{hop}"] = ("sink", {"recycle": recycle_sinks})
         outputs["lookup"][hop] = f"sink-{hop}"
     config = {
         "elements": elements,

@@ -27,7 +27,13 @@ class MonolithicRouter:
         *,
         queue_capacity: int = 128,
         expedited_filters: list[str] | None = None,
+        recycle_delivered: bool = False,
     ) -> None:
+        #: Steady-state egress mode: deliveries are counted but their
+        #: pooled buffers are released immediately instead of being
+        #: retained in ``delivered`` (the baseline analogue of a
+        #: recycling terminal sink).
+        self.recycle_delivered = recycle_delivered
         self.table = Stride8LpmTable()
         self.table.load(routes)
         self.filters = FilterTable()
@@ -128,6 +134,7 @@ class MonolithicRouter:
         serviced = 0
         counters = self.counters
         delivered = self.delivered
+        recycle = self.recycle_delivered
         lookup = self.table.lookup_cached
         for queue in (self._expedited, self._best_effort):
             n = min(budget - serviced, len(queue))
@@ -141,6 +148,9 @@ class MonolithicRouter:
                 hop = lookup(packet.net.dst, version=packet.version)
                 if hop is None:
                     counters["drop:no-route"] += 1
+                    release_dropped(packet)
+                elif recycle:
+                    counters["tx"] += 1
                     release_dropped(packet)
                 else:
                     delivered.setdefault(hop, []).append(packet)

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 from repro.netsim.engine import Engine
 from repro.netsim.packet import Packet
+from repro.osbase.buffers import release_dropped
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.node import Node
@@ -54,9 +55,15 @@ class _Direction:
         self.stats = LinkStats()
 
     def send(self, packet: Packet, deliver) -> bool:
-        """Serialise and propagate one packet; returns False when dropped."""
+        """Serialise and propagate one packet; returns False when dropped.
+
+        The call consumes the packet either way: a backlog drop or a loss
+        releases any pooled wire buffer here (the sender handed ownership
+        over), successful delivery passes ownership to the receiver.
+        """
         if self.in_flight >= self.max_backlog:
             self.stats.dropped_backlog += 1
+            release_dropped(packet)
             return False
         now = self.engine.now
         start = max(now, self.busy_until)
@@ -66,6 +73,7 @@ class _Direction:
         self.stats.bytes_sent += packet.size_bytes
         if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
             self.stats.lost += 1
+            release_dropped(packet)
             return True  # the sender cannot tell a lost packet was lost
         arrival = self.busy_until + self.latency_s
         self.in_flight += 1

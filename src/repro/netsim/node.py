@@ -17,6 +17,7 @@ from repro.netsim.link import Link
 from repro.netsim.packet import IPv4Header, Packet, format_ipv4, ipv4
 from repro.opencom.capsule import Capsule
 from repro.opencom.errors import OpenComError
+from repro.osbase.buffers import release_dropped
 from repro.osbase.nic import Nic
 
 PacketHandler = Callable[[Packet, str], None]
@@ -49,6 +50,7 @@ class Node:
             "delivered_local": 0,
             "forwarded": 0,
             "no_handler_drops": 0,
+            "delivery_drops": 0,
             "sent": 0,
             "send_failures": 0,
         }
@@ -108,8 +110,19 @@ class Node:
         self._control_handlers.pop(protocol, None)
 
     def deliver(self, port: str, packet: Packet) -> None:
-        """Link side: a packet arrives at *port* (goes through the NIC)."""
-        self.nic(port).receive_frame(packet)
+        """Link side: a packet arrives at *port* (goes through the NIC).
+
+        A refused frame is dropped *here*: the NIC counts and releases
+        its own drops, but a backpressure refusal leaves the frame
+        unconsumed, and a node has no retry path — so the node is the
+        last holder and hands the buffer back.
+        """
+        nic = self.nic(port)
+        refused_before = nic.counters["rx_backpressure"]
+        if not nic.receive_frame(packet):
+            self.counters["delivery_drops"] += 1
+            if nic.counters["rx_backpressure"] > refused_before:
+                release_dropped(packet)
 
     def _ingress(self, packet: Packet, port: str) -> None:
         packet.metadata["ingress_port"] = port
@@ -129,6 +142,7 @@ class Node:
             self._packet_handler(packet, port)
             return
         self.counters["no_handler_drops"] += 1
+        release_dropped(packet)
 
     # -- egress ----------------------------------------------------------------------
 

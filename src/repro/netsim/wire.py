@@ -534,31 +534,83 @@ class WirePacket:
         be a :class:`~repro.osbase.buffers.BufferPool`, a
         :class:`~repro.osbase.buffers.BufferManagementCF`, or None for a
         standalone buffer), zero copies afterwards."""
-        _LEDGER.record_copy(len(data))
-        if pool is None:
-            buffer = Buffer.standalone(data)
-        else:
-            buffer = pool.acquire(len(data))
-            buffer.write(data)
-        return cls(buffer, created_at=created_at, metadata=metadata)
+        packet = cls.ingest(data, pool=pool, created_at=created_at, metadata=metadata)
+        if packet is None:
+            raise PacketError(
+                "buffer pool exhausted under a non-raising policy; use "
+                "WirePacket.ingest for policy-aware ingress"
+            )
+        return packet
 
     @classmethod
     def from_packet(cls, packet: Packet, *, pool: Any = None) -> "WirePacket":
         """Materialise *packet* once into wire format (the only copy the
         zero-copy path pays), carrying over metadata and timestamps."""
-        size = packet.size_bytes
-        _LEDGER.record_copy(size)
+        wire = cls.ingest(packet, pool=pool)
+        if wire is None:
+            raise PacketError(
+                "buffer pool exhausted under a non-raising policy; use "
+                "WirePacket.ingest for policy-aware ingress"
+            )
+        return wire
+
+    @classmethod
+    def ingest(
+        cls,
+        frame: Any,
+        *,
+        pool: Any = None,
+        created_at: float = 0.0,
+        metadata: dict[str, Any] | None = None,
+    ) -> "WirePacket | None":
+        """Materialise an arriving *frame* onto a pooled buffer — the one
+        materialisation path (NIC ingress, :meth:`from_wire` and
+        :meth:`from_packet` all come through here).
+
+        Accepts the three shapes a frame arrives in:
+
+        - a :class:`WirePacket` passes through untouched (it already
+          lives on a buffer; cross-NIC hops keep the same backing store,
+          the simulation's stand-in for DMA hand-off);
+        - raw wire bytes are written into one acquired buffer
+          (*created_at*/*metadata* apply to this shape only);
+        - a materialised :class:`Packet` is serialised once into one
+          acquired buffer (``write_into``, no intermediate ``bytes``),
+          carrying its own timestamp and metadata over.
+
+        Exactly one pool acquire and one recorded copy per materialised
+        frame — the copy is recorded only once the acquire succeeds, so
+        exhaustion drops never skew the copies-per-packet accounting.
+        Returns None — instead of raising mid-datapath — when the pool is
+        exhausted under a ``drop-newest``/``backpressure`` policy, so the
+        NIC can apply its drop accounting.
+        """
+        if isinstance(frame, WirePacket):
+            return frame
+        if isinstance(frame, (bytes, bytearray, memoryview)):
+            if pool is None:
+                buffer = Buffer.standalone(frame)
+            else:
+                buffer = pool.acquire_into(frame)
+                if buffer is None:
+                    return None
+            _LEDGER.record_copy(len(frame))
+            return cls(buffer, created_at=created_at, metadata=metadata)
+        size = frame.size_bytes
         if pool is None:
             buffer = Buffer(None, size)
             buffer.refcount = 1
         else:
             buffer = pool.acquire(size)
-        packet.write_into(buffer._data, 0)
+            if buffer is None:
+                return None
+        _LEDGER.record_copy(size)
+        frame.write_into(buffer._data, 0)
         buffer.length = size
         return cls(
             buffer,
-            created_at=packet.created_at,
-            metadata=dict(packet.metadata),
+            created_at=frame.created_at,
+            metadata=dict(frame.metadata),
         )
 
     # -- Packet-compatible surface ---------------------------------------------
@@ -716,9 +768,8 @@ class WirePacket:
 
 def to_wire(packet: Packet | WirePacket, *, pool: Any = None) -> WirePacket:
     """Coerce onto the wire path: materialise a :class:`Packet` once, pass
-    a :class:`WirePacket` through untouched."""
-    if isinstance(packet, WirePacket):
-        return packet
+    a :class:`WirePacket` through untouched (both via
+    :meth:`WirePacket.ingest`, the one materialisation path)."""
     return WirePacket.from_packet(packet, pool=pool)
 
 

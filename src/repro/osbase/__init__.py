@@ -3,10 +3,12 @@ allocation, the buffer-management CF, cooperative threads with the
 pluggable-scheduler thread-management CF, and the NIC model."""
 
 from repro.osbase.buffers import (
+    EXHAUSTION_POLICIES,
     Buffer,
     BufferManagementCF,
     BufferPool,
     IBufferPool,
+    release_dropped,
 )
 from repro.osbase.clock import ClockError, VirtualClock
 from repro.osbase.memory import (
@@ -29,6 +31,7 @@ from repro.osbase.timers import Timer, TimerWheel
 
 __all__ = [
     "DATAPATH_LEDGER",
+    "EXHAUSTION_POLICIES",
     "Allocation",
     "Buffer",
     "BufferManagementCF",
@@ -51,4 +54,5 @@ __all__ = [
     "TimerWheel",
     "VirtualClock",
     "WaitEvent",
+    "release_dropped",
 ]

@@ -8,6 +8,22 @@ whose rule set governs pool plug-ins.
 
 Buffers back the packet payloads travelling through the stratum-2 data
 path; pool exhaustion is how input-pressure drop policies are exercised.
+
+Buffer lifecycle
+----------------
+A pooled buffer is *acquired* exactly once (at NIC ingress, where
+:meth:`~repro.osbase.nic.Nic.receive_frame` materialises the arriving
+frame as a wire packet), travels the datapath by ownership hand-off
+(``push`` transfers the reference downstream), and is *released* exactly
+once — by whichever component ends the packet's life: a drop path (via
+:func:`release_dropped`), a recycling terminal sink, or the NIC TX drain
+once the frame has left the machine.  Exhaustion behaviour is a pool
+*policy* (``raise`` / ``drop-newest`` / ``backpressure``) so the ingress
+path degrades by dropping or stalling instead of unwinding mid-datapath.
+The full walkthrough, including who releases on every path, is the
+"buffer lifecycle" section of ``docs/architecture.md``; the C14
+experiment (``benchmarks/bench_c14_steady_state.py``) asserts the loop
+closes — zero steady-state allocations, zero net occupancy drift.
 """
 
 from __future__ import annotations
@@ -17,13 +33,53 @@ from repro.cf.rules import ProvidesInterface
 from repro.opencom.component import Component, Provided
 from repro.opencom.errors import ResourceError
 from repro.opencom.interfaces import Interface
+from repro.osbase.memory import DATAPATH_LEDGER as _LEDGER
+
+#: Valid pool exhaustion policies: ``raise`` unwinds with ResourceError
+#: (control-plane acquisition), ``drop-newest`` returns None so the
+#: datapath drops the arriving packet, ``backpressure`` also returns None
+#: but signals the caller to stall/refuse rather than count a drop (the
+#: NIC reports it upstream instead of consuming the frame).
+EXHAUSTION_POLICIES = ("raise", "drop-newest", "backpressure")
+
+
+def release_dropped(packet) -> None:
+    """Return a dropped packet's pooled buffer, if it has one.
+
+    Push transfers ownership down the datapath, so whichever component
+    drops a packet is the last holder of its buffer reference.  Wire
+    packets (:class:`repro.netsim.wire.WirePacket`) expose ``release()``
+    for exactly this hand-back — without it a pooled buffer whose packet
+    is dropped never re-enters its pool.  Materialised packets (and raw
+    byte frames) are a no-op — their storage is garbage-collected.
+    """
+    if isinstance(packet, memoryview):
+        # A raw memoryview frame has a release() of its own, but calling
+        # it would invalidate a view the *sender* may still hold — raw
+        # byte frames are the caller's storage, not ours.
+        return
+    release = getattr(packet, "release", None)
+    if release is not None:
+        release()
 
 
 class IBufferPool(Interface):
     """Interface of a buffer pool plug-in."""
 
     def acquire(self, size: int):
-        """Obtain a buffer of at least *size* bytes (refcount 1)."""
+        """Obtain a buffer of at least *size* bytes (refcount 1).
+
+        On exhaustion the pool's *exhaustion policy* decides the outcome:
+        ``raise`` (the default) raises ResourceError, ``drop-newest`` and
+        ``backpressure`` return None so datapath callers degrade without
+        unwinding.
+        """
+        ...
+
+    def acquire_into(self, data):
+        """Acquire a buffer of ``len(data)`` bytes and fill it — the
+        one-call ingress materialisation (None under a non-raising
+        exhaustion policy when the pool is empty)."""
         ...
 
     def release(self, buffer) -> None:
@@ -57,6 +113,11 @@ class Buffer:
         self.length = 0
         self._data = bytearray(capacity)
         self.refcount = 0
+        # Every fresh carve is an *allocation* in the datapath ledger;
+        # pool recycling (acquire/release) deliberately is not, which is
+        # how the steady-state experiment proves a warm pooled path
+        # allocates nothing.
+        _LEDGER.record_allocation(capacity)
 
     @classmethod
     def standalone(cls, payload: bytes | bytearray | memoryview) -> "Buffer":
@@ -111,32 +172,71 @@ class BufferPool(Component):
 
     PROVIDES = (Provided("pool", IBufferPool),)
 
-    def __init__(self, buffer_size: int, count: int) -> None:
+    def __init__(
+        self,
+        buffer_size: int,
+        count: int,
+        *,
+        exhaustion_policy: str = "raise",
+    ) -> None:
         if buffer_size <= 0 or count <= 0:
             raise ResourceError("buffer_size and count must be positive")
+        if exhaustion_policy not in EXHAUSTION_POLICIES:
+            raise ResourceError(
+                f"unknown exhaustion policy {exhaustion_policy!r} "
+                f"(choose from {', '.join(EXHAUSTION_POLICIES)})"
+            )
         self.buffer_size = buffer_size
         self.count = count
+        self.exhaustion_policy = exhaustion_policy
         self._free: list[Buffer] = [Buffer(self, buffer_size) for _ in range(count)]
         self.acquired_total = 0
         self.released_total = 0
         self.exhaustion_events = 0
+        #: Occupancy watermarks: the fewest free buffers ever observed
+        #: (equivalently ``count - free_low_watermark`` is the in-flight
+        #: high-water mark) — how close the pool came to exhaustion.
+        self.free_low_watermark = count
         super().__init__()
 
-    def acquire(self, size: int) -> Buffer:
-        """Obtain a buffer of at least *size* bytes (refcount 1)."""
+    def acquire(self, size: int) -> Buffer | None:
+        """Obtain a buffer of at least *size* bytes (refcount 1).
+
+        Exhaustion follows the pool's policy: ``raise`` raises
+        ResourceError (the historical behaviour, right for control-plane
+        acquisition), ``drop-newest``/``backpressure`` return None so a
+        datapath caller can drop or stall without unwinding mid-path.
+        Oversize requests always raise — they are configuration errors,
+        not load.
+        """
         if size > self.buffer_size:
             raise ResourceError(
                 f"requested {size} bytes exceeds pool buffer size {self.buffer_size}"
             )
         if not self._free:
             self.exhaustion_events += 1
-            raise ResourceError(
-                f"buffer pool {self.name} exhausted ({self.count} buffers in flight)"
-            )
+            if self.exhaustion_policy == "raise":
+                raise ResourceError(
+                    f"buffer pool {self.name} exhausted "
+                    f"({self.count} buffers in flight)"
+                )
+            return None
         buffer = self._free.pop()
         buffer.refcount = 1
         buffer.length = 0
         self.acquired_total += 1
+        if len(self._free) < self.free_low_watermark:
+            self.free_low_watermark = len(self._free)
+        return buffer
+
+    def acquire_into(self, data) -> Buffer | None:
+        """Acquire a buffer of ``len(data)`` bytes and fill it with *data*
+        in one call — the ingress materialisation primitive the NIC uses
+        (one acquire, one write, per arriving frame).  Returns None when
+        the pool is exhausted under a non-raising policy."""
+        buffer = self.acquire(len(data))
+        if buffer is not None:
+            buffer.write(data)
         return buffer
 
     def release(self, buffer: Buffer) -> None:
@@ -160,6 +260,9 @@ class BufferPool(Component):
             "acquired_total": self.acquired_total,
             "released_total": self.released_total,
             "exhaustion_events": self.exhaustion_events,
+            "exhaustion_policy": self.exhaustion_policy,
+            "free_low_watermark": self.free_low_watermark,
+            "in_flight_high_watermark": self.count - self.free_low_watermark,
         }
 
     @property
@@ -177,7 +280,16 @@ class BufferManagementCF(ComponentFramework):
     pool, a core-router profile several large ones.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, exhaustion_policy: str = "raise") -> None:
+        if exhaustion_policy not in EXHAUSTION_POLICIES:
+            raise ResourceError(
+                f"unknown exhaustion policy {exhaustion_policy!r} "
+                f"(choose from {', '.join(EXHAUSTION_POLICIES)})"
+            )
+        #: Applied when *every* candidate pool is exhausted (individual
+        #: pools may carry their own non-raising policies; the CF only
+        #: decides what total exhaustion looks like to the caller).
+        self.exhaustion_policy = exhaustion_policy
         super().__init__(rules=[ProvidesInterface(IBufferPool, min_count=1, max_count=1)])
 
     def add_pool(self, pool: BufferPool, *, principal: str = "system") -> BufferPool:
@@ -185,11 +297,14 @@ class BufferManagementCF(ComponentFramework):
         self.accept(pool, principal=principal)
         return pool
 
-    def acquire(self, size: int) -> Buffer:
+    def acquire(self, size: int) -> Buffer | None:
         """Acquire from the smallest pool that fits *size*.
 
-        Falls through to larger pools when the best-fit pool is exhausted;
-        raises ResourceError when every candidate is exhausted.
+        Falls through to larger pools when the best-fit pool is exhausted
+        (whether the pool raised or returned None under its own policy);
+        when every candidate is exhausted the CF's own exhaustion policy
+        decides: ``raise`` re-raises (or raises a summary error), the
+        datapath policies return None.
         """
         candidates = sorted(
             (
@@ -204,11 +319,28 @@ class BufferManagementCF(ComponentFramework):
         last_error: ResourceError | None = None
         for pool in candidates:
             try:
-                return pool.acquire(size)
+                buffer = pool.acquire(size)
             except ResourceError as exc:
                 last_error = exc
-        assert last_error is not None
-        raise last_error
+                continue
+            if buffer is not None:
+                return buffer
+        if self.exhaustion_policy != "raise":
+            return None
+        if last_error is not None:
+            raise last_error
+        raise ResourceError(
+            f"all {len(candidates)} candidate pools exhausted for {size} bytes"
+        )
+
+    def acquire_into(self, data) -> Buffer | None:
+        """Best-fit :meth:`BufferPool.acquire_into` across the plugged-in
+        pools (None when everything is exhausted under a non-raising CF
+        policy)."""
+        buffer = self.acquire(len(data))
+        if buffer is not None:
+            buffer.write(data)
+        return buffer
 
     def total_stats(self) -> dict:
         """Aggregated statistics across all pools."""

@@ -9,11 +9,13 @@ churn) are deterministic and inspectable.
 This module also hosts the :class:`CopyLedger`: the pool-accounting side
 of the zero-copy datapath.  Every byte-materialising operation on the
 packet layer (header ``_pack``, ``Packet.to_bytes``, ``WirePacket.copy``)
-records a *copy*, and every shared-ownership hand-off
-(``WirePacket.clone_ref`` over a pooled buffer) records a *reference*, so
-experiments can report copies-vs-references per forwarded packet
-(``analysis.footprint.measure_byte_movement``) exactly as they report
-pool occupancy.
+records a *copy*, every shared-ownership hand-off
+(``WirePacket.clone_ref`` over a pooled buffer) records a *reference*,
+and every fresh backing-store carve (``Buffer.__init__``) records an
+*allocation*, so experiments can report copies-vs-references — and, for
+the steady-state lifecycle experiment (C14), allocations — per forwarded
+packet (``analysis.footprint.measure_byte_movement``) exactly as they
+report pool occupancy.
 """
 
 from __future__ import annotations
@@ -29,17 +31,31 @@ class CopyLedger:
     A *copy* is any operation that materialises packet bytes into fresh
     storage (header serialisation, payload duplication, copy-on-write
     unsharing).  A *reference* is a hand-off that bumps a refcount instead
-    of moving bytes.  The ledger is a pair of event/byte counter pairs —
-    cheap enough to bump from the per-packet hot path being measured.
+    of moving bytes.  An *allocation* is a fresh backing-store carve — a
+    new :class:`~repro.osbase.buffers.Buffer` — as opposed to recycling
+    one through a pool: a warm pooled datapath copies bytes (one ingress
+    write per packet) but allocates nothing, which is exactly what the
+    steady-state experiment asserts.  The ledger is a set of event/byte
+    counter pairs — cheap enough to bump from the per-packet hot path
+    being measured.
     """
 
-    __slots__ = ("copies", "copy_bytes", "references", "reference_bytes")
+    __slots__ = (
+        "copies",
+        "copy_bytes",
+        "references",
+        "reference_bytes",
+        "allocations",
+        "allocation_bytes",
+    )
 
     def __init__(self) -> None:
         self.copies = 0
         self.copy_bytes = 0
         self.references = 0
         self.reference_bytes = 0
+        self.allocations = 0
+        self.allocation_bytes = 0
 
     def record_copy(self, nbytes: int) -> None:
         """Count one byte-materialising operation of *nbytes*."""
@@ -51,6 +67,11 @@ class CopyLedger:
         self.references += 1
         self.reference_bytes += nbytes
 
+    def record_allocation(self, nbytes: int) -> None:
+        """Count one fresh backing-store carve of *nbytes*."""
+        self.allocations += 1
+        self.allocation_bytes += nbytes
+
     def snapshot(self) -> dict[str, int]:
         """Current counter values as a plain dict."""
         return {
@@ -58,6 +79,8 @@ class CopyLedger:
             "copy_bytes": self.copy_bytes,
             "references": self.references,
             "reference_bytes": self.reference_bytes,
+            "allocations": self.allocations,
+            "allocation_bytes": self.allocation_bytes,
         }
 
     def delta(self, since: dict[str, int]) -> dict[str, int]:
@@ -71,6 +94,8 @@ class CopyLedger:
         self.copy_bytes = 0
         self.references = 0
         self.reference_bytes = 0
+        self.allocations = 0
+        self.allocation_bytes = 0
 
 
 #: Process-wide ledger the packet layer reports into.  Benchmarks snapshot

@@ -9,6 +9,24 @@ input-pressure experiments meaningful.
 The NIC is an OpenCOM component so that "standard components that
 interface to network cards" (paper, section 5) can bind to it like to
 anything else.
+
+Buffer lifecycle at the edge
+----------------------------
+A NIC may be *bound to a buffer pool* (:meth:`Nic.bind_pool`), closing
+the paper's buffer-management loop at stratum 1: ``receive_frame`` then
+materialises every arriving frame — raw wire bytes or a materialised
+packet — as a :class:`~repro.netsim.wire.WirePacket` on a pooled buffer
+(one acquire per packet, recorded in the
+:data:`~repro.osbase.memory.DATAPATH_LEDGER`), and every NIC drop path
+(RX overflow, oversize, TX-ring full) hands the buffer back via
+:func:`~repro.osbase.buffers.release_dropped`.  The TX side completes the
+cycle: :meth:`drain_tx` pops transmitted frames off the ring and releases
+their buffers once they have "left the machine", so a warm router
+forwards indefinitely with zero allocations and zero net pool-occupancy
+drift (asserted by ``benchmarks/bench_c14_steady_state.py``).  Pool
+exhaustion follows the pool's policy: ``drop-newest`` counts an RX drop,
+``backpressure`` refuses the frame without consuming it so the sender
+sees the stall.
 """
 
 from __future__ import annotations
@@ -18,7 +36,9 @@ from collections.abc import Callable
 from typing import Any
 
 from repro.opencom.component import Component, Provided
+from repro.opencom.errors import ResourceError
 from repro.opencom.interfaces import Interface
+from repro.osbase.buffers import release_dropped
 
 
 class INic(Interface):
@@ -41,8 +61,31 @@ class INic(Interface):
         ...
 
 
+def _frame_size(frame: Any) -> int | None:
+    """On-wire size of an arriving frame, for MTU validation.
+
+    Wire/materialised packets report ``size_bytes``; raw byte frames
+    their length; anything else is asked to serialise itself.  Returns
+    None for an unsizable frame — the caller treats that as invalid
+    rather than letting it default past MTU validation (the historical
+    ``getattr(packet, "size_bytes", 0)`` bug).
+    """
+    size = getattr(frame, "size_bytes", None)
+    if size is not None:
+        return size
+    try:
+        return len(frame)
+    except TypeError:
+        pass
+    to_bytes = getattr(frame, "to_bytes", None)
+    if to_bytes is not None:
+        return len(to_bytes())
+    return None
+
+
 class Nic(Component):
-    """A NIC with bounded RX/TX rings and drop accounting."""
+    """A NIC with bounded RX/TX rings, drop accounting, and an optional
+    buffer-pool binding for pooled ingress materialisation."""
 
     PROVIDES = (Provided("nic", INic),)
 
@@ -52,6 +95,7 @@ class Nic(Component):
         rx_ring_size: int = 256,
         tx_ring_size: int = 256,
         mtu: int = 1500,
+        pool: Any = None,
     ) -> None:
         self.rx_ring_size = rx_ring_size
         self.tx_ring_size = tx_ring_size
@@ -62,41 +106,125 @@ class Nic(Component):
             "rx_packets": 0,
             "rx_drops": 0,
             "rx_overruns": 0,
+            "rx_backpressure": 0,
+            "pool_exhausted_drops": 0,
             "tx_packets": 0,
             "tx_drops": 0,
+            "tx_completions": 0,
             "oversize_drops": 0,
         }
         #: Optional push-mode hook: when set, received frames are handed
         #: straight to the handler instead of queueing (interrupt-driven
         #: rather than polled operation).
         self.rx_handler: Callable[[Any], None] | None = None
+        #: Optional buffer pool (``IBufferPool`` provider: a BufferPool
+        #: or a BufferManagementCF) backing pooled ingress.
+        self.pool: Any = pool
         super().__init__()
+
+    def bind_pool(self, pool: Any) -> None:
+        """Bind (or clear, with None) the ingress buffer pool."""
+        self.pool = pool
 
     # -- network side ------------------------------------------------------------
 
+    def _ingest(self, frame: Any):
+        """Materialise *frame* on a pooled buffer (wire packets pass
+        through untouched — they already live on a buffer).  Returns None
+        when the pool is exhausted under a non-raising policy."""
+        from repro.netsim.wire import WirePacket  # local: netsim sits above osbase
+
+        return WirePacket.ingest(frame, pool=self.pool)
+
     def receive_frame(self, packet: Any) -> bool:
-        """Deposit an arriving packet; returns False when dropped."""
-        size = getattr(packet, "size_bytes", 0)
-        if size > self.mtu:
+        """Deposit an arriving packet; returns False when dropped (or,
+        under a backpressure pool policy, refused without being consumed).
+        """
+        size = _frame_size(packet)
+        if size is None or size > self.mtu:
+            # Unsizable frames are malformed, not free passes past MTU
+            # validation; dropped frames hand back any pooled buffer.
             self.counters["oversize_drops"] += 1
+            release_dropped(packet)
             return False
+        if self.rx_handler is None and len(self._rx) >= self.rx_ring_size:
+            # Ring-full is checked before the pool acquire so an overrun
+            # never burns (and immediately strands) a pooled buffer.
+            self.counters["rx_drops"] += 1
+            self.counters["rx_overruns"] += 1
+            release_dropped(packet)
+            return False
+        if self.pool is not None:
+            try:
+                ingested = self._ingest(packet)
+            except ResourceError:
+                # A frame within MTU but larger than any pool buffer can
+                # never be materialised: under the datapath policies it is
+                # an oversize drop (not a transient refusal — retrying
+                # could never succeed), never a mid-datapath unwind.
+                if getattr(self.pool, "exhaustion_policy", "raise") == "raise":
+                    raise
+                self.counters["oversize_drops"] += 1
+                release_dropped(packet)
+                return False
+            if ingested is None:
+                if getattr(self.pool, "exhaustion_policy", "raise") == "backpressure":
+                    # The frame is refused, not consumed: the sender may
+                    # hold it and retry, so this is not a drop.
+                    self.counters["rx_backpressure"] += 1
+                    return False
+                self.counters["rx_drops"] += 1
+                self.counters["pool_exhausted_drops"] += 1
+                release_dropped(packet)
+                return False
+            packet = ingested
         if self.rx_handler is not None:
             self.counters["rx_packets"] += 1
             self.rx_handler(packet)
             return True
-        if len(self._rx) >= self.rx_ring_size:
-            self.counters["rx_drops"] += 1
-            self.counters["rx_overruns"] += 1
-            return False
         self._rx.append(packet)
         self.counters["rx_packets"] += 1
         return True
 
     def poll_tx(self) -> Any | None:
-        """Take one packet off the TX ring (link drain side)."""
+        """Take one packet off the TX ring (link drain side).
+
+        Ownership transfers to the caller: once the frame has been put on
+        the wire the caller releases its buffer (or uses :meth:`drain_tx`,
+        which does both).
+        """
         if not self._tx:
             return None
         return self._tx.popleft()
+
+    def drain_tx(
+        self,
+        handler: Callable[[Any], None] | None = None,
+        *,
+        budget: int | None = None,
+    ) -> int:
+        """Drain up to *budget* frames off the TX ring; returns the number
+        drained.
+
+        Each frame is handed to *handler* (which then owns it — e.g. a
+        link's ``send_from``) or, with no handler, treated as serialised
+        onto the wire: its pooled buffer is released so the pool recycles
+        it for the next arrival.  This is the egress half of the
+        RX→TX buffer lifecycle.  The budget defaults to the current ring
+        depth, so a handler that refills the ring cannot spin the drain
+        forever.
+        """
+        drained = 0
+        limit = len(self._tx) if budget is None else budget
+        while self._tx and drained < limit:
+            frame = self._tx.popleft()
+            if handler is not None:
+                handler(frame)
+            else:
+                release_dropped(frame)
+            self.counters["tx_completions"] += 1
+            drained += 1
+        return drained
 
     # -- host side -----------------------------------------------------------------
 
@@ -108,18 +236,27 @@ class Nic(Component):
 
     def drain_rx(self, handler: Callable[[Any], None], *, budget: int | None = None) -> int:
         """Hand up to *budget* received packets to *handler*; returns the
-        number processed (NAPI-style polled processing)."""
+        number processed (NAPI-style polled processing).
+
+        With no explicit budget the ring length at entry is the implicit
+        budget, so a handler that re-enqueues to this same NIC (loopback
+        or hairpin wiring) processes one ring's worth and returns instead
+        of livelocking on its own refills.
+        """
         processed = 0
-        while self._rx and (budget is None or processed < budget):
+        limit = len(self._rx) if budget is None else budget
+        while self._rx and processed < limit:
             handler(self._rx.popleft())
             processed += 1
         return processed
 
     def transmit(self, packet: Any) -> bool:
         """Queue a packet for transmission; returns False when the TX ring
-        is full (packet dropped and counted)."""
+        is full (packet dropped, counted, and its pooled buffer released —
+        the caller handed ownership over by calling transmit)."""
         if len(self._tx) >= self.tx_ring_size:
             self.counters["tx_drops"] += 1
+            release_dropped(packet)
             return False
         self._tx.append(packet)
         self.counters["tx_packets"] += 1

@@ -17,7 +17,7 @@ from repro.router.components.meters import (
     RateMeter,
 )
 from repro.router.components.nat import SourceNat
-from repro.router.components.nicadapters import NicEgress, NicIngress
+from repro.router.components.nicadapters import NicEgress, NicIngress, TransmitAdapter
 from repro.router.components.queues import FifoQueue, RedQueue
 from repro.router.components.scheduling import (
     DrrScheduler,
@@ -41,6 +41,7 @@ __all__ = [
     "LpmTable",
     "NicEgress",
     "NicIngress",
+    "TransmitAdapter",
     "PacketComponent",
     "PacketCounterTap",
     "Policer",

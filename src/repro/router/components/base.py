@@ -24,22 +24,12 @@ from collections import defaultdict, deque
 from repro.netsim.packet import Packet
 from repro.opencom.component import Component, Provided, Required
 from repro.opencom.errors import ReceptacleError
+
+# The canonical drop-path hand-back lives at stratum 1 with the pools it
+# feeds (the NIC and the netsim link/node edge call it too); re-exported
+# here because every stratum-2 component drops through it.
+from repro.osbase.buffers import release_dropped  # noqa: F401 (re-export)
 from repro.router.interfaces import IPacketPush
-
-
-def release_dropped(packet) -> None:
-    """Return a dropped packet's pooled buffer, if it has one.
-
-    Push transfers ownership down the datapath, so whichever component
-    drops a packet is the last holder of its buffer reference.  Wire
-    packets (:class:`repro.netsim.wire.WirePacket`) expose ``release()``
-    for exactly this hand-back — without it a pooled buffer whose packet
-    is dropped never re-enters its pool.  Materialised packets are a
-    no-op (their storage is garbage-collected).
-    """
-    release = getattr(packet, "release", None)
-    if release is not None:
-        release()
 
 
 def bulk_dequeue(queue: deque, max_n: int) -> list:

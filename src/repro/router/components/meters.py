@@ -69,13 +69,21 @@ class RateMeter(PushComponent):
 
 
 class CollectorSink(PacketComponent):
-    """Terminal sink retaining (optionally bounded) delivered packets."""
+    """Terminal sink retaining (optionally bounded) delivered packets.
+
+    A sink is the last holder of each packet's buffer reference, so a
+    packet it does *not* retain — past the ``keep`` bound, or any packet
+    when ``recycle`` is set — has its pooled buffer released on arrival.
+    ``recycle=True`` is the steady-state egress mode: the sink counts and
+    measures every delivery but returns the buffer to its pool at once.
+    """
 
     PROVIDES = (Provided("in0", IPacketSink),)
 
-    def __init__(self, *, keep: int | None = None) -> None:
+    def __init__(self, *, keep: int | None = None, recycle: bool = False) -> None:
         super().__init__()
         self.keep = keep
+        self.recycle = recycle
         self.packets: list[Packet] = []
         self.bytes_received = 0
 
@@ -83,19 +91,27 @@ class CollectorSink(PacketComponent):
         """Absorb one packet."""
         self.count("rx")
         self.bytes_received += packet.size_bytes
-        if self.keep is None or len(self.packets) < self.keep:
+        if not self.recycle and (self.keep is None or len(self.packets) < self.keep):
             self.packets.append(packet)
+        else:
+            release_dropped(packet)
 
     def push_batch(self, packets: list[Packet]) -> None:
         """Absorb a whole batch (bulk extend, bounded by ``keep``)."""
         self.count("rx", len(packets))
         self.bytes_received += sum(p.size_bytes for p in packets)
+        if self.recycle:
+            for packet in packets:
+                release_dropped(packet)
+            return
         if self.keep is None:
             self.packets.extend(packets)
         else:
             room = self.keep - len(self.packets)
             if room > 0:
                 self.packets.extend(packets[:room])
+            for packet in packets[max(room, 0):]:
+                release_dropped(packet)
 
     def collected_count(self) -> int:
         """Packets absorbed so far."""

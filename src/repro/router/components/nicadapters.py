@@ -87,7 +87,14 @@ class NicIngress(PacketComponent):
 
 
 class NicEgress(PushComponent):
-    """Pipeline pushes become transmissions via a transmit callable."""
+    """Pipeline pushes become transmissions via a transmit callable.
+
+    Ownership convention: *calling* the transmit function hands the
+    packet over — on failure (False) the callee has already counted the
+    drop and released any pooled buffer (``Nic.transmit``, ``Node.send``
+    and the link drop paths all honour this), so the egress component
+    must not release it again.
+    """
 
     def __init__(self, transmit: Callable[[Packet], bool] | None = None) -> None:
         super().__init__()
@@ -98,7 +105,8 @@ class NicEgress(PushComponent):
         self._transmit = transmit
 
     def process(self, packet: Packet) -> None:
-        """Transmit; failures count ``drop:tx-failed``."""
+        """Transmit; failures count ``drop:tx-failed`` (the transmit
+        callable owns the packet either way — see the class docstring)."""
         if self._transmit is None:
             self.count("drop:unplumbed")
             release_dropped(packet)
@@ -107,4 +115,74 @@ class NicEgress(PushComponent):
             self.count("tx")
         else:
             self.count("drop:tx-failed")
+
+
+class TransmitAdapter(PushComponent):
+    """Terminal egress closing the buffer lifecycle through a NIC.
+
+    The push side queues packets on the bound NIC's TX ring
+    (:meth:`process` → ``nic.transmit``; ring-full drops are counted and
+    released by the NIC itself).  The wire side — :meth:`drain_wire` —
+    pops transmitted frames off the ring and releases their pooled
+    buffers (or hands them to an explicit consumer such as a link), which
+    is what lets a warm router recycle the same buffers indefinitely:
+    ingress acquires, the datapath moves references, this adapter's drain
+    releases.
+    """
+
+    def __init__(self, nic: Nic | None = None) -> None:
+        super().__init__()
+        self._nic = nic
+
+    def attach(self, nic: Nic) -> None:
+        """Bind (or replace) the TX NIC."""
+        self._nic = nic
+
+    @property
+    def nic(self) -> Nic | None:
+        """The bound TX NIC."""
+        return self._nic
+
+    def process(self, packet: Packet) -> None:
+        """Queue one packet on the TX ring; ``drop:tx-full`` on overflow
+        (the NIC released the buffer — transmit owns the packet)."""
+        if self._nic is None:
+            self.count("drop:unplumbed")
             release_dropped(packet)
+            return
+        if self._nic.transmit(packet):
+            self.count("tx")
+        else:
+            self.count("drop:tx-full")
+
+    def push_batch(self, packets: list[Packet]) -> None:
+        """Batch entry: one counter probe, then per-packet ring appends
+        (the ring must keep exact drop-tail semantics)."""
+        self.count("rx", len(packets))
+        nic = self._nic
+        if nic is None:
+            self.count("drop:unplumbed", len(packets))
+            for packet in packets:
+                release_dropped(packet)
+            return
+        transmit = nic.transmit
+        sent = 0
+        for packet in packets:
+            if transmit(packet):
+                sent += 1
+        self.count("tx", sent)
+        if sent != len(packets):
+            self.count("drop:tx-full", len(packets) - sent)
+
+    def drain_wire(
+        self,
+        *,
+        budget: int | None = None,
+        handler: Callable[[Packet], None] | None = None,
+    ) -> int:
+        """Drain the TX ring's frames off the machine; returns the number
+        drained.  Without a *handler* each frame's pooled buffer returns
+        to its pool (the frame has been serialised onto the wire)."""
+        if self._nic is None:
+            return 0
+        return self._nic.drain_tx(handler, budget=budget)

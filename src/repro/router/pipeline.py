@@ -44,6 +44,9 @@ class RouterPipeline:
     stages: dict[str, Component] = field(default_factory=dict)
     scheduler: Component | None = None
     composite: CompositeComponent | None = None
+    #: Per-hop TX adapters (when the pipeline egresses through NICs);
+    #: :meth:`flush_tx` drains their wire side so pooled buffers recycle.
+    tx_adapters: dict[str, Component] = field(default_factory=dict)
     #: Cached entry vtable (the push interfaces never change identity for
     #: the life of a pipeline handle, so the lookup is paid once).
     _entry_vtable: Any = field(default=None, init=False, repr=False, compare=False)
@@ -107,6 +110,19 @@ class RouterPipeline:
                 DrainExhausted,
                 stacklevel=2,
             )
+        return total
+
+    def flush_tx(self, *, budget: int | None = None) -> int:
+        """Drain every TX adapter's wire side; returns frames drained.
+
+        This is the release half of the pooled buffer lifecycle: each
+        drained frame has left the simulated machine, so its buffer goes
+        back to the pool it was acquired from at NIC ingress.  A pipeline
+        without TX adapters returns 0.
+        """
+        total = 0
+        for adapter in self.tx_adapters.values():
+            total += adapter.drain_wire(budget=budget)
         return total
 
     def stage_stats(self) -> dict[str, dict[str, int]]:
@@ -209,6 +225,7 @@ def build_forwarding_pipeline(
     *,
     routes: dict[str, str],
     next_hop_sinks: dict[str, Component] | None = None,
+    tx_nics: dict[str, Any] | None = None,
     clock: VirtualClock | None = None,
     queue_capacity: int = 256,
     validate_checksums: bool = True,
@@ -217,8 +234,16 @@ def build_forwarding_pipeline(
     benchmarks: recogniser → v4 processor → forwarder → per-hop sinks.
 
     ``next_hop_sinks`` maps next-hop names to sink components (created as
-    :class:`CollectorSink` when omitted).
+    :class:`CollectorSink` when omitted).  ``tx_nics`` maps next-hop
+    names to stratum-1 :class:`~repro.osbase.nic.Nic` instances instead:
+    those hops terminate in a
+    :class:`~repro.router.components.nicadapters.TransmitAdapter`
+    (registered in ``pipeline.tx_adapters``), so
+    :meth:`RouterPipeline.flush_tx` closes the pooled buffer lifecycle
+    through the TX rings.
     """
+    from repro.router.components.nicadapters import TransmitAdapter
+
     cf = RouterCF()
     capsule.adopt(cf, "router-cf")
     recogniser = capsule.instantiate(ProtocolRecognizer, "recogniser")
@@ -231,8 +256,15 @@ def build_forwarding_pipeline(
 
     hops = sorted(set(routes.values()))
     sinks: dict[str, Component] = {}
+    tx_adapters: dict[str, Component] = {}
     for hop in hops:
-        if next_hop_sinks and hop in next_hop_sinks:
+        if tx_nics and hop in tx_nics:
+            adapter = capsule.instantiate(
+                lambda nic=tx_nics[hop]: TransmitAdapter(nic), f"tx:{hop}"
+            )
+            sinks[hop] = adapter
+            tx_adapters[hop] = adapter
+        elif next_hop_sinks and hop in next_hop_sinks:
             sinks[hop] = next_hop_sinks[hop]
         else:
             sinks[hop] = capsule.instantiate(CollectorSink, f"sink:{hop}")
@@ -266,4 +298,5 @@ def build_forwarding_pipeline(
             "forwarder": forwarder,
             **{f"sink:{hop}": sink for hop, sink in sinks.items()},
         },
+        tx_adapters=tx_adapters,
     )

@@ -99,6 +99,27 @@ class TestNode:
         topo.engine.run()
         assert topo.node("b").counters["no_handler_drops"] == 1
 
+    def test_backpressure_refusal_accounted(self):
+        # Regression: a frame the NIC refuses under a backpressure pool
+        # policy used to vanish with zero accounting — the node (the end
+        # of the retry-less link path) now counts the loss.
+        from repro.osbase import BufferPool
+
+        topo = two_node_topo()
+        node_b = topo.node("b")
+        received = []
+        node_b.set_packet_handler(lambda p, port: received.append(p))
+        ingress_pool = BufferPool(256, 1, exhaustion_policy="backpressure")
+        nic_b = node_b.nic("eth0")
+        nic_b.bind_pool(ingress_pool)
+        ingress_pool.acquire(10)  # pin the only buffer: the NIC must refuse
+
+        topo.node("a").send("eth0", make_udp_v4("10.0.0.1", "10.0.0.99"))
+        topo.engine.run()
+        assert received == []
+        assert nic_b.counters["rx_backpressure"] == 1
+        assert node_b.counters["delivery_drops"] == 1
+
     def test_ingress_metadata(self):
         topo = two_node_topo()
         seen = []

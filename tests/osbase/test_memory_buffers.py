@@ -128,6 +128,83 @@ class TestBufferPool:
             pool.release(buffer)
 
 
+class TestExhaustionPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ResourceError, match="unknown exhaustion policy"):
+            BufferPool(64, 1, exhaustion_policy="panic")
+
+    def test_drop_newest_returns_none(self, capsule):
+        pool = capsule.instantiate(
+            lambda: BufferPool(64, 1, exhaustion_policy="drop-newest"), "p"
+        )
+        assert pool.acquire(10) is not None
+        assert pool.acquire(10) is None
+        assert pool.exhaustion_events == 1
+
+    def test_backpressure_returns_none(self, capsule):
+        pool = capsule.instantiate(
+            lambda: BufferPool(64, 1, exhaustion_policy="backpressure"), "p"
+        )
+        pool.acquire(10)
+        assert pool.acquire(10) is None
+
+    def test_oversize_always_raises(self, capsule):
+        pool = capsule.instantiate(
+            lambda: BufferPool(64, 1, exhaustion_policy="drop-newest"), "p"
+        )
+        with pytest.raises(ResourceError, match="exceeds pool buffer size"):
+            pool.acquire(1000)
+
+
+class TestAcquireInto:
+    def test_one_call_materialisation(self, capsule):
+        pool = capsule.instantiate(lambda: BufferPool(64, 1), "p")
+        buffer = pool.acquire_into(b"hello")
+        assert buffer.tobytes() == b"hello"
+        assert buffer.refcount == 1
+
+    def test_none_under_non_raising_policy(self, capsule):
+        pool = capsule.instantiate(
+            lambda: BufferPool(64, 1, exhaustion_policy="drop-newest"), "p"
+        )
+        pool.acquire_into(b"first")
+        assert pool.acquire_into(b"second") is None
+
+
+class TestWatermarks:
+    def test_free_low_watermark_tracks_peak_occupancy(self, capsule):
+        pool = capsule.instantiate(lambda: BufferPool(64, 4), "p")
+        assert pool.free_low_watermark == 4
+        buffers = [pool.acquire(10) for _ in range(3)]
+        for buffer in buffers:
+            pool.release(buffer)
+        stats = pool.stats()
+        assert stats["free"] == 4
+        assert stats["free_low_watermark"] == 1
+        assert stats["in_flight_high_watermark"] == 3
+
+
+class TestAllocationLedger:
+    def test_pool_recycling_allocates_nothing(self, capsule):
+        from repro.osbase import DATAPATH_LEDGER
+
+        pool = capsule.instantiate(lambda: BufferPool(64, 2), "p")
+        snap = DATAPATH_LEDGER.snapshot()
+        for _ in range(10):
+            pool.release(pool.acquire(10))
+        delta = DATAPATH_LEDGER.delta(snap)
+        assert delta["allocations"] == 0
+
+    def test_fresh_carves_are_recorded(self):
+        from repro.osbase import DATAPATH_LEDGER, Buffer
+
+        snap = DATAPATH_LEDGER.snapshot()
+        Buffer.standalone(b"x" * 32)
+        delta = DATAPATH_LEDGER.delta(snap)
+        assert delta["allocations"] == 1
+        assert delta["allocation_bytes"] == 32
+
+
 class TestBufferManagementCF:
     @pytest.fixture
     def manager(self, capsule):
@@ -163,3 +240,29 @@ class TestBufferManagementCF:
         assert stats["pools"] == 2
         assert stats["buffers"] == 4
         assert stats["in_flight"] == 1
+
+    def test_cf_level_non_raising_policy(self, capsule):
+        cf = capsule.instantiate(
+            lambda: BufferManagementCF(exhaustion_policy="drop-newest"), "bm3"
+        )
+        cf.add_pool(capsule.instantiate(lambda: BufferPool(64, 1), "only"))
+        cf.acquire(10)
+        assert cf.acquire(10) is None
+
+    def test_cf_falls_through_member_policies(self, capsule):
+        # A drop-newest member pool returns None; the CF must fall
+        # through to the next candidate instead of giving up.
+        cf = capsule.instantiate(BufferManagementCF, "bm4")
+        cf.add_pool(
+            capsule.instantiate(
+                lambda: BufferPool(128, 1, exhaustion_policy="drop-newest"), "s"
+            )
+        )
+        cf.add_pool(capsule.instantiate(lambda: BufferPool(2048, 1), "l"))
+        cf.acquire(100)
+        assert cf.acquire(100).capacity == 2048
+
+    def test_cf_acquire_into(self, capsule):
+        cf = capsule.instantiate(BufferManagementCF, "bm5")
+        cf.add_pool(capsule.instantiate(lambda: BufferPool(64, 1), "only"))
+        assert cf.acquire_into(b"payload").tobytes() == b"payload"

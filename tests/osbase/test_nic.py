@@ -1,9 +1,10 @@
-"""NIC rings, drops and polling."""
+"""NIC rings, drops, polling, and the pooled RX→TX buffer lifecycle."""
 
 import pytest
 
-from repro.netsim import make_udp_v4
-from repro.osbase import Nic
+from repro.netsim import WirePacket, make_udp_v4, to_wire
+from repro.osbase import BufferPool, Nic
+from repro.opencom.errors import ResourceError
 
 
 @pytest.fixture
@@ -13,6 +14,10 @@ def nic(capsule):
 
 def packet(size=64):
     return make_udp_v4("10.0.0.1", "10.0.0.2", payload=bytes(size))
+
+
+def pooled_packet(pool, size=64):
+    return to_wire(packet(size), pool=pool)
 
 
 class TestRx:
@@ -50,6 +55,201 @@ class TestRx:
         handled = []
         assert nic.drain_rx(handled.append, budget=3) == 3
         assert nic.rx_depth == 1
+
+
+class TestOversizeValidation:
+    def test_wire_packet_sized_by_buffer_length(self, nic):
+        # WirePacket reports size_bytes from its buffer, so MTU
+        # validation sees the real on-wire size.
+        big = to_wire(packet(size=2000))
+        assert not nic.receive_frame(big)
+        assert nic.counters["oversize_drops"] == 1
+
+    def test_raw_bytes_sized_by_length(self, nic):
+        assert nic.receive_frame(packet().to_bytes())
+        assert not nic.receive_frame(bytes(2000))
+        assert nic.counters["oversize_drops"] == 1
+
+    def test_sizeless_packet_no_longer_passes_mtu(self, nic):
+        # Regression: getattr(packet, "size_bytes", 0) let any object
+        # without size_bytes default to 0 and sail past MTU validation.
+        class SizelessFrame:
+            def to_bytes(self):
+                return bytes(2000)
+
+        assert not nic.receive_frame(SizelessFrame())
+        assert nic.counters["oversize_drops"] == 1
+
+    def test_unsizable_frame_rejected(self, nic):
+        assert not nic.receive_frame(object())
+        assert nic.counters["oversize_drops"] == 1
+
+    def test_dropped_memoryview_frame_stays_usable(self, nic):
+        # Regression: release_dropped must not call memoryview.release()
+        # on a raw byte frame — the view is the sender's storage.
+        arena = bytearray(4096)
+        view = memoryview(arena)[:2000]
+        assert not nic.receive_frame(view)
+        assert nic.counters["oversize_drops"] == 1
+        assert view[0] == 0  # still readable: the view was not released
+
+
+class TestDrainRxLivelock:
+    def test_hairpin_handler_terminates(self, nic):
+        # Regression: a handler that re-enqueues to the same NIC
+        # (loopback/hairpin) made `while self._rx` spin forever; the
+        # ring length at entry is now the implicit budget.
+        for _ in range(3):
+            nic.receive_frame(packet())
+
+        processed = nic.drain_rx(lambda p: nic.receive_frame(p))
+        assert processed == 3
+        assert nic.rx_depth == 3  # the re-enqueued packets wait for the next poll
+
+    def test_explicit_budget_still_honoured(self, nic):
+        for _ in range(4):
+            nic.receive_frame(packet())
+        assert nic.drain_rx(lambda p: None, budget=2) == 2
+        assert nic.rx_depth == 2
+
+
+class TestDropPathRelease:
+    """Regression: stratum-1 drops (RX overflow, oversize, TX full)
+    returned False without releasing pooled wire buffers."""
+
+    def test_rx_overflow_releases_pooled_buffer(self, capsule):
+        pool = BufferPool(256, 8)
+        nic = capsule.instantiate(lambda: Nic(rx_ring_size=2), "n")
+        for _ in range(2):
+            assert nic.receive_frame(pooled_packet(pool))
+        assert not nic.receive_frame(pooled_packet(pool))
+        assert pool.stats()["in_flight"] == 2  # the dropped one went back
+
+    def test_oversize_releases_pooled_buffer(self, capsule):
+        pool = BufferPool(4096, 4)
+        nic = capsule.instantiate(Nic, "n")
+        assert not nic.receive_frame(pooled_packet(pool, size=2000))
+        assert pool.stats()["in_flight"] == 0
+
+    def test_tx_full_releases_pooled_buffer(self, capsule):
+        pool = BufferPool(256, 8)
+        nic = capsule.instantiate(lambda: Nic(tx_ring_size=1), "n")
+        assert nic.transmit(pooled_packet(pool))
+        assert not nic.transmit(pooled_packet(pool))
+        assert nic.counters["tx_drops"] == 1
+        assert pool.stats()["in_flight"] == 1
+
+
+class TestPooledIngress:
+    def test_materialises_frames_on_pooled_buffers(self, capsule):
+        pool = BufferPool(256, 4)
+        nic = capsule.instantiate(lambda: Nic(pool=pool), "n")
+        source = packet()
+        assert nic.receive_frame(source)
+        wire = nic.poll_rx()
+        assert isinstance(wire, WirePacket)
+        assert wire.buffer.pool is pool
+        assert wire.to_bytes() == source.to_bytes()
+        assert pool.acquired_total == 1
+
+    def test_raw_bytes_ingest(self, capsule):
+        pool = BufferPool(256, 4)
+        nic = capsule.instantiate(lambda: Nic(pool=pool), "n")
+        assert nic.receive_frame(packet().to_bytes())
+        assert isinstance(nic.poll_rx(), WirePacket)
+
+    def test_wire_packets_pass_through(self, capsule):
+        pool = BufferPool(256, 4)
+        nic = capsule.instantiate(lambda: Nic(pool=pool), "n")
+        wire = pooled_packet(pool)
+        assert nic.receive_frame(wire)
+        assert nic.poll_rx() is wire
+        assert pool.acquired_total == 1  # no second acquire
+
+    def test_drop_newest_policy_counts_drop(self, capsule):
+        pool = BufferPool(256, 1, exhaustion_policy="drop-newest")
+        nic = capsule.instantiate(lambda: Nic(pool=pool), "n")
+        assert nic.receive_frame(packet())
+        assert not nic.receive_frame(packet())
+        assert nic.counters["pool_exhausted_drops"] == 1
+        assert nic.counters["rx_drops"] == 1
+        assert nic.counters["rx_backpressure"] == 0
+
+    def test_backpressure_policy_refuses_without_drop(self, capsule):
+        pool = BufferPool(256, 1, exhaustion_policy="backpressure")
+        nic = capsule.instantiate(lambda: Nic(pool=pool), "n")
+        assert nic.receive_frame(packet())
+        assert not nic.receive_frame(packet())
+        assert nic.counters["rx_backpressure"] == 1
+        assert nic.counters["rx_drops"] == 0
+
+    def test_exhaustion_drop_records_no_copy(self, capsule):
+        # Regression: the ledger copy is recorded only after a successful
+        # acquire, so exhaustion drops don't skew copies-per-packet.
+        from repro.osbase import DATAPATH_LEDGER
+
+        pool = BufferPool(256, 1, exhaustion_policy="drop-newest")
+        nic = capsule.instantiate(lambda: Nic(pool=pool), "n")
+        assert nic.receive_frame(packet())
+        # Build the frame *before* the snapshot: constructing a packet
+        # records its own header-pack copies.
+        doomed = packet()
+        snap = DATAPATH_LEDGER.snapshot()
+        assert not nic.receive_frame(doomed)
+        assert DATAPATH_LEDGER.delta(snap)["copies"] == 0
+
+    def test_raise_policy_propagates(self, capsule):
+        pool = BufferPool(256, 1)
+        nic = capsule.instantiate(lambda: Nic(pool=pool), "n")
+        assert nic.receive_frame(packet())
+        with pytest.raises(ResourceError):
+            nic.receive_frame(packet())
+
+    def test_frame_too_big_for_pool_drops_under_datapath_policy(self, capsule):
+        # Regression: a frame within MTU but larger than any pool buffer
+        # raised ResourceError mid-datapath even under drop-newest.
+        pool = BufferPool(64, 4, exhaustion_policy="drop-newest")
+        nic = capsule.instantiate(lambda: Nic(pool=pool), "n")
+        assert not nic.receive_frame(packet(size=200))  # 200B payload > 64B buffers
+        assert nic.counters["oversize_drops"] == 1
+        assert pool.stats()["in_flight"] == 0
+
+
+class TestTxDrain:
+    def test_drain_tx_releases_to_pool(self, capsule):
+        pool = BufferPool(256, 4)
+        nic = capsule.instantiate(Nic, "n")
+        for _ in range(3):
+            assert nic.transmit(pooled_packet(pool))
+        assert pool.stats()["in_flight"] == 3
+        assert nic.drain_tx() == 3
+        assert pool.stats()["in_flight"] == 0
+        assert nic.counters["tx_completions"] == 3
+        assert pool.acquired_total == pool.released_total == 3
+
+    def test_drain_tx_handler_takes_ownership(self, capsule):
+        pool = BufferPool(256, 4)
+        nic = capsule.instantiate(Nic, "n")
+        nic.transmit(pooled_packet(pool))
+        taken = []
+        assert nic.drain_tx(taken.append) == 1
+        assert pool.stats()["in_flight"] == 1  # handler holds the buffer
+        taken[0].release()
+        assert pool.stats()["in_flight"] == 0
+
+    def test_full_rx_to_tx_recycling_loop(self, capsule):
+        # The tentpole in miniature: a 2-buffer pool carries many packets
+        # because every TX drain returns buffers for the next arrival.
+        pool = BufferPool(256, 2, exhaustion_policy="drop-newest")
+        nic = capsule.instantiate(lambda: Nic(pool=pool), "n")
+        for _ in range(10):
+            assert nic.receive_frame(packet())
+            wire = nic.poll_rx()
+            assert nic.transmit(wire)
+            assert nic.drain_tx() == 1
+        assert pool.acquired_total == pool.released_total == 10
+        assert pool.stats()["free"] == 2
+        assert nic.counters["pool_exhausted_drops"] == 0
 
 
 class TestTx:

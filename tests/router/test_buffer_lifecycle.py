@@ -1,0 +1,185 @@
+"""Buffer-lifecycle balance audit: every topology, every drop path.
+
+The pooled datapath's invariant is mechanical: each packet's buffer is
+acquired exactly once (here: trace materialisation onto the pool) and
+released exactly once — by whichever component ends the packet's life,
+whether that is a drop path (bad checksum, TTL expiry, no route, queue
+overflow) or a recycling terminal sink.  This audit runs a *mixed*
+drop/forward trace through all four router topologies (CF vtable, CF
+fused, Click-style, monolithic) and asserts the pool books balance:
+``acquired_total == released_total`` and the free list recovers in full.
+
+A topology that leaks (a drop path missing ``release_dropped``, a sink
+retaining silently past its bound) fails on the free-list check; a
+double release fails earlier with ResourceError inside the run.
+"""
+
+import pytest
+
+from repro.baselines import ClickRouter, MonolithicRouter, standard_click_config
+from repro.netsim import ipv4, make_udp_v4, to_wire
+from repro.opencom import Capsule, fuse_pipeline
+from repro.osbase import BufferPool
+from repro.router import CollectorSink, DropSink, build_forwarding_pipeline
+
+ROUTES = {
+    "10.1.0.0/16": "east",
+    "10.2.0.0/16": "west",
+}
+TRACE_LEN = 120
+QUEUE_CAPACITY = 8  # small on purpose: the baselines must overflow
+
+
+def build_mixed_trace(pool):
+    """TRACE_LEN pooled wire packets cycling through four fates:
+    forwardable, bad checksum, TTL-expired, and no-route."""
+    packets = []
+    bases = ["10.1.0.5", "10.2.0.7"]
+    for i in range(TRACE_LEN):
+        wire = to_wire(
+            make_udp_v4("10.255.0.1", bases[i % 2], payload=bytes(32)), pool=pool
+        )
+        fate = i % 4
+        if fate == 1:
+            # Corrupt the stored checksum in place: dropped at the header
+            # processor / CheckIPHeader / inlined validation.
+            wire.net.checksum = wire.net.checksum ^ 0x5555
+        elif fate == 2:
+            wire.net.ttl = 1
+            wire.net.refresh_checksum()
+        elif fate == 3:
+            # Incremental rewrite keeps the checksum valid, so the packet
+            # survives validation and dies at the route lookup instead.
+            wire.net.rewrite_dst(ipv4("203.0.113.9"))
+        packets.append(wire)
+    return packets
+
+
+def assert_books_balance(pool, *, forwarded, dropped):
+    assert forwarded > 0, "audit trace must actually forward packets"
+    assert dropped > 0, "audit trace must actually drop packets"
+    assert pool.acquired_total == pool.released_total == TRACE_LEN
+    stats = pool.stats()
+    assert stats["free"] == stats["count"]
+    assert stats["in_flight"] == 0
+
+
+def make_pool():
+    return BufferPool(128, TRACE_LEN + 4)
+
+
+@pytest.mark.parametrize("fused", [False, True], ids=["cf-vtable", "cf-fused"])
+@pytest.mark.parametrize("sink_kind", ["recycling-collector", "drop-sink"])
+def test_cf_pipeline_books_balance(fused, sink_kind):
+    pool = make_pool()
+    capsule = Capsule("audit")
+    hops = sorted(set(ROUTES.values()))
+    if sink_kind == "recycling-collector":
+        sinks = {
+            hop: capsule.instantiate(
+                lambda: CollectorSink(recycle=True), f"sink:{hop}"
+            )
+            for hop in hops
+        }
+    else:
+        sinks = {
+            hop: capsule.instantiate(DropSink, f"sink:{hop}") for hop in hops
+        }
+    pipeline = build_forwarding_pipeline(
+        capsule, routes=ROUTES, next_hop_sinks=sinks
+    )
+    if fused:
+        fuse_pipeline(list(capsule.components().values()))
+    trace = build_mixed_trace(pool)
+    pipeline.push_batch(trace)
+    forwarded = sum(sink.collected_count() for sink in sinks.values())
+    stats = pipeline.stage_stats()
+    dropped = sum(
+        count
+        for stage in stats.values()
+        for key, count in stage.items()
+        if key.startswith("drop:")
+    )
+    assert forwarded + dropped == TRACE_LEN
+    assert_books_balance(pool, forwarded=forwarded, dropped=dropped)
+
+
+def test_click_router_books_balance():
+    pool = make_pool()
+    router = ClickRouter(
+        standard_click_config(
+            routes=ROUTES, queue_capacity=QUEUE_CAPACITY, recycle_sinks=True
+        )
+    )
+    trace = build_mixed_trace(pool)
+    router.push_batch(trace)
+    router.service(budget=TRACE_LEN)
+    forwarded = sum(
+        element.counters.get("rx", 0)
+        for name, element in router.elements.items()
+        if name.startswith("sink-")
+    )
+    dropped = sum(
+        count
+        for element in router.elements.values()
+        for key, count in element.counters.items()
+        if key.startswith("drop:")
+    )
+    assert forwarded + dropped == TRACE_LEN
+    # The tiny queues must have overflowed: that drop path is audited too.
+    overflowed = sum(
+        element.counters.get("drop:overflow", 0)
+        for element in router.elements.values()
+    )
+    assert overflowed > 0
+    assert_books_balance(pool, forwarded=forwarded, dropped=dropped)
+
+
+def test_monolithic_router_books_balance():
+    pool = make_pool()
+    router = MonolithicRouter(
+        ROUTES, queue_capacity=QUEUE_CAPACITY, recycle_delivered=True
+    )
+    trace = build_mixed_trace(pool)
+    router.push_batch(trace)
+    router.service(budget=TRACE_LEN)
+    forwarded = router.counters["tx"]
+    dropped = sum(
+        count for key, count in router.counters.items() if key.startswith("drop:")
+    )
+    assert forwarded + dropped == TRACE_LEN
+    assert router.counters["drop:overflow"] > 0
+    assert_books_balance(pool, forwarded=forwarded, dropped=dropped)
+
+
+def test_scalar_push_path_books_balance():
+    """The per-packet (non-batched) dispatch path balances too."""
+    pool = make_pool()
+    capsule = Capsule("audit-scalar")
+    sinks = {
+        hop: capsule.instantiate(lambda: CollectorSink(recycle=True), f"s:{hop}")
+        for hop in sorted(set(ROUTES.values()))
+    }
+    pipeline = build_forwarding_pipeline(capsule, routes=ROUTES, next_hop_sinks=sinks)
+    for wire in build_mixed_trace(pool):
+        pipeline.push(wire)
+    assert pool.acquired_total == pool.released_total == TRACE_LEN
+    assert pool.stats()["in_flight"] == 0
+
+
+def test_collector_keep_bound_releases_overflow():
+    """Regression: a keep-bounded CollectorSink silently dropped the
+    packets it did not retain without returning their buffers."""
+    pool = make_pool()
+    sink = CollectorSink(keep=3)
+    trace = [
+        to_wire(make_udp_v4("10.0.0.1", "10.0.0.2", payload=bytes(16)), pool=pool)
+        for _ in range(10)
+    ]
+    sink.push_batch(trace[:5])
+    for wire in trace[5:]:
+        sink.push(wire)
+    assert len(sink.packets) == 3
+    assert sink.collected_count() == 10
+    # The three retained packets hold buffers; the other seven returned.
+    assert pool.stats()["in_flight"] == 3

@@ -17,8 +17,10 @@ from repro.router import (
     ProtocolRecognizer,
     RateMeter,
     SourceNat,
+    TransmitAdapter,
 )
-from repro.osbase import Nic, VirtualClock
+from repro.netsim import to_wire
+from repro.osbase import BufferPool, Nic, VirtualClock
 
 
 def wire(capsule, src, dst, connection=None):
@@ -283,3 +285,59 @@ class TestNicAdapters:
         egress = capsule.instantiate(lambda: NicEgress(lambda p: False), "out")
         push(egress, make_udp_v4("10.0.0.1", "10.0.0.2"))
         assert egress.counters["drop:tx-failed"] == 1
+
+    def test_egress_failure_does_not_double_release(self, capsule):
+        # The transmit callable owns the packet: Nic.transmit releases a
+        # pooled buffer on ring-full, and the egress must not release it
+        # again (a double release raises inside the pool).
+        pool = BufferPool(256, 2)
+        nic = capsule.instantiate(lambda: Nic(tx_ring_size=0), "nic")
+        egress = capsule.instantiate(lambda: NicEgress(nic.transmit), "out")
+        push(egress, to_wire(make_udp_v4("10.0.0.1", "10.0.0.2"), pool=pool))
+        assert egress.counters["drop:tx-failed"] == 1
+        assert pool.stats()["in_flight"] == 0
+
+
+class TestTransmitAdapter:
+    def _pooled(self, pool):
+        return to_wire(make_udp_v4("10.0.0.1", "10.0.0.2"), pool=pool)
+
+    def test_push_then_drain_recycles(self, capsule):
+        pool = BufferPool(256, 4)
+        nic = capsule.instantiate(Nic, "nic")
+        adapter = capsule.instantiate(lambda: TransmitAdapter(nic), "tx")
+        adapter.push_batch([self._pooled(pool) for _ in range(3)])
+        assert adapter.counters["tx"] == 3
+        assert nic.tx_depth == 3
+        assert pool.stats()["in_flight"] == 3
+        assert adapter.drain_wire() == 3
+        assert pool.stats()["in_flight"] == 0
+        assert pool.acquired_total == pool.released_total == 3
+
+    def test_ring_full_counted_and_released(self, capsule):
+        pool = BufferPool(256, 4)
+        nic = capsule.instantiate(lambda: Nic(tx_ring_size=1), "nic")
+        adapter = capsule.instantiate(lambda: TransmitAdapter(nic), "tx")
+        adapter.push_batch([self._pooled(pool) for _ in range(3)])
+        assert adapter.counters["tx"] == 1
+        assert adapter.counters["drop:tx-full"] == 2
+        adapter.drain_wire()
+        assert pool.stats()["in_flight"] == 0
+
+    def test_unplumbed_releases(self, capsule):
+        pool = BufferPool(256, 2)
+        adapter = capsule.instantiate(TransmitAdapter, "tx")
+        push(adapter, self._pooled(pool))
+        assert adapter.counters["drop:unplumbed"] == 1
+        assert pool.stats()["in_flight"] == 0
+
+    def test_drain_wire_handler_takes_ownership(self, capsule):
+        pool = BufferPool(256, 2)
+        nic = capsule.instantiate(Nic, "nic")
+        adapter = capsule.instantiate(lambda: TransmitAdapter(nic), "tx")
+        push(adapter, self._pooled(pool))
+        taken = []
+        assert adapter.drain_wire(handler=taken.append) == 1
+        assert pool.stats()["in_flight"] == 1
+        taken[0].release()
+        assert pool.stats()["in_flight"] == 0

@@ -123,3 +123,44 @@ class TestForwardingPipeline:
         assert {"recogniser", "ipv4", "ipv6", "forwarder"} <= set(
             forwarding.cf.plugins()
         )
+
+
+class TestTxWiring:
+    @pytest.fixture
+    def routes(self):
+        return {"10.1.0.0/16": "west", "10.2.0.0/16": "east"}
+
+    def test_tx_nics_terminate_in_adapters(self, capsule, routes):
+        from repro.osbase import BufferPool, Nic
+
+        tx_nics = {hop: Nic() for hop in ("west", "east")}
+        pipeline = build_forwarding_pipeline(capsule, routes=routes, tx_nics=tx_nics)
+        assert set(pipeline.tx_adapters) == {"west", "east"}
+
+        pool = BufferPool(256, 8)
+        from repro.netsim import to_wire
+
+        pipeline.push_batch(
+            [
+                to_wire(make_udp_v4("10.0.0.1", "10.1.9.9"), pool=pool),
+                to_wire(make_udp_v4("10.0.0.1", "10.2.9.9"), pool=pool),
+            ]
+        )
+        assert tx_nics["west"].tx_depth == 1
+        assert tx_nics["east"].tx_depth == 1
+        assert pool.stats()["in_flight"] == 2
+        # flush_tx is the release half of the lifecycle: the frames left
+        # the machine, their buffers return to the pool.
+        assert pipeline.flush_tx() == 2
+        assert pool.stats()["in_flight"] == 0
+        assert pool.acquired_total == pool.released_total == 2
+
+    def test_mixed_tx_and_collector_hops(self, capsule, routes):
+        from repro.osbase import Nic
+
+        tx_nics = {"west": Nic()}
+        pipeline = build_forwarding_pipeline(capsule, routes=routes, tx_nics=tx_nics)
+        pipeline.push(make_udp_v4("10.0.0.1", "10.1.9.9"))
+        pipeline.push(make_udp_v4("10.0.0.1", "10.2.9.9"))
+        assert tx_nics["west"].tx_depth == 1
+        assert pipeline.stages["sink:east"].collected_count() == 1

@@ -1,11 +1,12 @@
 """Tier-1 wiring of the benchmark smoke mode.
 
-Runs ``benchmarks/run_all.py --smoke`` — the batching and zero-copy
-data-path benchmarks (C11/C12/C13) on a tiny trace with the
-paper-*ordering* (and, for C13, the deterministic copies-per-packet)
-assertions only — so a dispatch- or byte-path regression that flips the
-paper's ordering fails the ordinary test run, without the timing noise
-of the magnitude claims.  The full-scale trajectory stays in the
+Runs ``benchmarks/run_all.py --smoke`` — the batching, zero-copy and
+buffer-lifecycle data-path benchmarks (C11/C12/C13/C14) on a tiny trace
+with the paper-*ordering* (and the deterministic event-count claims:
+C13's copies-per-packet, C14's zero steady-state allocations and
+balanced acquire/release) assertions — so a dispatch-, byte-path- or
+buffer-lifecycle regression fails the ordinary test run, without the
+timing noise of the magnitude claims.  The full-scale trajectory stays in the
 benchmarks themselves (``run_all.py`` without flags →
 ``BENCH_results.json``).
 
@@ -58,6 +59,10 @@ def test_run_all_smoke_orders_hold(tmp_path):
         "bench_c11_batching",
         "bench_c12_pull_batching",
         "bench_c13_zerocopy",
+        # The buffer-lifecycle gate: C14 fails on any nonzero steady-state
+        # allocation count or unbalanced acquire/release, so a PR that
+        # reintroduces per-packet allocation cannot pass tier-1.
+        "bench_c14_steady_state",
     } <= names
     for name, outcome in payload["benchmarks"].items():
         assert outcome["status"] == "passed", (name, outcome["tail"])
