@@ -1,0 +1,523 @@
+"""C15 — sharded multi-worker datapath: concurrency as the scaling axis.
+
+PRs 1–4 made each unit of forwarding work cheap; every unit still ran on
+one logical worker.  This experiment makes *placement* of work the
+variable: N share-nothing forwarding shards (private RX NIC, private
+:func:`~repro.osbase.buffers.carve_shard_pools` pool slice, private
+engine + TX drain) behind one RSS-style flow-hash steering stage, run as
+cooperative ``SimThread`` workers under the thread-management CF's
+modelled-multicore service loop
+(:meth:`~repro.osbase.scheduler.ThreadManagerCF.step_parallel`), with a
+supervisor thread that directs idle workers to steal whole batches from
+the deepest backlog.  All four systems (CF vtable, CF fused, Click-style
+fleet, monolithic fleet) ride the *identical* runtime — steering,
+workers, supervisor — so the comparison stays structural: only what a
+shard's engine is made of differs.
+
+Deterministic headline criteria (virtual-time and event counting, so
+they gate ``--smoke`` / tier-1 at full strength):
+
+- **≥2x aggregate throughput at 4 shards vs 1** on the batched CF path,
+  measured in *virtual* time: a parallel step advances the clock by one
+  quantum however many workers ran, so packets per virtual second is
+  exact modelled-multicore scaling, free of wall-clock noise;
+- **per-flow ordering preserved**: every flow egresses from exactly one
+  shard, with its payload sequence numbers in order — steering pins
+  flows to shards, backlogs are FIFO, and a popped batch is processed
+  end-to-end within one quantum no matter who popped it;
+- **the PR 4 lifecycle holds per shard**: acquired == released on every
+  pool slice (and in aggregate), zero steady-state allocations, full
+  free-list recovery — including under forced work-stealing
+  (``test_c15_work_stealing_rebalance`` skews every flow onto shard 0
+  and lets the other three workers steal).
+
+The paper's C6 ordering (monolithic ≥ Click ≥ CF fused ≥ CF vtable) is
+asserted from wall-clock interleaved best-of-3 sweeps with the usual
+slack — at **every shard count** in the full run, and on the aggregate
+across the swept shard counts under ``--smoke`` (where each cell's
+timed region is too small to gate on alone); ratios compress because
+the shared runtime (steering, thread stepping) is a constant cost,
+exactly as C14's shared NIC loop compressed its ratios.
+"""
+
+import gc
+import random
+import time
+from collections import defaultdict
+from struct import pack, unpack_from
+
+import pytest
+
+from benchmarks.bench_c6_datapath import routes_with_default
+from benchmarks.conftest import SMOKE, once, report, scaled
+from repro.baselines import (
+    ClickRouter,
+    monolithic_shard_fleet,
+    standard_click_config,
+)
+from repro.netsim import batched, flow_hash_of, make_udp_v4
+from repro.osbase import (
+    DATAPATH_LEDGER,
+    Nic,
+    RoundRobinScheduler,
+    Shard,
+    ShardedDatapath,
+    ThreadManagerCF,
+    VirtualClock,
+    carve_shard_pools,
+    release_dropped,
+    shard_pool_audit,
+)
+from repro.router import build_sharded_forwarding_datapath
+
+pytestmark = pytest.mark.bench
+
+BATCH = 32
+#: Shard sweep; smoke keeps the 1-vs-4 scaling pair the headline
+#: criterion needs.
+SHARD_SWEEP = (1, 4) if SMOKE else (1, 2, 4, 8)
+FLOWS = scaled(128, 32)
+PER_FLOW = scaled(32, 20)
+PACKETS = FLOWS * PER_FLOW
+#: Steady-state rounds measured after one warm-up round.
+ROUNDS = scaled(3, 2)
+#: Interleaved repeats, best wall-clock wins; the deterministic counters
+#: (forwarded, allocations, virtual time) are kept from round one and
+#: cross-checked on later rounds, C14-style.
+REPEATS = 3
+BUFFER_SIZE = 128
+#: One fixed buffer budget carved into per-shard slices, so every shard
+#: count runs on the same total memory.
+POOL_TOTAL = 4096
+
+
+def chunk_size(shards: int) -> int:
+    """Frames fed between pumps: several batches per shard, so the
+    multi-core speedup is not quantised away by one-batch chunks."""
+    return BATCH * shards * 4
+
+
+def make_flow_frames(routes, *, flows, per_flow, seed=7, steer_to=None, shards=None):
+    """*flows* five-tuples × *per_flow* sequence-stamped raw frames.
+
+    Payloads carry a big-endian sequence number so egress can check
+    per-flow ordering; flows are interleaved round-robin, so each flow's
+    frames appear in seq order in the trace.  With *steer_to*, endpoints
+    are rejection-sampled until every flow hashes onto that shard (of
+    *shards*) — the forced-imbalance workload for the work-stealing
+    scenario."""
+    rng = random.Random(seed)
+    bases = [prefix.split("/")[0] for prefix in routes]
+    endpoints = []
+    while len(endpoints) < flows:
+        src = f"10.{rng.randrange(1, 250)}.{rng.randrange(250)}.{rng.randrange(1, 250)}"
+        dst = bases[rng.randrange(len(bases))]
+        sport = 1024 + rng.randrange(40_000)
+        dport = rng.randrange(100)
+        probe = make_udp_v4(src, dst, sport=sport, dport=dport)
+        if steer_to is not None and probe.flow_hash() % shards != steer_to:
+            continue
+        endpoints.append((src, dst, sport, dport))
+    frames = []
+    for n in range(flows * per_flow):
+        src, dst, sport, dport = endpoints[n % flows]
+        frames.append(
+            make_udp_v4(
+                src, dst, sport=sport, dport=dport,
+                payload=pack("!I", n // flows) + b"\x00" * 12,
+            ).to_bytes()
+        )
+    return frames
+
+
+class EgressRecorder:
+    """Owns frames handed off the CF TX rings: logs (flow, seq) per
+    shard, then releases the pooled buffer (the hand-off convention —
+    the handler owns each drained frame)."""
+
+    def __init__(self):
+        self.logs = defaultdict(list)
+        self.total = 0
+
+    def handler(self, shard_index):
+        def on_frame(frame):
+            self.logs[shard_index].append(
+                (frame.flow_key(), unpack_from("!I", frame.payload, 0)[0])
+            )
+            self.total += 1
+            release_dropped(frame)
+
+        return on_frame
+
+
+def check_flow_order(logs, *, laps):
+    """Every flow egressed from exactly one shard, with its sequence
+    numbers forming exactly *laps* in-order passes over the trace."""
+    owner: dict = {}
+    seqs = defaultdict(list)
+    for shard_index, entries in logs.items():
+        for flow, seq in entries:
+            assert owner.setdefault(flow, shard_index) == shard_index, (
+                f"flow {flow} egressed from shards {owner[flow]} and {shard_index}"
+            )
+            seqs[flow].append(seq)
+    expected = list(range(PER_FLOW)) * laps
+    for flow, observed in seqs.items():
+        assert observed == expected, (
+            f"flow {flow} out of order: {observed[:8]}... vs {expected[:8]}..."
+        )
+
+
+def new_threads():
+    return ThreadManagerCF(VirtualClock(), scheduler=RoundRobinScheduler())
+
+
+def shard_measure(one_round, forwarded, datapath, pools):
+    """Warm up one round, then measure ROUNDS of steady-state sharded
+    forwarding: wall-clock, virtual-clock, lifecycle deltas, stealing."""
+    one_round()  # warm-up: faults pool slices into circulation, warms caches
+    gc.collect()
+    base_forwarded = forwarded()
+    acquired_before = [pool.acquired_total for pool in pools]
+    released_before = [pool.released_total for pool in pools]
+    free_before = [pool.stats()["free"] for pool in pools]
+    snap = DATAPATH_LEDGER.snapshot()
+    virtual_before = datapath.threads.clock.now
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        one_round()
+    elapsed = time.perf_counter() - start
+    stats = datapath.stats()
+    return {
+        "elapsed": elapsed,
+        "virtual_elapsed": stats["virtual_time"] - virtual_before,
+        "forwarded": forwarded() - base_forwarded,
+        "allocations": DATAPATH_LEDGER.delta(snap)["allocations"],
+        "per_shard": [
+            {
+                "acquired": pool.acquired_total - acquired_before[i],
+                "released": pool.released_total - released_before[i],
+                "in_flight": pool.in_flight,
+                "free_recovered": pool.stats()["free"] == free_before[i],
+            }
+            for i, pool in enumerate(pools)
+        ],
+        "audit": shard_pool_audit(pools),
+        "stolen_batches": sum(s["stolen_batches"] for s in stats["shards"]),
+        "rebalances": stats["rebalances"],
+        "steer_refused": sum(datapath.steering.refused),
+    }
+
+
+def feed(datapath, chunks):
+    for chunk in chunks:
+        datapath.steer_batch(chunk)
+        datapath.pump()
+
+
+def run_cf(routes, frames, shards, *, fused):
+    pools = carve_shard_pools(
+        BUFFER_SIZE, POOL_TOTAL, shards, exhaustion_policy="drop-newest"
+    )
+    recorder = EgressRecorder()
+    datapath = build_sharded_forwarding_datapath(
+        routes=routes,
+        shards=shards,
+        threads=new_threads(),
+        pools=pools,
+        batch=BATCH,
+        rx_ring_size=chunk_size(shards),
+        fused=fused,
+        tx_handler=recorder.handler,
+    )
+    chunks = list(batched(frames, chunk_size(shards)))
+
+    def one_round():
+        feed(datapath, chunks)
+
+    outcome = shard_measure(one_round, lambda: recorder.total, datapath, pools)
+    outcome["recorder"] = recorder
+    return outcome
+
+
+def baseline_datapath(engines, pools, shards, *, flush_budget):
+    """The baselines under the identical sharded runtime: one fleet
+    member per shard, pushed and flushed through the same Shard/steal
+    machinery as the CF pipelines."""
+    built = [
+        Shard(
+            index,
+            nic=Nic(rx_ring_size=chunk_size(shards), pool=pools[index]),
+            pool=pools[index],
+            push_batch=engine.push_batch,
+            flush=lambda e=engine: e.service(budget=flush_budget),
+            engine=engine,
+        )
+        for index, engine in enumerate(engines)
+    ]
+    return ShardedDatapath(
+        built, threads=new_threads(), hash_fn=flow_hash_of, batch=BATCH
+    )
+
+
+def run_monolithic(routes, frames, shards):
+    pools = carve_shard_pools(
+        BUFFER_SIZE, POOL_TOTAL, shards, exhaustion_policy="drop-newest"
+    )
+    fleet = monolithic_shard_fleet(routes, shards, queue_capacity=4 * BATCH)
+    datapath = baseline_datapath(fleet, pools, shards, flush_budget=BATCH)
+    chunks = list(batched(frames, chunk_size(shards)))
+
+    def one_round():
+        feed(datapath, chunks)
+
+    return shard_measure(
+        one_round,
+        lambda: sum(router.counters["tx"] for router in fleet),
+        datapath,
+        pools,
+    )
+
+
+def run_click(routes, frames, shards):
+    pools = carve_shard_pools(
+        BUFFER_SIZE, POOL_TOTAL, shards, exhaustion_policy="drop-newest"
+    )
+    fleet = [
+        ClickRouter(
+            standard_click_config(
+                routes=routes, queue_capacity=4 * BATCH, recycle_sinks=True
+            )
+        )
+        for _ in range(shards)
+    ]
+    datapath = baseline_datapath(fleet, pools, shards, flush_budget=BATCH)
+    chunks = list(batched(frames, chunk_size(shards)))
+
+    def one_round():
+        feed(datapath, chunks)
+
+    def forwarded():
+        return sum(
+            element.counters.get("rx", 0)
+            for router in fleet
+            for name, element in router.elements.items()
+            if name.startswith("sink-")
+        )
+
+    return shard_measure(one_round, forwarded, datapath, pools)
+
+
+def sweep(routes, frames):
+    """Interleaved best-of-REPEATS wall-clock per (system, shards);
+    deterministic counters kept from round one and cross-checked."""
+    runners = {
+        "CF vtable": lambda s: run_cf(routes, frames, s, fused=False),
+        "CF fused": lambda s: run_cf(routes, frames, s, fused=True),
+        "Click-style": lambda s: run_click(routes, frames, s),
+        "monolithic": lambda s: run_monolithic(routes, frames, s),
+    }
+    results: dict[tuple, dict] = {}
+    for _ in range(REPEATS):
+        for shards in SHARD_SWEEP:
+            for name, runner in runners.items():
+                outcome = runner(shards)
+                key = (name, shards)
+                if key not in results:
+                    results[key] = outcome
+                else:
+                    kept = results[key]
+                    assert outcome["forwarded"] == kept["forwarded"], key
+                    assert outcome["allocations"] == kept["allocations"], key
+                    assert outcome["virtual_elapsed"] == pytest.approx(
+                        kept["virtual_elapsed"]
+                    ), key
+                    kept["elapsed"] = min(kept["elapsed"], outcome["elapsed"])
+    return results
+
+
+def test_c15_sharding_sweep(benchmark):
+    def experiment():
+        routes = routes_with_default()
+        frames = make_flow_frames(routes, flows=FLOWS, per_flow=PER_FLOW)
+        results = sweep(routes, frames)
+        rows = []
+        for (name, shards), res in sorted(results.items(), key=lambda kv: kv[0][1]):
+            vthr = res["forwarded"] / res["virtual_elapsed"]
+            base = results[(name, SHARD_SWEEP[0])]
+            rows.append(
+                [
+                    name,
+                    shards,
+                    f"{res['forwarded'] / res['elapsed'] / 1e3:.0f}",
+                    f"{vthr / (base['forwarded'] / base['virtual_elapsed']):.2f}x",
+                    f"{res['allocations'] / max(res['forwarded'], 1):.2f}",
+                    "yes" if res["audit"]["balanced"] else "NO",
+                    res["stolen_batches"],
+                    res["forwarded"],
+                ]
+            )
+        report(
+            f"C15: sharded datapath, batch-{BATCH}, {POOL_TOTAL}-buffer budget, "
+            f"{FLOWS} flows x {PER_FLOW} pkts, {ROUNDS} rounds, "
+            f"shards {list(SHARD_SWEEP)}",
+            [
+                "system",
+                "shards",
+                "kpps(wall)",
+                "vscale",
+                "allocs/pkt",
+                "pools balanced",
+                "stolen",
+                "forwarded",
+            ],
+            rows,
+        )
+        print(f"[bench-meta] shards={','.join(str(s) for s in SHARD_SWEEP)}")
+        return results
+
+    results = once(benchmark, experiment)
+    expected = ROUNDS * PACKETS
+    for (name, shards), res in results.items():
+        # Nothing lost at any shard count: steering accepted every frame
+        # and the carved slices recycled fast enough.
+        assert res["forwarded"] == expected, (name, shards, res)
+        assert res["steer_refused"] == 0, (name, shards, res)
+        # PR 4's lifecycle, now per shard: zero steady-state allocation,
+        # every slice's acquires matched by releases, occupancy fully
+        # recovered.
+        assert res["allocations"] == 0, (name, shards, res)
+        for row in res["per_shard"]:
+            assert row["acquired"] == row["released"], (name, shards, row)
+            assert row["in_flight"] == 0, (name, shards, row)
+            assert row["free_recovered"], (name, shards, row)
+        assert res["audit"]["balanced"], (name, shards, res["audit"])
+        # Per-flow ordering on the CF path: one shard per flow, payload
+        # sequence numbers in order across warm-up + measured rounds.
+        recorder = res.get("recorder")
+        if recorder is not None:
+            check_flow_order(recorder.logs, laps=1 + ROUNDS)
+
+    # Headline: modelled-multicore scaling on the batched path, in
+    # virtual time (deterministic — parallel quanta overlap, so packets
+    # per virtual second is the aggregate-throughput claim).
+    for name in ("CF fused", "CF vtable"):
+        vthr = {
+            shards: results[(name, shards)]["forwarded"]
+            / results[(name, shards)]["virtual_elapsed"]
+            for shards in SHARD_SWEEP
+        }
+        assert vthr[4] >= 2.0 * vthr[1], (name, vthr)
+
+    # Paper ordering (C6/C14 slack style) — the shared runtime
+    # compresses the ratios, the direction must survive.  The
+    # fused/vtable pair gets the same 0.9 slack as the others: C11 and
+    # C12 already established that fusion adds only ~1–2% once batching
+    # amortises dispatch, and behind the shared sharded runtime that
+    # pair sits within wall-clock noise.  The full run asserts the
+    # ordering at *every* shard count; under smoke each (system, shards)
+    # cell's timed region is only ~tens of milliseconds — noise-bound on
+    # a loaded container — so the smoke gate asserts the same ordering
+    # on wall-clock aggregated across the swept shard counts instead
+    # (twice the timed region, still direction-sensitive).
+    scopes = [SHARD_SWEEP] if SMOKE else [(shards,) for shards in SHARD_SWEEP]
+    for scope in scopes:
+        def pps(name):
+            forwarded = sum(results[(name, s)]["forwarded"] for s in scope)
+            elapsed = sum(results[(name, s)]["elapsed"] for s in scope)
+            return forwarded / elapsed
+
+        assert pps("monolithic") >= pps("Click-style") * 0.9, scope
+        assert pps("Click-style") >= pps("CF fused") * 0.9, scope
+        assert pps("CF fused") >= pps("CF vtable") * 0.9, scope
+
+
+def test_c15_work_stealing_rebalance(benchmark):
+    """Forced imbalance: every flow steers to shard 0 of 4, so the
+    supervisor must direct the three idle workers at shard 0's backlog.
+    All assertions are event counts — deterministic at any scale."""
+
+    def experiment():
+        routes = routes_with_default()
+        shards = 4
+        frames = make_flow_frames(
+            routes, flows=FLOWS, per_flow=PER_FLOW, steer_to=0, shards=shards
+        )
+        pools = carve_shard_pools(
+            BUFFER_SIZE, POOL_TOTAL, shards, exhaustion_policy="drop-newest"
+        )
+        recorder = EgressRecorder()
+        datapath = build_sharded_forwarding_datapath(
+            routes=routes,
+            shards=shards,
+            threads=new_threads(),
+            pools=pools,
+            batch=BATCH,
+            rx_ring_size=PACKETS,
+            fused=True,
+            tx_handler=recorder.handler,
+            steal_watermark=BATCH,
+        )
+        feed(datapath, batched(frames, chunk_size(shards)))
+        stats = datapath.stats()
+        report(
+            "C15: forced-imbalance work stealing (all flows -> shard 0 of 4)",
+            ["shard", "steered", "processed", "stolen", "ceded"],
+            [
+                [
+                    row["shard_id"],
+                    row["steered"],
+                    row["processed_packets"],
+                    row["stolen_batches"],
+                    row["ceded_batches"],
+                ]
+                for row in stats["shards"]
+            ],
+        )
+        return recorder, datapath, pools, stats
+
+    recorder, datapath, pools, stats = once(benchmark, experiment)
+    victim = stats["shards"][0]
+    # The imbalance was real and the supervisor reacted: peers stole
+    # whole batches from shard 0, whose engine still processed them all.
+    assert victim["steered"] == PACKETS
+    assert victim["processed_packets"] == PACKETS
+    assert victim["ceded_batches"] > 0, stats
+    assert sum(s["stolen_batches"] for s in stats["shards"]) == victim["ceded_batches"]
+    assert stats["rebalances"] > 0
+    # Stealing moved CPU time, not flow residency or buffer ownership:
+    # ordering holds, every egress came off shard 0, and shard 0's pool
+    # slice (the only one touched) balances exactly.
+    assert recorder.total == PACKETS
+    check_flow_order(recorder.logs, laps=1)
+    assert set(recorder.logs) == {0}
+    assert pools[0].acquired_total == pools[0].released_total == PACKETS
+    assert shard_pool_audit(pools)["balanced"]
+
+
+def test_c15_fused_sharded_round(benchmark):
+    """pytest-benchmark timing of one fused 4-shard round (steer → pump
+    across the modelled cores → TX flush) — the whole sharded lifecycle
+    per iteration."""
+    routes = routes_with_default()
+    shards = 4
+    frames = make_flow_frames(routes, flows=FLOWS, per_flow=PER_FLOW)
+    pools = carve_shard_pools(
+        BUFFER_SIZE, POOL_TOTAL, shards, exhaustion_policy="drop-newest"
+    )
+    datapath = build_sharded_forwarding_datapath(
+        routes=routes,
+        shards=shards,
+        threads=new_threads(),
+        pools=pools,
+        batch=BATCH,
+        rx_ring_size=chunk_size(shards),
+        fused=True,
+    )
+    chunks = list(batched(frames, chunk_size(shards)))
+
+    def one_round():
+        feed(datapath, chunks)
+
+    benchmark(one_round)
+    assert shard_pool_audit(pools)["in_flight"] == 0

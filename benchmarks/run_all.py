@@ -46,7 +46,17 @@ SMOKE_BENCHES = (
     # occupancy drift, full free-list recovery) are exact event counts,
     # so they gate tier-1 at full strength even on the smoke trace.
     "bench_c14_steady_state.py",
+    # C15's headline claims are likewise deterministic: virtual-time
+    # multicore scaling, per-flow ordering, and the per-shard
+    # acquired==released audit all gate at full strength; only the
+    # wall-clock paper-ordering rows keep the usual smoke slack.
+    "bench_c15_sharding.py",
 )
+
+#: Benchmarks may print ``[bench-meta] key=value`` lines (e.g. C15's
+#: ``shards=1,2,4,8``) which are recorded verbatim in each result entry,
+#: so the trajectory file says *what configuration* produced the tables.
+_META_PREFIX = "[bench-meta] "
 
 #: Every benchmark file must opt into the ``bench`` pytest marker
 #: (``pytestmark = pytest.mark.bench``) so ``-m "not bench"`` reliably
@@ -79,10 +89,17 @@ def run_one(bench: Path, *, smoke: bool = False) -> dict:
     )
     duration = time.perf_counter() - start
     # Keep only the experiment tables ("=== title ===" blocks) — the rest
-    # of the pytest output is noise for a trajectory file.
+    # of the pytest output is noise for a trajectory file.  ``[bench-meta]``
+    # lines become the entry's ``meta`` mapping (C15 records its shard
+    # sweep this way).
     tables: list[str] = []
+    meta: dict[str, str] = {}
     keep = False
     for line in proc.stdout.splitlines():
+        if line.startswith(_META_PREFIX):
+            key, _, value = line[len(_META_PREFIX):].partition("=")
+            meta[key.strip()] = value.strip()
+            continue
         if line.startswith("=== ") and line.rstrip().endswith("==="):
             keep = True
         elif keep and (not line.strip() or line.startswith("---- ") or line[:1] == "="):
@@ -93,6 +110,7 @@ def run_one(bench: Path, *, smoke: bool = False) -> dict:
         "status": "passed" if proc.returncode == 0 else "failed",
         "returncode": proc.returncode,
         "duration_s": round(duration, 3),
+        "meta": meta,
         "tables": "\n".join(tables),
         "tail": "" if proc.returncode == 0 else "\n".join(proc.stdout.splitlines()[-25:]),
     }

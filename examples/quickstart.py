@@ -1,25 +1,35 @@
 #!/usr/bin/env python
 """Quickstart: build, inspect and reconfigure a component router.
 
-Walks the core NETKIT/OpenCOM workflow in five steps:
+Walks the core NETKIT/OpenCOM workflow in six steps:
 
 1. host components in a capsule and bind them into a data path;
 2. push packets through it;
 3. inspect the running architecture through the meta-models;
 4. intercept a binding (reflective instrumentation);
-5. hot-swap a component under traffic without losing a packet.
+5. hot-swap a component under traffic without losing a packet;
+6. shard the datapath across two cooperative workers (flow-hash
+   steering, per-shard buffer pools — see docs/concurrency.md).
 
 Run:  python examples/quickstart.py
 """
 
 from repro.netsim import make_udp_v4
 from repro.opencom import Capsule, CallCounter
+from repro.osbase import (
+    RoundRobinScheduler,
+    ThreadManagerCF,
+    VirtualClock,
+    carve_shard_pools,
+    shard_pool_audit,
+)
 from repro.router import (
     Classifier,
     CollectorSink,
     FifoQueue,
     IPv4HeaderProcessor,
     RouterCF,
+    build_sharded_forwarding_datapath,
 )
 
 
@@ -88,6 +98,32 @@ def main() -> None:
     )
     print(f"after hot swap: fast sink has {fast_sink.collected_count()} packets")
     print("still consistent:", capsule.architecture.check_consistency() == [])
+
+    # 6. Shard the datapath: two share-nothing forwarding workers as
+    #    cooperative threads under the thread-management CF, behind an
+    #    RSS-style flow-hash steering stage, each with its own carved
+    #    buffer-pool slice and TX drain.
+    threads = ThreadManagerCF(VirtualClock(), scheduler=RoundRobinScheduler())
+    pools = carve_shard_pools(256, 32, 2, exhaustion_policy="drop-newest")
+    datapath = build_sharded_forwarding_datapath(
+        routes={"10.0.0.0/8": "east", "0.0.0.0/0": "west"},
+        shards=2,
+        threads=threads,
+        pools=pools,
+        batch=4,
+    )
+    frames = [
+        make_udp_v4(f"10.0.{i}.1", "10.9.9.9", sport=1000 + i, dport=80).to_bytes()
+        for i in range(8)
+    ]
+    datapath.steer_batch(frames)
+    datapath.pump()
+    per_shard = [s["processed_packets"] for s in datapath.stats()["shards"]]
+    print(
+        f"\nsharded: {sum(per_shard)} packets over 2 workers {per_shard}, "
+        f"pools balanced: {shard_pool_audit(pools)['balanced']}"
+    )
+    datapath.shutdown()
 
 
 if __name__ == "__main__":

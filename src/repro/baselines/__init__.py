@@ -12,7 +12,7 @@ from repro.baselines.click import (
     apply_class_filters,
     standard_click_config,
 )
-from repro.baselines.monolithic import MonolithicRouter
+from repro.baselines.monolithic import MonolithicRouter, monolithic_shard_fleet
 
 __all__ = [
     "ClickClassifier",
@@ -24,5 +24,6 @@ __all__ = [
     "ClickSink",
     "MonolithicRouter",
     "apply_class_filters",
+    "monolithic_shard_fleet",
     "standard_click_config",
 ]

@@ -162,3 +162,36 @@ class MonolithicRouter:
     def queued(self) -> int:
         """Packets currently queued."""
         return len(self._expedited) + len(self._best_effort)
+
+
+def monolithic_shard_fleet(
+    routes: dict[str, str],
+    shards: int,
+    *,
+    queue_capacity: int = 128,
+    expedited_filters: list[str] | None = None,
+    recycle_delivered: bool = True,
+) -> list[MonolithicRouter]:
+    """*shards* independent :class:`MonolithicRouter` instances sharing
+    one route table definition — the sharded *monolithic* comparator.
+
+    The sharding experiment (C15) must compare datapath *structure*, not
+    runtime topology: the CF pipelines run N per-shard copies behind one
+    steering stage, so the baseline gets the same treatment — each fleet
+    member becomes one shard's engine (``push_batch`` + ``service``)
+    under the identical :class:`~repro.osbase.sharding.ShardedDatapath`
+    runtime, and the only difference left is what a shard's engine is
+    made of.  Recycling delivery is the default because shard engines
+    run in steady state (the C14 discipline).
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return [
+        MonolithicRouter(
+            routes,
+            queue_capacity=queue_capacity,
+            expedited_filters=list(expedited_filters or []),
+            recycle_delivered=recycle_delivered,
+        )
+        for _ in range(shards)
+    ]

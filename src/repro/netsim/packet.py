@@ -102,6 +102,61 @@ def incremental_checksum_update(checksum: int, old_word: int, new_word: int) -> 
     return (~total) & 0xFFFF
 
 
+_FNV64_OFFSET = 0xCBF29CE484222325
+_FNV64_PRIME = 0x100000001B3
+_FNV64_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def flow_hash_fields(
+    version: int, src: int, dst: int, sport: int, dport: int, proto: int
+) -> int:
+    """Deterministic 64-bit FNV-1a hash over a packet's five-tuple.
+
+    This is the RSS-style *steering* hash: the sharded datapath
+    (:mod:`repro.osbase.sharding`) uses ``flow_hash % shards`` to pin
+    every packet of a flow to one forwarding worker, which is what makes
+    per-flow ordering a per-shard FIFO property.  Two invariants matter
+    and are regression-tested:
+
+    - **stability across representations** — the hash is a pure function
+      of the five-tuple field *values*, so a raw wire frame, a
+      materialised :class:`Packet` and a zero-copy
+      :class:`~repro.netsim.wire.WirePacket` of the same packet steer
+      identically (``flow_hash_of`` parses raw bytes straight off the
+      wire; the packet classes hash their ``flow_key()``);
+    - **stability across runs** — no salted ``hash()`` anywhere, so a
+      trace steers the same way in every process (deterministic
+      experiments, diffable shard counters).
+
+    Addresses are mixed at their native width (4 bytes for v4, 16 for
+    v6) so v4/v6 flows sharing low-order address bits do not collide
+    structurally.  The raw FNV state is then avalanched with the
+    murmur3 64-bit finaliser: steering takes ``hash % shards`` with
+    power-of-two shard counts, and plain FNV-1a's low bit is just the
+    XOR of the input bytes' low bits — without the finaliser, traces
+    whose per-flow low bits cancel (e.g. the same counter feeding both a
+    source octet and a port) would collapse onto half the shards.
+    """
+    h = _FNV64_OFFSET
+    for value, width in (
+        (version, 1),
+        (src, 16 if version == 6 else 4),
+        (dst, 16 if version == 6 else 4),
+        (sport, 2),
+        (dport, 2),
+        (proto, 1),
+    ):
+        for shift in range((width - 1) * 8, -1, -8):
+            h ^= (value >> shift) & 0xFF
+            h = (h * _FNV64_PRIME) & _FNV64_MASK
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & _FNV64_MASK
+    h ^= h >> 33
+    h = (h * 0xC4CEB9FE1A85EC53) & _FNV64_MASK
+    h ^= h >> 33
+    return h
+
+
 @dataclass
 class IPv4Header:
     """IPv4 header (20 bytes, no options)."""
@@ -499,6 +554,12 @@ class Packet:
             else self.net.next_header
         )
         return (self.version, self.net.src, self.net.dst, sport, dport, proto)
+
+    def flow_hash(self) -> int:
+        """Stable RSS-style steering hash over :meth:`flow_key` (see
+        :func:`flow_hash_fields` — identical for the materialised and wire
+        representations of the same packet)."""
+        return flow_hash_fields(*self.flow_key())
 
     # -- serialisation ----------------------------------------------------------------
 

@@ -42,6 +42,7 @@ from repro.netsim.packet import (
     TCPHeader,
     UDPHeader,
     _PACKET_IDS,
+    flow_hash_fields,
     incremental_checksum_update,
     internet_checksum,
 )
@@ -583,7 +584,10 @@ class WirePacket:
         exhaustion drops never skew the copies-per-packet accounting.
         Returns None — instead of raising mid-datapath — when the pool is
         exhausted under a ``drop-newest``/``backpressure`` policy, so the
-        NIC can apply its drop accounting.
+        NIC can apply its drop accounting.  A frame whose bytes fail to
+        parse (truncated header, unknown version) raises
+        :class:`PacketError` with the acquired buffer already handed
+        back — malformed input must never strand a pool buffer.
         """
         if isinstance(frame, WirePacket):
             return frame
@@ -595,7 +599,11 @@ class WirePacket:
                 if buffer is None:
                     return None
             _LEDGER.record_copy(len(frame))
-            return cls(buffer, created_at=created_at, metadata=metadata)
+            try:
+                return cls(buffer, created_at=created_at, metadata=metadata)
+            except PacketError:
+                buffer.release_ref()
+                raise
         size = frame.size_bytes
         if pool is None:
             buffer = Buffer(None, size)
@@ -607,11 +615,15 @@ class WirePacket:
         _LEDGER.record_copy(size)
         frame.write_into(buffer._data, 0)
         buffer.length = size
-        return cls(
-            buffer,
-            created_at=frame.created_at,
-            metadata=dict(frame.metadata),
-        )
+        try:
+            return cls(
+                buffer,
+                created_at=frame.created_at,
+                metadata=dict(frame.metadata),
+            )
+        except PacketError:
+            buffer.release_ref()
+            raise
 
     # -- Packet-compatible surface ---------------------------------------------
 
@@ -694,6 +706,14 @@ class WirePacket:
             sport = dport = 0
         return (self.version, src, dst, sport, dport, proto)
 
+    def flow_hash(self) -> int:
+        """Stable RSS-style steering hash, read by ``unpack_from`` on the
+        view (:meth:`flow_key`) — no header objects are touched, and the
+        value matches :meth:`Packet.flow_hash` and :func:`flow_hash_of`
+        on the same bytes (regression-tested: steering must not depend on
+        a packet's representation)."""
+        return flow_hash_fields(*self.flow_key())
+
     # -- byte-level operations --------------------------------------------------
 
     def wire_view(self) -> memoryview:
@@ -764,6 +784,75 @@ class WirePacket:
             f"<WirePacket#{self.packet_id} v{self.version} {self.length}B "
             f"refs={self.buffer.refcount}>"
         )
+
+
+def wire_flow_key(frame: bytes | bytearray | memoryview) -> tuple:
+    """The five-tuple of raw wire bytes, read field-by-field with
+    ``unpack_from`` — no header objects, no buffer materialisation.
+
+    This is the raw-bytes twin of :meth:`WirePacket.flow_key` /
+    :meth:`Packet.flow_key` and must agree with them on every valid
+    frame (the representation-stability regression tests in
+    ``tests/osbase/test_sharding.py`` pin the agreement).  Validation
+    mirrors :meth:`WirePacket._parse_layout`: an unusable frame (empty,
+    truncated network *or transport* header, unknown version) raises
+    :class:`PacketError` rather than producing a garbage key a shard
+    NIC would reject anyway; transport ports are read only for UDP/TCP,
+    anything else keys with ``sport = dport = 0`` exactly like
+    ``flow_key()``.
+    """
+    length = len(frame)
+    if length == 0:
+        raise PacketError("empty frame")
+    version = frame[0] >> 4
+    if version == 4:
+        if length < IPv4Header.HEADER_LEN:
+            raise PacketError(f"IPv4 header needs 20 bytes, got {length}")
+        src, dst = unpack_from("!II", frame, 12)
+        proto = frame[9]
+        offset = IPv4Header.HEADER_LEN
+    elif version == 6:
+        if length < IPv6Header.HEADER_LEN:
+            raise PacketError(f"IPv6 header needs 40 bytes, got {length}")
+        src_hi, src_lo, dst_hi, dst_lo = unpack_from("!QQQQ", frame, 8)
+        src, dst = (src_hi << 64) | src_lo, (dst_hi << 64) | dst_lo
+        proto = frame[6]
+        offset = IPv6Header.HEADER_LEN
+    else:
+        raise PacketError(f"unknown IP version {version}")
+    sport = dport = 0
+    if proto in (PROTO_UDP, PROTO_TCP):
+        # Same strictness as _parse_layout: a truncated transport header
+        # is malformed, not "transport-less" — rejecting it here keeps
+        # the failure at the steering step instead of letting a shard
+        # NIC raise mid-batch after the frame was already steered.
+        needed = (
+            UDPHeader.HEADER_LEN if proto == PROTO_UDP else TCPHeader.HEADER_LEN
+        )
+        if length < offset + needed:
+            raise PacketError(
+                f"transport header needs {needed} bytes, got {length - offset}"
+            )
+        sport, dport = unpack_from("!HH", frame, offset)
+    return (version, src, dst, sport, dport, proto)
+
+
+def flow_hash_of(frame: Any) -> int:
+    """The steering hash of an arriving frame, in any representation.
+
+    This is what the RSS steering stage calls *before* any pool acquire:
+    raw wire bytes go through :func:`wire_flow_key` (pure ``unpack_from``
+    reads), while materialised packets and wire packets hash their
+    ``flow_key()``.  All three representations of the same packet
+    produce the same value (see
+    :func:`~repro.netsim.packet.flow_hash_fields` for why that matters);
+    unusable byte frames raise :class:`PacketError` — the sharded
+    runtime's steering stage counts those as malformed refusals
+    (:class:`repro.osbase.sharding.RssSteering`).
+    """
+    if isinstance(frame, (bytes, bytearray, memoryview)):
+        return flow_hash_fields(*wire_flow_key(frame))
+    return flow_hash_fields(*frame.flow_key())
 
 
 def to_wire(packet: Packet | WirePacket, *, pool: Any = None) -> WirePacket:

@@ -1,6 +1,7 @@
 """Stratum 1 — hardware abstraction: virtual clock, timers, memory
 allocation, the buffer-management CF, cooperative threads with the
-pluggable-scheduler thread-management CF, and the NIC model."""
+pluggable-scheduler thread-management CF, the NIC model, and the sharded
+multi-worker datapath runtime."""
 
 from repro.osbase.buffers import (
     EXHAUSTION_POLICIES,
@@ -8,7 +9,9 @@ from repro.osbase.buffers import (
     BufferManagementCF,
     BufferPool,
     IBufferPool,
+    carve_shard_pools,
     release_dropped,
+    shard_pool_audit,
 )
 from repro.osbase.clock import ClockError, VirtualClock
 from repro.osbase.memory import (
@@ -25,6 +28,13 @@ from repro.osbase.scheduler import (
     PriorityScheduler,
     RoundRobinScheduler,
     ThreadManagerCF,
+)
+from repro.osbase.sharding import (
+    PumpExhausted,
+    RssSteering,
+    Shard,
+    ShardedDatapath,
+    ShardingError,
 )
 from repro.osbase.threads import SimThread, ThreadError, WaitEvent
 from repro.osbase.timers import Timer, TimerWheel
@@ -46,7 +56,12 @@ __all__ = [
     "MemoryAllocator",
     "Nic",
     "PriorityScheduler",
+    "PumpExhausted",
     "RoundRobinScheduler",
+    "RssSteering",
+    "Shard",
+    "ShardedDatapath",
+    "ShardingError",
     "SimThread",
     "ThreadError",
     "ThreadManagerCF",
@@ -54,5 +69,7 @@ __all__ = [
     "TimerWheel",
     "VirtualClock",
     "WaitEvent",
+    "carve_shard_pools",
     "release_dropped",
+    "shard_pool_audit",
 ]

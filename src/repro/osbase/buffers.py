@@ -271,6 +271,74 @@ class BufferPool(Component):
         return self.count - len(self._free)
 
 
+def carve_shard_pools(
+    buffer_size: int,
+    count: int,
+    shards: int,
+    *,
+    exhaustion_policy: str = "raise",
+) -> list[BufferPool]:
+    """Split one pool budget of *count* buffers into *shards* private
+    :class:`BufferPool` slices (the remainder spread over the first
+    pools, so slice sizes differ by at most one).
+
+    This is the shard-local memory discipline of the sharded datapath:
+    each forwarding worker acquires only from its own slice, so one
+    shard's backlog can exhaust *its* slice (degrading by that slice's
+    policy) without starving its peers, and the per-shard
+    acquired==released audit stays meaningful.  :func:`shard_pool_audit`
+    checks the lifecycle invariant per slice and in aggregate.
+    """
+    if shards <= 0:
+        raise ResourceError(f"shards must be positive, got {shards}")
+    if count < shards:
+        raise ResourceError(
+            f"cannot carve {count} buffers into {shards} non-empty slices"
+        )
+    base, extra = divmod(count, shards)
+    return [
+        BufferPool(
+            buffer_size,
+            base + (1 if i < extra else 0),
+            exhaustion_policy=exhaustion_policy,
+        )
+        for i in range(shards)
+    ]
+
+
+def shard_pool_audit(pools: list[BufferPool]) -> dict:
+    """Lifecycle audit over per-shard pool slices.
+
+    Returns per-pool ``(acquired_total, released_total, in_flight)``
+    rows plus aggregate totals and ``balanced`` — True when *every*
+    slice has acquired == released and nothing in flight (the PR 4
+    closed-lifecycle invariant, now required to hold per shard and in
+    aggregate even when batches are processed by a stealing peer).
+    """
+    rows = [
+        {
+            "acquired_total": pool.acquired_total,
+            "released_total": pool.released_total,
+            "in_flight": pool.in_flight,
+        }
+        for pool in pools
+    ]
+    acquired = sum(row["acquired_total"] for row in rows)
+    released = sum(row["released_total"] for row in rows)
+    in_flight = sum(row["in_flight"] for row in rows)
+    return {
+        "pools": rows,
+        "acquired_total": acquired,
+        "released_total": released,
+        "in_flight": in_flight,
+        "balanced": all(
+            row["acquired_total"] == row["released_total"]
+            and row["in_flight"] == 0
+            for row in rows
+        ),
+    }
+
+
 class BufferManagementCF(ComponentFramework):
     """CF accepting buffer-pool plug-ins and routing acquisitions.
 

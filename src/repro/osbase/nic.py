@@ -40,6 +40,22 @@ from repro.opencom.errors import ResourceError
 from repro.opencom.interfaces import Interface
 from repro.osbase.buffers import release_dropped
 
+#: Lazily resolved once (netsim sits above osbase, so the import cannot
+#: run at module load) and cached — ``_ingest`` is on the per-packet hot
+#: path of every pooled-ingress benchmark.
+_WIRE_PACKET = None
+_PACKET_ERROR: type[Exception] | None = None
+
+
+def _wire_packet_class():
+    global _WIRE_PACKET, _PACKET_ERROR
+    if _WIRE_PACKET is None:
+        from repro.netsim.wire import PacketError, WirePacket
+
+        _WIRE_PACKET = WirePacket
+        _PACKET_ERROR = PacketError
+    return _WIRE_PACKET
+
 
 class INic(Interface):
     """Host-side interface of a NIC."""
@@ -112,6 +128,7 @@ class Nic(Component):
             "tx_drops": 0,
             "tx_completions": 0,
             "oversize_drops": 0,
+            "malformed_drops": 0,
         }
         #: Optional push-mode hook: when set, received frames are handed
         #: straight to the handler instead of queueing (interrupt-driven
@@ -132,9 +149,7 @@ class Nic(Component):
         """Materialise *frame* on a pooled buffer (wire packets pass
         through untouched — they already live on a buffer).  Returns None
         when the pool is exhausted under a non-raising policy."""
-        from repro.netsim.wire import WirePacket  # local: netsim sits above osbase
-
-        return WirePacket.ingest(frame, pool=self.pool)
+        return _wire_packet_class().ingest(frame, pool=self.pool)
 
     def receive_frame(self, packet: Any) -> bool:
         """Deposit an arriving packet; returns False when dropped (or,
@@ -166,6 +181,16 @@ class Nic(Component):
                     raise
                 self.counters["oversize_drops"] += 1
                 release_dropped(packet)
+                return False
+            except Exception as exc:
+                if _PACKET_ERROR is None or not isinstance(exc, _PACKET_ERROR):
+                    raise
+                # Unparseable bytes (truncated header, unknown version)
+                # are malformed input, not a datapath error: ingest has
+                # already handed the acquired buffer back, so this is a
+                # counted drop, never a mid-datapath unwind.
+                self.counters["rx_drops"] += 1
+                self.counters["malformed_drops"] += 1
                 return False
             if ingested is None:
                 if getattr(self.pool, "exhaustion_policy", "raise") == "backpressure":

@@ -29,7 +29,15 @@ from repro.osbase.threads import SimThread, ThreadBody, WaitEvent
 
 
 class IScheduler(Interface):
-    """Interface of a scheduler plug-in: picks the next thread to run."""
+    """Interface of a scheduler plug-in: picks the next thread to run.
+
+    The same single-pick policy drives both service loops: the serial
+    :meth:`ThreadManagerCF.step` calls :meth:`select` once per quantum,
+    while the multi-core :meth:`ThreadManagerCF.step_parallel` calls it
+    repeatedly against the shrinking not-yet-placed ready set — one
+    policy decides placement on every modelled core, so a plug-in never
+    needs to know how many cores exist.
+    """
 
     def select(self, ready: list) -> object:
         """Return one thread from the non-empty *ready* list."""
@@ -108,9 +116,15 @@ class ThreadManagerCF(ComponentFramework):
     """The stratum-1 thread-management CF.
 
     Owns the run queues (ready / sleeping / blocked), drives the shared
-    :class:`VirtualClock` forward by one *quantum* per executed thread
-    slice, and delegates the pick-next decision to the current scheduler
+    :class:`VirtualClock` forward by one *quantum* per scheduling step,
+    and delegates the pick-next decision to the current scheduler
     plug-in.  The scheduler can be hot-swapped at any step boundary.
+
+    Two service loops share those queues: the serial :meth:`step` runs
+    one thread per quantum, and :meth:`step_parallel` runs up to *cores*
+    threads per quantum with their slices overlapping in virtual time —
+    the modelled-multicore mode the sharded datapath
+    (:mod:`repro.osbase.sharding`) is built on.
     """
 
     def __init__(
@@ -183,22 +197,29 @@ class ThreadManagerCF(ComponentFramework):
 
     # -- execution ----------------------------------------------------------------------
 
+    def _ready_after_wake(self) -> list[SimThread]:
+        """Wake due sleepers and return the ready list; when only
+        sleepers remain, jump the clock to the next wake time first.
+        Shared preamble of both service loops, so their idle-advance
+        semantics can never diverge."""
+        self._wake_due()
+        ready = self.ready_threads()
+        if not ready and self._sleeping:
+            wake_at = self._sleeping[0][0]
+            self.clock.advance_to(max(wake_at, self.clock.now))
+            self._wake_due()
+            ready = self.ready_threads()
+        return ready
+
     def step(self) -> SimThread | None:
         """Run one scheduling step: wake sleepers, pick, run one quantum.
 
         Returns the thread that ran, or None when nothing was runnable (in
         which case the clock jumps to the next wake time if one exists).
         """
-        self._wake_due()
-        ready = self.ready_threads()
+        ready = self._ready_after_wake()
         if not ready:
-            if self._sleeping:
-                wake_at = self._sleeping[0][0]
-                self.clock.advance_to(max(wake_at, self.clock.now))
-                self._wake_due()
-                ready = self.ready_threads()
-            if not ready:
-                return None
+            return None
         thread = self.scheduler.select(ready)
         yielded = thread.run_quantum(self.clock.now)
         self.clock.advance(self.quantum)
@@ -224,6 +245,82 @@ class ThreadManagerCF(ComponentFramework):
         steps = 0
         while self.clock.now < deadline and steps < max_steps:
             if self.step() is None:
+                break
+            steps += 1
+        return steps
+
+    # -- parallel execution ---------------------------------------------------------
+
+    def step_parallel(self, cores: int = 1) -> list[SimThread]:
+        """One multi-core scheduling step: run up to *cores* distinct
+        ready threads for one *overlapping* quantum, advancing the clock
+        once.
+
+        This is how the thread-management CF models real parallelism
+        while staying deterministic: the quanta overlap in *virtual* time
+        (N threads progress per quantum, so aggregate virtual throughput
+        scales with cores), but *execution* remains serialised — threads
+        are placed one at a time by the scheduler plug-in (repeated
+        :meth:`IScheduler.select` against the not-yet-placed ready set)
+        and each runs its quantum to completion, in placement order,
+        before the next starts.  A thread body therefore never observes a
+        torn intermediate state of another thread's quantum, which is the
+        invariant the sharded datapath's batch hand-off relies on (see
+        ``docs/concurrency.md``).
+
+        Each thread's yield is handled immediately after its quantum
+        (exactly as in the serial :meth:`step`), so an event signalled by
+        an earlier-placed thread wakes a later-placed waiter with the
+        same semantics as N consecutive serial steps.  Threads that
+        become ready mid-step (woken by a signal) are not placed until
+        the next step: placement is decided against the step's entry
+        snapshot.
+
+        Returns the threads that ran (empty when nothing was runnable;
+        as in :meth:`step`, the clock jumps to the next wake time first
+        when only sleepers remain).
+        """
+        if cores < 1:
+            raise RuleViolation("ThreadManagerCF", [f"cores must be >= 1, got {cores}"])
+        ready = self._ready_after_wake()
+        if not ready:
+            return []
+        now = self.clock.now
+        # Advance before running: every quantum of this step *executes*
+        # against the entry time (run_quantum gets `now`, as the serial
+        # loop's does) while its yield is handled at entry + quantum —
+        # so a `yield 1.0` sleeps to exactly the same virtual wake time
+        # under either service loop.
+        self.clock.advance(self.quantum)
+        placeable = list(ready)
+        ran: list[SimThread] = []
+        for _ in range(min(cores, len(placeable))):
+            thread = self.scheduler.select(placeable)
+            placeable.remove(thread)
+            if thread.state != "ready":  # pragma: no cover - defensive
+                continue
+            yielded = thread.run_quantum(now)
+            self._handle_yield(thread, yielded)
+            ran.append(thread)
+        return ran
+
+    def run_parallel_until_idle(
+        self, cores: int, *, max_steps: int = 1_000_000
+    ) -> int:
+        """:meth:`step_parallel` until no thread is ready or sleeping;
+        returns parallel steps taken (each advances the clock by one
+        quantum regardless of how many threads it ran).
+
+        Note the same caveat as the sharded datapath's service loops:
+        threads whose bodies never finish (``while True: ...; yield``
+        workers) are always ready, so drive those with bounded
+        :meth:`step_parallel` calls — e.g.
+        :meth:`~repro.osbase.sharding.ShardedDatapath.pump` — rather
+        than this method.
+        """
+        steps = 0
+        while steps < max_steps:
+            if not self.step_parallel(cores):
                 break
             steps += 1
         return steps

@@ -1,0 +1,469 @@
+"""The sharded multi-worker datapath runtime (stratum-1 concurrency).
+
+PRs 1–4 made each unit of forwarding work cheap (batched dispatch,
+zero-copy bytes, pooled buffers); this module makes the *placement* of
+work the variable.  N independent forwarding workers run as cooperative
+:class:`~repro.osbase.threads.SimThread` bodies under the pluggable
+thread-management CF, with the CF's modelled-multicore service loop
+(:meth:`~repro.osbase.scheduler.ThreadManagerCF.step_parallel`) letting
+their quanta overlap in virtual time.  Three pieces compose the runtime:
+
+- **steering** (:class:`RssSteering`) — an RSS-style flow-hash stage at
+  the RX edge fans arriving frames out to per-shard RX rings, so every
+  packet of a flow lands on one shard's FIFO backlog (the hash function
+  is injected — typically :func:`repro.netsim.wire.flow_hash_of`, which
+  reads raw wire bytes without materialising anything; osbase never
+  imports upward);
+- **shards** (:class:`Shard`) — each shard owns a private RX NIC, a
+  private :class:`~repro.osbase.buffers.BufferPool` slice (see
+  :func:`~repro.osbase.buffers.carve_shard_pools`) and its own engine
+  (a router pipeline, or a baseline router) with its own TX drain, so
+  shards share *nothing* on the datapath;
+- **the supervisor** — a management thread that watches per-shard
+  backlog watermarks and, when they diverge, directs idle workers to
+  steal whole batches from the most backlogged shard.
+
+Ownership under stealing follows the batch hand-off convention
+(documented with the yield protocol in :mod:`repro.osbase.threads`):
+popping a batch hands its packets to the popper, who must run them
+end-to-end through the *owning shard's* engine within the same quantum.
+Stealing therefore moves CPU time, never flow residency: buffers stay on
+the victim's pool and egress through the victim's TX path, per-flow
+order is preserved (backlogs are FIFO, pops are serialised, each popped
+batch completes before the popper yields), and the PR 4 lifecycle
+invariant — acquired == released — holds per shard and in aggregate.
+``docs/concurrency.md`` walks the whole model; experiment C15
+(``benchmarks/bench_c15_sharding.py``) measures it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Callable
+from typing import Any
+
+from repro.opencom.errors import OpenComError
+
+
+class ShardingError(OpenComError):
+    """Invalid sharded-datapath construction or operation."""
+
+
+class PumpExhausted(RuntimeWarning):
+    """``pump`` hit its step limit with frames still on a backlog."""
+
+
+class RssSteering:
+    """RSS-style flow-hash steering: frame → ``outputs[hash % N]``.
+
+    *outputs* are per-shard receive callables (typically each shard NIC's
+    ``receive_frame``) returning True when the frame was accepted;
+    *hash_fn* maps a frame to a stable integer.  The hash must not
+    depend on the frame's representation (raw bytes vs materialised vs
+    wire packet) or steering would split a flow across shards —
+    :func:`repro.netsim.wire.flow_hash_of` guarantees exactly that.
+
+    *reject* names the exception types the hash raises on frames it
+    cannot parse (the injected-alongside-the-hash analogue of the NIC's
+    malformed-drop policy — osbase cannot import the concrete error
+    class from the layer above): such frames are counted in
+    :attr:`malformed` and refused instead of aborting a ``steer_batch``
+    mid-way.  Anything else the hash raises is a programming error and
+    propagates.
+    """
+
+    def __init__(
+        self,
+        outputs: list[Callable[[Any], bool]],
+        *,
+        hash_fn: Callable[[Any], int],
+        reject: tuple[type[BaseException], ...] = (),
+    ) -> None:
+        if not outputs:
+            raise ShardingError("steering needs at least one output")
+        self.outputs = list(outputs)
+        self.hash_fn = hash_fn
+        self.reject = tuple(reject)
+        #: Frames accepted per output, and frames the output refused
+        #: (ring overflow / pool backpressure — the NIC's own counters
+        #: say which).
+        self.steered = [0] * len(self.outputs)
+        self.refused = [0] * len(self.outputs)
+        #: Frames the hash could not parse (counted, not raised —
+        #: malformed input is a policy, never a mid-datapath unwind).
+        self.malformed = 0
+
+    def shard_of(self, frame: Any) -> int:
+        """The shard index *frame* steers to (pure, no side effects)."""
+        return self.hash_fn(frame) % len(self.outputs)
+
+    def steer(self, frame: Any) -> int | None:
+        """Steer one frame; returns the accepting shard index, or None
+        when the frame was malformed (counted in :attr:`malformed`) or
+        that shard's receive refused it (the refusal is counted here,
+        dropped/backpressured accounting lives with the NIC)."""
+        try:
+            index = self.shard_of(frame)
+        except self.reject:
+            self.malformed += 1
+            return None
+        if self.outputs[index](frame):
+            self.steered[index] += 1
+            return index
+        self.refused[index] += 1
+        return None
+
+    def steer_batch(self, frames: list) -> int:
+        """Steer a whole batch; returns frames accepted."""
+        accepted = 0
+        for frame in frames:
+            if self.steer(frame) is not None:
+                accepted += 1
+        return accepted
+
+
+class Shard:
+    """One forwarding shard: private RX NIC + pool slice + engine.
+
+    The engine is opaque to the runtime — any object reachable through
+    the *push_batch* / *flush* callables (a
+    :class:`~repro.router.pipeline.RouterPipeline`, a baseline router, a
+    test double).  ``flush`` completes the lifecycle for everything the
+    preceding ``push_batch`` produced (TX-ring drain, recycling sink
+    service), so :meth:`process` is a whole batch end-to-end.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        nic: Any,
+        pool: Any,
+        push_batch: Callable[[list], Any],
+        flush: Callable[[], Any],
+        engine: Any = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.nic = nic
+        self.pool = pool
+        self.engine = engine
+        self._push_batch = push_batch
+        self._flush = flush
+        self.counters = {
+            "processed_packets": 0,
+            "processed_batches": 0,
+            # Thief side: batches this shard's worker ran for a peer.
+            "stolen_batches": 0,
+            # Victim side: batches of this backlog run by a peer's worker.
+            "ceded_batches": 0,
+        }
+
+    @property
+    def backlog_depth(self) -> int:
+        """Frames waiting on this shard's RX ring (the steal watermark
+        input)."""
+        return self.nic.rx_depth
+
+    def take_batch(self, max_n: int) -> list:
+        """Pop up to *max_n* frames off this shard's backlog.
+
+        Ownership hand-off (the batch-steal convention): the popped
+        batch now belongs to the caller, who must run it through *this*
+        shard's engine — :meth:`process` — within the same quantum, so
+        backlog FIFO order is preserved and every pooled buffer is
+        released by the pool's own shard.
+        """
+        got: list = []
+        self.nic.drain_rx(got.append, budget=max_n)
+        return got
+
+    def process(self, batch: list) -> None:
+        """Run one popped batch end-to-end through this shard's engine
+        (push, then flush — the counters land on the *owning* shard even
+        when a stealing peer is the caller)."""
+        self._push_batch(batch)
+        self._flush()
+        self.counters["processed_packets"] += len(batch)
+        self.counters["processed_batches"] += 1
+
+    def stats(self) -> dict:
+        """Counter snapshot plus backlog depth and pool balance."""
+        snapshot = dict(self.counters)
+        snapshot["backlog_depth"] = self.backlog_depth
+        if self.pool is not None:
+            snapshot["pool_acquired"] = self.pool.acquired_total
+            snapshot["pool_released"] = self.pool.released_total
+            snapshot["pool_in_flight"] = self.pool.in_flight
+        return snapshot
+
+
+class ShardedDatapath:
+    """N forwarding workers plus a rebalancing supervisor over a
+    thread-management CF.
+
+    Workers are spawned immediately as perpetual generator bodies (one
+    backlog batch per quantum); the supervisor (optional) recomputes
+    steal directives each quantum: when the deepest and shallowest
+    backlogs diverge by at least *steal_watermark* frames, every worker
+    at least *steal_watermark* below the deepest is directed to steal
+    from it whenever its own backlog is empty.
+
+    Because worker bodies never finish, drive the runtime with
+    :meth:`pump` (bounded multi-core stepping until the backlogs drain),
+    not ``run_until_idle``.  :attr:`cores` — workers plus one management
+    core for the supervisor — is the natural ``step_parallel`` width and
+    what :meth:`pump` uses.
+    """
+
+    def __init__(
+        self,
+        shards: list[Shard],
+        *,
+        threads: Any,
+        hash_fn: Callable[[Any], int],
+        batch: int = 32,
+        steal_watermark: int | None = None,
+        supervise: bool = True,
+        reject: tuple[type[BaseException], ...] = (),
+        name: str = "sharded-datapath",
+    ) -> None:
+        if not shards:
+            raise ShardingError("a sharded datapath needs at least one shard")
+        if batch < 1:
+            raise ShardingError(f"batch must be >= 1, got {batch}")
+        self.shards = list(shards)
+        self.threads = threads
+        self.batch = batch
+        if steal_watermark is not None and not supervise:
+            # Only the supervisor ever issues steal directives, so an
+            # explicit watermark without one would be silently inert.
+            raise ShardingError(
+                "steal_watermark has no effect without the supervisor "
+                "(supervise=False)"
+            )
+        self.steal_watermark = (
+            2 * batch if steal_watermark is None else steal_watermark
+        )
+        if self.steal_watermark < 1:
+            raise ShardingError(
+                f"steal_watermark must be >= 1, got {self.steal_watermark}"
+            )
+        self.name = name
+        self.steering = RssSteering(
+            [shard.nic.receive_frame for shard in self.shards],
+            hash_fn=hash_fn,
+            reject=reject,
+        )
+        self.rebalances = 0
+        self._stopping = False
+        #: Worker index → victim shard index to help, or None.
+        self._help: list[int | None] = [None] * len(self.shards)
+        self._workers = [
+            threads.spawn(f"{name}-worker{i}", self._worker_body(i))
+            for i in range(len(self.shards))
+        ]
+        self._threads = list(self._workers)
+        self.supervised = supervise
+        if supervise:
+            self._threads.append(
+                threads.spawn(f"{name}-supervisor", self._supervisor_body())
+            )
+        #: Forwarding cores plus one management core for the supervisor.
+        self.cores = len(self.shards) + (1 if supervise else 0)
+
+    # -- ingress ------------------------------------------------------------------
+
+    def steer(self, frame: Any) -> int | None:
+        """Steer one frame to its shard's RX ring (see
+        :meth:`RssSteering.steer`).  A shut-down datapath refuses: its
+        workers are gone, so accepted frames could never drain."""
+        if self._stopping:
+            raise ShardingError(f"{self.name} is shut down")
+        return self.steering.steer(frame)
+
+    def steer_batch(self, frames: list) -> int:
+        """Steer a whole arriving batch; returns frames accepted."""
+        if self._stopping:
+            raise ShardingError(f"{self.name} is shut down")
+        return self.steering.steer_batch(frames)
+
+    # -- execution ----------------------------------------------------------------
+
+    def total_backlog(self) -> int:
+        """Frames waiting across every shard's RX ring."""
+        return sum(shard.backlog_depth for shard in self.shards)
+
+    def pump(self, *, max_steps: int = 1_000_000) -> int:
+        """Multi-core step until every backlog is empty; returns steps.
+
+        Each step runs :meth:`~repro.osbase.scheduler.ThreadManagerCF.
+        step_parallel` at :attr:`cores` width (one overlapping quantum
+        for every worker plus the supervisor).  Engines are flushed
+        within each processed batch's quantum, so empty backlogs mean
+        the datapath is fully drained.  Every way of getting stuck warns
+        :class:`PumpExhausted` instead of spinning: hitting *max_steps*,
+        a fully dead fleet, a shut-down datapath, or backlog that stops
+        shrinking (e.g. a crashed worker's backlog with nobody directed
+        to steal it — the warning names the dead workers' errors).
+        """
+        if self._stopping and self.total_backlog() > 0:
+            warnings.warn(
+                f"pump called on shut-down {self.name} with "
+                f"{self.total_backlog()} frames still backlogged",
+                PumpExhausted,
+                stacklevel=2,
+            )
+            return 0
+        steps = 0
+        stagnant = 0
+        backlog = self.total_backlog()
+        while backlog > 0 and not self._stopping:
+            if steps >= max_steps:
+                warnings.warn(
+                    f"pump stopped after max_steps={max_steps} with "
+                    f"{backlog} frames still backlogged",
+                    PumpExhausted,
+                    stacklevel=2,
+                )
+                break
+            # Check the *workers*, not step_parallel's return: with the
+            # supervisor installed the runtime is never fully idle, so a
+            # dead fleet (every worker body crashed or finished) would
+            # otherwise spin supervisor-only quanta to max_steps.
+            if all(worker.done for worker in self._workers):
+                warnings.warn(
+                    f"pump found no live workers with {backlog} frames "
+                    f"still backlogged{self._dead_worker_report()}",
+                    PumpExhausted,
+                    stacklevel=2,
+                )
+                break
+            self.threads.step_parallel(self.cores)
+            steps += 1
+            remaining = self.total_backlog()
+            if remaining < backlog:
+                stagnant = 0
+            else:
+                # A live fleet drains something every quantum unless the
+                # remaining backlog is unreachable (dead owner, nobody
+                # directed to steal).  Three stagnant steps cover the
+                # supervisor's directive latency.
+                stagnant += 1
+                if stagnant >= 3:
+                    warnings.warn(
+                        f"pump made no progress for {stagnant} steps with "
+                        f"{remaining} frames still backlogged"
+                        f"{self._dead_worker_report()}",
+                        PumpExhausted,
+                        stacklevel=2,
+                    )
+                    break
+            backlog = remaining
+        return steps
+
+    def _dead_worker_report(self) -> str:
+        """Diagnostic suffix naming crashed workers and their errors."""
+        dead = [
+            f"{worker.name}: {worker.error!r}"
+            for worker in self._workers
+            if worker.done
+        ]
+        return f" (dead workers: {'; '.join(dead)})" if dead else ""
+
+    def shutdown(self) -> None:
+        """Stop the perpetual worker/supervisor bodies (each observes the
+        flag at its next quantum and returns), leaving any backlogged
+        frames in place."""
+        self._stopping = True
+        for _ in range(2 * len(self._threads) + 2):
+            if all(thread.done for thread in self._threads):
+                break
+            self.threads.step_parallel(self.cores)
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-shard counters (processing, stealing, steering, pool
+        balance) plus runtime-level totals."""
+        shards = []
+        for index, shard in enumerate(self.shards):
+            row = shard.stats()
+            row["shard_id"] = shard.shard_id
+            row["steered"] = self.steering.steered[index]
+            row["steer_refused"] = self.steering.refused[index]
+            shards.append(row)
+        return {
+            "shards": shards,
+            "rebalances": self.rebalances,
+            "steer_malformed": self.steering.malformed,
+            "total_backlog": self.total_backlog(),
+            "virtual_time": self.threads.clock.now,
+            "stopping": self._stopping,
+        }
+
+    # -- thread bodies ------------------------------------------------------------
+
+    def _worker_body(self, index: int):
+        """One quantum = pop one batch and run it end-to-end.
+
+        Own backlog first; when it is empty and the supervisor has
+        directed this worker at a victim, steal one whole batch and run
+        it through the *victim's* engine (the hand-off convention: CPU
+        moves, flow residency does not).
+        """
+        shard = self.shards[index]
+        while not self._stopping:
+            batch = shard.take_batch(self.batch)
+            if batch:
+                shard.process(batch)
+            else:
+                victim_index = self._help[index]
+                if victim_index is not None and victim_index != index:
+                    victim = self.shards[victim_index]
+                    stolen = victim.take_batch(self.batch)
+                    if stolen:
+                        shard.counters["stolen_batches"] += 1
+                        victim.counters["ceded_batches"] += 1
+                        victim.process(stolen)
+            yield
+
+    def _supervisor_body(self):
+        """Recompute steal directives from the backlog watermarks.
+
+        A backlogged shard whose own worker has died (crashed body) is
+        treated as maximal divergence — *failover*: every live worker is
+        directed at it regardless of the watermark, since stealing is
+        the only way that backlog can still drain.  (A poisoned engine
+        then kills the thieves too, at which point :meth:`pump`'s
+        dead-fleet and no-progress guards take over.)
+        """
+        while not self._stopping:
+            depths = [shard.backlog_depth for shard in self.shards]
+            dead_backlogged = [
+                index
+                for index in range(len(self.shards))
+                if self._workers[index].done and depths[index] > 0
+            ]
+            if dead_backlogged:
+                victim = max(dead_backlogged, key=depths.__getitem__)
+                for index in range(len(self.shards)):
+                    self._help[index] = victim if index != victim else None
+                self.rebalances += 1
+                yield
+                continue
+            deepest = max(range(len(depths)), key=depths.__getitem__)
+            spread = depths[deepest] - min(depths)
+            directed = False
+            for index in range(len(self.shards)):
+                if (
+                    spread >= self.steal_watermark
+                    and index != deepest
+                    and depths[deepest] - depths[index] >= self.steal_watermark
+                ):
+                    self._help[index] = deepest
+                    directed = True
+                else:
+                    self._help[index] = None
+            if directed:
+                self.rebalances += 1
+            yield

@@ -11,6 +11,29 @@ Each thread may be associated with a resources-meta-model
 :class:`~repro.opencom.metamodel.resources.Task`; the scheduler charges
 executed quanta to the task's ``work_done``, which is what experiment C10
 measures when comparing pluggable schedulers.
+
+Quantum atomicity and the batch hand-off convention
+---------------------------------------------------
+Everything a body does *between* two yields is atomic with respect to
+every other thread — in both service loops of the thread-management CF
+(:meth:`~repro.osbase.scheduler.ThreadManagerCF.step` and the
+modelled-multicore
+:meth:`~repro.osbase.scheduler.ThreadManagerCF.step_parallel`, whose
+quanta overlap only in *virtual* time).  The sharded datapath builds its
+ownership rule on exactly this guarantee, mirroring PR 4's
+transmit-callable convention ("calling transmit hands the packet over"):
+
+    *popping a batch from a shard's backlog hands ownership of every
+    packet in it to the popper, who must run the batch end-to-end
+    through the owning shard's engine within the same quantum.*
+
+Because pops are serialised and each popped batch is fully processed
+before the popper yields, batches leave a backlog in FIFO order no
+matter *which* thread (the shard's own worker or a work-stealing peer)
+performs the pop — which is precisely the per-flow ordering guarantee,
+and why stolen work is still released to the victim shard's buffer pool
+(the engine, with its pool and TX path, travels with the batch; only the
+CPU time is stolen).  See ``docs/concurrency.md`` for the full model.
 """
 
 from __future__ import annotations

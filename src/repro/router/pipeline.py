@@ -112,17 +112,25 @@ class RouterPipeline:
             )
         return total
 
-    def flush_tx(self, *, budget: int | None = None) -> int:
+    def flush_tx(
+        self,
+        *,
+        budget: int | None = None,
+        handler: Any = None,
+    ) -> int:
         """Drain every TX adapter's wire side; returns frames drained.
 
         This is the release half of the pooled buffer lifecycle: each
         drained frame has left the simulated machine, so its buffer goes
-        back to the pool it was acquired from at NIC ingress.  A pipeline
-        without TX adapters returns 0.
+        back to the pool it was acquired from at NIC ingress.  A
+        *handler* takes ownership of each frame instead (and must
+        release it when done) — how the sharded benchmarks record
+        per-flow egress order before recycling.  A pipeline without TX
+        adapters returns 0.
         """
         total = 0
         for adapter in self.tx_adapters.values():
-            total += adapter.drain_wire(budget=budget)
+            total += adapter.drain_wire(budget=budget, handler=handler)
         return total
 
     def stage_stats(self) -> dict[str, dict[str, int]]:
@@ -299,4 +307,98 @@ def build_forwarding_pipeline(
             **{f"sink:{hop}": sink for hop, sink in sinks.items()},
         },
         tx_adapters=tx_adapters,
+    )
+
+
+def build_sharded_forwarding_datapath(
+    *,
+    routes: dict[str, str],
+    shards: int,
+    threads: Any,
+    pools: list | None = None,
+    batch: int = 32,
+    rx_ring_size: int | None = None,
+    tx_ring_size: int | None = None,
+    fused: bool = False,
+    validate_checksums: bool = True,
+    tx_handler: Any = None,
+    supervise: bool = True,
+    steal_watermark: int | None = None,
+    buffer_size: int = 2048,
+    pool_buffers: int = 256,
+    exhaustion_policy: str = "drop-newest",
+):
+    """Assemble the sharded multi-worker forwarding datapath: *shards*
+    share-nothing copies of the flat forwarding pipeline behind one
+    RSS-style flow-hash steering stage, as cooperative workers under the
+    thread-management CF *threads* (which must have a scheduler
+    installed).
+
+    Per shard: its own :class:`~repro.opencom.capsule.Capsule` (worker
+    isolation mirrors the paper's capsule boundaries), an RX
+    :class:`~repro.osbase.nic.Nic` bound to that shard's private pool
+    slice, a :func:`build_forwarding_pipeline` with per-hop TX NICs, and
+    a flush that drains those TX rings back to the shard's pool.
+    *pools* supplies the slices (length must equal *shards* — typically
+    :func:`~repro.osbase.buffers.carve_shard_pools`); when omitted, a
+    fresh budget of *pool_buffers* × *buffer_size*-byte buffers is
+    carved here under *exhaustion_policy*.
+
+    *tx_handler* is an optional factory ``shard_index -> frame
+    consumer``; the consumer takes ownership of each egressing frame
+    (release it when done) — how C15 records per-flow egress order.
+    Returns the :class:`~repro.osbase.sharding.ShardedDatapath`; each
+    shard's pipeline rides along as ``shard.engine``.
+    """
+    from repro.netsim.wire import PacketError, flow_hash_of
+    from repro.opencom.fusion import fuse_pipeline
+    from repro.osbase.buffers import carve_shard_pools
+    from repro.osbase.nic import Nic
+    from repro.osbase.sharding import Shard, ShardedDatapath, ShardingError
+
+    if shards < 1:
+        raise ShardingError(f"shards must be >= 1, got {shards}")
+    if pools is None:
+        pools = carve_shard_pools(
+            buffer_size, pool_buffers, shards, exhaustion_policy=exhaustion_policy
+        )
+    if len(pools) != shards:
+        raise ShardingError(
+            f"need one pool slice per shard: {len(pools)} pools for {shards} shards"
+        )
+    rx_ring = rx_ring_size if rx_ring_size is not None else 8 * batch
+    tx_ring = tx_ring_size if tx_ring_size is not None else 4 * batch
+    hops = sorted(set(routes.values()))
+    built: list[Shard] = []
+    for index in range(shards):
+        capsule = Capsule(f"shard{index}")
+        pipeline = build_forwarding_pipeline(
+            capsule,
+            routes=routes,
+            tx_nics={hop: Nic(tx_ring_size=tx_ring) for hop in hops},
+            validate_checksums=validate_checksums,
+        )
+        if fused:
+            fuse_pipeline(list(capsule.components().values()))
+        handler = tx_handler(index) if tx_handler is not None else None
+        built.append(
+            Shard(
+                index,
+                nic=Nic(rx_ring_size=rx_ring, pool=pools[index]),
+                pool=pools[index],
+                push_batch=pipeline.push_batch,
+                flush=lambda p=pipeline, h=handler: p.flush_tx(handler=h),
+                engine=pipeline,
+            )
+        )
+    return ShardedDatapath(
+        built,
+        threads=threads,
+        hash_fn=flow_hash_of,
+        batch=batch,
+        steal_watermark=steal_watermark,
+        supervise=supervise,
+        # Frames the hash cannot parse are counted malformed refusals,
+        # matching the NIC's own malformed-drop policy.
+        reject=(PacketError,),
     )

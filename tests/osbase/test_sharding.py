@@ -1,0 +1,536 @@
+"""The sharded datapath runtime: steering-hash stability, the parallel
+scheduler service loop, per-flow ordering under work-stealing, and the
+per-shard pool lifecycle audit."""
+
+from collections import defaultdict
+from struct import pack, unpack_from
+
+import pytest
+
+from repro.netsim import (
+    Packet,
+    flow_hash_fields,
+    flow_hash_of,
+    make_tcp_v4,
+    make_udp_v4,
+    make_udp_v6,
+    to_wire,
+    wire_flow_key,
+)
+from repro.netsim.packet import PROTO_ICMP, PacketError
+from repro.osbase import (
+    Nic,
+    PumpExhausted,
+    RoundRobinScheduler,
+    RssSteering,
+    Shard,
+    ShardedDatapath,
+    ShardingError,
+    ThreadManagerCF,
+    VirtualClock,
+    carve_shard_pools,
+    release_dropped,
+    shard_pool_audit,
+)
+from repro.opencom.errors import ResourceError
+from repro.router import build_sharded_forwarding_datapath
+
+
+def manager():
+    return ThreadManagerCF(VirtualClock(), scheduler=RoundRobinScheduler())
+
+
+class TestFlowHash:
+    """The steering hash must not depend on a packet's representation —
+    otherwise one flow would steer to different shards as it moved
+    between raw bytes, materialised and wire form."""
+
+    @pytest.mark.parametrize(
+        "packet",
+        [
+            make_udp_v4("10.1.2.3", "10.9.9.9", sport=1234, dport=80),
+            make_tcp_v4("10.1.2.3", "10.9.9.9", sport=555, dport=443),
+            make_udp_v6("2001:db8::1", "2001:db8::2", sport=7, dport=9),
+        ],
+        ids=["udp4", "tcp4", "udp6"],
+    )
+    def test_stable_across_representations(self, packet):
+        raw = packet.to_bytes()
+        values = {
+            packet.flow_hash(),
+            to_wire(packet).flow_hash(),
+            flow_hash_of(packet),
+            flow_hash_of(to_wire(packet)),
+            flow_hash_of(raw),
+            flow_hash_of(bytearray(raw)),
+            flow_hash_of(memoryview(raw)),
+        }
+        assert len(values) == 1
+
+    @pytest.mark.parametrize(
+        "packet",
+        [
+            make_udp_v4("192.168.1.9", "10.0.0.7", sport=9999, dport=53),
+            make_tcp_v4("10.1.2.3", "10.9.9.9", sport=555, dport=443),
+            make_udp_v6("2001:db8::a", "2001:db8::b", sport=70, dport=90),
+        ],
+        ids=["udp4", "tcp4", "udp6"],
+    )
+    def test_wire_flow_key_agrees_with_flow_key(self, packet):
+        # The raw-bytes five-tuple reader must agree with both packet
+        # classes' flow_key() — the seam a future parser change (new
+        # transport, header options) has to keep in sync.
+        assert wire_flow_key(packet.to_bytes()) == packet.flow_key()
+        assert wire_flow_key(packet.to_bytes()) == to_wire(packet).flow_key()
+
+    def test_stable_across_runs(self):
+        # No salted hash() anywhere: the value is a pure function of the
+        # five-tuple, pinned here so a steering change cannot slip in as
+        # an implementation detail.
+        assert flow_hash_fields(4, 1, 2, 3, 4, 17) == 0xBFCB2FA6B8563FCF
+
+    def test_transportless_packet_hashes_with_zero_ports(self):
+        icmp = Packet(
+            make_udp_v4("10.0.0.1", "10.0.0.2").net, None, b""
+        )
+        icmp.net.protocol = PROTO_ICMP
+        assert flow_hash_of(icmp.to_bytes()) == flow_hash_of(icmp)
+
+    def test_low_bits_avalanche(self):
+        # RSS takes hash % shards with power-of-two shard counts; plain
+        # FNV-1a's low bit is the XOR of input low bits, which collapses
+        # traces whose per-flow low bits cancel.  The finaliser must
+        # spread this worst-case family over both halves.
+        buckets = {
+            make_udp_v4(
+                f"10.0.0.{1 + (i % 200)}", "10.9.9.9", sport=1000 + i
+            ).flow_hash()
+            % 2
+            for i in range(64)
+        }
+        assert buckets == {0, 1}
+
+    def test_malformed_frames_rejected(self):
+        with pytest.raises(PacketError):
+            flow_hash_of(b"")
+        with pytest.raises(PacketError):
+            flow_hash_of(b"\x45" + b"\x00" * 10)  # truncated v4 header
+        with pytest.raises(PacketError):
+            flow_hash_of(b"\x15" + b"\x00" * 40)  # version 1
+        # Same strictness as WirePacket parsing: a truncated UDP/TCP
+        # header must fail at the hash (steering) step, not after the
+        # frame has already been steered to a shard NIC.
+        truncated_udp = make_udp_v4("10.0.0.1", "10.0.0.2").to_bytes()[:24]
+        with pytest.raises(PacketError):
+            flow_hash_of(truncated_udp)
+
+
+class TestStepParallel:
+    def test_runs_up_to_cores_distinct_threads_per_quantum(self):
+        threads = manager()
+        log = []
+
+        def body(label):
+            for _ in range(4):
+                log.append(label)
+                yield
+
+        for label in ("a", "b", "c"):
+            threads.spawn(label, body(label))
+        ran = threads.step_parallel(2)
+        assert len(ran) == 2
+        assert len({t.thread_id for t in ran}) == 2
+        # One overlapping quantum: the clock advanced once, not twice.
+        assert threads.clock.now == pytest.approx(threads.quantum)
+        assert len(log) == 2
+
+    def test_single_core_matches_serial_step_semantics(self):
+        parallel, serial = manager(), manager()
+        order_p, order_s = [], []
+
+        def body(log, label):
+            for _ in range(3):
+                log.append(label)
+                yield
+
+        for label in ("x", "y"):
+            parallel.spawn(label, body(order_p, label))
+            serial.spawn(label, body(order_s, label))
+        while parallel.step_parallel(1):
+            pass
+        while serial.step() is not None:
+            pass
+        assert order_p == order_s
+
+    def test_sleep_wake_time_matches_serial_step(self):
+        # A `yield d` must resume at the same virtual time under either
+        # service loop: entry time + quantum + d (the yield is handled
+        # after the quantum's clock advance in both).
+        wakes = {}
+        for mode in ("serial", "parallel"):
+            threads = manager()
+
+            def body():
+                yield 1.0
+
+            thread = threads.spawn("s", body())
+            if mode == "serial":
+                threads.step()
+            else:
+                threads.step_parallel(2)
+            wakes[mode] = thread.wake_time
+        assert wakes["serial"] == wakes["parallel"]
+
+    def test_wakes_sleepers_and_rejects_bad_core_count(self):
+        threads = manager()
+
+        def sleeper():
+            yield 1.0
+
+        threads.spawn("s", sleeper())
+        threads.step_parallel(4)  # runs, then sleeps
+        assert threads.step_parallel(4)  # clock jumps to the wake time
+        from repro.opencom.errors import RuleViolation
+
+        with pytest.raises(RuleViolation):
+            threads.step_parallel(0)
+
+    def test_run_parallel_until_idle_drains_finite_bodies(self):
+        threads = manager()
+        done = []
+
+        def body(i):
+            for _ in range(i):
+                yield
+            done.append(i)
+
+        for i in (1, 2, 3):
+            threads.spawn(f"t{i}", body(i))
+        steps = threads.run_parallel_until_idle(3)
+        assert sorted(done) == [1, 2, 3]
+        # Overlap: the longest body needed 4 quanta (3 yields + final
+        # resume), so far fewer steps than total quanta executed.
+        assert steps <= 5
+
+
+class TestPoolCarving:
+    def test_splits_budget_with_remainder_up_front(self):
+        pools = carve_shard_pools(64, 10, 3)
+        assert [p.count for p in pools] == [4, 3, 3]
+        assert sum(p.count for p in pools) == 10
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ResourceError):
+            carve_shard_pools(64, 10, 0)
+        with pytest.raises(ResourceError):
+            carve_shard_pools(64, 2, 3)
+
+    def test_audit_reports_imbalance(self):
+        pools = carve_shard_pools(64, 4, 2)
+        buffer = pools[0].acquire(16)
+        audit = shard_pool_audit(pools)
+        assert not audit["balanced"]
+        assert audit["in_flight"] == 1
+        pools[0].release(buffer)
+        audit = shard_pool_audit(pools)
+        assert audit["balanced"]
+        assert audit["acquired_total"] == audit["released_total"] == 1
+
+
+def seq_frame(flow, seq, *, dport=80):
+    src, sport = flow
+    return make_udp_v4(
+        src, "10.9.9.9", sport=sport, dport=dport, payload=pack("!I", seq)
+    ).to_bytes()
+
+
+class Recorder:
+    """TX-handler factory: logs (flow, seq) per shard, releases the
+    frame (the handler owns everything drained to it)."""
+
+    def __init__(self):
+        self.logs = defaultdict(list)
+
+    def handler(self, shard_index):
+        def on_frame(frame):
+            self.logs[shard_index].append(
+                (frame.flow_key(), unpack_from("!I", frame.payload, 0)[0])
+            )
+            release_dropped(frame)
+
+        return on_frame
+
+
+ROUTES = {"10.0.0.0/8": "east", "0.0.0.0/0": "west"}
+
+
+def build(shards, pools, recorder, *, steal_watermark=None, supervise=True):
+    return build_sharded_forwarding_datapath(
+        routes=ROUTES,
+        shards=shards,
+        threads=manager(),
+        pools=pools,
+        batch=4,
+        rx_ring_size=1024,
+        tx_handler=recorder.handler,
+        steal_watermark=steal_watermark,
+        supervise=supervise,
+    )
+
+
+class TestShardedDatapath:
+    def test_steering_pins_flows_to_shards(self):
+        flows = [(f"10.7.{i}.1", 2000 + 13 * i) for i in range(16)]
+        recorder = Recorder()
+        pools = carve_shard_pools(256, 320, 4, exhaustion_policy="drop-newest")
+        datapath = build(4, pools, recorder)
+        frames = [seq_frame(flow, seq) for seq in range(5) for flow in flows]
+        expected = {
+            flow: flow_hash_of(seq_frame(flow, 0)) % 4 for flow in flows
+        }
+        assert datapath.steer_batch(frames) == len(frames)
+        datapath.pump()
+        seen = {}
+        for shard_index, entries in recorder.logs.items():
+            for flow_key, _seq in entries:
+                assert seen.setdefault(flow_key, shard_index) == shard_index
+        # Each flow egressed from exactly the shard its hash names.
+        by_port = {sport: shard for (_, _, _, sport, _, _), shard in seen.items()}
+        for flow, shard in expected.items():
+            assert by_port[flow[1]] == shard
+        assert shard_pool_audit(pools)["balanced"]
+        datapath.shutdown()
+
+    def test_per_flow_ordering_under_forced_stealing(self):
+        shards = 3
+        pools = carve_shard_pools(256, 240, shards, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(shards, pools, recorder, steal_watermark=4)
+        # Rejection-sample flows that all steer to shard 0: maximum
+        # imbalance, so the supervisor must put both other workers on
+        # shard 0's backlog.
+        flows, sport = [], 1024
+        while len(flows) < 6:
+            sport += 1
+            if flow_hash_of(seq_frame(("10.1.1.1", sport), 0)) % shards == 0:
+                flows.append(("10.1.1.1", sport))
+        per_flow = 12
+        frames = [
+            seq_frame(flow, seq) for seq in range(per_flow) for flow in flows
+        ]
+        datapath.steer_batch(frames)
+        datapath.pump()
+        stats = datapath.stats()
+        assert stats["shards"][0]["ceded_batches"] > 0
+        assert stats["rebalances"] > 0
+        assert sum(s["stolen_batches"] for s in stats["shards"]) == (
+            stats["shards"][0]["ceded_batches"]
+        )
+        # Stolen batches still ran through shard 0's engine, in backlog
+        # order: ordering holds and only shard 0 egressed anything.
+        assert set(recorder.logs) == {0}
+        observed = defaultdict(list)
+        for flow_key, seq in recorder.logs[0]:
+            observed[flow_key].append(seq)
+        assert len(observed) == len(flows)
+        for seqs in observed.values():
+            assert seqs == list(range(per_flow))
+        # Lifecycle per shard and in aggregate, under stealing: only
+        # shard 0's slice was touched, and it balances exactly.
+        assert pools[0].acquired_total == pools[0].released_total == len(frames)
+        assert pools[1].acquired_total == pools[2].acquired_total == 0
+        assert shard_pool_audit(pools)["balanced"]
+        datapath.shutdown()
+
+    def test_pool_exhaustion_stays_shard_local(self):
+        # Shard 0's slice is tiny; overflowing it must drop (and count)
+        # on shard 0 without touching the peer slice.
+        pools = carve_shard_pools(256, 4, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(2, pools, recorder, supervise=False)
+        flow, sport = None, 0
+        while flow is None:
+            sport += 1
+            if flow_hash_of(seq_frame(("10.2.2.2", sport), 0)) % 2 == 0:
+                flow = ("10.2.2.2", sport)
+        frames = [seq_frame(flow, seq) for seq in range(5)]
+        accepted = datapath.steer_batch(frames)
+        assert accepted == 2  # slice of 2 buffers, no drain in between
+        assert datapath.steering.refused[0] == 3
+        nic0 = datapath.shards[0].nic
+        assert nic0.counters["pool_exhausted_drops"] == 3
+        datapath.pump()
+        assert pools[0].acquired_total == pools[0].released_total == 2
+        assert pools[1].acquired_total == 0
+        datapath.shutdown()
+
+    def test_malformed_frame_mid_batch_is_counted_not_raised(self):
+        # A garbage frame in an arriving batch must not abort the batch:
+        # it is counted as a malformed refusal (the steering analogue of
+        # the NIC's malformed-drop policy) and the rest still steers.
+        pools = carve_shard_pools(256, 32, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(2, pools, recorder)
+        flow = ("10.6.6.6", 31)
+        frames = [seq_frame(flow, 0), b"\x00\x01", seq_frame(flow, 1)]
+        assert datapath.steer_batch(frames) == 2
+        assert datapath.steering.malformed == 1
+        assert datapath.stats()["steer_malformed"] == 1
+        datapath.pump()
+        assert sum(len(v) for v in recorder.logs.values()) == 2
+        assert shard_pool_audit(pools)["balanced"]
+        datapath.shutdown()
+
+    def test_explicit_steal_watermark_requires_the_supervisor(self):
+        pools = carve_shard_pools(256, 8, 1, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        with pytest.raises(ShardingError, match="supervisor"):
+            build(1, pools, recorder, steal_watermark=4, supervise=False)
+
+    def test_malformed_frame_at_pooled_ingress_drops_without_leaking(self):
+        # A truncated-but-under-MTU frame must be a counted drop at the
+        # NIC, with the acquired pool buffer handed straight back — not
+        # a PacketError unwinding mid-datapath with the buffer stranded.
+        pools = carve_shard_pools(256, 4, 1, exhaustion_policy="drop-newest")
+        nic = Nic(pool=pools[0])
+        for _ in range(6):  # more attempts than the pool has buffers
+            assert nic.receive_frame(b"\x45" + b"\x00" * 10) is False
+        assert nic.counters["malformed_drops"] == 6
+        assert nic.counters["rx_drops"] == 6
+        assert pools[0].in_flight == 0
+        # Legitimate traffic still flows afterwards.
+        good = make_udp_v4("10.0.0.1", "10.0.0.2").to_bytes()
+        assert nic.receive_frame(good) is True
+        assert pools[0].in_flight == 1
+
+    def test_pump_fails_fast_when_every_worker_is_dead(self):
+        pools = carve_shard_pools(256, 16, 1, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(1, pools, recorder)  # supervisor installed
+        boom = RuntimeError("engine down")
+        datapath.shards[0]._push_batch = lambda batch: (_ for _ in ()).throw(boom)
+        datapath.steer_batch([seq_frame(("10.5.5.5", 70), s) for s in range(6)])
+        # The worker's first quantum crashes its body; pump must notice
+        # the dead fleet instead of spinning supervisor-only quanta.
+        with pytest.warns(PumpExhausted, match="no live workers"):
+            steps = datapath.pump(max_steps=10_000)
+        assert steps < 10
+        assert datapath._workers[0].error is boom
+
+    def test_dead_worker_failover_drains_through_peers(self):
+        # A crashed worker's backlog is still reachable: the supervisor
+        # treats it as maximal divergence and directs the live workers
+        # at it, so the frames drain through the owning shard's engine
+        # with ordering and pool balance intact.
+        shards = 2
+        pools = carve_shard_pools(256, 64, shards, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(shards, pools, recorder)
+        flows, sport = [], 2048
+        while len(flows) < 3:
+            sport += 1
+            if flow_hash_of(seq_frame(("10.8.8.8", sport), 0)) % shards == 0:
+                flows.append(("10.8.8.8", sport))
+        frames = [seq_frame(flow, seq) for seq in range(8) for flow in flows]
+        datapath._workers[0].state = "done"  # simulate a crashed body
+        datapath.steer_batch(frames)
+        datapath.pump()
+        assert datapath.total_backlog() == 0
+        stats = datapath.stats()
+        assert stats["shards"][1]["stolen_batches"] > 0
+        assert stats["shards"][0]["processed_packets"] == len(frames)
+        assert set(recorder.logs) == {0}
+        observed = defaultdict(list)
+        for flow_key, seq in recorder.logs[0]:
+            observed[flow_key].append(seq)
+        for seqs in observed.values():
+            assert seqs == list(range(8))
+        assert shard_pool_audit(pools)["balanced"]
+        datapath.shutdown()
+
+    def test_unsupervised_dead_worker_fails_fast_not_to_max_steps(self):
+        shards = 2
+        pools = carve_shard_pools(256, 64, shards, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(shards, pools, recorder, supervise=False)
+        flow, sport = None, 4096
+        while flow is None:
+            sport += 1
+            if flow_hash_of(seq_frame(("10.9.0.9", sport), 0)) % shards == 0:
+                flow = ("10.9.0.9", sport)
+        datapath._workers[0].state = "done"
+        datapath.steer_batch([seq_frame(flow, seq) for seq in range(6)])
+        with pytest.warns(PumpExhausted, match="no progress"):
+            steps = datapath.pump(max_steps=10_000)
+        assert steps < 10
+        assert datapath.total_backlog() == 6  # unreachable, reported not hidden
+        datapath.shutdown()
+
+    def test_shut_down_datapath_refuses_new_work(self):
+        pools = carve_shard_pools(256, 16, 1, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(1, pools, recorder)
+        frames = [seq_frame(("10.9.9.1", 50), s) for s in range(4)]
+        datapath.steer_batch(frames)
+        datapath.shutdown()  # backlog intentionally left in place
+        with pytest.raises(ShardingError, match="shut down"):
+            datapath.steer_batch(frames)
+        with pytest.warns(PumpExhausted, match="shut-down"):
+            assert datapath.pump() == 0
+
+    def test_pump_warns_when_step_limit_hit(self):
+        pools = carve_shard_pools(256, 8, 1, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(1, pools, recorder)
+        datapath.steer_batch([seq_frame(("10.3.3.3", 40), s) for s in range(8)])
+        with pytest.warns(PumpExhausted):
+            datapath.pump(max_steps=0)
+        datapath.pump()  # finishes the drain cleanly
+        assert shard_pool_audit(pools)["balanced"]
+        datapath.shutdown()
+
+    def test_shutdown_retires_all_runtime_threads(self):
+        pools = carve_shard_pools(256, 8, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        threads = manager()
+        datapath = build_sharded_forwarding_datapath(
+            routes=ROUTES,
+            shards=2,
+            threads=threads,
+            pools=pools,
+            batch=4,
+            tx_handler=recorder.handler,
+        )
+        assert threads.alive_count() == 3  # two workers + supervisor
+        datapath.shutdown()
+        assert threads.alive_count() == 0
+
+    def test_construction_validation(self):
+        recorder = Recorder()
+        with pytest.raises(ShardingError):
+            build_sharded_forwarding_datapath(
+                routes=ROUTES, shards=0, threads=manager()
+            )
+        with pytest.raises(ShardingError):
+            build_sharded_forwarding_datapath(
+                routes=ROUTES,
+                shards=2,
+                threads=manager(),
+                pools=carve_shard_pools(256, 8, 3),
+            )
+        with pytest.raises(ShardingError):
+            RssSteering([], hash_fn=flow_hash_of)
+        pools = carve_shard_pools(256, 8, 1)
+        nic = Nic(pool=pools[0])
+        shard = Shard(
+            0, nic=nic, pool=pools[0], push_batch=lambda b: None, flush=lambda: None
+        )
+        with pytest.raises(ShardingError):
+            ShardedDatapath([shard], threads=manager(), hash_fn=flow_hash_of, batch=0)
+        with pytest.raises(ShardingError):
+            ShardedDatapath(
+                [shard], threads=manager(), hash_fn=flow_hash_of, steal_watermark=0
+            )
+        with pytest.raises(ShardingError):
+            ShardedDatapath([], threads=manager(), hash_fn=flow_hash_of)
+        assert recorder.logs == {}

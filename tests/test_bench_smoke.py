@@ -1,12 +1,13 @@
 """Tier-1 wiring of the benchmark smoke mode.
 
-Runs ``benchmarks/run_all.py --smoke`` — the batching, zero-copy and
-buffer-lifecycle data-path benchmarks (C11/C12/C13/C14) on a tiny trace
-with the paper-*ordering* (and the deterministic event-count claims:
-C13's copies-per-packet, C14's zero steady-state allocations and
-balanced acquire/release) assertions — so a dispatch-, byte-path- or
-buffer-lifecycle regression fails the ordinary test run, without the
-timing noise of the magnitude claims.  The full-scale trajectory stays in the
+Runs ``benchmarks/run_all.py --smoke`` — the batching, zero-copy,
+buffer-lifecycle and sharding data-path benchmarks (C11–C15) on a tiny
+trace with the paper-*ordering* (and the deterministic event-count
+claims: C13's copies-per-packet, C14's zero steady-state allocations and
+balanced acquire/release, C15's virtual-time multicore scaling, per-flow
+ordering and per-shard pool audit) assertions — so a dispatch-,
+byte-path-, buffer-lifecycle- or concurrency regression fails the
+ordinary test run, without the timing noise of the magnitude claims.  The full-scale trajectory stays in the
 benchmarks themselves (``run_all.py`` without flags →
 ``BENCH_results.json``).
 
@@ -63,11 +64,17 @@ def test_run_all_smoke_orders_hold(tmp_path):
         # allocation count or unbalanced acquire/release, so a PR that
         # reintroduces per-packet allocation cannot pass tier-1.
         "bench_c14_steady_state",
+        # The sharding gate: C15 fails on broken per-flow ordering, an
+        # unbalanced per-shard pool slice, or lost modelled-multicore
+        # scaling (virtual-time, so deterministic even at smoke scale).
+        "bench_c15_sharding",
     } <= names
     for name, outcome in payload["benchmarks"].items():
         assert outcome["status"] == "passed", (name, outcome["tail"])
         assert outcome["tables"], name  # the report tables were captured
     assert payload["summary"]["failed"] == 0
+    # run_all records benchmark-declared metadata: C15's shard sweep.
+    assert payload["benchmarks"]["bench_c15_sharding"]["meta"]["shards"] == "1,4"
 
 
 def test_every_benchmark_carries_the_bench_marker():

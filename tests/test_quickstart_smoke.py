@@ -29,8 +29,10 @@ def test_quickstart_example_runs():
         timeout=120,
     )
     assert proc.returncode == 0, proc.stdout[-2000:] + proc.stderr[-2000:]
-    # The five steps each print a milestone; spot-check one per phase.
+    # The six steps each print a milestone; spot-check one per phase.
     assert "fast sink:" in proc.stdout
     assert "architecture:" in proc.stdout
     assert "intercepted" in proc.stdout
     assert "after hot swap:" in proc.stdout
+    assert "sharded: 8 packets over 2 workers" in proc.stdout
+    assert "pools balanced: True" in proc.stdout
