@@ -51,6 +51,11 @@ SMOKE_BENCHES = (
     # acquired==released audit all gate at full strength; only the
     # wall-clock paper-ordering rows keep the usual smoke slack.
     "bench_c15_sharding.py",
+    # R1's fault scenario is entirely virtual-time + seeded-RNG driven
+    # (kill/partition/loss schedule, reconfiguration rounds, per-flow
+    # ordering, pool audits), so it gates at full strength under smoke;
+    # only its fault-free control cells keep wall-clock slack.
+    "bench_r1_faults.py",
 )
 
 #: Benchmarks may print ``[bench-meta] key=value`` lines (e.g. C15's

@@ -22,14 +22,18 @@ from repro.coordination.reconfig import (
     ReconfigError,
     ReconfigParticipant,
     ReconfigRound,
+    register_shard_recovery,
 )
 from repro.coordination.rsvp import (
     BANDWIDTH_POOL,
     RsvpAgent,
+    RsvpError,
+    RsvpTimeout,
     Session,
     deploy_rsvp,
 )
 from repro.coordination.signaling import (
+    Delivery,
     SignalingAgent,
     SignalingError,
     attach_agents,
@@ -40,6 +44,7 @@ from repro.coordination.signaling import (
 __all__ = [
     "ActionSet",
     "BANDWIDTH_POOL",
+    "Delivery",
     "DeploymentAgent",
     "DeploymentError",
     "DeploymentManager",
@@ -52,6 +57,8 @@ __all__ = [
     "ReconfigParticipant",
     "ReconfigRound",
     "RsvpAgent",
+    "RsvpError",
+    "RsvpTimeout",
     "Session",
     "SignalingAgent",
     "SignalingError",
@@ -62,4 +69,5 @@ __all__ = [
     "decode_message",
     "deploy_rsvp",
     "encode_message",
+    "register_shard_recovery",
 ]

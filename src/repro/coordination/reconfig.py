@@ -17,6 +17,23 @@ typically closing an :class:`~repro.opencom.metamodel.interception.AdmissionGate
 calling ``architecture.replace_component``, and reopening.  The protocol
 therefore drives exactly the same machinery as local hot swap, but
 network-wide — the "evolution of deployed software" story.
+
+Failure model
+-------------
+Every protocol message travels ``send_reliable`` (at-least-once with
+engine-time retransmits and receiver-side dedupe — see
+:mod:`repro.coordination.signaling`), so a lossy or transiently
+partitioned network costs retransmits, not correctness.  A partition
+that outlives every retransmit is resolved by the coordinator's
+*deadline*: a round started with ``deadline=`` aborts when any vote is
+still missing at that engine time, and the abort is itself delivered
+reliably, so prepared participants roll back and resume instead of
+holding their targets quiesced forever.  Every round therefore
+terminates in ``committed`` or ``aborted`` — the invariant the R1 fault
+bench gates on.  :func:`register_shard_recovery` wires the sharded
+datapath's drain-and-re-steer failover
+(:meth:`~repro.osbase.sharding.ShardedDatapath.recovery_action_set`)
+into this protocol.
 """
 
 from __future__ import annotations
@@ -77,8 +94,19 @@ class ReconfigCoordinator:
         kind: str,
         participants: list[str],
         parameters: dict[str, Any] | None = None,
+        *,
+        deadline: float | None = None,
     ) -> ReconfigRound:
-        """Begin a round; resolution happens as the engine delivers votes."""
+        """Begin a round; resolution happens as the engine delivers votes.
+
+        *deadline* (virtual seconds from now) arms the missing-vote
+        abort: if the round is still unresolved when it expires — votes
+        lost beyond retransmission, a partitioned participant, a crashed
+        quiesce that never answered — the coordinator aborts, reliably
+        telling every participant to roll back and resume.  Without a
+        deadline the caller owns stall policy (:meth:`abort_stalled`),
+        which is how the pre-existing tests drive it.
+        """
         if not participants:
             raise ReconfigError("a round needs at least one participant")
         round_ = ReconfigRound(
@@ -90,7 +118,7 @@ class ReconfigCoordinator:
         self.rounds[round_.round_id] = round_
         round_.events.append("prepare-sent")
         for participant in participants:
-            self.signaling.send(
+            self.signaling.send_reliable(
                 participant,
                 "reconfig.prepare",
                 round=round_.round_id,
@@ -98,7 +126,20 @@ class ReconfigCoordinator:
                 parameters=round_.parameters,
                 coordinator=self.signaling.node.name,
             )
+        if deadline is not None:
+            if deadline <= 0:
+                raise ReconfigError(f"deadline must be positive, got {deadline}")
+            self.signaling.topology.engine.schedule(
+                deadline, lambda: self._on_deadline(round_)
+            )
         return round_
+
+    def _on_deadline(self, round_: ReconfigRound) -> None:
+        if round_.complete:
+            return
+        missing = sorted(set(round_.participants) - set(round_.votes))
+        round_.events.append(f"deadline-expired (missing votes: {missing})")
+        self._finish(round_, commit=False)
 
     def _on_vote(self, message: dict, sender: str) -> None:
         round_ = self.rounds.get(message["round"])
@@ -117,7 +158,7 @@ class ReconfigCoordinator:
         verb = "commit" if commit else "abort"
         round_.events.append(verb)
         for participant in round_.participants:
-            self.signaling.send(
+            self.signaling.send_reliable(
                 participant,
                 f"reconfig.{verb}",
                 round=round_.round_id,
@@ -184,8 +225,10 @@ class ReconfigParticipant:
             self.log.append(f"commit {round_id}: apply failed: {exc!r}")
             if actions.rollback is not None:
                 actions.rollback(message["parameters"])
+                self.log.append(f"commit {round_id}: rolled back")
         finally:
             actions.resume(message["parameters"])
+            self.log.append(f"commit {round_id}: resumed")
 
     def _on_abort(self, message: dict, sender: str) -> None:
         round_id = message["round"]
@@ -196,13 +239,41 @@ class ReconfigParticipant:
         if prepared is not None:
             if actions.rollback is not None:
                 actions.rollback(message["parameters"])
+                self.log.append(f"abort {round_id}: rolled back")
             actions.resume(message["parameters"])
             self.log.append(f"abort {round_id}: resumed unchanged")
 
     def _vote(self, message: dict, yes: bool) -> None:
-        self.signaling.send(
+        self.signaling.send_reliable(
             message["coordinator"],
             "reconfig.vote",
             round=message["round"],
             yes=yes,
         )
+
+
+def register_shard_recovery(
+    participant: ReconfigParticipant,
+    datapath: Any,
+    *,
+    kind: str = "shard-recovery",
+) -> None:
+    """Bind a sharded datapath's failure-domain recovery to the two-phase
+    protocol.
+
+    *datapath* is any object exposing ``recovery_action_set()`` (the
+    :class:`~repro.osbase.sharding.ShardedDatapath` contract: a mapping
+    of ``quiesce``/``apply``/``resume``/``rollback`` callables keyed for
+    :class:`ActionSet`, each taking the round's parameter dict — which
+    must carry ``{"shard": <dead index>}`` and may carry ``{"to":
+    <successor index>}``).  osbase cannot import upward, so the bridge
+    from duck-typed callables to a registered ActionSet lives here, on
+    the coordination side.
+
+    A committed round performs quiesce → drain-through-peers → re-steer
+    (`docs/robustness.md` walks the sequence); an aborted round — lost
+    votes, a deadline expiry mid-partition — rolls the quiesce back, and
+    the supervisor's failover stealing keeps the dead shard's backlog
+    draining in the meantime.
+    """
+    participant.register(kind, ActionSet(**datapath.recovery_action_set()))

@@ -16,6 +16,30 @@ Reservations land in each node capsule's
 pool ``"bandwidth"`` and a per-session task, so experiment C8 can assert
 end-to-end containment: a session is admitted iff *every* hop had
 capacity, and rejected sessions leave zero residue.
+
+Failure model
+-------------
+RSVP state is *soft state*, exactly as in the RFC: a lost PATH or RESV
+must degrade to a clean, typed rejection — never a hung ``pending``
+session or a stranded mid-path reservation.  Three mechanisms:
+
+- ``reserve(..., timeout=)`` arms an engine-time deadline; while
+  attempts remain the PATH is retried under capped exponential backoff
+  (same :class:`~repro.netsim.engine.BackoffPolicy` machinery as
+  signaling), and when they run out the session resolves to
+  ``timed-out`` with a typed :class:`RsvpTimeout` on ``session.error``
+  and a best-effort TEAR along whatever route is known;
+- with ``soft_state_ttl`` set, every piece of distributed state — path
+  state at transit hops, reservations made by a partial RESV wave —
+  expires *ttl* seconds after it was last confirmed unless refreshed, so
+  orphaned state evaporates instead of leaking bandwidth;
+- established sessions are kept alive by ``rsvp.refresh`` messages
+  (:meth:`RsvpAgent.refresh` manually, :meth:`RsvpAgent.auto_refresh`
+  on an engine-time period with a bounded horizon), which bump expiry at
+  every hop on the recorded path.
+
+Retries are idempotent: a hop already holding a session's reservation
+answers a duplicate RESV wave without reserving twice.
 """
 
 from __future__ import annotations
@@ -25,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.coordination.signaling import SignalingAgent, SignalingError
+from repro.netsim.engine import BackoffPolicy, EventHandle
 from repro.netsim.topology import Topology
 from repro.opencom.errors import ResourceError
 
@@ -32,6 +57,16 @@ _SESSION_IDS = itertools.count(1)
 
 #: Pool name used on every RSVP-managed node.
 BANDWIDTH_POOL = "bandwidth"
+
+
+class RsvpError(SignalingError):
+    """RSVP protocol failure."""
+
+
+class RsvpTimeout(RsvpError):
+    """A reservation ran out of attempts without resolving — the typed
+    error surfaced on ``Session.error`` (the session is torn down, not
+    left hanging)."""
 
 
 @dataclass
@@ -42,10 +77,19 @@ class Session:
     sender: str
     receiver: str
     bandwidth: float
-    status: str = "pending"  # pending | established | rejected | torn-down
+    status: str = "pending"  # pending | established | rejected | timed-out | torn-down
     path: list[str] = field(default_factory=list)
     reject_reason: str = ""
     events: list[str] = field(default_factory=list)
+    #: Typed failure (RsvpTimeout) when the session could not resolve.
+    error: Exception | None = None
+    #: PATH transmissions so far (1 = no retries needed).
+    attempts: int = 1
+
+    @property
+    def resolved(self) -> bool:
+        """True once the session can no longer change state by itself."""
+        return self.status != "pending"
 
 
 class RsvpAgent:
@@ -56,31 +100,66 @@ class RsvpAgent:
         signaling: SignalingAgent,
         *,
         bandwidth_capacity: float = 100e6,
+        soft_state_ttl: float | None = None,
     ) -> None:
         self.signaling = signaling
         self.node = signaling.node
+        self.engine = signaling.topology.engine
         resources = self.node.capsule.resources
         if BANDWIDTH_POOL not in resources.pools():
             resources.create_pool(BANDWIDTH_POOL, "bandwidth", bandwidth_capacity)
-        #: session id -> {"prev": upstream node, "next": downstream node}
+        if soft_state_ttl is not None and soft_state_ttl <= 0:
+            raise RsvpError(f"soft_state_ttl must be positive, got {soft_state_ttl}")
+        self.soft_state_ttl = soft_state_ttl
+        #: session id -> {"prev": upstream node, "route": ..., "expires_at": ...}
         self._path_state: dict[int, dict[str, Any]] = {}
         #: session ids this node holds reservations for.
         self._reserved: set[int] = set()
+        #: session id -> expiry time for soft reservation state.
+        self._reservation_expiry: dict[int, float] = {}
         #: sender-side sessions originated here.
         self.sessions: dict[int, Session] = {}
+        #: sender-side retry state: session id -> deadline EventHandle.
+        self._deadlines: dict[int, EventHandle] = {}
+        self.counters = {"expired_reservations": 0, "expired_path_state": 0,
+                         "path_retries": 0, "refreshes": 0}
         signaling.on("rsvp.path", self._on_path)
         signaling.on("rsvp.resv", self._on_resv)
         signaling.on("rsvp.resv_err", self._on_resv_err)
         signaling.on("rsvp.established", self._on_established)
         signaling.on("rsvp.tear", self._on_tear)
+        signaling.on("rsvp.refresh", self._on_refresh)
 
     # -- sender API --------------------------------------------------------------
 
-    def reserve(self, receiver: str, bandwidth: float) -> Session:
+    def reserve(
+        self,
+        receiver: str,
+        bandwidth: float,
+        *,
+        timeout: float | None = None,
+        max_attempts: int = 1,
+        backoff: BackoffPolicy | None = None,
+    ) -> Session:
         """Initiate a reservation toward *receiver*; returns the session
-        (status resolves once the engine runs the signaling exchange)."""
+        (status resolves once the engine runs the signaling exchange).
+
+        With *timeout*, the session cannot hang: if no RESV (or error)
+        arrives within *timeout* virtual seconds, the PATH is resent —
+        up to *max_attempts* transmissions total, each wait stretched by
+        *backoff* (timeout + ``policy.delay(attempt)``) — and when the
+        last attempt expires the session resolves to ``timed-out``, with
+        an :class:`RsvpTimeout` on ``session.error`` and a best-effort
+        TEAR sweeping whatever partial state is reachable.  Without
+        *timeout* the historical contract holds: resolution only ever
+        comes from the network (lost messages are the caller's risk).
+        """
         if bandwidth <= 0:
             raise SignalingError("bandwidth must be positive")
+        if timeout is not None and timeout <= 0:
+            raise RsvpError(f"timeout must be positive, got {timeout}")
+        if max_attempts < 1:
+            raise RsvpError(f"max_attempts must be >= 1, got {max_attempts}")
         session = Session(
             session_id=next(_SESSION_IDS),
             sender=self.node.name,
@@ -88,18 +167,77 @@ class RsvpAgent:
             bandwidth=bandwidth,
         )
         self.sessions[session.session_id] = session
-        hop = self._next_hop_toward(receiver)
+        self._send_path(session)
+        if timeout is not None:
+            policy = backoff if backoff is not None else BackoffPolicy(
+                base=timeout, cap=8 * timeout, jitter=0.0
+            )
+            self._arm_deadline(session, timeout, max_attempts, policy)
+        return session
+
+    def _send_path(self, session: Session) -> None:
+        hop = self._next_hop_toward(session.receiver)
         session.events.append(f"path-sent via {hop}")
         self.signaling.send(
             hop,
             "rsvp.path",
             session=session.session_id,
             sender=self.node.name,
-            receiver=receiver,
-            bandwidth=bandwidth,
+            receiver=session.receiver,
+            bandwidth=session.bandwidth,
             route=[self.node.name],
         )
-        return session
+
+    def _arm_deadline(
+        self,
+        session: Session,
+        timeout: float,
+        max_attempts: int,
+        policy: BackoffPolicy,
+    ) -> None:
+        def expire() -> None:
+            self._deadlines.pop(session.session_id, None)
+            if session.resolved:
+                return
+            if session.attempts < max_attempts:
+                session.attempts += 1
+                self.counters["path_retries"] += 1
+                session.events.append(f"path-retry {session.attempts}")
+                self._send_path(session)
+                # Next wait: the base timeout stretched by the backoff
+                # schedule (attempt-indexed, deterministic jitter).
+                wait = timeout + policy.delay(session.attempts - 1)
+                self._deadlines[session.session_id] = self.engine.schedule(
+                    wait, expire
+                )
+                return
+            session.status = "timed-out"
+            session.reject_reason = (
+                f"no RESV within {session.attempts} attempt(s)"
+            )
+            session.error = RsvpTimeout(
+                f"session {session.session_id} "
+                f"{session.sender}->{session.receiver}: {session.reject_reason}"
+            )
+            session.events.append("timed-out")
+            # Best-effort sweep: release anything local, tear whatever
+            # partial route the (possibly lost) RESV wave may have
+            # reserved on.  Unreachable state expires via soft-state TTL.
+            self._release_local(session.session_id)
+            for hop in self._known_route(session)[1:]:
+                self.signaling.send(
+                    hop, "rsvp.tear", session=session.session_id
+                )
+
+        self._deadlines[session.session_id] = self.engine.schedule(timeout, expire)
+
+    def _known_route(self, session: Session) -> list[str]:
+        if session.path:
+            return session.path
+        state = self._path_state.get(session.session_id)
+        if state is not None:
+            return list(state.get("route", ()))
+        return []
 
     def teardown(self, session: Session) -> None:
         """Release an established session along its path."""
@@ -109,6 +247,94 @@ class RsvpAgent:
         self._release_local(session.session_id)
         for hop in session.path[1:]:
             self.signaling.send(hop, "rsvp.tear", session=session.session_id)
+
+    # -- soft-state refresh ----------------------------------------------------------
+
+    def refresh(self, session: Session) -> None:
+        """Re-confirm an established session's state at every hop on its
+        recorded path (and locally), pushing expiry out by the TTL."""
+        if session.status != "established":
+            return
+        self.counters["refreshes"] += 1
+        self._touch_reservation(session.session_id)
+        for hop in session.path[1:]:
+            self.signaling.send(hop, "rsvp.refresh", session=session.session_id)
+
+    def auto_refresh(
+        self, session: Session, *, interval: float | None = None, until: float,
+    ) -> EventHandle:
+        """Refresh *session* periodically until the engine time *until*
+        (bounded, so ``engine.run()`` still drains) or until the session
+        leaves ``established``."""
+        if interval is None:
+            if self.soft_state_ttl is None:
+                raise RsvpError("auto_refresh needs an interval or a soft_state_ttl")
+            interval = self.soft_state_ttl / 2
+        return self.engine.schedule_periodic(
+            interval, lambda: self.refresh(session), until=until
+        )
+
+    def _soft_expiry(self) -> float | None:
+        if self.soft_state_ttl is None:
+            return None
+        return self.engine.now + self.soft_state_ttl
+
+    def _touch_reservation(self, session_id: int) -> None:
+        if self.soft_state_ttl is None or session_id not in self._reserved:
+            return
+        self._reservation_expiry[session_id] = self.engine.now + self.soft_state_ttl
+        self._schedule_expiry_check(session_id)
+
+    def _schedule_expiry_check(self, session_id: int) -> None:
+        expires_at = self._reservation_expiry.get(session_id)
+        if expires_at is None:
+            return
+
+        def check() -> None:
+            current = self._reservation_expiry.get(session_id)
+            if current is None or session_id not in self._reserved:
+                return
+            if self.engine.now + 1e-12 < current:
+                # Refreshed since this check was scheduled: re-arm.
+                self.engine.schedule_at(current, check)
+                return
+            self.counters["expired_reservations"] += 1
+            self._release_local(session_id)
+            self._path_state.pop(session_id, None)
+            session = self.sessions.get(session_id)
+            if session is not None and session.status == "established":
+                session.status = "torn-down"
+                session.events.append("expired")
+
+        self.engine.schedule_at(expires_at, check)
+
+    def _touch_path_state(self, session_id: int) -> None:
+        state = self._path_state.get(session_id)
+        if state is None or self.soft_state_ttl is None:
+            return
+        state["expires_at"] = self.engine.now + self.soft_state_ttl
+
+        def check() -> None:
+            current = self._path_state.get(session_id)
+            if current is None:
+                return
+            expires_at = current.get("expires_at")
+            if expires_at is None:
+                return
+            if self.engine.now + 1e-12 < expires_at:
+                self.engine.schedule_at(expires_at, check)
+                return
+            # Path state (not a reservation) going stale is free to drop;
+            # any reservation has its own expiry.
+            self._path_state.pop(session_id, None)
+            self.counters["expired_path_state"] += 1
+
+        self.engine.schedule_at(state["expires_at"], check)
+
+    def _on_refresh(self, message: dict, sender: str) -> None:
+        session_id = message["session"]
+        self._touch_reservation(session_id)
+        self._touch_path_state(session_id)
 
     # -- protocol handlers ----------------------------------------------------------
 
@@ -122,6 +348,7 @@ class RsvpAgent:
             "sender": message["sender"],
             "route": route,
         }
+        self._touch_path_state(session_id)
         if receiver == self.node.name:
             # Receiver: start the RESV wave back upstream, reserving here
             # first (the receiver's own downlink counts).
@@ -164,10 +391,21 @@ class RsvpAgent:
             session = self.sessions.get(session_id)
             if session is None:
                 return
+            if session.resolved:
+                if session.status == "established":
+                    return  # duplicate wave from a retried PATH
+                # Late RESV after the session already failed (timeout):
+                # the reservations it made downstream must not leak.
+                for hop in message["route"][1:]:
+                    self.signaling.send(hop, "rsvp.tear", session=session_id)
+                return
             if self._try_reserve(session_id, message["bandwidth"]):
                 session.status = "established"
                 session.path = list(message["route"])
                 session.events.append("established")
+                handle = self._deadlines.pop(session_id, None)
+                if handle is not None:
+                    handle.cancel()
                 for hop in session.path[1:]:
                     self.signaling.send(
                         hop, "rsvp.established", session=session_id
@@ -212,6 +450,9 @@ class RsvpAgent:
                 f"{message.get('at', '?')}"
             )
             session.events.append("rejected")
+            handle = self._deadlines.pop(session.session_id, None)
+            if handle is not None:
+                handle.cancel()
 
     def _on_established(self, message: dict, sender: str) -> None:
         # Informational at transit nodes; state already held.
@@ -226,6 +467,11 @@ class RsvpAgent:
     # -- admission control --------------------------------------------------------------
 
     def _try_reserve(self, session_id: int, bandwidth: float) -> bool:
+        if session_id in self._reserved:
+            # Idempotent under retries: a duplicate RESV wave (resent
+            # PATH after a lost RESV) re-confirms, never double-books.
+            self._touch_reservation(session_id)
+            return True
         resources = self.node.capsule.resources
         task_name = f"rsvp:{session_id}"
         if task_name not in resources.tasks():
@@ -236,9 +482,14 @@ class RsvpAgent:
             resources.destroy_task(task_name)
             return False
         self._reserved.add(session_id)
+        expiry = self._soft_expiry()
+        if expiry is not None:
+            self._reservation_expiry[session_id] = expiry
+            self._schedule_expiry_check(session_id)
         return True
 
     def _release_local(self, session_id: int) -> None:
+        self._reservation_expiry.pop(session_id, None)
         if session_id not in self._reserved:
             return
         resources = self.node.capsule.resources
@@ -278,9 +529,14 @@ def deploy_rsvp(
     agents: dict[str, SignalingAgent],
     *,
     bandwidth_capacity: float = 100e6,
+    soft_state_ttl: float | None = None,
 ) -> dict[str, RsvpAgent]:
     """Attach an RSVP agent to every signaling agent."""
     return {
-        name: RsvpAgent(agent, bandwidth_capacity=bandwidth_capacity)
+        name: RsvpAgent(
+            agent,
+            bandwidth_capacity=bandwidth_capacity,
+            soft_state_ttl=soft_state_ttl,
+        )
         for name, agent in agents.items()
     }

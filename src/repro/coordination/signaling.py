@@ -9,6 +9,27 @@ teleporting.
 
 Higher protocols (RSVP-like reservation, Genesis spawning, distributed
 reconfiguration) register typed message handlers on the agent.
+
+Delivery model
+--------------
+``send`` is fire-and-forget: the network may lose, partition away, or
+(under fault injection) duplicate or delay the message, and nobody will
+ever know.  ``send_reliable`` layers *at-least-once* delivery on top —
+the receiver acks by message id, the sender retransmits on an engine-time
+timeout under capped exponential backoff with deterministic jitter
+(:class:`~repro.netsim.engine.BackoffPolicy`), and receivers dedupe by
+message id so a retransmitted (or fault-duplicated) message dispatches
+its handler exactly once.  At-least-once *transport* plus idempotent
+*receive* is what lets the reconfiguration protocol survive real loss:
+a dropped prepare is retried, a dropped vote is retried, and a partition
+that outlives every retry resolves through the coordinator's deadline
+(abort), never as a hung round.  ``docs/robustness.md`` tabulates the
+retry/backoff policies.
+
+Fault injection hooks in *below* the reliability layer: an installed
+:attr:`SignalingAgent.fault_hook` sees every locally originated
+transmission (first sends and retransmits alike) and may drop, delay, or
+duplicate it — see :class:`repro.netsim.faults.SignalingFaults`.
 """
 
 from __future__ import annotations
@@ -18,6 +39,7 @@ import itertools
 from collections.abc import Callable
 from typing import Any
 
+from repro.netsim.engine import BackoffPolicy, RetryTimer
 from repro.netsim.node import Node
 from repro.netsim.packet import (
     PROTO_SIGNALING,
@@ -31,6 +53,13 @@ from repro.opencom.errors import OpenComError
 _MESSAGE_IDS = itertools.count(1)
 
 MessageHandler = Callable[[dict, str], None]
+
+#: Default reliable-delivery policy: first retransmit after 20 virtual
+#: milliseconds, doubling to a 200 ms cap, five transmissions total.
+#: (Hop latencies in the testbed are ~1 ms, so the initial timeout is an
+#: order of magnitude above a healthy round trip.)
+DEFAULT_TIMEOUT = 0.02
+DEFAULT_ATTEMPTS = 5
 
 
 class SignalingError(OpenComError):
@@ -59,17 +88,86 @@ def decode_message(payload: bytes | memoryview) -> dict:
     return message
 
 
+class Delivery:
+    """Sender-side record of one reliable send.
+
+    ``status`` moves ``pending`` → ``delivered`` (ack received) or
+    ``failed`` (every transmission timed out).  *on_result* — if given —
+    fires exactly once with ``True``/``False`` at that transition.
+    """
+
+    __slots__ = ("message_id", "message", "status", "attempts", "on_result", "timer")
+
+    def __init__(
+        self,
+        message_id: int,
+        message: dict,
+        on_result: Callable[[bool], None] | None,
+    ) -> None:
+        self.message_id = message_id
+        self.message = message
+        self.status = "pending"
+        self.attempts = 1
+        self.on_result = on_result
+        self.timer: RetryTimer | None = None
+
+    @property
+    def pending(self) -> bool:
+        return self.status == "pending"
+
+
 class SignalingAgent:
     """Per-node signaling endpoint with hop-by-hop forwarding."""
 
-    def __init__(self, node: Node, topology: Topology) -> None:
+    #: Receiver-side dedupe window: remembered message ids (per agent).
+    #: Ids are globally unique (one process-wide counter), so the set
+    #: only ever grows by messages actually addressed here; the cap
+    #: bounds a pathological run.
+    DEDUPE_LIMIT = 4096
+
+    def __init__(
+        self,
+        node: Node,
+        topology: Topology,
+        *,
+        retry_policy: BackoffPolicy | None = None,
+    ) -> None:
         self.node = node
         self.topology = topology
         self._handlers: dict[str, MessageHandler] = {}
-        self.counters = {"sent": 0, "received": 0, "forwarded": 0, "dropped": 0}
+        self.counters = {
+            "sent": 0,
+            "received": 0,
+            "forwarded": 0,
+            "dropped": 0,
+            "retransmits": 0,
+            "acks_sent": 0,
+            "duplicates": 0,
+            "delivery_failures": 0,
+            "injected_drops": 0,
+            "injected_delays": 0,
+            "injected_duplicates": 0,
+        }
         node.register_protocol(PROTO_SIGNALING, self._on_packet)
         #: node name -> agent, maintained by attach_agents for direct tests.
         self.sent_log: list[dict] = []
+        #: Reliable-delivery state: message id -> Delivery.
+        self.deliveries: dict[int, Delivery] = {}
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else BackoffPolicy(
+                base=DEFAULT_TIMEOUT, cap=10 * DEFAULT_TIMEOUT, seed=node.name
+            )
+        )
+        #: Receiver-side dedupe of reliable messages (insertion-ordered
+        #: so eviction drops the oldest ids first).
+        self._seen: dict[int, None] = {}
+        #: Fault-injection hook over locally originated transmissions:
+        #: ``hook(message) -> None | float | list[float]`` — None passes
+        #: the message through, a float delays it that many seconds, a
+        #: list transmits one copy per entry (empty list = drop).
+        self.fault_hook: Callable[[dict], Any] | None = None
 
     # -- sending -----------------------------------------------------------------
 
@@ -78,6 +176,8 @@ class SignalingAgent:
 
         The message travels the simulated network: it is scheduled onto
         links and arrives after real propagation/serialisation delay.
+        Fire-and-forget — loss, partition, or an unlucky fault schedule
+        loses it silently.
         """
         message_id = next(_MESSAGE_IDS)
         message = {
@@ -87,16 +187,103 @@ class SignalingAgent:
             "to": dst_node,
             **fields,
         }
-        self._route_and_send(message)
+        self._transmit(message)
         self.counters["sent"] += 1
         self.sent_log.append(message)
         return message_id
+
+    def send_reliable(
+        self,
+        dst_node: str,
+        message_type: str,
+        *,
+        max_attempts: int = DEFAULT_ATTEMPTS,
+        on_result: Callable[[bool], None] | None = None,
+        **fields: Any,
+    ) -> Delivery:
+        """Send with at-least-once delivery; returns the Delivery record.
+
+        The receiver acks by message id; this sender retransmits the
+        *same* message (same id — the receiver's dedupe makes redelivery
+        idempotent) on engine-time timeouts under the agent's backoff
+        policy, up to *max_attempts* transmissions, then marks the
+        delivery ``failed``.  Self-sends dispatch (and "ack") inline.
+        """
+        message_id = next(_MESSAGE_IDS)
+        message = {
+            "id": message_id,
+            "type": message_type,
+            "from": self.node.name,
+            "to": dst_node,
+            "ack": True,
+            **fields,
+        }
+        delivery = Delivery(message_id, message, on_result)
+        self.deliveries[message_id] = delivery
+        self.counters["sent"] += 1
+        self.sent_log.append(message)
+        if dst_node == self.node.name:
+            # Loopback: dispatched synchronously, trivially delivered.
+            self._transmit(message)
+            self._settle(delivery, True)
+            return delivery
+        delivery.timer = RetryTimer(
+            self.topology.engine,
+            policy=self.retry_policy,
+            max_attempts=max_attempts,
+            on_expire=lambda attempt, d=delivery: self._retransmit(d),
+            on_exhausted=lambda d=delivery: self._settle(d, False),
+        )
+        self._transmit(message)
+        delivery.timer.start()
+        return delivery
+
+    def _retransmit(self, delivery: Delivery) -> None:
+        if not delivery.pending:
+            return
+        delivery.attempts += 1
+        self.counters["retransmits"] += 1
+        self._transmit(delivery.message)
+
+    def _settle(self, delivery: Delivery, delivered: bool) -> None:
+        if not delivery.pending:
+            return
+        delivery.status = "delivered" if delivered else "failed"
+        if not delivered:
+            self.counters["delivery_failures"] += 1
+        if delivery.timer is not None:
+            delivery.timer.cancel()
+        if delivery.on_result is not None:
+            delivery.on_result(delivered)
+
+    def _transmit(self, message: dict) -> None:
+        """Hand one message to the network (or the fault hook)."""
+        if self.fault_hook is not None:
+            plan = self.fault_hook(message)
+            if plan is not None:
+                copies = plan if isinstance(plan, list) else [plan]
+                if not copies:
+                    self.counters["injected_drops"] += 1
+                    return
+                if len(copies) > 1:
+                    self.counters["injected_duplicates"] += len(copies) - 1
+                engine = self.topology.engine
+                for delay in copies:
+                    if delay <= 0:
+                        self._route_and_send(message)
+                    else:
+                        self.counters["injected_delays"] += 1
+                        engine.schedule(
+                            delay, lambda m=message: self._route_and_send(m)
+                        )
+                return
+        self._route_and_send(message)
 
     def _route_and_send(self, message: dict) -> None:
         dst_node = message["to"]
         if dst_node == self.node.name:
             # Loopback delivery without touching the network.
-            self._dispatch(message)
+            self._deliver_local(message)
             return
         next_hops = self.topology.next_hops(self.node.name)
         hop = next_hops.get(dst_node)
@@ -129,7 +316,7 @@ class SignalingAgent:
             return
         if message.get("to") == self.node.name:
             self.counters["received"] += 1
-            self._dispatch(message)
+            self._deliver_local(message)
             return
         # Transit: forward toward the destination.
         hop = self.topology.next_hops(self.node.name).get(message.get("to", ""))
@@ -140,6 +327,27 @@ class SignalingAgent:
         packet.net.refresh_checksum()
         self.counters["forwarded"] += 1
         self.node.send_to_neighbor(hop, packet)
+
+    def _deliver_local(self, message: dict) -> None:
+        """Terminal delivery: ack/dedupe bookkeeping, then dispatch."""
+        if message.get("type") == "sig.ack":
+            delivery = self.deliveries.get(message.get("ack_of"))
+            if delivery is not None:
+                self._settle(delivery, True)
+            return
+        if message.get("ack"):
+            message_id = message.get("id")
+            # Ack first (even duplicates — the duplicate usually means
+            # our previous ack was lost), then dispatch at most once.
+            self.counters["acks_sent"] += 1
+            self.send(message.get("from", "?"), "sig.ack", ack_of=message_id)
+            if message_id in self._seen:
+                self.counters["duplicates"] += 1
+                return
+            self._seen[message_id] = None
+            if len(self._seen) > self.DEDUPE_LIMIT:
+                self._seen.pop(next(iter(self._seen)))
+        self._dispatch(message)
 
     def _dispatch(self, message: dict) -> None:
         handler = self._handlers.get(message.get("type", ""))
@@ -161,9 +369,11 @@ class SignalingAgent:
         self._handlers.pop(message_type, None)
 
 
-def attach_agents(topology: Topology) -> dict[str, SignalingAgent]:
+def attach_agents(
+    topology: Topology, *, retry_policy: BackoffPolicy | None = None
+) -> dict[str, SignalingAgent]:
     """Create a signaling agent on every node of *topology*."""
     return {
-        name: SignalingAgent(node, topology)
+        name: SignalingAgent(node, topology, retry_policy=retry_policy)
         for name, node in topology.nodes.items()
     }

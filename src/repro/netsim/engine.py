@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import random
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -165,3 +166,109 @@ class Engine:
     def pending(self) -> int:
         """Events scheduled and not cancelled."""
         return sum(1 for e in self._heap if not e.cancelled)
+
+
+class BackoffPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` for attempt 0, 1, 2, ... is
+    ``min(cap, base * factor**attempt)`` scaled by a jitter factor drawn
+    from a *seeded* RNG, so a retry schedule is a pure function of
+    ``(policy parameters, seed, attempt sequence)`` — reruns of a fault
+    scenario retransmit at identical virtual times.  This is the single
+    backoff implementation the coordination stratum shares (signaling
+    retransmits, RSVP PATH retries); the policy table lives in
+    ``docs/robustness.md``.
+    """
+
+    def __init__(
+        self,
+        *,
+        base: float = 0.01,
+        factor: float = 2.0,
+        cap: float = 1.0,
+        jitter: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if base <= 0 or factor < 1.0 or cap < base:
+            raise EngineError(
+                f"invalid backoff (base={base}, factor={factor}, cap={cap})"
+            )
+        if not 0.0 <= jitter < 1.0:
+            raise EngineError(f"jitter must be in [0, 1), got {jitter}")
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.jitter = jitter
+        self.seed = seed
+        self._rng = random.Random(f"backoff:{seed}")
+
+    def delay(self, attempt: int) -> float:
+        """Delay before retry number *attempt* (0-based)."""
+        if attempt < 0:
+            raise EngineError(f"attempt must be >= 0, got {attempt}")
+        raw = min(self.cap, self.base * self.factor**attempt)
+        if self.jitter == 0.0:
+            return raw
+        return raw * (1.0 + self.jitter * (2.0 * self._rng.random() - 1.0))
+
+
+class RetryTimer:
+    """A restartable engine-time retry loop over a :class:`BackoffPolicy`.
+
+    ``start()`` schedules ``on_expire(attempt)`` after the policy's delay
+    for the current attempt; each expiry automatically re-arms for the
+    next attempt until *max_attempts* fire, after which ``on_exhausted``
+    runs instead.  ``cancel()`` (e.g. on acknowledgement) stops the
+    series.  This is the engine hook the coordination stratum's
+    at-least-once machinery is built on — one timeout/retry/backoff
+    implementation instead of three ad-hoc ones.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        policy: BackoffPolicy,
+        max_attempts: int,
+        on_expire: Callable[[int], None],
+        on_exhausted: Callable[[], None] | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise EngineError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.engine = engine
+        self.policy = policy
+        self.max_attempts = max_attempts
+        self.on_expire = on_expire
+        self.on_exhausted = on_exhausted
+        self.attempt = 0
+        self.cancelled = False
+        self.exhausted = False
+        self._handle: EventHandle | None = None
+
+    def start(self) -> None:
+        """Arm the timer for the current attempt."""
+        if self.cancelled or self.exhausted:
+            return
+        self._handle = self.engine.schedule(
+            self.policy.delay(self.attempt), self._fire
+        )
+
+    def cancel(self) -> None:
+        """Stop the retry series (delivery confirmed, round resolved)."""
+        self.cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.attempt += 1
+        if self.attempt >= self.max_attempts:
+            self.exhausted = True
+            if self.on_exhausted is not None:
+                self.on_exhausted()
+            return
+        self.on_expire(self.attempt)
+        self.start()

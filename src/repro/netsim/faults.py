@@ -1,0 +1,306 @@
+"""Deterministic fault injection over engine-time schedules.
+
+The robustness story (docs/robustness.md) needs failures that are *real*
+— packets actually lost, links actually cut, workers actually dead — yet
+perfectly reproducible, so a fault scenario is a regression test, not a
+flake generator.  Everything here is driven by two levers the simulator
+already owns:
+
+- **virtual time**: every fault fires at an exact engine time, scheduled
+  on the same event heap as the traffic it perturbs;
+- **seeded randomness**: probabilistic faults (signaling loss, delay,
+  duplication) draw from RNGs derived from ``(seed, node name)``, never
+  from global state, so a schedule is a pure function of its parameters.
+
+Four fault classes, one per failure domain:
+
+==================  ============================================================
+fault               mechanism
+==================  ============================================================
+link partition      :meth:`~repro.netsim.link.Link.partition` — both directions
+                    black-hole silently (in-flight packets included); heal
+                    restores them
+link loss           :meth:`~repro.netsim.link.Link.set_loss_rate` with a
+                    re-derived seed, so the loss pattern from the fault onset
+                    is reproducible regardless of prior traffic
+signaling faults    a :attr:`~repro.coordination.signaling.SignalingAgent.
+                    fault_hook` (duck-typed — netsim never imports upward)
+                    that drops / delays / duplicates individual locally
+                    originated messages under seeded Bernoulli draws
+pool exhaustion     acquire-and-hold of a pool's free buffers (returned on
+                    heal, so the acquired == released audit stays exact)
+worker kill         ``datapath.inject_worker_crash`` — the poisoned worker
+                    raises :class:`~repro.osbase.sharding.WorkerKilled` at its
+                    next quantum
+==================  ============================================================
+
+Every injected fault is appended to :attr:`FaultInjector.log` as
+``(virtual_time, description)``, so a scenario's exact fault sequence can
+be asserted on (and diffed between reruns).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.netsim.engine import Engine
+from repro.netsim.link import Link
+from repro.opencom.errors import OpenComError
+
+
+class FaultError(OpenComError):
+    """Invalid fault-injection request."""
+
+
+class SignalingFaults:
+    """A seeded drop/delay/duplicate process over one signaling agent.
+
+    Installed as the agent's ``fault_hook``; for each locally originated
+    transmission (first sends and retransmits alike) it draws from a
+    per-agent RNG — ``Random(f"sigfault:{seed}:{node}")`` — and returns
+    the transmission plan the agent's ``_transmit`` executes:
+
+    - drop (probability *drop*): ``[]`` — the message vanishes;
+    - delay (probability *delay*): ``delay_s`` — late, not lost;
+    - duplicate (probability *duplicate*): ``[0.0, delay_s]`` — the
+      original plus one delayed copy (receiver dedupe absorbs it);
+    - otherwise ``None`` — untouched.
+
+    *types*, when given, limits the process to those message types
+    (acks, for example, can be faulted or spared independently).
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int | str,
+        node: str,
+        drop: float = 0.0,
+        delay: float = 0.0,
+        duplicate: float = 0.0,
+        delay_s: float = 0.05,
+        types: tuple[str, ...] | None = None,
+    ) -> None:
+        for name, value in (("drop", drop), ("delay", delay), ("duplicate", duplicate)):
+            if not 0.0 <= value <= 1.0:
+                raise FaultError(f"{name} must be a probability, got {value}")
+        if delay_s <= 0:
+            raise FaultError(f"delay_s must be positive, got {delay_s}")
+        self.drop = drop
+        self.delay = delay
+        self.duplicate = duplicate
+        self.delay_s = delay_s
+        self.types = tuple(types) if types is not None else None
+        self.rng = random.Random(f"sigfault:{seed}:{node}")
+        self.counters = {"dropped": 0, "delayed": 0, "duplicated": 0, "passed": 0}
+
+    def __call__(self, message: dict) -> Any:
+        if self.types is not None and message.get("type") not in self.types:
+            return None
+        draw = self.rng.random()
+        if draw < self.drop:
+            self.counters["dropped"] += 1
+            return []
+        if draw < self.drop + self.delay:
+            self.counters["delayed"] += 1
+            return self.delay_s
+        if draw < self.drop + self.delay + self.duplicate:
+            self.counters["duplicated"] += 1
+            return [0.0, self.delay_s]
+        self.counters["passed"] += 1
+        return None
+
+
+class FaultInjector:
+    """Schedules faults onto an engine's event heap, deterministically.
+
+    One injector per scenario: construct it over the scenario's engine
+    and a seed, declare the schedule (each ``at`` is an *absolute*
+    virtual time), then drive the engine as usual — faults land exactly
+    when declared, and :attr:`log` records what actually fired.
+    """
+
+    def __init__(self, engine: Engine, *, seed: int | str = 0) -> None:
+        self.engine = engine
+        self.seed = seed
+        #: ``(virtual_time, description)`` per injected fault, in firing order.
+        self.log: list[tuple[float, str]] = []
+        #: Pool → buffers held by an active exhaustion fault.
+        self._held: dict[Any, list[Any]] = {}
+        #: Installed signaling fault processes, by node name.
+        self.signaling: dict[str, SignalingFaults] = {}
+
+    def _record(self, description: str) -> None:
+        self.log.append((self.engine.now, description))
+
+    # -- link faults -----------------------------------------------------------------
+
+    def partition(self, link: Link, *, at: float, heal_at: float | None = None) -> None:
+        """Cut *link* at virtual time *at*; optionally heal it later."""
+        if heal_at is not None and heal_at <= at:
+            raise FaultError(f"heal_at {heal_at} must be after at {at}")
+        ends = f"{link.endpoint_a[0].name}<->{link.endpoint_b[0].name}"
+
+        def cut() -> None:
+            link.partition()
+            self._record(f"partition {ends}")
+
+        self.engine.schedule_at(at, cut)
+        if heal_at is not None:
+            self.heal(link, at=heal_at)
+
+    def heal(self, link: Link, *, at: float) -> None:
+        """Restore a partitioned link at virtual time *at*."""
+        ends = f"{link.endpoint_a[0].name}<->{link.endpoint_b[0].name}"
+
+        def restore() -> None:
+            link.heal()
+            self._record(f"heal {ends}")
+
+        self.engine.schedule_at(at, restore)
+
+    def loss(
+        self,
+        link: Link,
+        rate: float,
+        *,
+        at: float,
+        until: float | None = None,
+    ) -> None:
+        """Impose a seeded loss regime on *link* from *at* (back to
+        lossless at *until*, if given).  The loss RNGs are re-derived
+        from the injector seed at onset, so the drop pattern is
+        reproducible no matter what traffic preceded the fault."""
+        if not 0.0 <= rate <= 1.0:
+            raise FaultError(f"rate must be a probability, got {rate}")
+        if until is not None and until <= at:
+            raise FaultError(f"until {until} must be after at {at}")
+        ends = f"{link.endpoint_a[0].name}<->{link.endpoint_b[0].name}"
+
+        def impose() -> None:
+            link.set_loss_rate(rate, seed=f"{self.seed}:loss:{ends}")
+            self._record(f"loss {rate} on {ends}")
+
+        self.engine.schedule_at(at, impose)
+        if until is not None:
+
+            def lift() -> None:
+                link.set_loss_rate(0.0)
+                self._record(f"loss lifted on {ends}")
+
+            self.engine.schedule_at(until, lift)
+
+    # -- signaling faults ---------------------------------------------------------------
+
+    def fault_signaling(
+        self,
+        agent: Any,
+        *,
+        drop: float = 0.0,
+        delay: float = 0.0,
+        duplicate: float = 0.0,
+        delay_s: float = 0.05,
+        types: tuple[str, ...] | None = None,
+    ) -> SignalingFaults:
+        """Install a seeded drop/delay/duplicate process on a signaling
+        agent (its ``fault_hook``), derived from this injector's seed and
+        the agent's node name.  Returns the process (for its counters)."""
+        if getattr(agent, "fault_hook", None) is not None:
+            raise FaultError(
+                f"{agent.node.name} already has a fault hook installed"
+            )
+        process = SignalingFaults(
+            seed=self.seed,
+            node=agent.node.name,
+            drop=drop,
+            delay=delay,
+            duplicate=duplicate,
+            delay_s=delay_s,
+            types=types,
+        )
+        agent.fault_hook = process
+        self.signaling[agent.node.name] = process
+        self._record(
+            f"signaling faults on {agent.node.name} "
+            f"(drop={drop}, delay={delay}, duplicate={duplicate})"
+        )
+        return process
+
+    def clear_signaling(self, agent: Any) -> None:
+        """Remove this injector's fault process from *agent*."""
+        if self.signaling.pop(agent.node.name, None) is not None:
+            agent.fault_hook = None
+            self._record(f"signaling faults cleared on {agent.node.name}")
+
+    # -- pool faults ---------------------------------------------------------------------
+
+    def exhaust_pool(self, pool: Any, *, at: float, heal_at: float | None = None,
+                     leave: int = 0) -> None:
+        """Acquire-and-hold all but *leave* of *pool*'s free buffers at
+        virtual time *at* — datapath acquires then hit the pool's own
+        exhaustion policy (drop-newest, backpressure, raise).  Healing
+        releases every held buffer, so acquired == released still holds
+        at audit time."""
+        if leave < 0:
+            raise FaultError(f"leave must be >= 0, got {leave}")
+        if heal_at is not None and heal_at <= at:
+            raise FaultError(f"heal_at {heal_at} must be after at {at}")
+
+        def exhaust() -> None:
+            held = self._held.setdefault(pool, [])
+            grabbed = 0
+            while pool.in_flight < pool.count - leave:
+                buffer = pool.acquire(0)
+                if buffer is None:
+                    break
+                held.append(buffer)
+                grabbed += 1
+            self._record(
+                f"pool {getattr(pool, 'name', pool)!s} exhausted "
+                f"({grabbed} buffers held, {leave} left free)"
+            )
+
+        self.engine.schedule_at(at, exhaust)
+        if heal_at is not None:
+            self.heal_pool(pool, at=heal_at)
+
+    def heal_pool(self, pool: Any, *, at: float) -> None:
+        """Release every buffer an exhaustion fault holds on *pool*."""
+
+        def restore() -> None:
+            held = self._held.pop(pool, [])
+            for buffer in held:
+                pool.release(buffer)
+            self._record(
+                f"pool {getattr(pool, 'name', pool)!s} healed "
+                f"({len(held)} buffers returned)"
+            )
+
+        self.engine.schedule_at(at, restore)
+
+    def release_holds(self) -> int:
+        """Immediately release every buffer held by exhaustion faults
+        (scenario teardown safety net); returns buffers returned."""
+        returned = 0
+        for pool, held in list(self._held.items()):
+            for buffer in held:
+                pool.release(buffer)
+            returned += len(held)
+            del self._held[pool]
+        if returned:
+            self._record(f"release_holds returned {returned} buffers")
+        return returned
+
+    # -- worker faults -------------------------------------------------------------------
+
+    def kill_worker(self, datapath: Any, index: int, *, at: float) -> None:
+        """Poison shard worker *index* of *datapath* at virtual time *at*
+        (duck-typed ``inject_worker_crash`` — the crash itself lands at
+        the worker's next quantum, contained per-thread)."""
+
+        def kill() -> None:
+            datapath.inject_worker_crash(index)
+            self._record(f"kill worker {index} of {datapath.name}")
+
+        self.engine.schedule_at(at, kill)

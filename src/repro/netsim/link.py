@@ -5,12 +5,25 @@ serialises packets at the configured bandwidth (a busy-until horizon), adds
 propagation latency, drops with a seeded Bernoulli loss process, and bounds
 its backlog — pushing a packet into a saturated direction fails, which is
 how congestion becomes visible to NICs and queues upstream.
+
+Links are also the unit of *partition* in the fault model
+(:mod:`repro.netsim.faults`): a partitioned direction black-holes every
+packet (counted in ``dropped_down``, pooled buffers released) without
+telling the sender, exactly like a cut cable — the coordination stratum's
+timeout/retry machinery, not the sender's return code, is what notices.
+
+Loss determinism: each direction owns its *own* RNG, derived from the
+link seed, so the two directions' loss processes never perturb each
+other, and :meth:`Link.set_loss_rate` can re-seed mid-run — a loss
+schedule applied at time T is then reproducible regardless of how much
+traffic (and how many RNG draws) preceded T.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+
 from typing import TYPE_CHECKING
 
 from repro.netsim.engine import Engine
@@ -29,6 +42,7 @@ class LinkStats:
     delivered: int = 0
     lost: int = 0
     dropped_backlog: int = 0
+    dropped_down: int = 0
     bytes_sent: int = 0
 
 
@@ -52,15 +66,24 @@ class _Direction:
         self.rng = rng
         self.busy_until = 0.0
         self.in_flight = 0
+        self.up = True
         self.stats = LinkStats()
 
     def send(self, packet: Packet, deliver) -> bool:
         """Serialise and propagate one packet; returns False when dropped.
 
-        The call consumes the packet either way: a backlog drop or a loss
-        releases any pooled wire buffer here (the sender handed ownership
-        over), successful delivery passes ownership to the receiver.
+        The call consumes the packet either way: a backlog drop, a loss,
+        or a partition black-hole releases any pooled wire buffer here
+        (the sender handed ownership over), successful delivery passes
+        ownership to the receiver.
         """
+        if not self.up:
+            # Partitioned: the cable is cut.  The sender cannot tell (as
+            # with loss) — recovery is the retry layer's job, not a
+            # return-code branch.
+            self.stats.dropped_down += 1
+            release_dropped(packet)
+            return True
         if self.in_flight >= self.max_backlog:
             self.stats.dropped_backlog += 1
             release_dropped(packet)
@@ -80,6 +103,12 @@ class _Direction:
 
         def arrive() -> None:
             self.in_flight -= 1
+            if not self.up:
+                # Partition landed while the packet was in flight: it
+                # never crosses.
+                self.stats.dropped_down += 1
+                release_dropped(packet)
+                return
             self.stats.delivered += 1
             deliver(packet)
 
@@ -90,6 +119,11 @@ class _Direction:
     def utilisation_horizon(self) -> float:
         """Seconds of queued serialisation work ahead of 'now'."""
         return max(0.0, self.busy_until - self.engine.now)
+
+
+def _direction_rngs(seed: int | str) -> tuple[random.Random, random.Random]:
+    """Independent per-direction RNGs derived from one link seed."""
+    return random.Random(f"link:{seed}:a2b"), random.Random(f"link:{seed}:b2a")
 
 
 class Link:
@@ -110,12 +144,12 @@ class Link:
         self.engine = engine
         self.endpoint_a = a
         self.endpoint_b = b
-        rng = random.Random(seed)
+        rng_fwd, rng_rev = _direction_rngs(seed)
         self._forward = _Direction(
-            engine, bandwidth_bps, latency_s, loss_rate, max_backlog, rng
+            engine, bandwidth_bps, latency_s, loss_rate, max_backlog, rng_fwd
         )
         self._reverse = _Direction(
-            engine, bandwidth_bps, latency_s, loss_rate, max_backlog, rng
+            engine, bandwidth_bps, latency_s, loss_rate, max_backlog, rng_rev
         )
 
     def send_from(self, node: "Node", packet: Packet) -> bool:
@@ -144,11 +178,38 @@ class Link:
             return self._reverse
         raise ValueError(f"node {node.name} is not an endpoint of this link")
 
-    def set_loss_rate(self, loss_rate: float) -> None:
+    def set_loss_rate(self, loss_rate: float, *, seed: int | str | None = None) -> None:
         """Adjust both directions' loss rate (wireless-regime switches in
-        experiment C9)."""
+        experiment C9, loss schedules in the fault harness).
+
+        With *seed*, both directions' RNGs are re-derived from it, so the
+        loss pattern from this point on is a pure function of the seed
+        and the subsequent traffic — reproducible in tests and benches no
+        matter what ran before.
+        """
+        if seed is not None:
+            self._forward.rng, self._reverse.rng = _direction_rngs(seed)
         self._forward.loss_rate = loss_rate
         self._reverse.loss_rate = loss_rate
+
+    # -- partition (the fault model's unit of network failure) ---------------------
+
+    def partition(self) -> None:
+        """Cut the link in both directions: every subsequent send (and
+        every packet still in flight) is black-holed and its pooled
+        buffer released.  Senders see success — only timeouts notice."""
+        self._forward.up = False
+        self._reverse.up = False
+
+    def heal(self) -> None:
+        """Restore a partitioned link (both directions)."""
+        self._forward.up = True
+        self._reverse.up = True
+
+    @property
+    def partitioned(self) -> bool:
+        """True while either direction is down."""
+        return not (self._forward.up and self._reverse.up)
 
     @property
     def latency_s(self) -> float:

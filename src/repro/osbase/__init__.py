@@ -35,6 +35,7 @@ from repro.osbase.sharding import (
     Shard,
     ShardedDatapath,
     ShardingError,
+    WorkerKilled,
 )
 from repro.osbase.threads import SimThread, ThreadError, WaitEvent
 from repro.osbase.timers import Timer, TimerWheel
@@ -69,6 +70,7 @@ __all__ = [
     "TimerWheel",
     "VirtualClock",
     "WaitEvent",
+    "WorkerKilled",
     "carve_shard_pools",
     "release_dropped",
     "shard_pool_audit",

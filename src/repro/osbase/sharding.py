@@ -34,6 +34,38 @@ batch completes before the popper yields), and the PR 4 lifecycle
 invariant — acquired == released — holds per shard and in aggregate.
 ``docs/concurrency.md`` walks the whole model; experiment C15
 (``benchmarks/bench_c15_sharding.py``) measures it.
+
+Failure domains and recovery
+----------------------------
+Each shard is a failure domain: a worker body that crashes (or is
+poisoned by :meth:`ShardedDatapath.inject_worker_crash`) takes only its
+own quantum down — the supervisor's failover stealing keeps the dead
+shard's backlog draining through live peers immediately.  Stealing is a
+stopgap, not recovery: the dead bucket keeps accumulating new arrivals.
+True recovery is the *drain-before-rehash* sequence exposed as a
+quiesce/apply/resume/rollback action set
+(:meth:`ShardedDatapath.recovery_action_set`, bridged to the two-phase
+reconfiguration protocol by
+:func:`repro.coordination.reconfig.register_shard_recovery` — osbase
+never imports upward, so the bridge lives on the coordination side):
+
+1. **quiesce** parks new frames for the dead hash bucket (arrival order
+   kept) and picks a live successor;
+2. **apply** drains the dead shard's remaining backlog inline through
+   its *own* engine (per-flow FIFO and pool ownership preserved —
+   exactly the batch hand-off convention), installs the bucket →
+   successor redirect, then flushes the parked frames to the successor
+   in arrival order;
+3. **resume** lifts the parking and records the recovery (with the dead
+   slice's acquired == released pool balance);
+4. **rollback** (an aborted round, or apply raising mid-commit) unparks
+   everything back onto the dead shard's own ring, where failover
+   stealing resumes draining it.
+
+Per-flow disruption is bounded by construction: a flow lives on its
+original shard until the drain completes, then on exactly one successor
+— never a third home, never reordered.  ``docs/robustness.md`` walks the
+failure model; ``benchmarks/bench_r1_faults.py`` gates on it.
 """
 
 from __future__ import annotations
@@ -51,6 +83,15 @@ class ShardingError(OpenComError):
 
 class PumpExhausted(RuntimeWarning):
     """``pump`` hit its step limit with frames still on a backlog."""
+
+
+class WorkerKilled(OpenComError):
+    """Poison raised inside a worker body by fault injection.
+
+    The crash is contained by :meth:`~repro.osbase.threads.SimThread.
+    run_quantum` exactly like any other body error: the thread moves to
+    ``done`` with this exception on ``.error``, and the supervisor's
+    failover/recovery machinery takes over."""
 
 
 class RssSteering:
@@ -249,8 +290,24 @@ class ShardedDatapath:
                 f"steal_watermark must be >= 1, got {self.steal_watermark}"
             )
         self.name = name
+        #: Hash bucket → live successor bucket, installed by recovery
+        #: (resolved transitively, so cascaded failures chain cleanly).
+        self._redirect: dict[int, int] = {}
+        #: Quiesced bucket → frames parked in arrival order.
+        self._parked: dict[int, list] = {}
+        #: Dead bucket → in-progress recovery state (successor, record).
+        self._pending_recovery: dict[int, dict] = {}
+        #: Completed drain-and-re-steer recoveries (see docs/robustness.md).
+        self.recoveries: list[dict] = []
+        #: Optional hook called once per dead worker (fault containment →
+        #: coordination hand-off); typically starts a reconfiguration
+        #: round over the registered recovery action set.
+        self.recovery_driver: Callable[["ShardedDatapath", int], None] | None = None
+        self._recovery_requested: set[int] = set()
+        #: Worker indices poisoned to crash at their next quantum.
+        self._poison: set[int] = set()
         self.steering = RssSteering(
-            [shard.nic.receive_frame for shard in self.shards],
+            [self._ingress_for(i) for i in range(len(self.shards))],
             hash_fn=hash_fn,
             reject=reject,
         )
@@ -286,6 +343,229 @@ class ShardedDatapath:
         if self._stopping:
             raise ShardingError(f"{self.name} is shut down")
         return self.steering.steer_batch(frames)
+
+    def _ingress_for(self, index: int) -> Callable[[Any], bool]:
+        """The steering output for hash bucket *index*.
+
+        Fast path (no fault state anywhere) is a direct NIC receive —
+        the indirection costs two empty-dict truthiness checks per
+        frame, so the C15 hot path is unperturbed.  Under recovery the
+        slow path applies parking and bucket redirects.
+        """
+        receive = self.shards[index].nic.receive_frame
+
+        def ingress(frame: Any) -> bool:
+            if self._parked or self._redirect:
+                return self._ingress_slow(index, frame)
+            return receive(frame)
+
+        return ingress
+
+    def _ingress_slow(self, index: int, frame: Any) -> bool:
+        """Deliver one frame honouring quiesce parking and redirects.
+
+        Walks the redirect chain from the frame's hash bucket; a
+        quiesced bucket anywhere along it parks the frame (arrival order
+        preserved — the apply step flushes the park list in order)."""
+        target = index
+        seen: set[int] = set()
+        while True:
+            parked = self._parked.get(target)
+            if parked is not None:
+                parked.append(frame)
+                return True
+            successor = self._redirect.get(target)
+            if successor is None or successor in seen:
+                break
+            seen.add(target)
+            target = successor
+        return self.shards[target].nic.receive_frame(frame)
+
+    # -- fault injection ----------------------------------------------------------
+
+    def inject_worker_crash(self, index: int) -> None:
+        """Poison worker *index*: its next quantum raises
+        :class:`WorkerKilled` inside the body (contained per-thread, as
+        any crash), deterministically — the same virtual time on every
+        rerun of a seeded schedule."""
+        if not 0 <= index < len(self.shards):
+            raise ShardingError(f"no shard {index} in {self.name}")
+        if self._workers[index].done:
+            raise ShardingError(f"{self.name}-worker{index} is already dead")
+        self._poison.add(index)
+
+    # -- failure-domain recovery ----------------------------------------------------
+
+    def recovery_action_set(self) -> dict[str, Callable[[dict], Any]]:
+        """The drain-and-re-steer recovery as quiesce/apply/resume/
+        rollback callables (each takes the round's parameter dict, which
+        must carry ``{"shard": <dead index>}`` and may carry ``{"to":
+        <successor index>}``).
+
+        Shaped for :class:`repro.coordination.reconfig.ActionSet` —
+        ``register_shard_recovery`` on the coordination side does the
+        wrapping, because osbase cannot import upward.  The local
+        no-protocol driver is :meth:`recover_shard`.
+        """
+        return {
+            "quiesce": self._recovery_quiesce,
+            "apply": self._recovery_apply,
+            "resume": self._recovery_resume,
+            "rollback": self._recovery_rollback,
+        }
+
+    def _pick_successor(self, dead: int, to: int | None) -> int | None:
+        if to is not None:
+            valid = (
+                isinstance(to, int)
+                and 0 <= to < len(self.shards)
+                and to != dead
+                and not self._workers[to].done
+                and to not in self._pending_recovery
+            )
+            return to if valid else None
+        live = [
+            i
+            for i in range(len(self.shards))
+            if i != dead
+            and not self._workers[i].done
+            and i not in self._pending_recovery
+            and i not in self._redirect
+        ]
+        if not live:
+            return None
+        return min(live, key=lambda i: self.shards[i].backlog_depth)
+
+    def _recovery_quiesce(self, params: dict) -> bool:
+        """Park the dead bucket's arrivals and pick a successor; False
+        (→ vote no) when the parameters are invalid, the shard is
+        already mid-recovery, or no live successor exists."""
+        dead = params.get("shard")
+        if not isinstance(dead, int) or not 0 <= dead < len(self.shards):
+            return False
+        if dead in self._pending_recovery or dead in self._redirect:
+            return False
+        successor = self._pick_successor(dead, params.get("to"))
+        if successor is None:
+            return False
+        self._parked[dead] = []
+        self._pending_recovery[dead] = {"to": successor}
+        # Failover stealing keeps draining the dead backlog through the
+        # prepare window — recovery replaces it, it does not pause it.
+        return True
+
+    def _recovery_apply(self, params: dict) -> None:
+        """Drain-before-rehash: empty the dead shard's backlog through
+        its *own* engine, install the redirect, flush the parked frames
+        to the successor in arrival order."""
+        dead = params["shard"]
+        pending = self._pending_recovery.get(dead)
+        if pending is None:
+            raise ShardingError(f"recovery apply without quiesce (shard {dead})")
+        shard = self.shards[dead]
+        drained = 0
+        while True:
+            batch = shard.take_batch(self.batch)
+            if not batch:
+                break
+            # Inline hand-off: nothing steps the thread manager while an
+            # action set runs, so this is atomic wrt the workers — the
+            # same ownership convention as batch stealing.
+            shard.process(batch)
+            drained += len(batch)
+        successor = pending["to"]
+        self._redirect[dead] = successor
+        parked = self._parked.pop(dead, [])
+        successor_receive = self.shards[successor].nic.receive_frame
+        flushed = refused = 0
+        for frame in parked:
+            if successor_receive(frame):
+                flushed += 1
+            else:
+                # Ring overflow / pool backpressure at the successor:
+                # the frame was never materialised into a pooled buffer,
+                # so refusing it here cannot leak (same as any NIC drop).
+                refused += 1
+        pool = shard.pool
+        pending["record"] = {
+            "shard": dead,
+            "to": successor,
+            "drained": drained,
+            "parked_flushed": flushed,
+            "parked_refused": refused,
+            "pool_acquired": pool.acquired_total if pool is not None else None,
+            "pool_released": pool.released_total if pool is not None else None,
+            "pool_in_flight": pool.in_flight if pool is not None else None,
+            "pool_balanced": (
+                pool.acquired_total == pool.released_total
+                and pool.in_flight == 0
+                if pool is not None
+                else True
+            ),
+            "virtual_time": self.threads.clock.now,
+        }
+
+    def _recovery_resume(self, params: dict) -> None:
+        """Commit-side resume: lift the parking and record the recovery.
+        A no-op on the abort path (rollback already cleaned up)."""
+        dead = params["shard"]
+        pending = self._pending_recovery.pop(dead, None)
+        if pending is None:
+            return
+        record = pending.get("record")
+        if record is not None:
+            self.recoveries.append(record)
+        # Defensive: anything still parked (apply short-circuited without
+        # raising) follows the redirect chain rather than vanishing.
+        leftovers = self._parked.pop(dead, None)
+        if leftovers:
+            for frame in leftovers:
+                self._ingress_slow(dead, frame)
+
+    def _recovery_rollback(self, params: dict) -> None:
+        """Abort-side undo: unpark everything back onto the dead shard's
+        own ring (failover stealing resumes draining it) and remove any
+        redirect a failed apply installed."""
+        dead = params["shard"]
+        pending = self._pending_recovery.pop(dead, None)
+        if pending is None:
+            return
+        if self._redirect.get(dead) == pending["to"]:
+            del self._redirect[dead]
+        parked = self._parked.pop(dead, [])
+        receive = self.shards[dead].nic.receive_frame
+        for frame in parked:
+            receive(frame)
+        # Let the supervisor's recovery driver try again later.
+        self._recovery_requested.discard(dead)
+
+    def recover_shard(self, index: int, *, to: int | None = None) -> dict:
+        """Run the whole recovery locally (no coordination protocol):
+        quiesce → apply → resume, rolling back if apply raises.  Returns
+        the recovery record.  The networked path is
+        ``register_shard_recovery`` + a reconfiguration round."""
+        params: dict[str, Any] = {"shard": index}
+        if to is not None:
+            params["to"] = to
+        actions = self.recovery_action_set()
+        if not actions["quiesce"](params):
+            raise ShardingError(
+                f"shard {index} recovery refused (bad index, already "
+                f"recovering, or no live successor)"
+            )
+        try:
+            actions["apply"](params)
+        except Exception:
+            actions["rollback"](params)
+            actions["resume"](params)
+            raise
+        actions["resume"](params)
+        return self.recoveries[-1]
+
+    def parked_count(self) -> int:
+        """Frames parked by in-progress recoveries (not on any RX ring,
+        so not in :meth:`total_backlog` — they drain at commit/abort)."""
+        return sum(len(frames) for frames in self._parked.values())
 
     # -- execution ----------------------------------------------------------------
 
@@ -397,6 +677,14 @@ class ShardedDatapath:
             "rebalances": self.rebalances,
             "steer_malformed": self.steering.malformed,
             "total_backlog": self.total_backlog(),
+            "parked": self.parked_count(),
+            "redirects": dict(self._redirect),
+            "recoveries": len(self.recoveries),
+            "dead_workers": [
+                index
+                for index, worker in enumerate(self._workers)
+                if worker.done
+            ],
             "virtual_time": self.threads.clock.now,
             "stopping": self._stopping,
         }
@@ -413,6 +701,11 @@ class ShardedDatapath:
         """
         shard = self.shards[index]
         while not self._stopping:
+            if index in self._poison:
+                self._poison.discard(index)
+                raise WorkerKilled(
+                    f"{self.name}-worker{index} killed by fault injection"
+                )
             batch = shard.take_batch(self.batch)
             if batch:
                 shard.process(batch)
@@ -439,6 +732,19 @@ class ShardedDatapath:
         """
         while not self._stopping:
             depths = [shard.backlog_depth for shard in self.shards]
+            if self.recovery_driver is not None:
+                # Containment → coordination hand-off: report each dead
+                # worker exactly once (rollback re-arms the report so an
+                # aborted round is retried).  Failover stealing continues
+                # below while the driver's round is in flight.
+                for index, worker in enumerate(self._workers):
+                    if (
+                        worker.done
+                        and index not in self._recovery_requested
+                        and index not in self._redirect
+                    ):
+                        self._recovery_requested.add(index)
+                        self.recovery_driver(self, index)
             dead_backlogged = [
                 index
                 for index in range(len(self.shards))

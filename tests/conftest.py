@@ -5,6 +5,44 @@ from __future__ import annotations
 import pytest
 
 from repro.opencom import Capsule, Component, Interface, Provided, Required
+from repro.osbase import buffers
+
+
+@pytest.fixture(autouse=True)
+def pool_leak_audit(request, monkeypatch):
+    """Audit every BufferPool a test creates: acquired == released and
+    nothing in flight at teardown.
+
+    The pooled-buffer lifecycle is this repo's core robustness
+    invariant (fault scenarios gate on it; see docs/robustness.md), so
+    a leak anywhere in the suite fails loudly instead of surviving as
+    latent state.  Tests that *intentionally* strand buffers (e.g.
+    shutdown with backlog still ringed) opt out with
+    ``@pytest.mark.allow_pool_leak``.
+    """
+    created = []
+    original_init = buffers.BufferPool.__init__
+
+    def tracking_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        created.append(self)
+
+    monkeypatch.setattr(buffers.BufferPool, "__init__", tracking_init)
+    yield
+    if request.node.get_closest_marker("allow_pool_leak"):
+        return
+    leaks = [
+        f"{pool.name}: acquired={pool.acquired_total} "
+        f"released={pool.released_total} in_flight={pool.in_flight}"
+        for pool in created
+        if pool.acquired_total != pool.released_total or pool.in_flight != 0
+    ]
+    if leaks:
+        pytest.fail(
+            "pooled buffers leaked (mark the test allow_pool_leak if "
+            "intentional):\n  " + "\n  ".join(leaks),
+            pytrace=False,
+        )
 
 
 class IEcho(Interface):

@@ -8,8 +8,17 @@ from repro.coordination import (
     ReconfigError,
     ReconfigParticipant,
     attach_agents,
+    register_shard_recovery,
 )
-from repro.netsim import Topology
+from repro.netsim import FaultInjector, Topology
+
+
+def link_between(topo, a, b):
+    for link in topo.links:
+        ends = {link.endpoint_a[0].name, link.endpoint_b[0].name}
+        if ends == {a, b}:
+            return link
+    raise AssertionError(f"no link {a}<->{b}")
 
 
 @pytest.fixture
@@ -144,3 +153,137 @@ class TestAbortPath:
         participant.register("k", actions)
         with pytest.raises(ReconfigError, match="already registered"):
             participant.register("k", actions)
+
+
+class TestDeadline:
+    def test_partitioned_participant_expires_the_deadline(self, network):
+        topo, coordinator, participants = network
+        state = {}
+        for node, participant in participants.items():
+            participant.register("swap", swap_actions(state, node))
+        # leaf2 is unreachable for longer than every retransmit: its
+        # vote never arrives, and only the deadline resolves the round.
+        injector = FaultInjector(topo.engine)
+        injector.partition(link_between(topo, "hub", "leaf2"), at=0.0001)
+        round_ = coordinator.start(
+            "swap", list(participants), {"to": "v2"}, deadline=0.5
+        )
+        topo.engine.run()
+        assert round_.status == "aborted"
+        assert "deadline-expired (missing votes: ['leaf2'])" in round_.events
+        # Nobody applied; the reachable (prepared) participants rolled
+        # back and resumed unchanged instead of staying quiesced.
+        assert not any(state.get(n) == "v2" for n in participants)
+        assert sorted(state["rolled-back"]) == ["leaf0", "leaf1"]
+        assert sorted(state["resumed"]) == ["leaf0", "leaf1"]
+
+    def test_deadline_is_a_no_op_on_resolved_rounds(self, network):
+        topo, coordinator, participants = network
+        state = {}
+        for node, participant in participants.items():
+            participant.register("swap", swap_actions(state, node))
+        round_ = coordinator.start(
+            "swap", list(participants), {"to": "v2"}, deadline=5.0
+        )
+        topo.engine.run()
+        assert round_.status == "committed"
+        assert not any("deadline-expired" in event for event in round_.events)
+
+    def test_nonpositive_deadline_rejected(self, network):
+        _, coordinator, participants = network
+        with pytest.raises(ReconfigError, match="deadline"):
+            coordinator.start("swap", list(participants), deadline=0)
+
+
+class TestRollbackOrdering:
+    def _log_index(self, participant, fragment):
+        matches = [i for i, line in enumerate(participant.log) if fragment in line]
+        assert len(matches) == 1, (fragment, participant.log)
+        return matches[0]
+
+    def test_abort_rolls_back_before_resuming(self, network):
+        topo, coordinator, participants = network
+        state = {}
+        items = list(participants.items())
+        for node, participant in items[:-1]:
+            participant.register("swap", swap_actions(state, node))
+        refuser_name, refuser = items[-1]
+        refuser.register("swap", swap_actions(state, refuser_name, quiesce_ok=False))
+        round_ = coordinator.start("swap", list(participants), {"to": "v2"})
+        topo.engine.run()
+        assert round_.status == "aborted"
+        for _, participant in items[:-1]:
+            rolled = self._log_index(participant, "rolled back")
+            resumed = self._log_index(participant, "resumed unchanged")
+            assert rolled < resumed
+
+    def test_apply_failure_rolls_back_before_resuming(self, network):
+        topo, coordinator, participants = network
+        state = {}
+        items = list(participants.items())
+        failing_name, failing = items[0]
+        failing.register("swap", swap_actions(state, failing_name, apply_raises=True))
+        for node, participant in items[1:]:
+            participant.register("swap", swap_actions(state, node))
+        round_ = coordinator.start("swap", list(participants), {"to": "v2"})
+        topo.engine.run()
+        assert round_.status == "committed"
+        assert "apply failed" in "".join(failing.log)
+        rolled = self._log_index(failing, "rolled back")
+        resumed = self._log_index(failing, "resumed")
+        assert rolled < resumed
+
+
+class FakeRecoverableDatapath:
+    """Duck-typed stand-in for ShardedDatapath.recovery_action_set()."""
+
+    def __init__(self, *, quiesce_ok=True):
+        self.calls = []
+        self.quiesce_ok = quiesce_ok
+
+    def recovery_action_set(self):
+        return {
+            "quiesce": lambda params: (
+                self.calls.append(("quiesce", params["shard"])),
+                self.quiesce_ok,
+            )[1],
+            "apply": lambda params: self.calls.append(("apply", params["shard"])),
+            "resume": lambda params: self.calls.append(("resume", params["shard"])),
+            "rollback": lambda params: self.calls.append(
+                ("rollback", params["shard"])
+            ),
+        }
+
+
+class TestShardRecoveryBridge:
+    def test_committed_round_drives_quiesce_apply_resume(self, network):
+        topo, coordinator, participants = network
+        datapaths = {}
+        for node, participant in participants.items():
+            datapaths[node] = FakeRecoverableDatapath()
+            register_shard_recovery(participant, datapaths[node])
+        round_ = coordinator.start(
+            "shard-recovery", list(participants), {"shard": 2}, deadline=1.0
+        )
+        topo.engine.run()
+        assert round_.status == "committed"
+        for datapath in datapaths.values():
+            assert datapath.calls == [
+                ("quiesce", 2), ("apply", 2), ("resume", 2)
+            ]
+
+    def test_refused_quiesce_aborts_and_spares_the_rest(self, network):
+        topo, coordinator, participants = network
+        items = list(participants.items())
+        datapaths = {}
+        for node, participant in items:
+            datapaths[node] = FakeRecoverableDatapath(quiesce_ok=(node != "leaf2"))
+            register_shard_recovery(participant, datapaths[node])
+        round_ = coordinator.start("shard-recovery", list(participants), {"shard": 0})
+        topo.engine.run()
+        assert round_.status == "aborted"
+        assert datapaths["leaf2"].calls == [("quiesce", 0)]
+        for node in ("leaf0", "leaf1"):
+            assert datapaths[node].calls == [
+                ("quiesce", 0), ("rollback", 0), ("resume", 0)
+            ]

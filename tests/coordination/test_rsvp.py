@@ -1,9 +1,16 @@
-"""RSVP-style reservation: admission, rejection, teardown, containment."""
+"""RSVP-style reservation: admission, rejection, teardown, containment,
+and the soft-state failure model (timeouts, retries, refresh/expiry)."""
 
 import pytest
 
-from repro.coordination import BANDWIDTH_POOL, attach_agents, deploy_rsvp
-from repro.netsim import Topology
+from repro.coordination import (
+    BANDWIDTH_POOL,
+    RsvpError,
+    RsvpTimeout,
+    attach_agents,
+    deploy_rsvp,
+)
+from repro.netsim import FaultInjector, Topology
 
 
 @pytest.fixture
@@ -12,6 +19,21 @@ def network():
     agents = attach_agents(topo)
     rsvp = deploy_rsvp(topo, agents, bandwidth_capacity=10e6)
     return topo, rsvp
+
+
+def chain_with_ttl(ttl):
+    topo = Topology.chain(5, latency_s=0.001)
+    agents = attach_agents(topo)
+    rsvp = deploy_rsvp(topo, agents, bandwidth_capacity=10e6, soft_state_ttl=ttl)
+    return topo, rsvp
+
+
+def link_between(topo, a, b):
+    for link in topo.links:
+        ends = {link.endpoint_a[0].name, link.endpoint_b[0].name}
+        if ends == {a, b}:
+            return link
+    raise AssertionError(f"no link {a}<->{b}")
 
 
 def reserved_map(topo, rsvp):
@@ -114,3 +136,114 @@ class TestBranchingTopology:
         topo.engine.run()
         assert a.status == "established"
         assert b.status == "rejected"  # hub or leaf1 pool exhausted
+
+
+class TestTimeoutAndRetry:
+    def test_partitioned_path_resolves_to_typed_timeout(self):
+        topo, rsvp = chain_with_ttl(0.5)
+        injector = FaultInjector(topo.engine)
+        injector.partition(link_between(topo, "n2", "n3"), at=0.0001)
+        session = rsvp["n0"].reserve("n4", 4e6, timeout=0.05, max_attempts=3)
+        topo.engine.run()
+        assert session.status == "timed-out"
+        assert isinstance(session.error, RsvpTimeout)
+        assert session.attempts == 3
+        assert rsvp["n0"].counters["path_retries"] == 2
+        # Zero residue anywhere: no hop ever reserved (the RESV wave
+        # never started), and orphaned path state soft-expired.
+        assert all(v == 0 for v in reserved_map(topo, rsvp).values())
+        assert rsvp["n1"].counters["expired_path_state"] >= 1
+
+    def test_retry_succeeds_once_the_partition_heals(self):
+        topo, rsvp = chain_with_ttl(5.0)
+        injector = FaultInjector(topo.engine)
+        injector.partition(link_between(topo, "n2", "n3"), at=0.0001, heal_at=0.03)
+        session = rsvp["n0"].reserve("n4", 4e6, timeout=0.05, max_attempts=3)
+        topo.engine.run_until(0.5)
+        assert session.status == "established"
+        assert session.attempts == 2  # one loss, one successful retry
+        # Exactly one reservation per hop — retries never double-book.
+        assert all(v == 4e6 for v in reserved_map(topo, rsvp).values())
+
+    def test_lost_resv_retry_is_idempotent_at_every_hop(self):
+        # The PATH gets through; the returning RESV dies at the last
+        # link.  The retried PATH re-triggers a full RESV wave through
+        # hops that already hold the reservation.
+        topo, rsvp = chain_with_ttl(5.0)
+        injector = FaultInjector(topo.engine)
+        injector.partition(link_between(topo, "n0", "n1"), at=0.005, heal_at=0.02)
+        session = rsvp["n0"].reserve("n4", 4e6, timeout=0.05, max_attempts=3)
+        topo.engine.run_until(0.5)
+        assert session.status == "established"
+        assert session.attempts == 2
+        assert all(v == 4e6 for v in reserved_map(topo, rsvp).values())
+        assert all(rsvp[n].reservation_count() == 1 for n in topo.nodes)
+
+    def test_without_timeout_attempts_stay_at_one(self, network):
+        topo, rsvp = network
+        session = rsvp["n0"].reserve("n4", 4e6)
+        topo.engine.run()
+        assert session.attempts == 1
+        assert session.error is None
+
+    def test_timeout_validation(self, network):
+        _, rsvp = network
+        with pytest.raises(RsvpError, match="timeout"):
+            rsvp["n0"].reserve("n4", 1e6, timeout=0)
+        with pytest.raises(RsvpError, match="max_attempts"):
+            rsvp["n0"].reserve("n4", 1e6, timeout=0.1, max_attempts=0)
+
+
+class TestSoftState:
+    def test_unrefreshed_reservations_expire_everywhere(self):
+        topo, rsvp = chain_with_ttl(0.5)
+        session = rsvp["n0"].reserve("n4", 6e6)
+        topo.engine.run_until(0.1)
+        assert session.status == "established"
+        assert all(v == 6e6 for v in reserved_map(topo, rsvp).values())
+        topo.engine.run()  # drain past every expiry, no refreshes
+        assert session.status == "torn-down"
+        assert "expired" in session.events
+        assert all(v == 0 for v in reserved_map(topo, rsvp).values())
+        assert all(
+            rsvp[n].counters["expired_reservations"] == 1 for n in topo.nodes
+        )
+
+    def test_auto_refresh_keeps_the_session_alive(self):
+        topo, rsvp = chain_with_ttl(0.2)
+        session = rsvp["n0"].reserve("n4", 6e6)
+        topo.engine.run_until(0.05)
+        assert session.status == "established"
+        rsvp["n0"].auto_refresh(session, until=1.0)
+        # Many TTLs later the session is still fully reserved...
+        topo.engine.run_until(0.95)
+        assert session.status == "established"
+        assert all(v == 6e6 for v in reserved_map(topo, rsvp).values())
+        assert rsvp["n0"].counters["refreshes"] > 0
+        # ...and once the refresh horizon passes, soft state evaporates
+        # (run() drains: the refresh schedule is bounded).
+        topo.engine.run()
+        assert session.status == "torn-down"
+        assert all(v == 0 for v in reserved_map(topo, rsvp).values())
+
+    def test_manual_refresh_pushes_expiry_out(self):
+        topo, rsvp = chain_with_ttl(0.5)
+        session = rsvp["n0"].reserve("n4", 6e6)
+        topo.engine.run_until(0.1)
+        rsvp["n0"].refresh(session)
+        topo.engine.run_until(0.55)  # past the original expiry
+        assert session.status == "established"
+        assert all(v == 6e6 for v in reserved_map(topo, rsvp).values())
+
+    def test_auto_refresh_needs_interval_or_ttl(self, network):
+        topo, rsvp = network  # no soft_state_ttl configured
+        session = rsvp["n0"].reserve("n4", 1e6)
+        topo.engine.run()
+        with pytest.raises(RsvpError, match="interval"):
+            rsvp["n0"].auto_refresh(session, until=1.0)
+
+    def test_ttl_validation(self):
+        topo = Topology.chain(2, latency_s=0.001)
+        agents = attach_agents(topo)
+        with pytest.raises(RsvpError, match="soft_state_ttl"):
+            deploy_rsvp(topo, agents, soft_state_ttl=0)

@@ -84,3 +84,94 @@ class TestDelivery:
             agents["n0"].on("x", lambda m, s: None)
         agents["n0"].off("x")
         agents["n0"].on("x", lambda m, s: None)
+
+
+class TestReliableDelivery:
+    def test_survives_forced_transmission_drops(self, chain):
+        topo, agents = chain
+        drops = [2]  # drop the first two transmissions, then pass
+
+        def lossy(message):
+            if message.get("type") == "payload" and drops[0] > 0:
+                drops[0] -= 1
+                return []
+            return None
+
+        agents["n0"].fault_hook = lossy
+        got = []
+        agents["n1"].on("payload", lambda msg, sender: got.append(msg["n"]))
+        delivery = agents["n0"].send_reliable("n1", "payload", n=7)
+        topo.engine.run()
+        assert delivery.status == "delivered"
+        assert delivery.attempts == 3
+        assert agents["n0"].counters["retransmits"] == 2
+        assert got == [7]
+
+    def test_receiver_dedupes_duplicate_copies(self, chain):
+        topo, agents = chain
+        agents["n0"].fault_hook = lambda message: (
+            [0.0, 0.005] if message.get("type") == "payload" else None
+        )
+        got = []
+        agents["n1"].on("payload", lambda msg, sender: got.append(msg["n"]))
+        delivery = agents["n0"].send_reliable("n1", "payload", n=7)
+        topo.engine.run()
+        assert delivery.status == "delivered"
+        assert got == [7]  # exactly one dispatch
+        assert agents["n1"].counters["duplicates"] >= 1
+
+    def test_exhausted_attempts_fail_with_result_callback(self, chain):
+        from repro.netsim import FaultInjector
+
+        topo, agents = chain
+        injector = FaultInjector(topo.engine)
+        injector.partition(topo.links[0], at=0.0001)
+        results = []
+        delivery = agents["n0"].send_reliable(
+            "n1", "payload", on_result=results.append, n=1
+        )
+        topo.engine.run()
+        assert delivery.status == "failed"
+        assert delivery.attempts == 5  # DEFAULT_ATTEMPTS transmissions
+        assert results == [False]
+        assert agents["n0"].counters["delivery_failures"] == 1
+
+    def test_retransmits_ride_out_a_transient_partition(self, chain):
+        from repro.netsim import FaultInjector
+
+        topo, agents = chain
+        injector = FaultInjector(topo.engine)
+        injector.partition(topo.links[0], at=0.0001, heal_at=0.03)
+        got = []
+        agents["n1"].on("payload", lambda msg, sender: got.append(msg["n"]))
+        delivery = agents["n0"].send_reliable("n1", "payload", n=9)
+        topo.engine.run()
+        assert delivery.status == "delivered"
+        assert delivery.attempts >= 2
+        assert got == [9]
+
+    def test_lost_acks_mean_at_least_once_not_exactly_none(self, chain):
+        # Every ack from n1 is dropped: the sender retries to exhaustion
+        # and reports failure, yet the receiver dispatched exactly once
+        # (dedupe) — the at-least-once contract's conservative edge.
+        from repro.netsim import SignalingFaults
+
+        topo, agents = chain
+        agents["n1"].fault_hook = SignalingFaults(
+            seed=0, node="n1", drop=1.0, types=("sig.ack",)
+        )
+        got = []
+        agents["n1"].on("payload", lambda msg, sender: got.append(msg["n"]))
+        delivery = agents["n0"].send_reliable("n1", "payload", n=3)
+        topo.engine.run()
+        assert delivery.status == "failed"
+        assert got == [3]
+        assert agents["n1"].counters["duplicates"] == delivery.attempts - 1
+
+    def test_loopback_settles_inline(self, chain):
+        _, agents = chain
+        got = []
+        agents["n0"].on("note", lambda msg, sender: got.append(1))
+        delivery = agents["n0"].send_reliable("n0", "note")
+        assert delivery.status == "delivered"
+        assert got == [1]

@@ -93,3 +93,89 @@ class TestScheduling:
             engine.schedule(i + 1.0, lambda: None)
         engine.run()
         assert engine.events_processed == 5
+
+
+class TestBackoffPolicy:
+    def test_capped_exponential_without_jitter(self):
+        from repro.netsim import BackoffPolicy
+
+        policy = BackoffPolicy(base=0.01, factor=2.0, cap=0.05, jitter=0.0)
+        assert [policy.delay(a) for a in range(5)] == [
+            0.01, 0.02, 0.04, 0.05, 0.05
+        ]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        from repro.netsim import BackoffPolicy
+
+        def schedule():
+            policy = BackoffPolicy(base=0.01, cap=1.0, jitter=0.5, seed=42)
+            return [policy.delay(a) for a in range(10)]
+
+        first, second = schedule(), schedule()
+        assert first == second  # pure function of (parameters, seed)
+        raw = BackoffPolicy(base=0.01, cap=1.0, jitter=0.0)
+        for attempt, delay in enumerate(first):
+            assert 0.5 * raw.delay(attempt) <= delay <= 1.5 * raw.delay(attempt)
+
+    def test_parameter_validation(self):
+        from repro.netsim import BackoffPolicy
+
+        with pytest.raises(EngineError):
+            BackoffPolicy(base=0)
+        with pytest.raises(EngineError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(EngineError):
+            BackoffPolicy(base=1.0, cap=0.5)
+        with pytest.raises(EngineError):
+            BackoffPolicy(jitter=1.0)
+        policy = BackoffPolicy()
+        with pytest.raises(EngineError):
+            policy.delay(-1)
+
+
+class TestRetryTimer:
+    def _timer(self, engine, *, max_attempts, expired, exhausted):
+        from repro.netsim import BackoffPolicy, RetryTimer
+
+        return RetryTimer(
+            engine,
+            policy=BackoffPolicy(base=0.01, jitter=0.0),
+            max_attempts=max_attempts,
+            on_expire=lambda attempt: expired.append((engine.now, attempt)),
+            on_exhausted=lambda: exhausted.append(engine.now),
+        )
+
+    def test_expiries_follow_the_backoff_schedule(self, engine):
+        expired, exhausted = [], []
+        timer = self._timer(engine, max_attempts=4, expired=expired, exhausted=exhausted)
+        timer.start()
+        engine.run()
+        # Retries at base, base+2*base, base+2*base+4*base ... then the
+        # fourth firing exhausts instead of retrying.
+        assert [a for _, a in expired] == [1, 2, 3]
+        assert [t for t, _ in expired] == pytest.approx([0.01, 0.03, 0.07])
+        assert exhausted == pytest.approx([0.15])
+        assert timer.exhausted
+
+    def test_cancel_stops_the_series(self, engine):
+        expired, exhausted = [], []
+        timer = self._timer(engine, max_attempts=5, expired=expired, exhausted=exhausted)
+        timer.start()
+        engine.schedule(0.015, timer.cancel)
+        engine.run()
+        assert [a for _, a in expired] == [1]
+        assert exhausted == []
+        timer.start()  # restart after cancel is a no-op
+        engine.run()
+        assert [a for _, a in expired] == [1]
+
+    def test_max_attempts_validation(self, engine):
+        from repro.netsim import BackoffPolicy, RetryTimer
+
+        with pytest.raises(EngineError):
+            RetryTimer(
+                engine,
+                policy=BackoffPolicy(),
+                max_attempts=0,
+                on_expire=lambda attempt: None,
+            )

@@ -1,0 +1,199 @@
+"""The deterministic fault-injection harness: seeded schedules over
+engine time for partitions, loss regimes, signaling faults, pool
+exhaustion, and worker kills."""
+
+import pytest
+
+from repro.coordination import attach_agents
+from repro.netsim import FaultError, FaultInjector, SignalingFaults, Topology
+from repro.osbase import BufferPool
+
+
+@pytest.fixture
+def pair():
+    topo = Topology.chain(2, latency_s=0.001)
+    agents = attach_agents(topo)
+    return topo, agents
+
+
+class TestSchedule:
+    def test_partition_blackholes_and_heal_restores(self, pair):
+        topo, agents = pair
+        injector = FaultInjector(topo.engine, seed=1)
+        injector.partition(topo.links[0], at=0.01, heal_at=0.05)
+        received = []
+        agents["n1"].on("t.ping", lambda msg, sender: received.append(msg["n"]))
+
+        topo.engine.schedule_at(0.02, lambda: agents["n0"].send("n1", "t.ping", n=1))
+        topo.engine.schedule_at(0.06, lambda: agents["n0"].send("n1", "t.ping", n=2))
+        topo.engine.run()
+        assert received == [2]
+        drops = sum(d.dropped_down for d in topo.links[0].stats().values())
+        assert drops == 1
+        assert [entry for _, entry in injector.log] == [
+            "partition n0<->n1",
+            "heal n0<->n1",
+        ]
+
+    def test_fault_times_are_exact_virtual_times(self, pair):
+        topo, _ = pair
+        injector = FaultInjector(topo.engine, seed=1)
+        injector.partition(topo.links[0], at=0.25, heal_at=0.75)
+        topo.engine.run()
+        assert [t for t, _ in injector.log] == [0.25, 0.75]
+
+    def test_loss_schedule_is_seed_reproducible(self):
+        def run_once(prior_traffic):
+            topo = Topology.chain(2, latency_s=0.001)
+            agents = attach_agents(topo)
+            # Different pre-fault traffic advances the link RNGs by
+            # different amounts; the re-seed at onset must erase that.
+            for n in range(prior_traffic):
+                agents["n0"].send("n1", "t.pre", n=n)
+            topo.engine.run()
+            injector = FaultInjector(topo.engine, seed="loss-test")
+            injector.loss(topo.links[0], 0.5, at=topo.engine.now + 0.01)
+            for n in range(40):
+                topo.engine.schedule(
+                    0.02 + n * 0.001, lambda n=n: agents["n0"].send("n1", "t.x", n=n)
+                )
+            seen = []
+            agents["n1"].on("t.x", lambda msg, sender: seen.append(msg["n"]))
+            topo.engine.run()
+            return seen
+
+        assert run_once(prior_traffic=0) == run_once(prior_traffic=17)
+
+    def test_loss_lifts_at_until(self, pair):
+        topo, agents = pair
+        injector = FaultInjector(topo.engine, seed=3)
+        injector.loss(topo.links[0], 1.0, at=0.01, until=0.05)
+        received = []
+        agents["n1"].on("t.ping", lambda msg, sender: received.append(msg["n"]))
+        topo.engine.schedule_at(0.02, lambda: agents["n0"].send("n1", "t.ping", n=1))
+        topo.engine.schedule_at(0.06, lambda: agents["n0"].send("n1", "t.ping", n=2))
+        topo.engine.run()
+        assert received == [2]
+
+    def test_schedule_validation(self, pair):
+        topo, _ = pair
+        injector = FaultInjector(topo.engine)
+        with pytest.raises(FaultError, match="after"):
+            injector.partition(topo.links[0], at=0.5, heal_at=0.5)
+        with pytest.raises(FaultError, match="probability"):
+            injector.loss(topo.links[0], 1.5, at=0.1)
+        with pytest.raises(FaultError, match="after"):
+            injector.loss(topo.links[0], 0.1, at=0.2, until=0.1)
+
+
+class TestSignalingFaults:
+    def test_drop_delay_duplicate_plans(self):
+        process = SignalingFaults(
+            seed=0, node="x", drop=1.0, delay=0.0, duplicate=0.0
+        )
+        assert process({"type": "t"}) == []
+        process = SignalingFaults(seed=0, node="x", delay=1.0, delay_s=0.2)
+        assert process({"type": "t"}) == 0.2
+        process = SignalingFaults(seed=0, node="x", duplicate=1.0, delay_s=0.3)
+        assert process({"type": "t"}) == [0.0, 0.3]
+        process = SignalingFaults(seed=0, node="x")
+        assert process({"type": "t"}) is None
+        assert process.counters["passed"] == 1
+
+    def test_type_filter_spares_other_messages(self):
+        process = SignalingFaults(seed=0, node="x", drop=1.0, types=("t.a",))
+        assert process({"type": "t.a"}) == []
+        assert process({"type": "t.b"}) is None
+        assert process.counters == {
+            "dropped": 1, "delayed": 0, "duplicated": 0, "passed": 0
+        }
+
+    def test_seeded_process_is_reproducible(self):
+        def draws():
+            process = SignalingFaults(seed="s", node="n", drop=0.3, delay=0.3)
+            return [process({"type": "t"}) for _ in range(50)]
+
+        assert draws() == draws()
+
+    def test_install_records_and_refuses_double_install(self, pair):
+        topo, agents = pair
+        injector = FaultInjector(topo.engine, seed=1)
+        process = injector.fault_signaling(agents["n0"], drop=1.0)
+        assert agents["n0"].fault_hook is process
+        with pytest.raises(FaultError, match="already"):
+            injector.fault_signaling(agents["n0"], drop=0.5)
+        injector.clear_signaling(agents["n0"])
+        assert agents["n0"].fault_hook is None
+
+    def test_injected_drop_counts_on_the_agent(self, pair):
+        topo, agents = pair
+        injector = FaultInjector(topo.engine, seed=1)
+        injector.fault_signaling(agents["n0"], drop=1.0)
+        agents["n0"].send("n1", "t.ping", n=1)
+        topo.engine.run()
+        assert agents["n0"].counters["injected_drops"] == 1
+        assert agents["n1"].counters["received"] == 0
+
+    def test_probability_validation(self):
+        with pytest.raises(FaultError, match="probability"):
+            SignalingFaults(seed=0, node="x", drop=1.2)
+        with pytest.raises(FaultError, match="positive"):
+            SignalingFaults(seed=0, node="x", delay_s=0)
+
+
+class TestPoolExhaustion:
+    def test_exhaust_and_heal_keep_the_ledger_balanced(self, pair):
+        topo, _ = pair
+        pool = BufferPool(64, 8, exhaustion_policy="drop-newest")
+        injector = FaultInjector(topo.engine, seed=1)
+        injector.exhaust_pool(pool, at=0.01, heal_at=0.05, leave=2)
+        topo.engine.run_until(0.02)
+        assert pool.in_flight == 6
+        probe = pool.acquire(16)  # one of the two left free
+        assert probe is not None
+        topo.engine.run_until(0.06)
+        # The probe is ours; the injector's holds all came back.
+        assert pool.in_flight == 1
+        assert len(injector._held) == 0
+        pool.release(probe)
+        assert pool.acquired_total == pool.released_total
+
+    def test_release_holds_is_the_teardown_safety_net(self, pair):
+        topo, _ = pair
+        pool = BufferPool(64, 4, exhaustion_policy="drop-newest")
+        injector = FaultInjector(topo.engine, seed=1)
+        injector.exhaust_pool(pool, at=0.01)
+        topo.engine.run()
+        assert pool.in_flight == 4
+        assert injector.release_holds() == 4
+        assert pool.in_flight == 0
+        assert pool.acquired_total == pool.released_total
+
+    def test_leave_validation(self, pair):
+        topo, _ = pair
+        injector = FaultInjector(topo.engine)
+        with pytest.raises(FaultError, match="leave"):
+            injector.exhaust_pool(BufferPool(64, 4), at=0.1, leave=-1)
+
+
+class TestKillWorker:
+    def test_kill_is_scheduled_at_engine_time(self, pair):
+        topo, _ = pair
+
+        class FakeDatapath:
+            name = "dp"
+
+            def __init__(self):
+                self.killed = []
+
+            def inject_worker_crash(self, index):
+                self.killed.append(index)
+
+        datapath = FakeDatapath()
+        injector = FaultInjector(topo.engine, seed=1)
+        injector.kill_worker(datapath, 2, at=0.5)
+        topo.engine.run_until(0.4)
+        assert datapath.killed == []
+        topo.engine.run_until(0.6)
+        assert datapath.killed == [2]
+        assert injector.log == [(0.5, "kill worker 2 of dp")]

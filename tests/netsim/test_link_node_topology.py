@@ -70,6 +70,75 @@ class TestLink:
         topo.engine.run()
         assert received == []
 
+    def test_reseeded_loss_pattern_ignores_prior_traffic(self):
+        # set_loss_rate(..., seed=) re-derives the direction RNGs, so the
+        # drop pattern from that point on is a pure function of the seed
+        # — however much traffic (and RNG consumption) came before.
+        def delivered_after_reseed(warmup_packets):
+            topo = two_node_topo(loss_rate=0.3, seed="warmup")
+            received = []
+            topo.node("b").set_packet_handler(
+                lambda p, port: received.append(bytes(p.payload))
+            )
+            for n in range(warmup_packets):
+                topo.node("a").send("eth0", make_udp_v4("10.0.0.1", "10.0.0.99"))
+            topo.engine.run()
+            received.clear()
+            topo.links[0].set_loss_rate(0.5, seed="fault-onset")
+            for n in range(60):
+                topo.node("a").send(
+                    "eth0",
+                    make_udp_v4("10.0.0.1", "10.0.0.99", payload=bytes([n])),
+                )
+            topo.engine.run()
+            return received
+
+        assert delivered_after_reseed(0) == delivered_after_reseed(23)
+
+
+class TestPartition:
+    def test_partition_blackholes_without_sender_feedback(self):
+        topo = two_node_topo()
+        link = topo.links[0]
+        link.partition()
+        assert link.partitioned
+        received = []
+        topo.node("b").set_packet_handler(lambda p, port: received.append(p))
+        # The cable is cut, but the sender cannot tell: send still
+        # reports acceptance (recovery belongs to the retry layer).
+        assert topo.node("a").send("eth0", make_udp_v4("10.0.0.1", "10.0.0.99"))
+        topo.engine.run()
+        assert received == []
+        assert link.stats()["a_to_b"].dropped_down == 1
+        assert link.stats()["a_to_b"].delivered == 0
+
+    def test_partition_drops_packets_already_in_flight(self):
+        topo = two_node_topo()  # arrival would be at 11 ms
+        link = topo.links[0]
+        received = []
+        topo.node("b").set_packet_handler(lambda p, port: received.append(p))
+        topo.node("a").send("eth0", make_udp_v4("10.0.0.1", "10.0.0.99", payload=bytes(97)))
+        topo.engine.schedule_at(0.005, link.partition)
+        topo.engine.run()
+        assert received == []
+        stats = link.stats()["a_to_b"]
+        assert stats.sent == 1
+        assert stats.dropped_down == 1
+
+    def test_heal_restores_both_directions(self):
+        topo = two_node_topo()
+        link = topo.links[0]
+        link.partition()
+        link.heal()
+        assert not link.partitioned
+        received = []
+        topo.node("b").set_packet_handler(lambda p, port: received.append("b"))
+        topo.node("a").set_packet_handler(lambda p, port: received.append("a"))
+        topo.node("a").send("eth0", make_udp_v4("10.0.0.1", "10.0.0.99"))
+        topo.node("b").send("eth0", make_udp_v4("10.0.0.99", "10.0.0.1"))
+        topo.engine.run()
+        assert sorted(received) == ["a", "b"]
+
 
 class TestNode:
     def test_control_protocol_dispatch(self):
@@ -99,6 +168,7 @@ class TestNode:
         topo.engine.run()
         assert topo.node("b").counters["no_handler_drops"] == 1
 
+    @pytest.mark.allow_pool_leak
     def test_backpressure_refusal_accounted(self):
         # Regression: a frame the NIC refuses under a backpressure pool
         # policy used to vanish with zero accounting — the node (the end

@@ -376,6 +376,7 @@ class TestPipelineEquivalence:
         w = wire_of(make_udp_v4("10.0.0.1", "10.0.0.2"))
         assert to_wire(w) is w
 
+    @pytest.mark.allow_pool_leak
     def test_dropped_wire_packets_return_to_their_pool(self):
         # Drop paths must hand pooled buffers back: without release-on-drop
         # a long-lived router bleeds pool capacity one dropped packet at
@@ -400,6 +401,7 @@ class TestPipelineEquivalence:
         # delivered packets (held by the sinks) remain in flight.
         assert pool.in_flight == 8
 
+    @pytest.mark.allow_pool_leak
     def test_queue_overflow_returns_buffers(self):
         from repro.router import FifoQueue
 

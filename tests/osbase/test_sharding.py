@@ -387,6 +387,7 @@ class TestShardedDatapath:
         with pytest.raises(ShardingError, match="supervisor"):
             build(1, pools, recorder, steal_watermark=4, supervise=False)
 
+    @pytest.mark.allow_pool_leak
     def test_malformed_frame_at_pooled_ingress_drops_without_leaking(self):
         # A truncated-but-under-MTU frame must be a counted drop at the
         # NIC, with the acquired pool buffer handed straight back — not
@@ -403,6 +404,7 @@ class TestShardedDatapath:
         assert nic.receive_frame(good) is True
         assert pools[0].in_flight == 1
 
+    @pytest.mark.allow_pool_leak
     def test_pump_fails_fast_when_every_worker_is_dead(self):
         pools = carve_shard_pools(256, 16, 1, exhaustion_policy="drop-newest")
         recorder = Recorder()
@@ -448,6 +450,7 @@ class TestShardedDatapath:
         assert shard_pool_audit(pools)["balanced"]
         datapath.shutdown()
 
+    @pytest.mark.allow_pool_leak
     def test_unsupervised_dead_worker_fails_fast_not_to_max_steps(self):
         shards = 2
         pools = carve_shard_pools(256, 64, shards, exhaustion_policy="drop-newest")
@@ -466,6 +469,7 @@ class TestShardedDatapath:
         assert datapath.total_backlog() == 6  # unreachable, reported not hidden
         datapath.shutdown()
 
+    @pytest.mark.allow_pool_leak
     def test_shut_down_datapath_refuses_new_work(self):
         pools = carve_shard_pools(256, 16, 1, exhaustion_policy="drop-newest")
         recorder = Recorder()
@@ -534,3 +538,220 @@ class TestShardedDatapath:
         with pytest.raises(ShardingError):
             ShardedDatapath([], threads=manager(), hash_fn=flow_hash_of)
         assert recorder.logs == {}
+
+
+def flows_on_shard(target, shards, *, count, src="10.4.4.4", start=6000):
+    """Rejection-sample flows whose hash bucket is *target*."""
+    flows, sport = [], start
+    while len(flows) < count:
+        sport += 1
+        if flow_hash_of(seq_frame((src, sport), 0)) % shards == target:
+            flows.append((src, sport))
+    return flows
+
+
+class TestShardRecovery:
+    def test_injected_crash_raises_workerkilled_contained(self):
+        from repro.osbase import WorkerKilled
+
+        shards = 2
+        pools = carve_shard_pools(256, 64, shards, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(shards, pools, recorder)
+        flows = flows_on_shard(0, shards, count=3)
+        frames = [seq_frame(flow, seq) for seq in range(8) for flow in flows]
+        datapath.inject_worker_crash(0)
+        datapath.steer_batch(frames)
+        datapath.pump()
+        # The poison raised inside the worker body and was contained
+        # per-thread; failover stealing drained the orphaned backlog.
+        worker = datapath._workers[0]
+        assert worker.done
+        assert isinstance(worker.error, WorkerKilled)
+        assert datapath.stats()["dead_workers"] == [0]
+        assert datapath.total_backlog() == 0
+        observed = defaultdict(list)
+        for flow_key, seq in recorder.logs[0]:
+            observed[flow_key].append(seq)
+        for seqs in observed.values():
+            assert seqs == list(range(8))
+        assert shard_pool_audit(pools)["balanced"]
+        datapath.shutdown()
+
+    def test_crash_injection_validation(self):
+        pools = carve_shard_pools(256, 16, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(2, pools, recorder)
+        with pytest.raises(ShardingError, match="no shard"):
+            datapath.inject_worker_crash(7)
+        datapath._workers[0].state = "done"
+        with pytest.raises(ShardingError, match="already dead"):
+            datapath.inject_worker_crash(0)
+        datapath.shutdown()
+
+    def test_recover_shard_drains_then_redirects(self):
+        shards = 2
+        pools = carve_shard_pools(256, 64, shards, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(shards, pools, recorder)
+        flows = flows_on_shard(0, shards, count=3)
+        backlog = [seq_frame(flow, seq) for seq in range(8) for flow in flows]
+        datapath.steer_batch(backlog)
+        record = datapath.recover_shard(0)
+        # Drain-before-rehash: the full backlog went through shard 0's
+        # own engine before the redirect was installed...
+        assert record["shard"] == 0 and record["to"] == 1
+        assert record["drained"] == len(backlog)
+        assert record["pool_balanced"]
+        assert datapath.stats()["redirects"] == {0: 1}
+        assert datapath.recoveries == [record]
+        # ...so the drained half egressed from shard 0, and traffic
+        # arriving after recovery egresses from the successor.
+        moved = [seq_frame(flow, seq) for seq in range(8, 12) for flow in flows]
+        datapath.steer_batch(moved)
+        datapath.pump()
+        observed = defaultdict(list)
+        for shard_index in (0, 1):
+            for flow_key, seq in recorder.logs[shard_index]:
+                observed[flow_key].append(seq)
+        assert len(observed) == len(flows)
+        for seqs in observed.values():
+            assert seqs == list(range(12))  # FIFO across the failover
+        assert shard_pool_audit(pools)["balanced"]
+        assert datapath.parked_count() == 0
+        datapath.shutdown()
+
+    def test_quiesce_parks_arrivals_and_rollback_unparks(self):
+        shards = 2
+        pools = carve_shard_pools(256, 64, shards, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(shards, pools, recorder)
+        actions = datapath.recovery_action_set()
+        params = {"shard": 0}
+        assert actions["quiesce"](params) is True
+        flows = flows_on_shard(0, shards, count=2)
+        frames = [seq_frame(flow, seq) for seq in range(4) for flow in flows]
+        datapath.steer_batch(frames)
+        # Parked frames are raw (no pool buffer yet): not on any ring.
+        assert datapath.total_backlog() == 0
+        assert datapath.parked_count() == len(frames)
+        assert pools[0].in_flight == 0
+        actions["rollback"](params)
+        # Unparked back onto the dead shard's own ring, order intact.
+        assert datapath.parked_count() == 0
+        assert datapath.total_backlog() == len(frames)
+        datapath.pump()
+        observed = defaultdict(list)
+        for flow_key, seq in recorder.logs[0]:
+            observed[flow_key].append(seq)
+        for seqs in observed.values():
+            assert seqs == list(range(4))
+        assert shard_pool_audit(pools)["balanced"]
+        datapath.shutdown()
+
+    def test_commit_flushes_parked_frames_to_the_successor(self):
+        shards = 2
+        pools = carve_shard_pools(256, 64, shards, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(shards, pools, recorder)
+        actions = datapath.recovery_action_set()
+        params = {"shard": 0}
+        assert actions["quiesce"](params) is True
+        flows = flows_on_shard(0, shards, count=2)
+        frames = [seq_frame(flow, seq) for seq in range(4) for flow in flows]
+        datapath.steer_batch(frames)
+        actions["apply"](params)
+        actions["resume"](params)
+        record = datapath.recoveries[-1]
+        assert record["parked_flushed"] == len(frames)
+        assert record["parked_refused"] == 0
+        datapath.pump()
+        # Everything parked during the prepare window egressed from the
+        # successor, in arrival order.
+        assert set(recorder.logs) == {1}
+        observed = defaultdict(list)
+        for flow_key, seq in recorder.logs[1]:
+            observed[flow_key].append(seq)
+        for seqs in observed.values():
+            assert seqs == list(range(4))
+        assert shard_pool_audit(pools)["balanced"]
+        datapath.shutdown()
+
+    def test_quiesce_refusals(self):
+        pools = carve_shard_pools(256, 32, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(2, pools, recorder)
+        actions = datapath.recovery_action_set()
+        assert actions["quiesce"]({"shard": "x"}) is False
+        assert actions["quiesce"]({"shard": -1}) is False
+        assert actions["quiesce"]({"shard": 9}) is False
+        assert actions["quiesce"]({"shard": 0, "to": 0}) is False  # self
+        assert actions["quiesce"]({"shard": 0, "to": 5}) is False  # range
+        assert actions["quiesce"]({"shard": 0}) is True
+        assert actions["quiesce"]({"shard": 0}) is False  # already recovering
+        assert actions["quiesce"]({"shard": 1}) is False  # successor busy
+        actions["rollback"]({"shard": 0})
+        datapath.shutdown()
+
+        # A dead successor and a successor-less datapath also refuse.
+        pools = carve_shard_pools(256, 32, 2, exhaustion_policy="drop-newest")
+        datapath = build(2, pools, recorder)
+        datapath._workers[1].state = "done"
+        actions = datapath.recovery_action_set()
+        assert actions["quiesce"]({"shard": 0, "to": 1}) is False
+        assert actions["quiesce"]({"shard": 0}) is False  # nobody left
+        with pytest.raises(ShardingError, match="refused"):
+            datapath.recover_shard(0)
+        datapath.shutdown()
+
+    def test_apply_without_quiesce_raises(self):
+        pools = carve_shard_pools(256, 16, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(2, pools, recorder)
+        actions = datapath.recovery_action_set()
+        with pytest.raises(ShardingError, match="without quiesce"):
+            actions["apply"]({"shard": 0})
+        # Resume/rollback without a pending recovery are safe no-ops.
+        actions["resume"]({"shard": 0})
+        actions["rollback"]({"shard": 0})
+        datapath.shutdown()
+
+    def test_cascaded_failures_chain_redirects(self):
+        shards = 3
+        pools = carve_shard_pools(256, 96, shards, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(shards, pools, recorder)
+        first = datapath.recover_shard(0, to=1)
+        second = datapath.recover_shard(1)
+        assert first["to"] == 1
+        assert second["to"] == 2  # the only live worker left
+        assert datapath.stats()["redirects"] == {0: 1, 1: 2}
+        # A shard-0 flow resolves the chain 0 -> 1 -> 2 transitively.
+        flow = flows_on_shard(0, shards, count=1)[0]
+        frames = [seq_frame(flow, seq) for seq in range(4)]
+        datapath.steer_batch(frames)
+        datapath.pump()
+        assert set(recorder.logs) == {2}
+        assert [seq for _, seq in recorder.logs[2]] == list(range(4))
+        assert shard_pool_audit(pools)["balanced"]
+        datapath.shutdown()
+
+    def test_supervisor_recovery_driver_fires_once_per_dead_worker(self):
+        shards = 2
+        pools = carve_shard_pools(256, 64, shards, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build(shards, pools, recorder)
+        requests = []
+        datapath.recovery_driver = lambda dp, index: requests.append(index)
+        flows = flows_on_shard(0, shards, count=2)
+        datapath.inject_worker_crash(0)
+        datapath.steer_batch([seq_frame(flow, seq) for seq in range(6) for flow in flows])
+        datapath.pump()
+        assert requests == [0]
+        # Completing the recovery clears the request latch but a
+        # redirected shard is not re-requested on later pumps.
+        datapath.recover_shard(0)
+        datapath.steer_batch([seq_frame(flows[0], seq) for seq in range(6, 9)])
+        datapath.pump()
+        assert requests == [0]
+        datapath.shutdown()

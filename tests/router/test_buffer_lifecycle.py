@@ -167,6 +167,7 @@ def test_scalar_push_path_books_balance():
     assert pool.stats()["in_flight"] == 0
 
 
+@pytest.mark.allow_pool_leak
 def test_collector_keep_bound_releases_overflow():
     """Regression: a keep-bounded CollectorSink silently dropped the
     packets it did not retain without returning their buffers."""
