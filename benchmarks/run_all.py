@@ -51,6 +51,11 @@ SMOKE_BENCHES = (
     # acquired==released audit all gate at full strength; only the
     # wall-clock paper-ordering rows keep the usual smoke slack.
     "bench_c15_sharding.py",
+    # C16's headline claims (zero drops across live resizes, per-flow
+    # FIFO, acquired==released on every re-carve hand-off) are exact
+    # event counts, so they gate at full strength under smoke; only the
+    # wall-clock paper-ordering rows keep the usual slack.
+    "bench_c16_elastic.py",
     # R1's fault scenario is entirely virtual-time + seeded-RNG driven
     # (kill/partition/loss schedule, reconfiguration rounds, per-flow
     # ordering, pool audits), so it gates at full strength under smoke;
@@ -121,6 +126,40 @@ def run_one(bench: Path, *, smoke: bool = False) -> dict:
     }
 
 
+#: Property-based suites (``-m slow``) run alongside the benchmarks:
+#: bounded examples under ``--smoke`` (the same profile tier-1 uses),
+#: the exhaustive ``full`` profile on a full run.  See
+#: ``tests/osbase/test_elastic_properties.py``.
+PROPERTY_SUITES = ("tests/osbase/test_elastic_properties.py",)
+
+
+def run_properties(*, smoke: bool = False) -> dict:
+    """Run the slow property suites; full example budget unless smoke."""
+    profile = "bounded" if smoke else "full"
+    env = dict(os.environ)
+    env["REPRO_PROPERTY_PROFILE"] = profile
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", *PROPERTY_SUITES, "-q", "--no-header"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    duration = time.perf_counter() - start
+    return {
+        "status": "passed" if proc.returncode == 0 else "failed",
+        "returncode": proc.returncode,
+        "duration_s": round(duration, 3),
+        "profile": profile,
+        "suites": list(PROPERTY_SUITES),
+        "tail": "" if proc.returncode == 0 else "\n".join(proc.stdout.splitlines()[-25:]),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -173,12 +212,28 @@ def main(argv: list[str] | None = None) -> int:
             flush=True,
         )
 
+    properties = None
+    if args.only is None:  # --only selects benchmarks; skip the suites
+        print("[run_all] property suites ...", flush=True)
+        properties = run_properties(smoke=args.smoke)
+        if properties["status"] != "passed":
+            failed += 1
+        print(
+            f"[run_all]   {properties['status']} in {properties['duration_s']}s "
+            f"({properties['profile']} profile)",
+            flush=True,
+        )
+
     payload = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
         "smoke": args.smoke,
         "benchmarks": results,
-        "summary": {"total": len(results), "failed": failed},
+        "properties": properties,
+        "summary": {
+            "total": len(results) + (1 if properties else 0),
+            "failed": failed,
+        },
     }
     out_path = Path(args.out)
     out_path.write_text(json.dumps(payload, indent=2) + "\n")

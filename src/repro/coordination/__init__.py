@@ -23,6 +23,7 @@ from repro.coordination.reconfig import (
     ReconfigParticipant,
     ReconfigRound,
     register_shard_recovery,
+    register_shard_resize,
 )
 from repro.coordination.rsvp import (
     BANDWIDTH_POOL,
@@ -70,4 +71,5 @@ __all__ = [
     "deploy_rsvp",
     "encode_message",
     "register_shard_recovery",
+    "register_shard_resize",
 ]

@@ -277,3 +277,29 @@ def register_shard_recovery(
     draining in the meantime.
     """
     participant.register(kind, ActionSet(**datapath.recovery_action_set()))
+
+
+def register_shard_resize(
+    participant: ReconfigParticipant,
+    datapath: Any,
+    *,
+    kind: str = "shard-resize",
+) -> None:
+    """Bind a sharded datapath's elastic resize to the two-phase
+    protocol.
+
+    *datapath* is any object exposing ``resize_action_set()`` (the
+    :class:`~repro.osbase.sharding.ShardedDatapath` contract: a mapping
+    of ``quiesce``/``apply``/``resume``/``rollback`` callables keyed for
+    :class:`ActionSet`, each taking the round's parameter dict — which
+    must carry ``{"shards": <target worker count>}``).  As with
+    recovery, osbase cannot import upward, so the bridge lives here.
+
+    A committed round performs quiesce-all → drain-before-rehash →
+    pool re-carve → table swap (`docs/concurrency.md` walks the
+    sequence); an aborted round — a refused target, a held buffer
+    failing the exact pool hand-off, a deadline expiry — rolls the
+    quiesce back with the fleet untouched and every parked frame
+    returned to its ring.
+    """
+    participant.register(kind, ActionSet(**datapath.resize_action_set()))

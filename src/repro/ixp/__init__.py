@@ -17,6 +17,8 @@ from repro.ixp.placement import (
     PlacedComponent,
     PlacementMetaModel,
     PlacementReport,
+    ShardPlacement,
+    ShardSlot,
 )
 from repro.ixp.runtime import BoardSimulator, SimulationResult, StageVisit
 
@@ -35,6 +37,8 @@ __all__ = [
     "SDRAM",
     "SRAM",
     "STRONGARM",
+    "ShardPlacement",
+    "ShardSlot",
     "SimulationResult",
     "StageVisit",
 ]

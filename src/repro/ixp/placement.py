@@ -300,3 +300,147 @@ class PlacementMetaModel:
             },
             "migrations": list(self.migrations),
         }
+
+
+@dataclass
+class ShardSlot:
+    """One shard's place in the modelled deployment."""
+
+    shard_index: int
+    pe: str
+    cluster: int
+
+
+class ShardPlacement:
+    """NUMA-style placement of sharded-datapath workers onto the board.
+
+    The component-level meta-model above places *pipeline stages*; this
+    model places whole *shards* — each worker of a
+    :class:`~repro.osbase.sharding.ShardedDatapath` is one slot, mapped
+    round-robin onto the board's micro-engines.  Engines are grouped
+    into clusters of *cluster_size* (the IXP1200's two three-engine
+    banks by default), and a steal that crosses a cluster boundary is
+    charged *remote_penalty* — the virtual analogue of pulling a peer's
+    ring and pool lines across a NUMA interconnect.
+
+    Two consumers ride on it:
+
+    - the **supervisor**'s steal/no-steal decision —
+      :meth:`locality_penalty` plugs straight into
+      ``ShardedDatapath(locality=...)``, scaling the steal watermark so
+      a cross-cluster steal must be proportionally more profitable;
+    - the **resizer**'s grow/shrink decision — :meth:`fleet_capacity_pps`
+      models aggregate capacity (slots sharing an engine share its
+      cycles, so capacity saturates once every engine hosts a slot) and
+      :meth:`recommend` returns the smallest worker count that covers a
+      measured load with headroom.
+    """
+
+    def __init__(
+        self,
+        board: IxpBoard | None = None,
+        *,
+        max_shards: int = 8,
+        cluster_size: int = 3,
+        remote_penalty: float = 2.5,
+        profile: CostProfile | None = None,
+        memory_level: str = "sram",
+    ) -> None:
+        if max_shards < 1:
+            raise PlacementError(f"max_shards must be >= 1, got {max_shards}")
+        if cluster_size < 1:
+            raise PlacementError(f"cluster_size must be >= 1, got {cluster_size}")
+        if remote_penalty < 1.0:
+            raise PlacementError(
+                f"a remote steal cannot be cheaper than a local one "
+                f"(remote_penalty={remote_penalty})"
+            )
+        self.board = board if board is not None else IxpBoard()
+        engines = self.board.microengines()
+        if not engines:
+            raise PlacementError("the board has no micro-engines to place on")
+        self.max_shards = max_shards
+        self.cluster_size = cluster_size
+        self.remote_penalty = float(remote_penalty)
+        self.memory_level = memory_level
+        #: Per-packet cost of one shard worker: the forwarding pipeline's
+        #: inner loop (classify + LPM + header rewrite), representative
+        #: of the DEFAULT_PROFILES stratum-2 stages a shard fuses.
+        self.profile = (
+            profile
+            if profile is not None
+            else CostProfile(instructions=340, memory_references=33)
+        )
+        self._engines = engines
+        self.slots = [
+            ShardSlot(
+                shard_index=i,
+                pe=engines[i % len(engines)].name,
+                cluster=(i % len(engines)) // cluster_size,
+            )
+            for i in range(max_shards)
+        ]
+
+    def slot(self, shard_index: int) -> ShardSlot:
+        """The placement slot of shard *shard_index*."""
+        if not 0 <= shard_index < self.max_shards:
+            raise PlacementError(
+                f"no slot for shard {shard_index} (max_shards={self.max_shards})"
+            )
+        return self.slots[shard_index]
+
+    def locality_penalty(self, thief: int, victim: int) -> float:
+        """Steal cost multiplier between two shards: 1.0 within a
+        cluster, :attr:`remote_penalty` across clusters.  Plugs into
+        ``ShardedDatapath(locality=...)``."""
+        if self.slot(thief).cluster == self.slot(victim).cluster:
+            return 1.0
+        return self.remote_penalty
+
+    def engine_capacity_pps(self, pe_name: str) -> float:
+        """Packets per second one engine sustains running shard workers."""
+        pe = self.board.pes[pe_name]
+        return 1.0 / self.board.service_time(self.profile, pe, self.memory_level)
+
+    def fleet_capacity_pps(self, shards: int) -> float:
+        """Aggregate capacity with *shards* active workers.
+
+        Slots sharing an engine share its cycles — an engine contributes
+        its capacity once no matter how many slots land on it — so the
+        curve saturates when every engine hosts a worker.  That
+        diminishing-returns shape is what makes shrink decisions real.
+        """
+        if not 1 <= shards <= self.max_shards:
+            raise PlacementError(
+                f"fleet size {shards} outside [1, {self.max_shards}]"
+            )
+        active = {slot.pe for slot in self.slots[:shards]}
+        return sum(self.engine_capacity_pps(pe) for pe in active)
+
+    def recommend(self, load_pps: float, *, headroom: float = 1.25) -> int:
+        """The smallest worker count whose capacity covers *load_pps*
+        with *headroom*; :attr:`max_shards` when nothing does (an
+        overloaded board deploys everything it has)."""
+        if load_pps < 0:
+            raise PlacementError(f"load must be >= 0, got {load_pps}")
+        if headroom < 1.0:
+            raise PlacementError(f"headroom must be >= 1.0, got {headroom}")
+        need = load_pps * headroom
+        for n in range(1, self.max_shards + 1):
+            if self.fleet_capacity_pps(n) >= need:
+                return n
+        return self.max_shards
+
+    def describe(self) -> dict[str, Any]:
+        """Slot table plus the capacity curve (for reports)."""
+        return {
+            "slots": [
+                {"shard": s.shard_index, "pe": s.pe, "cluster": s.cluster}
+                for s in self.slots
+            ],
+            "remote_penalty": self.remote_penalty,
+            "capacity_pps": {
+                n: round(self.fleet_capacity_pps(n), 1)
+                for n in range(1, self.max_shards + 1)
+            },
+        }

@@ -10,6 +10,7 @@ from repro.osbase.buffers import (
     BufferPool,
     IBufferPool,
     carve_shard_pools,
+    recarve_shard_pools,
     release_dropped,
     shard_pool_audit,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "WaitEvent",
     "WorkerKilled",
     "carve_shard_pools",
+    "recarve_shard_pools",
     "release_dropped",
     "shard_pool_audit",
 ]

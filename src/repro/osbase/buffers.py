@@ -339,6 +339,47 @@ def shard_pool_audit(pools: list[BufferPool]) -> dict:
     }
 
 
+def recarve_shard_pools(
+    pools: list[BufferPool],
+    shards: int,
+    *,
+    exhaustion_policy: str | None = None,
+) -> tuple[list[BufferPool], dict]:
+    """Re-carve the aggregate budget of *pools* into *shards* fresh
+    slices — the elastic-resize pool hand-off.
+
+    The hand-off must be *exact*: every incoming slice balanced
+    (acquired == released and nothing in flight), because a buffer still
+    held by the datapath belongs to a pool that is about to be retired
+    and could never be returned.  An unbalanced slice raises
+    ResourceError — the resize's apply step turns that into an abort and
+    the round rolls back.  Returns ``(new_pools, audit)`` where *audit*
+    is the :func:`shard_pool_audit` snapshot proving the hand-off; the
+    new slices inherit the widest buffer size and (by default) the first
+    pool's exhaustion policy.
+    """
+    if not pools:
+        raise ResourceError("recarve needs at least one source pool")
+    audit = shard_pool_audit(pools)
+    if not audit["balanced"]:
+        raise ResourceError(
+            "cannot re-carve: the hand-off requires acquired == released "
+            "and in_flight == 0 on every slice, got "
+            f"acquired={audit['acquired_total']} "
+            f"released={audit['released_total']} "
+            f"in_flight={audit['in_flight']}"
+        )
+    total = sum(pool.count for pool in pools)
+    buffer_size = max(pool.buffer_size for pool in pools)
+    policy = (
+        pools[0].exhaustion_policy if exhaustion_policy is None else exhaustion_policy
+    )
+    new_pools = carve_shard_pools(
+        buffer_size, total, shards, exhaustion_policy=policy
+    )
+    return new_pools, audit
+
+
 class BufferManagementCF(ComponentFramework):
     """CF accepting buffer-pool plug-ins and routing acquisitions.
 

@@ -66,6 +66,43 @@ Per-flow disruption is bounded by construction: a flow lives on its
 original shard until the drain completes, then on exactly one successor
 — never a third home, never reordered.  ``docs/robustness.md`` walks the
 failure model; ``benchmarks/bench_r1_faults.py`` gates on it.
+
+Elastic resizing
+----------------
+The worker fleet is resizable at run time through the same two-phase
+quiescence machinery.  Steering goes through a bucket → shard
+indirection table (:attr:`RssSteering.table`; the default identity table
+keeps the historical ``hash % N`` behaviour bit-for-bit), so a resize
+re-targets *table entries*, not the hash: an unaffected bucket keeps its
+home, an affected bucket moves exactly once per resize.  The action set
+(:meth:`ShardedDatapath.resize_action_set`, bridged by
+``register_shard_resize`` on the coordination side; the local driver is
+:meth:`ShardedDatapath.resize`):
+
+1. **quiesce** parks every bucket's arrivals (arrival order kept) and
+   plans the new table — buckets whose target is removed (or dead) are
+   re-homed onto the least-loaded survivors, and on growth the new
+   shards are fed buckets donated by the most-loaded old ones;
+2. **apply** drains *every* ring through its own engine
+   (drain-before-rehash for every flow), proves the exact pool hand-off
+   (acquired == released and nothing in flight on every slice — see
+   :func:`~repro.osbase.buffers.recarve_shard_pools`), re-carves the
+   aggregate budget into the new slice set, builds/retires workers, and
+   only then swaps the table and flushes the parked frames through it;
+3. **resume** records the resize (with the hand-off audit);
+4. **rollback** (an aborted round, or apply failing before the commit
+   point — e.g. a buffer still held somewhere) unparks everything back
+   onto the original rings, fleet untouched.
+
+Growth needs a *shard_factory* (``index, pool → Shard``) — the builder
+in :mod:`repro.router.pipeline` supplies one.  Cross-shard steals can be
+charged a NUMA-style locality penalty (*locality*, typically
+:meth:`repro.ixp.placement.ShardPlacement.locality_penalty`): the
+supervisor scales its steal watermark by the thief↔victim penalty, so a
+remote steal must be proportionally more profitable before it is
+directed.  ``docs/concurrency.md`` has the walkthrough; experiment C16
+(``benchmarks/bench_c16_elastic.py``) and the property suite
+(``tests/osbase/test_elastic_properties.py``) gate the invariants.
 """
 
 from __future__ import annotations
@@ -74,7 +111,8 @@ import warnings
 from collections.abc import Callable
 from typing import Any
 
-from repro.opencom.errors import OpenComError
+from repro.opencom.errors import OpenComError, ResourceError
+from repro.osbase.buffers import recarve_shard_pools
 
 
 class ShardingError(OpenComError):
@@ -95,7 +133,7 @@ class WorkerKilled(OpenComError):
 
 
 class RssSteering:
-    """RSS-style flow-hash steering: frame → ``outputs[hash % N]``.
+    """RSS-style flow-hash steering: frame → ``outputs[table[hash % B]]``.
 
     *outputs* are per-shard receive callables (typically each shard NIC's
     ``receive_frame``) returning True when the frame was accepted;
@@ -103,6 +141,14 @@ class RssSteering:
     depend on the frame's representation (raw bytes vs materialised vs
     wire packet) or steering would split a flow across shards —
     :func:`repro.netsim.wire.flow_hash_of` guarantees exactly that.
+
+    *table* is the RSS indirection table mapping hash buckets to output
+    indices.  The default is the identity table of size N, which makes
+    steering the historical ``hash % N`` bit-for-bit.  Elastic
+    configurations use more buckets than shards so that a resize can
+    re-target individual table entries: an unaffected bucket keeps its
+    home, an affected one moves exactly once (see
+    :meth:`ShardedDatapath.resize_action_set`).
 
     *reject* names the exception types the hash raises on frames it
     cannot parse (the injected-alongside-the-hash analogue of the NIC's
@@ -119,12 +165,19 @@ class RssSteering:
         *,
         hash_fn: Callable[[Any], int],
         reject: tuple[type[BaseException], ...] = (),
+        table: list[int] | None = None,
     ) -> None:
         if not outputs:
             raise ShardingError("steering needs at least one output")
         self.outputs = list(outputs)
         self.hash_fn = hash_fn
         self.reject = tuple(reject)
+        #: Bucket → output index.  ``len(table)`` is the bucket count,
+        #: fixed for the steering stage's lifetime (only the *entries*
+        #: change under resize, so flow → bucket never moves).
+        if table is None:
+            table = list(range(len(self.outputs)))
+        self.table = self._validated_table(table, len(self.outputs))
         #: Frames accepted per output, and frames the output refused
         #: (ring overflow / pool backpressure — the NIC's own counters
         #: say which).
@@ -134,9 +187,57 @@ class RssSteering:
         #: malformed input is a policy, never a mid-datapath unwind).
         self.malformed = 0
 
+    @staticmethod
+    def _validated_table(table: list[int], outputs: int) -> list[int]:
+        table = list(table)
+        if len(table) < outputs:
+            raise ShardingError(
+                f"need at least one bucket per output: {len(table)} "
+                f"buckets for {outputs} outputs"
+            )
+        for bucket, target in enumerate(table):
+            if not isinstance(target, int) or not 0 <= target < outputs:
+                raise ShardingError(
+                    f"bucket {bucket} targets invalid output {target!r} "
+                    f"(have {outputs})"
+                )
+        return table
+
+    @property
+    def buckets(self) -> int:
+        """Size of the indirection table (flow → bucket is fixed)."""
+        return len(self.table)
+
+    def bucket_of(self, frame: Any) -> int:
+        """The hash bucket *frame* lands in (stable across resizes)."""
+        return self.hash_fn(frame) % len(self.table)
+
     def shard_of(self, frame: Any) -> int:
         """The shard index *frame* steers to (pure, no side effects)."""
-        return self.hash_fn(frame) % len(self.outputs)
+        return self.table[self.hash_fn(frame) % len(self.table)]
+
+    def reshape(self, outputs: list[Callable[[Any], bool]], table: list[int]) -> None:
+        """Replace the output set and table entries in one step (the
+        resize commit point).  Counters for surviving outputs carry
+        over; new outputs start at zero.  The bucket count never changes
+        — a resize moves table *entries*, not the flow → bucket map."""
+        if not outputs:
+            raise ShardingError("steering needs at least one output")
+        if len(table) != len(self.table):
+            raise ShardingError(
+                f"reshape cannot change the bucket count "
+                f"({len(self.table)} → {len(table)})"
+            )
+        table = self._validated_table(table, len(outputs))
+        grown = len(outputs) - len(self.outputs)
+        self.outputs = list(outputs)
+        if grown > 0:
+            self.steered.extend([0] * grown)
+            self.refused.extend([0] * grown)
+        elif grown < 0:
+            del self.steered[len(outputs):]
+            del self.refused[len(outputs):]
+        self.table = table
 
     def steer(self, frame: Any) -> int | None:
         """Steer one frame; returns the accepting shard index, or None
@@ -267,14 +368,31 @@ class ShardedDatapath:
         supervise: bool = True,
         reject: tuple[type[BaseException], ...] = (),
         name: str = "sharded-datapath",
+        buckets: int | None = None,
+        shard_factory: Callable[[int, Any], Shard] | None = None,
+        locality: Callable[[int, int], float] | None = None,
     ) -> None:
         if not shards:
             raise ShardingError("a sharded datapath needs at least one shard")
         if batch < 1:
             raise ShardingError(f"batch must be >= 1, got {batch}")
+        if buckets is None:
+            buckets = len(shards)
+        if buckets < len(shards):
+            raise ShardingError(
+                f"need at least one bucket per shard: {buckets} buckets "
+                f"for {len(shards)} shards"
+            )
         self.shards = list(shards)
         self.threads = threads
         self.batch = batch
+        #: Builds a fresh shard for index *i* over pool slice *p* when a
+        #: resize grows the fleet (``resize`` refuses to grow without it).
+        self.shard_factory = shard_factory
+        #: Optional ``(thief, victim) → penalty`` cost model for
+        #: cross-shard steals (>= 1.0; 1.0 = same locality domain).  The
+        #: supervisor scales its steal watermark by it.
+        self.locality = locality
         if steal_watermark is not None and not supervise:
             # Only the supervisor ever issues steal directives, so an
             # explicit watermark without one would be silently inert.
@@ -306,17 +424,35 @@ class ShardedDatapath:
         self._recovery_requested: set[int] = set()
         #: Worker indices poisoned to crash at their next quantum.
         self._poison: set[int] = set()
+        #: In-progress elastic resize round (plan at quiesce, record
+        #: after apply) — at most one, mutually exclusive with recovery.
+        self._pending_resize: dict | None = None
+        #: Completed resize records (see docs/concurrency.md).
+        self.resizes: list[dict] = []
+        #: Steal directives executed, split by the locality model (every
+        #: steal is local when no model is installed).
+        self.local_steals = 0
+        self.remote_steals = 0
+        #: Steals the plain watermark would have directed but the
+        #: penalty-scaled one refused — the cost model said no.
+        self.locality_vetoes = 0
         self.steering = RssSteering(
             [self._ingress_for(i) for i in range(len(self.shards))],
             hash_fn=hash_fn,
             reject=reject,
+            table=[b % len(self.shards) for b in range(buckets)],
         )
         self.rebalances = 0
         self._stopping = False
         #: Worker index → victim shard index to help, or None.
         self._help: list[int | None] = [None] * len(self.shards)
+        #: Per-worker retire cells: a shrink flips the removed workers'
+        #: flags and their perpetual bodies return at the next quantum.
+        self._retire_flags: list[list[bool]] = [
+            [False] for _ in range(len(self.shards))
+        ]
         self._workers = [
-            threads.spawn(f"{name}-worker{i}", self._worker_body(i))
+            threads.spawn(f"{name}-worker{i}", self._worker_body(i, self._retire_flags[i]))
             for i in range(len(self.shards))
         ]
         self._threads = list(self._workers)
@@ -445,6 +581,10 @@ class ShardedDatapath:
             return False
         if dead in self._pending_recovery or dead in self._redirect:
             return False
+        if self._pending_resize is not None:
+            # Mutually exclusive with an in-flight resize: both rounds
+            # park buckets and reason about a fixed fleet shape.
+            return False
         successor = self._pick_successor(dead, params.get("to"))
         if successor is None:
             return False
@@ -563,9 +703,307 @@ class ShardedDatapath:
         return self.recoveries[-1]
 
     def parked_count(self) -> int:
-        """Frames parked by in-progress recoveries (not on any RX ring,
-        so not in :meth:`total_backlog` — they drain at commit/abort)."""
+        """Frames parked by in-progress recovery/resize rounds (not on
+        any RX ring, so not in :meth:`total_backlog` — they drain at
+        commit/abort)."""
         return sum(len(frames) for frames in self._parked.values())
+
+    # -- elastic resizing -----------------------------------------------------------
+
+    def resize_action_set(self) -> dict[str, Callable[[dict], Any]]:
+        """The elastic resize as quiesce/apply/resume/rollback callables
+        (each takes the round's parameter dict, which must carry
+        ``{"shards": <target count>}``).
+
+        Shaped for :class:`repro.coordination.reconfig.ActionSet` —
+        ``register_shard_resize`` on the coordination side does the
+        wrapping, because osbase cannot import upward.  The local
+        no-protocol driver is :meth:`resize`.
+        """
+        return {
+            "quiesce": self._resize_quiesce,
+            "apply": self._resize_apply,
+            "resume": self._resize_resume,
+            "rollback": self._resize_rollback,
+        }
+
+    def _plan_table(self, n: int) -> tuple[list[int], list[int]] | None:
+        """A new bucket table for a fleet of *n* shards, moving as few
+        entries as possible.
+
+        Buckets whose current target survives (index < *n*, worker
+        alive) keep it untouched; buckets orphaned by the shrink (or by
+        a dead worker) re-home onto the least-loaded eligible shard; on
+        growth the new shards are fed up to the floor share by the most
+        loaded old ones donating their highest-numbered buckets.  Every
+        bucket moves at most once.  Returns ``(table, moved_buckets)``,
+        or None when no eligible home exists.
+        """
+        old = self.steering.table
+        eligible = [
+            i
+            for i in range(n)
+            if i >= len(self.shards) or not self._workers[i].done
+        ]
+        if not eligible:
+            return None
+        load = {i: 0 for i in eligible}
+        table = list(old)
+        orphans: list[int] = []
+        for bucket, target in enumerate(old):
+            if target in load:
+                load[target] += 1
+            else:
+                orphans.append(bucket)
+        moved: list[int] = []
+        for bucket in orphans:
+            dest = min(eligible, key=lambda i: (load[i], i))
+            table[bucket] = dest
+            load[dest] += 1
+            moved.append(bucket)
+        moved_set = set(moved)
+        floor_share = len(old) // n
+        while True:
+            hungry = [i for i in eligible if load[i] < floor_share]
+            if not hungry:
+                break
+            dest = min(hungry, key=lambda i: (load[i], i))
+            donors = [
+                (i, [b for b, t in enumerate(table) if t == i and b not in moved_set])
+                for i in eligible
+                if i != dest
+            ]
+            donors = [(i, owned) for i, owned in donors if owned]
+            if not donors:
+                break
+            donor, owned = max(donors, key=lambda pair: (load[pair[0]], -pair[0]))
+            if load[donor] <= load[dest] + 1:
+                break
+            bucket = max(owned)
+            table[bucket] = dest
+            load[donor] -= 1
+            load[dest] += 1
+            moved.append(bucket)
+            moved_set.add(bucket)
+        return table, moved
+
+    def _resize_quiesce(self, params: dict) -> bool:
+        """Park every bucket's arrivals and plan the new table; False
+        (→ vote no) when the target is invalid, another round is in
+        flight, growth lacks a shard factory, or no live home exists."""
+        n = params.get("shards")
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            return False
+        if n == len(self.shards):
+            return False
+        if n > len(self.steering.table):
+            # Each shard needs at least one bucket; the bucket count is
+            # fixed at construction (flow → bucket never moves).
+            return False
+        if self._stopping or self._pending_resize is not None:
+            return False
+        if self._pending_recovery:
+            # Mutually exclusive with an in-flight recovery round.
+            return False
+        if n > len(self.shards) and self.shard_factory is None:
+            return False
+        plan = self._plan_table(n)
+        if plan is None:
+            return False
+        table, moved = plan
+        # The re-carve hands the *whole* budget over, so every ring must
+        # drain: park every shard, not just the affected buckets.
+        for index in range(len(self.shards)):
+            self._parked[index] = []
+        self._pending_resize = {
+            "target": n,
+            "from": len(self.shards),
+            "old_table": list(self.steering.table),
+            "new_table": table,
+            "moved_buckets": moved,
+            "phase": "quiesced",
+        }
+        return True
+
+    def _resize_apply(self, params: dict) -> None:
+        """Drain-before-rehash for the whole fleet, the exact pool
+        hand-off, then the commit: rebuild the fleet and swap the table.
+
+        Everything that can fail (draining, the hand-off audit, the
+        shard factory) runs *before* the commit point, so rollback
+        always sees an untouched fleet.
+        """
+        pending = self._pending_resize
+        if pending is None or pending["target"] != params.get("shards"):
+            raise ShardingError(
+                f"resize apply without matching quiesce "
+                f"(target {params.get('shards')!r})"
+            )
+        n = pending["target"]
+        old_n = len(self.shards)
+        # 1. Drain every ring through its own engine: in-flight frames
+        #    egress from their pre-resize home, so the table swap can
+        #    never reorder a flow (and the pool books can balance).
+        drained = [0] * old_n
+        for index, shard in enumerate(self.shards):
+            while True:
+                batch = shard.take_batch(self.batch)
+                if not batch:
+                    break
+                # Inline hand-off: nothing steps the thread manager while
+                # an action set runs, so this is atomic wrt the workers.
+                shard.process(batch)
+                drained[index] += len(batch)
+        # 2. The exact hand-off: re-carving the aggregate budget is only
+        #    sound when no slice has a buffer in flight anywhere.
+        pools = [shard.pool for shard in self.shards]
+        pooled = all(pool is not None for pool in pools)
+        handoff = None
+        if pooled:
+            try:
+                new_pools, handoff = recarve_shard_pools(pools, n)
+            except ResourceError as exc:
+                raise ShardingError(f"resize to {n} shards aborted: {exc}") from exc
+        else:
+            new_pools = [None] * n
+        # 3. Build the grown shards before mutating anything: a factory
+        #    failure aborts the round with the fleet untouched.
+        grown = [
+            self.shard_factory(index, new_pools[index])
+            for index in range(old_n, n)
+        ]
+        # ---- commit point: nothing below raises ----
+        pending["phase"] = "committed"
+        if n < old_n:
+            for index in range(n, old_n):
+                self._retire_flags[index][0] = True
+            del self.shards[n:]
+            del self._workers[n:]
+            del self._retire_flags[n:]
+            del self._help[n:]
+        for index, shard in enumerate(self.shards):
+            if pooled:
+                shard.pool = new_pools[index]
+                bind = getattr(shard.nic, "bind_pool", None)
+                if bind is not None:
+                    bind(new_pools[index])
+        for shard in grown:
+            index = len(self.shards)
+            self.shards.append(shard)
+            flag = [False]
+            self._retire_flags.append(flag)
+            self._help.append(None)
+            worker = self.threads.spawn(
+                f"{self.name}-worker{index}", self._worker_body(index, flag)
+            )
+            self._workers.append(worker)
+            self._threads.append(worker)
+        # Stale steal directives must not point past the new fleet.
+        for index in range(len(self._help)):
+            self._help[index] = None
+        # A standing redirect is compiled away by the swap: every bucket
+        # it re-homed now has a direct live target in the new table.
+        self._redirect.clear()
+        self._recovery_requested = {
+            index for index in self._recovery_requested if index < n
+        }
+        self.steering.reshape(
+            [self._ingress_for(i) for i in range(n)], pending["new_table"]
+        )
+        self.cores = len(self.shards) + (1 if self.supervised else 0)
+        # 4. Flush the parked frames through the *new* table, per former
+        #    home in arrival order — each flow's parked frames live in
+        #    exactly one park list, so they land contiguously and in
+        #    order on their (single) new home.
+        flushed = refused = 0
+        for _, frames in sorted(self._parked.items()):
+            for frame in frames:
+                target = self.steering.table[self.steering.bucket_of(frame)]
+                try:
+                    accepted = self.shards[target].nic.receive_frame(frame)
+                except ResourceError:
+                    # A raise-policy pool exhausting mid-flush must not
+                    # abort a committed resize half way: the frame was
+                    # never materialised into a pooled buffer, so
+                    # refusing it here cannot leak (same as any NIC drop).
+                    accepted = False
+                if accepted:
+                    flushed += 1
+                else:
+                    refused += 1
+        self._parked.clear()
+        pending["record"] = {
+            "from": old_n,
+            "to": n,
+            "buckets": len(self.steering.table),
+            "moved_buckets": len(pending["moved_buckets"]),
+            "drained": drained,
+            "drained_total": sum(drained),
+            "parked_flushed": flushed,
+            "parked_refused": refused,
+            "pool_handoff": handoff,
+            "virtual_time": self.threads.clock.now,
+        }
+
+    def _resize_resume(self, params: dict) -> None:
+        """Commit-side resume: record the resize.  A no-op on the abort
+        path (rollback already cleaned up)."""
+        pending = self._pending_resize
+        if pending is None:
+            return
+        self._pending_resize = None
+        record = pending.get("record")
+        if record is not None:
+            self.resizes.append(record)
+        # Defensive: resume without apply (protocol misuse) must not
+        # strand parked frames — back onto their own rings they go.
+        self._unpark_all()
+
+    def _resize_rollback(self, params: dict) -> None:
+        """Abort-side undo: unpark everything back onto the original
+        rings.  Apply mutates nothing before its commit point, so the
+        fleet, pools and table are untouched."""
+        pending = self._pending_resize
+        if pending is None:
+            return
+        self._pending_resize = None
+        if pending.get("phase") == "committed":
+            # Apply completed (the commit region cannot raise); there is
+            # nothing to undo and the parked lists are already flushed.
+            return
+        self._unpark_all()
+
+    def _unpark_all(self) -> None:
+        """Return every parked frame to its own shard's ring, in order."""
+        for index in sorted(self._parked):
+            frames = self._parked.pop(index)
+            if not 0 <= index < len(self.shards):
+                continue
+            receive = self.shards[index].nic.receive_frame
+            for frame in frames:
+                receive(frame)
+
+    def resize(self, n: int) -> dict:
+        """Run the whole elastic resize locally (no coordination
+        protocol): quiesce → apply → resume, rolling back if apply
+        raises.  Returns the resize record.  The networked path is
+        ``register_shard_resize`` + a reconfiguration round."""
+        params: dict[str, Any] = {"shards": n}
+        actions = self.resize_action_set()
+        if not actions["quiesce"](params):
+            raise ShardingError(
+                f"resize to {n} shards refused (invalid target, another "
+                f"round in flight, growth without a shard factory, or no "
+                f"live home)"
+            )
+        try:
+            actions["apply"](params)
+        except Exception:
+            actions["rollback"](params)
+            actions["resume"](params)
+            raise
+        actions["resume"](params)
+        return self.resizes[-1]
 
     # -- execution ----------------------------------------------------------------
 
@@ -597,6 +1035,7 @@ class ShardedDatapath:
         steps = 0
         stagnant = 0
         backlog = self.total_backlog()
+        alive = self.threads.alive_count()
         while backlog > 0 and not self._stopping:
             if steps >= max_steps:
                 warnings.warn(
@@ -621,7 +1060,13 @@ class ShardedDatapath:
             self.threads.step_parallel(self.cores)
             steps += 1
             remaining = self.total_backlog()
-            if remaining < backlog:
+            remaining_alive = self.threads.alive_count()
+            if remaining < backlog or remaining_alive < alive:
+                # Reaping a thread counts as progress too: after a
+                # shrink, workers retired between pumps exit at their
+                # next quantum, and a burst of them can soak every slot
+                # of a narrow post-shrink core width for several steps
+                # before the survivors get a turn.
                 stagnant = 0
             else:
                 # A live fleet drains something every quantum unless the
@@ -639,6 +1084,7 @@ class ShardedDatapath:
                     )
                     break
             backlog = remaining
+            alive = remaining_alive
         return steps
 
     def _dead_worker_report(self) -> str:
@@ -650,10 +1096,35 @@ class ShardedDatapath:
         ]
         return f" (dead workers: {'; '.join(dead)})" if dead else ""
 
-    def shutdown(self) -> None:
+    def shutdown(self, *, drain: bool = False) -> None:
         """Stop the perpetual worker/supervisor bodies (each observes the
         flag at its next quantum and returns), leaving any backlogged
-        frames in place."""
+        frames in place.
+
+        An in-flight recovery/resize round is rolled back first, so the
+        frames its quiesce parked return to their own RX rings (counted
+        in :meth:`total_backlog`, drainable by a later inline caller)
+        instead of being stranded in park lists nothing will ever flush.
+        With *drain* True the rings are then emptied through their own
+        engines before the stop — a graceful park-and-drain shutdown.
+        """
+        if not self._stopping:
+            for dead in sorted(self._pending_recovery):
+                self._recovery_rollback({"shard": dead})
+            if self._pending_resize is not None:
+                self._resize_rollback(
+                    {"shards": self._pending_resize["target"]}
+                )
+            # Defensive: an orphaned park list (no pending round) must
+            # not strand frames either.
+            self._unpark_all()
+            if drain:
+                for shard in self.shards:
+                    while True:
+                        batch = shard.take_batch(self.batch)
+                        if not batch:
+                            break
+                        shard.process(batch)
         self._stopping = True
         for _ in range(2 * len(self._threads) + 2):
             if all(thread.done for thread in self._threads):
@@ -680,6 +1151,12 @@ class ShardedDatapath:
             "parked": self.parked_count(),
             "redirects": dict(self._redirect),
             "recoveries": len(self.recoveries),
+            "resizes": len(self.resizes),
+            "resize_pending": self._pending_resize is not None,
+            "buckets": len(self.steering.table),
+            "local_steals": self.local_steals,
+            "remote_steals": self.remote_steals,
+            "locality_vetoes": self.locality_vetoes,
             "dead_workers": [
                 index
                 for index, worker in enumerate(self._workers)
@@ -691,16 +1168,19 @@ class ShardedDatapath:
 
     # -- thread bodies ------------------------------------------------------------
 
-    def _worker_body(self, index: int):
+    def _worker_body(self, index: int, retired: list):
         """One quantum = pop one batch and run it end-to-end.
 
         Own backlog first; when it is empty and the supervisor has
         directed this worker at a victim, steal one whole batch and run
         it through the *victim's* engine (the hand-off convention: CPU
-        moves, flow residency does not).
+        moves, flow residency does not).  *retired* is this worker's
+        retire cell: a shrink flips it and the body returns at its next
+        quantum (the index may later be reused by a grown worker with a
+        fresh cell).
         """
         shard = self.shards[index]
-        while not self._stopping:
+        while not self._stopping and not retired[0]:
             if index in self._poison:
                 self._poison.discard(index)
                 raise WorkerKilled(
@@ -711,12 +1191,25 @@ class ShardedDatapath:
                 shard.process(batch)
             else:
                 victim_index = self._help[index]
-                if victim_index is not None and victim_index != index:
+                if (
+                    victim_index is not None
+                    and victim_index != index
+                    # A resize between supervisor quanta may shrink the
+                    # fleet under a standing directive.
+                    and victim_index < len(self.shards)
+                ):
                     victim = self.shards[victim_index]
                     stolen = victim.take_batch(self.batch)
                     if stolen:
                         shard.counters["stolen_batches"] += 1
                         victim.counters["ceded_batches"] += 1
+                        if (
+                            self.locality is not None
+                            and self.locality(index, victim_index) > 1.0
+                        ):
+                            self.remote_steals += 1
+                        else:
+                            self.local_steals += 1
                         victim.process(stolen)
             yield
 
@@ -761,15 +1254,21 @@ class ShardedDatapath:
             spread = depths[deepest] - min(depths)
             directed = False
             for index in range(len(self.shards)):
-                if (
+                gap = depths[deepest] - depths[index]
+                wants = (
                     spread >= self.steal_watermark
                     and index != deepest
-                    and depths[deepest] - depths[index] >= self.steal_watermark
-                ):
-                    self._help[index] = deepest
-                    directed = True
-                else:
-                    self._help[index] = None
+                    and gap >= self.steal_watermark
+                )
+                if wants and self.locality is not None:
+                    # The NUMA-style cost model: a cross-domain steal
+                    # must clear a penalty-scaled watermark before it
+                    # pays for the remote traffic it causes.
+                    if gap < self.steal_watermark * self.locality(index, deepest):
+                        self.locality_vetoes += 1
+                        wants = False
+                self._help[index] = deepest if wants else None
+                directed = directed or wants
             if directed:
                 self.rebalances += 1
             yield

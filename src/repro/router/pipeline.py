@@ -327,6 +327,8 @@ def build_sharded_forwarding_datapath(
     buffer_size: int = 2048,
     pool_buffers: int = 256,
     exhaustion_policy: str = "drop-newest",
+    buckets: int | None = None,
+    locality: Any = None,
 ):
     """Assemble the sharded multi-worker forwarding datapath: *shards*
     share-nothing copies of the flat forwarding pipeline behind one
@@ -349,6 +351,17 @@ def build_sharded_forwarding_datapath(
     (release it when done) — how C15 records per-flow egress order.
     Returns the :class:`~repro.osbase.sharding.ShardedDatapath`; each
     shard's pipeline rides along as ``shard.engine``.
+
+    The datapath is built *elastic*: the per-shard assembly doubles as
+    its ``shard_factory``, so ``resize(n)`` can grow the fleet with
+    identically-shaped pipelines at run time (the factory is re-invoked
+    with the grown index and its fresh pool slice; *tx_handler* is
+    called again for each grown shard).  *buckets* sizes the RSS
+    indirection table (default: one bucket per initial shard — the
+    historical ``hash % N`` steering; elastic deployments want several
+    buckets per shard so a resize moves few flows).  *locality* is an
+    optional ``(thief, victim) -> penalty`` steal cost model, typically
+    :meth:`repro.ixp.placement.ShardPlacement.locality_penalty`.
     """
     from repro.netsim.wire import PacketError, flow_hash_of
     from repro.opencom.fusion import fuse_pipeline
@@ -369,8 +382,8 @@ def build_sharded_forwarding_datapath(
     rx_ring = rx_ring_size if rx_ring_size is not None else 8 * batch
     tx_ring = tx_ring_size if tx_ring_size is not None else 4 * batch
     hops = sorted(set(routes.values()))
-    built: list[Shard] = []
-    for index in range(shards):
+
+    def make_shard(index: int, pool: Any) -> Shard:
         capsule = Capsule(f"shard{index}")
         pipeline = build_forwarding_pipeline(
             capsule,
@@ -381,16 +394,16 @@ def build_sharded_forwarding_datapath(
         if fused:
             fuse_pipeline(list(capsule.components().values()))
         handler = tx_handler(index) if tx_handler is not None else None
-        built.append(
-            Shard(
-                index,
-                nic=Nic(rx_ring_size=rx_ring, pool=pools[index]),
-                pool=pools[index],
-                push_batch=pipeline.push_batch,
-                flush=lambda p=pipeline, h=handler: p.flush_tx(handler=h),
-                engine=pipeline,
-            )
+        return Shard(
+            index,
+            nic=Nic(rx_ring_size=rx_ring, pool=pool),
+            pool=pool,
+            push_batch=pipeline.push_batch,
+            flush=lambda p=pipeline, h=handler: p.flush_tx(handler=h),
+            engine=pipeline,
         )
+
+    built = [make_shard(index, pools[index]) for index in range(shards)]
     return ShardedDatapath(
         built,
         threads=threads,
@@ -401,4 +414,8 @@ def build_sharded_forwarding_datapath(
         # Frames the hash cannot parse are counted malformed refusals,
         # matching the NIC's own malformed-drop policy.
         reject=(PacketError,),
+        buckets=buckets,
+        # The same assembly grows the fleet at run time (elastic resize).
+        shard_factory=make_shard,
+        locality=locality,
     )

@@ -9,6 +9,7 @@ from repro.coordination import (
     ReconfigParticipant,
     attach_agents,
     register_shard_recovery,
+    register_shard_resize,
 )
 from repro.netsim import FaultInjector, Topology
 
@@ -287,3 +288,119 @@ class TestShardRecoveryBridge:
             assert datapaths[node].calls == [
                 ("quiesce", 0), ("rollback", 0), ("resume", 0)
             ]
+
+
+class FakeResizableDatapath:
+    """Duck-typed stand-in for ShardedDatapath.resize_action_set()."""
+
+    def __init__(self, *, quiesce_ok=True, apply_raises=False):
+        self.calls = []
+        self.quiesce_ok = quiesce_ok
+        self.apply_raises = apply_raises
+
+    def resize_action_set(self):
+        def apply(params):
+            self.calls.append(("apply", params["shards"]))
+            if self.apply_raises:
+                raise RuntimeError("re-carve hand-off failed")
+
+        return {
+            "quiesce": lambda params: (
+                self.calls.append(("quiesce", params["shards"])),
+                self.quiesce_ok,
+            )[1],
+            "apply": apply,
+            "resume": lambda params: self.calls.append(("resume", params["shards"])),
+            "rollback": lambda params: self.calls.append(
+                ("rollback", params["shards"])
+            ),
+        }
+
+
+class TestShardResizeBridge:
+    def test_committed_round_drives_quiesce_apply_resume(self, network):
+        topo, coordinator, participants = network
+        datapaths = {}
+        for node, participant in participants.items():
+            datapaths[node] = FakeResizableDatapath()
+            register_shard_resize(participant, datapaths[node])
+        round_ = coordinator.start(
+            "shard-resize", list(participants), {"shards": 6}, deadline=1.0
+        )
+        topo.engine.run()
+        assert round_.status == "committed"
+        for datapath in datapaths.values():
+            assert datapath.calls == [
+                ("quiesce", 6), ("apply", 6), ("resume", 6)
+            ]
+
+    def test_refused_target_aborts_and_rolls_back_the_rest(self, network):
+        topo, coordinator, participants = network
+        items = list(participants.items())
+        datapaths = {}
+        for node, participant in items[:-1]:
+            datapaths[node] = FakeResizableDatapath()
+            register_shard_resize(participant, datapaths[node])
+        refuser_name, refuser = items[-1]
+        datapaths[refuser_name] = FakeResizableDatapath(quiesce_ok=False)
+        register_shard_resize(refuser, datapaths[refuser_name])
+        round_ = coordinator.start(
+            "shard-resize", list(participants), {"shards": 0}, deadline=1.0
+        )
+        topo.engine.run()
+        assert round_.status == "aborted"
+        # Prepared participants roll back before resuming; the refuser
+        # never prepared, so the abort is a no-op for it.
+        for node, _ in items[:-1]:
+            assert datapaths[node].calls == [
+                ("quiesce", 0), ("rollback", 0), ("resume", 0)
+            ]
+        assert datapaths[refuser_name].calls == [("quiesce", 0)]
+
+    def test_apply_failure_rolls_back_locally(self, network):
+        topo, coordinator, participants = network
+        items = list(participants.items())
+        datapaths = {}
+        failing_name, failing = items[0]
+        datapaths[failing_name] = FakeResizableDatapath(apply_raises=True)
+        register_shard_resize(failing, datapaths[failing_name])
+        for node, participant in items[1:]:
+            datapaths[node] = FakeResizableDatapath()
+            register_shard_resize(participant, datapaths[node])
+        round_ = coordinator.start(
+            "shard-resize", list(participants), {"shards": 4}, deadline=1.0
+        )
+        topo.engine.run()
+        assert round_.status == "committed"
+        assert datapaths[failing_name].calls == [
+            ("quiesce", 4), ("apply", 4), ("rollback", 4), ("resume", 4)
+        ]
+
+    def test_resize_and_recovery_coexist_on_one_participant(self, network):
+        # One datapath can register both kinds; the round's kind selects
+        # the action set.
+        topo, coordinator, participants = network
+
+        class Both(FakeResizableDatapath, FakeRecoverableDatapath):
+            def __init__(self):
+                FakeResizableDatapath.__init__(self)
+                FakeRecoverableDatapath.__init__(self)
+
+        datapaths = {}
+        for node, participant in participants.items():
+            datapaths[node] = Both()
+            register_shard_recovery(participant, datapaths[node])
+            register_shard_resize(participant, datapaths[node])
+        first = coordinator.start(
+            "shard-resize", list(participants), {"shards": 3}, deadline=1.0
+        )
+        topo.engine.run()
+        second = coordinator.start(
+            "shard-recovery", list(participants), {"shard": 1}, deadline=1.0
+        )
+        topo.engine.run()
+        assert first.status == "committed"
+        assert second.status == "committed"
+        for datapath in datapaths.values():
+            assert ("apply", 3) in datapath.calls
+            assert ("apply", 1) in datapath.calls

@@ -9,6 +9,7 @@ from repro.ixp import (
     IxpBoard,
     PlacementMetaModel,
     SCRATCHPAD,
+    ShardPlacement,
     SDRAM,
     SRAM,
     StageVisit,
@@ -157,3 +158,67 @@ class TestBoardSimulator:
         simulator = BoardSimulator(board, placement)
         result = simulator.run([StageVisit("v4", 0.5)], packets=1000)
         assert result.per_component_packets["v4"] == 500
+
+
+class TestShardPlacement:
+    def test_slots_round_robin_over_microengines_in_clusters(self, board):
+        placement = ShardPlacement(board, max_shards=8, cluster_size=3)
+        engines = [pe.name for pe in board.microengines()]
+        assert [slot.pe for slot in placement.slots] == [
+            engines[i % 6] for i in range(8)
+        ]
+        # Six engines in clusters of three: uE0-2 -> cluster 0,
+        # uE3-5 -> cluster 1; slots 6 and 7 wrap back onto cluster 0.
+        assert [slot.cluster for slot in placement.slots] == [
+            0, 0, 0, 1, 1, 1, 0, 0
+        ]
+
+    def test_locality_penalty_is_one_within_a_cluster(self, board):
+        placement = ShardPlacement(board, cluster_size=3, remote_penalty=2.5)
+        assert placement.locality_penalty(0, 2) == 1.0
+        assert placement.locality_penalty(0, 0) == 1.0
+        assert placement.locality_penalty(0, 3) == 2.5
+        assert placement.locality_penalty(5, 6) == 2.5  # slot 6 wraps to cluster 0
+
+    def test_parameter_validation(self, board):
+        with pytest.raises(PlacementError, match="max_shards"):
+            ShardPlacement(board, max_shards=0)
+        with pytest.raises(PlacementError, match="cluster_size"):
+            ShardPlacement(board, cluster_size=0)
+        with pytest.raises(PlacementError, match="remote_penalty"):
+            ShardPlacement(board, remote_penalty=0.5)
+        with pytest.raises(PlacementError, match="slot"):
+            ShardPlacement(board, max_shards=4).slot(4)
+
+    def test_fleet_capacity_grows_then_saturates(self, board):
+        placement = ShardPlacement(board, max_shards=8)
+        curve = [placement.fleet_capacity_pps(n) for n in range(1, 9)]
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+        # Once all six engines host a slot, extra shards add nothing.
+        assert curve[6] == curve[5]
+        assert curve[7] == curve[5]
+        with pytest.raises(PlacementError):
+            placement.fleet_capacity_pps(0)
+
+    def test_recommend_is_monotone_and_caps_at_max(self, board):
+        placement = ShardPlacement(board, max_shards=8)
+        one_engine = placement.engine_capacity_pps(placement.slot(0).pe)
+        assert placement.recommend(0.0) == 1
+        assert placement.recommend(one_engine * 0.5) == 1
+        picks = [
+            placement.recommend(one_engine * k) for k in (0.5, 1.5, 3.0, 5.0)
+        ]
+        assert picks == sorted(picks)
+        # A load no fleet covers still returns a usable answer: max_shards.
+        assert placement.recommend(one_engine * 100) == 8
+        with pytest.raises(PlacementError, match="load"):
+            placement.recommend(-1.0)
+        with pytest.raises(PlacementError, match="headroom"):
+            placement.recommend(10.0, headroom=0.9)
+
+    def test_describe_reports_slots_and_capacity_curve(self, board):
+        placement = ShardPlacement(board, max_shards=4)
+        report = placement.describe()
+        assert [row["shard"] for row in report["slots"]] == [0, 1, 2, 3]
+        assert report["remote_penalty"] == 2.5
+        assert set(report["capacity_pps"]) == {1, 2, 3, 4}

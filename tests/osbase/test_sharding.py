@@ -755,3 +755,355 @@ class TestShardRecovery:
         datapath.pump()
         assert requests == [0]
         datapath.shutdown()
+
+
+def build_elastic(shards, pools, recorder, *, buckets=16, steal_watermark=None,
+                  supervise=True, locality=None):
+    return build_sharded_forwarding_datapath(
+        routes=ROUTES,
+        shards=shards,
+        threads=manager(),
+        pools=pools,
+        batch=4,
+        rx_ring_size=1024,
+        tx_handler=recorder.handler,
+        steal_watermark=steal_watermark,
+        supervise=supervise,
+        buckets=buckets,
+        locality=locality,
+    )
+
+
+def flows_on_home(datapath, target, *, count, src="10.4.4.4", start=6000):
+    """Rejection-sample flows whose *table* home is shard *target*."""
+    flows, sport = [], start
+    while len(flows) < count:
+        sport += 1
+        if datapath.steering.shard_of(seq_frame((src, sport), 0)) == target:
+            flows.append((src, sport))
+    return flows
+
+
+def per_flow_seqs(recorder):
+    observed = defaultdict(list)
+    for entries in recorder.logs.values():
+        for flow_key, seq in entries:
+            observed[flow_key].append(seq)
+    return observed
+
+
+class TestElasticResize:
+    def test_default_table_is_identity_hash_mod_n(self):
+        # The table indirection must not change historical steering: the
+        # default table is the identity, so shard_of stays hash % N.
+        accepted = []
+        steering = RssSteering(
+            [lambda f, i=i: accepted.append(i) or True for i in range(4)],
+            hash_fn=flow_hash_of,
+        )
+        assert steering.table == [0, 1, 2, 3]
+        frame = seq_frame(("10.7.7.7", 777), 0)
+        assert steering.shard_of(frame) == flow_hash_of(frame) % 4
+        assert steering.bucket_of(frame) == flow_hash_of(frame) % 4
+
+    def test_table_validation(self):
+        outputs = [lambda f: True, lambda f: True]
+        with pytest.raises(ShardingError, match="at least one bucket"):
+            RssSteering(outputs, hash_fn=flow_hash_of, table=[0])
+        with pytest.raises(ShardingError, match="invalid output"):
+            RssSteering(outputs, hash_fn=flow_hash_of, table=[0, 2])
+        steering = RssSteering(outputs, hash_fn=flow_hash_of, table=[0, 1, 0, 1])
+        with pytest.raises(ShardingError, match="bucket count"):
+            steering.reshape(outputs, [0, 1])
+
+    def test_datapath_bucket_validation(self):
+        pools = carve_shard_pools(256, 32, 4, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        with pytest.raises(ShardingError, match="bucket per shard"):
+            build_elastic(4, pools, recorder, buckets=2)
+
+    def test_grow_preserves_per_flow_fifo_and_rebalances(self):
+        pools = carve_shard_pools(256, 160, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build_elastic(2, pools, recorder, buckets=16)
+        flows = [(f"10.7.{i}.1", 2000 + 13 * i) for i in range(12)]
+        datapath.steer_batch(
+            [seq_frame(flow, seq) for seq in range(4) for flow in flows]
+        )
+        datapath.pump()
+        record = datapath.resize(4)
+        assert record["from"] == 2 and record["to"] == 4
+        assert record["buckets"] == 16
+        # Growth feeds each new shard its floor share of buckets.
+        assert record["moved_buckets"] == 8
+        assert record["pool_handoff"]["balanced"]
+        counts = defaultdict(int)
+        for target in datapath.steering.table:
+            counts[target] += 1
+        assert all(counts[i] == 4 for i in range(4))
+        # The re-carve rebound every surviving NIC to its new slice.
+        assert len(datapath.shards) == 4
+        assert datapath.cores == 5
+        for shard in datapath.shards:
+            assert shard.nic.pool is shard.pool
+            assert shard.pool.count == 40
+        datapath.steer_batch(
+            [seq_frame(flow, seq) for seq in range(4, 8) for flow in flows]
+        )
+        datapath.pump()
+        observed = per_flow_seqs(recorder)
+        assert len(observed) == len(flows)
+        for seqs in observed.values():
+            assert seqs == list(range(8))
+        assert shard_pool_audit([s.pool for s in datapath.shards])["balanced"]
+        datapath.shutdown()
+
+    def test_shrink_retires_workers_and_reuses_indices(self):
+        pools = carve_shard_pools(256, 64, 4, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build_elastic(4, pools, recorder, buckets=16)
+        threads = datapath.threads
+        datapath.resize(2)
+        assert len(datapath.shards) == 2
+        assert len(datapath._workers) == 2
+        assert datapath.cores == 3
+        # The retired bodies observe their flags at the next quantum.
+        for _ in range(4):
+            threads.step_parallel(datapath.cores)
+        assert threads.alive_count() == 3  # two workers + supervisor
+        # Growing again reuses the indices with fresh workers.
+        datapath.resize(3)
+        assert len(datapath._workers) == 3
+        flows = [(f"10.8.{i}.1", 3000 + 7 * i) for i in range(9)]
+        datapath.steer_batch(
+            [seq_frame(flow, seq) for seq in range(5) for flow in flows]
+        )
+        datapath.pump()
+        assert datapath.total_backlog() == 0
+        for seqs in per_flow_seqs(recorder).values():
+            assert seqs == list(range(5))
+        datapath.shutdown()
+
+    def test_steering_stability_across_resizes(self):
+        # Satellite invariant: a resize moves an affected bucket exactly
+        # once, and never touches an unaffected one.
+        pools = carve_shard_pools(256, 64, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build_elastic(2, pools, recorder, buckets=32)
+        flows = [(f"10.6.{i}.9", 4000 + 11 * i) for i in range(24)]
+        probes = [seq_frame(flow, 0) for flow in flows]
+        homes = [[datapath.steering.shard_of(p) for p in probes]]
+        for target in (6, 3, 2):
+            before = list(datapath.steering.table)
+            record = datapath.resize(target)
+            after = list(datapath.steering.table)
+            changed = [b for b in range(32) if before[b] != after[b]]
+            # Exactly the planned buckets moved — each at most once.
+            assert len(changed) == record["moved_buckets"]
+            assert len(set(changed)) == len(changed)
+            # Unaffected buckets keep their entry verbatim.
+            for bucket in set(range(32)) - set(changed):
+                assert before[bucket] == after[bucket]
+            homes.append([datapath.steering.shard_of(p) for p in probes])
+        # Per flow: at most one home change per resize, and a flow in an
+        # unaffected bucket never moves at all.
+        for i in range(len(flows)):
+            for step in range(1, len(homes)):
+                assert homes[step][i] in range((6, 3, 2)[step - 1])
+        datapath.shutdown()
+
+    def test_resize_refusals(self):
+        pools = carve_shard_pools(256, 32, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build_elastic(2, pools, recorder, buckets=8)
+        quiesce = datapath.resize_action_set()["quiesce"]
+        assert not quiesce({"shards": 2})        # no-op target
+        assert not quiesce({"shards": 0})
+        assert not quiesce({"shards": True})     # bool is not a count
+        assert not quiesce({"shards": "4"})
+        assert not quiesce({"shards": 9})        # more shards than buckets
+        with pytest.raises(ShardingError, match="refused"):
+            datapath.resize(2)
+        datapath.shutdown()
+        assert not quiesce({"shards": 4})        # shut down
+
+    def test_grow_without_factory_refused(self):
+        threads = manager()
+        pools = carve_shard_pools(256, 16, 2, exhaustion_policy="raise")
+        shards = [
+            Shard(
+                i,
+                nic=Nic(rx_ring_size=64, pool=pools[i]),
+                pool=pools[i],
+                push_batch=lambda batch: None,
+                flush=lambda: None,
+            )
+            for i in range(2)
+        ]
+        datapath = ShardedDatapath(
+            shards, threads=threads, hash_fn=flow_hash_of, batch=4, buckets=8
+        )
+        with pytest.raises(ShardingError, match="refused"):
+            datapath.resize(4)
+        # Shrink needs no factory.
+        record = datapath.resize(1)
+        assert record["to"] == 1
+        datapath.shutdown()
+
+    def test_rounds_are_mutually_exclusive(self):
+        pools = carve_shard_pools(256, 32, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build_elastic(2, pools, recorder, buckets=8)
+        resize = datapath.resize_action_set()
+        recovery = datapath.recovery_action_set()
+        assert resize["quiesce"]({"shards": 4})
+        assert not recovery["quiesce"]({"shard": 0})   # resize in flight
+        assert not resize["quiesce"]({"shards": 3})    # one round at a time
+        resize["rollback"]({"shards": 4})
+        resize["resume"]({"shards": 4})
+        assert recovery["quiesce"]({"shard": 0})
+        assert not resize["quiesce"]({"shards": 4})    # recovery in flight
+        recovery["rollback"]({"shard": 0})
+        assert resize["quiesce"]({"shards": 4})
+        resize["rollback"]({"shards": 4})
+        datapath.shutdown()
+
+    def test_rollback_unparks_in_arrival_order(self):
+        pools = carve_shard_pools(256, 64, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build_elastic(2, pools, recorder, buckets=16)
+        actions = datapath.resize_action_set()
+        assert actions["quiesce"]({"shards": 4})
+        flows = [(f"10.5.{i}.2", 5000 + 9 * i) for i in range(6)]
+        frames = [seq_frame(flow, seq) for seq in range(4) for flow in flows]
+        assert datapath.steer_batch(frames) == len(frames)
+        assert datapath.parked_count() == len(frames)
+        assert datapath.total_backlog() == 0
+        actions["rollback"]({"shards": 4})
+        actions["resume"]({"shards": 4})
+        # Everything returned to its own ring, nothing grew.
+        assert datapath.parked_count() == 0
+        assert datapath.total_backlog() == len(frames)
+        assert len(datapath.shards) == 2
+        assert datapath.stats()["resizes"] == 0
+        datapath.pump()
+        for seqs in per_flow_seqs(recorder).values():
+            assert seqs == list(range(4))
+        datapath.shutdown()
+
+    def test_held_buffer_aborts_the_recarve(self):
+        pools = carve_shard_pools(256, 32, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build_elastic(2, pools, recorder, buckets=8)
+        held = datapath.shards[0].pool.acquire(16)
+        with pytest.raises(ShardingError, match="aborted"):
+            datapath.resize(4)
+        # Rolled back: fleet, table and pools untouched, round cleared.
+        assert len(datapath.shards) == 2
+        assert datapath.shards[0].pool is pools[0]
+        assert datapath.parked_count() == 0
+        assert not datapath.stats()["resize_pending"]
+        datapath.shards[0].pool.release(held)
+        record = datapath.resize(4)
+        assert record["pool_handoff"]["balanced"]
+        datapath.shutdown()
+
+    @pytest.mark.allow_pool_leak
+    def test_shutdown_mid_round_returns_parked_frames(self):
+        # Satellite fix: shutdown during an in-flight round used to
+        # strand the quiesce-parked frames in park lists nothing would
+        # ever flush — they were invisible to total_backlog and pump
+        # refused to run.  Now shutdown rolls the round back first.
+        pools = carve_shard_pools(256, 64, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build_elastic(2, pools, recorder, buckets=16)
+        actions = datapath.resize_action_set()
+        assert actions["quiesce"]({"shards": 4})
+        flows = [(f"10.3.{i}.4", 7000 + 5 * i) for i in range(4)]
+        frames = [seq_frame(flow, seq) for seq in range(3) for flow in flows]
+        datapath.steer_batch(frames)
+        assert datapath.parked_count() == len(frames)
+        datapath.shutdown()
+        assert datapath.parked_count() == 0
+        assert datapath.total_backlog() == len(frames)
+        assert not datapath.stats()["resize_pending"]
+
+    @pytest.mark.allow_pool_leak
+    def test_shutdown_mid_recovery_round_returns_parked_frames(self):
+        pools = carve_shard_pools(256, 64, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build_elastic(2, pools, recorder, buckets=16)
+        actions = datapath.recovery_action_set()
+        assert actions["quiesce"]({"shard": 0})
+        flows = flows_on_home(datapath, 0, count=3)
+        frames = [seq_frame(flow, seq) for seq in range(4) for flow in flows]
+        datapath.steer_batch(frames)
+        assert datapath.parked_count() == len(frames)
+        datapath.shutdown()
+        assert datapath.parked_count() == 0
+        assert datapath.total_backlog() == len(frames)
+
+    def test_shutdown_drain_empties_rings_through_engines(self):
+        pools = carve_shard_pools(256, 64, 2, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build_elastic(2, pools, recorder, buckets=16)
+        actions = datapath.resize_action_set()
+        assert actions["quiesce"]({"shards": 4})
+        flows = [(f"10.2.{i}.6", 8000 + 3 * i) for i in range(4)]
+        frames = [seq_frame(flow, seq) for seq in range(3) for flow in flows]
+        datapath.steer_batch(frames)
+        datapath.shutdown(drain=True)
+        assert datapath.total_backlog() == 0
+        for seqs in per_flow_seqs(recorder).values():
+            assert seqs == list(range(3))
+        assert shard_pool_audit([s.pool for s in datapath.shards])["balanced"]
+
+    def test_locality_penalty_vetoes_remote_steals(self):
+        # Two clusters of two: shard 0's backlog diverges enough for the
+        # plain watermark everywhere, but the remote pair's scaled
+        # watermark says the steal does not pay.
+        pools = carve_shard_pools(256, 256, 4, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        penalty = lambda a, b: 1.0 if a // 2 == b // 2 else 100.0
+        datapath = build_elastic(
+            4, pools, recorder, buckets=4, steal_watermark=2, locality=penalty
+        )
+        flows = flows_on_home(datapath, 0, count=3)
+        frames = [seq_frame(flow, seq) for seq in range(16) for flow in flows]
+        datapath.steer_batch(frames)
+        datapath.pump()
+        assert datapath.locality_vetoes > 0
+        assert datapath.remote_steals == 0
+        assert datapath.local_steals > 0
+        # Only the same-cluster peer ever ran shard 0's batches.
+        assert datapath.shards[1].counters["stolen_batches"] > 0
+        assert datapath.shards[2].counters["stolen_batches"] == 0
+        assert datapath.shards[3].counters["stolen_batches"] == 0
+        for seqs in per_flow_seqs(recorder).values():
+            assert seqs == list(range(16))
+        datapath.shutdown()
+
+    def test_resize_compiles_away_standing_redirects(self):
+        # A committed recovery leaves a bucket redirect; the next resize
+        # folds it into the table (the dead shard gets no buckets) and
+        # clears the redirect map.
+        pools = carve_shard_pools(256, 64, 3, exhaustion_policy="drop-newest")
+        recorder = Recorder()
+        datapath = build_elastic(3, pools, recorder, buckets=12)
+        datapath.recover_shard(0, to=1)
+        assert datapath.stats()["redirects"] == {0: 1}
+        datapath.resize(2)
+        assert datapath.stats()["redirects"] == {}
+        # Shard 0's worker is alive (recovery was administrative), but
+        # the plan treated only live shards as homes: every bucket
+        # targets a live index below the new count.
+        assert all(0 <= t < 2 for t in datapath.steering.table)
+        flows = [(f"10.1.{i}.8", 9000 + 17 * i) for i in range(8)]
+        datapath.steer_batch(
+            [seq_frame(flow, seq) for seq in range(4) for flow in flows]
+        )
+        datapath.pump()
+        assert datapath.total_backlog() == 0
+        for seqs in per_flow_seqs(recorder).values():
+            assert seqs == list(range(4))
+        datapath.shutdown()

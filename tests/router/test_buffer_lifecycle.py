@@ -184,3 +184,163 @@ def test_collector_keep_bound_releases_overflow():
     assert sink.collected_count() == 10
     # The three retained packets hold buffers; the other seven returned.
     assert pool.stats()["in_flight"] == 3
+
+
+class TestRecarveHandoff:
+    """Elastic-resize pool hand-off: re-carving is only legal when every
+    slice's books balance, and every re-carve across a live resize keeps
+    acquired == released per slice."""
+
+    def test_recarve_preserves_budget_and_audits(self):
+        from repro.osbase import carve_shard_pools, recarve_shard_pools
+
+        pools = carve_shard_pools(128, 10, 3)
+        new_pools, audit = recarve_shard_pools(pools, 4)
+        assert audit["balanced"]
+        assert len(new_pools) == 4
+        assert sum(p.count for p in new_pools) == 10
+        # Remainder spread over the first slices, sizes differ by <= 1.
+        assert [p.count for p in new_pools] == [3, 3, 2, 2]
+        assert all(p.buffer_size == 128 for p in new_pools)
+        assert all(p.exhaustion_policy == "raise" for p in new_pools)
+
+    def test_recarve_refuses_held_buffer(self):
+        from repro.opencom.errors import ResourceError
+        from repro.osbase import carve_shard_pools, recarve_shard_pools
+
+        pools = carve_shard_pools(128, 8, 2)
+        held = pools[1].acquire(16)
+        with pytest.raises(ResourceError, match="in_flight"):
+            recarve_shard_pools(pools, 4)
+        pools[1].release(held)
+        new_pools, _ = recarve_shard_pools(pools, 4)
+        assert sum(p.count for p in new_pools) == 8
+
+    def test_recarve_refuses_empty_input(self):
+        from repro.opencom.errors import ResourceError
+        from repro.osbase import recarve_shard_pools
+
+        with pytest.raises(ResourceError, match="at least one"):
+            recarve_shard_pools([], 2)
+
+
+def build_elastic_datapath(shards, pool_total, *, buckets=16):
+    from repro.osbase import RoundRobinScheduler, ThreadManagerCF, VirtualClock
+    from repro.router import build_sharded_forwarding_datapath
+
+    released = []
+
+    def tx_handler(index):
+        def on_frame(frame):
+            released.append(index)
+            frame.release()
+
+        return on_frame
+
+    datapath = build_sharded_forwarding_datapath(
+        routes=ROUTES,
+        shards=shards,
+        threads=ThreadManagerCF(VirtualClock(), scheduler=RoundRobinScheduler()),
+        batch=4,
+        rx_ring_size=512,
+        buffer_size=128,
+        pool_buffers=pool_total,
+        tx_handler=tx_handler,
+        buckets=buckets,
+    )
+    return datapath, released
+
+
+def mixed_elastic_trace(count, *, start=0):
+    """Raw forward/drop mixed frames across several flows (the datapath
+    materialises them onto the shard slices at NIC ingress)."""
+    frames = []
+    for i in range(count):
+        flow = i % 6
+        packet = make_udp_v4(
+            "10.255.0.1",
+            f"10.{1 + flow % 2}.0.{5 + flow}",
+            sport=4000 + flow,
+            payload=bytes(16),
+        )
+        if i % 5 == 4:
+            packet.net.ttl = 1
+            packet.net.refresh_checksum()
+        frames.append(packet.to_bytes())
+    return frames
+
+
+def test_books_balance_across_every_recarve():
+    """acquired == released per slice across a grow and a shrink, with
+    mixed drop/forward traffic between every re-carve."""
+    from repro.osbase import shard_pool_audit
+
+    datapath, _released = build_elastic_datapath(2, 64)
+    audits = []
+    for target in (4, 3, 2):
+        datapath.steer_batch(mixed_elastic_trace(60))
+        datapath.pump()
+        record = datapath.resize(target)
+        # The hand-off audit the apply step took mid-round: every slice
+        # individually balanced at the moment the budget moved pools.
+        audits.append(record["pool_handoff"])
+        assert record["pool_handoff"]["balanced"]
+        for row in record["pool_handoff"]["pools"]:
+            assert row["acquired_total"] == row["released_total"]
+            assert row["in_flight"] == 0
+    datapath.steer_batch(mixed_elastic_trace(60))
+    datapath.pump()
+    final = shard_pool_audit([shard.pool for shard in datapath.shards])
+    assert final["balanced"]
+    # Each re-carve saw strictly more lifecycle traffic than the last.
+    acquired = [audit["acquired_total"] for audit in audits]
+    assert acquired[0] > 0
+    datapath.shutdown()
+
+
+def test_aborted_resize_rolls_back_with_books_intact():
+    """A resize that aborts mid-round (held buffer fails the exact
+    hand-off) must leave the original slices live and balanced."""
+    from repro.osbase import ShardingError, shard_pool_audit
+
+    datapath, _released = build_elastic_datapath(2, 64)
+    datapath.steer_batch(mixed_elastic_trace(40))
+    datapath.pump()
+    original_pools = [shard.pool for shard in datapath.shards]
+    held = original_pools[0].acquire(32)
+    with pytest.raises(ShardingError, match="aborted"):
+        datapath.resize(4)
+    # Same pools, no round pending, nothing parked.
+    assert [shard.pool for shard in datapath.shards] == original_pools
+    assert datapath.parked_count() == 0
+    original_pools[0].release(held)
+    # Traffic keeps balancing on the rolled-back slices...
+    datapath.steer_batch(mixed_elastic_trace(40, start=40))
+    datapath.pump()
+    assert shard_pool_audit(original_pools)["balanced"]
+    # ...and the retried resize completes with an exact hand-off.
+    record = datapath.resize(4)
+    assert record["pool_handoff"]["balanced"]
+    datapath.steer_batch(mixed_elastic_trace(40, start=80))
+    datapath.pump()
+    assert shard_pool_audit([shard.pool for shard in datapath.shards])["balanced"]
+    datapath.shutdown()
+
+
+def test_aborted_reconfig_round_resize_unparks_without_leaks():
+    """The two-phase abort path: quiesce parks live traffic, rollback
+    returns it to the rings, and the books still balance end-to-end."""
+    from repro.osbase import shard_pool_audit
+
+    datapath, _released = build_elastic_datapath(2, 64)
+    actions = datapath.resize_action_set()
+    assert actions["quiesce"]({"shards": 4})
+    trace = mixed_elastic_trace(30)
+    datapath.steer_batch(trace)
+    assert datapath.parked_count() == len(trace)
+    actions["rollback"]({"shards": 4})
+    actions["resume"]({"shards": 4})
+    datapath.pump()
+    assert datapath.total_backlog() == 0
+    assert shard_pool_audit([shard.pool for shard in datapath.shards])["balanced"]
+    datapath.shutdown()

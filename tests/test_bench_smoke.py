@@ -68,13 +68,24 @@ def test_run_all_smoke_orders_hold(tmp_path):
         # unbalanced per-shard pool slice, or lost modelled-multicore
         # scaling (virtual-time, so deterministic even at smoke scale).
         "bench_c15_sharding",
+        # The elastic gate: C16 fails on any frame dropped or reordered
+        # across a live resize, or an unbalanced re-carve hand-off.
+        "bench_c16_elastic",
     } <= names
     for name, outcome in payload["benchmarks"].items():
         assert outcome["status"] == "passed", (name, outcome["tail"])
         assert outcome["tables"], name  # the report tables were captured
     assert payload["summary"]["failed"] == 0
-    # run_all records benchmark-declared metadata: C15's shard sweep.
+    # run_all records benchmark-declared metadata: C15's shard sweep,
+    # C16's diurnal fleet-size trace.
     assert payload["benchmarks"]["bench_c15_sharding"]["meta"]["shards"] == "1,4"
+    assert (
+        payload["benchmarks"]["bench_c16_elastic"]["meta"]["phases"]
+        == "2-4-8-4-2"
+    )
+    # The property suites ride along on the bounded (tier-1) profile.
+    assert payload["properties"]["status"] == "passed"
+    assert payload["properties"]["profile"] == "bounded"
 
 
 def test_every_benchmark_carries_the_bench_marker():
