@@ -61,6 +61,10 @@ SMOKE_BENCHES = (
     # ordering, pool audits), so it gates at full strength under smoke;
     # only its fault-free control cells keep wall-clock slack.
     "bench_r1_faults.py",
+    # C17's compiled-vs-fused magnitude claims keep the usual smoke
+    # slack (ordering-only on the tiny trace); the plan-summary and
+    # delivered-count checks are exact at any scale.
+    "bench_c17_compiled.py",
 )
 
 #: Benchmarks may print ``[bench-meta] key=value`` lines (e.g. C15's
@@ -130,7 +134,10 @@ def run_one(bench: Path, *, smoke: bool = False) -> dict:
 #: bounded examples under ``--smoke`` (the same profile tier-1 uses),
 #: the exhaustive ``full`` profile on a full run.  See
 #: ``tests/osbase/test_elastic_properties.py``.
-PROPERTY_SUITES = ("tests/osbase/test_elastic_properties.py",)
+PROPERTY_SUITES = (
+    "tests/osbase/test_elastic_properties.py",
+    "tests/opencom/test_compile_differential.py",
+)
 
 
 def run_properties(*, smoke: bool = False) -> dict:

@@ -25,6 +25,15 @@ from repro.opencom.errors import (
     ResourceError,
     RuleViolation,
 )
+from repro.opencom.compile import (
+    CompilationPlan,
+    CompileError,
+    CompiledBatchCall,
+    CompiledPullBatchCall,
+    SourceContext,
+    compile_pull,
+    compile_push_chain,
+)
 from repro.opencom.fusion import FusionPlan, fuse_component, fuse_pipeline
 from repro.opencom.interfaces import (
     ILifeCycle,
@@ -73,6 +82,10 @@ __all__ = [
     "CallTrace",
     "Capsule",
     "CapsuleError",
+    "CompilationPlan",
+    "CompileError",
+    "CompiledBatchCall",
+    "CompiledPullBatchCall",
     "Component",
     "ComponentRegistry",
     "ConstraintViolation",
@@ -108,9 +121,12 @@ __all__ = [
     "ResourceMetaModel",
     "ResourcePool",
     "RuleViolation",
+    "SourceContext",
     "Task",
     "VTable",
     "bind_across",
+    "compile_pull",
+    "compile_push_chain",
     "describe_component",
     "describe_interface",
     "fuse_component",

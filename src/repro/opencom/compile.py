@@ -1,0 +1,498 @@
+"""Compile an uninterferable fused region into one specialised callable.
+
+Section 5's partial-evaluation claim promises cross-component calls at
+"the overhead of a C function call".  Binding fusion
+(:mod:`repro.opencom.fusion`) removes the vtable indirection, but C11/C12
+showed the residual cost after batching is one Python frame per component
+per batch.  This module removes those frames too: given a region whose
+vtables carry **no interceptors**, it emits a single specialised callable
+for the whole chain — either by *closure composition* (each component
+contributes a batch kernel that calls its downstream kernels directly) or,
+behind ``mode="source"``, by generating Python source for one merged
+per-packet loop and running it through :func:`compile`.
+
+The safety story is the same one fusion already proves: the compiled
+callable is installed in a fused-handle subclass
+(:class:`CompiledBatchCall` / :class:`CompiledPullBatchCall`), and
+:meth:`~repro.opencom.vtable.VTable.watch_slot` watchers on **every**
+method of **every** vtable in the region revoke it the moment any
+interceptor appears (or disappears — any reflective touch de-specialises
+conservatively).  A revoked handle keeps working: it falls back to
+``invoke_batch`` through the entry vtable, i.e. the fully interposed
+interpreted path.  Because the handle loads its target once per call,
+a batch already in flight finishes on the specialised function and the
+*next* batch runs interpreted — exactly the scalar fused-call contract.
+
+Equivalence is the hard invariant: a compiled chain must be
+**observationally identical** to the interpreted one — byte-for-byte
+egress, identical counter dicts (including which keys exist), identical
+drop/release accounting — and is gated by the differential Hypothesis
+suite in ``tests/opencom/test_compile_differential.py``.  The only
+permitted divergence is the copy ledger, where the specialised v4 kernel
+recomputes checksums arithmetically without serialising and therefore
+records *fewer* header copies, never more.
+
+Components opt in by duck type:
+
+``compiled_batch_kernel(next_map)``
+    Return a batch callable specialised against ``next_map`` (connection
+    name → downstream batch kernel), or ``None`` to stay native.
+
+``compiled_pull_kernel()``
+    Return a ``f(max_n) -> list`` pull kernel, or ``None``.
+
+``compiled_source(ctx, next_map)``
+    Contribute lines to the merged single-loop source build (see
+    :class:`SourceContext`).  Return the connection name of the spine
+    successor, ``None`` when terminal, or ``NotImplemented`` when the
+    stage cannot be inlined (the whole build then falls back to closure
+    mode — recorded on the plan, never silent breakage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.opencom.errors import OpenComError
+from repro.opencom.vtable import FusedBatchCall, FusedPullBatchCall, VTable
+
+
+class CompileError(OpenComError):
+    """The region cannot be compiled (e.g. interceptors present)."""
+
+
+class CompiledBatchCall(FusedBatchCall):
+    """Fused batch handle whose target is a compiled chain kernel.
+
+    Revocation semantics are inherited unchanged: ``_revoke()`` swaps the
+    target for ``vtable.invoke_batch`` on the *entry* vtable, which is the
+    interpreted path (and re-interposes per item if that entry slot is the
+    intercepted one).
+    """
+
+    __slots__ = ()
+
+
+class CompiledPullBatchCall(FusedPullBatchCall):
+    """Fused pull-batch handle whose target is a compiled pull kernel."""
+
+    __slots__ = ()
+
+
+@dataclass
+class CompiledStage:
+    """One component's participation in a compiled chain."""
+
+    name: str
+    inlined: bool
+    detail: str = ""
+
+
+@dataclass
+class CompilationPlan:
+    """One compiled chain: the handle, its stages, and its revocation.
+
+    ``handle`` is the callable the call site installs; ``revoke()`` (or
+    any interceptor change on a watched vtable) degrades it to the
+    interpreted path without the call site noticing.  ``revert()``
+    additionally drops the watchers — used on teardown/reconfiguration.
+    """
+
+    entry: Any
+    method: str
+    requested_mode: str
+    mode: str
+    handle: Any
+    stages: list[CompiledStage] = field(default_factory=list)
+    #: Generated source text (``mode == "source"`` only).
+    source: str | None = field(default=None, repr=False)
+    fallback_reason: str | None = None
+    _unwatchers: list[Callable[[], None]] = field(
+        default_factory=list, repr=False, compare=False
+    )
+
+    @property
+    def revoked(self) -> bool:
+        return bool(self.handle.revoked)
+
+    @property
+    def active(self) -> bool:
+        return not self.handle.revoked
+
+    @property
+    def inlined_count(self) -> int:
+        """Stages that contributed a specialised kernel (vs native)."""
+        return sum(1 for stage in self.stages if stage.inlined)
+
+    def revoke(self) -> None:
+        """Degrade the handle to interpreted dispatch (idempotent)."""
+        if not self.handle.revoked:
+            self.handle._revoke()
+
+    def revert(self) -> None:
+        """Revoke and unsubscribe every watcher (terminal teardown)."""
+        for unsubscribe in self._unwatchers:
+            unsubscribe()
+        self._unwatchers.clear()
+        self.revoke()
+
+    def summary(self) -> str:
+        state = "revoked" if self.revoked else "active"
+        return (
+            f"compiled {self.method!r} chain [{self.mode}, {state}]: "
+            f"{len(self.stages)} stage(s), {self.inlined_count} specialised"
+        )
+
+
+# -- region walk ------------------------------------------------------------
+
+
+def _component_name(component: Any) -> str:
+    return getattr(component, "name", None) or type(component).__name__
+
+
+def _walk_region(entry: Any, interface: str) -> tuple[VTable, list[VTable]]:
+    """Collect every vtable reachable from *entry*'s outgoing ports.
+
+    The region is the transitive closure over bound connections — exactly
+    the set of slots an interceptor could appear on and silently be
+    bypassed by a compiled chain, so exactly the set we must watch.
+    """
+    entry_vtable = entry.interface(interface).vtable
+    vtables: dict[int, VTable] = {id(entry_vtable): entry_vtable}
+    seen: set[int] = set()
+
+    def visit(component: Any) -> None:
+        if id(component) in seen:
+            return
+        seen.add(id(component))
+        for receptacle in component.receptacles().values():
+            for port in receptacle.connections():
+                vtable = port.target.vtable
+                vtables.setdefault(id(vtable), vtable)
+                visit(vtable.impl)
+
+    visit(entry)
+    return entry_vtable, list(vtables.values())
+
+
+def _check_uninterfered(vtables: list[VTable]) -> None:
+    """Raise :class:`CompileError` if any region slot has interceptors."""
+    problems = []
+    for vtable in vtables:
+        intercepted = [m for m in vtable.iter_methods() if vtable.intercepted(m)]
+        if intercepted:
+            problems.append(
+                f"{vtable.interface_name} of "
+                f"{_component_name(vtable.impl)}: {', '.join(intercepted)}"
+            )
+    if problems:
+        raise CompileError(
+            "region carries interceptors, refusing to compile: "
+            + "; ".join(problems)
+        )
+
+
+def _subscribe_revocation(plan: CompilationPlan, vtables: list[VTable]) -> None:
+    """Revoke *plan* on any interceptor change anywhere in the region.
+
+    ``watch_slot`` fires the setter immediately with the current slot;
+    that first synchronous call is the subscription handshake, not a
+    change, so it is skipped.  Every later fire — interceptor installed
+    *or* removed, on any method of any region vtable — revokes the
+    compiled chain.  De-specialising on removal too is deliberately
+    conservative: correctness never depends on re-deriving that a region
+    became clean again, the owner simply recompiles.
+    """
+    for vtable in vtables:
+        for method in list(vtable.iter_methods()):
+            armed = [False]
+
+            def setter(_slot, _armed=armed, _plan=plan):
+                if not _armed[0]:
+                    _armed[0] = True
+                    return
+                _plan.revoke()
+
+            plan._unwatchers.append(vtable.watch_slot(method, setter))
+
+
+# -- closure composition ----------------------------------------------------
+
+
+def _native_batch_callable(component: Any, method: str) -> Callable:
+    """The stage's native batch entry point (the non-inlined fallback)."""
+    native = getattr(component, f"{method}_batch", None)
+    if callable(native):
+        return native
+    scalar = getattr(component, method)
+
+    def loop(items, _scalar=scalar):
+        for item in items:
+            _scalar(item)
+
+    return loop
+
+
+class _ClosureBuilder:
+    """Memoised bottom-up closure composition over a push region."""
+
+    def __init__(self, method: str, stages: list[CompiledStage]) -> None:
+        self.method = method
+        self.stages = stages
+        self._kernels: dict[int, Callable] = {}
+
+    def kernel_for(self, component: Any) -> Callable:
+        key = id(component)
+        cached = self._kernels.get(key)
+        if cached is not None:
+            return cached
+        # Pre-seed with the native callable so a (pathological) cycle
+        # composes against an un-inlined stage instead of recursing.
+        native = _native_batch_callable(component, self.method)
+        self._kernels[key] = native
+        next_map: dict[str, Callable] = {}
+        for receptacle in component.receptacles().values():
+            for port in receptacle.connections():
+                target = port.target.vtable.impl
+                next_map[port.connection_name] = self.kernel_for(target)
+        hook = getattr(component, "compiled_batch_kernel", None)
+        kernel = hook(next_map) if hook is not None else None
+        if kernel is None:
+            self.stages.append(
+                CompiledStage(_component_name(component), inlined=False)
+            )
+            return native
+        self._kernels[key] = kernel
+        self.stages.append(
+            CompiledStage(_component_name(component), inlined=True)
+        )
+        return kernel
+
+
+# -- source generation ------------------------------------------------------
+
+
+class SourceContext:
+    """Assembly state for the generated single-loop kernel.
+
+    Stages append lines to four buckets which are rendered as::
+
+        def __compiled__(packets):
+            n = len(packets)
+            <prologue>                 # per-batch setup, in spine order
+            for pkt in packets:
+                <loop>                 # merged per-packet body
+            <epilogue>                 # per-batch counter settling
+            <flush reversed>           # group/side-list delivery
+
+    ``flush`` is a list of *blocks* emitted in **reverse** append order,
+    so a downstream stage's groups reach the sinks before an upstream
+    stage's side lists — matching the interpreted pipeline's emission
+    order (e.g. the forwarder's v4 hop groups land before the
+    recogniser's deferred v6 batch).
+
+    ``facts`` is the inter-stage contract: upstream stages publish the
+    loop-variable names downstream stages specialise against —
+    ``net_var`` / ``net_class_var`` (per-packet locals holding
+    ``pkt.net`` and its class), ``version`` (spine traffic class), and
+    ``arrivals_var`` (a prologue-zeroed counter of packets surviving to
+    the next stage, used for that stage's guarded ``rx`` bump).
+
+    ``bind`` pins a runtime object into the kernel's namespace under a
+    unique name; ``fresh`` mints a unique local/variable name.
+    """
+
+    def __init__(self) -> None:
+        self.namespace: dict[str, Any] = {}
+        self.prologue: list[str] = []
+        self.loop: list[str] = []
+        self.epilogue: list[str] = []
+        self.flush: list[list[str]] = []
+        self.facts: dict[str, Any] = {}
+        self._serial = 0
+
+    def fresh(self, hint: str) -> str:
+        self._serial += 1
+        return f"_{hint}_{self._serial}"
+
+    def bind(self, hint: str, obj: Any) -> str:
+        name = self.fresh(hint)
+        self.namespace[name] = obj
+        return name
+
+
+def _build_source_kernel(
+    entry: Any,
+    method: str,
+    stages: list[CompiledStage],
+    closures: _ClosureBuilder,
+) -> tuple[Callable, str] | None:
+    """Generate, ``compile()`` and exec the merged-loop kernel.
+
+    Walks the *spine* (each stage names its successor connection); side
+    connections (v6 divert, per-hop sinks) get closure kernels from the
+    shared builder, bound into the namespace.  Returns ``None`` when any
+    spine stage lacks / declines ``compiled_source`` — the caller falls
+    back to closure composition.
+    """
+    ctx = SourceContext()
+    component = entry
+    seen: set[int] = set()
+    spine: list[CompiledStage] = []
+    while True:
+        if id(component) in seen:
+            return None  # cycle: not a spine
+        seen.add(id(component))
+        hook = getattr(component, "compiled_source", None)
+        if hook is None:
+            return None
+        next_map: dict[str, Callable] = {}
+        targets: dict[str, Any] = {}
+        for receptacle in component.receptacles().values():
+            for port in receptacle.connections():
+                target = port.target.vtable.impl
+                targets[port.connection_name] = target
+                next_map[port.connection_name] = closures.kernel_for(target)
+        successor = hook(ctx, next_map)
+        if successor is NotImplemented:
+            return None
+        spine.append(
+            CompiledStage(_component_name(component), inlined=True, detail="source")
+        )
+        if successor is None:
+            break
+        component = targets[successor]
+
+    lines = ["def __compiled__(packets):", "    n = len(packets)"]
+    lines += ["    " + line for line in ctx.prologue]
+    if ctx.loop:
+        lines.append("    for pkt in packets:")
+        lines += ["        " + line for line in ctx.loop]
+    lines += ["    " + line for line in ctx.epilogue]
+    for block in reversed(ctx.flush):
+        lines += ["    " + line for line in block]
+    source = "\n".join(lines) + "\n"
+    namespace = dict(ctx.namespace)
+    exec(compile(source, "<repro.opencom.compile>", "exec"), namespace)
+    stages.extend(spine)
+    return namespace["__compiled__"], source
+
+
+# -- public entry points ----------------------------------------------------
+
+
+def compile_push_chain(
+    entry: Any,
+    *,
+    interface: str = "in0",
+    method: str = "push",
+    mode: str = "closure",
+    fusion_plan: Any = None,
+) -> CompilationPlan:
+    """Compile the push region rooted at *entry* into one batch callable.
+
+    Raises :class:`CompileError` when any vtable in the region carries an
+    interceptor (compilation is only ever offered for clean regions — the
+    same precondition fusion checks per port, enforced here per region).
+    ``mode="source"`` asks for the generated-source variant and records a
+    closure fallback on the plan when the chain has a stage the source
+    builder cannot inline.  When *fusion_plan* is given the chain is
+    recorded on it, so ``FusionPlan.revert()`` tears it down with the
+    fused ports.
+    """
+    if mode not in ("closure", "source"):
+        raise CompileError(f"unknown compile mode {mode!r}")
+    entry_vtable, vtables = _walk_region(entry, interface)
+    _check_uninterfered(vtables)
+
+    stages: list[CompiledStage] = []
+    closures = _ClosureBuilder(method, stages)
+    source_text = None
+    fallback_reason = None
+    effective_mode = mode
+    kernel: Callable | None = None
+    if mode == "source":
+        source_stages: list[CompiledStage] = []
+        built = _build_source_kernel(entry, method, source_stages, closures)
+        if built is not None:
+            kernel, source_text = built
+            stages = source_stages
+        else:
+            effective_mode = "closure"
+            fallback_reason = (
+                "source build declined (a spine stage lacks compiled_source)"
+            )
+            stages = []
+            closures = _ClosureBuilder(method, stages)
+    if kernel is None:
+        kernel = closures.kernel_for(entry)
+
+    handle = CompiledBatchCall(kernel, entry_vtable, method)
+    plan = CompilationPlan(
+        entry=entry,
+        method=method,
+        requested_mode=mode,
+        mode=effective_mode,
+        handle=handle,
+        stages=stages,
+        source=source_text,
+        fallback_reason=fallback_reason,
+    )
+    _subscribe_revocation(plan, vtables)
+    if fusion_plan is not None:
+        fusion_plan.record_compiled(plan)
+    return plan
+
+
+def compile_pull(
+    component: Any,
+    *,
+    interface: str = "pull0",
+    method: str = "pull",
+    fusion_plan: Any = None,
+) -> CompilationPlan:
+    """Compile *component*'s pull side into one ``f(max_n)`` callable.
+
+    The pull shape has no downstream region — the specialised kernel is
+    the component's own ``compiled_pull_kernel`` (native ``pull_batch``
+    when absent), guarded and revoked through the pull interface's
+    vtable exactly like the push chain.
+    """
+    vtable = component.interface(interface).vtable
+    _check_uninterfered([vtable])
+    hook = getattr(component, "compiled_pull_kernel", None)
+    kernel = hook() if hook is not None else None
+    inlined = kernel is not None
+    if kernel is None:
+        native = getattr(component, f"{method}_batch", None)
+        if callable(native):
+            kernel = native
+        else:
+            scalar = getattr(component, method)
+
+            def collect(max_n, _scalar=scalar):
+                out = []
+                for _ in range(max_n):
+                    item = _scalar()
+                    if item is None:
+                        break
+                    out.append(item)
+                return out
+
+            kernel = collect
+
+    handle = CompiledPullBatchCall(kernel, vtable, method)
+    plan = CompilationPlan(
+        entry=component,
+        method=method,
+        requested_mode="closure",
+        mode="closure",
+        handle=handle,
+        stages=[CompiledStage(_component_name(component), inlined=inlined)],
+    )
+    _subscribe_revocation(plan, [vtable])
+    if fusion_plan is not None:
+        fusion_plan.record_compiled(plan)
+    return plan

@@ -33,11 +33,20 @@ class FusionPlan:
 
     fused_ports: list[Port] = field(default_factory=list)
     skipped: list[tuple[Port, str]] = field(default_factory=list)
+    #: Compiled chains (:class:`repro.opencom.compile.CompilationPlan`)
+    #: recorded against this plan; reverted together with the ports.
+    compiled_chains: list = field(default_factory=list)
     #: Per-vtable interceptor check, computed once per pass rather than
     #: re-iterating every method for every port that shares a target
     #: (multi-receptacle fan-in hits the same vtable many times).
     _intercepted_cache: dict[int, list[str]] = field(
         default_factory=dict, repr=False, compare=False
+    )
+    #: Identity set of every port this pass has already visited (fused or
+    #: skipped), so a port reachable through two components in the same
+    #: region list is fused once and ``revert()`` never unfuses twice.
+    _seen_port_ids: set[int] = field(
+        default_factory=set, repr=False, compare=False
     )
 
     @property
@@ -45,21 +54,51 @@ class FusionPlan:
         """Number of ports switched to direct dispatch."""
         return len(self.fused_ports)
 
+    @property
+    def compiled_count(self) -> int:
+        """Number of compiled chains recorded against this plan."""
+        return len(self.compiled_chains)
+
+    def record_compiled(self, chain) -> None:
+        """Attach a compiled chain so ``revert()`` tears it down too."""
+        self.compiled_chains.append(chain)
+
     def revert(self) -> None:
-        """Unfuse every port this plan fused."""
+        """Undo the whole pass: compiled chains, fused ports, and every
+        piece of pass-scoped bookkeeping.
+
+        Clearing ``skipped``, the interceptor cache and the seen-port set
+        matters for reuse: a plan object that survives a
+        reconfigure→refuse cycle would otherwise consult a stale
+        ``id(vtable)``-keyed cache entry that can alias a *new* vtable
+        allocated at the same address, and re-report stale skips.
+        """
+        for chain in self.compiled_chains:
+            chain.revert()
+        self.compiled_chains.clear()
         for port in self.fused_ports:
             port.unfuse()
         self.fused_ports.clear()
+        self.skipped.clear()
+        self._intercepted_cache.clear()
+        self._seen_port_ids.clear()
 
     def summary(self) -> str:
-        """One-line human summary (used by benchmarks and logs)."""
-        if not self.skipped:
-            return f"fused {self.fused_count} port(s)"
-        reasons = sorted({reason for _, reason in self.skipped})
-        return (
-            f"fused {self.fused_count} port(s), skipped {len(self.skipped)} "
-            f"({'; '.join(reasons)})"
-        )
+        """One-line human summary (used by benchmarks and logs).
+
+        Compiled chains, fused ports and skipped ports are reported as
+        three distinct counts — a compiled chain is not "more fused
+        ports", and a skip is not a failure of either.
+        """
+        parts = [f"fused {self.fused_count} port(s)"]
+        if self.compiled_chains:
+            parts.insert(0, f"compiled {self.compiled_count} chain(s)")
+        if self.skipped:
+            reasons = sorted({reason for _, reason in self.skipped})
+            parts.append(
+                f"skipped {len(self.skipped)} ({'; '.join(reasons)})"
+            )
+        return ", ".join(parts)
 
 
 def fuse_component(component: Component, plan: FusionPlan | None = None) -> FusionPlan:
@@ -73,8 +112,12 @@ def fuse_component(component: Component, plan: FusionPlan | None = None) -> Fusi
     """
     plan = plan if plan is not None else FusionPlan()
     cache = plan._intercepted_cache
+    seen_ports = plan._seen_port_ids
     for receptacle in component.receptacles().values():
         for port in receptacle.connections():
+            if id(port) in seen_ports:
+                continue  # reachable through two components: fuse once
+            seen_ports.add(id(port))
             vtable = port.target.vtable
             key = id(vtable)
             intercepted = cache.get(key)
@@ -111,6 +154,7 @@ def fusion_report(plan: FusionPlan) -> dict[str, object]:
     """Summarise a fusion pass for logs and benchmarks."""
     return {
         "fused": plan.fused_count,
+        "compiled": plan.compiled_count,
         "skipped": [
             {
                 "port": f"{p.receptacle.owner.name}.{p.receptacle.name}[{p.connection_name}]",

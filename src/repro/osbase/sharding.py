@@ -284,6 +284,8 @@ class Shard:
         push_batch: Callable[[list], Any],
         flush: Callable[[], Any],
         engine: Any = None,
+        decompile: Callable[[], Any] | None = None,
+        recompile: Callable[[], Any] | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.nic = nic
@@ -291,6 +293,13 @@ class Shard:
         self.engine = engine
         self._push_batch = push_batch
         self._flush = flush
+        #: Optional compiled-hot-path hooks (opaque to this stratum, like
+        #: the engine itself): ``decompile`` tears down a specialised
+        #: chain before a reconfiguration round touches the shard's
+        #: region, ``recompile`` rebuilds it once the round commits or
+        #: rolls back.  See ``repro.opencom.compile``.
+        self.decompile = decompile
+        self.recompile = recompile
         self.counters = {
             "processed_packets": 0,
             "processed_batches": 0,
@@ -590,6 +599,14 @@ class ShardedDatapath:
             return False
         self._parked[dead] = []
         self._pending_recovery[dead] = {"to": successor}
+        # A reconfiguration round is touching this shard's region: tear
+        # down its compiled hot path so the apply-phase drain (and any
+        # failover stealing) runs interpreted.  A committed recovery
+        # leaves the dead shard out of service (and de-specialised);
+        # rollback recompiles it.
+        dead_shard = self.shards[dead]
+        if dead_shard.decompile is not None:
+            dead_shard.decompile()
         # Failover stealing keeps draining the dead backlog through the
         # prepare window — recovery replaces it, it does not pause it.
         return True
@@ -673,9 +690,14 @@ class ShardedDatapath:
         if self._redirect.get(dead) == pending["to"]:
             del self._redirect[dead]
         parked = self._parked.pop(dead, [])
-        receive = self.shards[dead].nic.receive_frame
+        dead_shard = self.shards[dead]
+        receive = dead_shard.nic.receive_frame
         for frame in parked:
             receive(frame)
+        # The shard stays in service after an aborted recovery: rebuild
+        # its compiled hot path (quiesce tore it down).
+        if dead_shard.recompile is not None:
+            dead_shard.recompile()
         # Let the supervisor's recovery driver try again later.
         self._recovery_requested.discard(dead)
 
@@ -787,6 +809,21 @@ class ShardedDatapath:
             moved_set.add(bucket)
         return table, moved
 
+    def _decompile_all(self) -> None:
+        """Tear down every shard's compiled hot path (shards without the
+        hook — plain engines, test doubles — are untouched)."""
+        for shard in self.shards:
+            if shard.decompile is not None:
+                shard.decompile()
+
+    def _recompile_all(self) -> None:
+        """Rebuild every shard's compiled hot path after a round settles
+        (grown shards arrive compiled from the factory; recompiling is
+        idempotent)."""
+        for shard in self.shards:
+            if shard.recompile is not None:
+                shard.recompile()
+
     def _resize_quiesce(self, params: dict) -> bool:
         """Park every bucket's arrivals and plan the new table; False
         (→ vote no) when the target is invalid, another round is in
@@ -823,6 +860,10 @@ class ShardedDatapath:
             "moved_buckets": moved,
             "phase": "quiesced",
         }
+        # The round is about to touch every shard's region (drain, pool
+        # re-bind, table swap): de-specialise the fleet so the whole
+        # window runs interpreted; commit and rollback both rebuild.
+        self._decompile_all()
         return True
 
     def _resize_apply(self, params: dict) -> None:
@@ -944,6 +985,10 @@ class ShardedDatapath:
             "pool_handoff": handoff,
             "virtual_time": self.threads.clock.now,
         }
+        # 5. The fleet has its final shape: rebuild the compiled hot
+        #    paths (retired shards are gone, grown shards came compiled
+        #    from the factory, survivors re-specialise here).
+        self._recompile_all()
 
     def _resize_resume(self, params: dict) -> None:
         """Commit-side resume: record the resize.  A no-op on the abort
@@ -956,8 +1001,12 @@ class ShardedDatapath:
         if record is not None:
             self.resizes.append(record)
         # Defensive: resume without apply (protocol misuse) must not
-        # strand parked frames — back onto their own rings they go.
+        # strand parked frames — back onto their own rings they go —
+        # nor leave the fleet de-specialised (quiesce tore the compiled
+        # paths down; apply never ran to rebuild them).
         self._unpark_all()
+        if record is None:
+            self._recompile_all()
 
     def _resize_rollback(self, params: dict) -> None:
         """Abort-side undo: unpark everything back onto the original
@@ -972,6 +1021,9 @@ class ShardedDatapath:
             # nothing to undo and the parked lists are already flushed.
             return
         self._unpark_all()
+        # The fleet keeps its old shape: re-specialise it (quiesce tore
+        # the compiled paths down for the aborted round).
+        self._recompile_all()
 
     def _unpark_all(self) -> None:
         """Return every parked frame to its own shard's ring, in order."""

@@ -106,3 +106,72 @@ class Classifier(PushComponent):
             self.emit_batch(group, output)
         if unclassified:
             self.count("drop:unclassified", unclassified)
+
+    # -- compiled hot path (see repro.opencom.compile) ---------------------
+
+    def compiled_batch_kernel(self, next_map):
+        """Closure-composed ``push_batch``.
+
+        ``self.table`` / ``self.default_output`` are read per batch, so
+        filter installs/removals reach the compiled path immediately.
+        Output names without a bound connection replicate ``emit_batch``'s
+        unbound-connection drop accounting.
+        """
+        if not next_map:
+            return None
+        kernels = dict(next_map)
+        counters = self.counters
+
+        def deliver(output, group, _c=counters, _kernels=kernels):
+            _c[f"class:{output}"] += len(group)
+            sink = _kernels.get(output)
+            if sink is None:
+                _c["drop:no-route"] += len(group)
+                _c[f"drop:no-route:{output}"] += len(group)
+                for packet in group:
+                    release_dropped(packet)
+                return
+            sink(group)
+            _c["tx"] += len(group)
+
+        def kernel(
+            packets,
+            _c=counters,
+            _self=self,
+            _deliver=deliver,
+            _release=release_dropped,
+        ):
+            _c["rx"] += len(packets)
+            default = _self.default_output
+            table = _self.table
+            if not table and default is not None:
+                for packet in packets:
+                    packet.metadata["class"] = default
+                # Interpreted fast path counts the class key even for an
+                # empty batch (emit_batch then no-ops) — mirror both.
+                if packets:
+                    _deliver(default, packets)
+                else:
+                    _c[f"class:{default}"] += 0
+                return
+            classify = table.classify
+            groups: dict[str, list[Packet]] = {}
+            unclassified = 0
+            for packet in packets:
+                spec = classify(packet)
+                output = spec.output if spec is not None else default
+                if output is None:
+                    unclassified += 1
+                    _release(packet)
+                    continue
+                packet.metadata["class"] = output
+                group = groups.get(output)
+                if group is None:
+                    group = groups[output] = []
+                group.append(packet)
+            for output, group in groups.items():
+                _deliver(output, group)
+            if unclassified:
+                _c["drop:unclassified"] += unclassified
+
+        return kernel

@@ -301,3 +301,142 @@ class Forwarder(PushComponent):
             self.emit_batch(group, next_hop)
         if unroutable:
             self.count("drop:no-route-entry", unroutable)
+
+    # -- compiled hot path (see repro.opencom.compile) ---------------------
+    #
+    # Both kernels read ``self.table`` / ``self.default_route`` per batch
+    # (not at compile time), so route-table swaps and route changes reach
+    # the compiled path immediately — ``Stride8LpmTable`` already clears
+    # its destination cache on every mutation, no revocation needed.
+
+    def compiled_batch_kernel(self, next_map):
+        """Closure-composed ``push_batch``: group per hop, call kernels.
+
+        A hop value with no bound connection replicates ``emit_batch``'s
+        unbound-connection accounting (``drop:no-route`` plus the
+        per-connection key, every packet released).
+        """
+        if not next_map:
+            return None
+        kernels = dict(next_map)
+        counters = self.counters
+
+        def kernel(
+            packets,
+            _c=counters,
+            _kernels=kernels,
+            _self=self,
+            _release=release_dropped,
+        ):
+            _c["rx"] += len(packets)
+            lookup = _self.table.lookup_cached
+            default = _self.default_route
+            groups: dict[str, list[Packet]] = {}
+            unroutable = 0
+            for packet in packets:
+                next_hop = lookup(packet.net.dst, version=packet.version)
+                if next_hop is None:
+                    next_hop = default
+                if next_hop is None:
+                    unroutable += 1
+                    _release(packet)
+                    continue
+                packet.metadata["next_hop"] = next_hop
+                group = groups.get(next_hop)
+                if group is None:
+                    group = groups[next_hop] = []
+                group.append(packet)
+            for next_hop, group in groups.items():
+                _c[f"hop:{next_hop}"] += len(group)
+                sink = _kernels.get(next_hop)
+                if sink is None:
+                    _c["drop:no-route"] += len(group)
+                    _c[f"drop:no-route:{next_hop}"] += len(group)
+                    for packet in group:
+                        _release(packet)
+                    continue
+                sink(group)
+                _c["tx"] += len(group)
+            if unroutable:
+                _c["drop:no-route-entry"] += unroutable
+
+        return kernel
+
+    def compiled_source(self, ctx, next_map):
+        """Inline LPM resolution into the merged loop (spine terminal).
+
+        Per-hop groups flush through the sink closure kernels; because
+        this block is appended last it renders *first* (flush blocks emit
+        in reverse), so hop groups reach the sinks before any upstream
+        side list — the interpreted emission order.
+        """
+        if not next_map:
+            return NotImplemented
+        arrivals = ctx.facts.get("arrivals_var")
+        if arrivals is None or ctx.facts.get("net_var") != "net":
+            return NotImplemented
+        c = ctx.bind("fwd_counters", self.counters)
+        comp = ctx.bind("forwarder", self)
+        release = ctx.bind("release_dropped", release_dropped)
+        sinks = ctx.bind("hop_kernels", dict(next_map))
+        lookup = ctx.fresh("lookup")
+        default = ctx.fresh("default")
+        groups = ctx.fresh("groups")
+        unroutable = ctx.fresh("unroutable")
+        ctx.prologue += [
+            f"{lookup} = {comp}.table.lookup_cached",
+            f"{default} = {comp}.default_route",
+            f"{groups} = {{}}",
+            f"{unroutable} = 0",
+        ]
+        if ctx.facts.get("version") == 4:
+            # v4-only spine: skip the version kwarg build per packet and
+            # probe the destination cache inline (its identity is stable
+            # — mutations clear it in place — and it is re-read from
+            # ``self.table`` each batch, so table swaps stay live).  A
+            # miss takes the full ``lookup_cached`` call, which also
+            # handles insertion and the eviction bound.
+            dst = ctx.facts.get("dst_var", "net.dst")
+            cache = ctx.fresh("lpm_cache")
+            miss = ctx.bind("lpm_miss", _MISS)
+            ctx.prologue += [f"{cache} = {comp}.table._cache"]
+            lookup_lines = [
+                f"next_hop = {cache}.get((4, {dst}), {miss})",
+                f"if next_hop is {miss}:",
+                f"    next_hop = {lookup}({dst})",
+            ]
+        else:
+            lookup_lines = [f"next_hop = {lookup}(net.dst, version=pkt.version)"]
+        ctx.loop += lookup_lines + [
+            "if next_hop is None:",
+            f"    next_hop = {default}",
+            "if next_hop is None:",
+            f"    {unroutable} += 1",
+            f"    {release}(pkt)",
+            "    continue",
+            "pkt.metadata['next_hop'] = next_hop",
+            f"group = {groups}.get(next_hop)",
+            "if group is None:",
+            f"    group = {groups}[next_hop] = []",
+            "group.append(pkt)",
+        ]
+        ctx.epilogue += [
+            f"if {arrivals}:",
+            f"    {c}['rx'] += {arrivals}",
+            f"if {unroutable}:",
+            f"    {c}['drop:no-route-entry'] += {unroutable}",
+        ]
+        ctx.flush.append([
+            f"for next_hop, group in {groups}.items():",
+            f"    {c}['hop:' + next_hop] += len(group)",
+            f"    sink = {sinks}.get(next_hop)",
+            "    if sink is None:",
+            f"        {c}['drop:no-route'] += len(group)",
+            f"        {c}['drop:no-route:' + next_hop] += len(group)",
+            "        for pkt in group:",
+            f"            {release}(pkt)",
+            "        continue",
+            "    sink(group)",
+            f"    {c}['tx'] += len(group)",
+        ])
+        return None

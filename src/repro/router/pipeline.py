@@ -50,6 +50,9 @@ class RouterPipeline:
     #: Cached entry vtable (the push interfaces never change identity for
     #: the life of a pipeline handle, so the lookup is paid once).
     _entry_vtable: Any = field(default=None, init=False, repr=False, compare=False)
+    #: Active compiled-chain plan (see :meth:`compile`); ``None`` while
+    #: the pipeline dispatches interpreted.
+    _compiled_plan: Any = field(default=None, init=False, repr=False, compare=False)
 
     def _vtable(self) -> Any:
         vtable = self._entry_vtable
@@ -66,9 +69,68 @@ class RouterPipeline:
 
         Batches travel the component graph as batches (each stage's
         ``push_batch``), subject to the usual interception guarantee: an
-        interceptor on any stage's ``in0`` sees per-packet calls.
+        interceptor on any stage's ``in0`` sees per-packet calls.  When a
+        compiled chain is installed the batch enters through its handle
+        instead — same contract: any interceptor appearing in the region
+        revokes the handle, which then transparently dispatches through
+        the (interposed) entry vtable.
         """
+        plan = self._compiled_plan
+        if plan is not None:
+            plan.handle(packets)
+            return
         self._vtable().invoke_batch("push", packets)
+
+    # -- compiled hot path (see repro.opencom.compile) ---------------------
+
+    def compile(
+        self,
+        *,
+        mode: str = "closure",
+        strict: bool = True,
+        fusion_plan: Any = None,
+    ) -> Any:
+        """Compile the push chain into one specialised per-batch callable.
+
+        Replaces any previous compiled plan.  With ``strict=False`` a
+        region that cannot be compiled (interceptors present) returns
+        ``None`` and the pipeline stays interpreted — the form the
+        sharded datapath uses when rebuilding after resize/recovery.
+        """
+        from repro.opencom.compile import CompileError, compile_push_chain
+
+        self.decompile()
+        try:
+            plan = compile_push_chain(
+                self.entry, interface="in0", method="push",
+                mode=mode, fusion_plan=fusion_plan,
+            )
+        except CompileError:
+            if strict:
+                raise
+            return None
+        self._compiled_plan = plan
+        return plan
+
+    def decompile(self) -> None:
+        """Tear down the compiled chain (idempotent); dispatch reverts to
+        the interpreted entry vtable."""
+        plan = self._compiled_plan
+        if plan is not None:
+            self._compiled_plan = None
+            plan.revert()
+
+    @property
+    def compiled_plan(self) -> Any:
+        """The installed :class:`~repro.opencom.compile.CompilationPlan`
+        (possibly revoked), or ``None`` when interpreted."""
+        return self._compiled_plan
+
+    @property
+    def compiled_active(self) -> bool:
+        """True while an unrevoked compiled chain handles ``push_batch``."""
+        plan = self._compiled_plan
+        return plan is not None and plan.active
 
     def service(self, budget: int = 64) -> int:
         """Pump the pull side (scheduler) for up to *budget* packets.
@@ -140,6 +202,23 @@ class RouterPipeline:
             stage_stats = getattr(stage, "stats", None)
             stats[name] = stage_stats() if callable(stage_stats) else {}
         return stats
+
+
+def _normalise_compiled(compiled: Any) -> str | None:
+    """Builder ``compiled=`` option → compile mode (or None for off).
+
+    ``True`` means closure composition; ``"source"`` selects the
+    generated-source variant (`compile()` of one merged loop).
+    """
+    if compiled is True:
+        return "closure"
+    if compiled in ("closure", "source"):
+        return compiled
+    if not compiled:
+        return None
+    raise ValueError(
+        f"compiled= must be False, True, 'closure' or 'source', got {compiled!r}"
+    )
 
 
 def build_figure3_composite(
@@ -237,6 +316,7 @@ def build_forwarding_pipeline(
     clock: VirtualClock | None = None,
     queue_capacity: int = 256,
     validate_checksums: bool = True,
+    compiled: Any = False,
 ) -> RouterPipeline:
     """A flat (non-composite) IPv4 forwarding path used by the data-path
     benchmarks: recogniser → v4 processor → forwarder → per-hop sinks.
@@ -249,6 +329,11 @@ def build_forwarding_pipeline(
     (registered in ``pipeline.tx_adapters``), so
     :meth:`RouterPipeline.flush_tx` closes the pooled buffer lifecycle
     through the TX rings.
+
+    ``compiled`` installs the specialised per-batch chain over the
+    assembled path (``True``/"closure" for closure composition,
+    "source" for the generated-source variant); any interceptor
+    appearing in the region revokes it back to interpreted dispatch.
     """
     from repro.router.components.nicadapters import TransmitAdapter
 
@@ -295,7 +380,7 @@ def build_forwarding_pipeline(
     for component in (recogniser, v4, v6, forwarder):
         cf.accept(component)
 
-    return RouterPipeline(
+    pipeline = RouterPipeline(
         capsule=capsule,
         cf=cf,
         entry=recogniser,
@@ -308,6 +393,10 @@ def build_forwarding_pipeline(
         },
         tx_adapters=tx_adapters,
     )
+    mode = _normalise_compiled(compiled)
+    if mode is not None:
+        pipeline.compile(mode=mode)
+    return pipeline
 
 
 def build_sharded_forwarding_datapath(
@@ -320,6 +409,7 @@ def build_sharded_forwarding_datapath(
     rx_ring_size: int | None = None,
     tx_ring_size: int | None = None,
     fused: bool = False,
+    compiled: Any = False,
     validate_checksums: bool = True,
     tx_handler: Any = None,
     supervise: bool = True,
@@ -383,6 +473,8 @@ def build_sharded_forwarding_datapath(
     tx_ring = tx_ring_size if tx_ring_size is not None else 4 * batch
     hops = sorted(set(routes.values()))
 
+    compile_mode = _normalise_compiled(compiled)
+
     def make_shard(index: int, pool: Any) -> Shard:
         capsule = Capsule(f"shard{index}")
         pipeline = build_forwarding_pipeline(
@@ -391,8 +483,11 @@ def build_sharded_forwarding_datapath(
             tx_nics={hop: Nic(tx_ring_size=tx_ring) for hop in hops},
             validate_checksums=validate_checksums,
         )
+        fusion_plan = None
         if fused:
-            fuse_pipeline(list(capsule.components().values()))
+            fusion_plan = fuse_pipeline(list(capsule.components().values()))
+        if compile_mode is not None:
+            pipeline.compile(mode=compile_mode, fusion_plan=fusion_plan)
         handler = tx_handler(index) if tx_handler is not None else None
         return Shard(
             index,
@@ -401,6 +496,15 @@ def build_sharded_forwarding_datapath(
             push_batch=pipeline.push_batch,
             flush=lambda p=pipeline, h=handler: p.flush_tx(handler=h),
             engine=pipeline,
+            # Reconfiguration hooks: the sharded datapath de-specialises
+            # every shard while a resize/recovery round is in flight and
+            # rebuilds the compiled chain on commit/rollback.
+            decompile=pipeline.decompile,
+            recompile=(
+                None
+                if compile_mode is None
+                else (lambda p=pipeline, m=compile_mode: p.compile(mode=m, strict=False))
+            ),
         )
 
     built = [make_shard(index, pools[index]) for index in range(shards)]

@@ -1,8 +1,8 @@
 """Tier-1 wiring of the benchmark smoke mode.
 
 Runs ``benchmarks/run_all.py --smoke`` — the batching, zero-copy,
-buffer-lifecycle and sharding data-path benchmarks (C11–C15) on a tiny
-trace with the paper-*ordering* (and the deterministic event-count
+buffer-lifecycle, sharding, elasticity, fault and compiled-hot-path
+data-path benchmarks (C11–C17, R1) on a tiny trace with the paper-*ordering* (and the deterministic event-count
 claims: C13's copies-per-packet, C14's zero steady-state allocations and
 balanced acquire/release, C15's virtual-time multicore scaling, per-flow
 ordering and per-shard pool audit) assertions — so a dispatch-,
@@ -71,6 +71,10 @@ def test_run_all_smoke_orders_hold(tmp_path):
         # The elastic gate: C16 fails on any frame dropped or reordered
         # across a live resize, or an unbalanced re-carve hand-off.
         "bench_c16_elastic",
+        # The compiled-hot-path gate: C17 fails if the specialised chain
+        # loses the paper ordering or the compilation plan stops
+        # reporting an active specialised chain.
+        "bench_c17_compiled",
     } <= names
     for name, outcome in payload["benchmarks"].items():
         assert outcome["status"] == "passed", (name, outcome["tail"])
