@@ -65,6 +65,11 @@ SMOKE_BENCHES = (
     # slack (ordering-only on the tiny trace); the plan-summary and
     # delivered-count checks are exact at any scale.
     "bench_c17_compiled.py",
+    # C18's headline claims (virtual-time fleet scaling, node-kill flow
+    # conservation and ≤1-home-move, byte-identical aborted rollout) are
+    # deterministic, so they gate at full strength under smoke; only the
+    # wall-clock paper-ordering cells keep the usual slack.
+    "bench_c18_fleet.py",
 )
 
 #: Benchmarks may print ``[bench-meta] key=value`` lines (e.g. C15's
@@ -77,6 +82,21 @@ _META_PREFIX = "[bench-meta] "
 #: deselects the whole suite; a missing marker is a hard error here
 #: rather than a silently unmarked benchmark.
 _MARKER_TOKEN = "pytest.mark.bench"
+
+
+def only_matches(pattern: str, bench_name: str) -> bool:
+    """Case-insensitive ``--only`` filter: a substring of the file name,
+    or a prefix of the experiment name with or without the ``bench_``
+    stem — so ``c18``, ``C18``, ``c18_fleet`` and ``bench_c18_fleet.py``
+    all select ``bench_c18_fleet.py``."""
+    needle = pattern.lower()
+    name = bench_name.lower()
+    stem = name.removesuffix(".py")
+    return (
+        needle in name
+        or stem.startswith(needle)
+        or stem.removeprefix("bench_").startswith(needle)
+    )
 
 
 def missing_bench_markers(benches: list[Path]) -> list[str]:
@@ -137,6 +157,7 @@ def run_one(bench: Path, *, smoke: bool = False) -> dict:
 PROPERTY_SUITES = (
     "tests/osbase/test_elastic_properties.py",
     "tests/opencom/test_compile_differential.py",
+    "tests/router/test_fleet_steering_properties.py",
 )
 
 
@@ -178,7 +199,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--only",
         default=None,
-        help="substring filter on benchmark file names (e.g. 'c11')",
+        help="case-insensitive filter on benchmark names: matches a "
+        "substring of the file name or a prefix of the experiment name "
+        "with or without the bench_ stem (e.g. 'c11', 'C18', "
+        "'bench_c16_elastic')",
     )
     parser.add_argument(
         "--smoke",
@@ -205,7 +229,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.smoke:
         benches = [b for b in benches if b.name in SMOKE_BENCHES]
     if args.only:
-        benches = [b for b in benches if args.only in b.name]
+        benches = [b for b in benches if only_matches(args.only, b.name)]
+        if not benches:
+            print(f"[run_all] no benchmark matches --only {args.only!r}")
+            return 2
     results: dict[str, dict] = {}
     failed = 0
     for bench in benches:

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Quickstart: build, inspect and reconfigure a component router.
 
-Walks the core NETKIT/OpenCOM workflow in six steps:
+Walks the core NETKIT/OpenCOM workflow in seven steps:
 
 1. host components in a capsule and bind them into a data path;
 2. push packets through it;
@@ -9,7 +9,10 @@ Walks the core NETKIT/OpenCOM workflow in six steps:
 4. intercept a binding (reflective instrumentation);
 5. hot-swap a component under traffic without losing a packet;
 6. shard the datapath across two cooperative workers (flow-hash
-   steering, per-shard buffer pools — see docs/concurrency.md).
+   steering, per-shard buffer pools — see docs/concurrency.md);
+7. replicate the whole datapath across a capsule fleet behind an
+   edge steering tier with admission control (see the fleet section
+   of docs/architecture.md).
 
 Run:  python examples/quickstart.py
 """
@@ -29,6 +32,7 @@ from repro.router import (
     FifoQueue,
     IPv4HeaderProcessor,
     RouterCF,
+    build_capsule_fleet,
     build_sharded_forwarding_datapath,
 )
 
@@ -124,6 +128,30 @@ def main() -> None:
         f"pools balanced: {shard_pool_audit(pools)['balanced']}"
     )
     datapath.shutdown()
+
+    # 7. Scale out: replicate that sharded datapath across a fleet of
+    #    capsule nodes behind an edge steering tier.  Two-level
+    #    consistent hashing (fleet hash ring -> capsule, then the RSS
+    #    bucket table -> shard) sends each flow over a real simulated
+    #    link, and admission control reserves against the fleet's
+    #    aggregate capacity before the first frame is steered.
+    fleet = build_capsule_fleet(
+        2, routes={"10.0.0.0/8": "east", "0.0.0.0/0": "west"}, shards=2
+    )
+    probe = make_udp_v4("10.0.7.1", "10.9.9.9", sport=4000, dport=80)
+    print(f"\nfleet: flow 10.0.7.1:4000 lives on {fleet.home_of(probe)}")
+    print("admission verdict:", fleet.open_flow(probe, rate=500.0))
+    for i in range(16):
+        fleet.ingest(
+            make_udp_v4(f"10.0.{i}.1", "10.9.9.9", sport=1000 + i, dport=80)
+        )
+    fleet.pump()
+    steered = {s["capsule"]: s["steered"] for s in fleet.stats()["capsules"]}
+    print(
+        f"fleet forwarded {fleet.counters['forwarded']} frames "
+        f"over 2 capsules: {steered}"
+    )
+    fleet.close_flow(probe)
 
 
 if __name__ == "__main__":

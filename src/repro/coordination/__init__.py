@@ -3,9 +3,11 @@ reservation, Genesis spawning networks, distributed reconfiguration, and
 remote deployment / managed evolution."""
 
 from repro.coordination.deployment import (
+    DeploymentAborted,
     DeploymentAgent,
     DeploymentError,
     DeploymentManager,
+    StagedRollout,
     deploy_agents,
 )
 from repro.coordination.genesis import (
@@ -22,11 +24,13 @@ from repro.coordination.reconfig import (
     ReconfigError,
     ReconfigParticipant,
     ReconfigRound,
+    register_capsule_upgrade,
     register_shard_recovery,
     register_shard_resize,
 )
 from repro.coordination.rsvp import (
     BANDWIDTH_POOL,
+    EdgeAdmission,
     RsvpAgent,
     RsvpError,
     RsvpTimeout,
@@ -46,9 +50,12 @@ __all__ = [
     "ActionSet",
     "BANDWIDTH_POOL",
     "Delivery",
+    "DeploymentAborted",
     "DeploymentAgent",
     "DeploymentError",
     "DeploymentManager",
+    "EdgeAdmission",
+    "StagedRollout",
     "deploy_agents",
     "GenesisError",
     "GenesisFramework",
@@ -70,6 +77,7 @@ __all__ = [
     "decode_message",
     "deploy_rsvp",
     "encode_message",
+    "register_capsule_upgrade",
     "register_shard_recovery",
     "register_shard_resize",
 ]

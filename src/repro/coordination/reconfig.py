@@ -303,3 +303,25 @@ def register_shard_resize(
     returned to its ring.
     """
     participant.register(kind, ActionSet(**datapath.resize_action_set()))
+
+
+def register_capsule_upgrade(
+    participant: ReconfigParticipant,
+    capsule_node: Any,
+    *,
+    kind: str = "capsule-upgrade",
+) -> None:
+    """Bind a fleet capsule's staged pipeline upgrade to the two-phase
+    protocol.
+
+    *capsule_node* is any object exposing ``upgrade_action_set()`` (the
+    :class:`~repro.router.fleet.CapsuleNode` contract: quiesce parks
+    ingress and drains the running datapath to empty; apply swaps in the
+    pipeline version named by ``{"version": ...}``; resume re-steers the
+    parked frames into whichever datapath survived; rollback re-installs
+    the previous version).  The canary-gated driver over this kind is
+    :class:`~repro.coordination.deployment.StagedRollout` — an aborted
+    or reverted round leaves the capsule processing exactly the bytes it
+    would have processed had the round never started.
+    """
+    participant.register(kind, ActionSet(**capsule_node.upgrade_action_set()))

@@ -85,6 +85,11 @@ class Session:
     error: Exception | None = None
     #: PATH transmissions so far (1 = no retries needed).
     attempts: int = 1
+    #: Owner capsule of the reservation (fleet admission tags each
+    #: session with the flow's home capsule, so a node-kill can tear the
+    #: dead node's reservations down via :meth:`RsvpAgent.release_owned`
+    #: instead of waiting out the soft-state TTL).
+    owner: str | None = None
 
     @property
     def resolved(self) -> bool:
@@ -115,6 +120,9 @@ class RsvpAgent:
         self._path_state: dict[int, dict[str, Any]] = {}
         #: session ids this node holds reservations for.
         self._reserved: set[int] = set()
+        #: session id -> owner capsule, for reservations held *here* that
+        #: exist on behalf of another node (see :meth:`release_owned`).
+        self._reservation_owner: dict[int, str] = {}
         #: session id -> expiry time for soft reservation state.
         self._reservation_expiry: dict[int, float] = {}
         #: sender-side sessions originated here.
@@ -140,9 +148,16 @@ class RsvpAgent:
         timeout: float | None = None,
         max_attempts: int = 1,
         backoff: BackoffPolicy | None = None,
+        owner: str | None = None,
     ) -> Session:
         """Initiate a reservation toward *receiver*; returns the session
         (status resolves once the engine runs the signaling exchange).
+
+        *owner* tags every piece of soft state the session creates (at
+        this sender and at every hop) with an owning capsule, so a
+        node-kill can sweep the dead capsule's reservations with
+        :meth:`release_owned` — how fleet admission ties reservations to
+        a flow's home capsule.
 
         With *timeout*, the session cannot hang: if no RESV (or error)
         arrives within *timeout* virtual seconds, the PATH is resent —
@@ -165,6 +180,7 @@ class RsvpAgent:
             sender=self.node.name,
             receiver=receiver,
             bandwidth=bandwidth,
+            owner=owner,
         )
         self.sessions[session.session_id] = session
         self._send_path(session)
@@ -185,6 +201,7 @@ class RsvpAgent:
             sender=self.node.name,
             receiver=session.receiver,
             bandwidth=session.bandwidth,
+            owner=session.owner,
             route=[self.node.name],
         )
 
@@ -342,17 +359,19 @@ class RsvpAgent:
         session_id = message["session"]
         receiver = message["receiver"]
         route = list(message["route"]) + [self.node.name]
+        owner = message.get("owner")
         self._path_state[session_id] = {
             "prev": route[-2],
             "bandwidth": message["bandwidth"],
             "sender": message["sender"],
+            "owner": owner,
             "route": route,
         }
         self._touch_path_state(session_id)
         if receiver == self.node.name:
             # Receiver: start the RESV wave back upstream, reserving here
             # first (the receiver's own downlink counts).
-            if self._try_reserve(session_id, message["bandwidth"]):
+            if self._try_reserve(session_id, message["bandwidth"], owner=owner):
                 self.signaling.send(
                     route[-2],
                     "rsvp.resv",
@@ -378,6 +397,7 @@ class RsvpAgent:
             sender=message["sender"],
             receiver=receiver,
             bandwidth=message["bandwidth"],
+            owner=owner,
             route=route,
         )
 
@@ -399,7 +419,9 @@ class RsvpAgent:
                 for hop in message["route"][1:]:
                     self.signaling.send(hop, "rsvp.tear", session=session_id)
                 return
-            if self._try_reserve(session_id, message["bandwidth"]):
+            if self._try_reserve(
+                session_id, message["bandwidth"], owner=session.owner
+            ):
                 session.status = "established"
                 session.path = list(message["route"])
                 session.events.append("established")
@@ -418,7 +440,9 @@ class RsvpAgent:
             return
         if state is None:
             return
-        if self._try_reserve(session_id, message["bandwidth"]):
+        if self._try_reserve(
+            session_id, message["bandwidth"], owner=state.get("owner")
+        ):
             self.signaling.send(
                 state["prev"],
                 "rsvp.resv",
@@ -466,7 +490,9 @@ class RsvpAgent:
 
     # -- admission control --------------------------------------------------------------
 
-    def _try_reserve(self, session_id: int, bandwidth: float) -> bool:
+    def _try_reserve(
+        self, session_id: int, bandwidth: float, *, owner: str | None = None
+    ) -> bool:
         if session_id in self._reserved:
             # Idempotent under retries: a duplicate RESV wave (resent
             # PATH after a lost RESV) re-confirms, never double-books.
@@ -482,6 +508,8 @@ class RsvpAgent:
             resources.destroy_task(task_name)
             return False
         self._reserved.add(session_id)
+        if owner is not None:
+            self._reservation_owner[session_id] = owner
         expiry = self._soft_expiry()
         if expiry is not None:
             self._reservation_expiry[session_id] = expiry
@@ -490,6 +518,7 @@ class RsvpAgent:
 
     def _release_local(self, session_id: int) -> None:
         self._reservation_expiry.pop(session_id, None)
+        self._reservation_owner.pop(session_id, None)
         if session_id not in self._reserved:
             return
         resources = self.node.capsule.resources
@@ -497,6 +526,50 @@ class RsvpAgent:
         if task_name in resources.tasks():
             resources.destroy_task(task_name)
         self._reserved.discard(session_id)
+
+    def release_owned(self, owner: str) -> int:
+        """Failover teardown: release every local reservation (and drop
+        every piece of path state) owned by capsule *owner*, now.
+
+        A killed capsule's reservations would otherwise sit in the
+        admission pool until the soft-state TTL evaporated them — dead
+        bandwidth the edge could not re-admit.  Locally originated
+        sessions for the owner resolve to ``torn-down`` and their TEAR
+        propagates along the recorded path, so downstream hops release
+        immediately too; transit state (a hop that merely forwarded the
+        PATH) can only release its own share — its upstreams get the
+        originator's TEAR, its downstreams the TTL.  Returns the number
+        of reservations released.
+        """
+        doomed = sorted(
+            session_id
+            for session_id, who in self._reservation_owner.items()
+            if who == owner
+        )
+        for session_id in doomed:
+            session = self.sessions.get(session_id)
+            if session is not None and session.status == "established":
+                for hop in session.path[1:]:
+                    self.signaling.send(hop, "rsvp.tear", session=session_id)
+            self._release_local(session_id)
+            self._path_state.pop(session_id, None)
+            handle = self._deadlines.pop(session_id, None)
+            if handle is not None:
+                handle.cancel()
+            session = self.sessions.get(session_id)
+            if session is not None and (
+                not session.resolved or session.status == "established"
+            ):
+                session.status = "torn-down"
+                session.events.append(f"owner {owner} killed")
+        # Path state without a local reservation still names the owner.
+        for session_id in [
+            session_id
+            for session_id, state in self._path_state.items()
+            if state.get("owner") == owner
+        ]:
+            self._path_state.pop(session_id, None)
+        return len(doomed)
 
     # -- helpers ---------------------------------------------------------------------------
 
@@ -522,6 +595,165 @@ class RsvpAgent:
     def reservation_count(self) -> int:
         """Sessions holding bandwidth here."""
         return len(self._reserved)
+
+
+class EdgeAdmission:
+    """Edge admission control for a capsule fleet.
+
+    A new flow must reserve capacity *before* it is steered: the edge's
+    :class:`RsvpAgent` runs a reservation toward the flow's home capsule
+    (PATH over the real edge→capsule link, RESV back), debiting both the
+    edge's aggregate admission pool — sized from the fleet's capacity
+    curve, :meth:`repro.ixp.placement.FleetPlacement.aggregate_pps` —
+    and the home capsule's own pool.  Over-subscription at either level
+    is **rejected**, or **queued** at the edge (bounded FIFO) to retry
+    as running flows complete.  Every reservation is tagged with the
+    home capsule as its soft-state *owner*, so a node-kill tears the
+    dead capsule's share down immediately (:meth:`on_capsule_killed`)
+    instead of waiting out the TTL; flows nobody completes or kills
+    still evaporate via the agent's ``soft_state_ttl``.
+    """
+
+    def __init__(
+        self,
+        agent: RsvpAgent,
+        *,
+        queue_limit: int = 8,
+        timeout: float | None = None,
+        max_attempts: int = 1,
+    ) -> None:
+        if queue_limit < 0:
+            raise RsvpError(f"queue_limit must be >= 0, got {queue_limit}")
+        self.agent = agent
+        self.engine = agent.engine
+        self.queue_limit = queue_limit
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        #: Admitted flow -> {"session", "capsule", "rate"}.
+        self._flows: dict[Any, dict[str, Any]] = {}
+        #: Waiting flows in arrival order: (flow, capsule, rate).
+        self._queue: list[tuple[Any, str, float]] = []
+        self.counters = {
+            "admitted": 0,
+            "rejected": 0,
+            "queued": 0,
+            "dequeued": 0,
+            "released": 0,
+            "failover_released": 0,
+        }
+
+    def _reserve(self, flow: Any, capsule: str, rate: float) -> bool:
+        session = self.agent.reserve(
+            capsule,
+            rate,
+            timeout=self.timeout,
+            max_attempts=self.max_attempts,
+            owner=capsule,
+        )
+        self.engine.run()
+        if session.status != "established":
+            return False
+        self._flows[flow] = {"session": session, "capsule": capsule, "rate": rate}
+        return True
+
+    def admit(self, flow: Any, capsule: str, rate: float) -> str:
+        """Admit *flow* (any hashable key — the fleet uses the flow
+        hash) toward its home *capsule* at *rate* packets per second.
+        Returns ``"admitted"``, ``"queued"`` or ``"rejected"``.
+        Idempotent: an already-admitted or already-queued flow keeps its
+        state."""
+        if rate <= 0:
+            raise RsvpError(f"rate must be positive, got {rate}")
+        if flow in self._flows:
+            return "admitted"
+        if any(queued_flow == flow for queued_flow, _, _ in self._queue):
+            return "queued"
+        if self._reserve(flow, capsule, rate):
+            self.counters["admitted"] += 1
+            return "admitted"
+        if len(self._queue) < self.queue_limit:
+            self._queue.append((flow, capsule, rate))
+            self.counters["queued"] += 1
+            return "queued"
+        self.counters["rejected"] += 1
+        return "rejected"
+
+    def is_admitted(self, flow: Any) -> bool:
+        """True while *flow* holds an admission reservation."""
+        return flow in self._flows
+
+    def home_of(self, flow: Any) -> str | None:
+        """The capsule an admitted flow reserved toward (None otherwise)."""
+        entry = self._flows.get(flow)
+        return None if entry is None else entry["capsule"]
+
+    def complete(self, flow: Any) -> bool:
+        """The flow finished: release its reservation along the path and
+        retry queued flows (FIFO — the retry stops at the first flow the
+        pool still cannot take, preserving arrival order)."""
+        entry = self._flows.pop(flow, None)
+        if entry is None:
+            return False
+        self.agent.teardown(entry["session"])
+        self.engine.run()
+        self.counters["released"] += 1
+        self._retry_queued()
+        return True
+
+    def _retry_queued(self) -> None:
+        while self._queue:
+            flow, capsule, rate = self._queue[0]
+            if not self._reserve(flow, capsule, rate):
+                return
+            self._queue.pop(0)
+            self.counters["dequeued"] += 1
+            self.counters["admitted"] += 1
+
+    def queued_count(self) -> int:
+        """Flows waiting at the edge for capacity."""
+        return len(self._queue)
+
+    def admitted_count(self) -> int:
+        """Flows currently holding admission."""
+        return len(self._flows)
+
+    def on_capsule_killed(
+        self, capsule: str, *, new_aggregate: float | None = None
+    ) -> list[tuple[Any, float]]:
+        """Failover teardown for a killed capsule.
+
+        Releases every edge reservation owned by *capsule* right now
+        (:meth:`RsvpAgent.release_owned` — no TTL wait), drops queued
+        flows that targeted it, and — with *new_aggregate* — shrinks the
+        edge admission pool to the surviving fleet's capacity curve
+        (never below what is still allocated).  Returns the orphaned
+        ``(flow, rate)`` pairs so the caller can re-admit them toward
+        their new ring homes.
+        """
+        self.agent.release_owned(capsule)
+        orphans = [
+            (flow, entry["rate"])
+            for flow, entry in self._flows.items()
+            if entry["capsule"] == capsule
+        ]
+        for flow, _ in orphans:
+            del self._flows[flow]
+        self.counters["failover_released"] += len(orphans)
+        requeue = [
+            (flow, rate)
+            for flow, queued_capsule, rate in self._queue
+            if queued_capsule == capsule
+        ]
+        self._queue = [
+            entry for entry in self._queue if entry[1] != capsule
+        ]
+        if new_aggregate is not None:
+            resources = self.agent.node.capsule.resources
+            pool = resources.pool(BANDWIDTH_POOL)
+            resources.resize_pool(
+                BANDWIDTH_POOL, max(new_aggregate, pool.allocated)
+            )
+        return orphans + requeue
 
 
 def deploy_rsvp(

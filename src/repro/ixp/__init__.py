@@ -14,6 +14,7 @@ from repro.ixp.hardware import (
     ProcessingElement,
 )
 from repro.ixp.placement import (
+    FleetPlacement,
     PlacedComponent,
     PlacementMetaModel,
     PlacementReport,
@@ -26,6 +27,7 @@ __all__ = [
     "BoardSimulator",
     "CostProfile",
     "DEFAULT_PROFILES",
+    "FleetPlacement",
     "IxpBoard",
     "MICROENGINE",
     "MemoryLevel",

@@ -444,3 +444,78 @@ class ShardPlacement:
                 for n in range(1, self.max_shards + 1)
             },
         }
+
+
+class FleetPlacement:
+    """The fleet's aggregate capacity curve: one :class:`ShardPlacement`
+    per capsule node.
+
+    :class:`ShardPlacement` models one board; a multi-capsule fleet is
+    many boards, and the edge admission tier
+    (:class:`repro.coordination.rsvp.EdgeAdmission`) needs the *sum* —
+    a new flow reserves against :meth:`aggregate_pps` before it is
+    steered, and against its home capsule's :meth:`capacity_of` share.
+    A node-kill calls :meth:`remove`, so the curve (and with it the
+    edge's admission pool) shrinks with the fleet instead of admitting
+    traffic the survivors cannot carry.
+    """
+
+    def __init__(self) -> None:
+        self._members: dict[str, tuple[ShardPlacement, int]] = {}
+
+    def add(
+        self,
+        name: str,
+        *,
+        shards: int,
+        placement: ShardPlacement | None = None,
+    ) -> ShardPlacement:
+        """Register capsule *name* running *shards* workers on its own
+        board (a default board when *placement* is omitted)."""
+        if name in self._members:
+            raise PlacementError(f"capsule {name!r} already placed")
+        if shards < 1:
+            raise PlacementError(f"shards must be >= 1, got {shards}")
+        if placement is None:
+            placement = ShardPlacement(max_shards=shards)
+        self._members[name] = (placement, shards)
+        return placement
+
+    def remove(self, name: str) -> float:
+        """Drop a (killed) capsule; returns the capacity it contributed."""
+        capacity = self.capacity_of(name)
+        del self._members[name]
+        return capacity
+
+    def members(self) -> list[str]:
+        """Live capsules, in registration order."""
+        return list(self._members)
+
+    def placement_of(self, name: str) -> ShardPlacement:
+        """The capsule's own board placement (locality wiring)."""
+        try:
+            return self._members[name][0]
+        except KeyError:
+            raise PlacementError(f"unknown capsule {name!r}") from None
+
+    def capacity_of(self, name: str) -> float:
+        """One capsule's sustained packets per second."""
+        try:
+            placement, shards = self._members[name]
+        except KeyError:
+            raise PlacementError(f"unknown capsule {name!r}") from None
+        return placement.fleet_capacity_pps(shards)
+
+    def aggregate_pps(self) -> float:
+        """The fleet's total sustained packets per second (live capsules
+        only — the admission ceiling)."""
+        return sum(self.capacity_of(name) for name in self._members)
+
+    def describe(self) -> dict[str, Any]:
+        """Per-capsule capacities plus the aggregate."""
+        return {
+            "capsules": {
+                name: round(self.capacity_of(name), 1) for name in self._members
+            },
+            "aggregate_pps": round(self.aggregate_pps(), 1),
+        }

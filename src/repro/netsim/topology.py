@@ -144,6 +144,31 @@ class Topology:
         return topo
 
     @classmethod
+    def fleet(
+        cls,
+        capsules: int,
+        *,
+        engine: Engine | None = None,
+        edge: str = "edge",
+        **link_kwargs: Any,
+    ) -> "Topology":
+        """The multi-capsule fleet shape: an ingress/steering *edge* node
+        with one spoke per capsule node (named ``cap0..capN-1``).
+
+        A star wearing fleet names: the edge runs admission control and
+        two-level steering, each spoke link carries that capsule's
+        steered traffic (with whatever loss/backlog *link_kwargs*
+        model), and the capsule nodes host replicated sharded datapaths
+        (see ``repro.router.fleet``).
+        """
+        topo = cls(engine)
+        topo.add_node(edge)
+        for i in range(capsules):
+            topo.add_node(f"cap{i}")
+            topo.connect(edge, f"cap{i}", **link_kwargs)
+        return topo
+
+    @classmethod
     def ring(cls, n: int, *, engine: Engine | None = None, **link_kwargs: Any) -> "Topology":
         """A cycle of *n* nodes."""
         topo = cls(engine)

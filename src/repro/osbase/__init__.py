@@ -31,6 +31,7 @@ from repro.osbase.scheduler import (
     ThreadManagerCF,
 )
 from repro.osbase.sharding import (
+    HashRing,
     PumpExhausted,
     RssSteering,
     Shard,
@@ -51,6 +52,7 @@ __all__ = [
     "ClockError",
     "CopyLedger",
     "EdfScheduler",
+    "HashRing",
     "IBufferPool",
     "INic",
     "IScheduler",

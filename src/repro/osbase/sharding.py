@@ -108,6 +108,7 @@ directed.  ``docs/concurrency.md`` has the walkthrough; experiment C16
 from __future__ import annotations
 
 import warnings
+from bisect import bisect_right
 from collections.abc import Callable
 from typing import Any
 
@@ -262,6 +263,106 @@ class RssSteering:
             if self.steer(frame) is not None:
                 accepted += 1
         return accepted
+
+
+class HashRing:
+    """Consistent-hash ring: the *outer* steering level of a fleet.
+
+    Two-level steering maps a flow hash first through this ring to a
+    capsule (a whole :class:`ShardedDatapath` on its own ``netsim``
+    node), then through that capsule's :class:`RssSteering` bucket table
+    to a shard.  Both levels consume the *same* representation-stable
+    flow hash (typically :func:`repro.netsim.wire.flow_hash_of`), so raw
+    wire bytes, a materialised ``Packet`` and a zero-copy ``WirePacket``
+    of one flow agree on capsule *and* shard.
+
+    Each member contributes *replicas* virtual points.  Removing a
+    member deletes only its own points: every surviving member's points
+    are untouched, so a flow either keeps its home or moves exactly once
+    — to the failed arc's clockwise successor.  That is the fleet-level
+    twin of the per-shard ≤1-home-move bound the recovery machinery
+    enforces (see the module docstring).
+
+    Point placement uses a local FNV-1a/murmur-finaliser hash over the
+    virtual-node label (osbase never imports the wire-format hash from
+    the stratum above; only the *avalanche recipe* is shared).
+    """
+
+    _MASK = 0xFFFFFFFFFFFFFFFF
+
+    def __init__(self, members: list[str] | None = None, *, replicas: int = 96) -> None:
+        if replicas < 1:
+            raise ShardingError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        #: Sorted virtual-point keys and their owning members (parallel
+        #: lists, so lookup is one bisect + one index).
+        self._keys: list[int] = []
+        self._owners: list[str] = []
+        self._members: list[str] = []
+        for member in members or []:
+            self.add(member)
+
+    @staticmethod
+    def _point(label: bytes) -> int:
+        h = 0xCBF29CE484222325
+        for byte in label:
+            h ^= byte
+            h = (h * 0x100000001B3) & HashRing._MASK
+        h ^= h >> 33
+        h = (h * 0xFF51AFD7ED558CCD) & HashRing._MASK
+        h ^= h >> 33
+        h = (h * 0xC4CEB9FE1A85EC53) & HashRing._MASK
+        h ^= h >> 33
+        return h
+
+    @property
+    def members(self) -> list[str]:
+        """Live members, in insertion order."""
+        return list(self._members)
+
+    def add(self, member: str) -> None:
+        """Add *member*'s virtual points (idempotence is an error: a
+        duplicate would double the member's arc share silently)."""
+        if member in self._members:
+            raise ShardingError(f"ring member {member!r} already present")
+        self._members.append(member)
+        for replica in range(self.replicas):
+            key = self._point(f"{member}#{replica}".encode())
+            at = bisect_right(self._keys, key)
+            # Deterministic tie-break on the (astronomically unlikely)
+            # key collision: lexicographically smaller owner wins the
+            # point on every construction order.
+            while at > 0 and self._keys[at - 1] == key and self._owners[at - 1] > member:
+                at -= 1
+            self._keys.insert(at, key)
+            self._owners.insert(at, member)
+
+    def remove(self, member: str) -> None:
+        """Remove *member*'s points; survivors' points are untouched, so
+        only the dead arcs' flows move (each exactly once)."""
+        if member not in self._members:
+            raise ShardingError(f"no ring member {member!r}")
+        self._members.remove(member)
+        keep = [i for i, owner in enumerate(self._owners) if owner != member]
+        self._keys = [self._keys[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def lookup(self, flow_hash: int) -> str:
+        """The member owning *flow_hash*'s arc (clockwise successor of
+        the hash point, wrapping at the top of the ring)."""
+        if not self._members:
+            raise ShardingError("lookup on an empty ring")
+        at = bisect_right(self._keys, flow_hash & self._MASK)
+        return self._owners[at % len(self._owners)]
+
+    def arc_shares(self, samples: int = 4096) -> dict[str, float]:
+        """Sampled fraction of hash space each member owns (diagnostic:
+        replica count is the knob that tightens the spread)."""
+        counts = {member: 0 for member in self._members}
+        step = (self._MASK + 1) // samples
+        for i in range(samples):
+            counts[self.lookup(i * step)] += 1
+        return {member: count / samples for member, count in counts.items()}
 
 
 class Shard:
@@ -1147,6 +1248,43 @@ class ShardedDatapath:
             if worker.done
         ]
         return f" (dead workers: {'; '.join(dead)})" if dead else ""
+
+    def abandon(self, release: Callable[[Any], Any] | None = None) -> int:
+        """Kill-path teardown: the node hosting this datapath died, so
+        its backlog can never drain through its own engines.
+
+        Rolls back any in-flight round, then pops every parked and
+        backlogged frame off every ring and hands each to *release*
+        (typically :func:`repro.osbase.buffers.release_dropped`, so
+        pooled ingest buffers return to their slices and the
+        acquired == released audit still balances on a killed node),
+        then stops the workers.  Returns the number of frames abandoned.
+
+        This is the one exit where frames do *not* egress through an
+        engine — the single-box assumption :meth:`shutdown(drain=True)
+        <shutdown>` bakes in.  A fleet reassigns the dead node's hash
+        arc and re-steers its *future* frames instead (see
+        :class:`HashRing`); the abandoned ones are honest drops, counted
+        by the caller.
+        """
+        if not self._stopping:
+            for dead in sorted(self._pending_recovery):
+                self._recovery_rollback({"shard": dead})
+            if self._pending_resize is not None:
+                self._resize_rollback({"shards": self._pending_resize["target"]})
+            self._unpark_all()
+        abandoned = 0
+        for shard in self.shards:
+            while True:
+                batch = shard.take_batch(self.batch)
+                if not batch:
+                    break
+                for frame in batch:
+                    if release is not None:
+                        release(frame)
+                    abandoned += 1
+        self.shutdown()
+        return abandoned
 
     def shutdown(self, *, drain: bool = False) -> None:
         """Stop the perpetual worker/supervisor bodies (each observes the

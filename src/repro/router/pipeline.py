@@ -419,6 +419,7 @@ def build_sharded_forwarding_datapath(
     exhaustion_policy: str = "drop-newest",
     buckets: int | None = None,
     locality: Any = None,
+    name: str = "sharded-datapath",
 ):
     """Assemble the sharded multi-worker forwarding datapath: *shards*
     share-nothing copies of the flat forwarding pipeline behind one
@@ -452,6 +453,11 @@ def build_sharded_forwarding_datapath(
     buckets per shard so a resize moves few flows).  *locality* is an
     optional ``(thief, victim) -> penalty`` steal cost model, typically
     :meth:`repro.ixp.placement.ShardPlacement.locality_penalty`.
+
+    *name* identifies this datapath (and prefixes its shard capsules and
+    worker threads) — a fleet of capsule nodes builds one datapath per
+    node, so nothing here may assume it is the only datapath in the
+    process.
     """
     from repro.netsim.wire import PacketError, flow_hash_of
     from repro.opencom.fusion import fuse_pipeline
@@ -476,7 +482,7 @@ def build_sharded_forwarding_datapath(
     compile_mode = _normalise_compiled(compiled)
 
     def make_shard(index: int, pool: Any) -> Shard:
-        capsule = Capsule(f"shard{index}")
+        capsule = Capsule(f"{name}:shard{index}")
         pipeline = build_forwarding_pipeline(
             capsule,
             routes=routes,
@@ -522,4 +528,5 @@ def build_sharded_forwarding_datapath(
         # The same assembly grows the fleet at run time (elastic resize).
         shard_factory=make_shard,
         locality=locality,
+        name=name,
     )

@@ -4,6 +4,7 @@ import pytest
 
 from repro.coordination import attach_agents
 from repro.coordination.deployment import (
+    DeploymentAborted,
     DeploymentError,
     DeploymentManager,
     deploy_agents,
@@ -178,3 +179,58 @@ class TestRemoteIntrospection:
         topo.engine.run()
         assert manager.reply_for(request)["ok"] is True
         assert "stamp" not in topo.node("n2").capsule
+
+
+def link_between(topo, a, b):
+    for link in topo.links:
+        ends = {link.endpoint_a[0].name, link.endpoint_b[0].name}
+        if ends == {a, b}:
+            return link
+    raise AssertionError(f"no link {a}<->{b}")
+
+
+class TestReliableRoundsAndAbort:
+    def test_result_for_returns_the_reply(self, network):
+        topo, _, _, manager = network
+        request = manager.instantiate("n2", "marker", "stamp", deadline=1.0)
+        topo.engine.run()
+        reply = manager.result_for(request)
+        assert reply["ok"] is True
+        assert reply["version"] == "1.0"
+
+    def test_deadline_expiry_synthesizes_a_typed_abort(self, network):
+        from repro.netsim import FaultInjector
+
+        topo, _, _, manager = network
+        FaultInjector(topo.engine).partition(
+            link_between(topo, "n0", "n1"), at=0.0001
+        )
+        request = manager.instantiate("n2", "marker", "stamp", deadline=0.05)
+        topo.engine.run()
+        reply = manager.reply_for(request)
+        assert reply["ok"] is False
+        assert reply["aborted"] is True
+        with pytest.raises(DeploymentAborted) as excinfo:
+            manager.result_for(request)
+        assert excinfo.value.reply["node"] == "n2"
+        # DeploymentAborted is a DeploymentError: callers that only
+        # catch the base class still see the failure.
+        assert isinstance(excinfo.value, DeploymentError)
+
+    def test_late_reply_cannot_unabort(self, network):
+        from repro.netsim import FaultInjector
+
+        topo, _, _, manager = network
+        # Partition long enough for the deadline, then heal: the real
+        # reply limps in after the abort was synthesized.
+        FaultInjector(topo.engine).partition(
+            link_between(topo, "n0", "n1"), at=0.0001, heal_at=0.2
+        )
+        request = manager.instantiate("n2", "marker", "stamp", deadline=0.05)
+        topo.engine.run()
+        assert manager.reply_for(request)["aborted"] is True
+
+    def test_deadline_validation(self, network):
+        _, _, _, manager = network
+        with pytest.raises(DeploymentError, match="deadline"):
+            manager.query("n2", deadline=0)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.coordination import (
     BANDWIDTH_POOL,
+    EdgeAdmission,
     RsvpError,
     RsvpTimeout,
     attach_agents,
@@ -247,3 +248,99 @@ class TestSoftState:
         agents = attach_agents(topo)
         with pytest.raises(RsvpError, match="soft_state_ttl"):
             deploy_rsvp(topo, agents, soft_state_ttl=0)
+
+
+class TestOwnership:
+    def test_owner_tags_the_session(self, network):
+        topo, rsvp = network
+        session = rsvp["n0"].reserve("n4", 4e6, owner="cap-east")
+        topo.engine.run()
+        assert session.status == "established"
+        assert session.owner == "cap-east"
+
+    def test_release_owned_tears_down_only_that_owner(self, network):
+        topo, rsvp = network
+        mine = rsvp["n0"].reserve("n4", 4e6, owner="cap-east")
+        other = rsvp["n0"].reserve("n4", 2e6, owner="cap-west")
+        topo.engine.run()
+        assert rsvp["n0"].release_owned("cap-east") == 1
+        topo.engine.run()
+        assert mine.status == "torn-down"
+        assert other.status == "established"
+        assert all(v == 2e6 for v in reserved_map(topo, rsvp).values())
+
+    def test_release_owned_without_matches_is_a_noop(self, network):
+        topo, rsvp = network
+        rsvp["n0"].reserve("n4", 4e6, owner="cap-east")
+        topo.engine.run()
+        assert rsvp["n0"].release_owned("nobody") == 0
+        assert all(v == 4e6 for v in reserved_map(topo, rsvp).values())
+
+
+def edge_admission_fixture(capacity=10e6, queue_limit=1):
+    topo = Topology.fleet(2, latency_s=0.001)
+    agents = attach_agents(topo)
+    rsvp = deploy_rsvp(topo, agents, bandwidth_capacity=capacity)
+    return topo, rsvp, EdgeAdmission(rsvp["edge"], queue_limit=queue_limit)
+
+
+class TestEdgeAdmission:
+    def test_admit_queue_reject_ladder(self):
+        _, _, edge = edge_admission_fixture()
+        assert edge.admit("A", "cap0", 4e6) == "admitted"
+        assert edge.admit("B", "cap1", 4e6) == "admitted"
+        # Aggregate pool is full at 8/10 Mpps for another 4e6 flow.
+        assert edge.admit("C", "cap0", 4e6) == "queued"
+        assert edge.admit("D", "cap0", 4e6) == "rejected"  # queue full
+        assert edge.counters == {
+            "admitted": 2,
+            "rejected": 1,
+            "queued": 1,
+            "dequeued": 0,
+            "released": 0,
+            "failover_released": 0,
+        }
+
+    def test_admit_is_idempotent(self):
+        _, _, edge = edge_admission_fixture()
+        assert edge.admit("A", "cap0", 4e6) == "admitted"
+        assert edge.admit("A", "cap0", 4e6) == "admitted"
+        assert edge.admit("B", "cap1", 4e6) == "admitted"
+        assert edge.admit("C", "cap0", 4e6) == "queued"
+        assert edge.admit("C", "cap0", 4e6) == "queued"
+        assert edge.counters["admitted"] == 2
+        assert edge.counters["queued"] == 1
+
+    def test_rate_validation(self):
+        _, _, edge = edge_admission_fixture()
+        with pytest.raises(RsvpError, match="rate"):
+            edge.admit("A", "cap0", 0)
+
+    def test_completion_releases_and_retries_the_queue(self):
+        _, rsvp, edge = edge_admission_fixture()
+        edge.admit("A", "cap0", 4e6)
+        edge.admit("B", "cap1", 4e6)
+        edge.admit("C", "cap0", 4e6)
+        assert edge.complete("A") is True
+        assert edge.is_admitted("C")
+        assert edge.queued_count() == 0
+        assert edge.counters["dequeued"] == 1
+        assert edge.home_of("C") == "cap0"
+        assert edge.complete("nope") is False
+        assert rsvp["edge"].reserved_bandwidth() == 8e6
+
+    def test_capsule_kill_orphans_and_shrinks_the_pool(self):
+        _, rsvp, edge = edge_admission_fixture()
+        edge.admit("A", "cap0", 4e6)
+        edge.admit("B", "cap1", 4e6)
+        edge.admit("C", "cap0", 4e6)  # queued behind the full pool
+        orphans = edge.on_capsule_killed("cap0", new_aggregate=5e6)
+        assert sorted(orphans) == [("A", 4e6), ("C", 4e6)]
+        assert edge.admitted_count() == 1  # only B survives
+        assert edge.queued_count() == 0
+        assert edge.home_of("A") is None
+        assert edge.counters["failover_released"] == 1  # C was only queued
+        pool = rsvp["edge"].node.capsule.resources.pool(BANDWIDTH_POOL)
+        # Shrunk to the survivors' curve, never below what B still holds.
+        assert pool.capacity == 5e6
+        assert rsvp["edge"].reserved_bandwidth() == 4e6

@@ -210,19 +210,21 @@ class TestMidBatchRevocation:
         assert pipeline.stages["sink:west"].collected_count() == 2
 
 
-class TestSourceFallback:
-    def test_spine_without_source_hooks_falls_back_to_closure(self):
-        # Figure 3's classifier contributes a closure kernel but no
-        # compiled_source, so a source request degrades loudly-on-the-plan
-        # (never silently broken) to closure composition.
+class TestSourceSpine:
+    def test_figure3_spine_compiles_to_source(self):
+        # The classifier contributes a compiled_source match loop, so the
+        # whole Figure-3 spine (recogniser → v4 → classifier) merges into
+        # one generated kernel — and the plan summary records the mode.
         capsule = Capsule("gw")
         _, pipeline = build_figure3_composite(capsule)
         plan = pipeline.compile(mode="source")
         assert plan.requested_mode == "source"
-        assert plan.mode == "closure"
-        assert plan.source is None
-        assert "compiled_source" in plan.fallback_reason
-        # The fallback chain still forwards: push one packet per class.
+        assert plan.mode == "source"
+        assert plan.fallback_reason is None
+        assert plan.source is not None
+        assert ".table.classify" in plan.source
+        assert "source" in plan.summary()
+        # The generated chain still classifies: one packet per class.
         pipeline.push_batch([make_udp_v4("10.0.0.1", "10.9.9.9", dport=7)])
         queued = sum(
             stage.depth
@@ -230,6 +232,33 @@ class TestSourceFallback:
             if name.startswith("queue:")
         )
         assert queued == 1
+
+    def test_source_spine_matches_interpreted_counters(self):
+        # Equivalence on a v4 + v6 mix: byte-path, queue depths and every
+        # counter dict (including which keys exist) must match the
+        # interpreted composite exactly.
+        compiled_caps, reference_caps = Capsule("gw"), Capsule("gw-ref")
+        _, compiled_pipe = build_figure3_composite(compiled_caps)
+        _, reference_pipe = build_figure3_composite(reference_caps)
+        plan = compiled_pipe.compile(mode="source")
+        assert plan.mode == "source"
+
+        def traffic():
+            return [
+                make_udp_v4("10.0.0.1", "10.9.9.9", dport=7),
+                make_udp_v4("10.0.0.2", "10.9.9.9", dport=80),
+                make_udp_v6("2001:db8::1", "2001:db8::9", dport=7),
+            ]
+
+        compiled_pipe.push_batch(traffic())
+        reference_pipe.push_batch(traffic())
+        for name, stage in compiled_pipe.stages.items():
+            counters = getattr(stage, "counters", None)
+            if counters is not None:
+                assert counters == reference_pipe.stages[name].counters, name
+        for name, stage in compiled_pipe.stages.items():
+            if name.startswith("queue:"):
+                assert stage.depth == reference_pipe.stages[name].depth
 
 
 class TestCompilePull:

@@ -1,0 +1,128 @@
+"""Property-based suite for two-level fleet steering invariants (C18).
+
+Randomised flows in all three frame representations (materialised
+``Packet``, zero-copy ``WirePacket``, raw wire bytes) run against the
+fleet's two-level steering: whatever the representation, one flow must
+land on one capsule *and* one shard (both levels consume the same
+representation-stable flow hash), and ring membership changes must obey
+the consistent-hashing contract — removing a member re-homes only the
+flows it owned (≤ 1 home move each), adding a member moves flows only
+*to* the new member, and restoring the membership set restores every
+home exactly (the ring is a pure function of its member names).
+
+Example budgets follow the established convention: the
+``REPRO_PROPERTY_PROFILE`` environment variable selects ``bounded``
+(tier-1 default) or ``full`` (the bench harness's exhaustive profile;
+see ``benchmarks/run_all.py``).  The module is marked ``slow`` so the
+property suites stay deselectable without touching functional tests.
+"""
+
+from os import environ
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import make_udp_v4
+from repro.netsim.wire import WirePacket, flow_hash_of
+from repro.osbase import HashRing
+from repro.router import build_capsule_fleet
+
+pytestmark = pytest.mark.slow
+
+_PROFILES = {"bounded": 70, "full": 400}
+_PROFILE = environ.get("REPRO_PROPERTY_PROFILE", "bounded")
+_SETTINGS = settings(
+    max_examples=_PROFILES.get(_PROFILE, _PROFILES["bounded"]),
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+ROUTES = {"10.0.0.0/8": "east", "0.0.0.0/0": "west"}
+
+
+def representations(src: str, sport: int, dport: int):
+    """One flow, three shapes: Packet, raw wire bytes, WirePacket."""
+    packet = make_udp_v4(src, "10.9.9.9", sport=sport, dport=dport, payload=b"prop")
+    raw = packet.to_bytes()
+    wire = WirePacket.ingest(bytes(raw))
+    return packet, raw, wire
+
+
+flow_strategy = st.tuples(
+    st.integers(0, 255),
+    st.integers(0, 255),
+    st.integers(1, 65535),
+    st.integers(1, 65535),
+)
+
+members_strategy = st.lists(
+    st.sampled_from([f"cap{i}" for i in range(12)]),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    # One real fleet (datapaths, links, admission) shared read-only by
+    # the representation property — home_of is pure.
+    return build_capsule_fleet(3, routes=ROUTES, shards=2)
+
+
+class TestRepresentationAgreement:
+    @_SETTINGS
+    @given(flow=flow_strategy)
+    def test_all_representations_share_capsule_and_shard(self, fleet, flow):
+        a, b, sport, dport = flow
+        packet, raw, wire = representations(f"10.{a}.{b}.1", sport, dport)
+        hashes = {flow_hash_of(frame) for frame in (packet, raw, wire)}
+        assert len(hashes) == 1
+        homes = {fleet.home_of(frame) for frame in (packet, raw, wire)}
+        assert len(homes) == 1
+
+
+class TestRingResizeStability:
+    @_SETTINGS
+    @given(members=members_strategy, flow=flow_strategy, victim=st.integers(0, 7))
+    def test_removal_moves_only_the_dead_arc_and_restores_exactly(
+        self, members, flow, victim
+    ):
+        ring = HashRing(members)
+        a, b, sport, dport = flow
+        packet, raw, wire = representations(f"10.{a}.{b}.1", sport, dport)
+        flow_hash = flow_hash_of(packet)
+        homes = {ring.lookup(flow_hash_of(frame)) for frame in (packet, raw, wire)}
+        assert len(homes) == 1
+        before = homes.pop()
+
+        dead = members[victim % len(members)]
+        ring.remove(dead)
+        after = ring.lookup(flow_hash)
+        if before != dead:
+            # Surviving members' ring points are untouched: the flow's
+            # home (and therefore its shard, a pure function of the
+            # bucket table at that home) never moves.
+            assert after == before
+        else:
+            assert after != dead
+
+        # The ring is a pure function of the membership set: re-adding
+        # the dead member restores every home exactly.
+        ring.add(dead)
+        assert ring.lookup(flow_hash) == before
+
+    @_SETTINGS
+    @given(members=members_strategy, flow=flow_strategy)
+    def test_growth_moves_flows_only_to_the_new_member(self, members, flow):
+        ring = HashRing(members)
+        a, b, sport, dport = flow
+        packet, _, _ = representations(f"10.{a}.{b}.1", sport, dport)
+        flow_hash = flow_hash_of(packet)
+        before = ring.lookup(flow_hash)
+        ring.add("grown")
+        assert ring.lookup(flow_hash) in (before, "grown")
