@@ -70,6 +70,12 @@ SMOKE_BENCHES = (
     # deterministic, so they gate at full strength under smoke; only the
     # wall-clock paper-ordering cells keep the usual slack.
     "bench_c18_fleet.py",
+    # C19's adversarial trace is entirely virtual-time driven, so the
+    # adaptive-beats-worst-static margin, the typed veto count, and the
+    # pool audits are deterministic and gate at full strength under
+    # smoke; the adaptive-beats-*every*-static claim and the wall-clock
+    # paper-ordering cells only gate on the full profile.
+    "bench_c19_adaptation.py",
 )
 
 #: Benchmarks may print ``[bench-meta] key=value`` lines (e.g. C15's
@@ -158,6 +164,7 @@ PROPERTY_SUITES = (
     "tests/osbase/test_elastic_properties.py",
     "tests/opencom/test_compile_differential.py",
     "tests/router/test_fleet_steering_properties.py",
+    "tests/coordination/test_adaptation_properties.py",
 )
 
 

@@ -11,6 +11,16 @@ from repro.appservices.capsules import (
 )
 from repro.appservices.ee import ExecutionEnvironment
 from repro.appservices.flowmgr import FlowManager
+from repro.appservices.monitor import (
+    AdmissionQueueProbe,
+    BacklogProbe,
+    DropCounterProbe,
+    ISignalSource,
+    MonitorCF,
+    PoolWatermarkProbe,
+    SignalProbe,
+    monitor_rules,
+)
 from repro.appservices.media_filter import (
     FEC_PARITY_FLAG,
     FecDecoder,
@@ -32,23 +42,31 @@ from repro.appservices.security import (
 )
 
 __all__ = [
+    "AdmissionQueueProbe",
+    "BacklogProbe",
     "CapsulePayload",
     "CapsuleVM",
     "CodeAdmission",
     "ExecutionEnvironment",
+    "DropCounterProbe",
     "ExecutionResult",
     "FEC_PARITY_FLAG",
     "FecDecoder",
     "FecEncoder",
     "FlowManager",
+    "ISignalSource",
     "MediaDownsampler",
+    "MonitorCF",
     "PayloadTruncator",
+    "PoolWatermarkProbe",
     "PrincipalPolicy",
     "SecurityError",
+    "SignalProbe",
     "decode_capsule",
     "encode_capsule",
     "is_capsule_packet",
     "make_capsule_packet",
+    "monitor_rules",
     "sign_code",
     "validate_program",
     "verify_signature",

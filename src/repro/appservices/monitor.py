@@ -1,0 +1,220 @@
+"""Monitor CF: rule-governed signal sources for the adaptation stratum.
+
+The control loop of ``coordination/adaptation.py`` adapts on *signals* —
+pool watermarks, per-shard backlog divergence, drop counters, admission
+depth.  Each signal source is an ordinary OpenCOM component providing
+:class:`ISignalSource`, plugged into a :class:`MonitorCF` whose rules
+guarantee the monitor's sample dictionary stays well-formed: every
+plug-in must expose the interface, must declare its signal names up
+front, and no two plug-ins may publish the same signal (a collision
+would silently shadow one source's readings with another's).
+
+Dead-worker tolerance
+---------------------
+A crashed worker (``inject_worker_crash`` / fault-injection ``kill``)
+leaves its shard object — and any frames still ringed on it — in place
+until recovery re-steers the bucket.  A naive monitor averaging raw
+per-shard depths would read that stale backlog forever: divergence stays
+pinned high, and the policy engine chases a shard no adaptation can
+drain.  :class:`BacklogProbe` therefore samples through the datapath's
+live-shard views (:meth:`~repro.osbase.sharding.ShardedDatapath.
+live_shard_indices` / :meth:`~repro.osbase.sharding.ShardedDatapath.
+backlog_divergence`), reporting dead workers and their stranded frames
+as their own signals instead of folding them into the load picture.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro.cf.framework import ComponentFramework
+from repro.cf.rules import ProvidesInterface, Rule
+from repro.opencom.component import Component, Provided
+from repro.opencom.interfaces import Interface
+
+
+class ISignalSource(Interface):
+    """A monitor plug-in: declares its signal names and samples them."""
+
+    def signal_names(self) -> list[str]:
+        """The signal keys this source publishes (fixed for its life)."""
+        ...
+
+    def sample(self) -> dict[str, float]:
+        """One reading: signal name → current value."""
+        ...
+
+
+def monitor_rules() -> list[Rule]:
+    """The Monitor CF's declarative rule set."""
+    return [ProvidesInterface(ISignalSource)]
+
+
+class MonitorCF(ComponentFramework):
+    """CF over signal sources; :meth:`sample_all` is the merged reading.
+
+    Extra (non-declarative) rule: a candidate's signal names must not
+    collide with any already-accepted plug-in's — the merged sample dict
+    must never silently shadow one source with another.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(rules=monitor_rules())
+
+    def extra_checks(self, component: Component) -> list[str]:
+        names_fn = getattr(component, "signal_names", None)
+        if not callable(names_fn):
+            return ["must implement signal_names()"]
+        names = list(names_fn())
+        failures: list[str] = []
+        if len(names) != len(set(names)):
+            failures.append(f"duplicate signal names within the source: {names}")
+        published: dict[str, str] = {
+            signal: plugin.name
+            for plugin in self._plugins.values()
+            if plugin is not component
+            for signal in plugin.signal_names()
+        }
+        for signal in names:
+            if signal in published:
+                failures.append(
+                    f"signal {signal!r} already published by plug-in "
+                    f"{published[signal]!r}"
+                )
+        return failures
+
+    def sample_all(self) -> dict[str, float]:
+        """One merged reading across every accepted source (collision-free
+        by the accept-time rule)."""
+        merged: dict[str, float] = {}
+        for plugin in self._plugins.values():
+            merged.update(plugin.sample())
+        return merged
+
+
+class SignalProbe(Component):
+    """Base for monitor plug-ins: ISignalSource over a fixed name list."""
+
+    PROVIDES = (Provided("signals", ISignalSource),)
+
+    #: Subclasses set the published signal keys.
+    SIGNALS: tuple[str, ...] = ()
+
+    def signal_names(self) -> list[str]:
+        return list(self.SIGNALS)
+
+    def sample(self) -> dict[str, float]:
+        raise NotImplementedError
+
+
+class PoolWatermarkProbe(SignalProbe):
+    """Buffer-pool pressure: worst free fraction across the fleet's
+    slices, total in-flight, and cumulative exhaustion events.
+
+    *pools* is a zero-arg callable (the slice list changes identity on
+    every resize re-carve, so the probe must re-read it per sample).
+    """
+
+    SIGNALS = ("pool_free_frac_min", "pool_in_flight", "pool_exhaustion_events")
+
+    def __init__(self, pools: Callable[[], Iterable[Any]]) -> None:
+        super().__init__()
+        self.pools = pools
+
+    def sample(self) -> dict[str, float]:
+        free_frac = 1.0
+        in_flight = 0
+        exhaustion = 0
+        for pool in self.pools():
+            if pool is None or not pool.count:
+                continue
+            free_frac = min(free_frac, (pool.count - pool.in_flight) / pool.count)
+            in_flight += pool.in_flight
+            exhaustion += pool.exhaustion_events
+        return {
+            "pool_free_frac_min": free_frac,
+            "pool_in_flight": float(in_flight),
+            "pool_exhaustion_events": float(exhaustion),
+        }
+
+
+class BacklogProbe(SignalProbe):
+    """Per-shard backlog shape over the *live* fleet.
+
+    Dead-worker shards are excluded from load/divergence (their stale
+    rings would pin divergence high forever — see module docstring) and
+    surfaced as ``dead_workers`` / ``dead_backlog`` instead, so recovery
+    pressure is its own signal rather than noise in the balance picture.
+    """
+
+    SIGNALS = (
+        "backlog_total",
+        "backlog_divergence",
+        "live_shards",
+        "dead_workers",
+        "dead_backlog",
+    )
+
+    def __init__(self, datapath: Any) -> None:
+        super().__init__()
+        self.datapath = datapath
+
+    def sample(self) -> dict[str, float]:
+        datapath = self.datapath
+        live = datapath.live_shard_indices()
+        live_set = set(live)
+        dead_backlog = sum(
+            datapath.shards[index].backlog_depth
+            for index in range(len(datapath.shards))
+            if index not in live_set
+        )
+        return {
+            "backlog_total": float(
+                sum(datapath.shards[index].backlog_depth for index in live)
+            ),
+            "backlog_divergence": float(datapath.backlog_divergence()),
+            "live_shards": float(len(live)),
+            "dead_workers": float(len(datapath.shards) - len(live)),
+            "dead_backlog": float(dead_backlog),
+        }
+
+
+class DropCounterProbe(SignalProbe):
+    """Named cumulative drop/abandon counters (each a zero-arg callable,
+    sampled fresh every reading)."""
+
+    def __init__(self, counters: dict[str, Callable[[], int]]) -> None:
+        super().__init__()
+        self.counters = dict(counters)
+        self.SIGNALS = tuple(self.counters)
+
+    def sample(self) -> dict[str, float]:
+        return {name: float(read()) for name, read in self.counters.items()}
+
+
+class AdmissionQueueProbe(SignalProbe):
+    """Edge admission tier: total/per-class depth, queue drops, and
+    cumulative packets admitted (rate = window delta)."""
+
+    def __init__(self, tier: Any) -> None:
+        super().__init__()
+        self.tier = tier
+        self.SIGNALS = (
+            "admission_depth",
+            "admission_drops",
+            "admitted_total",
+            *(f"admission_depth:{klass}" for klass in tier.classes),
+        )
+
+    def sample(self) -> dict[str, float]:
+        tier = self.tier
+        depths = tier.class_depth()
+        reading = {
+            "admission_depth": float(sum(depths.values())),
+            "admission_drops": float(tier.drop_total()),
+            "admitted_total": float(tier.admitted_total),
+        }
+        for klass, depth in depths.items():
+            reading[f"admission_depth:{klass}"] = float(depth)
+        return reading

@@ -11,9 +11,28 @@ precisely when a component is rejected.
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass
 
 from repro.opencom.component import Component
 from repro.opencom.interfaces import Interface
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One typed rule failure: *which* rule rejected and *why*.
+
+    ``check_rules`` keeps returning bare strings (every existing CF call
+    site reports failure lists); consumers that must act on the rule
+    identity — the adaptation stratum vetoes an action and records the
+    rule that stopped it — use :func:`explain_rules` instead and get the
+    (rule, reason) pair intact.
+    """
+
+    rule: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.reason}"
 
 
 class Rule:
@@ -205,3 +224,21 @@ def check_rules(rules: list[Rule], component: Component) -> list[str]:
     for rule in rules:
         failures.extend(rule.check(component))
     return failures
+
+
+def explain_rules(rules: list, subject: object, *args: object) -> list[Violation]:
+    """Run every rule against *subject*, collecting typed violations.
+
+    Like :func:`check_rules` but each failure is returned as a
+    :class:`Violation` naming the rule that produced it.  *subject* (and
+    any extra ``*args``) are passed straight to each rule's ``check`` —
+    the rule set decides what it governs: CF rules check components,
+    adaptation rules check (action, system-view) pairs.
+    """
+    violations: list[Violation] = []
+    for rule in rules:
+        violations.extend(
+            Violation(rule=rule.name, reason=failure)
+            for failure in rule.check(subject, *args)
+        )
+    return violations

@@ -917,6 +917,29 @@ class ShardedDatapath:
             if shard.decompile is not None:
                 shard.decompile()
 
+    def decompile_all(self) -> None:
+        """De-specialise the whole fleet (public counterpart of the
+        round-internal hook): every shard's compiled chain is torn down
+        so a reconfiguration that mutates vtables runs interpreted.  The
+        adaptation stratum calls this before any hot swap it actuates —
+        its rule engine refuses the swap otherwise."""
+        self._decompile_all()
+
+    def recompile_all(self) -> None:
+        """Rebuild every shard's compiled hot path (idempotent; shards
+        without the hook are untouched)."""
+        self._recompile_all()
+
+    def compiled_shards(self) -> list[int]:
+        """Indices of shards whose engine currently dispatches through a
+        live compiled chain — the regions a vtable mutation must not
+        touch until :meth:`decompile_all` has run."""
+        return [
+            index
+            for index, shard in enumerate(self.shards)
+            if getattr(shard.engine, "compiled_active", False)
+        ]
+
     def _recompile_all(self) -> None:
         """Rebuild every shard's compiled hot path after a round settles
         (grown shards arrive compiled from the factory; recompiling is
@@ -1157,6 +1180,85 @@ class ShardedDatapath:
             raise
         actions["resume"](params)
         return self.resizes[-1]
+
+    # -- runtime tuning (the adaptation stratum's knobs) --------------------------
+
+    def retune_batch(self, n: int) -> tuple[int, int]:
+        """Change the per-quantum batch size live; returns (old, new).
+
+        Workers read :attr:`batch` at every ``take_batch``, so the new
+        size takes effect at each worker's next quantum — no round, no
+        quiesce.  The RX/TX ring sizes are fixed at build time and do
+        not follow the batch.
+        """
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise ShardingError(f"batch must be >= 1, got {n!r}")
+        old = self.batch
+        self.batch = n
+        return old, n
+
+    def retune_steal_watermark(self, n: int) -> tuple[int, int]:
+        """Change the supervisor's steal watermark live; returns
+        (old, new).  The supervisor reads it every quantum; without a
+        supervisor the knob is inert, so retuning one is refused the
+        same way constructing one is."""
+        if not self.supervised:
+            raise ShardingError(
+                "steal_watermark has no effect without the supervisor "
+                "(supervise=False)"
+            )
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise ShardingError(f"steal_watermark must be >= 1, got {n!r}")
+        old = self.steal_watermark
+        self.steal_watermark = n
+        return old, n
+
+    # -- adaptation probes --------------------------------------------------------
+
+    @property
+    def round_open(self) -> bool:
+        """True while a two-phase round (resize or recovery) holds this
+        datapath quiesced — the window in which a second structural
+        change must not start (the rounds themselves are mutually
+        exclusive; the adaptation rule engine extends the same exclusion
+        to the actions it governs)."""
+        return self._pending_resize is not None or bool(self._pending_recovery)
+
+    def worker_alive(self, index: int) -> bool:
+        """True when shard *index* exists and its worker thread has not
+        finished (crashed, retired or shut down)."""
+        return 0 <= index < len(self._workers) and not self._workers[index].done
+
+    def live_shard_indices(self) -> list[int]:
+        """Indices of shards whose workers are still running.
+
+        Monitors reading shard queues must use this (or tolerate the
+        equivalent) rather than a cached shard list: ``kill_worker`` and
+        crash paths leave a dead worker's backlog frozen on its ring,
+        and a resize can shrink the fleet between two samples.
+        """
+        return [
+            index
+            for index in range(len(self.shards))
+            if not self._workers[index].done
+        ]
+
+    def backlog_divergence(self) -> int:
+        """Deepest-minus-shallowest RX backlog across *live* shards (0
+        with fewer than two live shards).
+
+        Dead-worker shards are excluded: their backlog is frozen until
+        failover/recovery drains it, so including it would read as
+        permanent divergence and goad a monitor into rebalancing knobs
+        that cannot help.
+        """
+        depths = [
+            self.shards[index].backlog_depth
+            for index in self.live_shard_indices()
+        ]
+        if len(depths) < 2:
+            return 0
+        return max(depths) - min(depths)
 
     # -- execution ----------------------------------------------------------------
 

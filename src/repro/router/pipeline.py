@@ -195,6 +195,57 @@ class RouterPipeline:
             total += adapter.drain_wire(budget=budget, handler=handler)
         return total
 
+    def swap_stage(
+        self,
+        stage: str,
+        factory: Any,
+        *,
+        new_name: str | None = None,
+        transfer_state: Any = None,
+    ) -> Component:
+        """Hot-swap one named stage through the architecture meta-model.
+
+        The capsule's :meth:`~repro.opencom.metamodel.architecture.
+        ArchitectureMetaModel.replace_component` does the quiesce →
+        unbind → swap → rebind → resume sequence (rolled back on
+        failure); this wrapper keeps the pipeline handle causally
+        connected: a live compiled chain is torn down first (a vtable
+        mutation must never race a specialised region — the caller
+        recompiles once the swap settles), the ``stages`` map and the
+        ``entry``/``scheduler`` handles follow the replacement, and CF
+        plug-in membership transfers from the old component to the new.
+
+        *transfer_state* defaults to
+        :func:`~repro.cf.constraints.component_state_transfer`, so a
+        queue swap carries its backlog across (``STATE_ATTRS``).
+        """
+        from repro.cf.constraints import component_state_transfer
+
+        if stage not in self.stages:
+            raise KeyError(f"pipeline has no stage {stage!r}")
+        old = self.stages[stage]
+        self.decompile()
+        replacement = self.capsule.architecture.replace_component(
+            old,
+            factory,
+            name=new_name,
+            transfer_state=(
+                component_state_transfer
+                if transfer_state is None
+                else transfer_state
+            ),
+        )
+        self.stages[stage] = replacement
+        if old is self.entry:
+            self.entry = replacement
+            self._entry_vtable = None
+        if old is self.scheduler:
+            self.scheduler = replacement
+        if self.cf.plugins().get(old.name) is old:
+            self.cf.eject(old.name)
+            self.cf.accept(replacement)
+        return replacement
+
     def stage_stats(self) -> dict[str, dict[str, int]]:
         """Counters of every stage, keyed by stage name."""
         stats = {}

@@ -1,8 +1,8 @@
 """Tier-1 wiring of the benchmark smoke mode.
 
 Runs ``benchmarks/run_all.py --smoke`` — the batching, zero-copy,
-buffer-lifecycle, sharding, elasticity, fault and compiled-hot-path
-data-path benchmarks (C11–C17, R1) on a tiny trace with the paper-*ordering* (and the deterministic event-count
+buffer-lifecycle, sharding, elasticity, fault, compiled-hot-path and
+self-adaptation data-path benchmarks (C11–C19, R1) on a tiny trace with the paper-*ordering* (and the deterministic event-count
 claims: C13's copies-per-packet, C14's zero steady-state allocations and
 balanced acquire/release, C15's virtual-time multicore scaling, per-flow
 ordering and per-shard pool audit) assertions — so a dispatch-,
@@ -75,6 +75,12 @@ def test_run_all_smoke_orders_hold(tmp_path):
         # loses the paper ordering or the compilation plan stops
         # reporting an active specialised chain.
         "bench_c17_compiled",
+        # The self-adaptation gate: C19 fails if the closed loop stops
+        # beating the worst static configuration on the adversarial
+        # trace, if the deliberately unsafe live-port swap is no longer
+        # vetoed with a typed reason, or if any pool audit goes
+        # unbalanced across an adaptation.
+        "bench_c19_adaptation",
     } <= names
     for name, outcome in payload["benchmarks"].items():
         assert outcome["status"] == "passed", (name, outcome["tail"])
@@ -87,6 +93,20 @@ def test_run_all_smoke_orders_hold(tmp_path):
         payload["benchmarks"]["bench_c16_elastic"]["meta"]["phases"]
         == "2-4-8-4-2"
     )
+    # C19's adaptation gate, from its recorded metadata: the closed loop
+    # delivered more than the worst static cell of the sweep, and the
+    # deliberately unsafe mid-run swap was vetoed at least once.
+    c19_meta = payload["benchmarks"]["bench_c19_adaptation"]["meta"]
+    assert c19_meta["phases"] == "burst-starve-flash-quiet"
+    assert int(c19_meta["vetoes"]) >= 1
+    sweep = {
+        name: int(delivered)
+        for name, delivered in (
+            pair.rsplit(":", 1) for pair in c19_meta["static_sweep"].split(",")
+        )
+    }
+    assert len(sweep) >= 4  # the sweep actually ran, not a degenerate pair
+    assert int(c19_meta["adaptive_delivered"]) > min(sweep.values())
     # The property suites ride along on the bounded (tier-1) profile.
     assert payload["properties"]["status"] == "passed"
     assert payload["properties"]["profile"] == "bounded"
